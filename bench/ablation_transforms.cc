@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: the automata transformations across the suite.
+ *
+ * Quantifies, per benchmark, what the optimization/transformation
+ * passes do: prefix-merge compression (the Table I "Compressed
+ * states" column, here with merge time), dead-state pruning, and the
+ * effect of prefix merging on the interpreter's active set -- the
+ * mechanism by which VASim's optimizations speed up CPU simulation.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "core/stats.hh"
+#include "engine/nfa_engine.hh"
+#include "transform/prefix_merge.hh"
+#include "transform/prune.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "zoo/registry.hh"
+
+using namespace azoo;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchConfig cfg = bench::parseBenchFlags(argc, argv);
+
+    std::cout << "Transformation ablation (scale=" << cfg.zoo.scale
+              << ", sim=" << cfg.simBytes << "B)\n\n";
+
+    Table t({"Benchmark", "States", "PrefixMerged", "Reduction",
+             "Merge(s)", "Pruned", "ActiveSet", "MergedActiveSet"});
+
+    for (const auto &info : zoo::allBenchmarks()) {
+        zoo::Benchmark b = info.make(cfg.zoo);
+        const uint64_t states = b.automaton.size();
+
+        Timer mt;
+        MergeResult merged = prefixMerge(b.automaton);
+        const double merge_s = mt.seconds();
+
+        PruneResult pruned = pruneDeadStates(b.automaton);
+
+        SimOptions opts;
+        opts.recordReports = false;
+        NfaEngine plain(b.automaton);
+        NfaEngine opt(merged.automaton);
+        const double act_plain =
+            plain.simulate(b.input.data(), cfg.simBytes, opts)
+                .avgActiveSet();
+        const double act_merged =
+            opt.simulate(b.input.data(), cfg.simBytes, opts)
+                .avgActiveSet();
+
+        t.addRow({info.name, Table::num(states),
+                  Table::num(merged.statesAfter),
+                  Table::ratio(merged.reduction(), 2),
+                  Table::fixed(merge_s, 2),
+                  Table::num(pruned.automaton.size()),
+                  Table::fixed(act_plain, 1),
+                  Table::fixed(act_merged, 1)});
+        std::cerr << "  [" << info.name << "]\n";
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPrefix merging collapses shared pattern prefixes "
+                 "(Entity Resolution and the family-structured YARA "
+                 "rules compress hardest) and correspondingly "
+                 "shrinks the enabled set the CPU interpreter must "
+                 "walk. Pruning strips the Random Forest pad chains "
+                 "-- they are dead states by design, which is the "
+                 "point of the padding experiment.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared flag handling for the table/figure bench binaries.
+ *
+ * Every bench accepts:
+ *   --scale S    pattern-count scale vs the paper's full size
+ *                (default 0.05; --full sets 1.0)
+ *   --input N    standard input bytes for generation (default 1 MiB)
+ *   --sim N      bytes actually simulated for dynamic stats
+ *                (default 256 KiB; capped at --input)
+ *   --seed X     generation seed (default 42)
+ *   --full       paper-scale sizes (slow; hours for Table I)
+ */
+
+#ifndef AZOO_BENCH_COMMON_HH
+#define AZOO_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace bench {
+
+struct BenchConfig {
+    zoo::ZooConfig zoo;
+    size_t simBytes = 256 * 1024;
+};
+
+inline BenchConfig
+parseBenchFlags(int argc, char **argv,
+                std::vector<std::string> extra_flags = {})
+{
+    std::vector<std::string> known = {"scale", "input", "sim", "seed",
+                                      "full"};
+    known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+    Cli cli(argc, argv, known);
+
+    BenchConfig cfg;
+    cfg.zoo.scale = cli.getDouble("scale", 0.05);
+    if (cli.getBool("full"))
+        cfg.zoo.scale = 1.0;
+    cfg.zoo.inputBytes =
+        static_cast<size_t>(cli.getInt("input", 1 << 20));
+    cfg.zoo.seed = static_cast<uint64_t>(cli.getInt("seed", 42));
+    cfg.simBytes = static_cast<size_t>(
+        cli.getInt("sim", 256 * 1024));
+    if (cfg.simBytes > cfg.zoo.inputBytes)
+        cfg.simBytes = cfg.zoo.inputBytes;
+    return cfg;
+}
+
+} // namespace bench
+} // namespace azoo
+
+#endif // AZOO_BENCH_COMMON_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Engine microbenchmarks (google-benchmark): throughput of the NFA
+ * interpreter as a function of active set (mesh distance), the
+ * multi-DFA engine as a function of component count, regex
+ * compilation, and prefix-merge speed. These quantify the engine
+ * properties the paper's CPU arguments rest on: interpreter cost
+ * tracks the active set; compiled-engine cost tracks component
+ * count, not enabled states.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "engine/multidfa_engine.hh"
+#include "engine/nfa_engine.hh"
+#include "input/dna.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "transform/prefix_merge.hh"
+#include "util/rng.hh"
+#include "zoo/mesh.hh"
+#include "zoo/seqmatch.hh"
+
+namespace azoo {
+namespace {
+
+constexpr size_t kInput = 64 * 1024;
+
+/** Interpreter throughput vs mesh distance (active set driver). */
+void
+BM_NfaEngine_HammingActiveSet(benchmark::State &state)
+{
+    const int d = static_cast<int>(state.range(0));
+    const int l = 12 + 2 * d;
+    Rng rng(7);
+    Automaton a("h");
+    for (int i = 0; i < 20; ++i)
+        zoo::appendHammingFilter(a, input::randomDnaString(l, rng), d,
+                                 i);
+    auto in = input::randomDna(kInput, 11);
+    NfaEngine e(a);
+    SimOptions opts;
+    opts.recordReports = false;
+    double active = 0;
+    for (auto _ : state) {
+        auto r = e.simulate(in, opts);
+        active = r.avgActiveSet();
+        benchmark::DoNotOptimize(r.reportCount);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * kInput));
+    state.counters["active_set"] = active;
+}
+BENCHMARK(BM_NfaEngine_HammingActiveSet)->Arg(1)->Arg(3)->Arg(6);
+
+/** Compiled engine throughput vs component count. */
+void
+BM_MultiDfa_ComponentScaling(benchmark::State &state)
+{
+    const int filters = static_cast<int>(state.range(0));
+    Rng rng(13);
+    Automaton a("lit");
+    for (int i = 0; i < filters; ++i) {
+        appendRegex(a, parseRegex(rng.randomString(8, "abcdef")),
+                    static_cast<uint32_t>(i));
+    }
+    auto in = Rng(5).randomBytes(kInput);
+    MultiDfaEngine e(a);
+    SimOptions opts;
+    opts.recordReports = false;
+    for (auto _ : state) {
+        auto r = e.simulate(in, opts);
+        benchmark::DoNotOptimize(r.reportCount);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * kInput));
+    state.counters["components"] =
+        static_cast<double>(e.compiledComponents());
+}
+BENCHMARK(BM_MultiDfa_ComponentScaling)->Arg(16)->Arg(64)->Arg(256);
+
+/** Interpreter vs compiled engine on the same Seq Match workload. */
+void
+BM_Engines_SeqMatch(benchmark::State &state)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.02;
+    cfg.inputBytes = kInput;
+    zoo::SeqMatchParams p;
+    zoo::Benchmark b = zoo::makeSeqMatchBenchmark(cfg, p);
+    SimOptions opts;
+    opts.recordReports = false;
+    if (state.range(0) == 0) {
+        NfaEngine e(b.automaton);
+        for (auto _ : state)
+            benchmark::DoNotOptimize(
+                e.simulate(b.input, opts).reportCount);
+    } else {
+        MultiDfaEngine e(b.automaton);
+        for (auto _ : state)
+            benchmark::DoNotOptimize(
+                e.simulate(b.input, opts).reportCount);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * kInput));
+    state.SetLabel(state.range(0) == 0 ? "NfaEngine"
+                                       : "MultiDfaEngine");
+}
+BENCHMARK(BM_Engines_SeqMatch)->Arg(0)->Arg(1);
+
+/** Regex -> Glushkov compile throughput. */
+void
+BM_Regex_Compile(benchmark::State &state)
+{
+    Rng rng(17);
+    std::vector<std::string> patterns;
+    for (int i = 0; i < 64; ++i) {
+        patterns.push_back(rng.randomString(6, "abcdef") + ".*" +
+                           rng.randomString(6, "abcdef") +
+                           "[0-9a-f]{2,6}");
+    }
+    for (auto _ : state) {
+        Automaton a("c");
+        for (size_t i = 0; i < patterns.size(); ++i) {
+            appendRegex(a, parseRegex(patterns[i]),
+                        static_cast<uint32_t>(i));
+        }
+        benchmark::DoNotOptimize(a.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_Regex_Compile);
+
+/** Prefix merge over a ClamAV-shaped automaton. */
+void
+BM_PrefixMerge_Clamav(benchmark::State &state)
+{
+    Rng rng(19);
+    Automaton a("p");
+    for (int i = 0; i < 200; ++i) {
+        // Shared 8-byte prefix family.
+        std::string sig = "MZheader" + rng.randomString(40, "abcdef");
+        appendRegex(a, parseRegex(sig), static_cast<uint32_t>(i));
+    }
+    for (auto _ : state) {
+        auto m = prefixMerge(a);
+        benchmark::DoNotOptimize(m.statesAfter);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * a.size()));
+}
+BENCHMARK(BM_PrefixMerge_Clamav);
+
+} // namespace
+} // namespace azoo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Section V: improving representative behavior of the Snort
+ * benchmark by excluding rules that should not be matched against
+ * the whole packet stream.
+ *
+ * Reproduces the paper's two-step exclusion experiment: (1) removing
+ * rules with Snort-specific pcre modifiers drops the report rate
+ * about 5x; (2) additionally removing rules from isdataat-qualified
+ * Snort rules drops it about 2x more, with one outlier rule
+ * responsible for over half of the remaining reports before removal.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+#include "engine/nfa_engine.hh"
+#include "util/table.hh"
+#include "zoo/snort.hh"
+
+using namespace azoo;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchConfig cfg = bench::parseBenchFlags(argc, argv);
+
+    auto rules = zoo::makeSnortRules(cfg.zoo);
+    auto input = zoo::snortInput(cfg.zoo, rules);
+
+    std::cout << "Section V: Snort modifier-exclusion experiment ("
+              << rules.size() << " rules, " << input.size()
+              << "B pcap stream)\n\n";
+
+    SimOptions opts;
+    opts.recordReports = false;
+    opts.countByCode = true;
+    opts.computeActiveSet = false;
+
+    struct Step {
+        const char *name;
+        bool mod;
+        bool isd;
+        double rate = 0;
+        uint64_t rules = 0;
+        uint64_t reports = 0;
+        uint32_t top_code = 0;
+        double top_share = 0;
+    };
+    Step steps[] = {
+        {"all rules (ANMLZoo-style)", true, true},
+        {"minus pcre-modifier rules", false, true},
+        {"minus isdataat rules (AutomataZoo)", false, false},
+    };
+
+    for (auto &s : steps) {
+        Automaton a = zoo::compileSnortRules(rules, s.mod, s.isd);
+        uint32_t comps = 0;
+        a.connectedComponents(comps);
+        s.rules = comps;
+        NfaEngine e(a);
+        auto r = e.simulate(input, opts);
+        s.rate = r.reportRate();
+        s.reports = r.reportCount;
+        uint64_t top = 0;
+        for (const auto &[code, count] : r.byCode) {
+            if (count > top) {
+                top = count;
+                s.top_code = code;
+            }
+        }
+        s.top_share = r.reportCount
+            ? static_cast<double>(top) / r.reportCount : 0;
+    }
+
+    Table t({"Rule set", "Subgraphs", "Reports", "Reports/byte",
+             "Drop vs prev", "Top rule share"});
+    double prev = 0;
+    for (const auto &s : steps) {
+        t.addRow({s.name, Table::num(s.rules), Table::num(s.reports),
+                  Table::fixed(s.rate, 4),
+                  prev > 0 ? Table::ratio(prev / s.rate, 2) : "-",
+                  Table::percent(100 * s.top_share)});
+        prev = s.rate;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper: removing 2,856 pcre-modifier rules dropped "
+                 "reporting ~5x; removing 182 isdataat rules dropped "
+                 "a further ~2x, with one isdataat outlier producing "
+                 "over half of all reports before removal.\n";
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Table I: the AutomataZoo suite summary.
+ *
+ * For every benchmark: states, edges, edges/node, subgraph count,
+ * average subgraph size and std dev, compressed states after the
+ * VASim-style prefix-merge optimization, compression factor, and the
+ * dynamic active set measured with the NFA interpreter on the
+ * standard input.
+ *
+ * Absolute sizes scale with --scale (default 0.05 of the paper's
+ * pattern counts; --full reproduces paper sizes). The second table
+ * compares scale-invariant shape metrics (per-subgraph size,
+ * edge density, active set per 1000 states) against the paper's
+ * Table I values.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench/common.hh"
+#include "core/stats.hh"
+#include "engine/nfa_engine.hh"
+#include "transform/prefix_merge.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "zoo/registry.hh"
+
+using namespace azoo;
+
+namespace {
+
+/** Paper Table I reference values (full-scale). */
+struct PaperRow {
+    double states;
+    double edgesPerNode;
+    double avgSize;
+    double activeSet;
+};
+
+const std::map<std::string, PaperRow> kPaper = {
+    {"Snort", {202043, 1.17, 81.27, 409.358}},
+    {"ClamAV", {2374717, 1.00, 71.59, 356.532}},
+    {"Protomata", {24103, 1.00, 18.41, 712.884}},
+    {"Brill", {115549, 1.37, 19.43, 78.2558}},
+    {"Random Forest A", {248000, 1.00, 31, 862.504}},
+    {"Random Forest B", {248000, 1.00, 31, 1043.18}},
+    {"Random Forest C", {992000, 1.00, 62, 2334.97}},
+    {"Hamming 18x3", {108000, 1.69, 108, 1944.38}},
+    {"Hamming 22x5", {192000, 1.81, 192, 6324.49}},
+    {"Hamming 31x10", {451000, 1.90, 451, 19617.8}},
+    {"Levenshtein 19x3", {109000, 4.08, 109, 4528.69}},
+    {"Levenshtein 24x5", {204000, 6.13, 204, 18033.9}},
+    {"Levenshtein 37x10", {557000, 11.17, 557, 85866.1}},
+    {"Seq. Match 6w 6p", {51570, 2.13, 30, 5538.98}},
+    {"Seq. Match 6w 6p wC", {53289, 2.13, 31, 5555.98}},
+    {"Seq. Match 6w 10p", {85950, 2.16, 50, 5465.23}},
+    {"Seq. Match 6w 10p wC", {87669, 2.16, 51, 5497.23}},
+    {"Entity Resolution", {413352, 1.55, 41.34, 57.5615}},
+    {"CRISPR CasOffinder", {74000, 1.27, 37, 191.64}},
+    {"CRISPR CasOT", {202000, 1.66, 101, 953.753}},
+    {"YARA", {1047528, 0.98, 44.52, 579.739}},
+    {"YARA Wide", {115246, 0.98, 43.99, 123.964}},
+    {"File Carving", {2663, 58.81, 295.89, 15.6547}},
+    {"AP PRNG 4-sided", {20000, 1.60, 20, 4500}},
+    {"AP PRNG 8-sided", {72000, 1.78, 72, 2500}},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchConfig cfg = bench::parseBenchFlags(argc, argv);
+
+    std::cout << "Table I: AutomataZoo benchmarks (scale="
+              << cfg.zoo.scale << ", input=" << cfg.zoo.inputBytes
+              << "B, sim=" << cfg.simBytes << "B)\n\n";
+
+    Table t({"Benchmark", "States", "Edges", "Edges/Node", "Subgraphs",
+             "Avg.Size", "Std.Dev", "Compr.States", "Compr.Factor",
+             "ActiveSet"});
+    Table shape({"Benchmark", "Avg.Size", "(paper)", "Edges/Node",
+                 "(paper)", "Act/1kStates", "(paper)"});
+
+    for (const auto &info : zoo::allBenchmarks()) {
+        Timer timer;
+        zoo::Benchmark b = info.make(cfg.zoo);
+        GraphStats s = computeStats(b.automaton);
+
+        MergeResult merged = prefixMerge(b.automaton);
+
+        NfaEngine engine(b.automaton);
+        SimOptions opts;
+        opts.recordReports = false;
+        SimResult r = engine.simulate(b.input.data(), cfg.simBytes,
+                                      opts);
+
+        const uint64_t total = s.states + s.counters;
+        t.addRow({info.name, Table::num(total), Table::num(s.edges),
+                  Table::fixed(s.edgesPerNode, 2),
+                  Table::num(s.subgraphs),
+                  Table::fixed(s.avgSubgraph, 2),
+                  Table::fixed(s.stdSubgraph, 2),
+                  Table::num(merged.statesAfter),
+                  Table::ratio(merged.reduction(), 2),
+                  Table::fixed(r.avgActiveSet(), 1)});
+
+        auto it = kPaper.find(info.name);
+        if (it != kPaper.end() && total) {
+            const PaperRow &p = it->second;
+            shape.addRow(
+                {info.name, Table::fixed(s.avgSubgraph, 1),
+                 Table::fixed(p.avgSize, 1),
+                 Table::fixed(s.edgesPerNode, 2),
+                 Table::fixed(p.edgesPerNode, 2),
+                 Table::fixed(1000 * r.avgActiveSet() / total, 2),
+                 Table::fixed(1000 * p.activeSet / p.states, 2)});
+        }
+
+        std::cerr << "  [" << info.name << " done in "
+                  << Table::fixed(timer.seconds(), 1) << "s]\n";
+    }
+
+    t.print(std::cout);
+    std::cout << "\nScale-invariant shape check vs the paper's "
+                 "Table I:\n\n";
+    shape.print(std::cout);
+    return 0;
+}

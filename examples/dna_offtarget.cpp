@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CRISPR off-target search example: build fuzzy-match filters for a
+ * set of guide RNAs (CasOFFinder-style substitution tolerance and
+ * CasOT-style edit-distance tolerance, both with the NGG PAM), scan a
+ * genome-sized DNA stream, and list candidate off-target sites.
+ *
+ * Usage: dna_offtarget [--guides N] [--genome BYTES] [--seed X]
+ */
+
+#include <iostream>
+
+#include "core/stats.hh"
+#include "engine/nfa_engine.hh"
+#include "input/dna.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "zoo/crispr.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace azoo;
+
+    Cli cli(argc, argv, {"guides", "genome", "seed"});
+    const int guides = static_cast<int>(cli.getInt("guides", 25));
+    const size_t genome_len =
+        static_cast<size_t>(cli.getInt("genome", 2 << 20));
+    const uint64_t seed =
+        static_cast<uint64_t>(cli.getInt("seed", 7));
+
+    // Generate guides and both filter styles.
+    Rng rng(seed);
+    std::vector<std::string> guide_seqs;
+    Automaton off("off"), ot("ot");
+    for (int i = 0; i < guides; ++i) {
+        std::string g = input::randomDnaString(20, rng);
+        zoo::appendCrisprFilter(off, g, zoo::CrisprKind::kCasOffinder,
+                                i);
+        zoo::appendCrisprFilter(ot, g, zoo::CrisprKind::kCasOt, i);
+        guide_seqs.push_back(std::move(g));
+    }
+
+    // Genome with a few planted off-target sites.
+    auto genome = input::randomDna(genome_len, seed ^ 0x6e0eULL);
+    Rng plant(seed ^ 0x11ULL);
+    for (size_t at = 10000; at + 23 < genome.size();
+         at += genome.size() / 4) {
+        const std::string &g = guide_seqs[plant.nextBelow(guides)];
+        input::plantWithMismatches(genome, at, g, 1, plant);
+        genome[at + 20] = 'a';
+        genome[at + 21] = 'g';
+        genome[at + 22] = 'g';
+    }
+
+    Table t({"Filter style", "States", "Sites found", "Scan MB/s"});
+    for (auto *a : {&off, &ot}) {
+        NfaEngine e(*a);
+        Timer timer;
+        SimResult r = e.simulate(genome);
+        t.addRow({a->name() == "off"
+                      ? "CasOFFinder-style (<=1 substitution + NGG)"
+                      : "CasOT-style (edit distance <=2 + NGG)",
+                  Table::num(a->size()), Table::num(r.reportCount),
+                  Table::fixed(genome.size() / timer.seconds() / 1e6,
+                               1)});
+        for (size_t i = 0; i < std::min<size_t>(r.reports.size(), 4);
+             ++i) {
+            const Report &rep = r.reports[i];
+            std::cout << "  guide " << rep.code
+                      << " off-target site ending at "
+                      << rep.offset << " ("
+                      << (a == &off ? "OFF" : "OT") << ")\n";
+        }
+    }
+    std::cout << "\n";
+    t.print(std::cout);
+    std::cout << "\nThe OT filters tolerate indels as well as "
+                 "substitutions, so they find a superset of the OFF "
+                 "sites at higher automaton cost (Table I: 101 vs 37 "
+                 "states per filter in the paper's benchmarks).\n";
+    return 0;
+}

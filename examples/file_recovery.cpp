@@ -1,0 +1,73 @@
+/**
+ * @file
+ * File carving example: recover file locations from a raw disk image
+ * using bit-level header automata (Section IX-B).
+ *
+ * Demonstrates the full sub-byte pipeline: author the PKZip
+ * local-file-header pattern as a bit automaton (with exact MS-DOS
+ * timestamp bit-field validation -- seconds/2 <= 29, minutes <= 59
+ * across the byte boundary, hours <= 23), 8-stride it into a byte
+ * automaton, and scan a disk image alongside the other eight carving
+ * patterns.
+ *
+ * Usage: file_recovery [--image BYTES] [--seed X]
+ */
+
+#include <iostream>
+
+#include "core/stats.hh"
+#include "engine/nfa_engine.hh"
+#include "input/diskimage.hh"
+#include "transform/stride.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "zoo/filecarve.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace azoo;
+
+    Cli cli(argc, argv, {"image", "seed"});
+    zoo::ZooConfig cfg;
+    cfg.inputBytes = static_cast<size_t>(
+        cli.getInt("image", 1 << 20));
+    cfg.seed = static_cast<uint64_t>(cli.getInt("seed", 23));
+
+    // Show the striding step on the paper's worked example.
+    Automaton bit = zoo::buildZipHeaderBitAutomaton();
+    Automaton strided = strideToBytes(bit);
+    std::cout << "zip local header: " << bit.size()
+              << " bit-level states -> " << strided.size()
+              << " byte-level states after 8-striding\n\n";
+
+    zoo::Benchmark b = zoo::makeFileCarveBenchmark(cfg);
+    NfaEngine engine(b.automaton);
+    SimOptions opts;
+    opts.countByCode = true;
+    SimResult r = engine.simulate(b.input, opts);
+
+    const auto &names = zoo::fileCarvePatternNames();
+    Table t({"Pattern", "Hits", "First offset"});
+    for (uint32_t code = 0; code < names.size(); ++code) {
+        auto it = r.byCode.find(code);
+        uint64_t first = ~uint64_t(0);
+        for (const auto &rep : r.reports) {
+            if (rep.code == code) {
+                first = rep.offset;
+                break;
+            }
+        }
+        t.addRow({names[code],
+                  Table::num(it == r.byCode.end() ? 0 : it->second),
+                  first == ~uint64_t(0) ? "-"
+                                        : std::to_string(first)});
+    }
+    std::cout << "carved a " << b.input.size() << "-byte image:\n\n";
+    t.print(std::cout);
+    std::cout << "\nEvery zip hit passed timestamp validation; plain "
+                 "4-byte magic matching would also fire on random "
+                 "byte coincidences (the false-positive problem the "
+                 "paper's bit-level patterns eliminate).\n";
+    return 0;
+}

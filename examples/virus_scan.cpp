@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Virus scanning example: build the ClamAV benchmark (hex-signature
+ * database -> regexes -> automata), scan a synthetic disk image, and
+ * attribute the hits -- the paper's motivating use-case where the
+ * benchmark actually detects planted virus fragments.
+ *
+ * Usage: virus_scan [--scale S] [--input N] [--seed X]
+ */
+
+#include <iostream>
+
+#include "core/stats.hh"
+#include "engine/nfa_engine.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "zoo/clamav.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace azoo;
+
+    Cli cli(argc, argv, {"scale", "input", "seed"});
+    zoo::ZooConfig cfg;
+    cfg.scale = cli.getDouble("scale", 0.02);
+    cfg.inputBytes = static_cast<size_t>(
+        cli.getInt("input", 1 << 20));
+    cfg.seed = static_cast<uint64_t>(cli.getInt("seed", 42));
+
+    Timer build;
+    zoo::Benchmark b = zoo::makeClamAvBenchmark(cfg);
+    GraphStats s = computeStats(b.automaton);
+    std::cout << "signature database: " << b.meta.at("signatures")
+              << " signatures -> " << s.states << " states ("
+              << Table::fixed(build.seconds(), 2) << "s to compile)\n";
+
+    Timer scan;
+    NfaEngine engine(b.automaton);
+    SimOptions opts;
+    opts.countByCode = true;
+    SimResult r = engine.simulate(b.input, opts);
+    const double mbps =
+        b.input.size() / scan.seconds() / 1e6;
+
+    std::cout << "scanned " << b.input.size() << " bytes in "
+              << Table::fixed(scan.seconds(), 2) << "s ("
+              << Table::fixed(mbps, 1) << " MB/s, avg active set "
+              << Table::fixed(r.avgActiveSet(), 1) << ")\n\n";
+
+    if (r.byCode.empty()) {
+        std::cout << "no infections found.\n";
+        return 0;
+    }
+    std::cout << "INFECTED: " << r.byCode.size()
+              << " distinct signature(s) matched\n";
+    for (const auto &[code, count] : r.byCode) {
+        // First matching offset for this signature.
+        uint64_t first = ~uint64_t(0);
+        for (const auto &rep : r.reports) {
+            if (rep.code == code) {
+                first = rep.offset;
+                break;
+            }
+        }
+        std::cout << "  signature #" << code << ": " << count
+                  << " hit(s), first ending at offset " << first
+                  << "\n";
+    }
+    return 0;
+}

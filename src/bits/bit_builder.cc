@@ -1,0 +1,217 @@
+#include "bits/bit_builder.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace bits {
+
+namespace {
+
+CharSet
+bitLabel(int b)
+{
+    return CharSet::single(static_cast<uint8_t>(b));
+}
+
+CharSet
+anyBitLabel()
+{
+    return CharSet::range(0, 1);
+}
+
+} // namespace
+
+ElementId
+addAlignmentRing(Automaton &a)
+{
+    // q0 (start-of-data) -> q1 -> ... -> q7 -> q0; q7 fires at bit
+    // offsets 7 mod 8.
+    ElementId first = kNoElement, prev = kNoElement;
+    ElementId last = kNoElement;
+    for (int i = 0; i < 8; ++i) {
+        ElementId id = a.addSte(anyBitLabel(),
+                                i == 0 ? StartType::kStartOfData
+                                       : StartType::kNone);
+        if (first == kNoElement)
+            first = id;
+        if (prev != kNoElement)
+            a.addEdge(prev, id);
+        prev = id;
+        last = id;
+    }
+    a.addEdge(last, first);
+    return last;
+}
+
+BitChainBuilder::BitChainBuilder(Automaton &a, ElementId anchor_ring)
+    : a_(a), ring_(anchor_ring)
+{
+}
+
+ElementId
+BitChainBuilder::addState(const CharSet &label)
+{
+    ElementId id;
+    if (at_start_) {
+        // Head state: anchored patterns start at start-of-data; ring-
+        // anchored heads are also armed by the ring every byte.
+        id = a_.addSte(label, StartType::kStartOfData);
+        if (ring_ != kNoElement)
+            a_.addEdge(ring_, id);
+    } else {
+        id = a_.addSte(label);
+        for (auto f : frontier_)
+            a_.addEdge(f, id);
+    }
+    return id;
+}
+
+void
+BitChainBuilder::setFrontier(std::vector<ElementId> states)
+{
+    frontier_ = std::move(states);
+    at_start_ = false;
+}
+
+void
+BitChainBuilder::appendBit(int b)
+{
+    setFrontier({addState(bitLabel(b))});
+    ++bit_length_;
+}
+
+void
+BitChainBuilder::appendAnyBit()
+{
+    setFrontier({addState(anyBitLabel())});
+    ++bit_length_;
+}
+
+void
+BitChainBuilder::appendByte(uint8_t value)
+{
+    for (int i = 7; i >= 0; --i)
+        appendBit((value >> i) & 1);
+}
+
+void
+BitChainBuilder::appendMaskedByte(uint8_t value, uint8_t care)
+{
+    for (int i = 7; i >= 0; --i) {
+        if ((care >> i) & 1)
+            appendBit((value >> i) & 1);
+        else
+            appendAnyBit();
+    }
+}
+
+void
+BitChainBuilder::appendAnyBits(int n)
+{
+    for (int i = 0; i < n; ++i)
+        appendAnyBit();
+}
+
+void
+BitChainBuilder::appendRangeField(int width, uint32_t lo, uint32_t hi)
+{
+    if (width <= 0 || width > 32)
+        fatal(cat("bit range field width ", width, " out of range"));
+    if (lo > hi || (width < 32 && hi >= (uint32_t(1) << width)))
+        fatal(cat("bit range field bounds [", lo, ",", hi,
+                  "] invalid for width ", width));
+
+    // Level-by-level tight-bound construction. States at each level
+    // are keyed by (tight_low, tight_high) after consuming the bit.
+    // "frontier map": flags -> element ids at the previous level.
+    std::map<std::pair<bool, bool>, std::vector<ElementId>> cur;
+    bool seeded = false;
+
+    for (int level = 0; level < width; ++level) {
+        const int shift = width - 1 - level;
+        const int lo_bit = (lo >> shift) & 1;
+        const int hi_bit = (hi >> shift) & 1;
+
+        std::map<std::pair<bool, bool>, std::vector<ElementId>> next;
+        auto expand = [&](bool tl, bool th,
+                          const std::vector<ElementId> *preds) {
+            for (int b = 0; b <= 1; ++b) {
+                if (tl && b < lo_bit)
+                    continue;
+                if (th && b > hi_bit)
+                    continue;
+                const bool ntl = tl && b == lo_bit;
+                const bool nth = th && b == hi_bit;
+                ElementId id;
+                if (preds == nullptr) {
+                    id = addState(bitLabel(b));
+                } else {
+                    id = a_.addSte(bitLabel(b));
+                    for (auto p : *preds)
+                        a_.addEdge(p, id);
+                }
+                next[{ntl, nth}].push_back(id);
+            }
+        };
+
+        if (!seeded) {
+            expand(true, true, nullptr);
+            seeded = true;
+        } else {
+            for (const auto &[flags, preds] : cur)
+                expand(flags.first, flags.second, &preds);
+        }
+        cur = std::move(next);
+    }
+
+    std::vector<ElementId> merged;
+    for (const auto &[flags, ids] : cur)
+        merged.insert(merged.end(), ids.begin(), ids.end());
+    setFrontier(std::move(merged));
+    bit_length_ += width;
+}
+
+void
+BitChainBuilder::mergeBranch(const BitChainBuilder &other)
+{
+    if (&other.a_ != &a_)
+        fatal("bit chain: cannot merge branches of different automata");
+    if (other.bit_length_ != bit_length_)
+        fatal(cat("bit chain: merging branches of different bit "
+                  "lengths (", bit_length_, " vs ", other.bit_length_,
+                  ")"));
+    frontier_.insert(frontier_.end(), other.frontier_.begin(),
+                     other.frontier_.end());
+    at_start_ = at_start_ && other.at_start_;
+}
+
+void
+BitChainBuilder::finishReport(uint32_t code)
+{
+    if (at_start_)
+        fatal("bit chain: cannot report an empty pattern");
+    if (bit_length_ % 8 != 0)
+        fatal(cat("bit chain: pattern length ", bit_length_,
+                  " bits is not a whole number of bytes"));
+    for (auto f : frontier_) {
+        a_.element(f).reporting = true;
+        a_.element(f).reportCode = code;
+    }
+}
+
+std::vector<uint8_t>
+expandToBits(const std::vector<uint8_t> &bytes)
+{
+    std::vector<uint8_t> bits;
+    bits.reserve(bytes.size() * 8);
+    for (auto b : bytes) {
+        for (int i = 7; i >= 0; --i)
+            bits.push_back((b >> i) & 1);
+    }
+    return bits;
+}
+
+} // namespace bits
+} // namespace azoo

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bit-level automata construction (Section IX-B).
+ *
+ * File-format metadata patterns contain sub-byte bit fields (the
+ * paper's example: MS-DOS timestamps in PKZip headers, where seconds/2
+ * occupies 5 bits with values 0..29, minutes 6 bits 0..59, hours 5
+ * bits 0..23). Such constraints are awkward as byte regexes but
+ * natural as automata over the alphabet {0,1}. This module builds bit
+ * automata compositionally; transform/stride.hh then converts them to
+ * ordinary byte automata.
+ *
+ * Bit order is MSB-first within each byte, matching stride.hh.
+ */
+
+#ifndef AZOO_BITS_BIT_BUILDER_HH
+#define AZOO_BITS_BIT_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+namespace bits {
+
+/**
+ * Add the byte-boundary alignment ring used to express unanchored
+ * byte-aligned searches in the bit domain: an 8-state cycle of
+ * bit-wildcard states starting at start-of-data whose final state
+ * matches at bit offsets 7 mod 8 and can therefore re-arm pattern
+ * heads at every byte boundary.
+ *
+ * @return the id of the ring state that fires at byte boundaries
+ *         (connect it to pattern head states).
+ */
+ElementId addAlignmentRing(Automaton &a);
+
+/**
+ * Incrementally builds one bit-pattern chain inside an automaton.
+ *
+ * The frontier is the set of states whose match completes the pattern
+ * so far; appending a field fans the frontier into the field's
+ * sub-graph. Patterns must end on a byte boundary before striding.
+ */
+class BitChainBuilder
+{
+  public:
+    /**
+     * @param anchor_ring pass the id from addAlignmentRing() to build
+     *        an unanchored (every byte boundary) pattern, or
+     *        kNoElement for a start-of-data anchored pattern.
+     */
+    BitChainBuilder(Automaton &a, ElementId anchor_ring = kNoElement);
+
+    /** Append one fixed bit (0 or 1). */
+    void appendBit(int b);
+
+    /** Append one wildcard bit. */
+    void appendAnyBit();
+
+    /** Append 8 fixed bits, MSB first. */
+    void appendByte(uint8_t value);
+
+    /** Append 8 bits matching @p value wherever @p care has a 1 bit
+     *  and wildcards elsewhere (nibble wildcards use care=0x0F/0xF0).
+     */
+    void appendMaskedByte(uint8_t value, uint8_t care);
+
+    /** Append @p n wildcard bits. */
+    void appendAnyBits(int n);
+
+    /**
+     * Append a @p width bit unsigned field (MSB first) constrained to
+     * [lo, hi]. Builds the tight-bound decision graph, sharing states
+     * per (level, bit, bound-tightness) so the fragment stays at most
+     * 4 states per level.
+     */
+    void appendRangeField(int width, uint32_t lo, uint32_t hi);
+
+    /** Bits appended so far (must end %8 == 0 before striding). */
+    int bitLength() const { return bit_length_; }
+
+    /** Mark the current frontier as reporting with @p code. */
+    void finishReport(uint32_t code);
+
+    /**
+     * Branching support: builders are copyable, and a copy continues
+     * from the same frontier ("fork"). mergeBranch() unions another
+     * branch's frontier into this one; both branches must have
+     * consumed the same number of bits so byte alignment agrees.
+     */
+    void mergeBranch(const BitChainBuilder &other);
+
+    /** Current frontier (for advanced constructions). */
+    const std::vector<ElementId> &frontier() const { return frontier_; }
+
+  private:
+    /** Create a state labeled for bit @p b, wired from the frontier. */
+    ElementId addState(const CharSet &label);
+
+    /** Replace the frontier with @p states. */
+    void setFrontier(std::vector<ElementId> states);
+
+    Automaton &a_;
+    ElementId ring_;
+    std::vector<ElementId> frontier_;
+    bool at_start_ = true;
+    int bit_length_ = 0;
+};
+
+/** Expand bytes to bit symbols (one byte per bit, MSB first). */
+std::vector<uint8_t> expandToBits(const std::vector<uint8_t> &bytes);
+
+} // namespace bits
+} // namespace azoo
+
+#endif // AZOO_BITS_BIT_BUILDER_HH

@@ -1,0 +1,375 @@
+#include "core/anml.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+
+namespace {
+
+std::string
+xmlEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          case '"': out += "&quot;"; break;
+          case '\'': out += "&apos;"; break;
+          default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+xmlUnescape(const std::string &s)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < s.size()) {
+        if (s[i] != '&') {
+            out.push_back(s[i++]);
+            continue;
+        }
+        if (s.compare(i, 4, "&lt;") == 0) {
+            out.push_back('<');
+            i += 4;
+        } else if (s.compare(i, 4, "&gt;") == 0) {
+            out.push_back('>');
+            i += 4;
+        } else if (s.compare(i, 5, "&amp;") == 0) {
+            out.push_back('&');
+            i += 5;
+        } else if (s.compare(i, 6, "&quot;") == 0) {
+            out.push_back('"');
+            i += 6;
+        } else if (s.compare(i, 6, "&apos;") == 0) {
+            out.push_back('\'');
+            i += 6;
+        } else {
+            fatal(cat("anml: bad entity near '", s.substr(i, 6), "'"));
+        }
+    }
+    return out;
+}
+
+const char *
+startAttr(StartType s)
+{
+    switch (s) {
+      case StartType::kNone: return "none";
+      case StartType::kStartOfData: return "start-of-data";
+      case StartType::kAllInput: return "all-input";
+    }
+    return "none";
+}
+
+const char *
+atTargetAttr(CounterMode m)
+{
+    switch (m) {
+      case CounterMode::kLatch: return "latch";
+      case CounterMode::kPulse: return "pulse";
+      case CounterMode::kRollover: return "roll";
+    }
+    return "latch";
+}
+
+/** One parsed XML tag: name, attributes, open/close/self-closing. */
+struct XmlTag {
+    std::string name;
+    std::map<std::string, std::string> attrs;
+    bool closing = false;     ///< </name>
+    bool selfClosing = false; ///< <name ... />
+};
+
+/** Tiny streaming tag scanner (ignores text content and comments). */
+class XmlScanner
+{
+  public:
+    explicit XmlScanner(std::string text) : text_(std::move(text)) {}
+
+    /** Next tag, or false at end of document. */
+    bool
+    next(XmlTag &tag)
+    {
+        for (;;) {
+            const size_t lt = text_.find('<', pos_);
+            if (lt == std::string::npos)
+                return false;
+            if (text_.compare(lt, 4, "<!--") == 0) {
+                const size_t end = text_.find("-->", lt);
+                if (end == std::string::npos)
+                    fatal("anml: unterminated comment");
+                pos_ = end + 3;
+                continue;
+            }
+            if (text_.compare(lt, 2, "<?") == 0) {
+                const size_t end = text_.find("?>", lt);
+                if (end == std::string::npos)
+                    fatal("anml: unterminated declaration");
+                pos_ = end + 2;
+                continue;
+            }
+            const size_t gt = text_.find('>', lt);
+            if (gt == std::string::npos)
+                fatal("anml: unterminated tag");
+            parseTag(text_.substr(lt + 1, gt - lt - 1), tag);
+            pos_ = gt + 1;
+            return true;
+        }
+    }
+
+  private:
+    void
+    parseTag(std::string body, XmlTag &tag)
+    {
+        tag = XmlTag();
+        body = trim(body);
+        if (!body.empty() && body.front() == '/') {
+            tag.closing = true;
+            body = trim(body.substr(1));
+        }
+        if (!body.empty() && body.back() == '/') {
+            tag.selfClosing = true;
+            body = trim(body.substr(0, body.size() - 1));
+        }
+        size_t i = 0;
+        while (i < body.size() &&
+               !std::isspace(static_cast<unsigned char>(body[i]))) {
+            tag.name.push_back(body[i++]);
+        }
+        // Attributes: name="value".
+        while (i < body.size()) {
+            while (i < body.size() &&
+                   std::isspace(static_cast<unsigned char>(body[i]))) {
+                ++i;
+            }
+            if (i >= body.size())
+                break;
+            std::string name;
+            while (i < body.size() && body[i] != '=' &&
+                   !std::isspace(static_cast<unsigned char>(body[i]))) {
+                name.push_back(body[i++]);
+            }
+            while (i < body.size() &&
+                   (body[i] == '=' ||
+                    std::isspace(static_cast<unsigned char>(body[i])))) {
+                ++i;
+            }
+            if (i >= body.size() || body[i] != '"')
+                fatal(cat("anml: attribute '", name,
+                          "' missing quoted value"));
+            ++i;
+            std::string value;
+            while (i < body.size() && body[i] != '"')
+                value.push_back(body[i++]);
+            if (i >= body.size())
+                fatal("anml: unterminated attribute value");
+            ++i;
+            tag.attrs[name] = xmlUnescape(value);
+        }
+    }
+
+    std::string text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+void
+writeAnml(std::ostream &os, const Automaton &a)
+{
+    os << "<anml version=\"1.0\">\n";
+    os << "  <automata-network id=\""
+       << xmlEscape(a.name().empty() ? "unnamed" : a.name())
+       << "\">\n";
+    for (ElementId i = 0; i < a.size(); ++i) {
+        const Element &e = a.element(i);
+        if (e.kind == ElementKind::kSte) {
+            os << "    <state-transition-element id=\"_" << i
+               << "\" symbol-set=\"" << xmlEscape(e.symbols.str())
+               << "\" start=\"" << startAttr(e.start) << "\">\n";
+            if (e.reporting) {
+                os << "      <report-on-match reportcode=\""
+                   << e.reportCode << "\"/>\n";
+            }
+            for (auto t : e.out) {
+                os << "      <activate-on-match element=\"_" << t
+                   << (a.element(t).kind == ElementKind::kCounter
+                           ? ":cnt" : "")
+                   << "\"/>\n";
+            }
+            for (auto t : e.resetOut) {
+                os << "      <activate-on-match element=\"_" << t
+                   << ":rst\"/>\n";
+            }
+            os << "    </state-transition-element>\n";
+        } else {
+            os << "    <counter id=\"_" << i << "\" target=\""
+               << e.target << "\" at-target=\""
+               << atTargetAttr(e.mode) << "\">\n";
+            if (e.reporting) {
+                os << "      <report-on-target reportcode=\""
+                   << e.reportCode << "\"/>\n";
+            }
+            for (auto t : e.out) {
+                os << "      <activate-on-target element=\"_" << t
+                   << "\"/>\n";
+            }
+            os << "    </counter>\n";
+        }
+    }
+    os << "  </automata-network>\n</anml>\n";
+}
+
+Automaton
+readAnml(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    XmlScanner scanner(buf.str());
+
+    Automaton a;
+    std::map<std::string, ElementId> by_id;
+    // Deferred connections: (from, target-id-with-optional-port).
+    std::vector<std::pair<ElementId, std::string>> pending;
+    ElementId current = kNoElement;
+    bool in_network = false;
+
+    XmlTag tag;
+    while (scanner.next(tag)) {
+        if (tag.name == "anml" || tag.name == "description")
+            continue;
+        if (tag.name == "automata-network") {
+            if (!tag.closing) {
+                in_network = true;
+                auto it = tag.attrs.find("id");
+                if (it != tag.attrs.end())
+                    a.setName(it->second);
+            }
+            continue;
+        }
+        if (!in_network && !tag.closing)
+            fatal(cat("anml: element '", tag.name,
+                      "' outside automata-network"));
+
+        if (tag.name == "state-transition-element") {
+            if (tag.closing) {
+                current = kNoElement;
+                continue;
+            }
+            const std::string &ss = tag.attrs["symbol-set"];
+            CharSet cs;
+            if (ss == "*") {
+                cs = CharSet::all();
+            } else if (ss.size() >= 2 && ss.front() == '[' &&
+                       ss.back() == ']') {
+                cs = CharSet::fromExpr(ss.substr(1, ss.size() - 2));
+            } else {
+                fatal(cat("anml: bad symbol-set '", ss, "'"));
+            }
+            StartType start = StartType::kNone;
+            const std::string &st = tag.attrs["start"];
+            if (st == "start-of-data")
+                start = StartType::kStartOfData;
+            else if (st == "all-input")
+                start = StartType::kAllInput;
+            else if (!st.empty() && st != "none")
+                fatal(cat("anml: bad start '", st, "'"));
+            current = a.addSte(cs, start);
+            by_id[tag.attrs["id"]] = current;
+            if (tag.selfClosing)
+                current = kNoElement;
+        } else if (tag.name == "counter") {
+            if (tag.closing) {
+                current = kNoElement;
+                continue;
+            }
+            CounterMode mode = CounterMode::kLatch;
+            const std::string &at = tag.attrs["at-target"];
+            if (at == "pulse")
+                mode = CounterMode::kPulse;
+            else if (at == "roll" || at == "rollover")
+                mode = CounterMode::kRollover;
+            else if (!at.empty() && at != "latch")
+                fatal(cat("anml: bad at-target '", at, "'"));
+            current = a.addCounter(
+                static_cast<uint32_t>(
+                    std::stoul(tag.attrs["target"])),
+                mode);
+            by_id[tag.attrs["id"]] = current;
+            if (tag.selfClosing)
+                current = kNoElement;
+        } else if (tag.name == "report-on-match" ||
+                   tag.name == "report-on-target") {
+            if (current == kNoElement)
+                fatal(cat("anml: ", tag.name, " outside an element"));
+            a.element(current).reporting = true;
+            auto it = tag.attrs.find("reportcode");
+            if (it != tag.attrs.end()) {
+                a.element(current).reportCode =
+                    static_cast<uint32_t>(std::stoul(it->second));
+            }
+        } else if (tag.name == "activate-on-match" ||
+                   tag.name == "activate-on-target") {
+            if (current == kNoElement)
+                fatal(cat("anml: ", tag.name, " outside an element"));
+            pending.emplace_back(current, tag.attrs["element"]);
+        } else if (!tag.closing) {
+            fatal(cat("anml: unsupported element '", tag.name, "'"));
+        }
+    }
+
+    for (const auto &[from, target] : pending) {
+        std::string id = target;
+        bool reset = false;
+        const size_t colon = id.find(':');
+        if (colon != std::string::npos) {
+            const std::string port = id.substr(colon + 1);
+            id = id.substr(0, colon);
+            if (port == "rst")
+                reset = true;
+            else if (port != "cnt" && port != "i")
+                fatal(cat("anml: unknown port '", port, "'"));
+        }
+        auto it = by_id.find(id);
+        if (it == by_id.end())
+            fatal(cat("anml: connection to unknown element '", id,
+                      "'"));
+        if (reset)
+            a.addResetEdge(from, it->second);
+        else
+            a.addEdge(from, it->second);
+    }
+    a.validate();
+    return a;
+}
+
+void
+saveAnml(const std::string &path, const Automaton &a)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal(cat("cannot open for write: ", path));
+    writeAnml(f, a);
+}
+
+Automaton
+loadAnml(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(cat("cannot open for read: ", path));
+    return readAnml(f);
+}
+
+} // namespace azoo

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ANML serialization: Micron's Automata Network Markup Language, the
+ * XML format the AP SDK and the original ANMLZoo/AutomataZoo
+ * distributions use.
+ *
+ * Supported elements (the subset our model covers):
+ *
+ *  - <state-transition-element id symbol-set start>, with
+ *    <report-on-match reportcode> and <activate-on-match element>;
+ *  - <counter id target at-target>, with <report-on-target> and
+ *    <activate-on-target element>; reset connections use the AP's
+ *    ":rst" port suffix on the target element id.
+ *
+ * The XML reader is a small self-contained parser for the documents
+ * this writer produces and equivalent hand-authored files.
+ */
+
+#ifndef AZOO_CORE_ANML_HH
+#define AZOO_CORE_ANML_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Write @p a as an ANML document. */
+void writeAnml(std::ostream &os, const Automaton &a);
+
+/** Parse an ANML document; fatal() on malformed input. */
+Automaton readAnml(std::istream &is);
+
+/** File convenience wrappers. */
+void saveAnml(const std::string &path, const Automaton &a);
+Automaton loadAnml(const std::string &path);
+
+} // namespace azoo
+
+#endif // AZOO_CORE_ANML_HH

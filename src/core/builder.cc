@@ -1,0 +1,78 @@
+#include "core/builder.hh"
+
+#include <cctype>
+
+namespace azoo {
+
+ElementId
+addChain(Automaton &a, const std::vector<CharSet> &labels, StartType start,
+         bool report_last, uint32_t report_code)
+{
+    ElementId prev = kNoElement;
+    ElementId first = kNoElement;
+    for (size_t i = 0; i < labels.size(); ++i) {
+        bool last = i + 1 == labels.size();
+        ElementId id = a.addSte(labels[i],
+                                i == 0 ? start : StartType::kNone,
+                                last && report_last, report_code);
+        if (first == kNoElement)
+            first = id;
+        if (prev != kNoElement)
+            a.addEdge(prev, id);
+        prev = id;
+    }
+    return prev;
+}
+
+ElementId
+addLiteral(Automaton &a, const std::string &literal, StartType start,
+           bool report_last, uint32_t report_code)
+{
+    return addChain(a, literalLabels(literal), start, report_last,
+                    report_code);
+}
+
+ElementId
+addLiteralNocase(Automaton &a, const std::string &literal, StartType start,
+                 bool report_last, uint32_t report_code)
+{
+    return addChain(a, nocaseLabels(literal), start, report_last,
+                    report_code);
+}
+
+ElementId
+addStarState(Automaton &a, const CharSet &symbols)
+{
+    ElementId id = a.addSte(symbols, StartType::kAllInput);
+    a.addEdge(id, id);
+    return id;
+}
+
+std::vector<CharSet>
+literalLabels(const std::string &literal)
+{
+    std::vector<CharSet> labels;
+    labels.reserve(literal.size());
+    for (char c : literal)
+        labels.push_back(CharSet::single(static_cast<uint8_t>(c)));
+    return labels;
+}
+
+std::vector<CharSet>
+nocaseLabels(const std::string &literal)
+{
+    std::vector<CharSet> labels;
+    labels.reserve(literal.size());
+    for (char c : literal) {
+        auto uc = static_cast<unsigned char>(c);
+        CharSet cs = CharSet::single(uc);
+        if (std::isalpha(uc)) {
+            cs.set(static_cast<uint8_t>(std::tolower(uc)));
+            cs.set(static_cast<uint8_t>(std::toupper(uc)));
+        }
+        labels.push_back(cs);
+    }
+    return labels;
+}
+
+} // namespace azoo

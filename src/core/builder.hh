@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Convenience construction helpers shared by the benchmark generators.
+ *
+ * Most AutomataZoo automata are unions of many small "filter"
+ * subgraphs built from a handful of shapes: literal chains, labeled
+ * chains, and self-looping star states. These helpers keep the
+ * generators terse and uniform.
+ */
+
+#ifndef AZOO_CORE_BUILDER_HH
+#define AZOO_CORE_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/**
+ * Append a chain of STEs labeled by @p labels.
+ *
+ * The first state gets @p start; each state connects to the next; the
+ * final state reports with @p report_code if @p report_last.
+ *
+ * @return id of the final state of the chain (kNoElement if labels is
+ *         empty).
+ */
+ElementId addChain(Automaton &a, const std::vector<CharSet> &labels,
+                   StartType start, bool report_last,
+                   uint32_t report_code);
+
+/**
+ * Append a chain matching the exact byte string @p literal.
+ * @return id of the final state.
+ */
+ElementId addLiteral(Automaton &a, const std::string &literal,
+                     StartType start, bool report_last,
+                     uint32_t report_code);
+
+/**
+ * Append a case-insensitive literal chain (ASCII letters match both
+ * cases). @return id of the final state.
+ */
+ElementId addLiteralNocase(Automaton &a, const std::string &literal,
+                           StartType start, bool report_last,
+                           uint32_t report_code);
+
+/**
+ * Append a self-looping star state ("dot-star"): an all-input start
+ * STE matching @p symbols with a self edge. Used as the spine of
+ * unanchored searches over restricted alphabets.
+ * @return the state id.
+ */
+ElementId addStarState(Automaton &a, const CharSet &symbols);
+
+/** Labels for the exact byte string (helper for the above). */
+std::vector<CharSet> literalLabels(const std::string &literal);
+
+/** Labels matching the literal case-insensitively. */
+std::vector<CharSet> nocaseLabels(const std::string &literal);
+
+} // namespace azoo
+
+#endif // AZOO_CORE_BUILDER_HH

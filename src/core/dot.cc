@@ -1,0 +1,80 @@
+#include "core/dot.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+namespace {
+
+std::string
+dotEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+writeDot(std::ostream &os, const Automaton &a, size_t max_elements)
+{
+    const size_t n = std::min(a.size(), max_elements);
+    os << "digraph \"" << dotEscape(a.name()) << "\" {\n"
+       << "  rankdir=LR;\n  node [fontsize=10];\n";
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        os << "  n" << i << " [";
+        if (e.kind == ElementKind::kSte) {
+            os << "label=\"" << i << "\\n"
+               << dotEscape(e.symbols.str()) << "\" shape="
+               << (e.reporting ? "doublecircle" : "circle");
+            if (e.start == StartType::kAllInput)
+                os << " style=bold color=blue";
+            else if (e.start == StartType::kStartOfData)
+                os << " style=bold color=darkgreen";
+        } else {
+            os << "label=\"cnt " << i << "\\n>=" << e.target
+               << "\" shape=" << (e.reporting ? "Msquare" : "box");
+        }
+        if (e.reporting)
+            os << " xlabel=\"r" << e.reportCode << "\"";
+        os << "];\n";
+    }
+    if (a.size() > n) {
+        os << "  truncated [label=\"... " << (a.size() - n)
+           << " more\" shape=plaintext];\n";
+    }
+    for (ElementId i = 0; i < n; ++i) {
+        for (auto t : a.element(i).out) {
+            if (t < n)
+                os << "  n" << i << " -> n" << t << ";\n";
+        }
+        for (auto t : a.element(i).resetOut) {
+            if (t < n) {
+                os << "  n" << i << " -> n" << t
+                   << " [style=dashed label=rst];\n";
+            }
+        }
+    }
+    os << "}\n";
+}
+
+void
+saveDot(const std::string &path, const Automaton &a,
+        size_t max_elements)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal(cat("cannot open for write: ", path));
+    writeDot(f, a, max_elements);
+}
+
+} // namespace azoo

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Graphviz DOT export for automata visualization (the debugging
+ * facility every automata SDK grows): states render with their
+ * symbol sets, start states with bold borders, reporting elements as
+ * double circles, counters as boxes, reset edges dashed.
+ */
+
+#ifndef AZOO_CORE_DOT_HH
+#define AZOO_CORE_DOT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Write a Graphviz digraph for @p a. @p max_elements truncates huge
+ *  automata (a "..." node marks the cut). */
+void writeDot(std::ostream &os, const Automaton &a,
+              size_t max_elements = 2000);
+
+/** File convenience wrapper. */
+void saveDot(const std::string &path, const Automaton &a,
+             size_t max_elements = 2000);
+
+} // namespace azoo
+
+#endif // AZOO_CORE_DOT_HH

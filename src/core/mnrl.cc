@@ -1,0 +1,471 @@
+#include "core/mnrl.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser. Only what
+// MNRL documents need: objects, arrays, strings, numbers, booleans.
+// ---------------------------------------------------------------
+
+struct JsonValue;
+using JsonPtr = std::unique_ptr<JsonValue>;
+
+struct JsonValue {
+    enum class Kind { kObject, kArray, kString, kNumber, kBool,
+                      kNull } kind = Kind::kNull;
+    std::map<std::string, JsonPtr> object;
+    std::vector<JsonPtr> array;
+    std::string str;
+    double num = 0;
+    bool boolean = false;
+
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : it->second.get();
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+    JsonPtr
+    run()
+    {
+        JsonPtr v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            die("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    die(const std::string &what)
+    {
+        fatal(cat("mnrl json: ", what, " at offset ", pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            die("unexpected end");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            die(cat("expected '", std::string(1, c), "'"));
+        ++pos_;
+    }
+
+    JsonPtr
+    parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            pos_ += 4;
+            return std::make_unique<JsonValue>();
+        }
+        return parseNumber();
+    }
+
+    JsonPtr
+    parseObject()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::kObject;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            JsonPtr key = parseString();
+            expect(':');
+            v->object[key->str] = parseValue();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonPtr
+    parseArray()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::kArray;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v->array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonPtr
+    parseString()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::kString;
+        expect('"');
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    die("bad escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case 'n': v->str.push_back('\n'); break;
+                  case 't': v->str.push_back('\t'); break;
+                  case 'r': v->str.push_back('\r'); break;
+                  case '"': v->str.push_back('"'); break;
+                  case '\\': v->str.push_back('\\'); break;
+                  case '/': v->str.push_back('/'); break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        die("bad \\u escape");
+                    int code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        int h = hexValue(text_[pos_++]);
+                        if (h < 0)
+                            die("bad \\u escape");
+                        code = code * 16 + h;
+                    }
+                    if (code > 0xFF)
+                        die("non-byte \\u escape");
+                    v->str.push_back(static_cast<char>(code));
+                    break;
+                  }
+                  default:
+                    die("bad escape");
+                }
+            } else {
+                v->str.push_back(c);
+            }
+        }
+        if (pos_ >= text_.size())
+            die("unterminated string");
+        ++pos_; // closing quote
+        return v;
+    }
+
+    JsonPtr
+    parseBool()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::kBool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v->boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v->boolean = false;
+            pos_ += 5;
+        } else {
+            die("bad literal");
+        }
+        return v;
+    }
+
+    JsonPtr
+    parseNumber()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::kNumber;
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E')) {
+            ++pos_;
+        }
+        if (start == pos_)
+            die("bad number");
+        v->num = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                             nullptr);
+        return v;
+    }
+
+    std::string text_;
+    size_t pos_ = 0;
+};
+
+/** Escape a string for JSON output (bytes as \u00NN). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        auto uc = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (uc < 0x20 || uc >= 0x7f) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+const char *
+enableName(StartType s)
+{
+    switch (s) {
+      case StartType::kNone: return "onActivateIn";
+      case StartType::kStartOfData: return "onStartAndActivateIn";
+      case StartType::kAllInput: return "always";
+    }
+    return "onActivateIn";
+}
+
+const char *
+modeName(CounterMode m)
+{
+    switch (m) {
+      case CounterMode::kLatch: return "latch";
+      case CounterMode::kPulse: return "pulse";
+      case CounterMode::kRollover: return "rollover";
+    }
+    return "latch";
+}
+
+std::string
+symbolSetString(const CharSet &cs)
+{
+    return cs.str(); // "*" or "[...]"
+}
+
+} // namespace
+
+void
+writeMnrl(std::ostream &os, const Automaton &a)
+{
+    os << "{\n  \"id\": \""
+       << jsonEscape(a.name().empty() ? "unnamed" : a.name())
+       << "\",\n  \"nodes\": [\n";
+    for (ElementId i = 0; i < a.size(); ++i) {
+        const Element &e = a.element(i);
+        os << "    {\"id\": \"_" << i << "\", ";
+        if (e.kind == ElementKind::kSte) {
+            os << "\"type\": \"hState\", \"enable\": \""
+               << enableName(e.start) << "\", ";
+        } else {
+            os << "\"type\": \"upCounter\", ";
+        }
+        os << "\"report\": " << (e.reporting ? "true" : "false");
+        if (e.reporting)
+            os << ", \"reportId\": " << e.reportCode;
+        os << ", \"attributes\": {";
+        if (e.kind == ElementKind::kSte) {
+            os << "\"symbolSet\": \""
+               << jsonEscape(symbolSetString(e.symbols)) << "\"";
+        } else {
+            os << "\"threshold\": " << e.target << ", \"mode\": \""
+               << modeName(e.mode) << "\"";
+        }
+        os << "}, \"outputConnections\": [";
+        bool first = true;
+        for (auto t : e.out) {
+            os << (first ? "" : ", ") << "{\"id\": \"_" << t
+               << "\", \"port\": \""
+               << (a.element(t).kind == ElementKind::kCounter ? "cnt"
+                                                              : "i")
+               << "\"}";
+            first = false;
+        }
+        for (auto t : e.resetOut) {
+            os << (first ? "" : ", ") << "{\"id\": \"_" << t
+               << "\", \"port\": \"rst\"}";
+            first = false;
+        }
+        os << "]}" << (i + 1 < a.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+Automaton
+readMnrl(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    JsonPtr root = JsonParser(buf.str()).run();
+    if (root->kind != JsonValue::Kind::kObject)
+        fatal("mnrl: root is not an object");
+
+    Automaton a;
+    if (const JsonValue *id = root->get("id"))
+        a.setName(id->str);
+
+    const JsonValue *nodes = root->get("nodes");
+    if (!nodes || nodes->kind != JsonValue::Kind::kArray)
+        fatal("mnrl: missing nodes array");
+
+    // First pass: create elements, remember ids.
+    std::map<std::string, ElementId> by_id;
+    for (const auto &n : nodes->array) {
+        const JsonValue *id = n->get("id");
+        const JsonValue *type = n->get("type");
+        if (!id || !type)
+            fatal("mnrl: node missing id or type");
+        const JsonValue *report = n->get("report");
+        const bool reporting =
+            report && report->kind == JsonValue::Kind::kBool &&
+            report->boolean;
+        uint32_t code = 0;
+        if (const JsonValue *rid = n->get("reportId"))
+            code = static_cast<uint32_t>(rid->num);
+        const JsonValue *attrs = n->get("attributes");
+
+        ElementId eid;
+        if (type->str == "hState") {
+            StartType start = StartType::kNone;
+            if (const JsonValue *en = n->get("enable")) {
+                if (en->str == "onStartAndActivateIn")
+                    start = StartType::kStartOfData;
+                else if (en->str == "always")
+                    start = StartType::kAllInput;
+                else if (en->str != "onActivateIn")
+                    fatal(cat("mnrl: unsupported enable '", en->str,
+                              "'"));
+            }
+            const JsonValue *ss =
+                attrs ? attrs->get("symbolSet") : nullptr;
+            if (!ss)
+                fatal("mnrl: hState missing attributes.symbolSet");
+            CharSet cs;
+            if (ss->str == "*") {
+                cs = CharSet::all();
+            } else if (ss->str.size() >= 2 && ss->str.front() == '[' &&
+                       ss->str.back() == ']') {
+                cs = CharSet::fromExpr(
+                    ss->str.substr(1, ss->str.size() - 2));
+            } else {
+                fatal(cat("mnrl: bad symbolSet '", ss->str, "'"));
+            }
+            eid = a.addSte(cs, start, reporting, code);
+        } else if (type->str == "upCounter") {
+            const JsonValue *th =
+                attrs ? attrs->get("threshold") : nullptr;
+            if (!th)
+                fatal("mnrl: upCounter missing threshold");
+            CounterMode mode = CounterMode::kLatch;
+            if (const JsonValue *m = attrs->get("mode")) {
+                if (m->str == "pulse")
+                    mode = CounterMode::kPulse;
+                else if (m->str == "rollover")
+                    mode = CounterMode::kRollover;
+                else if (m->str != "latch")
+                    fatal(cat("mnrl: bad counter mode '", m->str,
+                              "'"));
+            }
+            eid = a.addCounter(static_cast<uint32_t>(th->num), mode,
+                               reporting, code);
+        } else {
+            fatal(cat("mnrl: unsupported node type '", type->str,
+                      "'"));
+        }
+        if (!by_id.emplace(id->str, eid).second)
+            fatal(cat("mnrl: duplicate node id '", id->str, "'"));
+    }
+
+    // Second pass: connections.
+    size_t idx = 0;
+    for (const auto &n : nodes->array) {
+        const ElementId from = static_cast<ElementId>(idx++);
+        const JsonValue *conns = n->get("outputConnections");
+        if (!conns)
+            continue;
+        for (const auto &c : conns->array) {
+            const JsonValue *cid = c->get("id");
+            if (!cid)
+                fatal("mnrl: connection missing id");
+            auto it = by_id.find(cid->str);
+            if (it == by_id.end())
+                fatal(cat("mnrl: connection to unknown node '",
+                          cid->str, "'"));
+            std::string port = "i";
+            if (const JsonValue *p = c->get("port"))
+                port = p->str;
+            if (port == "rst")
+                a.addResetEdge(from, it->second);
+            else
+                a.addEdge(from, it->second);
+        }
+    }
+    a.validate();
+    return a;
+}
+
+void
+saveMnrl(const std::string &path, const Automaton &a)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal(cat("cannot open for write: ", path));
+    writeMnrl(f, a);
+}
+
+Automaton
+loadMnrl(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(cat("cannot open for read: ", path));
+    return readMnrl(f);
+}
+
+} // namespace azoo

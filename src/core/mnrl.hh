@@ -1,0 +1,45 @@
+/**
+ * @file
+ * MNRL serialization: JSON interchange with the MNCaRT ecosystem.
+ *
+ * MNRL (the "MNCaRT Network Representation Language") is the open
+ * automata format the paper's toolchain standardizes on ("MNCaRT
+ * includes the VASim automata SDK and pcre2mnrl"). This module writes
+ * and reads the MNRL subset our element model covers:
+ *
+ *  - hState nodes: homogeneous states with attributes.symbolSet,
+ *    enable semantics onActivateIn / onStartAndActivateIn / always,
+ *    report flag + reportId, and activate-on-match output
+ *    connections;
+ *  - upCounter nodes: attributes.threshold and mode (latch / pulse /
+ *    rollover), count ("cnt") and reset ("rst") input ports.
+ *
+ * The JSON reader is a small self-contained parser (no external
+ * dependency); it accepts the documents this writer produces as well
+ * as hand-authored files using the same node schema.
+ */
+
+#ifndef AZOO_CORE_MNRL_HH
+#define AZOO_CORE_MNRL_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Write @p a as an MNRL JSON document. */
+void writeMnrl(std::ostream &os, const Automaton &a);
+
+/** Parse an MNRL JSON document; fatal() on malformed input or
+ *  unsupported node types. */
+Automaton readMnrl(std::istream &is);
+
+/** File convenience wrappers. */
+void saveMnrl(const std::string &path, const Automaton &a);
+Automaton loadMnrl(const std::string &path);
+
+} // namespace azoo
+
+#endif // AZOO_CORE_MNRL_HH

@@ -1,0 +1,214 @@
+#include "core/serialize.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+
+namespace {
+
+const char *
+startName(StartType s)
+{
+    switch (s) {
+      case StartType::kNone: return "none";
+      case StartType::kStartOfData: return "sod";
+      case StartType::kAllInput: return "all";
+    }
+    return "none";
+}
+
+StartType
+parseStart(const std::string &s)
+{
+    if (s == "none")
+        return StartType::kNone;
+    if (s == "sod")
+        return StartType::kStartOfData;
+    if (s == "all")
+        return StartType::kAllInput;
+    fatal(cat("azml: bad start type '", s, "'"));
+}
+
+const char *
+modeName(CounterMode m)
+{
+    switch (m) {
+      case CounterMode::kLatch: return "latch";
+      case CounterMode::kPulse: return "pulse";
+      case CounterMode::kRollover: return "rollover";
+    }
+    return "latch";
+}
+
+CounterMode
+parseMode(const std::string &s)
+{
+    if (s == "latch")
+        return CounterMode::kLatch;
+    if (s == "pulse")
+        return CounterMode::kPulse;
+    if (s == "rollover")
+        return CounterMode::kRollover;
+    fatal(cat("azml: bad counter mode '", s, "'"));
+}
+
+std::string
+reportField(const Element &e)
+{
+    return e.reporting ? std::to_string(e.reportCode) : std::string("-");
+}
+
+/** Split "key=value"; fatal if the key does not match. */
+std::string
+expectKv(const std::string &token, const std::string &key)
+{
+    auto eq = token.find('=');
+    if (eq == std::string::npos || token.substr(0, eq) != key)
+        fatal(cat("azml: expected '", key, "=...', got '", token, "'"));
+    return token.substr(eq + 1);
+}
+
+} // namespace
+
+void
+writeAzml(std::ostream &os, const Automaton &a)
+{
+    os << "automaton " << (a.name().empty() ? "unnamed" : a.name())
+       << "\n";
+    for (ElementId i = 0; i < a.size(); ++i) {
+        const Element &e = a.element(i);
+        if (e.kind == ElementKind::kSte) {
+            os << "ste " << i << " start=" << startName(e.start)
+               << " report=" << reportField(e)
+               << " symbols=" << e.symbols.str() << "\n";
+        } else {
+            os << "counter " << i << " target=" << e.target
+               << " mode=" << modeName(e.mode)
+               << " report=" << reportField(e) << "\n";
+        }
+    }
+    for (ElementId i = 0; i < a.size(); ++i) {
+        for (auto t : a.element(i).out)
+            os << "edge " << i << " " << t << "\n";
+        for (auto t : a.element(i).resetOut)
+            os << "reset " << i << " " << t << "\n";
+    }
+    os << "end\n";
+}
+
+Automaton
+readAzml(std::istream &is)
+{
+    Automaton a;
+    std::string line;
+    bool saw_header = false;
+    bool saw_end = false;
+    size_t lineno = 0;
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw;
+
+        if (kw == "automaton") {
+            std::string name;
+            ls >> name;
+            a.setName(name);
+            saw_header = true;
+        } else if (kw == "ste") {
+            ElementId id;
+            std::string start_tok, report_tok, symbols_tok;
+            ls >> id >> start_tok >> report_tok;
+            // symbols= may contain spaces? CharSet::str() never emits
+            // spaces (space escapes as \x20), so a single token is fine.
+            ls >> symbols_tok;
+            if (id != a.size())
+                fatal(cat("azml:", lineno, ": ste id ", id,
+                          " out of order"));
+            std::string report = expectKv(report_tok, "report");
+            std::string sym = expectKv(symbols_tok, "symbols");
+            CharSet cs;
+            if (sym == "*") {
+                cs = CharSet::all();
+            } else {
+                if (sym.size() < 2 || sym.front() != '[' ||
+                    sym.back() != ']') {
+                    fatal(cat("azml:", lineno, ": bad symbols '", sym,
+                              "'"));
+                }
+                cs = CharSet::fromExpr(sym.substr(1, sym.size() - 2));
+            }
+            bool reporting = report != "-";
+            a.addSte(cs, parseStart(expectKv(start_tok, "start")),
+                     reporting,
+                     reporting ? std::stoul(report) : 0);
+        } else if (kw == "counter") {
+            ElementId id;
+            std::string target_tok, mode_tok, report_tok;
+            ls >> id >> target_tok >> mode_tok >> report_tok;
+            if (id != a.size())
+                fatal(cat("azml:", lineno, ": counter id ", id,
+                          " out of order"));
+            std::string report = expectKv(report_tok, "report");
+            bool reporting = report != "-";
+            a.addCounter(std::stoul(expectKv(target_tok, "target")),
+                         parseMode(expectKv(mode_tok, "mode")),
+                         reporting,
+                         reporting ? std::stoul(report) : 0);
+        } else if (kw == "edge") {
+            ElementId from, to;
+            ls >> from >> to;
+            if (from >= a.size() || to >= a.size())
+                fatal(cat("azml:", lineno, ": edge endpoint out of "
+                          "range"));
+            a.addEdge(from, to);
+        } else if (kw == "reset") {
+            ElementId from, to;
+            ls >> from >> to;
+            if (from >= a.size() || to >= a.size())
+                fatal(cat("azml:", lineno, ": reset endpoint out of "
+                          "range"));
+            a.addResetEdge(from, to);
+        } else if (kw == "end") {
+            saw_end = true;
+            break;
+        } else {
+            fatal(cat("azml:", lineno, ": unknown keyword '", kw, "'"));
+        }
+    }
+
+    if (!saw_header)
+        fatal("azml: missing 'automaton' header");
+    if (!saw_end)
+        fatal("azml: missing 'end'");
+    a.validate();
+    return a;
+}
+
+void
+saveAzml(const std::string &path, const Automaton &a)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal(cat("cannot open for write: ", path));
+    writeAzml(f, a);
+}
+
+Automaton
+loadAzml(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal(cat("cannot open for read: ", path));
+    return readAzml(f);
+}
+
+} // namespace azoo

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Textual serialization of automata (".azml" format).
+ *
+ * AutomataZoo distributes benchmarks as files in an open automata
+ * format (ANML/MNRL). This module provides our equivalent: a simple,
+ * line-oriented, diff-friendly text format that round-trips every
+ * feature of core::Automaton, so generated benchmarks can be saved,
+ * shared, and reloaded without regeneration.
+ *
+ * Format:
+ * @code
+ *   automaton <name>
+ *   ste <id> start=<none|sod|all> report=<-|code> symbols=<*|[expr]>
+ *   counter <id> target=<n> mode=<latch|pulse|rollover> report=<-|code>
+ *   edge <from> <to>
+ *   reset <from> <to>
+ *   end
+ * @endcode
+ * Element lines must appear in id order starting from 0. Lines
+ * beginning with '#' are comments.
+ */
+
+#ifndef AZOO_CORE_SERIALIZE_HH
+#define AZOO_CORE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Write an automaton in azml form. */
+void writeAzml(std::ostream &os, const Automaton &a);
+
+/** Parse an automaton from azml text; fatal() on malformed input. */
+Automaton readAzml(std::istream &is);
+
+/** File convenience wrappers. */
+void saveAzml(const std::string &path, const Automaton &a);
+Automaton loadAzml(const std::string &path);
+
+} // namespace azoo
+
+#endif // AZOO_CORE_SERIALIZE_HH

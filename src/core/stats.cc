@@ -1,0 +1,42 @@
+#include "core/stats.hh"
+
+#include <cmath>
+
+namespace azoo {
+
+GraphStats
+computeStats(const Automaton &a)
+{
+    GraphStats s;
+    s.states = a.countKind(ElementKind::kSte);
+    s.counters = a.countKind(ElementKind::kCounter);
+    s.edges = a.edgeCount();
+    const uint64_t total = s.states + s.counters;
+    s.edgesPerNode = total ? static_cast<double>(s.edges) / total : 0.0;
+
+    for (const auto &e : a.elements()) {
+        s.reporting += e.reporting;
+        s.startStates += e.start != StartType::kNone;
+    }
+
+    uint32_t comp_count = 0;
+    auto labels = a.connectedComponents(comp_count);
+    s.subgraphs = comp_count;
+    if (comp_count > 0) {
+        std::vector<uint64_t> sizes(comp_count, 0);
+        for (auto l : labels)
+            ++sizes[l];
+        double mean = static_cast<double>(total) / comp_count;
+        double var = 0;
+        for (auto sz : sizes) {
+            double d = static_cast<double>(sz) - mean;
+            var += d * d;
+        }
+        var /= comp_count;
+        s.avgSubgraph = mean;
+        s.stdSubgraph = std::sqrt(var);
+    }
+    return s;
+}
+
+} // namespace azoo

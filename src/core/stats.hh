@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Static graph statistics: the structural columns of the paper's
+ * Table I (states, edges, edges/node, subgraph count, average subgraph
+ * size and its standard deviation).
+ */
+
+#ifndef AZOO_CORE_STATS_HH
+#define AZOO_CORE_STATS_HH
+
+#include <cstdint>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Structural summary of one benchmark automaton. */
+struct GraphStats {
+    uint64_t states = 0;       ///< STE count (counters tallied apart)
+    uint64_t counters = 0;     ///< counter element count
+    uint64_t edges = 0;        ///< activation edges
+    double edgesPerNode = 0;   ///< edges / total elements
+    uint32_t subgraphs = 0;    ///< connected components
+    double avgSubgraph = 0;    ///< mean component size (elements)
+    double stdSubgraph = 0;    ///< population std dev of comp. size
+    uint64_t reporting = 0;    ///< reporting element count
+    uint64_t startStates = 0;  ///< elements with a start type
+};
+
+/** Compute structural statistics in one pass over the automaton. */
+GraphStats computeStats(const Automaton &a);
+
+} // namespace azoo
+
+#endif // AZOO_CORE_STATS_HH

@@ -1,0 +1,299 @@
+#include "engine/multidfa_engine.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+MultiDfaEngine::MultiDfaEngine(const Automaton &a,
+                               const MultiDfaOptions &opts)
+    : a_(a), opts_(opts)
+{
+    uint32_t comp_count = 0;
+    auto labels = a.connectedComponents(comp_count);
+
+    std::vector<std::vector<ElementId>> members(comp_count);
+    for (ElementId i = 0; i < a.size(); ++i)
+        members[labels[i]].push_back(i);
+
+    std::vector<const std::vector<ElementId> *> fallback_comps;
+    for (uint32_t c = 0; c < comp_count; ++c) {
+        bool has_counter = false;
+        for (auto id : members[c]) {
+            if (a.element(id).kind == ElementKind::kCounter) {
+                has_counter = true;
+                break;
+            }
+        }
+        Dfa dfa;
+        if (!has_counter && buildDfa(members[c], dfa)) {
+            dfas_.push_back(std::move(dfa));
+        } else {
+            fallback_comps.push_back(&members[c]);
+        }
+    }
+
+    fallbackComponentCount_ = fallback_comps.size();
+    if (!fallback_comps.empty()) {
+        fallback_ = std::make_unique<Automaton>(a.name() + ".fallback");
+        std::unordered_map<ElementId, ElementId> to_local;
+        for (const auto *comp : fallback_comps) {
+            for (auto id : *comp) {
+                const Element &e = a.element(id);
+                ElementId local;
+                if (e.kind == ElementKind::kSte) {
+                    local = fallback_->addSte(e.symbols, e.start,
+                                              e.reporting, e.reportCode);
+                } else {
+                    local = fallback_->addCounter(e.target, e.mode,
+                                                  e.reporting,
+                                                  e.reportCode);
+                }
+                to_local[id] = local;
+                fallbackToGlobal_.push_back(id);
+            }
+        }
+        for (const auto *comp : fallback_comps) {
+            for (auto id : *comp) {
+                for (auto t : a.element(id).out)
+                    fallback_->addEdge(to_local[id], to_local[t]);
+                for (auto t : a.element(id).resetOut)
+                    fallback_->addResetEdge(to_local[id], to_local[t]);
+            }
+        }
+        fallbackEngine_ = std::make_unique<NfaEngine>(*fallback_);
+    }
+}
+
+bool
+MultiDfaEngine::buildDfa(const std::vector<ElementId> &members,
+                         Dfa &dfa) const
+{
+    const auto m = static_cast<uint32_t>(members.size());
+
+    // Local remap.
+    std::unordered_map<ElementId, uint32_t> to_local;
+    to_local.reserve(m);
+    for (uint32_t i = 0; i < m; ++i)
+        to_local[members[i]] = i;
+
+    // Local views.
+    std::vector<const CharSet *> sym(m);
+    std::vector<std::vector<uint32_t>> out(m);
+    std::vector<uint8_t> reporting(m);
+    std::vector<uint32_t> always_local; // all-input states
+    std::vector<uint32_t> start0;       // enabled at cycle 0
+    for (uint32_t i = 0; i < m; ++i) {
+        const Element &e = a_.element(members[i]);
+        sym[i] = &e.symbols;
+        reporting[i] = e.reporting;
+        out[i].reserve(e.out.size());
+        for (auto t : e.out)
+            out[i].push_back(to_local.at(t));
+        if (e.start == StartType::kAllInput) {
+            always_local.push_back(i);
+            start0.push_back(i);
+        } else if (e.start == StartType::kStartOfData) {
+            start0.push_back(i);
+        }
+    }
+
+    // Symbol equivalence classes: two bytes are equivalent iff every
+    // state charset in the component agrees on them. Signature is a
+    // bit per *distinct* charset.
+    std::vector<const CharSet *> distinct;
+    {
+        std::unordered_map<uint64_t, std::vector<const CharSet *>> seen;
+        for (uint32_t i = 0; i < m; ++i) {
+            auto &bucket = seen[sym[i]->hash()];
+            bool dup = false;
+            for (auto *cs : bucket) {
+                if (*cs == *sym[i]) {
+                    dup = true;
+                    break;
+                }
+            }
+            if (!dup) {
+                bucket.push_back(sym[i]);
+                distinct.push_back(sym[i]);
+            }
+        }
+    }
+    {
+        std::map<std::vector<uint8_t>, uint8_t> sig_to_class;
+        std::vector<uint8_t> sig(distinct.size());
+        for (int b = 0; b < 256; ++b) {
+            for (size_t d = 0; d < distinct.size(); ++d)
+                sig[d] = distinct[d]->test(static_cast<uint8_t>(b));
+            auto it = sig_to_class.find(sig);
+            if (it == sig_to_class.end()) {
+                if (sig_to_class.size() >= 256)
+                    return false; // cannot index classes in a byte
+                it = sig_to_class.emplace(
+                    sig,
+                    static_cast<uint8_t>(sig_to_class.size())).first;
+            }
+            dfa.classOf[b] = it->second;
+        }
+        dfa.numClasses = static_cast<uint32_t>(sig_to_class.size());
+    }
+
+    // One representative byte per class (classes partition [0,256)).
+    std::vector<uint8_t> rep(dfa.numClasses, 0);
+    for (int b = 255; b >= 0; --b)
+        rep[dfa.classOf[b]] = static_cast<uint8_t>(b);
+
+    // Subset construction. DFA states are sorted local-id sets.
+    std::map<std::vector<uint32_t>, uint32_t> state_ids;
+    std::vector<std::vector<uint32_t>> state_sets;
+
+    auto intern = [&](std::vector<uint32_t> set) -> uint32_t {
+        auto it = state_ids.find(set);
+        if (it != state_ids.end())
+            return it->second;
+        auto id = static_cast<uint32_t>(state_sets.size());
+        state_ids.emplace(set, id);
+        state_sets.push_back(std::move(set));
+        return id;
+    };
+
+    std::vector<uint32_t> e0 = start0;
+    std::sort(e0.begin(), e0.end());
+    e0.erase(std::unique(e0.begin(), e0.end()), e0.end());
+    dfa.start = intern(std::move(e0));
+
+    // Report pool; index 0 is the empty list.
+    dfa.pool.emplace_back();
+    std::map<std::vector<std::pair<ElementId, uint32_t>>, uint32_t>
+        pool_ids;
+
+    std::vector<uint8_t> in_next(m, 0);
+
+    for (uint32_t si = 0; si < state_sets.size(); ++si) {
+        if (state_sets.size() > opts_.maxDfaStatesPerComponent)
+            return false;
+        // Row storage is appended lazily because state_sets grows.
+        dfa.next.resize((si + 1) * dfa.numClasses);
+        dfa.reportIdx.resize((si + 1) * dfa.numClasses, 0);
+
+        // Copy: interning may invalidate references into state_sets.
+        const std::vector<uint32_t> cur = state_sets[si];
+        for (uint32_t cls = 0; cls < dfa.numClasses; ++cls) {
+            const uint8_t s = rep[cls];
+            std::vector<uint32_t> succ;
+            std::vector<std::pair<ElementId, uint32_t>> reps;
+            for (auto ls : cur) {
+                if (!sym[ls]->test(s))
+                    continue;
+                if (reporting[ls]) {
+                    reps.emplace_back(members[ls],
+                                      a_.element(members[ls]).reportCode);
+                }
+                for (auto t : out[ls]) {
+                    if (!in_next[t]) {
+                        in_next[t] = 1;
+                        succ.push_back(t);
+                    }
+                }
+            }
+            for (auto al : always_local) {
+                if (!in_next[al]) {
+                    in_next[al] = 1;
+                    succ.push_back(al);
+                }
+            }
+            for (auto t : succ)
+                in_next[t] = 0;
+            std::sort(succ.begin(), succ.end());
+
+            uint32_t tgt = intern(std::move(succ));
+            dfa.next[si * dfa.numClasses + cls] = tgt;
+
+            if (!reps.empty()) {
+                std::sort(reps.begin(), reps.end());
+                auto it = pool_ids.find(reps);
+                if (it == pool_ids.end()) {
+                    auto idx = static_cast<uint32_t>(dfa.pool.size());
+                    std::vector<CellReport> list;
+                    list.reserve(reps.size());
+                    for (auto &[el, code] : reps)
+                        list.push_back({el, code});
+                    dfa.pool.push_back(std::move(list));
+                    it = pool_ids.emplace(std::move(reps), idx).first;
+                }
+                dfa.reportIdx[si * dfa.numClasses + cls] = it->second;
+            }
+        }
+    }
+
+    dfa.numStates = static_cast<uint32_t>(state_sets.size());
+    return true;
+}
+
+uint64_t
+MultiDfaEngine::totalDfaStates() const
+{
+    uint64_t n = 0;
+    for (const auto &d : dfas_)
+        n += d.numStates;
+    return n;
+}
+
+SimResult
+MultiDfaEngine::simulate(const uint8_t *input, size_t len,
+                         const SimOptions &opts) const
+{
+    SimResult res;
+    res.symbols = len;
+
+    auto emit = [&](uint64_t t, ElementId el, uint32_t code) {
+        ++res.reportCount;
+        if (opts.recordReports &&
+            res.reports.size() < opts.reportRecordLimit) {
+            res.reports.push_back({t, el, code});
+        }
+        if (opts.countByCode)
+            ++res.byCode[code];
+    };
+
+    std::vector<uint32_t> state(dfas_.size());
+    for (size_t d = 0; d < dfas_.size(); ++d)
+        state[d] = dfas_[d].start;
+
+    for (uint64_t t = 0; t < len; ++t) {
+        const uint8_t s = input[t];
+        for (size_t d = 0; d < dfas_.size(); ++d) {
+            const Dfa &dfa = dfas_[d];
+            const uint32_t cell =
+                state[d] * dfa.numClasses + dfa.classOf[s];
+            const uint32_t ridx = dfa.reportIdx[cell];
+            if (ridx) {
+                for (const auto &r : dfa.pool[ridx])
+                    emit(t, r.element, r.code);
+            }
+            state[d] = dfa.next[cell];
+        }
+    }
+
+    if (fallbackEngine_) {
+        SimOptions fopts = opts;
+        SimResult fres = fallbackEngine_->simulate(input, len, fopts);
+        res.reportCount += fres.reportCount;
+        res.totalEnabled += fres.totalEnabled;
+        for (auto &r : fres.reports) {
+            if (opts.recordReports &&
+                res.reports.size() < opts.reportRecordLimit) {
+                res.reports.push_back(
+                    {r.offset, fallbackToGlobal_[r.element], r.code});
+            }
+        }
+        for (auto &[code, cnt] : fres.byCode)
+            res.byCode[code] += cnt;
+    }
+    return res;
+}
+
+} // namespace azoo

@@ -1,0 +1,219 @@
+#include "engine/nfa_engine.hh"
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+NfaEngine::NfaEngine(const Automaton &a)
+    : a_(a)
+{
+    const size_t n = a.size();
+    edgeBegin_.assign(n + 1, 0);
+    resetBegin_.assign(n + 1, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        edgeBegin_[i + 1] = edgeBegin_[i] +
+            static_cast<uint32_t>(a.element(i).out.size());
+        resetBegin_[i + 1] = resetBegin_[i] +
+            static_cast<uint32_t>(a.element(i).resetOut.size());
+    }
+    edgeTarget_.reserve(edgeBegin_[n]);
+    resetTarget_.reserve(resetBegin_[n]);
+    label_.resize(n);
+    isCounterTarget_.assign(n, 0);
+    reporting_.assign(n, 0);
+    reportCode_.assign(n, 0);
+    isAllInput_.assign(n, 0);
+
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        for (auto t : e.out)
+            edgeTarget_.push_back(t);
+        for (auto t : e.resetOut)
+            resetTarget_.push_back(t);
+        for (int w = 0; w < 4; ++w)
+            label_[i][w] = e.symbols.word(w);
+        reporting_[i] = e.reporting;
+        reportCode_[i] = e.reportCode;
+        if (e.kind == ElementKind::kCounter) {
+            isCounterTarget_[i] = 1;
+            counters_.push_back(i);
+            // Counter cascades would need multi-phase settling; the
+            // zoo never generates them, so reject early.
+            for (auto t : e.out) {
+                if (a.element(t).kind == ElementKind::kCounter)
+                    panic("NfaEngine: counter->counter edges are not "
+                          "supported");
+            }
+        } else if (e.start == StartType::kAllInput) {
+            allInputStates_.push_back(i);
+            isAllInput_[i] = 1;
+            for (int v = 0; v < 256; ++v) {
+                if (e.symbols.test(static_cast<uint8_t>(v)))
+                    matchingAllInput_[v].push_back(i);
+            }
+        } else if (e.start == StartType::kStartOfData) {
+            startOfDataStates_.push_back(i);
+        }
+    }
+}
+
+SimResult
+NfaEngine::simulate(const uint8_t *input, size_t len,
+                    const SimOptions &opts) const
+{
+    const size_t n = a_.size();
+    SimResult res;
+    res.symbols = len;
+
+    std::vector<uint64_t> stamp(n, 0);
+    std::vector<ElementId> cur, next;
+    cur.reserve(256);
+    next.reserve(256);
+
+    // Counter state.
+    std::vector<uint32_t> value(n, 0);
+    std::vector<uint64_t> countStamp(n, 0), resetStamp(n, 0);
+    std::vector<uint8_t> latched(n, 0);
+    std::vector<ElementId> counted, resets, latchedList;
+
+    const bool has_resets = !resetTarget_.empty();
+    const bool has_counters = !counters_.empty();
+
+    // Start-of-data states are enabled for cycle 0 only.
+    for (auto id : startOfDataStates_) {
+        stamp[id] = 1;
+        next.push_back(id);
+    }
+
+    uint64_t last_report_cycle = ~uint64_t(0);
+    auto emit_report = [&](uint64_t t, ElementId id, uint32_t code) {
+        ++res.reportCount;
+        if (t != last_report_cycle) {
+            last_report_cycle = t;
+            ++res.reportingCycles;
+        }
+        if (opts.recordReports &&
+            res.reports.size() < opts.reportRecordLimit) {
+            res.reports.push_back({t, id, code});
+        }
+        if (opts.countByCode)
+            ++res.byCode[code];
+    };
+
+    for (uint64_t t = 0; t < len; ++t) {
+        std::swap(cur, next);
+        next.clear();
+
+        // The active set counts states enabled through edges; states
+        // that are always enabled by construction (all-input starts)
+        // are excluded, matching VASim's accounting (e.g. Table I
+        // reports Snort's active set far below its start-state
+        // count).
+        if (opts.computeActiveSet)
+            res.totalEnabled += cur.size();
+
+        const uint8_t s = input[t];
+        const uint32_t word = s >> 6;
+        const uint64_t bit = uint64_t(1) << (s & 63);
+
+        // Process one matched element: report and propagate.
+        auto on_match = [&](ElementId id) {
+            if (reporting_[id])
+                emit_report(t, id, reportCode_[id]);
+            const uint32_t ebeg = edgeBegin_[id];
+            const uint32_t eend = edgeBegin_[id + 1];
+            if (!has_counters) {
+                for (uint32_t k = ebeg; k < eend; ++k) {
+                    const ElementId tgt = edgeTarget_[k];
+                    // All-input targets are permanently enabled and
+                    // handled by the indexed path below.
+                    if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
+                        stamp[tgt] = t + 2;
+                        next.push_back(tgt);
+                    }
+                }
+                return;
+            }
+            for (uint32_t k = ebeg; k < eend; ++k) {
+                const ElementId tgt = edgeTarget_[k];
+                if (!isCounterTarget_[tgt]) {
+                    if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
+                        stamp[tgt] = t + 2;
+                        next.push_back(tgt);
+                    }
+                } else if (countStamp[tgt] != t + 1) {
+                    countStamp[tgt] = t + 1;
+                    counted.push_back(tgt);
+                }
+            }
+            if (has_resets) {
+                for (uint32_t k = resetBegin_[id];
+                     k < resetBegin_[id + 1]; ++k) {
+                    const ElementId tgt = resetTarget_[k];
+                    if (resetStamp[tgt] != t + 1) {
+                        resetStamp[tgt] = t + 1;
+                        resets.push_back(tgt);
+                    }
+                }
+            }
+        };
+
+        for (auto id : cur) {
+            if (label_[id][word] & bit)
+                on_match(id);
+        }
+        for (auto id : matchingAllInput_[s])
+            on_match(id);
+
+        if (!has_counters)
+            continue;
+
+        // Counter settle phase: resets first, then counts.
+        for (auto c : resets) {
+            value[c] = 0;
+            if (latched[c]) {
+                latched[c] = 0;
+                std::erase(latchedList, c);
+            }
+        }
+        resets.clear();
+        for (auto c : counted) {
+            const Element &e = a_.element(c);
+            ++value[c];
+            if (value[c] != e.target)
+                continue;
+            // Fire.
+            if (e.reporting)
+                emit_report(t, c, e.reportCode);
+            for (uint32_t k = edgeBegin_[c]; k < edgeBegin_[c + 1];
+                 ++k) {
+                const ElementId tgt = edgeTarget_[k];
+                if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
+                    stamp[tgt] = t + 2;
+                    next.push_back(tgt);
+                }
+            }
+            if (e.mode == CounterMode::kLatch && !latched[c]) {
+                latched[c] = 1;
+                latchedList.push_back(c);
+            } else if (e.mode == CounterMode::kRollover) {
+                value[c] = 0;
+            }
+        }
+        counted.clear();
+        // Latched counters keep their successors enabled.
+        for (auto c : latchedList) {
+            for (uint32_t k = edgeBegin_[c]; k < edgeBegin_[c + 1];
+                 ++k) {
+                const ElementId tgt = edgeTarget_[k];
+                if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
+                    stamp[tgt] = t + 2;
+                    next.push_back(tgt);
+                }
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace azoo

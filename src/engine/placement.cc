@@ -1,0 +1,147 @@
+#include "engine/placement.hh"
+
+#include <cstdlib>
+#include <queue>
+
+namespace azoo {
+
+FabricParams
+FabricParams::hierarchicalD480()
+{
+    FabricParams f;
+    f.name = "hierarchical (D480-like)";
+    f.blockSize = 256;
+    f.trackBudget = 16;
+    f.neighborFree = false;
+    f.deviceBlocks = 192;
+    return f;
+}
+
+FabricParams
+FabricParams::islandStyle()
+{
+    FabricParams f;
+    f.name = "island-style (FPGA-like)";
+    f.blockSize = 256;
+    f.trackBudget = 64;
+    f.neighborFree = true;
+    f.deviceBlocks = 192;
+    return f;
+}
+
+PlacementResult
+placeAndRoute(const Automaton &a, const FabricParams &fabric)
+{
+    const size_t n = a.size();
+    PlacementResult res;
+    res.states = n;
+    if (n == 0) {
+        res.devicesNeeded = 0;
+        return res;
+    }
+
+    // Undirected adjacency (activation + reset edges).
+    std::vector<std::vector<ElementId>> adj(n);
+    for (ElementId i = 0; i < n; ++i) {
+        auto link = [&](ElementId t) {
+            if (t != i) {
+                adj[i].push_back(t);
+                adj[t].push_back(i);
+            }
+        };
+        for (auto t : a.element(i).out)
+            link(t);
+        for (auto t : a.element(i).resetOut)
+            link(t);
+    }
+
+    // Placement order: BFS within each component, components in id
+    // order -- the locality heuristic real packers start from.
+    std::vector<ElementId> order;
+    order.reserve(n);
+    std::vector<uint8_t> seen(n, 0);
+    for (ElementId root = 0; root < n; ++root) {
+        if (seen[root])
+            continue;
+        std::queue<ElementId> q;
+        q.push(root);
+        seen[root] = 1;
+        while (!q.empty()) {
+            ElementId v = q.front();
+            q.pop();
+            order.push_back(v);
+            for (auto u : adj[v]) {
+                if (!seen[u]) {
+                    seen[u] = 1;
+                    q.push(u);
+                }
+            }
+        }
+    }
+
+    constexpr uint32_t kUnplaced = ~uint32_t(0);
+    std::vector<uint32_t> block_of(n, kUnplaced);
+    std::vector<uint32_t> cap_used, tracks_used;
+    auto new_block = [&]() -> uint32_t {
+        cap_used.push_back(0);
+        tracks_used.push_back(0);
+        return static_cast<uint32_t>(cap_used.size() - 1);
+    };
+    uint32_t cb = new_block();
+
+    auto is_free_hop = [&](uint32_t b1, uint32_t b2) {
+        if (b1 == b2)
+            return true;
+        return fabric.neighborFree &&
+            (b1 > b2 ? b1 - b2 : b2 - b1) <= 1;
+    };
+
+    // Tracks the candidate block would newly consume if v landed
+    // there (edges to already-placed neighbors only; edges to
+    // unplaced neighbors are charged when those are placed).
+    auto track_delta = [&](ElementId v, uint32_t b) {
+        uint32_t delta = 0;
+        for (auto u : adj[v]) {
+            if (block_of[u] != kUnplaced &&
+                !is_free_hop(block_of[u], b)) {
+                ++delta;
+            }
+        }
+        return delta;
+    };
+
+    for (auto v : order) {
+        if (cap_used[cb] >= fabric.blockSize)
+            cb = new_block();
+        if (tracks_used[cb] + track_delta(v, cb) >
+            fabric.trackBudget) {
+            // Close this block for routing reasons and retry on a
+            // fresh one (which may still overflow if v alone exceeds
+            // the budget; that is recorded below).
+            cb = new_block();
+        }
+        block_of[v] = cb;
+        ++cap_used[cb];
+        for (auto u : adj[v]) {
+            const uint32_t ub = block_of[u];
+            if (ub == kUnplaced || is_free_hop(ub, cb))
+                continue;
+            ++tracks_used[cb];
+            ++tracks_used[ub];
+            ++res.crossBlockEdges;
+        }
+    }
+    res.blocksUsed = cap_used.size();
+    for (auto t : tracks_used) {
+        if (t > fabric.trackBudget)
+            res.overflowEdges += t - fabric.trackBudget;
+    }
+    res.utilization = static_cast<double>(n) /
+        (static_cast<double>(res.blocksUsed) * fabric.blockSize);
+    res.devicesNeeded =
+        (res.blocksUsed + fabric.deviceBlocks - 1) /
+        fabric.deviceBlocks;
+    return res;
+}
+
+} // namespace azoo

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Spatial fabric placement model.
+ *
+ * The paper's critique of ANMLZoo rests on routing behaviour: the
+ * Micron D480's hierarchical routing matrix is overwhelmed by
+ * 2D-mesh automata (ANMLZoo's Levenshtein maximized routing while
+ * using only 6% of state capacity), while island-style FPGA fabrics
+ * route the same automata at much higher utilization (Wadden et al.,
+ * FCCM 2017). This module provides the corresponding analytic
+ * substrate: a greedy BFS packer that places automaton elements into
+ * fixed-capacity routing blocks under a per-block inter-block track
+ * budget, with an island-style option that makes adjacent-block hops
+ * free.
+ *
+ * It is deliberately a first-order model -- utilization and block
+ * counts, not a full CAD flow -- but it reproduces the qualitative
+ * ordering the paper relies on: chains pack densely everywhere;
+ * meshes waste most of a track-poor hierarchical fabric.
+ */
+
+#ifndef AZOO_ENGINE_PLACEMENT_HH
+#define AZOO_ENGINE_PLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Routing-fabric parameters. */
+struct FabricParams {
+    std::string name;
+    /** Elements per routing block (full crossbar inside a block). */
+    uint32_t blockSize = 256;
+    /** Inter-block signals a block may source or sink. */
+    uint32_t trackBudget = 16;
+    /** Island-style: hops between adjacent blocks are free. */
+    bool neighborFree = false;
+    /** Blocks per device (capacity = blocks * blockSize). */
+    uint32_t deviceBlocks = 192;
+
+    /** Micron D480-like hierarchical fabric: 192 x 256 = 49,152
+     *  STEs, a tight global track budget, no cheap neighbors. */
+    static FabricParams hierarchicalD480();
+
+    /** Island-style (FPGA-like) fabric of the same capacity with a
+     *  generous track budget and free neighbor hops. */
+    static FabricParams islandStyle();
+};
+
+/** Outcome of placing one automaton. */
+struct PlacementResult {
+    uint64_t states = 0;
+    uint64_t blocksUsed = 0;
+    uint64_t crossBlockEdges = 0;
+    /** Edges that exceeded every involved block's track budget and
+     *  were routed anyway (model overflow; 0 means clean routing). */
+    uint64_t overflowEdges = 0;
+    /** states / (blocksUsed * blockSize): the paper's utilization. */
+    double utilization = 0;
+    /** Devices needed at deviceBlocks blocks per device. */
+    uint64_t devicesNeeded = 0;
+};
+
+/** Greedily place @p a on @p fabric. */
+PlacementResult placeAndRoute(const Automaton &a,
+                              const FabricParams &fabric);
+
+} // namespace azoo
+
+#endif // AZOO_ENGINE_PLACEMENT_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Report records and simulation options/results shared by all
+ * automata-processing engines.
+ */
+
+#ifndef AZOO_ENGINE_REPORT_HH
+#define AZOO_ENGINE_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** One pattern-match event: element @p element with user code @p code
+ *  matched at input offset @p offset (0-based symbol index). */
+struct Report {
+    uint64_t offset = 0;
+    ElementId element = kNoElement;
+    uint32_t code = 0;
+
+    bool
+    operator==(const Report &o) const
+    {
+        return offset == o.offset && element == o.element &&
+            code == o.code;
+    }
+    bool
+    operator<(const Report &o) const
+    {
+        if (offset != o.offset)
+            return offset < o.offset;
+        if (element != o.element)
+            return element < o.element;
+        return code < o.code;
+    }
+};
+
+/** Knobs controlling what a simulation records. */
+struct SimOptions {
+    /** Keep the full report vector (offset/element/code). */
+    bool recordReports = true;
+    /** Tally reports per report code (rule) into SimResult::byCode. */
+    bool countByCode = false;
+    /** Track enabled-state counts to compute the active set. */
+    bool computeActiveSet = true;
+    /** Stop recording (not counting) reports past this many. */
+    uint64_t reportRecordLimit = ~uint64_t(0);
+};
+
+/** Outcome of simulating an automaton over an input stream. */
+struct SimResult {
+    uint64_t symbols = 0;        ///< input symbols consumed
+    uint64_t reportCount = 0;    ///< total reports (even if unrecorded)
+    std::vector<Report> reports; ///< recorded reports (may be capped)
+    std::map<uint32_t, uint64_t> byCode; ///< reports per report code
+    uint64_t totalEnabled = 0;   ///< sum of enabled STEs over cycles
+    /** Cycles in which at least one report fired: the output-
+     *  reporting pressure metric behind the D480's report-vector
+     *  bottleneck (Wadden et al., HPCA 2018), which SpatialModel's
+     *  stall penalty models. */
+    uint64_t reportingCycles = 0;
+
+    /** Average active set: enabled STEs per input symbol. */
+    double
+    avgActiveSet() const
+    {
+        return symbols ? static_cast<double>(totalEnabled) / symbols
+                       : 0.0;
+    }
+
+    /** Reports per input symbol. */
+    double
+    reportRate() const
+    {
+        return symbols ? static_cast<double>(reportCount) / symbols
+                       : 0.0;
+    }
+
+    /** Fraction of cycles that produced any report. */
+    double
+    reportingCycleFraction() const
+    {
+        return symbols
+            ? static_cast<double>(reportingCycles) / symbols : 0.0;
+    }
+};
+
+} // namespace azoo
+
+#endif // AZOO_ENGINE_REPORT_HH

@@ -1,0 +1,66 @@
+#include "engine/spatial_model.hh"
+
+#include <cmath>
+
+namespace azoo {
+
+SpatialArch
+SpatialArch::apD480()
+{
+    SpatialArch a;
+    a.name = "Micron D480 AP";
+    a.steCapacity = 49152;
+    a.clockHz = 133e6;
+    a.reportStallCycles = 8; // DDR report-vector drain (HPCA'18)
+    return a;
+}
+
+SpatialArch
+SpatialArch::reaprKintex()
+{
+    SpatialArch a;
+    a.name = "REAPR (XCKU060)";
+    a.steCapacity = 330000;
+    a.clockHz = 400e6;
+    a.reportStallCycles = 1;
+    return a;
+}
+
+uint64_t
+SpatialModel::passes(uint64_t states) const
+{
+    if (states == 0)
+        return 1;
+    return (states + arch_.steCapacity - 1) / arch_.steCapacity;
+}
+
+double
+SpatialModel::symbolsPerSecond(uint64_t states, double report_rate) const
+{
+    const double p = static_cast<double>(passes(states));
+    // One symbol per cycle, stalled by the report drain, serialized
+    // over capacity passes.
+    const double cycles_per_symbol =
+        1.0 + report_rate * arch_.reportStallCycles;
+    return arch_.clockHz / (cycles_per_symbol * p);
+}
+
+double
+SpatialModel::itemsPerSecond(uint64_t states, double report_rate,
+                             double symbols_per_item) const
+{
+    return symbolsPerSecond(states, report_rate) / symbols_per_item;
+}
+
+double
+SpatialModel::utilization(uint64_t states) const
+{
+    if (states == 0)
+        return 0.0;
+    const uint64_t p = passes(states);
+    const uint64_t last = states - (p - 1) * arch_.steCapacity;
+    return static_cast<double>(last) /
+        static_cast<double>(arch_.steCapacity);
+}
+
+} // namespace azoo

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * SpatialModel: an analytic throughput/capacity model for spatial
+ * automata-processing architectures (FPGA overlays like REAPR and the
+ * Micron D480 AP).
+ *
+ * The paper's FPGA numbers are computed, not measured on shared
+ * hardware: REAPR results come from post-place-and-route virtual
+ * clock frequency multiplied by the number of input symbols. We model
+ * the same arithmetic. A spatial architecture consumes one input
+ * symbol per clock regardless of active set; what limits it is (a)
+ * state capacity, which forces multi-pass execution of partitioned
+ * automata, and (b) the output-reporting bottleneck, which stalls the
+ * pipeline when reports are frequent (Wadden et al., HPCA 2018).
+ *
+ * This is the documented substitution for "REAPR on a Xilinx Kintex
+ * Ultrascale XCKU060" and "Micron D480" in our reproduction.
+ */
+
+#ifndef AZOO_ENGINE_SPATIAL_MODEL_HH
+#define AZOO_ENGINE_SPATIAL_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/stats.hh"
+
+namespace azoo {
+
+/** Architecture parameters for the analytic model. */
+struct SpatialArch {
+    std::string name;
+    /** Usable STE capacity of one device. */
+    uint64_t steCapacity = 0;
+    /** Symbol clock in Hz (one symbol per cycle). */
+    double clockHz = 0;
+    /** Extra stall cycles charged per report event (output
+     *  reporting bottleneck; 0 disables the penalty). */
+    double reportStallCycles = 0;
+
+    /** Micron D480 AP: 49,152 STEs per chip at a 133 MHz symbol
+     *  clock, with a pronounced report bottleneck. */
+    static SpatialArch apD480();
+
+    /** REAPR on a Kintex Ultrascale XCKU060: roughly one STE per
+     *  LUT (~330k usable) with post-P&R virtual clocks around
+     *  400 MHz for the paper's Random Forest designs. */
+    static SpatialArch reaprKintex();
+};
+
+/** Analytic performance estimates for a benchmark on an architecture. */
+class SpatialModel
+{
+  public:
+    explicit SpatialModel(SpatialArch arch) : arch_(std::move(arch)) {}
+
+    const SpatialArch &arch() const { return arch_; }
+
+    /** Number of sequential passes needed to run @p states STEs on a
+     *  capacity-limited device (>= 1). */
+    uint64_t passes(uint64_t states) const;
+
+    /**
+     * Modeled steady-state input throughput in symbols per second for
+     * an automaton with @p states STEs reporting at @p report_rate
+     * (reports per input symbol).
+     */
+    double symbolsPerSecond(uint64_t states, double report_rate) const;
+
+    /**
+     * Modeled kernel throughput in items per second when one kernel
+     * item (classification, packet, ...) consumes
+     * @p symbols_per_item input symbols.
+     */
+    double itemsPerSecond(uint64_t states, double report_rate,
+                          double symbols_per_item) const;
+
+    /** Device utilization in [0,1] on the last pass. */
+    double utilization(uint64_t states) const;
+
+  private:
+    SpatialArch arch_;
+};
+
+} // namespace azoo
+
+#endif // AZOO_ENGINE_SPATIAL_MODEL_HH

@@ -1,0 +1,191 @@
+#include "engine/streaming.hh"
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+StreamingSession::StreamingSession(const Automaton &a)
+    : a_(a)
+{
+    const size_t n = a.size();
+    edgeBegin_.assign(n + 1, 0);
+    resetBegin_.assign(n + 1, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        edgeBegin_[i + 1] = edgeBegin_[i] +
+            static_cast<uint32_t>(a.element(i).out.size());
+        resetBegin_[i + 1] = resetBegin_[i] +
+            static_cast<uint32_t>(a.element(i).resetOut.size());
+    }
+    label_.resize(n);
+    isCounter_.assign(n, 0);
+    isAllInput_.assign(n, 0);
+    reporting_.assign(n, 0);
+    reportCode_.assign(n, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        for (auto t : e.out)
+            edgeTarget_.push_back(t);
+        for (auto t : e.resetOut)
+            resetTarget_.push_back(t);
+        for (int w = 0; w < 4; ++w)
+            label_[i][w] = e.symbols.word(w);
+        reporting_[i] = e.reporting;
+        reportCode_[i] = e.reportCode;
+        if (e.kind == ElementKind::kCounter) {
+            isCounter_[i] = 1;
+            hasCounters_ = true;
+            for (auto t : e.out) {
+                if (a.element(t).kind == ElementKind::kCounter)
+                    panic("StreamingSession: counter->counter edges "
+                          "are not supported");
+            }
+        } else if (e.start == StartType::kAllInput) {
+            isAllInput_[i] = 1;
+            for (int v = 0; v < 256; ++v) {
+                if (e.symbols.test(static_cast<uint8_t>(v)))
+                    matchingAllInput_[v].push_back(i);
+            }
+        }
+    }
+    hasResets_ = !resetTarget_.empty();
+    reset();
+}
+
+void
+StreamingSession::reset()
+{
+    const size_t n = a_.size();
+    result_ = SimResult();
+    t_ = 0;
+    stamp_.assign(n, 0);
+    cur_.clear();
+    next_.clear();
+    value_.assign(n, 0);
+    countStamp_.assign(n, 0);
+    resetStamp_.assign(n, 0);
+    latched_.assign(n, 0);
+    counted_.clear();
+    resets_.clear();
+    latchedList_.clear();
+    for (ElementId i = 0; i < n; ++i) {
+        if (a_.element(i).start == StartType::kStartOfData) {
+            stamp_[i] = 1;
+            next_.push_back(i);
+        }
+    }
+}
+
+void
+StreamingSession::onMatch(ElementId id)
+{
+    if (reporting_[id]) {
+        ++result_.reportCount;
+        if (options.recordReports &&
+            result_.reports.size() < options.reportRecordLimit) {
+            result_.reports.push_back({t_, id, reportCode_[id]});
+        }
+        if (options.countByCode)
+            ++result_.byCode[reportCode_[id]];
+    }
+    for (uint32_t k = edgeBegin_[id]; k < edgeBegin_[id + 1]; ++k) {
+        const ElementId tgt = edgeTarget_[k];
+        if (isCounter_[tgt]) {
+            if (countStamp_[tgt] != t_ + 1) {
+                countStamp_[tgt] = t_ + 1;
+                counted_.push_back(tgt);
+            }
+        } else if (!isAllInput_[tgt] && stamp_[tgt] != t_ + 2) {
+            stamp_[tgt] = t_ + 2;
+            next_.push_back(tgt);
+        }
+    }
+    if (hasResets_) {
+        for (uint32_t k = resetBegin_[id]; k < resetBegin_[id + 1];
+             ++k) {
+            const ElementId tgt = resetTarget_[k];
+            if (resetStamp_[tgt] != t_ + 1) {
+                resetStamp_[tgt] = t_ + 1;
+                resets_.push_back(tgt);
+            }
+        }
+    }
+}
+
+void
+StreamingSession::feed(const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        std::swap(cur_, next_);
+        next_.clear();
+        if (options.computeActiveSet)
+            result_.totalEnabled += cur_.size();
+
+        symbol_ = data[i];
+        const uint32_t word = symbol_ >> 6;
+        const uint64_t bit = uint64_t(1) << (symbol_ & 63);
+
+        for (auto id : cur_) {
+            if (label_[id][word] & bit)
+                onMatch(id);
+        }
+        for (auto id : matchingAllInput_[symbol_])
+            onMatch(id);
+
+        if (hasCounters_) {
+            for (auto c : resets_) {
+                value_[c] = 0;
+                if (latched_[c]) {
+                    latched_[c] = 0;
+                    std::erase(latchedList_, c);
+                }
+            }
+            resets_.clear();
+            for (auto c : counted_) {
+                const Element &e = a_.element(c);
+                ++value_[c];
+                if (value_[c] != e.target)
+                    continue;
+                if (e.reporting) {
+                    ++result_.reportCount;
+                    if (options.recordReports &&
+                        result_.reports.size() <
+                            options.reportRecordLimit) {
+                        result_.reports.push_back(
+                            {t_, c, e.reportCode});
+                    }
+                    if (options.countByCode)
+                        ++result_.byCode[e.reportCode];
+                }
+                for (uint32_t k = edgeBegin_[c];
+                     k < edgeBegin_[c + 1]; ++k) {
+                    const ElementId tgt = edgeTarget_[k];
+                    if (!isAllInput_[tgt] && stamp_[tgt] != t_ + 2) {
+                        stamp_[tgt] = t_ + 2;
+                        next_.push_back(tgt);
+                    }
+                }
+                if (e.mode == CounterMode::kLatch && !latched_[c]) {
+                    latched_[c] = 1;
+                    latchedList_.push_back(c);
+                } else if (e.mode == CounterMode::kRollover) {
+                    value_[c] = 0;
+                }
+            }
+            counted_.clear();
+            for (auto c : latchedList_) {
+                for (uint32_t k = edgeBegin_[c];
+                     k < edgeBegin_[c + 1]; ++k) {
+                    const ElementId tgt = edgeTarget_[k];
+                    if (!isAllInput_[tgt] && stamp_[tgt] != t_ + 2) {
+                        stamp_[tgt] = t_ + 2;
+                        next_.push_back(tgt);
+                    }
+                }
+            }
+        }
+        ++t_;
+        result_.symbols = t_;
+    }
+}
+
+} // namespace azoo

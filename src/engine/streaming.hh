@@ -1,0 +1,84 @@
+/**
+ * @file
+ * StreamingSession: chunked simulation with persistent automaton
+ * state.
+ *
+ * Real deployments of the paper's applications (intrusion detection,
+ * virus scanning) process unbounded streams in buffers; matches may
+ * straddle buffer boundaries. A StreamingSession keeps the enabled
+ * set, counter values, and stream offset alive across feed() calls,
+ * so feeding one byte at a time, or any chunking, produces exactly
+ * the reports of a single monolithic simulate() call (a property the
+ * test suite checks).
+ */
+
+#ifndef AZOO_ENGINE_STREAMING_HH
+#define AZOO_ENGINE_STREAMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hh"
+#include "engine/report.hh"
+
+namespace azoo {
+
+/** Incremental homogeneous-automata simulation. */
+class StreamingSession
+{
+  public:
+    /** The automaton must outlive the session. */
+    explicit StreamingSession(const Automaton &a);
+
+    /** Process a chunk; reports accumulate in results(). */
+    void feed(const uint8_t *data, size_t len);
+
+    void
+    feed(const std::vector<uint8_t> &data)
+    {
+        feed(data.data(), data.size());
+    }
+
+    /** Results so far (offsets are absolute stream offsets). */
+    const SimResult &results() const { return result_; }
+
+    /** Total symbols consumed. */
+    uint64_t offset() const { return t_; }
+
+    /** Reset to the start-of-stream state (results cleared). */
+    void reset();
+
+    /** Simulation options (reports are always recorded unless
+     *  changed here before feeding). */
+    SimOptions options;
+
+  private:
+    void onMatch(ElementId id);
+
+    const Automaton &a_;
+    SimResult result_;
+    uint64_t t_ = 0;
+
+    // Persistent per-element state mirroring NfaEngine's internals.
+    std::vector<uint64_t> stamp_;
+    std::vector<ElementId> cur_, next_;
+    std::vector<uint32_t> value_;
+    std::vector<uint64_t> countStamp_, resetStamp_;
+    std::vector<uint8_t> latched_;
+    std::vector<ElementId> counted_, resets_, latchedList_;
+
+    // Engine-style flattened structure.
+    std::vector<uint32_t> edgeBegin_, resetBegin_;
+    std::vector<ElementId> edgeTarget_, resetTarget_;
+    std::vector<std::array<uint64_t, 4>> label_;
+    std::vector<uint8_t> isCounter_, isAllInput_, reporting_;
+    std::vector<uint32_t> reportCode_;
+    std::array<std::vector<ElementId>, 256> matchingAllInput_;
+    bool hasCounters_ = false;
+    bool hasResets_ = false;
+    uint8_t symbol_ = 0;
+};
+
+} // namespace azoo
+
+#endif // AZOO_ENGINE_STREAMING_HH

@@ -1,0 +1,99 @@
+#include "input/corpus.hh"
+
+namespace azoo {
+namespace input {
+
+namespace {
+
+const char *kOnsets[] = {"b", "br", "c", "ch", "d", "f", "g", "gr",
+                         "h", "j", "k", "l", "m", "n", "p", "pr",
+                         "r", "s", "st", "t", "th", "v", "w", "sh"};
+const char *kNuclei[] = {"a", "e", "i", "o", "u", "ai", "ea", "ou"};
+const char *kCodas[] = {"", "n", "r", "s", "t", "l", "nd", "st",
+                        "ck", "m"};
+
+std::string
+makeWord(Rng &rng)
+{
+    const int syllables = 1 + static_cast<int>(rng.nextBelow(3));
+    std::string w;
+    for (int s = 0; s < syllables; ++s) {
+        w += kOnsets[rng.nextBelow(std::size(kOnsets))];
+        w += kNuclei[rng.nextBelow(std::size(kNuclei))];
+        w += kCodas[rng.nextBelow(std::size(kCodas))];
+    }
+    return w;
+}
+
+} // namespace
+
+std::vector<std::string>
+makeVocabulary(size_t words, uint64_t seed)
+{
+    Rng rng(seed ^ 0x770c4bULL);
+    std::vector<std::string> vocab;
+    vocab.reserve(words);
+    while (vocab.size() < words)
+        vocab.push_back(makeWord(rng));
+    return vocab;
+}
+
+std::vector<uint8_t>
+englishLikeText(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    auto vocab = makeVocabulary(2000, seed);
+    std::vector<uint8_t> out;
+    out.reserve(n + 16);
+    int words_in_sentence = 0;
+    while (out.size() < n) {
+        // Zipf-ish: favor low-index words.
+        const size_t r = rng.nextBelow(vocab.size());
+        const size_t idx = (r * r) / vocab.size();
+        for (char c : vocab[idx])
+            out.push_back(static_cast<uint8_t>(c));
+        ++words_in_sentence;
+        if (words_in_sentence > 6 && rng.nextBool(0.2)) {
+            out.push_back('.');
+            out.push_back(rng.nextBool(0.1) ? '\n' : ' ');
+            words_in_sentence = 0;
+        } else {
+            out.push_back(' ');
+        }
+    }
+    out.resize(n);
+    return out;
+}
+
+std::vector<uint8_t>
+taggedStream(size_t n, uint64_t seed, int num_tags,
+             const std::vector<std::string> &vocab)
+{
+    Rng rng(seed);
+    // Each word gets a primary tag and a less likely secondary tag
+    // (lexical ambiguity), assigned deterministically per word index.
+    std::vector<std::pair<int, int>> word_tags(vocab.size());
+    for (size_t i = 0; i < vocab.size(); ++i) {
+        const int primary = static_cast<int>(rng.nextBelow(num_tags));
+        int secondary = static_cast<int>(rng.nextBelow(num_tags));
+        word_tags[i] = {primary, secondary};
+    }
+
+    std::vector<uint8_t> out;
+    out.reserve(n + 16);
+    while (out.size() < n) {
+        const size_t r = rng.nextBelow(vocab.size());
+        const size_t idx = (r * r) / vocab.size();
+        for (char c : vocab[idx])
+            out.push_back(static_cast<uint8_t>(c));
+        const auto &[primary, secondary] = word_tags[idx];
+        const int tag = rng.nextBool(0.85) ? primary : secondary;
+        out.push_back(tagByte(tag));
+        out.push_back(' ');
+    }
+    out.resize(n);
+    return out;
+}
+
+} // namespace input
+} // namespace azoo

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text corpus inputs: the Brown-corpus stand-in for Brill tagging and
+ * generic English-like text used as filler by several inputs.
+ */
+
+#ifndef AZOO_INPUT_CORPUS_HH
+#define AZOO_INPUT_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace azoo {
+namespace input {
+
+/** Deterministic pseudo-English vocabulary of @p words entries. */
+std::vector<std::string> makeVocabulary(size_t words, uint64_t seed);
+
+/** English-like text: vocabulary words, spaces, punctuation, lines. */
+std::vector<uint8_t> englishLikeText(size_t n, uint64_t seed);
+
+/**
+ * A part-of-speech tagged token stream for the Brill benchmark.
+ * Encoding: word characters (lowercase ASCII), then one tag byte
+ * (0x80 + tag index), then ' '. Tags are assigned per word with a
+ * Zipf-ish distribution plus per-occurrence ambiguity, which is what
+ * Brill rules key on.
+ */
+std::vector<uint8_t> taggedStream(size_t n, uint64_t seed, int num_tags,
+                                  const std::vector<std::string> &vocab);
+
+/** Tag byte encoding helper shared with the Brill generator. */
+inline uint8_t
+tagByte(int tag)
+{
+    return static_cast<uint8_t>(0x80 + tag);
+}
+
+} // namespace input
+} // namespace azoo
+
+#endif // AZOO_INPUT_CORPUS_HH

@@ -1,0 +1,199 @@
+#include "input/diskimage.hh"
+
+#include "input/corpus.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace input {
+
+namespace {
+
+void
+push16le(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v & 0xff));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+push32le(std::vector<uint8_t> &out, uint32_t v)
+{
+    push16le(out, static_cast<uint16_t>(v & 0xffff));
+    push16le(out, static_cast<uint16_t>(v >> 16));
+}
+
+/** Valid MS-DOS time word: hhhhh mmmmmm sssss (seconds/2). */
+uint16_t
+dosTime(Rng &rng)
+{
+    const unsigned h = rng.nextBelow(24);
+    const unsigned m = rng.nextBelow(60);
+    const unsigned s2 = rng.nextBelow(30);
+    return static_cast<uint16_t>((h << 11) | (m << 5) | s2);
+}
+
+/** Valid MS-DOS date word: yyyyyyy mmmm ddddd (year since 1980). */
+uint16_t
+dosDate(Rng &rng)
+{
+    const unsigned y = rng.nextBelow(40);
+    const unsigned m = 1 + rng.nextBelow(12);
+    const unsigned d = 1 + rng.nextBelow(28);
+    return static_cast<uint16_t>((y << 9) | (m << 5) | d);
+}
+
+void
+emitZipMember(std::vector<uint8_t> &out, Rng &rng)
+{
+    // Local file header (PKZip APPNOTE layout).
+    out.insert(out.end(), {'P', 'K', 0x03, 0x04});
+    push16le(out, 20);                       // version needed
+    push16le(out, 0);                        // flags
+    push16le(out, rng.nextBool() ? 8 : 0);   // method: deflate/store
+    push16le(out, dosTime(rng));
+    push16le(out, dosDate(rng));
+    push32le(out, static_cast<uint32_t>(rng.next())); // crc32
+    const uint32_t len = 200 + rng.nextBelow(2000);
+    push32le(out, len);                      // compressed size
+    push32le(out, len);                      // uncompressed size
+    const std::string name =
+        "file" + std::to_string(rng.nextBelow(1000)) + ".dat";
+    push16le(out, static_cast<uint16_t>(name.size()));
+    push16le(out, 0);                        // extra length
+    out.insert(out.end(), name.begin(), name.end());
+    for (uint32_t i = 0; i < len; ++i)
+        out.push_back(rng.nextByte());
+
+    // Central directory header and end-of-central-directory record.
+    out.insert(out.end(), {'P', 'K', 0x01, 0x02});
+    out.push_back(static_cast<uint8_t>(rng.nextBelow(0x40)));
+    for (int i = 0; i < 41; ++i)
+        out.push_back(rng.nextByte());
+    out.insert(out.end(), {'P', 'K', 0x05, 0x06, 0, 0, 0, 0});
+    for (int i = 0; i < 14; ++i)
+        out.push_back(rng.nextByte());
+}
+
+void
+emitJpeg(std::vector<uint8_t> &out, Rng &rng)
+{
+    // SOI + APPn marker, then entropy-coded soup.
+    out.insert(out.end(), {0xFF, 0xD8, 0xFF,
+                           static_cast<uint8_t>(0xE0 +
+                                                rng.nextBelow(16))});
+    const size_t len = 400 + rng.nextBelow(3000);
+    for (size_t i = 0; i < len; ++i)
+        out.push_back(rng.nextByte());
+    out.insert(out.end(), {0xFF, 0xD9}); // EOI
+}
+
+void
+emitMpeg2Pack(std::vector<uint8_t> &out, Rng &rng)
+{
+    // Pack start code + pack header with MPEG-2 '01' prefix and
+    // marker bits.
+    out.insert(out.end(), {0x00, 0x00, 0x01, 0xBA});
+    uint8_t b4 = 0x40;                       // '01' prefix
+    b4 |= rng.nextByte() & 0x38;             // SCR bits
+    b4 |= 0x04;                              // marker bit
+    b4 |= rng.nextByte() & 0x03;
+    out.push_back(b4);
+    for (int i = 0; i < 9; ++i)
+        out.push_back(rng.nextByte());
+    // A video sequence header start code follows in most streams.
+    out.insert(out.end(), {0x00, 0x00, 0x01, 0xB3});
+    const size_t len = 500 + rng.nextBelow(4000);
+    for (size_t i = 0; i < len; ++i)
+        out.push_back(rng.nextByte());
+}
+
+void
+emitMp4(std::vector<uint8_t> &out, Rng &rng)
+{
+    static const char *brands[] = {"isom", "mp42", "avc1", "M4V "};
+    const char *brand = brands[rng.nextBelow(4)];
+    out.insert(out.end(), {0x00, 0x00, 0x00, 0x18});
+    out.insert(out.end(), {'f', 't', 'y', 'p'});
+    out.insert(out.end(), brand, brand + 4);
+    for (int i = 0; i < 4; ++i)
+        out.push_back(0);                    // minor version
+    out.insert(out.end(), brand, brand + 4); // compatible brand
+    out.insert(out.end(), {'i', 's', 'o', 'm'});
+    const size_t len = 500 + rng.nextBelow(4000);
+    for (size_t i = 0; i < len; ++i)
+        out.push_back(rng.nextByte());
+}
+
+void
+emitTextWithForensics(std::vector<uint8_t> &out, Rng &rng,
+                      uint64_t seed)
+{
+    auto text = englishLikeText(800 + rng.nextBelow(2000),
+                                seed ^ rng.next());
+    out.insert(out.end(), text.begin(), text.end());
+    if (rng.nextBool(0.5)) {
+        std::string email = "contact" +
+            std::to_string(rng.nextBelow(100)) + "@mail" +
+            std::to_string(rng.nextBelow(100)) + ".example.com ";
+        out.insert(out.end(), email.begin(), email.end());
+    }
+    if (rng.nextBool(0.3)) {
+        char ssn[16];
+        std::snprintf(ssn, sizeof(ssn), "%03u-%02u-%04u",
+                      static_cast<unsigned>(rng.nextBelow(900) + 100),
+                      static_cast<unsigned>(rng.nextBelow(99) + 1),
+                      static_cast<unsigned>(rng.nextBelow(9999) + 1));
+        out.insert(out.end(), ssn, ssn + 11);
+        out.push_back(' ');
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+diskImage(const DiskImageConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    std::vector<uint8_t> out;
+    out.reserve(cfg.bytes + 8192);
+
+    // Embed each virus payload once in the middle portion.
+    std::vector<size_t> virus_at;
+    for (size_t i = 0; i < cfg.viruses.size(); ++i) {
+        virus_at.push_back(cfg.bytes / 4 +
+                           (i * cfg.bytes) / (2 * cfg.viruses.size()
+                                              + 1));
+    }
+    size_t virus_idx = 0;
+
+    while (out.size() < cfg.bytes) {
+        if (virus_idx < virus_at.size() &&
+            out.size() >= virus_at[virus_idx]) {
+            const std::string &v = cfg.viruses[virus_idx++];
+            out.insert(out.end(), v.begin(), v.end());
+            continue;
+        }
+        switch (rng.nextBelow(6)) {
+          case 0:
+            emitZipMember(out, rng);
+            break;
+          case 1:
+            emitMpeg2Pack(out, rng);
+            break;
+          case 2:
+            emitMp4(out, rng);
+            break;
+          case 3:
+            emitJpeg(out, rng);
+            break;
+          default:
+            emitTextWithForensics(out, rng, cfg.seed);
+            break;
+        }
+    }
+    out.resize(cfg.bytes);
+    return out;
+}
+
+} // namespace input
+} // namespace azoo

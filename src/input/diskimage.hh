@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Synthetic disk image: the ClamAV / File Carving input.
+ *
+ * Per the paper, the ClamAV stimulus is "a disk image including
+ * various files and two embedded virus fragments". We concatenate
+ * realistic file blobs -- text, PKZip members with correct local-file
+ * headers (including MS-DOS timestamps with valid bit-field ranges),
+ * MPEG program streams, MP4 ftyp boxes -- plus filler, e-mail
+ * addresses and SSN-formatted strings for the forensic patterns, and
+ * embed the provided virus payloads at deterministic offsets.
+ */
+
+#ifndef AZOO_INPUT_DISKIMAGE_HH
+#define AZOO_INPUT_DISKIMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace azoo {
+namespace input {
+
+/** Disk image knobs. */
+struct DiskImageConfig {
+    size_t bytes = 1 << 20;
+    uint64_t seed = 23;
+    /** Byte payloads embedded verbatim ("virus fragments"). */
+    std::vector<std::string> viruses;
+};
+
+/** Build the image. */
+std::vector<uint8_t> diskImage(const DiskImageConfig &cfg);
+
+} // namespace input
+} // namespace azoo
+
+#endif // AZOO_INPUT_DISKIMAGE_HH

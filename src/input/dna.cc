@@ -1,0 +1,48 @@
+#include "input/dna.hh"
+
+#include <cassert>
+
+namespace azoo {
+namespace input {
+
+std::vector<uint8_t>
+randomDna(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<uint8_t>(rng.pickChar(kDnaAlphabet)));
+    return out;
+}
+
+std::string
+randomDnaString(size_t l, Rng &rng)
+{
+    return rng.randomString(l, kDnaAlphabet);
+}
+
+void
+plantWithMismatches(std::vector<uint8_t> &stream, size_t offset,
+                    const std::string &pattern, int mismatches, Rng &rng)
+{
+    assert(offset + pattern.size() <= stream.size());
+    std::string mutated = pattern;
+    std::vector<size_t> pos(pattern.size());
+    for (size_t i = 0; i < pos.size(); ++i)
+        pos[i] = i;
+    rng.shuffle(pos);
+    for (int m = 0; m < mismatches && m < static_cast<int>(pos.size());
+         ++m) {
+        char cur = mutated[pos[m]];
+        char repl = cur;
+        while (repl == cur)
+            repl = rng.pickChar(kDnaAlphabet);
+        mutated[pos[m]] = repl;
+    }
+    for (size_t i = 0; i < mutated.size(); ++i)
+        stream[offset + i] = static_cast<uint8_t>(mutated[i]);
+}
+
+} // namespace input
+} // namespace azoo

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * DNA input generation: the "Random DNA" stimulus of the Hamming /
+ * Levenshtein / CRISPR benchmarks.
+ */
+
+#ifndef AZOO_INPUT_DNA_HH
+#define AZOO_INPUT_DNA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace azoo {
+namespace input {
+
+/** The DNA alphabet used throughout the mesh benchmarks. */
+inline const std::string kDnaAlphabet = "atgc";
+
+/** Uniform random DNA bases. */
+std::vector<uint8_t> randomDna(size_t n, uint64_t seed);
+
+/** Random DNA pattern string of length l (e.g. a filter pattern or a
+ *  CRISPR guide). */
+std::string randomDnaString(size_t l, Rng &rng);
+
+/**
+ * Overwrite @p stream at @p offset with @p pattern mutated by exactly
+ * @p mismatches random substitutions -- used to plant near matches
+ * with a known Hamming distance.
+ */
+void plantWithMismatches(std::vector<uint8_t> &stream, size_t offset,
+                         const std::string &pattern, int mismatches,
+                         Rng &rng);
+
+} // namespace input
+} // namespace azoo
+
+#endif // AZOO_INPUT_DNA_HH

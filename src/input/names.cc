@@ -1,0 +1,121 @@
+#include "input/names.hh"
+
+#include <set>
+
+namespace azoo {
+namespace input {
+
+namespace {
+
+const char *kFirstParts[] = {"al", "an", "bet", "car", "dan", "el",
+                             "fran", "gre", "han", "is", "jo", "kat",
+                             "lu", "mar", "nat", "ol", "pat", "ro",
+                             "sam", "tom", "vic", "wil"};
+const char *kFirstEnds[] = {"a", "an", "en", "ia", "ie", "io", "on",
+                            "y", "ah", "ek"};
+const char *kLastParts[] = {"ander", "berg", "carl", "dahl", "eriks",
+                            "fern", "gust", "holm", "ivars", "jung",
+                            "karls", "lind", "marx", "nords", "ols",
+                            "peters", "quist", "roths", "steins",
+                            "thomas", "ulfs", "wick"};
+const char *kLastEnds[] = {"son", "sen", "berg", "man", "er", "ez",
+                           "ini", "ov", "sky", "wood"};
+
+std::string
+capitalize(std::string s)
+{
+    if (!s.empty())
+        s[0] = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(s[0])));
+    return s;
+}
+
+} // namespace
+
+std::vector<Name>
+makeNames(size_t count, uint64_t seed)
+{
+    Rng rng(seed ^ 0x9a3e5ULL);
+    std::vector<Name> names;
+    std::set<std::string> seen;
+    while (names.size() < count) {
+        Name n;
+        n.first = capitalize(
+            std::string(kFirstParts[rng.nextBelow(
+                std::size(kFirstParts))]) +
+            kFirstEnds[rng.nextBelow(std::size(kFirstEnds))]);
+        n.last = capitalize(
+            std::string(kLastParts[rng.nextBelow(
+                std::size(kLastParts))]) +
+            kLastEnds[rng.nextBelow(std::size(kLastEnds))]);
+        // Disambiguate with a middle-initial style suffix as needed.
+        std::string key = n.first + " " + n.last;
+        if (!seen.insert(key).second) {
+            n.last += static_cast<char>('a' + rng.nextBelow(26));
+            key = n.first + " " + n.last;
+            if (!seen.insert(key).second)
+                continue;
+        }
+        names.push_back(std::move(n));
+    }
+    return names;
+}
+
+std::string
+renderRecord(const Name &n, Rng &rng)
+{
+    switch (rng.nextBelow(3)) {
+      case 0:
+        return n.first + " " + n.last;
+      case 1:
+        return n.last + ", " + n.first;
+      default:
+        return std::string(1, n.first[0]) + ". " + n.last;
+    }
+}
+
+std::string
+corrupt(const std::string &record, Rng &rng)
+{
+    if (record.size() < 3)
+        return record;
+    std::string out = record;
+    const size_t at = 1 + rng.nextBelow(out.size() - 2);
+    switch (rng.nextBelow(4)) {
+      case 0: // substitution
+        out[at] = static_cast<char>('a' + rng.nextBelow(26));
+        break;
+      case 1: // transposition
+        std::swap(out[at], out[at - 1]);
+        break;
+      case 2: // deletion
+        out.erase(at, 1);
+        break;
+      default: // insertion
+        out.insert(at, 1, static_cast<char>('a' + rng.nextBelow(26)));
+        break;
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+nameStream(const std::vector<Name> &names, size_t bytes,
+           double error_rate, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out;
+    out.reserve(bytes + 64);
+    while (out.size() < bytes) {
+        std::string rec = renderRecord(names[rng.nextBelow(
+            names.size())], rng);
+        if (rng.nextBool(error_rate))
+            rec = corrupt(rec, rng);
+        out.insert(out.end(), rec.begin(), rec.end());
+        out.push_back('\n');
+    }
+    out.resize(bytes);
+    return out;
+}
+
+} // namespace input
+} // namespace azoo

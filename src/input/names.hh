@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Name database generation for the Entity Resolution benchmark.
+ *
+ * The paper replaced ANMLZoo's 500 lexicographically-similar names
+ * with "a name generator that can introduce arbitrary names of
+ * different formats, and also introduce various errors". This module
+ * generates unique full names, renders them in several record formats
+ * (First Last / Last, First / F. Last), and emits a streaming
+ * database of newline-separated records where a fraction of records
+ * are corrupted duplicates (typos, transpositions, dropped letters).
+ */
+
+#ifndef AZOO_INPUT_NAMES_HH
+#define AZOO_INPUT_NAMES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace azoo {
+namespace input {
+
+/** One person with first/last name tokens. */
+struct Name {
+    std::string first;
+    std::string last;
+};
+
+/** Generate @p count unique names. */
+std::vector<Name> makeNames(size_t count, uint64_t seed);
+
+/** Render a name in a random record format. */
+std::string renderRecord(const Name &n, Rng &rng);
+
+/** Apply one random error (substitution / transposition / deletion /
+ *  insertion) to a record. */
+std::string corrupt(const std::string &record, Rng &rng);
+
+/**
+ * Streaming database: newline-separated records drawn from @p names,
+ * with probability @p error_rate of being corrupted.
+ */
+std::vector<uint8_t> nameStream(const std::vector<Name> &names,
+                                size_t bytes, double error_rate,
+                                uint64_t seed);
+
+} // namespace input
+} // namespace azoo
+
+#endif // AZOO_INPUT_NAMES_HH

@@ -1,0 +1,86 @@
+#include "input/pcap.hh"
+
+#include "input/corpus.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace input {
+
+namespace {
+
+const char *kMethods[] = {"GET", "POST", "HEAD", "PUT"};
+const char *kPaths[] = {"/index.html", "/api/v1/items", "/login",
+                        "/images/logo.png", "/search", "/admin",
+                        "/cgi-bin/test.cgi", "/static/app.js"};
+const char *kAgents[] = {"Mozilla/5.0", "curl/7.88", "Wget/1.21",
+                         "python-requests/2.28"};
+
+void
+appendStr(std::vector<uint8_t> &out, const std::string &s)
+{
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+void
+appendHttpPacket(std::vector<uint8_t> &out, Rng &rng)
+{
+    std::string req = kMethods[rng.nextBelow(std::size(kMethods))];
+    req += " ";
+    req += kPaths[rng.nextBelow(std::size(kPaths))];
+    req += " HTTP/1.1\r\nHost: host";
+    req += std::to_string(rng.nextBelow(1000));
+    req += ".example.com\r\nUser-Agent: ";
+    req += kAgents[rng.nextBelow(std::size(kAgents))];
+    req += "\r\nAccept: */*\r\n\r\n";
+    appendStr(out, req);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+packetStream(const PcapConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    std::vector<uint8_t> out;
+    out.reserve(cfg.bytes + 2048);
+
+    size_t next_plant = cfg.plantInterval
+        ? cfg.plantInterval / 2 + rng.nextBelow(cfg.plantInterval)
+        : ~size_t(0);
+
+    auto text = englishLikeText(4096, cfg.seed ^ 0x7e47ULL);
+
+    while (out.size() < cfg.bytes) {
+        // Pseudo header: 16 bytes of addressing/ports/length.
+        for (int i = 0; i < 16; ++i)
+            out.push_back(rng.nextByte());
+
+        const double kind = rng.nextDouble();
+        if (kind < 0.45) {
+            appendHttpPacket(out, rng);
+        } else if (kind < 0.75) {
+            // Text payload slice.
+            const size_t len = 64 + rng.nextBelow(512);
+            const size_t at = rng.nextBelow(text.size() - len);
+            out.insert(out.end(), text.begin() + at,
+                       text.begin() + at + len);
+        } else {
+            // Binary payload.
+            const size_t len = 64 + rng.nextBelow(768);
+            for (size_t i = 0; i < len; ++i)
+                out.push_back(rng.nextByte());
+        }
+
+        if (!cfg.planted.empty() && out.size() >= next_plant) {
+            appendStr(out, cfg.planted[rng.nextBelow(
+                cfg.planted.size())]);
+            next_plant = out.size() + cfg.plantInterval / 2 +
+                rng.nextBelow(cfg.plantInterval);
+        }
+    }
+    out.resize(cfg.bytes);
+    return out;
+}
+
+} // namespace input
+} // namespace azoo

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthetic packet-capture stream: the PCAP-file stand-in driving the
+ * Snort benchmark. The stream is a concatenation of packets, each a
+ * small binary header followed by a payload drawn from a mix of
+ * HTTP-like text, generic text, and binary data, with a configurable
+ * rate of planted attack payloads that trigger Snort rules.
+ */
+
+#ifndef AZOO_INPUT_PCAP_HH
+#define AZOO_INPUT_PCAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace azoo {
+namespace input {
+
+/** Packet-stream knobs. */
+struct PcapConfig {
+    size_t bytes = 1 << 20;
+    uint64_t seed = 11;
+    /** Strings to plant occasionally (attack payload fragments). */
+    std::vector<std::string> planted;
+    /** Average interval in bytes between planted fragments. */
+    size_t plantInterval = 64 * 1024;
+};
+
+/** Generate the packet byte stream. */
+std::vector<uint8_t> packetStream(const PcapConfig &cfg);
+
+} // namespace input
+} // namespace azoo
+
+#endif // AZOO_INPUT_PCAP_HH

@@ -1,0 +1,40 @@
+#include "input/protein.hh"
+
+namespace azoo {
+namespace input {
+
+std::vector<uint8_t>
+syntheticProteome(size_t n, uint64_t seed,
+                  const std::vector<std::string> &motifs)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> out;
+    out.reserve(n);
+    size_t until_newline = 200 + rng.nextBelow(600);
+    while (out.size() < n) {
+        if (until_newline == 0) {
+            out.push_back('\n');
+            until_newline = 200 + rng.nextBelow(600);
+            continue;
+        }
+        // Roughly one planted motif instance per 50 KiB.
+        if (!motifs.empty() && rng.nextBelow(50000) == 0) {
+            const std::string &m = rng.pick(motifs);
+            for (char c : m) {
+                if (out.size() >= n)
+                    break;
+                out.push_back(static_cast<uint8_t>(c));
+            }
+            until_newline = until_newline > m.size()
+                ? until_newline - m.size() : 1;
+            continue;
+        }
+        out.push_back(static_cast<uint8_t>(rng.pickChar(kAminoAcids)));
+        --until_newline;
+    }
+    out.resize(n);
+    return out;
+}
+
+} // namespace input
+} // namespace azoo

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Protein sequence input: the UniProt-database stand-in that drives
+ * the Protomata benchmark.
+ */
+
+#ifndef AZOO_INPUT_PROTEIN_HH
+#define AZOO_INPUT_PROTEIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace azoo {
+namespace input {
+
+/** The 20 standard amino-acid one-letter codes. */
+inline const std::string kAminoAcids = "ACDEFGHIKLMNPQRSTVWY";
+
+/**
+ * A synthetic proteome: concatenated protein sequences separated by
+ * newlines, with a small fraction of positions rewritten to embed
+ * instances drawn from @p motifs (concrete strings sampled from the
+ * benchmark's PROSITE-style patterns) so the benchmark actually
+ * reports.
+ */
+std::vector<uint8_t> syntheticProteome(
+    size_t n, uint64_t seed, const std::vector<std::string> &motifs);
+
+} // namespace input
+} // namespace azoo
+
+#endif // AZOO_INPUT_PROTEIN_HH

@@ -1,0 +1,204 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace ml {
+
+namespace {
+
+constexpr int kSide = 28;
+constexpr int kFeatures = kSide * kSide;
+constexpr int kClasses = 10;
+
+struct Stroke {
+    double x0, y0, x1, y1;
+    double thickness;
+};
+
+/** Deterministic stroke set per class. */
+std::vector<Stroke>
+classStrokes(int cls, uint64_t seed)
+{
+    Rng rng(seed * 1000003ULL + cls);
+    const int count = 3 + static_cast<int>(rng.nextBelow(3));
+    std::vector<Stroke> strokes;
+    for (int i = 0; i < count; ++i) {
+        Stroke s;
+        s.x0 = 4 + rng.nextDouble() * 20;
+        s.y0 = 4 + rng.nextDouble() * 20;
+        s.x1 = 4 + rng.nextDouble() * 20;
+        s.y1 = 4 + rng.nextDouble() * 20;
+        s.thickness = 1.2 + rng.nextDouble() * 1.3;
+        strokes.push_back(s);
+    }
+    return strokes;
+}
+
+void
+renderStrokes(const std::vector<Stroke> &strokes, double dx, double dy,
+              double dropout, Rng &rng, std::vector<uint8_t> &img)
+{
+    for (const auto &s : strokes) {
+        const double len = std::hypot(s.x1 - s.x0, s.y1 - s.y0);
+        const int steps = std::max(2, static_cast<int>(len * 2));
+        for (int i = 0; i <= steps; ++i) {
+            if (rng.nextDouble() < dropout)
+                continue;
+            const double t = static_cast<double>(i) / steps;
+            const double cx = s.x0 + t * (s.x1 - s.x0) + dx;
+            const double cy = s.y0 + t * (s.y1 - s.y0) + dy;
+            const int r = static_cast<int>(std::ceil(s.thickness));
+            for (int oy = -r; oy <= r; ++oy) {
+                for (int ox = -r; ox <= r; ++ox) {
+                    const int px = static_cast<int>(cx) + ox;
+                    const int py = static_cast<int>(cy) + oy;
+                    if (px < 0 || px >= kSide || py < 0 || py >= kSide)
+                        continue;
+                    const double d = std::hypot(
+                        px + 0.5 - cx, py + 0.5 - cy);
+                    if (d > s.thickness)
+                        continue;
+                    const double v = 255.0 *
+                        (1.0 - d / (s.thickness + 0.5));
+                    auto &cell = img[py * kSide + px];
+                    cell = static_cast<uint8_t>(
+                        std::min(255.0, cell + v));
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Dataset
+makeSyntheticDigits(const DigitConfig &cfg)
+{
+    Dataset d;
+    d.numFeatures = kFeatures;
+    d.numClasses = kClasses;
+    d.x.reserve(cfg.samples);
+    d.y.reserve(cfg.samples);
+
+    std::vector<std::vector<Stroke>> protos;
+    for (int c = 0; c < kClasses; ++c)
+        protos.push_back(classStrokes(c, cfg.seed));
+
+    Rng rng(cfg.seed ^ 0xd16175ULL);
+    for (size_t i = 0; i < cfg.samples; ++i) {
+        const int cls = static_cast<int>(rng.nextBelow(kClasses));
+        std::vector<uint8_t> img(kFeatures, 0);
+        const double dx = rng.nextRange(-cfg.jitter, cfg.jitter) +
+            rng.nextDouble() - 0.5;
+        const double dy = rng.nextRange(-cfg.jitter, cfg.jitter) +
+            rng.nextDouble() - 0.5;
+        renderStrokes(protos[cls], dx, dy, cfg.dropout, rng, img);
+        for (auto &px : img) {
+            const double noisy = px +
+                (rng.nextDouble() * 2 - 1) * cfg.noise;
+            px = static_cast<uint8_t>(
+                std::clamp(noisy, 0.0, 255.0));
+        }
+        d.x.push_back(std::move(img));
+        d.y.push_back(cls);
+    }
+    return d;
+}
+
+void
+splitDataset(const Dataset &all, double test_fraction, uint64_t seed,
+             Dataset &train, Dataset &test)
+{
+    std::vector<size_t> order(all.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    Rng rng(seed ^ 0x5eedbeefULL);
+    rng.shuffle(order);
+
+    const size_t test_n =
+        static_cast<size_t>(all.size() * test_fraction);
+    train = Dataset{all.numFeatures, all.numClasses, {}, {}};
+    test = Dataset{all.numFeatures, all.numClasses, {}, {}};
+    for (size_t i = 0; i < order.size(); ++i) {
+        Dataset &dst = i < all.size() - test_n ? train : test;
+        dst.x.push_back(all.x[order[i]]);
+        dst.y.push_back(all.y[order[i]]);
+    }
+}
+
+std::vector<int>
+selectFeatures(const Dataset &d, int count)
+{
+    if (count > d.numFeatures)
+        fatal(cat("selectFeatures: ", count, " > ", d.numFeatures));
+    const int f = d.numFeatures;
+    const int c = d.numClasses;
+
+    std::vector<double> mean(static_cast<size_t>(f) * c, 0);
+    std::vector<double> m2(f, 0), gmean(f, 0);
+    std::vector<uint64_t> per_class(c, 0);
+    for (size_t i = 0; i < d.size(); ++i)
+        ++per_class[d.y[i]];
+
+    for (size_t i = 0; i < d.size(); ++i) {
+        const auto &row = d.x[i];
+        for (int j = 0; j < f; ++j) {
+            mean[static_cast<size_t>(j) * c + d.y[i]] += row[j];
+            gmean[j] += row[j];
+            m2[j] += static_cast<double>(row[j]) * row[j];
+        }
+    }
+
+    std::vector<std::pair<double, int>> scored(f);
+    const double n = static_cast<double>(d.size());
+    for (int j = 0; j < f; ++j) {
+        gmean[j] /= n;
+        double between = 0;
+        for (int k = 0; k < c; ++k) {
+            if (!per_class[k])
+                continue;
+            const double cm =
+                mean[static_cast<size_t>(j) * c + k] / per_class[k];
+            between += per_class[k] * (cm - gmean[j]) * (cm - gmean[j]);
+        }
+        const double total = m2[j] - n * gmean[j] * gmean[j];
+        const double score = total > 1e-9 ? between / total : 0.0;
+        scored[j] = {score, j};
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    std::vector<int> out(count);
+    for (int i = 0; i < count; ++i)
+        out[i] = scored[i].second;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Dataset
+projectFeatures(const Dataset &d, const std::vector<int> &features)
+{
+    Dataset out;
+    out.numFeatures = static_cast<int>(features.size());
+    out.numClasses = d.numClasses;
+    out.x.reserve(d.size());
+    out.y = d.y;
+    for (const auto &row : d.x) {
+        std::vector<uint8_t> pr(features.size());
+        for (size_t j = 0; j < features.size(); ++j)
+            pr[j] = row[features[j]];
+        out.x.push_back(std::move(pr));
+    }
+    return out;
+}
+
+} // namespace ml
+} // namespace azoo

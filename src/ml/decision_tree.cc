@@ -1,0 +1,252 @@
+#include "ml/decision_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace ml {
+
+namespace {
+
+/** Candidate leaf expansion for best-first growth. */
+struct Candidate {
+    std::vector<size_t> rows;
+    int nodeId = -1;
+    int depth = 0;
+    int feature = -1;
+    uint8_t threshold = 0;
+    double gain = 0; ///< impurity decrease * samples
+    int majority = 0;
+
+    bool
+    operator<(const Candidate &o) const
+    {
+        return gain < o.gain; // max-heap
+    }
+};
+
+double
+giniTimesN(const std::vector<uint64_t> &counts, uint64_t n)
+{
+    if (n == 0)
+        return 0;
+    double sum_sq = 0;
+    for (auto c : counts)
+        sum_sq += static_cast<double>(c) * c;
+    return static_cast<double>(n) - sum_sq / static_cast<double>(n);
+}
+
+} // namespace
+
+void
+DecisionTree::train(const Dataset &d, const std::vector<size_t> &idx,
+                    const TreeParams &params, Rng &rng)
+{
+    bins_ = params.bins;
+    binShift_ = 8;
+    for (int b = params.bins; b > 1; b >>= 1)
+        --binShift_;
+    if ((1 << (8 - binShift_)) != params.bins)
+        fatal("DecisionTree: bins must be a power of two <= 256");
+
+    nodes_.clear();
+    leaves_ = 0;
+    depth_ = 0;
+
+    const int f = d.numFeatures;
+    const int c = d.numClasses;
+    const int subset = params.featureSubset > 0
+        ? std::min(params.featureSubset, f)
+        : std::max(1, static_cast<int>(std::lround(std::sqrt(f))));
+
+    // Find the best split of a candidate's rows; fills
+    // feature/threshold/gain (gain <= 0 means no usable split).
+    auto score = [&](Candidate &cand) {
+        const auto &rows = cand.rows;
+        std::vector<uint64_t> total(c, 0);
+        for (auto r : rows)
+            ++total[d.y[r]];
+        cand.majority = static_cast<int>(
+            std::max_element(total.begin(), total.end()) -
+            total.begin());
+        cand.feature = -1;
+        cand.gain = 0;
+        if (rows.size() < 2 * static_cast<size_t>(params.minSamplesLeaf))
+            return;
+        const double parent = giniTimesN(total, rows.size());
+        if (parent <= 1e-12)
+            return;
+
+        // Random distinct feature subset.
+        std::vector<int> feats(f);
+        for (int j = 0; j < f; ++j)
+            feats[j] = j;
+        for (int j = 0; j < subset; ++j) {
+            const auto k = j + rng.nextBelow(f - j);
+            std::swap(feats[j], feats[k]);
+        }
+
+        std::vector<uint64_t> hist(
+            static_cast<size_t>(bins_) * c);
+        std::vector<uint64_t> left(c);
+        for (int j = 0; j < subset; ++j) {
+            const int feat = feats[j];
+            std::fill(hist.begin(), hist.end(), 0);
+            for (auto r : rows) {
+                const int bin = d.x[r][feat] >> binShift_;
+                ++hist[static_cast<size_t>(bin) * c + d.y[r]];
+            }
+            std::fill(left.begin(), left.end(), 0);
+            uint64_t nl = 0;
+            for (int t = 0; t < bins_ - 1; ++t) {
+                for (int k = 0; k < c; ++k) {
+                    left[k] += hist[static_cast<size_t>(t) * c + k];
+                }
+                nl = 0;
+                for (int k = 0; k < c; ++k)
+                    nl += left[k];
+                const uint64_t nr = rows.size() - nl;
+                if (nl < static_cast<uint64_t>(params.minSamplesLeaf) ||
+                    nr < static_cast<uint64_t>(params.minSamplesLeaf)) {
+                    continue;
+                }
+                std::vector<uint64_t> right(c);
+                for (int k = 0; k < c; ++k) {
+                    right[k] =
+                        total[k] - left[k];
+                }
+                const double child =
+                    giniTimesN(left, nl) + giniTimesN(right, nr);
+                const double gain = parent - child;
+                if (gain > cand.gain + 1e-12) {
+                    cand.gain = gain;
+                    cand.feature = feat;
+                    cand.threshold = static_cast<uint8_t>(t);
+                }
+            }
+        }
+    };
+
+    std::priority_queue<Candidate> heap;
+    Candidate root;
+    root.rows = idx;
+    root.nodeId = 0;
+    nodes_.push_back(Node{});
+    score(root);
+    heap.push(std::move(root));
+    leaves_ = 1;
+
+    auto finalize_leaf = [&](const Candidate &cand) {
+        Node &n = nodes_[cand.nodeId];
+        n.feature = -1;
+        n.label = cand.majority;
+        depth_ = std::max(depth_, cand.depth);
+    };
+
+    while (!heap.empty()) {
+        Candidate cand =
+            std::move(const_cast<Candidate &>(heap.top()));
+        heap.pop();
+        const bool can_split = cand.feature >= 0 &&
+            cand.depth < params.maxDepth &&
+            leaves_ < params.maxLeaves;
+        if (!can_split) {
+            finalize_leaf(cand);
+            continue;
+        }
+
+        Candidate lc, rc;
+        lc.depth = rc.depth = cand.depth + 1;
+        for (auto r : cand.rows) {
+            const int bin = d.x[r][cand.feature] >> binShift_;
+            (bin <= cand.threshold ? lc.rows : rc.rows).push_back(r);
+        }
+
+        const int left_id = static_cast<int>(nodes_.size());
+        const int right_id = left_id + 1;
+        nodes_.push_back(Node{});
+        nodes_.push_back(Node{});
+        Node &n = nodes_[cand.nodeId];
+        n.feature = cand.feature;
+        n.threshold = cand.threshold;
+        n.left = left_id;
+        n.right = right_id;
+        lc.nodeId = left_id;
+        rc.nodeId = right_id;
+        ++leaves_; // one leaf became two
+
+        score(lc);
+        score(rc);
+        heap.push(std::move(lc));
+        heap.push(std::move(rc));
+    }
+}
+
+int
+DecisionTree::predict(const uint8_t *x) const
+{
+    int cur = 0;
+    while (nodes_[cur].feature >= 0) {
+        const Node &n = nodes_[cur];
+        const int bin = x[n.feature] >> binShift_;
+        cur = bin <= n.threshold ? n.left : n.right;
+    }
+    return nodes_[cur].label;
+}
+
+std::vector<DecisionTree::Path>
+DecisionTree::paths() const
+{
+    std::vector<Path> out;
+    if (nodes_.empty())
+        return out;
+
+    const uint8_t top = static_cast<uint8_t>(bins_ - 1);
+
+    std::vector<std::pair<int, std::vector<Path::Constraint>>> stack;
+    stack.push_back({0, {}});
+    while (!stack.empty()) {
+        auto [node, cons] = std::move(stack.back());
+        stack.pop_back();
+        const Node &n = nodes_[node];
+        if (n.feature < 0) {
+            Path p;
+            p.constraints = std::move(cons);
+            std::sort(p.constraints.begin(), p.constraints.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.feature < b.feature;
+                      });
+            p.label = n.label;
+            out.push_back(std::move(p));
+            continue;
+        }
+
+        auto tighten = [&](std::vector<Path::Constraint> base,
+                           bool left) {
+            uint8_t lo = left ? 0 : n.threshold + 1;
+            uint8_t hi = left ? n.threshold : top;
+            bool found = false;
+            for (auto &cst : base) {
+                if (cst.feature == n.feature) {
+                    cst.lo = std::max(cst.lo, lo);
+                    cst.hi = std::min(cst.hi, hi);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                base.push_back({n.feature, lo, hi});
+            return base;
+        };
+
+        stack.push_back({n.left, tighten(cons, true)});
+        stack.push_back({n.right, tighten(cons, false)});
+    }
+    return out;
+}
+
+} // namespace ml
+} // namespace azoo

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * CART decision tree over byte features with value binning.
+ *
+ * This is the native (non-automata) decision-tree substrate: the
+ * trainer behind all three Random Forest benchmark variants and the
+ * inference engine standing in for scikit-learn in Table IV. Trees
+ * grow best-first (largest impurity decrease first) so the paper's
+ * max_leaf_nodes hyperparameter has scikit-learn semantics.
+ */
+
+#ifndef AZOO_ML_DECISION_TREE_HH
+#define AZOO_ML_DECISION_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace ml {
+
+/** Training hyperparameters. */
+struct TreeParams {
+    int maxLeaves = 400;
+    int maxDepth = 8;
+    /** Features examined per split; 0 means sqrt(numFeatures). */
+    int featureSubset = 0;
+    /** Value bins; splits test (value >> shift) <= threshold. */
+    int bins = 16;
+    int minSamplesLeaf = 1;
+};
+
+/** One trained CART tree. */
+class DecisionTree
+{
+  public:
+    /** Internal or leaf node; leaves have feature == -1. */
+    struct Node {
+        int feature = -1;
+        uint8_t threshold = 0; ///< binned: go left if bin <= threshold
+        int left = -1;
+        int right = -1;
+        int label = -1;        ///< leaves only
+    };
+
+    /** A root-to-leaf path as per-feature bin intervals. */
+    struct Path {
+        /** (feature, loBin, hiBin) inclusive; sorted by feature. */
+        struct Constraint {
+            int feature;
+            uint8_t lo, hi;
+        };
+        std::vector<Constraint> constraints;
+        int label = -1;
+    };
+
+    /** Train on rows @p idx of @p d. */
+    void train(const Dataset &d, const std::vector<size_t> &idx,
+               const TreeParams &params, Rng &rng);
+
+    /** Predict the class of one raw (unbinned) sample. */
+    int predict(const uint8_t *x) const;
+
+    /** Enumerate all root-to-leaf paths with merged constraints. */
+    std::vector<Path> paths() const;
+
+    int leafCount() const { return leaves_; }
+    int depth() const { return depth_; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+    int binShift() const { return binShift_; }
+
+  private:
+    std::vector<Node> nodes_;
+    int leaves_ = 0;
+    int depth_ = 0;
+    int binShift_ = 4;
+    int bins_ = 16;
+};
+
+} // namespace ml
+} // namespace azoo
+
+#endif // AZOO_ML_DECISION_TREE_HH

@@ -1,0 +1,96 @@
+#include "ml/random_forest.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace ml {
+
+void
+RandomForest::train(const Dataset &train_set, const ForestParams &params)
+{
+    params_ = params;
+    featureMap_ = selectFeatures(train_set, params.features);
+    const Dataset proj = projectFeatures(train_set, featureMap_);
+
+    TreeParams tp;
+    tp.maxLeaves = params.maxLeaves;
+    tp.maxDepth = params.maxDepth;
+    tp.bins = params.bins;
+
+    Rng rng(params.seed);
+    trees_.assign(params.numTrees, DecisionTree());
+    for (int t = 0; t < params.numTrees; ++t) {
+        // Bootstrap sample (bagging).
+        std::vector<size_t> idx(proj.size());
+        for (auto &i : idx)
+            i = rng.nextBelow(proj.size());
+        Rng tree_rng = rng.fork();
+        trees_[t].train(proj, idx, tp, tree_rng);
+    }
+}
+
+int
+RandomForest::predict(const std::vector<uint8_t> &x) const
+{
+    std::vector<uint8_t> proj(featureMap_.size());
+    for (size_t j = 0; j < featureMap_.size(); ++j)
+        proj[j] = x[featureMap_[j]];
+
+    int votes[64] = {};
+    for (const auto &t : trees_)
+        ++votes[t.predict(proj.data())];
+    int best = 0;
+    for (int k = 1; k < 64; ++k) {
+        if (votes[k] > votes[best])
+            best = k;
+    }
+    return best;
+}
+
+std::vector<int>
+RandomForest::predictBatch(const Dataset &d, int threads) const
+{
+    std::vector<int> out(d.size());
+    if (threads <= 1) {
+        for (size_t i = 0; i < d.size(); ++i)
+            out[i] = predict(d.x[i]);
+        return out;
+    }
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                const size_t i = next.fetch_add(64);
+                if (i >= d.size())
+                    return;
+                const size_t hi = std::min(i + 64, d.size());
+                for (size_t k = i; k < hi; ++k)
+                    out[k] = predict(d.x[k]);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return out;
+}
+
+double
+RandomForest::accuracy(const Dataset &d) const
+{
+    if (d.size() == 0)
+        return 0;
+    auto pred = predictBatch(
+        d, static_cast<int>(std::thread::hardware_concurrency()));
+    size_t ok = 0;
+    for (size_t i = 0; i < d.size(); ++i)
+        ok += pred[i] == d.y[i];
+    return static_cast<double>(ok) / d.size();
+}
+
+} // namespace ml
+} // namespace azoo

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Random forest: bagged ensemble of CART trees, with single- and
+ * multi-threaded native inference (the scikit-learn stand-in of
+ * Table IV) and path export for the automata conversion (Tracy et
+ * al.) used by the Random Forest A/B/C benchmarks.
+ */
+
+#ifndef AZOO_ML_RANDOM_FOREST_HH
+#define AZOO_ML_RANDOM_FOREST_HH
+
+#include <vector>
+
+#include "ml/decision_tree.hh"
+
+namespace azoo {
+namespace ml {
+
+/** Forest hyperparameters (the Table II design-space knobs). */
+struct ForestParams {
+    int numTrees = 20;
+    int features = 200;  ///< selected feature count (input stream len)
+    int maxLeaves = 400;
+    int maxDepth = 8;
+    int bins = 16;
+    uint64_t seed = 7;
+};
+
+class RandomForest
+{
+  public:
+    /** Train on @p train; features are selected from the full space
+     *  then trees see only the projected columns. */
+    void train(const Dataset &train, const ForestParams &params);
+
+    /** Majority-vote prediction of one raw full-width sample. */
+    int predict(const std::vector<uint8_t> &x) const;
+
+    /** Batch predict with @p threads worker threads (1 = serial). */
+    std::vector<int> predictBatch(const Dataset &d, int threads) const;
+
+    /** Fraction of @p d classified correctly. */
+    double accuracy(const Dataset &d) const;
+
+    const std::vector<DecisionTree> &trees() const { return trees_; }
+    const std::vector<int> &featureMap() const { return featureMap_; }
+    const ForestParams &params() const { return params_; }
+
+  private:
+    std::vector<DecisionTree> trees_;
+    std::vector<int> featureMap_; ///< projected col -> original feature
+    ForestParams params_;
+};
+
+} // namespace ml
+} // namespace azoo
+
+#endif // AZOO_ML_RANDOM_FOREST_HH

@@ -1,0 +1,161 @@
+#include "regex/ast.hh"
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+std::unique_ptr<RegexNode>
+RegexNode::clone() const
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = op;
+    n->cls = cls;
+    n->min = min;
+    n->max = max;
+    n->kids.reserve(kids.size());
+    for (const auto &k : kids)
+        n->kids.push_back(k->clone());
+    return n;
+}
+
+std::unique_ptr<RegexNode>
+makeClass(const CharSet &cs)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::kClass;
+    n->cls = cs;
+    return n;
+}
+
+std::unique_ptr<RegexNode>
+makeEmpty()
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = RegexOp::kEmpty;
+    return n;
+}
+
+bool
+nullable(const RegexNode &n)
+{
+    switch (n.op) {
+      case RegexOp::kEmpty:
+        return true;
+      case RegexOp::kClass:
+        return false;
+      case RegexOp::kConcat:
+        for (const auto &k : n.kids)
+            if (!nullable(*k))
+                return false;
+        return true;
+      case RegexOp::kAlt:
+        for (const auto &k : n.kids)
+            if (nullable(*k))
+                return true;
+        return false;
+      case RegexOp::kStar:
+      case RegexOp::kOpt:
+        return true;
+      case RegexOp::kPlus:
+        return nullable(*n.kids[0]);
+      case RegexOp::kRepeat:
+        return n.min == 0 || nullable(*n.kids[0]);
+    }
+    return false;
+}
+
+size_t
+countPositions(const RegexNode &n)
+{
+    switch (n.op) {
+      case RegexOp::kEmpty:
+        return 0;
+      case RegexOp::kClass:
+        return 1;
+      case RegexOp::kRepeat: {
+        size_t child = countPositions(*n.kids[0]);
+        size_t copies = n.max < 0
+            ? static_cast<size_t>(n.min ? n.min : 1)
+            : static_cast<size_t>(n.max);
+        return child * std::max<size_t>(copies, 1);
+      }
+      default: {
+        size_t total = 0;
+        for (const auto &k : n.kids)
+            total += countPositions(*k);
+        return total;
+      }
+    }
+}
+
+namespace {
+
+std::unique_ptr<RegexNode>
+makeOp(RegexOp op, std::unique_ptr<RegexNode> kid)
+{
+    auto n = std::make_unique<RegexNode>();
+    n->op = op;
+    n->kids.push_back(std::move(kid));
+    return n;
+}
+
+} // namespace
+
+std::unique_ptr<RegexNode>
+expandRepeats(std::unique_ptr<RegexNode> node, size_t position_limit)
+{
+    // Recurse first so nested repeats expand bottom-up.
+    for (auto &k : node->kids)
+        k = expandRepeats(std::move(k), position_limit);
+
+    if (node->op != RegexOp::kRepeat)
+        return node;
+
+    const int min = node->min;
+    const int max = node->max;
+    auto child = std::move(node->kids[0]);
+
+    if (max == 0 && min == 0)
+        return makeEmpty();
+    if (min == 0 && max < 0)
+        return makeOp(RegexOp::kStar, std::move(child));
+    if (min == 1 && max < 0)
+        return makeOp(RegexOp::kPlus, std::move(child));
+    if (min == 0 && max == 1)
+        return makeOp(RegexOp::kOpt, std::move(child));
+
+    const size_t child_positions = countPositions(*child);
+    const size_t copies = max < 0 ? static_cast<size_t>(min)
+                                  : static_cast<size_t>(max);
+    if (child_positions * copies > position_limit) {
+        fatal(cat("regex: bounded repeat {", min, ",", max,
+                  "} expands past the ", position_limit,
+                  "-position limit"));
+    }
+
+    auto seq = std::make_unique<RegexNode>();
+    seq->op = RegexOp::kConcat;
+    // min mandatory copies...
+    for (int i = 0; i < min; ++i) {
+        bool last = i + 1 == min;
+        if (last && max < 0) {
+            // {min,}: final copy becomes plus.
+            seq->kids.push_back(
+                makeOp(RegexOp::kPlus, std::move(child)));
+            return seq;
+        }
+        seq->kids.push_back(last && max == min ? std::move(child)
+                                               : child->clone());
+    }
+    if (max == min)
+        return seq;
+    // ...then (max - min) optional copies.
+    for (int i = min; i < max; ++i) {
+        bool last = i + 1 == max;
+        seq->kids.push_back(makeOp(
+            RegexOp::kOpt, last ? std::move(child) : child->clone()));
+    }
+    return seq;
+}
+
+} // namespace azoo

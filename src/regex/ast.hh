@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regular-expression abstract syntax tree.
+ *
+ * The regex pipeline substitutes for the paper's pcre2mnrl tool (an
+ * Intel Hyperscan frontend): patterns are parsed into this AST and
+ * compiled into homogeneous automata with the Glushkov position
+ * construction (glushkov.hh). A separate AST-walking backtracking
+ * matcher (backtrack.hh) provides an independent oracle for
+ * differential testing of the whole pipeline.
+ */
+
+#ifndef AZOO_REGEX_AST_HH
+#define AZOO_REGEX_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/charset.hh"
+
+namespace azoo {
+
+/** AST node operators. */
+enum class RegexOp : uint8_t {
+    kEmpty,  ///< epsilon
+    kClass,  ///< single-symbol character class
+    kConcat, ///< sequence of children
+    kAlt,    ///< alternation of children
+    kStar,   ///< zero or more of child
+    kPlus,   ///< one or more of child
+    kOpt,    ///< zero or one of child
+    kRepeat, ///< bounded repeat {min,max}; max < 0 means unbounded
+};
+
+/** One AST node. Children are owned. */
+struct RegexNode {
+    RegexOp op = RegexOp::kEmpty;
+    CharSet cls;              ///< kClass only
+    int min = 0, max = 0;     ///< kRepeat only
+    std::vector<std::unique_ptr<RegexNode>> kids;
+
+    /** Deep copy (used by bounded-repeat expansion). */
+    std::unique_ptr<RegexNode> clone() const;
+};
+
+/** Parse-time flags (a subset of PCRE's). */
+struct RegexFlags {
+    bool nocase = false; ///< /i: ASCII case-insensitive classes
+    bool dotall = false; ///< /s: '.' also matches \n
+};
+
+/** A parsed pattern plus its anchoring metadata. */
+struct Regex {
+    std::string pattern;          ///< original source text
+    std::unique_ptr<RegexNode> root;
+    bool anchoredStart = false;   ///< leading '^'
+    bool anchoredEnd = false;     ///< trailing '$' (recorded; see docs)
+    RegexFlags flags;
+};
+
+/** Helpers used by both the compiler and the oracle. */
+std::unique_ptr<RegexNode> makeClass(const CharSet &cs);
+std::unique_ptr<RegexNode> makeEmpty();
+
+/** True if the node can match the empty string. */
+bool nullable(const RegexNode &n);
+
+/** Count of kClass leaves (Glushkov positions) after expansion. */
+size_t countPositions(const RegexNode &n);
+
+/**
+ * Rewrite kRepeat nodes into clones using concat/alt/star so that the
+ * Glushkov construction only sees the native operators. Fails
+ * (fatal()) if the expansion would exceed @p position_limit leaves.
+ */
+std::unique_ptr<RegexNode> expandRepeats(
+    std::unique_ptr<RegexNode> node, size_t position_limit);
+
+} // namespace azoo
+
+#endif // AZOO_REGEX_AST_HH

@@ -1,0 +1,158 @@
+#include "regex/backtrack.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+namespace {
+
+/** Memoizing AST matcher producing sets of end positions. */
+class Oracle
+{
+  public:
+    Oracle(const uint8_t *data, size_t len) : data_(data), len_(len) {}
+
+    /** Positions reachable after matching @p n starting at @p pos. */
+    const std::set<size_t> &
+    ends(const RegexNode &n, size_t pos)
+    {
+        auto &by_pos = memo_[&n];
+        auto it = by_pos.find(pos);
+        if (it != by_pos.end())
+            return it->second;
+        // Insert a placeholder first: the grammar has no recursion
+        // through the same (node, pos) because every cycle (star/plus
+        // iteration) is expanded iteratively below.
+        auto &slot = by_pos[pos];
+        slot = compute(n, pos);
+        return slot;
+    }
+
+  private:
+    std::set<size_t>
+    compute(const RegexNode &n, size_t pos)
+    {
+        switch (n.op) {
+          case RegexOp::kEmpty:
+            return {pos};
+          case RegexOp::kClass:
+            if (pos < len_ && n.cls.test(data_[pos]))
+                return {pos + 1};
+            return {};
+          case RegexOp::kConcat: {
+            std::set<size_t> cur = {pos};
+            for (const auto &k : n.kids) {
+                std::set<size_t> next;
+                for (auto p : cur) {
+                    const auto &e = ends(*k, p);
+                    next.insert(e.begin(), e.end());
+                }
+                cur = std::move(next);
+                if (cur.empty())
+                    break;
+            }
+            return cur;
+          }
+          case RegexOp::kAlt: {
+            std::set<size_t> out;
+            for (const auto &k : n.kids) {
+                const auto &e = ends(*k, pos);
+                out.insert(e.begin(), e.end());
+            }
+            return out;
+          }
+          case RegexOp::kStar:
+            return closure(*n.kids[0], {pos});
+          case RegexOp::kPlus: {
+            const auto &one = ends(*n.kids[0], pos);
+            return closure(*n.kids[0],
+                           std::set<size_t>(one.begin(), one.end()));
+          }
+          case RegexOp::kOpt: {
+            std::set<size_t> out = {pos};
+            const auto &e = ends(*n.kids[0], pos);
+            out.insert(e.begin(), e.end());
+            return out;
+          }
+          case RegexOp::kRepeat: {
+            // Native iteration, independent of expandRepeats().
+            std::set<size_t> cur = {pos};
+            for (int i = 0; i < n.min; ++i) {
+                std::set<size_t> next;
+                for (auto p : cur) {
+                    const auto &e = ends(*n.kids[0], p);
+                    next.insert(e.begin(), e.end());
+                }
+                cur = std::move(next);
+                if (cur.empty())
+                    return cur;
+            }
+            if (n.max < 0)
+                return closure(*n.kids[0], std::move(cur));
+            std::set<size_t> out = cur;
+            for (int i = n.min; i < n.max; ++i) {
+                std::set<size_t> next;
+                for (auto p : cur) {
+                    const auto &e = ends(*n.kids[0], p);
+                    next.insert(e.begin(), e.end());
+                }
+                if (next.empty())
+                    break;
+                out.insert(next.begin(), next.end());
+                cur = std::move(next);
+            }
+            return out;
+          }
+        }
+        panic("oracle: unreachable");
+    }
+
+    /** Reflexive-transitive closure of one-step child matches. */
+    std::set<size_t>
+    closure(const RegexNode &child, std::set<size_t> seed)
+    {
+        std::set<size_t> out = std::move(seed);
+        std::vector<size_t> work(out.begin(), out.end());
+        while (!work.empty()) {
+            size_t p = work.back();
+            work.pop_back();
+            for (auto q : ends(child, p)) {
+                if (q != p && out.insert(q).second)
+                    work.push_back(q);
+            }
+        }
+        return out;
+    }
+
+    const uint8_t *data_;
+    size_t len_;
+    std::unordered_map<const RegexNode *,
+                       std::unordered_map<size_t, std::set<size_t>>>
+        memo_;
+};
+
+} // namespace
+
+std::vector<uint64_t>
+referenceMatchEnds(const Regex &rx, const uint8_t *data, size_t len)
+{
+    Oracle oracle(data, len);
+    std::set<uint64_t> offsets;
+    const size_t max_start = rx.anchoredStart ? 1 : len;
+    for (size_t s = 0; s < max_start; ++s) {
+        for (auto e : oracle.ends(*rx.root, s)) {
+            if (e == s)
+                continue; // empty match; patterns reject these anyway
+            if (rx.anchoredEnd && e != len)
+                continue;
+            offsets.insert(e - 1);
+        }
+    }
+    return {offsets.begin(), offsets.end()};
+}
+
+} // namespace azoo

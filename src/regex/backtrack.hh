@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reference backtracking matcher: an independent oracle for the regex
+ * -> Glushkov -> engine pipeline.
+ *
+ * Implements match semantics directly on the AST (including bounded
+ * repeats, which it iterates natively rather than reusing the
+ * compiler's expansion), so a differential test between this oracle
+ * and any automata engine covers the parser-to-engine pipeline with
+ * genuinely disjoint logic.
+ */
+
+#ifndef AZOO_REGEX_BACKTRACK_HH
+#define AZOO_REGEX_BACKTRACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "regex/ast.hh"
+
+namespace azoo {
+
+/**
+ * All report offsets (index of the final matched symbol) of @p rx in
+ * the input, using streaming-search semantics: matches may start at
+ * any offset unless the pattern is start-anchored. Sorted, unique.
+ */
+std::vector<uint64_t> referenceMatchEnds(const Regex &rx,
+                                         const uint8_t *data, size_t len);
+
+inline std::vector<uint64_t>
+referenceMatchEnds(const Regex &rx, const std::vector<uint8_t> &data)
+{
+    return referenceMatchEnds(rx, data.data(), data.size());
+}
+
+} // namespace azoo
+
+#endif // AZOO_REGEX_BACKTRACK_HH

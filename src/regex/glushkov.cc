@@ -1,0 +1,158 @@
+#include "regex/glushkov.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+namespace {
+
+/** Per-subtree Glushkov sets over position indices. */
+struct Sets {
+    bool nullable = false;
+    std::vector<uint32_t> first;
+    std::vector<uint32_t> last;
+};
+
+void
+appendUnique(std::vector<uint32_t> &dst, const std::vector<uint32_t> &src)
+{
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+class Builder
+{
+  public:
+    /** positions[i] = charset of position i; follow[i] = successors. */
+    std::vector<CharSet> positions;
+    std::vector<std::vector<uint32_t>> follow;
+
+    Sets
+    walk(const RegexNode &n)
+    {
+        switch (n.op) {
+          case RegexOp::kEmpty: {
+            Sets s;
+            s.nullable = true;
+            return s;
+          }
+          case RegexOp::kClass: {
+            auto p = static_cast<uint32_t>(positions.size());
+            positions.push_back(n.cls);
+            follow.emplace_back();
+            Sets s;
+            s.first = {p};
+            s.last = {p};
+            return s;
+          }
+          case RegexOp::kConcat: {
+            Sets acc;
+            acc.nullable = true;
+            for (const auto &k : n.kids) {
+                Sets ks = walk(*k);
+                // follow: last(acc) x first(k)
+                for (auto l : acc.last)
+                    appendUnique(follow[l], ks.first);
+                if (acc.nullable)
+                    appendUnique(acc.first, ks.first);
+                if (ks.nullable) {
+                    appendUnique(acc.last, ks.last);
+                } else {
+                    acc.last = std::move(ks.last);
+                }
+                acc.nullable = acc.nullable && ks.nullable;
+            }
+            return acc;
+          }
+          case RegexOp::kAlt: {
+            Sets acc;
+            for (const auto &k : n.kids) {
+                Sets ks = walk(*k);
+                acc.nullable = acc.nullable || ks.nullable;
+                appendUnique(acc.first, ks.first);
+                appendUnique(acc.last, ks.last);
+            }
+            return acc;
+          }
+          case RegexOp::kStar:
+          case RegexOp::kPlus: {
+            Sets s = walk(*n.kids[0]);
+            for (auto l : s.last)
+                appendUnique(follow[l], s.first);
+            if (n.op == RegexOp::kStar)
+                s.nullable = true;
+            return s;
+          }
+          case RegexOp::kOpt: {
+            Sets s = walk(*n.kids[0]);
+            s.nullable = true;
+            return s;
+          }
+          case RegexOp::kRepeat:
+            panic("glushkov: kRepeat must be expanded before "
+                  "construction");
+        }
+        panic("glushkov: unreachable");
+    }
+};
+
+} // namespace
+
+size_t
+appendRegex(Automaton &a, const Regex &rx, uint32_t report_code,
+            size_t position_limit)
+{
+    if (countPositions(*rx.root) > position_limit) {
+        fatal(cat("regex '", rx.pattern, "' expands past the ",
+                  position_limit, "-position limit"));
+    }
+    auto expanded = expandRepeats(rx.root->clone(), position_limit);
+    if (nullable(*expanded))
+        fatal(cat("regex '", rx.pattern, "' matches the empty string"));
+
+    Builder b;
+    Sets root = b.walk(*expanded);
+
+    const size_t n = b.positions.size();
+    const StartType start_type = rx.anchoredStart
+        ? StartType::kStartOfData
+        : StartType::kAllInput;
+
+    std::vector<uint8_t> is_first(n, 0), is_last(n, 0);
+    for (auto p : root.first)
+        is_first[p] = 1;
+    for (auto p : root.last)
+        is_last[p] = 1;
+
+    const auto base = static_cast<ElementId>(a.size());
+    for (uint32_t p = 0; p < n; ++p) {
+        a.addSte(b.positions[p],
+                 is_first[p] ? start_type : StartType::kNone,
+                 is_last[p] != 0, report_code);
+    }
+    // Dedup follow targets while adding edges.
+    std::vector<uint8_t> seen(n, 0);
+    for (uint32_t p = 0; p < n; ++p) {
+        auto &f = b.follow[p];
+        for (auto q : f) {
+            if (!seen[q]) {
+                seen[q] = 1;
+                a.addEdge(base + p, base + q);
+            }
+        }
+        for (auto q : f)
+            seen[q] = 0;
+    }
+    return n;
+}
+
+Automaton
+compileRegex(const Regex &rx, uint32_t report_code)
+{
+    Automaton a("regex");
+    appendRegex(a, rx, report_code);
+    return a;
+}
+
+} // namespace azoo

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Glushkov position construction: regex AST -> homogeneous automaton.
+ *
+ * Homogeneous automata carry match labels on states and admit no
+ * epsilon transitions, so the Glushkov (position) construction is the
+ * natural compiler -- it is also what pcre2mnrl uses. Every character
+ * class occurrence in the pattern becomes one STE; 'first' positions
+ * become start states (all-input for unanchored patterns, giving the
+ * usual streaming-search semantics); 'last' positions report; the
+ * 'follow' relation becomes the edge set.
+ */
+
+#ifndef AZOO_REGEX_GLUSHKOV_HH
+#define AZOO_REGEX_GLUSHKOV_HH
+
+#include "core/automaton.hh"
+#include "regex/ast.hh"
+
+namespace azoo {
+
+/**
+ * Compile @p rx into @p a as a new, disconnected subgraph whose
+ * reporting states carry @p report_code.
+ *
+ * @param position_limit guards bounded-repeat blowup.
+ * @return number of STEs appended.
+ */
+size_t appendRegex(Automaton &a, const Regex &rx, uint32_t report_code,
+                   size_t position_limit = 1 << 20);
+
+/** Compile a pattern into a fresh automaton. */
+Automaton compileRegex(const Regex &rx, uint32_t report_code = 0);
+
+} // namespace azoo
+
+#endif // AZOO_REGEX_GLUSHKOV_HH

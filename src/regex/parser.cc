@@ -1,0 +1,412 @@
+#include "regex/parser.hh"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+
+namespace {
+
+/** Internal parse error; converted by the public entry points. */
+struct ParseError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+CharSet
+digitClass()
+{
+    return CharSet::range('0', '9');
+}
+
+CharSet
+wordClass()
+{
+    CharSet cs = CharSet::range('a', 'z');
+    cs |= CharSet::range('A', 'Z');
+    cs |= CharSet::range('0', '9');
+    cs.set('_');
+    return cs;
+}
+
+CharSet
+spaceClass()
+{
+    CharSet cs;
+    for (char c : {' ', '\t', '\n', '\r', '\f', '\v'})
+        cs.set(static_cast<uint8_t>(c));
+    return cs;
+}
+
+void
+applyNocase(CharSet &cs)
+{
+    for (int c = 'a'; c <= 'z'; ++c) {
+        if (cs.test(static_cast<uint8_t>(c)))
+            cs.set(static_cast<uint8_t>(c - 'a' + 'A'));
+    }
+    for (int c = 'A'; c <= 'Z'; ++c) {
+        if (cs.test(static_cast<uint8_t>(c)))
+            cs.set(static_cast<uint8_t>(c - 'A' + 'a'));
+    }
+}
+
+class Parser
+{
+  public:
+    Parser(const std::string &pattern, const RegexFlags &flags)
+        : p_(pattern), flags_(flags)
+    {
+    }
+
+    Regex
+    run()
+    {
+        Regex rx;
+        rx.pattern = p_;
+        rx.flags = flags_;
+        if (peek() == '^') {
+            get();
+            rx.anchoredStart = true;
+        }
+        rx.root = parseAlt();
+        // A trailing unescaped '$' anchors the end.
+        if (!done())
+            throw ParseError(cat("unexpected '", std::string(1, peek()),
+                                 "' at offset ", pos_));
+        if (sawTrailingDollar_)
+            rx.anchoredEnd = true;
+        return rx;
+    }
+
+  private:
+    bool done() const { return pos_ >= p_.size(); }
+
+    char
+    peek() const
+    {
+        return done() ? '\0' : p_[pos_];
+    }
+
+    char
+    get()
+    {
+        if (done())
+            throw ParseError("unexpected end of pattern");
+        return p_[pos_++];
+    }
+
+    std::unique_ptr<RegexNode>
+    parseAlt()
+    {
+        auto alt = std::make_unique<RegexNode>();
+        alt->op = RegexOp::kAlt;
+        alt->kids.push_back(parseConcat());
+        while (peek() == '|') {
+            get();
+            alt->kids.push_back(parseConcat());
+        }
+        if (alt->kids.size() == 1)
+            return std::move(alt->kids[0]);
+        return alt;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseConcat()
+    {
+        auto seq = std::make_unique<RegexNode>();
+        seq->op = RegexOp::kConcat;
+        while (!done() && peek() != '|' && peek() != ')') {
+            if (peek() == '$' && pos_ + 1 == p_.size() && depth_ == 0) {
+                get();
+                sawTrailingDollar_ = true;
+                break;
+            }
+            seq->kids.push_back(parseRepeat());
+        }
+        if (seq->kids.empty())
+            return makeEmpty();
+        if (seq->kids.size() == 1)
+            return std::move(seq->kids[0]);
+        return seq;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseRepeat()
+    {
+        auto node = parseAtom();
+        for (;;) {
+            char c = peek();
+            if (c == '*' || c == '+' || c == '?') {
+                get();
+                auto rep = std::make_unique<RegexNode>();
+                rep->op = c == '*' ? RegexOp::kStar
+                        : c == '+' ? RegexOp::kPlus
+                                   : RegexOp::kOpt;
+                rep->kids.push_back(std::move(node));
+                node = std::move(rep);
+                consumeLazyMarker();
+            } else if (c == '{') {
+                int min = 0, max = 0;
+                if (!tryParseBounds(min, max))
+                    break; // literal '{' handled by caller context
+                auto rep = std::make_unique<RegexNode>();
+                rep->op = RegexOp::kRepeat;
+                rep->min = min;
+                rep->max = max;
+                rep->kids.push_back(std::move(node));
+                node = std::move(rep);
+                consumeLazyMarker();
+            } else {
+                break;
+            }
+        }
+        return node;
+    }
+
+    void
+    consumeLazyMarker()
+    {
+        // Lazy quantifiers recognize the same language.
+        if (peek() == '?')
+            get();
+    }
+
+    /** Parse "{n}", "{n,}", "{n,m}". Returns false (no consumption)
+     *  if the braces do not form a valid bound, in which case '{' is
+     *  a literal (PCRE behaviour). */
+    bool
+    tryParseBounds(int &min, int &max)
+    {
+        size_t save = pos_;
+        get(); // '{'
+        std::string a, b;
+        bool comma = false;
+        while (!done() && peek() != '}') {
+            char c = get();
+            if (c == ',' && !comma) {
+                comma = true;
+            } else if (std::isdigit(static_cast<unsigned char>(c))) {
+                (comma ? b : a).push_back(c);
+            } else {
+                pos_ = save;
+                return false;
+            }
+        }
+        if (done() || a.empty()) {
+            pos_ = save;
+            return false;
+        }
+        get(); // '}'
+        min = std::stoi(a);
+        if (!comma) {
+            max = min;
+        } else if (b.empty()) {
+            max = -1;
+        } else {
+            max = std::stoi(b);
+            if (max < min)
+                throw ParseError(cat("bad repeat bounds {", min, ",",
+                                     max, "}"));
+        }
+        if (min > 4096 || max > 4096)
+            throw ParseError(cat("repeat bound too large in ",
+                                 p_.substr(save, pos_ - save)));
+        return true;
+    }
+
+    std::unique_ptr<RegexNode>
+    parseAtom()
+    {
+        char c = get();
+        switch (c) {
+          case '(': {
+            if (peek() == '?') {
+                get();
+                char k = get();
+                if (k != ':')
+                    throw ParseError(cat("unsupported group (?",
+                                         std::string(1, k),
+                                         " (backreferences and "
+                                         "lookaround are rejected)"));
+            }
+            ++depth_;
+            auto inner = parseAlt();
+            --depth_;
+            if (get() != ')')
+                throw ParseError("missing ')'");
+            return inner;
+          }
+          case '[':
+            return makeClass(parseClass());
+          case '.': {
+            CharSet cs = CharSet::all();
+            if (!flags_.dotall)
+                cs.clear('\n');
+            return makeClass(cs);
+          }
+          case '\\':
+            return makeClass(parseEscape(false));
+          case '*':
+          case '+':
+          case '?':
+            throw ParseError(cat("quantifier '", std::string(1, c),
+                                 "' with nothing to repeat"));
+          case '^':
+            throw ParseError("mid-pattern '^' anchors are unsupported");
+          case '$':
+            throw ParseError("mid-pattern '$' anchors are unsupported");
+          default: {
+            CharSet cs = CharSet::single(static_cast<uint8_t>(c));
+            if (flags_.nocase)
+                applyNocase(cs);
+            return makeClass(cs);
+          }
+        }
+    }
+
+    /** Parse one escape sequence after '\\'. @p in_class controls
+     *  which escapes are meaningful. */
+    CharSet
+    parseEscape(bool in_class)
+    {
+        char c = get();
+        switch (c) {
+          case 'n': return CharSet::single('\n');
+          case 't': return CharSet::single('\t');
+          case 'r': return CharSet::single('\r');
+          case 'f': return CharSet::single('\f');
+          case 'v': return CharSet::single('\v');
+          case '0': return CharSet::single(0);
+          case 'a': return CharSet::single(7);
+          case 'e': return CharSet::single(27);
+          case 'd': return digitClass();
+          case 'D': return ~digitClass();
+          case 'w': return wordClass();
+          case 'W': return ~wordClass();
+          case 's': return spaceClass();
+          case 'S': return ~spaceClass();
+          case 'x': {
+            int hi = hexValue(get());
+            int lo = hexValue(get());
+            if (hi < 0 || lo < 0)
+                throw ParseError("bad \\x escape");
+            return CharSet::single(static_cast<uint8_t>(hi * 16 + lo));
+          }
+          default:
+            if (std::isdigit(static_cast<unsigned char>(c)))
+                throw ParseError("backreferences are unsupported");
+            if (std::isalpha(static_cast<unsigned char>(c)) && !in_class)
+                throw ParseError(cat("unsupported escape \\",
+                                     std::string(1, c)));
+            // Escaped punctuation matches itself.
+            return CharSet::single(static_cast<uint8_t>(c));
+        }
+    }
+
+    /** Parse a character class body after '['. */
+    CharSet
+    parseClass()
+    {
+        CharSet cs;
+        bool negate = false;
+        if (peek() == '^') {
+            get();
+            negate = true;
+        }
+        bool first = true;
+        while (true) {
+            if (done())
+                throw ParseError("missing ']'");
+            if (peek() == ']' && !first) {
+                get();
+                break;
+            }
+            first = false;
+            int lo;
+            bool lo_is_class = false;
+            CharSet sub;
+            if (peek() == '\\') {
+                get();
+                sub = parseEscape(true);
+                if (sub.count() == 1) {
+                    lo = sub.lowest();
+                } else {
+                    lo_is_class = true;
+                    lo = -1;
+                }
+            } else {
+                lo = static_cast<unsigned char>(get());
+            }
+            if (!lo_is_class && peek() == '-' && pos_ + 1 < p_.size() &&
+                p_[pos_ + 1] != ']') {
+                get(); // '-'
+                int hi;
+                if (peek() == '\\') {
+                    get();
+                    CharSet hs = parseEscape(true);
+                    if (hs.count() != 1)
+                        throw ParseError("class range with multi-char "
+                                         "escape");
+                    hi = hs.lowest();
+                } else {
+                    hi = static_cast<unsigned char>(get());
+                }
+                if (hi < lo)
+                    throw ParseError("reversed class range");
+                cs.setRange(static_cast<uint8_t>(lo),
+                            static_cast<uint8_t>(hi));
+            } else if (lo_is_class) {
+                cs |= sub;
+            } else {
+                cs.set(static_cast<uint8_t>(lo));
+            }
+        }
+        if (flags_.nocase)
+            applyNocase(cs);
+        if (negate)
+            cs = ~cs;
+        if (cs.empty())
+            throw ParseError("empty character class");
+        return cs;
+    }
+
+    const std::string &p_;
+    RegexFlags flags_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    bool sawTrailingDollar_ = false;
+};
+
+} // namespace
+
+Regex
+parseRegex(const std::string &pattern, const RegexFlags &flags)
+{
+    Regex rx;
+    std::string error;
+    if (!tryParseRegex(pattern, flags, rx, error))
+        fatal(cat("regex '", pattern, "': ", error));
+    return rx;
+}
+
+bool
+tryParseRegex(const std::string &pattern, const RegexFlags &flags,
+              Regex &out, std::string &error)
+{
+    try {
+        out = Parser(pattern, flags).run();
+        if (nullable(*out.root)) {
+            error = "pattern matches the empty string";
+            return false;
+        }
+        return true;
+    } catch (const ParseError &e) {
+        error = e.what();
+        return false;
+    }
+}
+
+} // namespace azoo

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * PCRE-subset regular expression parser.
+ *
+ * Supported syntax (the subset pcre2mnrl accepts and the AutomataZoo
+ * generators emit): literals, '.', escapes (\n \t \r \f \v \0 \xNN,
+ * \d \D \w \W \s \S, punctuation escapes), character classes with
+ * ranges and negation, grouping '(...)' and '(?:...)', alternation
+ * '|', quantifiers '*' '+' '?' '{n}' '{n,}' '{n,m}' (lazy variants
+ * accepted, same language), and anchors '^' (leading) / '$'
+ * (trailing). Back-references are rejected, as in the paper ("e.g.
+ * pcre2mnrl does not support back references").
+ */
+
+#ifndef AZOO_REGEX_PARSER_HH
+#define AZOO_REGEX_PARSER_HH
+
+#include <string>
+
+#include "regex/ast.hh"
+
+namespace azoo {
+
+/**
+ * Parse a pattern. fatal() on syntax errors or unsupported
+ * constructs, so malformed generated rules fail loudly.
+ */
+Regex parseRegex(const std::string &pattern,
+                 const RegexFlags &flags = RegexFlags());
+
+/**
+ * Non-fatal variant: returns false and fills @p error instead of
+ * exiting. Used by rule-compilation loops that skip unsupported
+ * rules (the paper's Snort/ClamAV flow does exactly this).
+ */
+bool tryParseRegex(const std::string &pattern, const RegexFlags &flags,
+                   Regex &out, std::string &error);
+
+} // namespace azoo
+
+#endif // AZOO_REGEX_PARSER_HH

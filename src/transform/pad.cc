@@ -1,0 +1,34 @@
+#include "transform/pad.hh"
+
+namespace azoo {
+
+std::vector<ElementId>
+appendPaddingTail(Automaton &a, ElementId after,
+                  const std::vector<CharSet> &labels)
+{
+    std::vector<ElementId> ids;
+    ids.reserve(labels.size());
+    ElementId prev = after;
+    for (size_t i = 0; i < labels.size(); ++i) {
+        ElementId id = a.addSte(labels[i]);
+        a.addEdge(prev, id);
+        if (i == 0)
+            a.addEdge(id, id);
+        ids.push_back(id);
+        prev = id;
+    }
+    return ids;
+}
+
+size_t
+padReportingTails(Automaton &a, size_t count, const CharSet &label)
+{
+    // Snapshot first: appending states must not retrigger the scan.
+    std::vector<ElementId> reporters = a.reportingElements();
+    std::vector<CharSet> labels(count, label);
+    for (auto r : reporters)
+        appendPaddingTail(a, r, labels);
+    return reporters.size() * count;
+}
+
+} // namespace azoo

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Soft-reconfiguration padding: the AP-specific optimization the paper
+ * studies in Section VII (Table III).
+ *
+ * On Micron's AP, automata structures are often built larger than a
+ * given problem instance so that new instances can be loaded by
+ * "symbol replacement" (rewriting STE character sets) without
+ * re-routing the fabric. The surplus states do no useful computation
+ * but remain enabled, so enabled-set CPU engines pay for them while
+ * compiled engines largely do not.
+ *
+ * appendPaddingTail() grafts such surplus states after an existing
+ * state: a chain of non-reporting STEs with the given labels, each
+ * also re-enabled by its predecessor's self-context, emulating the
+ * filler slots of a soft-configurable filter.
+ */
+
+#ifndef AZOO_TRANSFORM_PAD_HH
+#define AZOO_TRANSFORM_PAD_HH
+
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/**
+ * Append @p labels as a non-reporting chain enabled by @p after.
+ * The first padding state also self-loops so that, once primed, the
+ * pad keeps attempting matches like a real soft-configured slot.
+ * @return ids of the appended states.
+ */
+std::vector<ElementId> appendPaddingTail(
+    Automaton &a, ElementId after, const std::vector<CharSet> &labels);
+
+/**
+ * Pad every reporting state of @p a with a @p count long tail of
+ * @p label states. Used to build the "wide padded" variants of
+ * benchmarks for the Table III experiment.
+ * @return number of states added.
+ */
+size_t padReportingTails(Automaton &a, size_t count,
+                         const CharSet &label);
+
+} // namespace azoo
+
+#endif // AZOO_TRANSFORM_PAD_HH

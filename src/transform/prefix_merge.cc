@@ -1,0 +1,145 @@
+#include "transform/prefix_merge.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace azoo {
+
+namespace {
+
+/** Equivalence signature of one element under the current mapping. */
+struct Key {
+    std::vector<uint64_t> v;
+    bool operator==(const Key &o) const { return v == o.v; }
+};
+
+struct KeyHash {
+    size_t
+    operator()(const Key &k) const
+    {
+        uint64_t h = 0x9e3779b97f4a7c15ULL;
+        for (auto x : k.v) {
+            h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        }
+        return static_cast<size_t>(h);
+    }
+};
+
+} // namespace
+
+MergeResult
+prefixMerge(const Automaton &a, int max_rounds)
+{
+    const size_t n = a.size();
+    MergeResult res;
+    res.statesBefore = n;
+
+    // Original predecessor lists (activation and reset separately).
+    std::vector<std::vector<ElementId>> preds(n), reset_preds(n);
+    for (ElementId i = 0; i < n; ++i) {
+        for (auto t : a.element(i).out)
+            preds[t].push_back(i);
+        for (auto t : a.element(i).resetOut)
+            reset_preds[t].push_back(i);
+    }
+
+    std::vector<ElementId> rep(n);
+    for (ElementId i = 0; i < n; ++i)
+        rep[i] = i;
+
+    size_t prev_classes = n + 1;
+    for (int round = 0; round < max_rounds; ++round) {
+        std::unordered_map<Key, ElementId, KeyHash> canon;
+        canon.reserve(n);
+        std::vector<ElementId> next_rep(n);
+        std::vector<uint64_t> scratch;
+
+        for (ElementId i = 0; i < n; ++i) {
+            const Element &e = a.element(i);
+            Key key;
+            key.v.reserve(8 + preds[i].size() + reset_preds[i].size());
+            key.v.push_back(static_cast<uint64_t>(e.kind));
+            key.v.push_back(static_cast<uint64_t>(e.start));
+            key.v.push_back(e.reporting ? e.reportCode + 1 : 0);
+            key.v.push_back(e.symbols.hash());
+            key.v.push_back(e.target);
+            key.v.push_back(static_cast<uint64_t>(e.mode));
+
+            auto add_preds = [&](const std::vector<ElementId> &ps,
+                                 uint64_t tag) {
+                scratch.clear();
+                for (auto p : ps)
+                    scratch.push_back(rep[p]);
+                std::sort(scratch.begin(), scratch.end());
+                scratch.erase(
+                    std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+                key.v.push_back(tag ^ scratch.size());
+                key.v.insert(key.v.end(), scratch.begin(),
+                             scratch.end());
+            };
+            add_preds(preds[i], 0xAAAAULL << 32);
+            add_preds(reset_preds[i], 0xBBBBULL << 32);
+
+            auto [it, inserted] = canon.try_emplace(std::move(key), i);
+            next_rep[i] = it->second;
+        }
+
+        size_t classes = canon.size();
+        rep = std::move(next_rep);
+        if (classes == prev_classes)
+            break;
+        prev_classes = classes;
+    }
+
+    // Emit the merged automaton: classes in order of canonical id.
+    std::vector<ElementId> new_id(n, kNoElement);
+    Automaton out(a.name());
+    for (ElementId i = 0; i < n; ++i) {
+        if (rep[i] != i)
+            continue;
+        const Element &e = a.element(i);
+        ElementId id;
+        if (e.kind == ElementKind::kSte) {
+            id = out.addSte(e.symbols, e.start, e.reporting,
+                            e.reportCode);
+        } else {
+            id = out.addCounter(e.target, e.mode, e.reporting,
+                                e.reportCode);
+        }
+        new_id[i] = id;
+    }
+
+    res.remap.assign(n, kNoElement);
+    for (ElementId i = 0; i < n; ++i)
+        res.remap[i] = new_id[rep[i]];
+
+    // Union the out-edges of each class.
+    std::vector<std::vector<ElementId>> outs(out.size());
+    std::vector<std::vector<ElementId>> routs(out.size());
+    for (ElementId i = 0; i < n; ++i) {
+        ElementId src = res.remap[i];
+        for (auto t : a.element(i).out)
+            outs[src].push_back(res.remap[t]);
+        for (auto t : a.element(i).resetOut)
+            routs[src].push_back(res.remap[t]);
+    }
+    for (ElementId i = 0; i < out.size(); ++i) {
+        auto dedup = [](std::vector<ElementId> &v) {
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+        };
+        dedup(outs[i]);
+        dedup(routs[i]);
+        for (auto t : outs[i])
+            out.addEdge(i, t);
+        for (auto t : routs[i])
+            out.addResetEdge(i, t);
+    }
+
+    res.statesAfter = out.size();
+    res.automaton = std::move(out);
+    return res;
+}
+
+} // namespace azoo

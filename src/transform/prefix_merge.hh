@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Prefix-merging optimization: VASim's "standard, prefix-merging-based
+ * optimizations" used to produce the "Compressed states" column of the
+ * paper's Table I.
+ *
+ * Two elements are left-equivalent when they have identical match
+ * behaviour (kind, symbols, start type, report status and code,
+ * counter target/mode) and identical predecessor sets. Merging
+ * left-equivalent elements collapses common pattern prefixes (and, by
+ * fixpoint iteration, whole shared chains) without changing the set of
+ * (offset, report code) events produced on any input. Note the *count*
+ * of report events can shrink when duplicate reporting states merge,
+ * exactly as in VASim.
+ */
+
+#ifndef AZOO_TRANSFORM_PREFIX_MERGE_HH
+#define AZOO_TRANSFORM_PREFIX_MERGE_HH
+
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Result of a merge pass. */
+struct MergeResult {
+    Automaton automaton;            ///< merged automaton
+    std::vector<ElementId> remap;   ///< old element id -> new id
+    uint64_t statesBefore = 0;
+    uint64_t statesAfter = 0;
+
+    /** Fraction of states removed (the paper's "Compr. factor"). */
+    double
+    reduction() const
+    {
+        return statesBefore
+            ? 1.0 - static_cast<double>(statesAfter) / statesBefore
+            : 0.0;
+    }
+};
+
+/**
+ * Iteratively merge left-equivalent elements to fixpoint.
+ *
+ * @param max_rounds safety bound on fixpoint iterations (each round
+ *        can only merge one chain level deeper, so the longest shared
+ *        prefix bounds the useful round count).
+ */
+MergeResult prefixMerge(const Automaton &a, int max_rounds = 256);
+
+} // namespace azoo
+
+#endif // AZOO_TRANSFORM_PREFIX_MERGE_HH

@@ -1,0 +1,94 @@
+#include "transform/prune.hh"
+
+namespace azoo {
+
+PruneResult
+pruneDeadStates(const Automaton &a)
+{
+    const size_t n = a.size();
+
+    // Forward reachability from start states.
+    std::vector<uint8_t> fwd(n, 0);
+    std::vector<ElementId> work;
+    for (ElementId i = 0; i < n; ++i) {
+        if (a.element(i).start != StartType::kNone) {
+            fwd[i] = 1;
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        ElementId u = work.back();
+        work.pop_back();
+        auto push = [&](ElementId v) {
+            if (!fwd[v]) {
+                fwd[v] = 1;
+                work.push_back(v);
+            }
+        };
+        for (auto v : a.element(u).out)
+            push(v);
+        for (auto v : a.element(u).resetOut)
+            push(v);
+    }
+
+    // Backward liveness from reporting elements.
+    std::vector<std::vector<ElementId>> rin(n);
+    for (ElementId i = 0; i < n; ++i) {
+        for (auto v : a.element(i).out)
+            rin[v].push_back(i);
+        for (auto v : a.element(i).resetOut)
+            rin[v].push_back(i);
+    }
+    std::vector<uint8_t> live(n, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        if (a.element(i).reporting) {
+            live[i] = 1;
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        ElementId u = work.back();
+        work.pop_back();
+        for (auto v : rin[u]) {
+            if (!live[v]) {
+                live[v] = 1;
+                work.push_back(v);
+            }
+        }
+    }
+
+    PruneResult res;
+    res.remap.assign(n, kNoElement);
+    Automaton out(a.name());
+    for (ElementId i = 0; i < n; ++i) {
+        if (!(fwd[i] && live[i]))
+            continue;
+        const Element &e = a.element(i);
+        ElementId id;
+        if (e.kind == ElementKind::kSte) {
+            id = out.addSte(e.symbols, e.start, e.reporting,
+                            e.reportCode);
+        } else {
+            id = out.addCounter(e.target, e.mode, e.reporting,
+                                e.reportCode);
+        }
+        res.remap[i] = id;
+    }
+    for (ElementId i = 0; i < n; ++i) {
+        if (res.remap[i] == kNoElement)
+            continue;
+        for (auto t : a.element(i).out) {
+            if (res.remap[t] != kNoElement)
+                out.addEdge(res.remap[i], res.remap[t]);
+        }
+        for (auto t : a.element(i).resetOut) {
+            if (res.remap[t] != kNoElement)
+                out.addResetEdge(res.remap[i], res.remap[t]);
+        }
+    }
+    res.removed = n - out.size();
+    res.automaton = std::move(out);
+    return res;
+}
+
+} // namespace azoo

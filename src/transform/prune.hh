@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dead-state pruning: remove states that are unreachable from any
+ * start state or that cannot reach any reporting element. Used by the
+ * transformation-ablation bench and by generators that build automata
+ * compositionally and want the minimal live graph.
+ */
+
+#ifndef AZOO_TRANSFORM_PRUNE_HH
+#define AZOO_TRANSFORM_PRUNE_HH
+
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Result of pruning. */
+struct PruneResult {
+    Automaton automaton;
+    std::vector<ElementId> remap; ///< old id -> new id or kNoElement
+    uint64_t removed = 0;
+};
+
+/**
+ * Remove dead elements. Reset edges count as forward edges for
+ * reachability and as "useful" edges for liveness (a state whose only
+ * role is resetting a live counter is live).
+ */
+PruneResult pruneDeadStates(const Automaton &a);
+
+} // namespace azoo
+
+#endif // AZOO_TRANSFORM_PRUNE_HH

@@ -1,0 +1,166 @@
+#include "transform/stride.hh"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+namespace {
+
+/** Byte values whose bit at position (7 - level) equals b. */
+CharSet
+levelMask(int level, int b)
+{
+    CharSet cs;
+    const int bit = 7 - level;
+    for (int v = 0; v < 256; ++v) {
+        if (((v >> bit) & 1) == b)
+            cs.set(static_cast<uint8_t>(v));
+    }
+    return cs;
+}
+
+} // namespace
+
+Automaton
+strideToBytes(const Automaton &bit)
+{
+    const size_t n = bit.size();
+    const CharSet bit_alphabet = CharSet::range(0, 1);
+
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = bit.element(i);
+        if (e.kind != ElementKind::kSte)
+            fatal("stride: counters are not supported in bit automata");
+        if (!(e.symbols & ~bit_alphabet).empty())
+            fatal(cat("stride: state ", i, " of '", bit.name(),
+                      "' has non-bit symbols ", e.symbols.str()));
+        if (e.start == StartType::kAllInput)
+            fatal("stride: all-input starts must be lowered with "
+                  "bits::addAlignmentRing() before striding");
+    }
+
+    // Precompute the per-level bit masks.
+    CharSet mask[8][2];
+    for (int k = 0; k < 8; ++k) {
+        mask[k][0] = levelMask(k, 0);
+        mask[k][1] = levelMask(k, 1);
+    }
+
+    // Virtual root: id n. Classical edges u -> v are labeled by v's
+    // bit label, so adjacency is just the homogeneous out lists plus
+    // root -> start states.
+    const uint32_t root = static_cast<uint32_t>(n);
+    auto successors = [&](uint32_t u) -> const std::vector<ElementId> * {
+        static std::vector<ElementId> root_succ;
+        if (u == root) {
+            root_succ.clear();
+            for (ElementId i = 0; i < n; ++i) {
+                if (bit.element(i).start == StartType::kStartOfData)
+                    root_succ.push_back(i);
+            }
+            return &root_succ;
+        }
+        return &bit.element(u).out;
+    };
+
+    // Strided edges per boundary source: target -> byte set.
+    std::map<uint32_t, std::map<uint32_t, CharSet>> strided;
+    std::vector<uint32_t> frontier = {root};
+    std::map<uint32_t, bool> visited = {{root, true}};
+
+    while (!frontier.empty()) {
+        uint32_t u = frontier.back();
+        frontier.pop_back();
+
+        // DP over 8 bit levels: which states are reachable from u and
+        // with which byte prefixes.
+        std::map<uint32_t, CharSet> cur;
+        cur[u] = CharSet::all();
+        for (int k = 0; k < 8; ++k) {
+            std::map<uint32_t, CharSet> next;
+            for (const auto &[x, bs] : cur) {
+                for (ElementId v : *successors(x)) {
+                    const CharSet &lbl = bit.element(v).symbols;
+                    CharSet nb;
+                    if (lbl.test(0))
+                        nb |= bs & mask[k][0];
+                    if (lbl.test(1))
+                        nb |= bs & mask[k][1];
+                    if (nb.empty())
+                        continue;
+                    if (k < 7 && bit.element(v).reporting) {
+                        fatal(cat("stride: reporting state ", v,
+                                  " of '", bit.name(),
+                                  "' is reachable mid-byte (bit offset "
+                                  "%8 == ", k, "); bit patterns must "
+                                  "be whole bytes"));
+                    }
+                    next[v] |= nb;
+                }
+            }
+            cur = std::move(next);
+            if (cur.empty())
+                break;
+        }
+
+        for (const auto &[v, bs] : cur) {
+            strided[u][v] |= bs;
+            if (!visited[v]) {
+                visited[v] = true;
+                frontier.push_back(v);
+            }
+        }
+    }
+
+    // Homogenize: one byte-STE per (boundary state, incoming byte set).
+    // Collect the distinct incoming byte sets per target.
+    std::map<uint32_t, std::vector<CharSet>> variants;
+    auto variant_index = [&](uint32_t v, const CharSet &cs) -> size_t {
+        auto &list = variants[v];
+        for (size_t i = 0; i < list.size(); ++i) {
+            if (list[i] == cs)
+                return i;
+        }
+        list.push_back(cs);
+        return list.size() - 1;
+    };
+
+    for (const auto &[u, targets] : strided) {
+        for (const auto &[v, cs] : targets)
+            variant_index(v, cs);
+    }
+
+    Automaton out(bit.name() + ".strided");
+    std::map<std::pair<uint32_t, size_t>, ElementId> ste_of;
+    for (const auto &[v, list] : variants) {
+        for (size_t i = 0; i < list.size(); ++i) {
+            const Element &e = bit.element(v);
+            ElementId id = out.addSte(list[i], StartType::kNone,
+                                      e.reporting, e.reportCode);
+            ste_of[{v, i}] = id;
+        }
+    }
+
+    // Edges: every copy of u connects to (v, cs); root edges set the
+    // start type instead.
+    for (const auto &[u, targets] : strided) {
+        for (const auto &[v, cs] : targets) {
+            ElementId tgt = ste_of.at({v, variant_index(v, cs)});
+            if (u == root) {
+                out.element(tgt).start = StartType::kStartOfData;
+            } else {
+                for (size_t i = 0; i < variants[u].size(); ++i)
+                    out.addEdge(ste_of.at({u, i}), tgt);
+            }
+        }
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace azoo

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * 8-striding: transform a bit-level automaton (alphabet {0,1}) into a
+ * byte-level automaton that consumes 8 bits per cycle (Section IX-B of
+ * the paper; the technique is due to Becchi).
+ *
+ * Bits are consumed MSB-first: the first bit of each byte is its most
+ * significant bit, matching how file-format bit fields are documented.
+ *
+ * The construction walks 8-bit paths between "boundary" states (states
+ * reachable at byte-aligned bit offsets) while tracking, as a 256-bit
+ * set, which byte values realize each path. The resulting edge-labeled
+ * byte NFA is then re-homogenized by splitting each boundary state
+ * into one STE per distinct incoming byte set.
+ *
+ * Requirements (checked): the input automaton is a pure bit automaton
+ * (labels within {0,1}, no counters) whose starts are all
+ * kStartOfData, and every reporting state is only reachable at bit
+ * offsets congruent to 7 mod 8 (i.e. patterns are whole bytes).
+ * Unanchored bit searches are expressed before striding with
+ * bits::addAlignmentRing(), which re-arms start states at every byte
+ * boundary.
+ */
+
+#ifndef AZOO_TRANSFORM_STRIDE_HH
+#define AZOO_TRANSFORM_STRIDE_HH
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** 8-stride @p bit_automaton into a byte automaton. fatal() if the
+ *  preconditions above are violated. */
+Automaton strideToBytes(const Automaton &bit_automaton);
+
+} // namespace azoo
+
+#endif // AZOO_TRANSFORM_STRIDE_HH

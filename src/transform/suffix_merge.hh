@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Suffix merging: the right-equivalence counterpart to prefix merging.
+ *
+ * Two elements are right-equivalent when they have identical match
+ * behaviour (kind, symbols, start type, report status/code, counter
+ * configuration) and identical successor sets (activation and reset).
+ * Merging them unions their predecessors, preserving the set of
+ * (offset, report code) events: the merged state is enabled whenever
+ * either original was, matches identically, and drives the same
+ * successors.
+ *
+ * Prefix and suffix merging compose: running both to fixpoint is the
+ * full VASim-style "common prefix/suffix collapsing" optimization
+ * bundle, exercised by the ablation bench.
+ */
+
+#ifndef AZOO_TRANSFORM_SUFFIX_MERGE_HH
+#define AZOO_TRANSFORM_SUFFIX_MERGE_HH
+
+#include "transform/prefix_merge.hh"
+
+namespace azoo {
+
+/** Iteratively merge right-equivalent elements to fixpoint. */
+MergeResult suffixMerge(const Automaton &a, int max_rounds = 256);
+
+/** Alternate prefix and suffix merging until neither shrinks the
+ *  automaton. Returns the combined result (remap composes both). */
+MergeResult fullMerge(const Automaton &a, int max_rounds = 64);
+
+} // namespace azoo
+
+#endif // AZOO_TRANSFORM_SUFFIX_MERGE_HH

@@ -1,0 +1,44 @@
+#include "transform/widen.hh"
+
+#include "util/logging.hh"
+
+namespace azoo {
+
+Automaton
+widen(const Automaton &a)
+{
+    Automaton out(a.name() + ".wide");
+    const size_t n = a.size();
+
+    // Layout: original state i -> 2i, its zero shadow -> 2i + 1.
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        if (e.kind != ElementKind::kSte)
+            fatal("widen: counters are not supported");
+        out.addSte(e.symbols, e.start, false, 0);
+        out.addSte(CharSet::single(0), StartType::kNone, e.reporting,
+                   e.reportCode);
+    }
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        out.addEdge(2 * i, 2 * i + 1);
+        for (auto t : e.out)
+            out.addEdge(2 * i + 1, 2 * t);
+    }
+    out.validate();
+    return out;
+}
+
+std::vector<uint8_t>
+widenInput(const std::vector<uint8_t> &in)
+{
+    std::vector<uint8_t> out;
+    out.reserve(in.size() * 2);
+    for (auto b : in) {
+        out.push_back(b);
+        out.push_back(0);
+    }
+    return out;
+}
+
+} // namespace azoo

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Widening: the VASim-transformation equivalent used by the "YARA
+ * Wide" benchmark (Section IX-A).
+ *
+ * A widened rule reads 16-bit symbols, assuming every other input byte
+ * is zero (e.g. ASCII stored as UTF-16LE). As in the paper, the pass
+ * "pads the automata with states that only recognize zero": every STE
+ * s gains a zero-matching shadow state z(s); edges s -> t are rerouted
+ * z(s) -> t; reporting moves to z(s) so a full wide symbol is
+ * consumed.
+ */
+
+#ifndef AZOO_TRANSFORM_WIDEN_HH
+#define AZOO_TRANSFORM_WIDEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Widen @p a (STE-only automata; fatal() on counters). */
+Automaton widen(const Automaton &a);
+
+/** Widen a byte string the way widened rules expect to see it:
+ *  interleave a zero after every byte. */
+std::vector<uint8_t> widenInput(const std::vector<uint8_t> &in);
+
+} // namespace azoo
+
+#endif // AZOO_TRANSFORM_WIDEN_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers in the gem5 tradition:
+ * fatal() for user errors, panic() for internal invariant violations,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef AZOO_UTIL_LOGGING_HH
+#define AZOO_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace azoo {
+
+/** Print "fatal: <msg>" to stderr and exit(1). For user errors. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print "panic: <msg>" to stderr and abort(). For library bugs. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print "warn: <msg>" to stderr. */
+void warn(const std::string &msg);
+
+/** Print "info: <msg>" to stderr. */
+void inform(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** Variadic convenience: streams all arguments into one message. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_LOGGING_HH

@@ -1,0 +1,127 @@
+#include "util/rng.hh"
+
+#include <cassert>
+
+namespace azoo {
+
+namespace {
+
+/** splitmix64 step, used only for seeding. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+        uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+        nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+uint8_t
+Rng::nextByte()
+{
+    return static_cast<uint8_t>(next() >> 56);
+}
+
+char
+Rng::pickChar(const std::string &alphabet)
+{
+    assert(!alphabet.empty());
+    return alphabet[nextBelow(alphabet.size())];
+}
+
+std::string
+Rng::randomString(size_t n, const std::string &alphabet)
+{
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(pickChar(alphabet));
+    return out;
+}
+
+std::vector<uint8_t>
+Rng::randomBytes(size_t n)
+{
+    std::vector<uint8_t> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(nextByte());
+    return out;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xabcdef0123456789ULL);
+}
+
+} // namespace azoo

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for benchmark
+ * generators and input stimulus synthesis.
+ *
+ * All AutomataZoo generators must be reproducible from a 64-bit seed,
+ * so library code never touches std::random_device or global RNG
+ * state. Rng wraps xoshiro256** seeded via splitmix64, the standard
+ * recipe recommended by the xoshiro authors.
+ */
+
+#ifndef AZOO_UTIL_RNG_HH
+#define AZOO_UTIL_RNG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace azoo {
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**).
+ *
+ * Not cryptographically secure; intended for reproducible workload
+ * generation. Copyable: a copy continues an independent but identical
+ * stream.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 state expansion. */
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** Next raw 64 random bits. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire's method. bound > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability p of true. */
+    bool nextBool(double p = 0.5);
+
+    /** Uniform byte. */
+    uint8_t nextByte();
+
+    /** Uniform element of a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[nextBelow(v.size())];
+    }
+
+    /** Uniform character of a non-empty string (used for alphabets). */
+    char pickChar(const std::string &alphabet);
+
+    /** Random string of length n over the given alphabet. */
+    std::string randomString(size_t n, const std::string &alphabet);
+
+    /** Random byte vector of length n. */
+    std::vector<uint8_t> randomBytes(size_t n);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /**
+     * Derive an independent child RNG. Useful for giving each
+     * generated pattern its own stream so pattern k is stable even if
+     * patterns before it change how much randomness they consume.
+     */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_RNG_HH

@@ -1,0 +1,88 @@
+#include "util/strings.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace azoo {
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+std::string
+hexByte(uint8_t b)
+{
+    char buf[3];
+    std::snprintf(buf, sizeof(buf), "%02x", b);
+    return buf;
+}
+
+std::string
+escapeBytes(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        auto uc = static_cast<unsigned char>(c);
+        if (uc >= 0x20 && uc < 0x7f) {
+            out.push_back(c);
+        } else {
+            out += "\\x" + hexByte(uc);
+        }
+    }
+    return out;
+}
+
+} // namespace azoo

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string utilities shared by the parsers and generators.
+ */
+
+#ifndef AZOO_UTIL_STRINGS_HH
+#define AZOO_UTIL_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace azoo {
+
+/** Split on a delimiter character; keeps empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** True if s begins with prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** Hex value of an ASCII hex digit, or -1. */
+int hexValue(char c);
+
+/** Two-digit hex rendering of a byte. */
+std::string hexByte(uint8_t b);
+
+/** Escape a byte string for display (non-printables as \xNN). */
+std::string escapeBytes(const std::string &s);
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_STRINGS_HH

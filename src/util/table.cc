@@ -1,0 +1,93 @@
+#include "util/table.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace azoo {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            for (size_t p = row[c].size(); p < widths[c]; ++p)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+    };
+
+    auto emit_rule = [&]() {
+        os << "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            for (size_t p = 0; p < widths[c] + 2; ++p)
+                os << '-';
+            os << "|";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    emit_rule();
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+Table::num(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+Table::fixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::ratio(double v, int precision)
+{
+    return fixed(v, precision) + "x";
+}
+
+std::string
+Table::percent(double v, int precision)
+{
+    return fixed(v, precision) + "%";
+}
+
+} // namespace azoo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to emit paper-style
+ * tables (Table I..V) with aligned columns.
+ */
+
+#ifndef AZOO_UTIL_TABLE_HH
+#define AZOO_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace azoo {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Benchmark", "States", "Edges"});
+ *   t.addRow({"Snort", Table::num(202043), Table::fixed(1.17, 2)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column separators and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Integer with thousands separators, e.g. 2,374,717. */
+    static std::string num(uint64_t v);
+
+    /** Fixed-point double with the given precision. */
+    static std::string fixed(double v, int precision);
+
+    /** Ratio formatted like the paper: "4.71x" / "0.05x". */
+    static std::string ratio(double v, int precision = 2);
+
+    /** Percentage, e.g. "26.7%". */
+    static std::string percent(double v, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_TABLE_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock timer used by the table benches (paper tables report
+ * end-to-end runtimes, not microbenchmark iterations).
+ */
+
+#ifndef AZOO_UTIL_TIMER_HH
+#define AZOO_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace azoo {
+
+/** Steady-clock stopwatch. Starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void
+    reset()
+    {
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    /** Elapsed seconds since construction/reset. */
+    double
+    seconds() const
+    {
+        auto d = std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_TIMER_HH

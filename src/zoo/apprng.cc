@@ -1,0 +1,64 @@
+#include "zoo/apprng.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace zoo {
+
+size_t
+appendPrngChain(Automaton &a, int sides, int groups, uint32_t code)
+{
+    if (256 % sides != 0)
+        fatal(cat("apprng: sides ", sides, " must divide 256"));
+    const size_t before = a.size();
+    const int slice = 256 / sides;
+
+    std::vector<std::vector<ElementId>> face(groups);
+    for (int g = 0; g < groups; ++g) {
+        for (int f = 0; f < sides; ++f) {
+            const auto lo = static_cast<uint8_t>(f * slice);
+            const auto hi = static_cast<uint8_t>(f * slice + slice - 1);
+            // The first face of the last group is the chain's output
+            // tap: it reports each time the "die" lands on it.
+            const bool tap = g == groups - 1 && f == 0;
+            face[g].push_back(a.addSte(
+                CharSet::range(lo, hi),
+                g == 0 ? StartType::kStartOfData : StartType::kNone,
+                tap, code));
+        }
+    }
+    for (int g = 0; g < groups; ++g) {
+        for (auto from : face[g]) {
+            for (auto to : face[(g + 1) % groups])
+                a.addEdge(from, to);
+        }
+    }
+    return a.size() - before;
+}
+
+Benchmark
+makeApPrngBenchmark(const ZooConfig &cfg, int sides)
+{
+    Benchmark b;
+    b.name = cat("AP PRNG ", sides, "-sided");
+    b.domain = "Pseudo-random number generation";
+    b.inputDesc = "Pseudo-random bytes";
+    b.paperStates = sides == 4 ? 20000 : 72000;
+    b.paperActiveSet = sides == 4 ? 4500 : 2500;
+
+    const int groups = sides == 4 ? 5 : 9;
+    const size_t n = cfg.scaled(1000);
+    Automaton a(b.name);
+    for (size_t i = 0; i < n; ++i)
+        appendPrngChain(a, sides, groups, static_cast<uint32_t>(i));
+
+    Rng rng(cfg.seed ^ 0x9199ULL);
+    b.input = rng.randomBytes(cfg.inputBytes);
+    b.automaton = std::move(a);
+    b.meta["chains"] = std::to_string(n);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * AP PRNG benchmark (Wadden et al., ICCD 2016): Markov chains
+ * realized as automata and driven by uniform random bytes, turning
+ * probabilistic transitions into high-throughput pseudo-random
+ * report streams.
+ *
+ * Each chain is a ring of groups; each group holds one state per die
+ * face, labeled with an equal slice of the byte space, and every face
+ * fans out to the next group's faces. Exactly one face per group is
+ * active at a time, and one designated face reports, emitting a
+ * Bernoulli(1/N) bit stream per chain. 4-sided chains use 5 groups
+ * (20 states), 8-sided chains 9 groups (72 states), matching
+ * Table I's per-subgraph sizes.
+ */
+
+#ifndef AZOO_ZOO_APPRNG_HH
+#define AZOO_ZOO_APPRNG_HH
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** Append one Markov-chain ring; @return states appended. */
+size_t appendPrngChain(Automaton &a, int sides, int groups,
+                       uint32_t code);
+
+/** Build the 4- or 8-sided benchmark with scaled(1000) chains. */
+Benchmark makeApPrngBenchmark(const ZooConfig &cfg, int sides);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_APPRNG_HH

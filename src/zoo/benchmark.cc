@@ -1,0 +1,4 @@
+#include "zoo/benchmark.hh"
+
+// Currently header-only types; this translation unit anchors the
+// module for future out-of-line helpers.

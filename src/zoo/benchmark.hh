@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Common benchmark container and generation configuration shared by
+ * all AutomataZoo generators.
+ */
+
+#ifndef AZOO_ZOO_BENCHMARK_HH
+#define AZOO_ZOO_BENCHMARK_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+namespace zoo {
+
+/**
+ * Generation knobs common to all benchmarks.
+ *
+ * scale multiplies pattern/rule/filter counts relative to the paper's
+ * full-size benchmarks: scale = 1.0 reproduces the paper's sizes,
+ * while the default 0.1 keeps the full 24-benchmark suite buildable
+ * and simulatable on a laptop in minutes. Input lengths are fixed by
+ * inputBytes, not scaled, so dynamic statistics (active set, report
+ * rate) stay comparable across scales.
+ */
+struct ZooConfig {
+    uint64_t seed = 42;
+    double scale = 0.1;
+    size_t inputBytes = 1 << 20;
+
+    /** Scaled count with a floor of 1. */
+    size_t
+    scaled(size_t full_count) const
+    {
+        const double v = static_cast<double>(full_count) * scale;
+        return v < 1.0 ? 1 : static_cast<size_t>(v);
+    }
+};
+
+/** One generated benchmark: automaton + standard input + metadata. */
+struct Benchmark {
+    std::string name;
+    std::string domain;
+    std::string inputDesc;
+    Automaton automaton;
+    std::vector<uint8_t> input;
+
+    /** Symbols per kernel item (e.g. per classification); 0 if N/A. */
+    double symbolsPerItem = 0;
+
+    /** Paper Table I reference values at full scale (for the
+     *  paper-vs-measured comparison; 0 = not applicable). */
+    uint64_t paperStates = 0;
+    double paperActiveSet = 0;
+    double paperSizeVsAnmlzoo = 0;
+
+    /** Free-form extra metadata surfaced by the benches. */
+    std::map<std::string, std::string> meta;
+};
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_BENCHMARK_HH

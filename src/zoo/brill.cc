@@ -1,0 +1,101 @@
+#include "zoo/brill.hh"
+
+#include "input/corpus.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+std::string
+tagLit(int tag)
+{
+    return "\\x" + hexByte(input::tagByte(tag));
+}
+
+/** Any tag byte. */
+std::string
+anyTag()
+{
+    return cat("[\\x80-\\x",
+               hexByte(input::tagByte(kBrillTags - 1)), "]");
+}
+
+} // namespace
+
+Benchmark
+makeBrillBenchmark(const ZooConfig &cfg)
+{
+    Benchmark b;
+    b.name = "Brill";
+    b.domain = "Part of Speech Tagging";
+    b.inputDesc = "Brown Corpus";
+    b.paperStates = 115549;
+    b.paperActiveSet = 78.2558;
+    b.paperSizeVsAnmlzoo = 2.76;
+
+    Rng rng(cfg.seed ^ 0xb1277ULL);
+    auto vocab = input::makeVocabulary(3000, cfg.seed ^ 0xb0caULL);
+
+    // Brill rules are learned from the corpus, so rule words follow
+    // the corpus' Zipf-ish frequency distribution (same r^2 transform
+    // as input::taggedStream) -- this is what makes the rules
+    // actually fire on the standard input.
+    auto pick_word = [&]() -> const std::string & {
+        const size_t r = rng.nextBelow(vocab.size());
+        return vocab[(r * r) / vocab.size()];
+    };
+
+    const size_t n = cfg.scaled(5946);
+    Automaton a("Brill");
+    size_t rejected = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const std::string &w = pick_word();
+        const int ta = static_cast<int>(rng.nextBelow(kBrillTags));
+        const int tb = static_cast<int>(rng.nextBelow(kBrillTags));
+        const int tc = static_cast<int>(rng.nextBelow(kBrillTags));
+        std::string pat;
+        switch (rng.nextBelow(5)) {
+          case 0: // PREVTAG
+            pat = tagLit(ta) + " " + w + tagLit(tb);
+            break;
+          case 1: // NEXTTAG
+            pat = w + tagLit(tb) + " [a-z]+" + tagLit(tc);
+            break;
+          case 2: // PREVWORD
+            pat = pick_word() + anyTag() + " " + w + tagLit(tb);
+            break;
+          case 3: // SURROUNDTAG
+            pat = tagLit(ta) + " " + w + tagLit(tb) + " [a-z]+" +
+                tagLit(tc);
+            break;
+          default: // PREV2TAG
+            pat = tagLit(ta) + " [a-z]+" + tagLit(tb) + " " + w +
+                tagLit(tc);
+            break;
+        }
+        Regex rx;
+        std::string err;
+        if (!tryParseRegex(pat, RegexFlags(), rx, err)) {
+            ++rejected;
+            continue;
+        }
+        appendRegex(a, rx, static_cast<uint32_t>(i));
+    }
+
+    b.input = input::taggedStream(cfg.inputBytes,
+                                  cfg.seed ^ 0x7a93edULL, kBrillTags,
+                                  vocab);
+    b.automaton = std::move(a);
+    b.meta["rules"] = std::to_string(n);
+    b.meta["rejected"] = std::to_string(rejected);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Brill part-of-speech-tagging benchmark.
+ *
+ * Brill rules rewrite tags based on lexical/tag context. Following
+ * the open-source BrillPlusPlus flow the paper adopts, each rule is a
+ * context template over the tagged token stream (our encoding: word
+ * characters, one tag byte 0x80+t, space). AutomataZoo uses 5,000
+ * rules ("adding rules ... enables better evaluation of trade-offs"),
+ * which we generate from the standard Brill template inventory:
+ * PREVTAG, NEXTTAG, PREVWORD, SURROUNDTAG, PREV2TAG.
+ */
+
+#ifndef AZOO_ZOO_BRILL_HH
+#define AZOO_ZOO_BRILL_HH
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** Number of part-of-speech tags in the synthetic tagset. */
+constexpr int kBrillTags = 32;
+
+/** Build the Brill benchmark: scaled(5946) rule subgraphs (Table I)
+ *  over a tagged Brown-like corpus. */
+Benchmark makeBrillBenchmark(const ZooConfig &cfg);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_BRILL_HH

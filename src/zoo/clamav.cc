@@ -1,0 +1,146 @@
+#include "zoo/clamav.hh"
+
+#include "input/diskimage.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+/** Append a hex byte pair for value v. */
+void
+pushHex(std::string &hex, uint8_t v)
+{
+    hex += hexByte(v);
+}
+
+} // namespace
+
+std::vector<ClamSignature>
+makeClamSignatures(const ZooConfig &cfg)
+{
+    const size_t n = cfg.scaled(33171);
+    Rng rng(cfg.seed ^ 0xc1a3ULL);
+
+    std::vector<ClamSignature> sigs;
+    sigs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        ClamSignature s;
+        // Signature bodies are long and almost linear: 40..110 bytes
+        // of mostly fixed values with occasional wildcards and rare
+        // bounded jumps (matching Table I: edges/node 1.00, average
+        // subgraph ~72).
+        const int len = 40 + static_cast<int>(rng.nextBelow(71));
+        for (int b = 0; b < len; ++b) {
+            const double k = rng.nextDouble();
+            if (k < 0.04 && b > 4 && b + 4 < len) {
+                s.hex += "??";
+                s.instance.push_back(
+                    static_cast<char>(rng.nextByte()));
+            } else if (k < 0.05 && b > 8 && b + 8 < len) {
+                const int jlo = 1 + static_cast<int>(rng.nextBelow(3));
+                const int jhi = jlo +
+                    static_cast<int>(rng.nextBelow(4));
+                s.hex += cat("{", jlo, "-", jhi, "}");
+                for (int j = 0; j < jlo; ++j) {
+                    s.instance.push_back(
+                        static_cast<char>(rng.nextByte()));
+                }
+            } else {
+                const uint8_t v = rng.nextByte();
+                pushHex(s.hex, v);
+                s.instance.push_back(static_cast<char>(v));
+            }
+        }
+        sigs.push_back(std::move(s));
+    }
+    return sigs;
+}
+
+std::string
+clamHexToRegex(const std::string &hex)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < hex.size()) {
+        if (hex[i] == '{') {
+            const size_t close = hex.find('}', i);
+            if (close == std::string::npos)
+                fatal(cat("clam signature: unterminated jump in ",
+                          hex));
+            std::string body = hex.substr(i + 1, close - i - 1);
+            const size_t dash = body.find('-');
+            if (dash == std::string::npos) {
+                out += cat(".{", body, "}");
+            } else {
+                out += cat(".{", body.substr(0, dash), ",",
+                           body.substr(dash + 1), "}");
+            }
+            i = close + 1;
+        } else if (hex[i] == '?' && i + 1 < hex.size() &&
+                   hex[i + 1] == '?') {
+            out += ".";
+            i += 2;
+        } else {
+            const int hi = hexValue(hex[i]);
+            const int lo = i + 1 < hex.size() ? hexValue(hex[i + 1])
+                                              : -1;
+            if (hi < 0 || lo < 0)
+                fatal(cat("clam signature: bad hex at ", i, " in ",
+                          hex));
+            out += "\\x" + hex.substr(i, 2);
+            i += 2;
+        }
+    }
+    return out;
+}
+
+Benchmark
+makeClamAvBenchmark(const ZooConfig &cfg)
+{
+    Benchmark b;
+    b.name = "ClamAV";
+    b.domain = "Virus Detection";
+    b.inputDesc = "Disk image";
+    b.paperStates = 2374717;
+    b.paperActiveSet = 356.532;
+    b.paperSizeVsAnmlzoo = 53;
+
+    auto sigs = makeClamSignatures(cfg);
+    Automaton a("ClamAV");
+    size_t rejected = 0;
+    for (size_t i = 0; i < sigs.size(); ++i) {
+        Regex rx;
+        std::string err;
+        // Hex signatures are binary: '.' must match every byte value.
+        RegexFlags flags;
+        flags.dotall = true;
+        if (!tryParseRegex(clamHexToRegex(sigs[i].hex), flags, rx,
+                           err)) {
+            ++rejected;
+            continue;
+        }
+        appendRegex(a, rx, static_cast<uint32_t>(i));
+    }
+
+    input::DiskImageConfig dc;
+    dc.bytes = cfg.inputBytes;
+    dc.seed = cfg.seed ^ 0xd15cULL;
+    // "two embedded virus fragments ... that trigger ClamAV rules"
+    dc.viruses.push_back(sigs[sigs.size() / 3].instance);
+    dc.viruses.push_back(sigs[(2 * sigs.size()) / 3].instance);
+    b.input = input::diskImage(dc);
+
+    b.automaton = std::move(a);
+    b.meta["signatures"] = std::to_string(sigs.size());
+    b.meta["rejected"] = std::to_string(rejected);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

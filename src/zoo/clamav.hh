@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ClamAV virus-detection benchmark.
+ *
+ * ClamAV signatures are hexadecimal byte strings with wildcards; the
+ * distribution ships a tool that converts them to regular
+ * expressions, which are then compiled to automata. We generate a
+ * seeded signature database in ClamAV's hex-signature dialect
+ * (fixed bytes, "??" wildcards, "{n-m}" bounded jumps, "(aa|bb)"
+ * alternatives), convert each signature to a regex with the same
+ * rules as the paper's toolchain, and compile with our pcre2mnrl
+ * equivalent. Two signatures double as the "virus fragments" embedded
+ * in the disk-image input, so the benchmark detects real planted
+ * positives (unlike ANMLZoo's, which "detects no viruses").
+ */
+
+#ifndef AZOO_ZOO_CLAMAV_HH
+#define AZOO_ZOO_CLAMAV_HH
+
+#include <string>
+#include <vector>
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** One signature in ClamAV hex dialect plus a concrete instance of
+ *  bytes it matches (used for planting). */
+struct ClamSignature {
+    std::string hex;       ///< e.g. "4d5a??90{2-6}50450000"
+    std::string instance;  ///< concrete matching byte string
+};
+
+/** Generate scaled(33171) signatures. */
+std::vector<ClamSignature> makeClamSignatures(const ZooConfig &cfg);
+
+/** Convert ClamAV hex dialect to a PCRE pattern. */
+std::string clamHexToRegex(const std::string &hex);
+
+/** Build the benchmark (signatures + disk image with two planted
+ *  virus fragments). */
+Benchmark makeClamAvBenchmark(const ZooConfig &cfg);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_CLAMAV_HH

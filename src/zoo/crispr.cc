@@ -1,0 +1,162 @@
+#include "zoo/crispr.hh"
+
+#include "input/dna.hh"
+#include "transform/prune.hh"
+#include "util/logging.hh"
+#include "zoo/mesh.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+constexpr int kGuideLen = 20;
+constexpr int kOtEditDistance = 2;
+
+/** DNA letter / non-letter labels over the {a,t,g,c} alphabet. */
+CharSet
+base(char c)
+{
+    return CharSet::single(static_cast<uint8_t>(c));
+}
+
+CharSet
+notBase(char c)
+{
+    CharSet cs;
+    for (char b : input::kDnaAlphabet)
+        cs.set(static_cast<uint8_t>(b));
+    cs.clear(static_cast<uint8_t>(c));
+    return cs;
+}
+
+CharSet
+anyBase()
+{
+    CharSet cs;
+    for (char b : input::kDnaAlphabet)
+        cs.set(static_cast<uint8_t>(b));
+    return cs;
+}
+
+/** Append the NGG PAM tail after @p ends; the final G reports. */
+void
+appendPam(Automaton &a, const std::vector<ElementId> &ends,
+          uint32_t code)
+{
+    ElementId n = a.addSte(anyBase());
+    ElementId g1 = a.addSte(base('g'));
+    ElementId g2 = a.addSte(base('g'), StartType::kNone, true, code);
+    for (auto e : ends)
+        a.addEdge(e, n);
+    a.addEdge(n, g1);
+    a.addEdge(g1, g2);
+}
+
+/** CasOFFinder-style: exact chain with <=1 substitution. */
+size_t
+appendOffFilter(Automaton &a, const std::string &guide, uint32_t code)
+{
+    const size_t before = a.size();
+    const int n = static_cast<int>(guide.size());
+
+    std::vector<ElementId> m_row(n), b_row(n), e_row(n, kNoElement);
+    for (int j = 0; j < n; ++j) {
+        const StartType st =
+            j == 0 ? StartType::kAllInput : StartType::kNone;
+        m_row[j] = a.addSte(base(guide[j]), st);
+        b_row[j] = a.addSte(notBase(guide[j]), st);
+        if (j >= 1)
+            e_row[j] = a.addSte(base(guide[j]));
+    }
+    for (int j = 1; j < n; ++j) {
+        a.addEdge(m_row[j - 1], m_row[j]);
+        a.addEdge(m_row[j - 1], b_row[j]);
+        a.addEdge(b_row[j - 1], e_row[j]);
+        if (j >= 2)
+            a.addEdge(e_row[j - 1], e_row[j]);
+    }
+    appendPam(a, {m_row[n - 1], b_row[n - 1], e_row[n - 1]}, code);
+    return a.size() - before;
+}
+
+/** CasOT-style: Levenshtein mesh (subs + indels) then PAM. */
+size_t
+appendOtFilter(Automaton &a, const std::string &guide, uint32_t code)
+{
+    const size_t before = a.size();
+    // Build the mesh with a temporary report code, then convert its
+    // reporting states into PAM feeders.
+    Automaton mesh("ot.filter");
+    appendLevenshteinFilter(mesh, guide, kOtEditDistance, code);
+    mesh = pruneDeadStates(mesh).automaton;
+
+    const ElementId offset = a.merge(mesh);
+    std::vector<ElementId> ends;
+    for (ElementId i = 0; i < mesh.size(); ++i) {
+        Element &e = a.element(offset + i);
+        if (e.reporting) {
+            e.reporting = false;
+            e.reportCode = 0;
+            ends.push_back(offset + i);
+        }
+    }
+    appendPam(a, ends, code);
+    return a.size() - before;
+}
+
+} // namespace
+
+size_t
+appendCrisprFilter(Automaton &a, const std::string &guide,
+                   CrisprKind kind, uint32_t code)
+{
+    if (kind == CrisprKind::kCasOffinder)
+        return appendOffFilter(a, guide, code);
+    return appendOtFilter(a, guide, code);
+}
+
+Benchmark
+makeCrisprBenchmark(const ZooConfig &cfg, CrisprKind kind)
+{
+    const bool off = kind == CrisprKind::kCasOffinder;
+    Benchmark b;
+    b.name = off ? "CRISPR CasOffinder" : "CRISPR CasOT";
+    b.domain = "DNA pattern search";
+    b.inputDesc = "DNA";
+    b.paperStates = off ? 74000 : 202000;
+    b.paperActiveSet = off ? 191.64 : 953.753;
+
+    const size_t n = cfg.scaled(2000);
+    Rng rng(cfg.seed ^ (off ? 0xc0ffULL : 0xc07ULL));
+    Automaton a(b.name);
+    std::vector<std::string> guides;
+    for (size_t i = 0; i < n; ++i) {
+        std::string g = input::randomDnaString(kGuideLen, rng);
+        appendCrisprFilter(a, g, kind, static_cast<uint32_t>(i));
+        guides.push_back(std::move(g));
+    }
+
+    // Genome stream with planted off-target sites: guide with 1-2
+    // substitutions followed by a valid PAM (xGG).
+    b.input = input::randomDna(cfg.inputBytes, cfg.seed ^ 0x6e0eULL);
+    Rng plant(cfg.seed ^ 0x97a7ULL);
+    for (size_t at = 8192; at + kGuideLen + 3 < b.input.size();
+         at += 128 * 1024) {
+        const std::string &g = guides[plant.nextBelow(guides.size())];
+        input::plantWithMismatches(
+            b.input, at, g, 1 + static_cast<int>(plant.nextBelow(2)),
+            plant);
+        b.input[at + kGuideLen] = static_cast<uint8_t>(
+            plant.pickChar(input::kDnaAlphabet));
+        b.input[at + kGuideLen + 1] = 'g';
+        b.input[at + kGuideLen + 2] = 'g';
+    }
+
+    b.automaton = std::move(a);
+    b.meta["guides"] = std::to_string(n);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CRISPR/Cas9 off-target-site search benchmarks (Bo et al.).
+ *
+ * Each filter searches a DNA stream for near-matches of one 20-bp
+ * guide RNA followed by the NGG protospacer-adjacent motif (PAM).
+ * Following Bo's two comparison targets, we build two filter styles:
+ *
+ *  - CasOFFinder-style ("OFF"): substitution-only tolerance (a
+ *    compact <=1-substitution chain), the GPU tool's model;
+ *  - CasOT-style ("OT"): a Levenshtein mesh tolerating substitutions
+ *    AND indels (edit distance <= 2), the CPU tool's model, which is
+ *    why its automata are larger and denser (Table I: 101 vs 37
+ *    states per filter, 1.66 vs 1.27 edges/node).
+ *
+ * Both benchmarks use 2,000 guides at full scale, "the largest
+ * evaluated in Bo's work".
+ */
+
+#ifndef AZOO_ZOO_CRISPR_HH
+#define AZOO_ZOO_CRISPR_HH
+
+#include <string>
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** Which tool's filter model to build. */
+enum class CrisprKind { kCasOffinder, kCasOt };
+
+/** Append one guide filter (guide + NGG PAM). */
+size_t appendCrisprFilter(Automaton &a, const std::string &guide,
+                          CrisprKind kind, uint32_t code);
+
+/** Build the OFF or OT benchmark with scaled(2000) guides. */
+Benchmark makeCrisprBenchmark(const ZooConfig &cfg, CrisprKind kind);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_CRISPR_HH

@@ -1,0 +1,244 @@
+#include "zoo/entity.hh"
+
+#include <cctype>
+
+#include "core/builder.hh"
+#include "util/logging.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+/**
+ * Append a chain matching @p word with at most one letter
+ * substituted. Row M is the exact match; a mismatch at position j
+ * (label: lowercase letters other than word[j]) drops into exact row
+ * E for the remainder.
+ *
+ * @param entries states that enable the first position (empty =
+ *        all-input heads).
+ * @param[out] ends states whose match completes the word.
+ */
+void
+appendOneSubWord(Automaton &a, const std::string &word,
+                 const std::vector<ElementId> &entries,
+                 std::vector<ElementId> &ends)
+{
+    const int n = static_cast<int>(word.size());
+    std::vector<ElementId> m_row(n), e_row(n, kNoElement);
+    std::vector<ElementId> b_row(n, kNoElement);
+
+    auto letter = [](char c) {
+        return CharSet::single(static_cast<uint8_t>(c));
+    };
+    auto not_letter = [](char c) {
+        CharSet cs = CharSet::range('a', 'z');
+        cs |= CharSet::range('A', 'Z');
+        cs.clear(static_cast<uint8_t>(c));
+        return cs;
+    };
+
+    for (int j = 0; j < n; ++j) {
+        const StartType st = (j == 0 && entries.empty())
+            ? StartType::kAllInput
+            : StartType::kNone;
+        m_row[j] = a.addSte(letter(word[j]), st);
+        b_row[j] = a.addSte(not_letter(word[j]), st);
+        if (j >= 1)
+            e_row[j] = a.addSte(letter(word[j]));
+    }
+    for (auto e : entries) {
+        a.addEdge(e, m_row[0]);
+        a.addEdge(e, b_row[0]);
+    }
+    for (int j = 1; j < n; ++j) {
+        a.addEdge(m_row[j - 1], m_row[j]);
+        a.addEdge(m_row[j - 1], b_row[j]);
+        a.addEdge(b_row[j - 1], e_row[j]);
+        if (j >= 2)
+            a.addEdge(e_row[j - 1], e_row[j]);
+    }
+    ends.push_back(m_row[n - 1]);
+    ends.push_back(b_row[n - 1]);
+    if (n >= 2)
+        ends.push_back(e_row[n - 1]);
+}
+
+/** Append an exact literal continuing from @p froms; returns the
+ *  final state. */
+ElementId
+continueLiteral(Automaton &a, const std::vector<ElementId> &froms,
+                const std::string &lit)
+{
+    ElementId prev = kNoElement;
+    for (size_t i = 0; i < lit.size(); ++i) {
+        ElementId id = a.addSte(
+            CharSet::single(static_cast<uint8_t>(lit[i])));
+        if (i == 0) {
+            for (auto f : froms)
+                a.addEdge(f, id);
+        } else {
+            a.addEdge(prev, id);
+        }
+        prev = id;
+    }
+    return prev;
+}
+
+} // namespace
+
+size_t
+appendNameMatcher(Automaton &a, const input::Name &name, uint32_t code)
+{
+    const size_t before = a.size();
+
+    auto mark_reports = [&](const std::vector<ElementId> &ends) {
+        for (auto e : ends) {
+            a.element(e).reporting = true;
+            a.element(e).reportCode = code;
+        }
+    };
+
+    // Format 1: "First Last" -- one substitution tolerated in either
+    // token.
+    {
+        std::vector<ElementId> first_ends;
+        appendOneSubWord(a, name.first, {}, first_ends);
+        ElementId space = a.addSte(CharSet::single(' '));
+        for (auto e : first_ends)
+            a.addEdge(e, space);
+        std::vector<ElementId> ends;
+        appendOneSubWord(a, name.last, {space}, ends);
+        mark_reports(ends);
+    }
+    // Format 2: "Last, First" -- exact.
+    {
+        ElementId l_end = addLiteral(a, name.last,
+                                     StartType::kAllInput, false, 0);
+        ElementId mid = continueLiteral(a, {l_end}, ", ");
+        ElementId f_end = continueLiteral(a, {mid}, name.first);
+        mark_reports({f_end});
+    }
+    // Format 3: "F. Last" -- initial, then one-sub last.
+    {
+        ElementId init = a.addSte(
+            CharSet::single(static_cast<uint8_t>(name.first[0])),
+            StartType::kAllInput);
+        ElementId mid = continueLiteral(a, {init}, ". ");
+        std::vector<ElementId> ends;
+        appendOneSubWord(a, name.last, {mid}, ends);
+        mark_reports(ends);
+    }
+    return a.size() - before;
+}
+
+std::vector<input::Name>
+entityNames(const ZooConfig &cfg)
+{
+    return input::makeNames(cfg.scaled(10000), cfg.seed);
+}
+
+namespace {
+
+/** True if the token, with at most one letter-for-letter
+ *  substitution, ends at stream position @p end (inclusive). */
+bool
+subTokenEndsAt(const std::vector<uint8_t> &s, size_t end,
+               const std::string &token)
+{
+    if (end + 1 < token.size())
+        return false;
+    const size_t start = end + 1 - token.size();
+    int subs = 0;
+    for (size_t j = 0; j < token.size(); ++j) {
+        const uint8_t c = s[start + j];
+        const auto want = static_cast<uint8_t>(token[j]);
+        if (c == want)
+            continue;
+        if (!std::isalpha(c) || ++subs > 1)
+            return false;
+    }
+    return true;
+}
+
+/** Exact literal ending at @p end. */
+bool
+exactEndsAt(const std::vector<uint8_t> &s, size_t end,
+            const std::string &lit)
+{
+    if (end + 1 < lit.size())
+        return false;
+    const size_t start = end + 1 - lit.size();
+    for (size_t j = 0; j < lit.size(); ++j) {
+        if (s[start + j] != static_cast<uint8_t>(lit[j]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<uint64_t>
+nativeResolutionCounts(const std::vector<input::Name> &names,
+                       const std::vector<uint8_t> &stream)
+{
+    std::vector<uint64_t> counts(names.size(), 0);
+    for (size_t i = 0; i < names.size(); ++i) {
+        const input::Name &n = names[i];
+        const std::string fmt2 = n.last + ", " + n.first;
+        const std::string fmt3_mid =
+            std::string(1, n.first[0]) + ". ";
+        const size_t len1 = n.first.size() + 1 + n.last.size();
+        const size_t len3 = fmt3_mid.size() + n.last.size();
+        for (size_t t = 0; t < stream.size(); ++t) {
+            bool hit = false;
+            // Format 1: First' ' ' Last', one sub per token.
+            if (t + 1 >= len1 && subTokenEndsAt(stream, t, n.last) &&
+                stream[t - n.last.size()] == ' ' &&
+                subTokenEndsAt(stream, t - n.last.size() - 1,
+                               n.first)) {
+                hit = true;
+            }
+            // Format 2: "Last, First" exact.
+            if (!hit && exactEndsAt(stream, t, fmt2))
+                hit = true;
+            // Format 3: "F. " + Last'.
+            if (!hit && t + 1 >= len3 &&
+                subTokenEndsAt(stream, t, n.last) &&
+                exactEndsAt(stream, t - n.last.size(), fmt3_mid)) {
+                hit = true;
+            }
+            counts[i] += hit;
+        }
+    }
+    return counts;
+}
+
+Benchmark
+makeEntityBenchmark(const ZooConfig &cfg)
+{
+    Benchmark b;
+    b.name = "Entity Resolution";
+    b.domain = "Duplicate entry identification";
+    b.inputDesc = "100k names";
+    b.paperStates = 413352;
+    b.paperActiveSet = 57.5615;
+    b.paperSizeVsAnmlzoo = 54.40;
+
+    auto names = entityNames(cfg);
+    const size_t n = names.size();
+
+    Automaton a("EntityResolution");
+    for (size_t i = 0; i < names.size(); ++i)
+        appendNameMatcher(a, names[i], static_cast<uint32_t>(i));
+
+    b.input = input::nameStream(names, cfg.inputBytes, 0.15,
+                                cfg.seed ^ 0xe171ULL);
+    b.automaton = std::move(a);
+    b.meta["names"] = std::to_string(n);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -1,0 +1,210 @@
+#include "zoo/filecarve.hh"
+
+#include "bits/bit_builder.hh"
+#include "input/diskimage.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "transform/stride.hh"
+#include "util/logging.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+using bits::addAlignmentRing;
+using bits::BitChainBuilder;
+
+enum PatternId : uint32_t {
+    kZipLocal = 0,
+    kZipCentral,
+    kZipEnd,
+    kMpeg2Pack,
+    kMpeg2Seq,
+    kMp4Ftyp,
+    kJpeg,
+    kEmail,
+    kSsn,
+};
+
+/**
+ * PKZip local file header with MS-DOS timestamp validation.
+ *
+ * Time word (little-endian on disk, so stream byte 0 carries the low
+ * half): h(5) m(6) s2(5). Byte 0 = m[2:0] s2[4:0]; byte 1 = h[4:0]
+ * m[5:3]. The minutes <= 59 constraint couples the two bytes:
+ * m[2:0] >= 4 forbids m[5:3] == 7. Same treatment for the date word
+ * (month 1..12 crosses the boundary; day 1..31).
+ */
+void
+appendZipLocalBits(Automaton &a, uint32_t code)
+{
+    ElementId ring = addAlignmentRing(a);
+    BitChainBuilder b(a, ring);
+    b.appendByte('P');
+    b.appendByte('K');
+    b.appendByte(0x03);
+    b.appendByte(0x04);
+    b.appendAnyBits(16); // version needed
+    b.appendAnyBits(16); // flags
+    // Compression method (LE word): 0 or 8 -> low byte 0000?000,
+    // high byte 0.
+    b.appendMaskedByte(0x00, 0xF7);
+    b.appendByte(0x00);
+
+    // Time byte 0: m[2:0] branches, then s2 in [0,29].
+    BitChainBuilder lo(b);      // m[2:0] in [0,3]
+    lo.appendRangeField(3, 0, 3);
+    lo.appendRangeField(5, 0, 29);
+    lo.appendRangeField(5, 0, 23); // byte 1: hours
+    lo.appendRangeField(3, 0, 7);  // m[5:3] unconstrained
+
+    BitChainBuilder hi(b);      // m[2:0] in [4,7]
+    hi.appendRangeField(3, 4, 7);
+    hi.appendRangeField(5, 0, 29);
+    hi.appendRangeField(5, 0, 23);
+    hi.appendRangeField(3, 0, 6);  // m[5:3] != 7
+
+    lo.mergeBranch(hi);
+
+    // Date byte 0: month[2:0] + day[4:0] in [1,31]; byte 1:
+    // year[6:0] any + month[3]. Month in [1,12] couples the halves.
+    BitChainBuilder m0(lo);     // month[3] == 0 -> month[2:0] in [1,7]
+    m0.appendRangeField(3, 1, 7);
+    m0.appendRangeField(5, 1, 31);
+    m0.appendAnyBits(7);
+    m0.appendBit(0);
+
+    BitChainBuilder m1(lo);     // month[3] == 1 -> month[2:0] in [0,4]
+    m1.appendRangeField(3, 0, 4);
+    m1.appendRangeField(5, 1, 31);
+    m1.appendAnyBits(7);
+    m1.appendBit(1);
+
+    m0.mergeBranch(m1);
+    m0.finishReport(code);
+}
+
+/** MPEG-2 pack start code and pack header prefix: 00 00 01 BA then
+ *  '01' marker pattern with a mid-byte marker bit. */
+void
+appendMpeg2PackBits(Automaton &a, uint32_t code)
+{
+    ElementId ring = addAlignmentRing(a);
+    BitChainBuilder b(a, ring);
+    b.appendByte(0x00);
+    b.appendByte(0x00);
+    b.appendByte(0x01);
+    b.appendByte(0xBA);
+    b.appendBit(0); // '01' MPEG-2 indicator
+    b.appendBit(1);
+    b.appendAnyBits(3); // SCR[32:30]
+    b.appendBit(1);     // marker bit
+    b.appendAnyBits(2);
+    b.finishReport(code);
+}
+
+/** MPEG-2 sequence header with 12-bit cross-byte dimensions. */
+void
+appendMpeg2SeqBits(Automaton &a, uint32_t code)
+{
+    ElementId ring = addAlignmentRing(a);
+    BitChainBuilder b(a, ring);
+    b.appendByte(0x00);
+    b.appendByte(0x00);
+    b.appendByte(0x01);
+    b.appendByte(0xB3);
+    b.appendRangeField(12, 16, 4000); // horizontal size
+    b.appendRangeField(12, 16, 4000); // vertical size
+    b.finishReport(code);
+}
+
+/** JPEG SOI + APPn marker: FF D8 FF Ex. */
+void
+appendJpegBits(Automaton &a, uint32_t code)
+{
+    ElementId ring = addAlignmentRing(a);
+    BitChainBuilder b(a, ring);
+    b.appendByte(0xFF);
+    b.appendByte(0xD8);
+    b.appendByte(0xFF);
+    b.appendRangeField(4, 0xE, 0xE); // APPn high nibble
+    b.appendAnyBits(4);
+    b.finishReport(code);
+}
+
+void
+appendByteRegex(Automaton &a, const std::string &pattern, uint32_t code)
+{
+    Regex rx = parseRegex(pattern);
+    appendRegex(a, rx, code);
+}
+
+} // namespace
+
+Automaton
+buildZipHeaderBitAutomaton()
+{
+    Automaton a("zip.local.bits");
+    appendZipLocalBits(a, kZipLocal);
+    return a;
+}
+
+const std::vector<std::string> &
+fileCarvePatternNames()
+{
+    static const std::vector<std::string> kNames = {
+        "zip-local-header", "zip-central-header", "zip-end-of-dir",
+        "mpeg2-pack",       "mpeg2-sequence",     "mp4-ftyp",
+        "jpeg-soi-app",     "email",              "ssn",
+    };
+    return kNames;
+}
+
+Benchmark
+makeFileCarveBenchmark(const ZooConfig &cfg)
+{
+    Benchmark b;
+    b.name = "File Carving";
+    b.domain = "File metadata search";
+    b.inputDesc = "Multi-media files";
+    b.paperStates = 2663;
+    b.paperActiveSet = 15.6547;
+
+    Automaton a("FileCarving");
+
+    // Bit-level patterns, each strided independently so every pattern
+    // stays its own subgraph (9 subgraphs, as in Table I).
+    auto add_bits = [&](void (*build)(Automaton &, uint32_t),
+                        uint32_t code) {
+        Automaton bits_a(cat("filecarve.bits.", code));
+        build(bits_a, code);
+        a.merge(strideToBytes(bits_a));
+    };
+    add_bits(appendZipLocalBits, kZipLocal);
+    add_bits(appendMpeg2PackBits, kMpeg2Pack);
+    add_bits(appendMpeg2SeqBits, kMpeg2Seq);
+    add_bits(appendJpegBits, kJpeg);
+
+    // Byte-level patterns via the regex frontend.
+    appendByteRegex(a, "PK\\x01\\x02[\\x00-\\x3f]", kZipCentral);
+    appendByteRegex(a, "PK\\x05\\x06\\x00\\x00\\x00\\x00", kZipEnd);
+    appendByteRegex(
+        a, "\\x00\\x00\\x00[\\x10-\\x40]ftyp(isom|mp42|avc1|M4V )",
+        kMp4Ftyp);
+    appendByteRegex(
+        a, "[a-z][a-z0-9._]{3,15}@[a-z0-9][a-z0-9.-]{3,18}"
+           "\\.(com|net|org|edu)",
+        kEmail);
+    appendByteRegex(a, "[0-9]{3}-[0-9]{2}-[0-9]{4}", kSsn);
+
+    input::DiskImageConfig dc;
+    dc.bytes = cfg.inputBytes;
+    dc.seed = cfg.seed ^ 0xf11eULL;
+    b.input = input::diskImage(dc);
+    b.automaton = std::move(a);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

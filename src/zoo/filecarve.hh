@@ -1,0 +1,42 @@
+/**
+ * @file
+ * File Carving benchmark (Sections IV and IX-B).
+ *
+ * Identifies file headers/footers and forensic metadata in a raw byte
+ * stream. Patterns with sub-byte bit fields -- the paper's example is
+ * the MS-DOS timestamp in PKZip local headers (seconds/2 <= 29,
+ * minutes <= 59, hours <= 23, with the minutes field crossing the
+ * byte boundary) -- are authored as bit-level automata
+ * (bits/bit_builder) and automatically 8-strided to byte automata
+ * (transform/stride). Byte-friendly patterns (MP4 ftyp boxes, e-mail
+ * addresses, SSNs) go through the regex frontend.
+ *
+ * Nine patterns, as in Table I: zip local header (with timestamp
+ * validation), zip central-directory header, zip end-of-central-
+ * directory, MPEG-2 pack start, MPEG-2 sequence header (with 12-bit
+ * cross-byte dimension fields), MP4 ftyp, JPEG SOI/APPn, e-mail,
+ * SSN.
+ */
+
+#ifndef AZOO_ZOO_FILECARVE_HH
+#define AZOO_ZOO_FILECARVE_HH
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** Build the File Carving benchmark over a synthetic disk image. */
+Benchmark makeFileCarveBenchmark(const ZooConfig &cfg);
+
+/** Report codes of the nine patterns (indices into this list). */
+const std::vector<std::string> &fileCarvePatternNames();
+
+/** Build just the PKZip local-header bit automaton (unstrided);
+ *  exposed for the striding equivalence tests. */
+Automaton buildZipHeaderBitAutomaton();
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_FILECARVE_HH

@@ -1,0 +1,215 @@
+#include "zoo/mesh.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "input/dna.hh"
+#include "transform/prune.hh"
+#include "util/logging.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+CharSet
+matchLabel(char c)
+{
+    return CharSet::single(static_cast<uint8_t>(c));
+}
+
+CharSet
+mismatchLabel(char c)
+{
+    return ~CharSet::single(static_cast<uint8_t>(c));
+}
+
+} // namespace
+
+size_t
+appendHammingFilter(Automaton &a, const std::string &pattern, int d,
+                    uint32_t code)
+{
+    const int l = static_cast<int>(pattern.size());
+    if (l < 1 || d < 0 || d >= l)
+        fatal(cat("hamming filter: bad parameters l=", l, " d=", d));
+
+    const size_t before = a.size();
+
+    // match[j][i]: position j matched, i mismatches so far.
+    // miss[j][i]: position j mismatched, bringing the count to i.
+    std::map<std::pair<int, int>, ElementId> match, miss;
+
+    for (int j = 0; j < l; ++j) {
+        const bool last = j == l - 1;
+        for (int i = 0; i <= std::min(j, d); ++i) {
+            match[{j, i}] = a.addSte(
+                matchLabel(pattern[j]),
+                j == 0 ? StartType::kAllInput : StartType::kNone,
+                last, code);
+        }
+        for (int i = 1; i <= std::min(j + 1, d); ++i) {
+            miss[{j, i}] = a.addSte(
+                mismatchLabel(pattern[j]),
+                j == 0 ? StartType::kAllInput : StartType::kNone,
+                last, code);
+        }
+    }
+
+    auto connect = [&](const std::map<std::pair<int, int>, ElementId>
+                           &from,
+                       int j, int i, ElementId to) {
+        auto it = from.find({j, i});
+        if (it != from.end())
+            a.addEdge(it->second, to);
+    };
+
+    for (const auto &[ji, id] : match) {
+        const auto [j, i] = ji;
+        if (j == 0)
+            continue;
+        connect(match, j - 1, i, id);
+        connect(miss, j - 1, i, id);
+    }
+    for (const auto &[ji, id] : miss) {
+        const auto [j, i] = ji;
+        if (j == 0)
+            continue;
+        connect(match, j - 1, i - 1, id);
+        connect(miss, j - 1, i - 1, id);
+    }
+    return a.size() - before;
+}
+
+size_t
+appendLevenshteinFilter(Automaton &a, const std::string &pattern, int d,
+                        uint32_t code)
+{
+    const int l = static_cast<int>(pattern.size());
+    if (l < 1 || d < 0 || d >= l)
+        fatal(cat("levenshtein filter: bad parameters l=", l,
+                  " d=", d));
+
+    const size_t before = a.size();
+
+    // Homogeneous states over NFA coordinates (j consumed pattern
+    // chars, e errors): M[j][e] entered by matching pattern[j-1],
+    // X[j][e] entered by a substitution or insertion (any symbol).
+    std::map<std::pair<int, int>, ElementId> m_state, x_state;
+
+    auto reports = [&](int j, int e) { return l - j <= d - e; };
+
+    for (int j = 1; j <= l; ++j) {
+        for (int e = 0; e <= d; ++e) {
+            m_state[{j, e}] = a.addSte(matchLabel(pattern[j - 1]),
+                                       StartType::kNone,
+                                       reports(j, e), code);
+        }
+    }
+    for (int j = 0; j <= l; ++j) {
+        for (int e = 1; e <= d; ++e) {
+            x_state[{j, e}] = a.addSte(CharSet::all(),
+                                       StartType::kNone,
+                                       reports(j, e), code);
+        }
+    }
+
+    // Consuming transitions from NFA state (j, e), with deletion
+    // epsilon-closure {(j+k, e+k)} folded in.
+    std::set<std::pair<ElementId, ElementId>> added;
+    auto connect_from = [&](ElementId src, int j, int e) {
+        for (int k = 0; j + k <= l && e + k <= d; ++k) {
+            const int cj = j + k, ce = e + k;
+            auto edge = [&](ElementId dst) {
+                if (added.insert({src, dst}).second)
+                    a.addEdge(src, dst);
+            };
+            if (cj < l)
+                edge(m_state.at({cj + 1, ce}));
+            if (cj < l && ce < d)
+                edge(x_state.at({cj + 1, ce + 1}));
+            if (ce < d)
+                edge(x_state.at({cj, ce + 1}));
+        }
+    };
+
+    for (const auto &[je, id] : m_state)
+        connect_from(id, je.first, je.second);
+    for (const auto &[je, id] : x_state)
+        connect_from(id, je.first, je.second);
+
+    // Start: consuming targets of closure(0,0) = {(k,k)}.
+    auto make_start = [&](ElementId id) {
+        a.element(id).start = StartType::kAllInput;
+    };
+    for (int k = 0; k <= std::min(l, d); ++k) {
+        if (k < l)
+            make_start(m_state.at({k + 1, k}));
+        if (k < l && k < d)
+            make_start(x_state.at({k + 1, k + 1}));
+        if (k < d)
+            make_start(x_state.at({k, k + 1}));
+    }
+    return a.size() - before;
+}
+
+Benchmark
+makeMeshBenchmark(const ZooConfig &cfg, MeshKind kind, int l, int d)
+{
+    const char *kname =
+        kind == MeshKind::kHamming ? "Hamming" : "Levenshtein";
+    Benchmark b;
+    b.name = cat(kname, " ", l, "x", d);
+    b.domain = "String Similarity";
+    b.inputDesc = "Random DNA";
+
+    const size_t n = cfg.scaled(1000);
+    Rng rng(cfg.seed ^ (kind == MeshKind::kHamming ? 0x4a4dULL
+                                                   : 0x1e7ULL));
+    Automaton a(b.name);
+    std::vector<std::string> patterns;
+    for (size_t i = 0; i < n; ++i) {
+        std::string p = input::randomDnaString(l, rng);
+        patterns.push_back(p);
+        if (kind == MeshKind::kHamming) {
+            appendHammingFilter(a, p, d, static_cast<uint32_t>(i));
+        } else {
+            appendLevenshteinFilter(a, p, d,
+                                    static_cast<uint32_t>(i));
+        }
+    }
+    // Drop unreachable mesh cells (e.g. Levenshtein states with more
+    // errors than consumed symbols permit).
+    a = pruneDeadStates(a).automaton;
+
+    b.input = input::randomDna(cfg.inputBytes, cfg.seed ^ 0xd7a1ULL);
+    // Plant a handful of in-distance instances so reports exercise
+    // true positives, one per ~256 KiB.
+    Rng plant_rng(cfg.seed ^ 0x91a7ULL);
+    for (size_t at = 4096; at + l < b.input.size(); at += 256 * 1024) {
+        input::plantWithMismatches(
+            b.input, at, patterns[plant_rng.nextBelow(n)],
+            static_cast<int>(plant_rng.nextBelow(d + 1)), plant_rng);
+    }
+
+    b.automaton = std::move(a);
+    return b;
+}
+
+const std::vector<MeshVariant> &
+meshVariants()
+{
+    static const std::vector<MeshVariant> kVariants = {
+        {MeshKind::kHamming, 3, 18},
+        {MeshKind::kHamming, 5, 22},
+        {MeshKind::kHamming, 10, 31},
+        {MeshKind::kLevenshtein, 3, 19},
+        {MeshKind::kLevenshtein, 5, 24},
+        {MeshKind::kLevenshtein, 10, 37},
+    };
+    return kVariants;
+}
+
+} // namespace zoo
+} // namespace azoo

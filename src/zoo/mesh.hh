@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Mesh automata: Hamming and Levenshtein string-scoring filters
+ * (Section X) plus the profile-driven benchmark generation they feed.
+ *
+ * Both filters take an encoded pattern of length l and a scoring
+ * distance d. The Hamming mesh positionally tracks the running
+ * mismatch count; the Levenshtein construction is the classic (j, e)
+ * edit-distance NFA with deletion epsilon-closure folded into the
+ * homogeneous edge set (which is why its edge/node ratio climbs
+ * steeply with d, as in Table I).
+ */
+
+#ifndef AZOO_ZOO_MESH_HH
+#define AZOO_ZOO_MESH_HH
+
+#include <string>
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** Append one Hamming filter (pattern, distance d) reporting with
+ *  @p code. Streaming: matches may end at any offset.
+ *  @return states appended. */
+size_t appendHammingFilter(Automaton &a, const std::string &pattern,
+                           int d, uint32_t code);
+
+/** Append one Levenshtein filter (pattern, distance d). */
+size_t appendLevenshteinFilter(Automaton &a, const std::string &pattern,
+                               int d, uint32_t code);
+
+/** Mesh kernel selector. */
+enum class MeshKind { kHamming, kLevenshtein };
+
+/**
+ * Build a mesh benchmark: N = scaled(1000) filters of random DNA
+ * patterns with the given (l, d), driven by random DNA with a few
+ * planted near-matches.
+ */
+Benchmark makeMeshBenchmark(const ZooConfig &cfg, MeshKind kind, int l,
+                            int d);
+
+/** The paper's Table V parameter choices, reproduced by the
+ *  profile bench. */
+struct MeshVariant {
+    MeshKind kind;
+    int d;
+    int paperL;
+};
+
+/** The six mesh benchmark variants of Table V. */
+const std::vector<MeshVariant> &meshVariants();
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_MESH_HH

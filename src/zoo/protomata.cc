@@ -1,0 +1,152 @@
+#include "zoo/protomata.hh"
+
+#include "input/protein.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+namespace zoo {
+
+std::vector<PrositePattern>
+makePrositePatterns(const ZooConfig &cfg)
+{
+    const size_t n = cfg.scaled(1309);
+    Rng rng(cfg.seed ^ 0x9a07eULL);
+    const std::string &aa = input::kAminoAcids;
+
+    std::vector<PrositePattern> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        PrositePattern p;
+        const int elements = 10 + static_cast<int>(rng.nextBelow(9));
+        for (int e = 0; e < elements; ++e) {
+            if (e)
+                p.prosite += "-";
+            const double k = rng.nextDouble();
+            if (k < 0.55) {
+                const char c = rng.pickChar(aa);
+                p.prosite += c;
+                p.instance += c;
+            } else if (k < 0.75) {
+                // Class of 2-4 amino acids.
+                const int cls = 2 + static_cast<int>(rng.nextBelow(3));
+                std::string members;
+                for (int j = 0; j < cls; ++j) {
+                    char c = rng.pickChar(aa);
+                    if (members.find(c) == std::string::npos)
+                        members.push_back(c);
+                }
+                p.prosite += "[" + members + "]";
+                p.instance += members[rng.nextBelow(members.size())];
+            } else if (k < 0.85) {
+                // Exclusion class.
+                const char c = rng.pickChar(aa);
+                p.prosite += std::string("{") + c + "}";
+                char pick = c;
+                while (pick == c)
+                    pick = rng.pickChar(aa);
+                p.instance += pick;
+            } else if (k < 0.93) {
+                p.prosite += "x";
+                p.instance += rng.pickChar(aa);
+            } else {
+                const int lo = 1 + static_cast<int>(rng.nextBelow(3));
+                const int hi = lo + static_cast<int>(rng.nextBelow(3));
+                p.prosite += cat("x(", lo, ",", hi, ")");
+                for (int j = 0; j < lo; ++j)
+                    p.instance += rng.pickChar(aa);
+            }
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+std::string
+prositeToRegex(const std::string &prosite)
+{
+    std::string out;
+    size_t i = 0;
+    while (i < prosite.size()) {
+        const char c = prosite[i];
+        if (c == '-') {
+            ++i;
+        } else if (c == 'x') {
+            ++i;
+            if (i < prosite.size() && prosite[i] == '(') {
+                const size_t close = prosite.find(')', i);
+                if (close == std::string::npos)
+                    fatal(cat("prosite: unterminated x( in ",
+                              prosite));
+                std::string body = prosite.substr(i + 1, close - i - 1);
+                const size_t comma = body.find(',');
+                if (comma == std::string::npos) {
+                    out += cat(".{", body, "}");
+                } else {
+                    out += cat(".{", body.substr(0, comma), ",",
+                               body.substr(comma + 1), "}");
+                }
+                i = close + 1;
+            } else {
+                out += ".";
+            }
+        } else if (c == '[') {
+            const size_t close = prosite.find(']', i);
+            if (close == std::string::npos)
+                fatal(cat("prosite: unterminated [ in ", prosite));
+            out += prosite.substr(i, close - i + 1);
+            i = close + 1;
+        } else if (c == '{') {
+            const size_t close = prosite.find('}', i);
+            if (close == std::string::npos)
+                fatal(cat("prosite: unterminated { in ", prosite));
+            out += "[^" + prosite.substr(i + 1, close - i - 1) + "]";
+            i = close + 1;
+        } else {
+            out += c;
+            ++i;
+        }
+    }
+    return out;
+}
+
+Benchmark
+makeProtomataBenchmark(const ZooConfig &cfg)
+{
+    Benchmark b;
+    b.name = "Protomata";
+    b.domain = "Motif Search";
+    b.inputDesc = "Uniprot Database";
+    b.paperStates = 24103;
+    b.paperActiveSet = 712.884;
+    b.paperSizeVsAnmlzoo = 0.58;
+
+    auto patterns = makePrositePatterns(cfg);
+    Automaton a("Protomata");
+    size_t rejected = 0;
+    std::vector<std::string> instances;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+        Regex rx;
+        std::string err;
+        if (!tryParseRegex(prositeToRegex(patterns[i].prosite),
+                           RegexFlags(), rx, err)) {
+            ++rejected;
+            continue;
+        }
+        appendRegex(a, rx, static_cast<uint32_t>(i));
+        instances.push_back(patterns[i].instance);
+    }
+
+    b.input = input::syntheticProteome(cfg.inputBytes,
+                                       cfg.seed ^ 0x90aULL, instances);
+    b.automaton = std::move(a);
+    b.meta["patterns"] = std::to_string(patterns.size());
+    b.meta["rejected"] = std::to_string(rejected);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

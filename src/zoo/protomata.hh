@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Protomata: PROSITE protein-motif search.
+ *
+ * The paper's benchmark is the canonical set of 1,309 PROSITE motif
+ * patterns run against UniProt sequences -- a fixed workload, kept at
+ * its natural size (AutomataZoo deliberately does not inflate it).
+ * We generate scaled(1309) patterns in PROSITE syntax (amino-acid
+ * elements, [classes], {exclusions}, x wildcards with x(n)/x(n,m)
+ * gaps), convert them to regexes, and drive them with a synthetic
+ * proteome containing planted motif instances.
+ */
+
+#ifndef AZOO_ZOO_PROTOMATA_HH
+#define AZOO_ZOO_PROTOMATA_HH
+
+#include <string>
+#include <vector>
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** One PROSITE-style pattern plus a concrete instance. */
+struct PrositePattern {
+    std::string prosite;  ///< e.g. "A-x(2,3)-[DE]-{P}-C"
+    std::string instance; ///< concrete matching peptide
+};
+
+/** Generate scaled(1309) patterns. */
+std::vector<PrositePattern> makePrositePatterns(const ZooConfig &cfg);
+
+/** PROSITE syntax -> PCRE. */
+std::string prositeToRegex(const std::string &prosite);
+
+/** Build the benchmark. */
+Benchmark makeProtomataBenchmark(const ZooConfig &cfg);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_PROTOMATA_HH

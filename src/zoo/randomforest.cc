@@ -1,0 +1,257 @@
+#include "zoo/randomforest.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+CharSet
+valueRange(uint8_t lo, uint8_t hi)
+{
+    return CharSet::range(lo, hi); // bins live at bytes 0x00..0x0F
+}
+
+CharSet
+indexLabel(int feature)
+{
+    return CharSet::single(static_cast<uint8_t>(kRfIndexBase +
+                                                feature));
+}
+
+/** Index bytes other than the target (excludes the delimiter, so
+ *  partial matches die at item boundaries). */
+CharSet
+skipIndexLabel(int features, int target)
+{
+    CharSet cs = CharSet::range(
+        kRfIndexBase,
+        static_cast<uint8_t>(kRfIndexBase + features - 1));
+    cs.clear(static_cast<uint8_t>(kRfIndexBase + target));
+    return cs;
+}
+
+CharSet
+anyValueLabel()
+{
+    return CharSet::range(0x00, 0x0F);
+}
+
+/** Append one path chain; returns states appended. */
+size_t
+appendPathChain(Automaton &a, const ml::DecisionTree::Path &path,
+                int features, int uniform_size)
+{
+    const size_t before = a.size();
+    const auto &cons = path.constraints;
+    if (cons.empty()) {
+        // Degenerate tree: a single leaf that always votes. Encode as
+        // a head matching index 0 with a full value range.
+        ElementId head = a.addSte(indexLabel(0), StartType::kAllInput);
+        ElementId val = a.addSte(anyValueLabel(), StartType::kNone,
+                                 true,
+                                 static_cast<uint32_t>(path.label));
+        a.addEdge(head, val);
+    } else {
+        ElementId head = a.addSte(indexLabel(cons[0].feature),
+                                  StartType::kAllInput);
+        ElementId range = a.addSte(
+            valueRange(cons[0].lo, cons[0].hi), StartType::kNone,
+            cons.size() == 1,
+            static_cast<uint32_t>(path.label));
+        a.addEdge(head, range);
+        ElementId prev = range;
+        for (size_t k = 1; k < cons.size(); ++k) {
+            const bool last = k + 1 == cons.size();
+            ElementId skip_i = a.addSte(
+                skipIndexLabel(features, cons[k].feature));
+            ElementId skip_v = a.addSte(anyValueLabel());
+            ElementId idx = a.addSte(indexLabel(cons[k].feature));
+            ElementId rng = a.addSte(
+                valueRange(cons[k].lo, cons[k].hi), StartType::kNone,
+                last, static_cast<uint32_t>(path.label));
+            a.addEdge(prev, skip_i);
+            a.addEdge(prev, idx);
+            a.addEdge(skip_i, skip_v);
+            a.addEdge(skip_v, skip_i);
+            a.addEdge(skip_v, idx);
+            a.addEdge(idx, rng);
+            prev = rng;
+        }
+    }
+
+    // Pad to the uniform chain size with inert tail states, matching
+    // the AP symbol-replacement layout (Table I std dev 0).
+    const size_t used = a.size() - before;
+    ElementId tail = static_cast<ElementId>(a.size() - 1);
+    for (size_t p = used; p < static_cast<size_t>(uniform_size); ++p) {
+        ElementId pad = a.addSte(p % 2 ? anyValueLabel()
+                                       : CharSet::range(kRfIndexBase,
+                                                        0xFE));
+        a.addEdge(tail, pad);
+        tail = pad;
+    }
+    return a.size() - before;
+}
+
+} // namespace
+
+ml::ForestParams
+rfVariantParams(char variant)
+{
+    ml::ForestParams p;
+    p.numTrees = 20;
+    p.bins = 16;
+    switch (variant) {
+      case 'A':
+        p.features = 230;
+        p.maxLeaves = 400;
+        p.maxDepth = 8;
+        break;
+      case 'B':
+        p.features = 200;
+        p.maxLeaves = 400;
+        p.maxDepth = 8;
+        break;
+      case 'C':
+        p.features = 200;
+        p.maxLeaves = 800;
+        p.maxDepth = 16;
+        break;
+      default:
+        fatal(cat("unknown Random Forest variant '", variant, "'"));
+    }
+    return p;
+}
+
+std::vector<uint8_t>
+rfEncodeStream(const ml::RandomForest &forest,
+               const ml::Dataset &samples, size_t max_items,
+               std::vector<int> *labels)
+{
+    const auto &fmap = forest.featureMap();
+    const int f = static_cast<int>(fmap.size());
+    const int shift = forest.trees().empty()
+        ? 4 : forest.trees()[0].binShift();
+
+    std::vector<uint8_t> out;
+    out.reserve(max_items * (2 * f + 1));
+    if (labels)
+        labels->clear();
+    for (size_t item = 0; item < max_items; ++item) {
+        const auto &row = samples.x[item % samples.size()];
+        for (int j = 0; j < f; ++j) {
+            out.push_back(static_cast<uint8_t>(kRfIndexBase + j));
+            out.push_back(static_cast<uint8_t>(row[fmap[j]] >> shift));
+        }
+        out.push_back(kRfDelimiter);
+        if (labels)
+            labels->push_back(samples.y[item % samples.size()]);
+    }
+    return out;
+}
+
+std::vector<int>
+rfDecodeVotes(const std::vector<Report> &reports, size_t num_items,
+              int features, int num_classes)
+{
+    const size_t item_len = 2 * static_cast<size_t>(features) + 1;
+    std::vector<int> votes(num_items * num_classes, 0);
+    for (const auto &r : reports) {
+        const size_t item = r.offset / item_len;
+        if (item < num_items &&
+            r.code < static_cast<uint32_t>(num_classes)) {
+            ++votes[item * num_classes + r.code];
+        }
+    }
+    std::vector<int> out(num_items, -1);
+    for (size_t i = 0; i < num_items; ++i) {
+        int best = -1, best_v = 0;
+        for (int c = 0; c < num_classes; ++c) {
+            const int v = votes[i * num_classes + c];
+            if (v > best_v) {
+                best_v = v;
+                best = c;
+            }
+        }
+        out[i] = best;
+    }
+    return out;
+}
+
+RfBundle
+makeRandomForestBundle(const ZooConfig &cfg, char variant)
+{
+    RfBundle bundle;
+    ml::ForestParams params = rfVariantParams(variant);
+    params.seed = cfg.seed ^ (0x4f00ULL + variant);
+    // Scale the model size knob the way scale works elsewhere: the
+    // tree count stays at the paper's 20, leaves scale.
+    params.maxLeaves = std::max(
+        8, static_cast<int>(params.maxLeaves * cfg.scale));
+
+    ml::DigitConfig dc;
+    dc.seed = cfg.seed ^ 0xd1617ULL;
+    dc.samples = 4000;
+    ml::Dataset all = makeSyntheticDigits(dc);
+    ml::Dataset train;
+    splitDataset(all, 0.25, cfg.seed, train, bundle.test);
+
+    bundle.forest.train(train, params);
+    bundle.accuracy = bundle.forest.accuracy(bundle.test);
+
+    // Automaton: one chain per (tree, leaf path), uniform size.
+    Benchmark &b = bundle.benchmark;
+    b.name = cat("Random Forest ", variant);
+    b.domain = "Machine Learning";
+    b.inputDesc = "Custom";
+    if (variant == 'A') {
+        b.paperStates = 248000;
+        b.paperActiveSet = 862.504;
+        b.paperSizeVsAnmlzoo = 7.6;
+    } else if (variant == 'B') {
+        b.paperStates = 248000;
+        b.paperActiveSet = 1043.18;
+        b.paperSizeVsAnmlzoo = 7.6;
+    } else {
+        b.paperStates = 992000;
+        b.paperActiveSet = 2334.97;
+        b.paperSizeVsAnmlzoo = 30.93;
+    }
+
+    Automaton a(b.name);
+    const int uniform = 4 * params.maxDepth - 2;
+    size_t paths_total = 0;
+    for (const auto &tree : bundle.forest.trees()) {
+        for (const auto &path : tree.paths()) {
+            appendPathChain(a, path, params.features, uniform);
+            ++paths_total;
+        }
+    }
+
+    const size_t item_len = 2 * params.features + 1;
+    bundle.numItems = std::max<size_t>(1, cfg.inputBytes / item_len);
+    b.input = rfEncodeStream(bundle.forest, bundle.test,
+                             bundle.numItems, &bundle.itemLabels);
+    // Pad to the standard input length with delimiters (inert: no
+    // chain survives a delimiter).
+    b.input.resize(cfg.inputBytes, kRfDelimiter);
+    b.symbolsPerItem = static_cast<double>(item_len);
+    b.automaton = std::move(a);
+    b.meta["paths"] = std::to_string(paths_total);
+    b.meta["features"] = std::to_string(params.features);
+    b.meta["accuracy"] = std::to_string(bundle.accuracy);
+    return bundle;
+}
+
+Benchmark
+makeRandomForestBenchmark(const ZooConfig &cfg, char variant)
+{
+    return makeRandomForestBundle(cfg, variant).benchmark;
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Random Forest benchmarks A/B/C (Sections IV, VI, VIII).
+ *
+ * Automata encoding (after Tracy et al.): the classifier input stream
+ * carries, per classification item, the selected features in fixed
+ * order as (index, binned value) byte pairs followed by an item
+ * delimiter:
+ *
+ *   [0x10+0, bin0, 0x10+1, bin1, ..., 0x10+F-1, binF-1, 0xFF]
+ *
+ * Each root-to-leaf path of each tree becomes one small chain
+ * automaton: an all-input head that fires on the path's first
+ * constrained feature index, a value-range state per constraint, and
+ * a two-state (index, value) skip ring between constraints. The final
+ * range state reports the tree's predicted class, so majority voting
+ * over report codes reproduces the native classifier exactly --
+ * making the benchmark a *full kernel* comparable against native
+ * decision-tree inference (Table IV).
+ *
+ * All path chains are padded to a uniform length (the paper's
+ * Table I shows std-dev 0 for this benchmark), emulating the AP
+ * symbol-replacement layout.
+ *
+ * Note: variant A uses 230 features instead of the paper's 270: the
+ * index encoding has 239 usable index symbols (0x10..0xFE), and 230
+ * is where our synthetic dataset's accuracy gain flattens. This is a
+ * documented deviation (see EXPERIMENTS.md); the A:B runtime ratio
+ * becomes 230:200 = 1.15x (paper: 1.35x), same direction.
+ */
+
+#ifndef AZOO_ZOO_RANDOMFOREST_HH
+#define AZOO_ZOO_RANDOMFOREST_HH
+
+#include "engine/report.hh"
+#include "ml/random_forest.hh"
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** First feature-index symbol; values occupy 0x00..0x0F. */
+constexpr uint8_t kRfIndexBase = 0x10;
+/** Item delimiter. */
+constexpr uint8_t kRfDelimiter = 0xFF;
+/** Maximum encodable feature count. */
+constexpr int kRfMaxFeatures = 0xFF - kRfIndexBase; // 239
+
+/** Everything the Table II / Table IV experiments need. */
+struct RfBundle {
+    Benchmark benchmark;
+    ml::RandomForest forest;
+    ml::Dataset test;            ///< held-out raw samples
+    std::vector<int> itemLabels; ///< ground truth per stream item
+    size_t numItems = 0;
+    double accuracy = 0;         ///< native test accuracy
+};
+
+/** Hyperparameters of variants 'A', 'B', 'C' (Table II). */
+ml::ForestParams rfVariantParams(char variant);
+
+/** Train the variant and build benchmark + stream. */
+RfBundle makeRandomForestBundle(const ZooConfig &cfg, char variant);
+
+/** Benchmark-only wrapper for the registry. */
+Benchmark makeRandomForestBenchmark(const ZooConfig &cfg, char variant);
+
+/** Encode raw samples into the automata input stream. */
+std::vector<uint8_t> rfEncodeStream(const ml::RandomForest &forest,
+                                    const ml::Dataset &samples,
+                                    size_t max_items,
+                                    std::vector<int> *labels);
+
+/** Decode majority votes from simulation reports.
+ *  @return predicted class per item (-1 if no votes). */
+std::vector<int> rfDecodeVotes(const std::vector<Report> &reports,
+                               size_t num_items, int features,
+                               int num_classes);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_RANDOMFOREST_HH

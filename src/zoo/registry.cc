@@ -1,0 +1,110 @@
+#include "zoo/registry.hh"
+
+#include "util/logging.hh"
+#include "zoo/apprng.hh"
+#include "zoo/brill.hh"
+#include "zoo/clamav.hh"
+#include "zoo/crispr.hh"
+#include "zoo/entity.hh"
+#include "zoo/filecarve.hh"
+#include "zoo/mesh.hh"
+#include "zoo/protomata.hh"
+#include "zoo/randomforest.hh"
+#include "zoo/seqmatch.hh"
+#include "zoo/snort.hh"
+#include "zoo/yara.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+Benchmark
+seqMatch(const ZooConfig &cfg, int width, bool counters)
+{
+    SeqMatchParams p;
+    p.itemsetSize = 6;
+    p.filterWidth = width;
+    p.withCounters = counters;
+    return makeSeqMatchBenchmark(cfg, p);
+}
+
+std::vector<BenchmarkInfo>
+buildRegistry()
+{
+    std::vector<BenchmarkInfo> v;
+    auto add = [&](const std::string &name, const std::string &domain,
+                   std::function<Benchmark(const ZooConfig &)> fn) {
+        v.push_back({name, domain, std::move(fn)});
+    };
+
+    add("Snort", "Network Intrusion Detection", makeSnortBenchmark);
+    add("ClamAV", "Virus Detection", makeClamAvBenchmark);
+    add("Protomata", "Motif Search", makeProtomataBenchmark);
+    add("Brill", "Part of Speech Tagging", makeBrillBenchmark);
+    for (char variant : {'A', 'B', 'C'}) {
+        add(std::string("Random Forest ") + variant,
+            "Machine Learning", [variant](const ZooConfig &c) {
+                return makeRandomForestBenchmark(c, variant);
+            });
+    }
+    for (const auto &mv : meshVariants()) {
+        const bool ham = mv.kind == MeshKind::kHamming;
+        add(cat(ham ? "Hamming" : "Levenshtein", " ", mv.paperL, "x",
+                mv.d),
+            "String Similarity", [mv](const ZooConfig &c) {
+                return makeMeshBenchmark(c, mv.kind, mv.paperL, mv.d);
+            });
+    }
+    add("Seq. Match 6w 6p", "Ordered Pattern Counting",
+        [](const ZooConfig &c) { return seqMatch(c, 6, false); });
+    add("Seq. Match 6w 6p wC", "Ordered Pattern Counting",
+        [](const ZooConfig &c) { return seqMatch(c, 6, true); });
+    add("Seq. Match 6w 10p", "Ordered Pattern Counting",
+        [](const ZooConfig &c) { return seqMatch(c, 10, false); });
+    add("Seq. Match 6w 10p wC", "Ordered Pattern Counting",
+        [](const ZooConfig &c) { return seqMatch(c, 10, true); });
+    add("Entity Resolution", "Duplicate entry identification",
+        makeEntityBenchmark);
+    add("CRISPR CasOffinder", "DNA pattern search",
+        [](const ZooConfig &c) {
+            return makeCrisprBenchmark(c, CrisprKind::kCasOffinder);
+        });
+    add("CRISPR CasOT", "DNA pattern search", [](const ZooConfig &c) {
+        return makeCrisprBenchmark(c, CrisprKind::kCasOt);
+    });
+    add("YARA", "Malware pattern search", [](const ZooConfig &c) {
+        return makeYaraBenchmark(c, false);
+    });
+    add("YARA Wide", "Malware pattern search", [](const ZooConfig &c) {
+        return makeYaraBenchmark(c, true);
+    });
+    add("File Carving", "File metadata search", makeFileCarveBenchmark);
+    add("AP PRNG 4-sided", "Pseudo-random number generation",
+        [](const ZooConfig &c) { return makeApPrngBenchmark(c, 4); });
+    add("AP PRNG 8-sided", "Pseudo-random number generation",
+        [](const ZooConfig &c) { return makeApPrngBenchmark(c, 8); });
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkInfo> kRegistry = buildRegistry();
+    return kRegistry;
+}
+
+Benchmark
+makeBenchmark(const std::string &name, const ZooConfig &cfg)
+{
+    for (const auto &info : allBenchmarks()) {
+        if (info.name == name)
+            return info.make(cfg);
+    }
+    fatal(cat("unknown benchmark '", name, "'"));
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Benchmark registry: the 24 AutomataZoo benchmarks by name, in the
+ * order of the paper's Table I.
+ */
+
+#ifndef AZOO_ZOO_REGISTRY_HH
+#define AZOO_ZOO_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** Registry entry. */
+struct BenchmarkInfo {
+    std::string name;
+    std::string domain;
+    std::function<Benchmark(const ZooConfig &)> make;
+};
+
+/** All 24 benchmarks in Table I order. */
+const std::vector<BenchmarkInfo> &allBenchmarks();
+
+/** Build one by name. fatal() if unknown. */
+Benchmark makeBenchmark(const std::string &name, const ZooConfig &cfg);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_REGISTRY_HH

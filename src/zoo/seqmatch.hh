@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sequence Matching (sequential pattern mining) benchmarks.
+ *
+ * Each filter recognizes one ordered itemset inside sorted
+ * transactions: items are bytes 0x01..0xF0, transactions are sorted
+ * ascending and separated by 0xFF. A filter for itemset a1<...<am is
+ * a chain of item matchers with skip rings between them (any run of
+ * smaller items may intervene).
+ *
+ * Variants (Table I / Table III / Section VII):
+ *  - width p > m ("soft reconfiguration"): the skip rings are sized
+ *    for p items, adding always-active padding states that do no
+ *    useful computation, exactly the AP symbol-replacement design
+ *    whose CPU cost Section VII measures;
+ *  - wC: the filter feeds an AP counter with a support threshold so
+ *    only frequent itemsets report, collapsing the output stream.
+ */
+
+#ifndef AZOO_ZOO_SEQMATCH_HH
+#define AZOO_ZOO_SEQMATCH_HH
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** Seq Match variant parameters. */
+struct SeqMatchParams {
+    int itemsetSize = 6;   ///< m: items actually configured ("6w")
+    int filterWidth = 6;   ///< p: items the structure supports ("6p")
+    bool withCounters = false; ///< "wC"
+    uint32_t supportThreshold = 8;
+};
+
+/** Transaction separator symbol. */
+constexpr uint8_t kSeqSeparator = 0xFF;
+/** Largest item symbol. */
+constexpr uint8_t kSeqMaxItem = 0xF0;
+
+/** Append one filter for @p itemset (ascending, distinct). */
+size_t appendSeqFilter(Automaton &a, const std::vector<uint8_t> &itemset,
+                       const SeqMatchParams &p, uint32_t code);
+
+/** Build a Seq Match benchmark: scaled(1719) filters over a sorted
+ *  transaction stream with planted frequent itemsets. */
+Benchmark makeSeqMatchBenchmark(const ZooConfig &cfg,
+                                const SeqMatchParams &p);
+
+/** The itemsets the benchmark's filters were generated from (same
+ *  cfg -> same itemsets), for full-kernel comparisons. */
+std::vector<std::vector<uint8_t>> seqMatchItemsets(
+    const ZooConfig &cfg, const SeqMatchParams &p);
+
+/**
+ * Native (non-automata) support counting: the comparator algorithm a
+ * CPU miner would use -- split the stream into transactions, test
+ * each sorted itemset for subset containment with a two-pointer
+ * walk, and tally supports. Because the benchmark is a full kernel,
+ * these counts must equal the automata filters' match counts, which
+ * is what makes the Section VIII-style cross-algorithm comparison
+ * possible for this domain too.
+ */
+std::vector<uint64_t> nativeSupportCounts(
+    const std::vector<std::vector<uint8_t>> &itemsets,
+    const std::vector<uint8_t> &stream);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_SEQMATCH_HH

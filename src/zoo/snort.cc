@@ -1,0 +1,243 @@
+#include "zoo/snort.hh"
+
+#include <algorithm>
+
+#include "input/pcap.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+/** Escape one byte for inclusion in a pattern literal. */
+std::string
+escapeForRegex(uint8_t c)
+{
+    static const std::string meta = R"(\^$.|?*+()[]{})";
+    if (c >= 0x20 && c < 0x7f) {
+        if (meta.find(static_cast<char>(c)) != std::string::npos)
+            return std::string("\\") + static_cast<char>(c);
+        return std::string(1, static_cast<char>(c));
+    }
+    return "\\x" + hexByte(c);
+}
+
+/** Random literal fragment: mostly printable, some raw bytes.
+ *  Appends the raw payload to @p instance. */
+std::string
+literalFragment(Rng &rng, int min_len, int max_len,
+                std::string &instance)
+{
+    static const std::string printable =
+        "abcdefghijklmnopqrstuvwxyz"
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/._-=&%";
+    const int len =
+        min_len + static_cast<int>(rng.nextBelow(max_len - min_len + 1));
+    std::string out;
+    for (int i = 0; i < len; ++i) {
+        const uint8_t c = rng.nextBool(0.08)
+            ? rng.nextByte()
+            : static_cast<uint8_t>(rng.pickChar(printable));
+        out += escapeForRegex(c);
+        instance.push_back(static_cast<char>(c));
+    }
+    return out;
+}
+
+/**
+ * One clean DPI-style rule: content fragments joined mostly by
+ * dot-star gaps (real Snort PCREs are literal-dominated: Table I
+ * shows edges/node 1.17 and ~81 states per rule).
+ */
+std::string
+cleanRulePattern(Rng &rng, std::string &instance)
+{
+    std::string p = literalFragment(rng, 10, 18, instance);
+    const int segments = 3 + static_cast<int>(rng.nextBelow(3));
+    for (int s = 0; s < segments; ++s) {
+        switch (rng.nextBelow(8)) {
+          case 0: {
+            // Small class run, e.g. a hex-digit field.
+            const int reps = 2 + static_cast<int>(rng.nextBelow(3));
+            p += cat("[0-9a-f]{", reps, "}");
+            for (int i = 0; i < reps; ++i) {
+                const char c = "0123456789abcdef"[rng.nextBelow(16)];
+                instance.push_back(c);
+            }
+            p += literalFragment(rng, 6, 12, instance);
+            break;
+          }
+          case 1: {
+            // Short alternation of literals.
+            std::string i1, i2;
+            Rng fork = rng.fork();
+            std::string a1 = literalFragment(rng, 3, 6, i1);
+            std::string a2 = literalFragment(fork, 3, 6, i2);
+            p += cat("(", a1, "|", a2, ")");
+            instance += i1;
+            break;
+          }
+          default:
+            p += ".*";
+            p += literalFragment(rng, 10, 18, instance);
+            break;
+        }
+    }
+    return p;
+}
+
+/**
+ * Sample a short substring of representative traffic and escape it as
+ * a pattern. Short samples of the real symbol distribution are how we
+ * model rules "designed with selective application in mind": applied
+ * to the whole stream they fire at the n-gram's natural frequency,
+ * which is very high for 4-grams and extreme for 2-grams.
+ */
+std::string
+sampledFragment(Rng &rng, const std::vector<uint8_t> &sample, int len)
+{
+    const size_t at = rng.nextBelow(sample.size() - len);
+    std::string out;
+    for (int i = 0; i < len; ++i)
+        out += escapeForRegex(sample[at + i]);
+    return out;
+}
+
+} // namespace
+
+std::vector<SnortRule>
+makeSnortRules(const ZooConfig &cfg)
+{
+    std::vector<SnortRule> rules;
+    Rng rng(cfg.seed ^ 0x54e0a7ULL);
+
+    // Representative traffic sample for frequency-calibrated
+    // over-matching rules (same generator family as snortInput, a
+    // different seed so patterns are not trivially planted).
+    input::PcapConfig sc;
+    sc.bytes = 64 * 1024;
+    sc.seed = cfg.seed ^ 0x5a39ULL;
+    const std::vector<uint8_t> sample = input::packetStream(sc);
+
+    const size_t n_clean = cfg.scaled(2486);
+    const size_t n_mod = cfg.scaled(2856);
+    const size_t n_isd = cfg.scaled(182);
+
+    for (size_t i = 0; i < n_clean; ++i) {
+        SnortRule r;
+        if (i % 25 == 24) {
+            // A small over-generic subpopulation (real rulesets have
+            // these; they dominate the clean population's rate).
+            r.pattern = sampledFragment(rng, sample, 3);
+        } else {
+            r.pattern = cleanRulePattern(rng, r.instance);
+            r.nocase = rng.nextBool(0.3);
+        }
+        rules.push_back(std::move(r));
+    }
+    for (size_t i = 0; i < n_mod; ++i) {
+        SnortRule r;
+        r.pattern = sampledFragment(rng, sample, 4 + (i % 2));
+        r.pcreModifier = true;
+        rules.push_back(std::move(r));
+    }
+    for (size_t i = 0; i < n_isd; ++i) {
+        SnortRule r;
+        if (i == 0) {
+            // The extreme outlier: a 2-gram firing at its natural
+            // frequency ("one rule was responsible for over half of
+            // all reports").
+            r.pattern = sampledFragment(rng, sample, 2);
+        } else {
+            r.pattern = sampledFragment(rng, sample, 6);
+        }
+        r.isdataat = true;
+        rules.push_back(std::move(r));
+    }
+    return rules;
+}
+
+Automaton
+compileSnortRules(const std::vector<SnortRule> &rules,
+                  bool include_modifier, bool include_isdataat,
+                  size_t *rejected)
+{
+    Automaton a("Snort");
+    size_t skipped = 0;
+    for (size_t i = 0; i < rules.size(); ++i) {
+        const SnortRule &r = rules[i];
+        if ((r.pcreModifier && !include_modifier) ||
+            (r.isdataat && !include_isdataat)) {
+            continue;
+        }
+        RegexFlags flags;
+        flags.nocase = r.nocase;
+        Regex rx;
+        std::string err;
+        if (!tryParseRegex(r.pattern, flags, rx, err)) {
+            ++skipped;
+            continue;
+        }
+        appendRegex(a, rx, static_cast<uint32_t>(i));
+    }
+    if (rejected)
+        *rejected = skipped;
+    return a;
+}
+
+std::vector<uint8_t>
+snortInput(const ZooConfig &cfg, const std::vector<SnortRule> &rules)
+{
+    input::PcapConfig pc;
+    pc.bytes = cfg.inputBytes;
+    pc.seed = cfg.seed ^ 0xbcafULL;
+    std::vector<uint8_t> stream = input::packetStream(pc);
+
+    // Plant true attack payloads (clean rules carry a concrete
+    // matching instance) at deterministic offsets, one per ~32 KiB.
+    Rng rng(cfg.seed ^ 0x9999ULL);
+    std::vector<const SnortRule *> clean;
+    for (const auto &r : rules) {
+        if (!r.pcreModifier && !r.isdataat && !r.instance.empty())
+            clean.push_back(&r);
+    }
+    if (!clean.empty()) {
+        for (size_t at = 16 * 1024; at < stream.size();
+             at += 32 * 1024) {
+            const std::string &inst =
+                clean[rng.nextBelow(clean.size())]->instance;
+            if (at + inst.size() >= stream.size())
+                break;
+            std::copy(inst.begin(), inst.end(), stream.begin() + at);
+        }
+    }
+    return stream;
+}
+
+Benchmark
+makeSnortBenchmark(const ZooConfig &cfg)
+{
+    Benchmark b;
+    b.name = "Snort";
+    b.domain = "Network Intrusion Detection";
+    b.inputDesc = "PCAP file";
+    b.paperStates = 202043;
+    b.paperActiveSet = 409.358;
+    b.paperSizeVsAnmlzoo = 4.71;
+
+    auto rules = makeSnortRules(cfg);
+    size_t rejected = 0;
+    b.automaton = compileSnortRules(rules, false, false, &rejected);
+    b.input = snortInput(cfg, rules);
+    b.meta["rules_total"] = std::to_string(rules.size());
+    b.meta["rules_rejected"] = std::to_string(rejected);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

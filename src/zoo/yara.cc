@@ -1,0 +1,231 @@
+#include "zoo/yara.hh"
+
+#include "input/malware.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "transform/widen.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+namespace zoo {
+
+namespace {
+
+/** Class of bytes with the given low nibble. */
+std::string
+lowNibbleClass(int nib)
+{
+    std::string out = "[";
+    for (int hi = 0; hi < 16; ++hi)
+        out += "\\x" + hexByte(static_cast<uint8_t>((hi << 4) | nib));
+    out += "]";
+    return out;
+}
+
+/** Class of bytes with the given high nibble. */
+std::string
+highNibbleClass(int nib)
+{
+    return cat("[\\x", hexByte(static_cast<uint8_t>(nib << 4)), "-\\x",
+               hexByte(static_cast<uint8_t>((nib << 4) | 0xf)), "]");
+}
+
+} // namespace
+
+std::string
+yaraHexToRegex(const std::string &hex)
+{
+    // Detach structural characters, then translate token-wise.
+    std::string spaced;
+    for (char c : hex) {
+        if (c == '(' || c == ')' || c == '|') {
+            spaced += ' ';
+            spaced += c;
+            spaced += ' ';
+        } else {
+            spaced += c;
+        }
+    }
+
+    std::string out;
+    for (const std::string &raw : split(spaced, ' ')) {
+        const std::string tok = trim(raw);
+        if (tok.empty())
+            continue;
+        if (tok == "(") {
+            out += "(";
+        } else if (tok == ")") {
+            out += ")";
+        } else if (tok == "|") {
+            out += "|";
+        } else if (tok == "??") {
+            out += ".";
+        } else if (tok.size() >= 3 && tok.front() == '[' &&
+                   tok.back() == ']') {
+            const std::string body = tok.substr(1, tok.size() - 2);
+            const size_t dash = body.find('-');
+            if (dash == std::string::npos) {
+                out += cat(".{", body, "}");
+            } else {
+                out += cat(".{", body.substr(0, dash), ",",
+                           body.substr(dash + 1), "}");
+            }
+        } else if (tok.size() == 2) {
+            const int hi = hexValue(tok[0]);
+            const int lo = hexValue(tok[1]);
+            if (tok[0] == '?' && lo >= 0) {
+                out += lowNibbleClass(lo);
+            } else if (tok[1] == '?' && hi >= 0) {
+                out += highNibbleClass(hi);
+            } else if (hi >= 0 && lo >= 0) {
+                out += "\\x" + toLower(tok);
+            } else {
+                fatal(cat("yara: bad token '", tok, "' in ", hex));
+            }
+        } else {
+            fatal(cat("yara: bad token '", tok, "' in ", hex));
+        }
+    }
+    return out;
+}
+
+std::vector<YaraRule>
+makeYaraRules(const ZooConfig &cfg, bool wide)
+{
+    const size_t n = cfg.scaled(wide ? 2620 : 23530);
+    Rng rng(cfg.seed ^ (wide ? 0x3a6a11ULL : 0x3a6aULL));
+
+    std::vector<YaraRule> rules;
+    rules.reserve(n);
+    // Real YARA databases contain malware *families*: variants of
+    // one signature sharing a long prefix. Generate in families of
+    // ~4 so prefix merging has real work to do (the paper's Table I
+    // compresses YARA by more than half).
+    std::string family_prefix_hex;
+    std::string family_prefix_bytes;
+    for (size_t i = 0; i < n; ++i) {
+        if (i % 4 == 0) {
+            family_prefix_hex.clear();
+            family_prefix_bytes.clear();
+            const int plen = 8 + static_cast<int>(rng.nextBelow(9));
+            for (int p = 0; p < plen; ++p) {
+                const uint8_t v = rng.nextByte();
+                if (p)
+                    family_prefix_hex += " ";
+                family_prefix_hex += hexByte(v);
+                family_prefix_bytes.push_back(
+                    static_cast<char>(v));
+            }
+        }
+        YaraRule r;
+        r.hex = family_prefix_hex + " ";
+        r.instance = family_prefix_bytes;
+        const int tokens = 12 + static_cast<int>(rng.nextBelow(28));
+        bool used_alt = false;
+        for (int t = 0; t < tokens; ++t) {
+            if (t)
+                r.hex += " ";
+            const double k = rng.nextDouble();
+            if (k < 0.78) {
+                const uint8_t v = rng.nextByte();
+                r.hex += hexByte(v);
+                r.instance.push_back(static_cast<char>(v));
+            } else if (k < 0.84) {
+                const int nib = static_cast<int>(rng.nextBelow(16));
+                const bool low = rng.nextBool();
+                r.hex += low
+                    ? cat("?", std::string(1, "0123456789abcdef"[nib]))
+                    : cat(std::string(1, "0123456789abcdef"[nib]), "?");
+                const uint8_t rest = rng.nextByte();
+                r.instance.push_back(static_cast<char>(
+                    low ? ((rest & 0xf0) | nib)
+                        : ((nib << 4) | (rest & 0x0f))));
+            } else if (k < 0.89) {
+                r.hex += "??";
+                r.instance.push_back(static_cast<char>(rng.nextByte()));
+            } else if (k < 0.93 && t > 2 && t + 3 < tokens) {
+                const int jlo = 1 + static_cast<int>(rng.nextBelow(3));
+                const int jhi = jlo +
+                    static_cast<int>(rng.nextBelow(5));
+                r.hex += cat("[", jlo, "-", jhi, "]");
+                for (int j = 0; j < jlo; ++j) {
+                    r.instance.push_back(
+                        static_cast<char>(rng.nextByte()));
+                }
+            } else if (!used_alt && t + 4 < tokens) {
+                used_alt = true;
+                const uint8_t v1 = rng.nextByte();
+                const uint8_t v2 = rng.nextByte();
+                const uint8_t v3 = rng.nextByte();
+                r.hex += cat("( ", hexByte(v1), " ", hexByte(v2),
+                             " | ", hexByte(v3), " )");
+                r.instance.push_back(static_cast<char>(v1));
+                r.instance.push_back(static_cast<char>(v2));
+            } else {
+                const uint8_t v = rng.nextByte();
+                r.hex += hexByte(v);
+                r.instance.push_back(static_cast<char>(v));
+            }
+        }
+        rules.push_back(std::move(r));
+    }
+    return rules;
+}
+
+Benchmark
+makeYaraBenchmark(const ZooConfig &cfg, bool wide)
+{
+    Benchmark b;
+    b.name = wide ? "YARA Wide" : "YARA";
+    b.domain = "Malware pattern search";
+    b.inputDesc = "Malware files";
+    b.paperStates = wide ? 115246 : 1047528;
+    b.paperActiveSet = wide ? 123.964 : 579.739;
+
+    auto rules = makeYaraRules(cfg, wide);
+    Automaton a(b.name);
+    size_t rejected = 0;
+    for (size_t i = 0; i < rules.size(); ++i) {
+        Regex rx;
+        std::string err;
+        // Nibble patterns are binary: '.' must match every byte.
+        RegexFlags flags;
+        flags.dotall = true;
+        if (!tryParseRegex(yaraHexToRegex(rules[i].hex), flags, rx,
+                           err)) {
+            ++rejected;
+            continue;
+        }
+        appendRegex(a, rx, static_cast<uint32_t>(i));
+    }
+    if (wide)
+        a = widen(a);
+
+    input::MalwareConfig mc;
+    mc.bytes = cfg.inputBytes;
+    mc.seed = cfg.seed ^ 0x3a6a99ULL;
+    // Plant instances; for the wide benchmark, rules scan UTF-16-ish
+    // content, so planted payloads are zero-interleaved.
+    Rng rng(cfg.seed ^ 0x88ULL);
+    for (int k = 0; k < 6; ++k) {
+        std::string inst =
+            rules[rng.nextBelow(rules.size())].instance;
+        if (wide) {
+            std::vector<uint8_t> raw(inst.begin(), inst.end());
+            auto w = widenInput(raw);
+            inst.assign(w.begin(), w.end());
+        }
+        mc.planted.push_back(inst);
+    }
+    b.input = input::malwareStream(mc);
+
+    b.automaton = std::move(a);
+    b.meta["rules"] = std::to_string(rules.size());
+    b.meta["rejected"] = std::to_string(rejected);
+    return b;
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * YARA malware-pattern benchmarks (Sections IV and IX-A).
+ *
+ * YARA rules describe patterns at 4-bit (nibble) granularity:
+ * hexadecimal strings with nibble wildcards ('?A', 'D?', '??'),
+ * bounded jumps ('[4-6]'), and alternation ('(A|B)'), plus plain text
+ * strings and regular expressions. Standard automata toolchains are
+ * byte-level, so -- like the paper's Plyara-based pipeline -- we
+ * parse the hex dialect and convert each nibble-wildcard token into a
+ * byte-level character class before compiling with the regex
+ * frontend.
+ *
+ * The "YARA Wide" variant applies the widening pass (transform/widen)
+ * to a smaller rule subset, modeling rules that scan UTF-16-encoded
+ * content two bytes per symbol.
+ */
+
+#ifndef AZOO_ZOO_YARA_HH
+#define AZOO_ZOO_YARA_HH
+
+#include <string>
+#include <vector>
+
+#include "zoo/benchmark.hh"
+
+namespace azoo {
+namespace zoo {
+
+/** One YARA rule: hex-dialect pattern plus a concrete instance. */
+struct YaraRule {
+    std::string hex;      ///< e.g. "9C 50 A1 ?? (?A ?? 00 | 66) D?"
+    std::string instance; ///< concrete matching bytes
+};
+
+/** Convert the YARA hex dialect to a PCRE pattern. */
+std::string yaraHexToRegex(const std::string &hex);
+
+/** Generate scaled(23530) rules (or scaled(2620) for wide). */
+std::vector<YaraRule> makeYaraRules(const ZooConfig &cfg, bool wide);
+
+/** Build the standard or widened benchmark. */
+Benchmark makeYaraBenchmark(const ZooConfig &cfg, bool wide);
+
+} // namespace zoo
+} // namespace azoo
+
+#endif // AZOO_ZOO_YARA_HH

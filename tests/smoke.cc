@@ -1,0 +1,31 @@
+#include "zoo/registry.hh"
+#include "core/stats.hh"
+#include "engine/nfa_engine.hh"
+#include "util/timer.hh"
+#include <cstdio>
+using namespace azoo;
+int main() {
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.02;
+    cfg.inputBytes = 64 * 1024;
+    for (const auto &info : zoo::allBenchmarks()) {
+        Timer t;
+        zoo::Benchmark b = info.make(cfg);
+        b.automaton.validate();
+        GraphStats s = computeStats(b.automaton);
+        double gen = t.seconds();
+        t.reset();
+        NfaEngine eng(b.automaton);
+        SimOptions so; so.recordReports = false;
+        auto r = eng.simulate(b.input, so);
+        std::printf("%-22s states=%8llu edges=%9llu e/n=%5.2f sub=%6u "
+                    "avg=%7.2f act=%9.2f rep=%8llu gen=%.1fs sim=%.1fs\n",
+                    info.name.c_str(),
+                    (unsigned long long)(s.states + s.counters),
+                    (unsigned long long)s.edges, s.edgesPerNode,
+                    s.subgraphs, s.avgSubgraph, r.avgActiveSet(),
+                    (unsigned long long)r.reportCount, gen, t.seconds());
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the Automaton graph model, builder helpers, graph
+ * statistics, and azml serialization round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/builder.hh"
+#include "core/dot.hh"
+#include "core/serialize.hh"
+#include "core/stats.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace {
+
+TEST(Automaton, AddAndQuery)
+{
+    Automaton a("t");
+    ElementId s0 = a.addSte(CharSet::single('a'),
+                            StartType::kStartOfData);
+    ElementId s1 = a.addSte(CharSet::single('b'), StartType::kNone,
+                            true, 7);
+    a.addEdge(s0, s1);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.edgeCount(), 1u);
+    EXPECT_EQ(a.startStates(), std::vector<ElementId>{s0});
+    EXPECT_EQ(a.reportingElements(), std::vector<ElementId>{s1});
+    EXPECT_EQ(a.element(s1).reportCode, 7u);
+}
+
+TEST(Automaton, MergeOffsetsEdges)
+{
+    Automaton a("a"), b("b");
+    ElementId a0 = a.addSte(CharSet::single('x'));
+    (void)a0;
+    ElementId b0 = b.addSte(CharSet::single('y'));
+    ElementId b1 = b.addSte(CharSet::single('z'));
+    b.addEdge(b0, b1);
+    ElementId off = a.merge(b);
+    EXPECT_EQ(off, 1u);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.element(1).out, std::vector<ElementId>{2});
+}
+
+TEST(Automaton, ConnectedComponents)
+{
+    Automaton a("t");
+    // Two chains and an isolated state.
+    ElementId x0 = a.addSte(CharSet::all());
+    ElementId x1 = a.addSte(CharSet::all());
+    a.addEdge(x0, x1);
+    ElementId y0 = a.addSte(CharSet::all());
+    ElementId y1 = a.addSte(CharSet::all());
+    a.addEdge(y1, y0); // direction does not matter
+    a.addSte(CharSet::all());
+    uint32_t count = 0;
+    auto labels = a.connectedComponents(count);
+    EXPECT_EQ(count, 3u);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[2], labels[3]);
+    EXPECT_NE(labels[0], labels[2]);
+    EXPECT_NE(labels[0], labels[4]);
+}
+
+TEST(Automaton, ResetEdgeJoinsComponents)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all());
+    ElementId c = a.addCounter(3);
+    a.addResetEdge(s, c);
+    uint32_t count = 0;
+    a.connectedComponents(count);
+    EXPECT_EQ(count, 1u);
+}
+
+TEST(Automaton, InDegrees)
+{
+    Automaton a("t");
+    ElementId s0 = a.addSte(CharSet::all());
+    ElementId s1 = a.addSte(CharSet::all());
+    a.addEdge(s0, s1);
+    a.addEdge(s1, s1);
+    auto in = a.inDegrees();
+    EXPECT_EQ(in[s0], 0u);
+    EXPECT_EQ(in[s1], 2u);
+}
+
+TEST(Automaton, ValidateRejectsResetToSte)
+{
+    Automaton a("t");
+    ElementId s0 = a.addSte(CharSet::all());
+    ElementId s1 = a.addSte(CharSet::all());
+    a.addResetEdge(s0, s1);
+    EXPECT_DEATH(a.validate(), "non-counter");
+}
+
+TEST(Builder, LiteralChain)
+{
+    Automaton a("t");
+    ElementId last = addLiteral(a, "abc", StartType::kAllInput, true,
+                                5);
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(last, 2u);
+    EXPECT_EQ(a.element(0).start, StartType::kAllInput);
+    EXPECT_TRUE(a.element(2).reporting);
+    EXPECT_TRUE(a.element(0).symbols.test('a'));
+    EXPECT_TRUE(a.element(2).symbols.test('c'));
+    EXPECT_EQ(a.edgeCount(), 2u);
+}
+
+TEST(Builder, NocaseLabels)
+{
+    auto labels = nocaseLabels("a1");
+    EXPECT_TRUE(labels[0].test('a'));
+    EXPECT_TRUE(labels[0].test('A'));
+    EXPECT_EQ(labels[1].count(), 1);
+}
+
+TEST(Builder, StarStateSelfLoops)
+{
+    Automaton a("t");
+    ElementId s = addStarState(a, CharSet::all());
+    EXPECT_EQ(a.element(s).out, std::vector<ElementId>{s});
+    EXPECT_EQ(a.element(s).start, StartType::kAllInput);
+}
+
+TEST(Stats, ComputesTableOneColumns)
+{
+    Automaton a("t");
+    // Component 1: chain of 3; component 2: single reporting counter
+    // fed by one state.
+    ElementId s0 = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId s1 = a.addSte(CharSet::all());
+    ElementId s2 = a.addSte(CharSet::all(), StartType::kNone, true, 1);
+    a.addEdge(s0, s1);
+    a.addEdge(s1, s2);
+    ElementId t0 = a.addSte(CharSet::all(), StartType::kStartOfData);
+    ElementId c0 = a.addCounter(5, CounterMode::kLatch, true, 2);
+    a.addEdge(t0, c0);
+
+    GraphStats s = computeStats(a);
+    EXPECT_EQ(s.states, 4u);
+    EXPECT_EQ(s.counters, 1u);
+    EXPECT_EQ(s.edges, 3u);
+    EXPECT_EQ(s.subgraphs, 2u);
+    EXPECT_DOUBLE_EQ(s.avgSubgraph, 2.5);
+    EXPECT_DOUBLE_EQ(s.stdSubgraph, 0.5);
+    EXPECT_EQ(s.reporting, 2u);
+    EXPECT_EQ(s.startStates, 2u);
+    EXPECT_DOUBLE_EQ(s.edgesPerNode, 3.0 / 5.0);
+}
+
+TEST(Serialize, RoundTripsAllFeatures)
+{
+    Automaton a("rt");
+    ElementId s0 = a.addSte(CharSet::fromExpr("a-f\\x00"),
+                            StartType::kAllInput);
+    ElementId s1 = a.addSte(CharSet::all(), StartType::kStartOfData,
+                            true, 42);
+    ElementId c = a.addCounter(9, CounterMode::kRollover, true, 3);
+    a.addEdge(s0, s1);
+    a.addEdge(s1, s0);
+    a.addEdge(s1, c);
+    a.addResetEdge(s0, c);
+
+    std::ostringstream os;
+    writeAzml(os, a);
+    std::istringstream is(os.str());
+    Automaton back = readAzml(is);
+
+    ASSERT_EQ(back.size(), a.size());
+    EXPECT_EQ(back.name(), "rt");
+    for (ElementId i = 0; i < a.size(); ++i) {
+        const Element &x = a.element(i);
+        const Element &y = back.element(i);
+        EXPECT_EQ(x.kind, y.kind) << i;
+        EXPECT_EQ(x.start, y.start) << i;
+        EXPECT_EQ(x.reporting, y.reporting) << i;
+        EXPECT_EQ(x.reportCode, y.reportCode) << i;
+        EXPECT_EQ(x.symbols, y.symbols) << i;
+        EXPECT_EQ(x.target, y.target) << i;
+        EXPECT_EQ(x.mode, y.mode) << i;
+        EXPECT_EQ(x.out, y.out) << i;
+        EXPECT_EQ(x.resetOut, y.resetOut) << i;
+    }
+}
+
+/** Property: random automata survive a serialize round-trip. */
+TEST(Serialize, PropertyRandomRoundTrip)
+{
+    Rng rng(4242);
+    for (int trial = 0; trial < 30; ++trial) {
+        Automaton a("rand");
+        const int n = 2 + static_cast<int>(rng.nextBelow(30));
+        for (int i = 0; i < n; ++i) {
+            CharSet cs;
+            for (int k = 0; k < 5; ++k)
+                cs.set(rng.nextByte());
+            a.addSte(cs,
+                     static_cast<StartType>(rng.nextBelow(3)),
+                     rng.nextBool(0.2),
+                     static_cast<uint32_t>(rng.nextBelow(100)));
+        }
+        for (int e = 0; e < n; ++e) {
+            a.addEdge(static_cast<ElementId>(rng.nextBelow(n)),
+                      static_cast<ElementId>(rng.nextBelow(n)));
+        }
+        std::ostringstream os;
+        writeAzml(os, a);
+        std::istringstream is(os.str());
+        Automaton back = readAzml(is);
+        ASSERT_EQ(back.size(), a.size());
+        std::ostringstream os2;
+        writeAzml(os2, back);
+        EXPECT_EQ(os.str(), os2.str());
+    }
+}
+
+TEST(Dot, RendersAllElementKinds)
+{
+    Automaton a("viz");
+    ElementId s0 = a.addSte(CharSet::single('a'),
+                            StartType::kAllInput);
+    ElementId s1 = a.addSte(CharSet::all(), StartType::kNone, true,
+                            4);
+    ElementId c = a.addCounter(2, CounterMode::kLatch, true, 5);
+    a.addEdge(s0, s1);
+    a.addEdge(s1, c);
+    a.addResetEdge(s0, c);
+    std::ostringstream os;
+    writeDot(os, a);
+    const std::string dot = os.str();
+    EXPECT_NE(dot.find("digraph \"viz\""), std::string::npos);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+    EXPECT_NE(dot.find("cnt 2"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, TruncatesHugeAutomata)
+{
+    Automaton a("big");
+    for (int i = 0; i < 100; ++i)
+        a.addSte(CharSet::all());
+    std::ostringstream os;
+    writeDot(os, a, 10);
+    EXPECT_NE(os.str().find("90 more"), std::string::npos);
+}
+
+TEST(Serialize, RejectsMalformedInput)
+{
+    auto expect_dies = [](const std::string &text) {
+        std::istringstream is(text);
+        EXPECT_EXIT(readAzml(is), testing::ExitedWithCode(1), "azml");
+    };
+    expect_dies("ste 0 start=all report=- symbols=*\nend\n");
+    expect_dies("automaton x\nste 1 start=all report=- symbols=*\n"
+                "end\n");
+    expect_dies("automaton x\nbogus 0\nend\n");
+    expect_dies("automaton x\nedge 0 1\nend\n");
+}
+
+} // namespace
+} // namespace azoo

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit and property tests for CharSet, including round-tripping
+ * through the display form used by the azml serializer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/charset.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace {
+
+TEST(CharSet, EmptyByDefault)
+{
+    CharSet cs;
+    EXPECT_TRUE(cs.empty());
+    EXPECT_EQ(cs.count(), 0);
+    EXPECT_EQ(cs.lowest(), -1);
+    for (int c = 0; c < 256; ++c)
+        EXPECT_FALSE(cs.test(static_cast<uint8_t>(c)));
+}
+
+TEST(CharSet, SingleAndClear)
+{
+    CharSet cs = CharSet::single('x');
+    EXPECT_TRUE(cs.test('x'));
+    EXPECT_EQ(cs.count(), 1);
+    EXPECT_EQ(cs.lowest(), 'x');
+    cs.clear('x');
+    EXPECT_TRUE(cs.empty());
+}
+
+TEST(CharSet, RangeBoundaries)
+{
+    CharSet cs = CharSet::range(10, 20);
+    EXPECT_FALSE(cs.test(9));
+    EXPECT_TRUE(cs.test(10));
+    EXPECT_TRUE(cs.test(20));
+    EXPECT_FALSE(cs.test(21));
+    EXPECT_EQ(cs.count(), 11);
+    EXPECT_EQ(CharSet::range(0, 255).count(), 256);
+}
+
+TEST(CharSet, AllMatchesEverything)
+{
+    CharSet cs = CharSet::all();
+    EXPECT_EQ(cs.count(), 256);
+    EXPECT_TRUE(cs.test(0));
+    EXPECT_TRUE(cs.test(255));
+}
+
+TEST(CharSet, SetOperations)
+{
+    CharSet a = CharSet::range('a', 'f');
+    CharSet b = CharSet::range('d', 'k');
+    EXPECT_EQ((a | b).count(), 11);
+    EXPECT_EQ((a & b).count(), 3);
+    EXPECT_EQ((~a).count(), 250);
+    EXPECT_EQ((a & ~a).count(), 0);
+    EXPECT_EQ((a | ~a).count(), 256);
+}
+
+TEST(CharSet, EqualityAndHash)
+{
+    CharSet a = CharSet::range(1, 100);
+    CharSet b = CharSet::range(1, 100);
+    CharSet c = CharSet::range(1, 101);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash()); // overwhelmingly likely
+}
+
+TEST(CharSet, FromExprBasics)
+{
+    CharSet cs = CharSet::fromExpr("a-cz");
+    EXPECT_TRUE(cs.test('a'));
+    EXPECT_TRUE(cs.test('b'));
+    EXPECT_TRUE(cs.test('c'));
+    EXPECT_TRUE(cs.test('z'));
+    EXPECT_EQ(cs.count(), 4);
+}
+
+TEST(CharSet, FromExprNegation)
+{
+    CharSet cs = CharSet::fromExpr("^a");
+    EXPECT_FALSE(cs.test('a'));
+    EXPECT_EQ(cs.count(), 255);
+}
+
+TEST(CharSet, FromExprHexEscapes)
+{
+    CharSet cs = CharSet::fromExpr("\\x00-\\x03\\xff");
+    EXPECT_TRUE(cs.test(0));
+    EXPECT_TRUE(cs.test(3));
+    EXPECT_TRUE(cs.test(255));
+    EXPECT_EQ(cs.count(), 5);
+}
+
+TEST(CharSet, StrDisplaysCompactRanges)
+{
+    EXPECT_EQ(CharSet::all().str(), "*");
+    EXPECT_EQ(CharSet::single('a').str(), "[a]");
+    EXPECT_EQ(CharSet::range('a', 'd').str(), "[a-d]");
+}
+
+/** Property: str() -> fromExpr() round-trips arbitrary sets. */
+TEST(CharSet, PropertyStrRoundTrip)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        CharSet cs;
+        const int members = static_cast<int>(rng.nextBelow(40));
+        for (int i = 0; i < members; ++i)
+            cs.set(rng.nextByte());
+        if (rng.nextBool(0.2))
+            cs = ~cs;
+        std::string s = cs.str();
+        if (s == "*") {
+            EXPECT_EQ(cs.count(), 256);
+            continue;
+        }
+        ASSERT_GE(s.size(), 2u);
+        CharSet back = CharSet::fromExpr(s.substr(1, s.size() - 2));
+        EXPECT_EQ(back, cs) << "expr: " << s;
+    }
+}
+
+/** Property: De Morgan over random sets. */
+TEST(CharSet, PropertyDeMorgan)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 100; ++trial) {
+        CharSet a, b;
+        for (int i = 0; i < 20; ++i) {
+            a.set(rng.nextByte());
+            b.set(rng.nextByte());
+        }
+        EXPECT_EQ(~(a | b), (~a) & (~b));
+        EXPECT_EQ(~(a & b), (~a) | (~b));
+    }
+}
+
+} // namespace
+} // namespace azoo

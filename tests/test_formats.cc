@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Interchange-format tests: MNRL (JSON) and ANML (XML) round-trips,
+ * cross-format equivalence (azml == mnrl == anml), hand-authored
+ * document parsing, and malformed-input rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/anml.hh"
+#include "core/builder.hh"
+#include "core/mnrl.hh"
+#include "core/serialize.hh"
+#include "engine/nfa_engine.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace {
+
+/** A representative automaton touching every serializable feature. */
+Automaton
+featureFullAutomaton()
+{
+    Automaton a("kitchen.sink");
+    ElementId s0 = a.addSte(CharSet::fromExpr("a-f\\x00\\xff"),
+                            StartType::kAllInput);
+    ElementId s1 = a.addSte(CharSet::all(), StartType::kStartOfData,
+                            true, 42);
+    ElementId s2 = a.addSte(CharSet::single('"'), StartType::kNone,
+                            true, 7); // json/xml escaping hazard
+    ElementId c = a.addCounter(9, CounterMode::kRollover, true, 3);
+    a.addEdge(s0, s1);
+    a.addEdge(s1, s1);
+    a.addEdge(s1, s2);
+    a.addEdge(s2, c);
+    a.addResetEdge(s0, c);
+    return a;
+}
+
+void
+expectEqualAutomata(const Automaton &x, const Automaton &y)
+{
+    ASSERT_EQ(x.size(), y.size());
+    EXPECT_EQ(x.name(), y.name());
+    for (ElementId i = 0; i < x.size(); ++i) {
+        const Element &e = x.element(i);
+        const Element &f = y.element(i);
+        EXPECT_EQ(e.kind, f.kind) << i;
+        EXPECT_EQ(e.start, f.start) << i;
+        EXPECT_EQ(e.reporting, f.reporting) << i;
+        EXPECT_EQ(e.reportCode, f.reportCode) << i;
+        EXPECT_EQ(e.symbols, f.symbols) << i;
+        EXPECT_EQ(e.target, f.target) << i;
+        EXPECT_EQ(e.mode, f.mode) << i;
+        EXPECT_EQ(e.out, f.out) << i;
+        EXPECT_EQ(e.resetOut, f.resetOut) << i;
+    }
+}
+
+TEST(Mnrl, RoundTripsAllFeatures)
+{
+    Automaton a = featureFullAutomaton();
+    std::ostringstream os;
+    writeMnrl(os, a);
+    std::istringstream is(os.str());
+    expectEqualAutomata(a, readMnrl(is));
+}
+
+TEST(Anml, RoundTripsAllFeatures)
+{
+    Automaton a = featureFullAutomaton();
+    std::ostringstream os;
+    writeAnml(os, a);
+    std::istringstream is(os.str());
+    expectEqualAutomata(a, readAnml(is));
+}
+
+TEST(Formats, CrossFormatEquivalence)
+{
+    // azml -> mnrl -> anml -> azml preserves everything.
+    Automaton a = featureFullAutomaton();
+    std::ostringstream s1;
+    writeMnrl(s1, a);
+    std::istringstream r1(s1.str());
+    Automaton b = readMnrl(r1);
+    std::ostringstream s2;
+    writeAnml(s2, b);
+    std::istringstream r2(s2.str());
+    Automaton c = readAnml(r2);
+    std::ostringstream s3, s4;
+    writeAzml(s3, a);
+    writeAzml(s4, c);
+    EXPECT_EQ(s3.str(), s4.str());
+}
+
+TEST(Mnrl, ParsesHandAuthoredDocument)
+{
+    const char *doc = R"({
+      "id": "hand",
+      "nodes": [
+        {"id": "start", "type": "hState", "enable": "always",
+         "report": false,
+         "attributes": {"symbolSet": "[ab]"},
+         "outputConnections": [{"id": "end", "port": "i"}]},
+        {"id": "end", "type": "hState", "enable": "onActivateIn",
+         "report": true, "reportId": 12,
+         "attributes": {"symbolSet": "[c]"},
+         "outputConnections": []}
+      ]
+    })";
+    std::istringstream is(doc);
+    Automaton a = readMnrl(is);
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.name(), "hand");
+    EXPECT_EQ(a.element(0).start, StartType::kAllInput);
+    EXPECT_TRUE(a.element(1).reporting);
+    EXPECT_EQ(a.element(1).reportCode, 12u);
+
+    NfaEngine e(a);
+    std::vector<uint8_t> in = {'x', 'a', 'c', 'b'};
+    auto r = e.simulate(in);
+    ASSERT_EQ(r.reportCount, 1u);
+    EXPECT_EQ(r.reports[0].offset, 2u);
+}
+
+TEST(Anml, ParsesHandAuthoredDocument)
+{
+    const char *doc = R"(<?xml version="1.0"?>
+<anml version="1.0">
+  <!-- hand written -->
+  <automata-network id="hand">
+    <state-transition-element id="q0" symbol-set="[xy]"
+        start="all-input">
+      <activate-on-match element="q1"/>
+    </state-transition-element>
+    <state-transition-element id="q1" symbol-set="[z]" start="none">
+      <report-on-match reportcode="3"/>
+    </state-transition-element>
+  </automata-network>
+</anml>)";
+    std::istringstream is(doc);
+    Automaton a = readAnml(is);
+    ASSERT_EQ(a.size(), 2u);
+    NfaEngine e(a);
+    std::vector<uint8_t> in = {'x', 'z', 'z'};
+    EXPECT_EQ(e.simulate(in).reportCount, 1u);
+}
+
+TEST(Mnrl, RejectsMalformed)
+{
+    auto dies = [](const std::string &doc, const char *why) {
+        std::istringstream is(doc);
+        EXPECT_EXIT(readMnrl(is), testing::ExitedWithCode(1), why);
+    };
+    dies("{", "mnrl");
+    dies("[]", "root is not an object");
+    dies(R"({"id": "x"})", "missing nodes");
+    dies(R"({"id":"x","nodes":[{"id":"a","type":"boolean"}]})",
+         "unsupported node type");
+    dies(R"({"id":"x","nodes":[{"id":"a","type":"hState",
+          "attributes":{"symbolSet":"[a]"},
+          "outputConnections":[{"id":"nope"}]}]})",
+         "unknown node");
+}
+
+TEST(Anml, RejectsMalformed)
+{
+    auto dies = [](const std::string &doc, const char *why) {
+        std::istringstream is(doc);
+        EXPECT_EXIT(readAnml(is), testing::ExitedWithCode(1), why);
+    };
+    dies("<anml><automata-network id=\"x\"><bogus/>"
+         "</automata-network></anml>",
+         "unsupported element");
+    dies("<anml><state-transition-element id=\"a\" "
+         "symbol-set=\"[a]\" start=\"none\"/></anml>",
+         "outside automata-network");
+}
+
+/** Property: random regex automata round-trip through both formats
+ *  and still report identically. */
+class FormatProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(FormatProperty, RandomAutomataBehaveIdentically)
+{
+    Rng rng(21000 + GetParam());
+    static const char *kPatterns[] = {"ab+c", "a(b|c)d", "x[a-d]{2,4}",
+                                      "a.c", "ab|ba"};
+    Automaton a("p");
+    for (int i = 0; i < 3; ++i) {
+        appendRegex(
+            a,
+            parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+            static_cast<uint32_t>(i));
+    }
+
+    std::ostringstream mj, ax;
+    writeMnrl(mj, a);
+    writeAnml(ax, a);
+    std::istringstream mji(mj.str()), axi(ax.str());
+    Automaton via_mnrl = readMnrl(mji);
+    Automaton via_anml = readAnml(axi);
+
+    NfaEngine e0(a), e1(via_mnrl), e2(via_anml);
+    for (int t = 0; t < 4; ++t) {
+        std::string text = rng.randomString(1 + rng.nextBelow(50),
+                                            "abcdx");
+        std::vector<uint8_t> in(text.begin(), text.end());
+        auto r0 = e0.simulate(in);
+        ASSERT_EQ(e1.simulate(in).reports, r0.reports);
+        ASSERT_EQ(e2.simulate(in).reports, r0.reports);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatProperty, testing::Range(0, 15));
+
+} // namespace
+} // namespace azoo

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Input-generator tests: determinism from seeds and structural
+ * properties of each synthetic stimulus (alphabets, planted content,
+ * record framing, header validity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "input/corpus.hh"
+#include "input/diskimage.hh"
+#include "input/dna.hh"
+#include "input/malware.hh"
+#include "input/names.hh"
+#include "input/pcap.hh"
+#include "input/protein.hh"
+
+namespace azoo {
+namespace input {
+namespace {
+
+std::string
+asString(const std::vector<uint8_t> &v)
+{
+    return {v.begin(), v.end()};
+}
+
+TEST(Dna, AlphabetAndDeterminism)
+{
+    auto a = randomDna(5000, 7);
+    auto b = randomDna(5000, 7);
+    auto c = randomDna(5000, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    std::set<uint8_t> seen(a.begin(), a.end());
+    for (auto ch : seen)
+        EXPECT_NE(kDnaAlphabet.find(static_cast<char>(ch)),
+                  std::string::npos);
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Dna, PlantWithMismatchesExactDistance)
+{
+    Rng rng(3);
+    for (int d = 0; d <= 3; ++d) {
+        std::vector<uint8_t> stream = randomDna(100, 11);
+        std::string pattern = randomDnaString(20, rng);
+        plantWithMismatches(stream, 40, pattern, d, rng);
+        int mism = 0;
+        for (size_t i = 0; i < pattern.size(); ++i)
+            mism += stream[40 + i] !=
+                static_cast<uint8_t>(pattern[i]);
+        EXPECT_EQ(mism, d);
+    }
+}
+
+TEST(Protein, AlphabetAndMotifPlanting)
+{
+    std::vector<std::string> motifs = {"WWWWWWWW"};
+    auto p = syntheticProteome(600000, 5, motifs);
+    EXPECT_EQ(p.size(), 600000u);
+    // Planted roughly every 50 KiB.
+    EXPECT_NE(asString(p).find("WWWWWWWW"), std::string::npos);
+    for (auto ch : p) {
+        EXPECT_TRUE(ch == '\n' ||
+                    kAminoAcids.find(static_cast<char>(ch)) !=
+                        std::string::npos);
+    }
+}
+
+TEST(Corpus, VocabularyDeterministicAndSized)
+{
+    auto v1 = makeVocabulary(100, 9);
+    auto v2 = makeVocabulary(100, 9);
+    EXPECT_EQ(v1, v2);
+    EXPECT_EQ(v1.size(), 100u);
+    for (const auto &w : v1)
+        EXPECT_FALSE(w.empty());
+}
+
+TEST(Corpus, TaggedStreamFraming)
+{
+    auto vocab = makeVocabulary(200, 2);
+    auto s = taggedStream(20000, 3, 16, vocab);
+    // Structure: lowercase word chars, then one tag byte >= 0x80,
+    // then space.
+    size_t tags = 0;
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+        if (s[i] >= 0x80) {
+            ++tags;
+            EXPECT_LT(s[i], 0x80 + 16) << i;
+            EXPECT_EQ(s[i + 1], ' ') << i;
+        }
+    }
+    EXPECT_GT(tags, 1000u);
+}
+
+TEST(Pcap, ContainsHttpAndPlanted)
+{
+    PcapConfig cfg;
+    cfg.bytes = 200000;
+    cfg.seed = 13;
+    cfg.planted = {"EVIL_PAYLOAD_123"};
+    cfg.plantInterval = 32 * 1024;
+    auto s = asString(packetStream(cfg));
+    EXPECT_EQ(s.size(), 200000u);
+    EXPECT_NE(s.find("HTTP/1.1"), std::string::npos);
+    EXPECT_NE(s.find("User-Agent"), std::string::npos);
+    EXPECT_NE(s.find("EVIL_PAYLOAD_123"), std::string::npos);
+}
+
+TEST(DiskImage, ContainsValidHeadersAndViruses)
+{
+    DiskImageConfig cfg;
+    cfg.bytes = 400000;
+    cfg.seed = 17;
+    cfg.viruses = {"VIRUS_A_SIGNATURE", "VIRUS_B_SIGNATURE"};
+    auto img = diskImage(cfg);
+    std::string s = asString(img);
+    EXPECT_NE(s.find("VIRUS_A_SIGNATURE"), std::string::npos);
+    EXPECT_NE(s.find("VIRUS_B_SIGNATURE"), std::string::npos);
+
+    // Every zip local header carries a valid MS-DOS timestamp.
+    size_t pos = 0;
+    int zips = 0;
+    while ((pos = s.find("PK\x03\x04", pos)) != std::string::npos) {
+        if (pos + 14 < s.size()) {
+            const auto t = static_cast<uint16_t>(
+                static_cast<uint8_t>(s[pos + 10]) |
+                (static_cast<uint8_t>(s[pos + 11]) << 8));
+            EXPECT_LE(t >> 11, 23) << "hours";
+            EXPECT_LE((t >> 5) & 0x3F, 59) << "minutes";
+            EXPECT_LE(t & 0x1F, 29) << "seconds/2";
+            const auto d = static_cast<uint16_t>(
+                static_cast<uint8_t>(s[pos + 12]) |
+                (static_cast<uint8_t>(s[pos + 13]) << 8));
+            EXPECT_GE((d >> 5) & 0x0F, 1) << "month";
+            EXPECT_LE((d >> 5) & 0x0F, 12) << "month";
+            EXPECT_GE(d & 0x1F, 1) << "day";
+            ++zips;
+        }
+        ++pos;
+    }
+    EXPECT_GT(zips, 0);
+    // JPEG SOI and MPEG pack markers appear too.
+    EXPECT_NE(s.find("\xFF\xD8\xFF"), std::string::npos);
+    EXPECT_NE(s.find(std::string("\x00\x00\x01\xBA", 4)),
+              std::string::npos);
+}
+
+TEST(Names, UniqueAndRenderable)
+{
+    auto names = makeNames(500, 21);
+    std::set<std::string> keys;
+    for (const auto &n : names) {
+        EXPECT_FALSE(n.first.empty());
+        EXPECT_FALSE(n.last.empty());
+        EXPECT_TRUE(keys.insert(n.first + " " + n.last).second);
+        EXPECT_TRUE(std::isupper(
+            static_cast<unsigned char>(n.first[0])));
+    }
+}
+
+TEST(Names, CorruptMakesSingleEdit)
+{
+    Rng rng(23);
+    const std::string rec = "Maria Lindberg";
+    for (int i = 0; i < 50; ++i) {
+        std::string c = corrupt(rec, rng);
+        // One edit changes length by at most 1.
+        EXPECT_LE(rec.size() - 1, c.size());
+        EXPECT_LE(c.size(), rec.size() + 1);
+    }
+}
+
+TEST(Names, StreamIsNewlineFramed)
+{
+    auto names = makeNames(50, 25);
+    auto s = asString(nameStream(names, 20000, 0.2, 27));
+    EXPECT_EQ(s.size(), 20000u);
+    EXPECT_GT(std::count(s.begin(), s.end(), '\n'), 500);
+}
+
+TEST(Malware, ContainsPeStructureAndPlanted)
+{
+    MalwareConfig cfg;
+    cfg.bytes = 300000;
+    cfg.seed = 29;
+    cfg.planted = {std::string("\x9C\x50\xA1\x77\x58", 5)};
+    cfg.plantInterval = 64 * 1024;
+    auto s = asString(malwareStream(cfg));
+    EXPECT_EQ(s[0], 'M');
+    EXPECT_EQ(s[1], 'Z');
+    EXPECT_NE(s.find("kernel32.dll"), std::string::npos);
+    EXPECT_NE(s.find(std::string("\x9C\x50\xA1\x77\x58", 5)),
+              std::string::npos);
+}
+
+TEST(AllGenerators, ExactRequestedLength)
+{
+    EXPECT_EQ(randomDna(12345, 1).size(), 12345u);
+    EXPECT_EQ(englishLikeText(2345, 1).size(), 2345u);
+    EXPECT_EQ(syntheticProteome(3456, 1, {}).size(), 3456u);
+    PcapConfig pc;
+    pc.bytes = 4567;
+    EXPECT_EQ(packetStream(pc).size(), 4567u);
+    DiskImageConfig dc;
+    dc.bytes = 5678;
+    EXPECT_EQ(diskImage(dc).size(), 5678u);
+    MalwareConfig mc;
+    mc.bytes = 6789;
+    EXPECT_EQ(malwareStream(mc).size(), 6789u);
+}
+
+} // namespace
+} // namespace input
+} // namespace azoo

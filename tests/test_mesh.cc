@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Mesh automata tests: Hamming and Levenshtein filters verified
+ * against direct distance computations (sliding-window Hamming
+ * distance; dynamic-programming edit distance over all substring
+ * alignments), the paper's Section X substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "engine/nfa_engine.hh"
+#include "input/dna.hh"
+#include "util/rng.hh"
+#include "zoo/mesh.hh"
+
+namespace azoo {
+namespace {
+
+std::set<uint64_t>
+reportOffsets(const Automaton &a, const std::string &text)
+{
+    NfaEngine e(a);
+    std::vector<uint8_t> in(text.begin(), text.end());
+    auto r = e.simulate(in);
+    std::set<uint64_t> out;
+    for (const auto &rep : r.reports)
+        out.insert(rep.offset);
+    return out;
+}
+
+/** Offsets where a window of |p| ending there has HD(p, window)<=d. */
+std::set<uint64_t>
+hammingOracle(const std::string &p, const std::string &text, int d)
+{
+    std::set<uint64_t> out;
+    if (text.size() < p.size())
+        return out;
+    for (size_t end = p.size() - 1; end < text.size(); ++end) {
+        const size_t start = end + 1 - p.size();
+        int mism = 0;
+        for (size_t j = 0; j < p.size(); ++j)
+            mism += text[start + j] != p[j];
+        if (mism <= d)
+            out.insert(end);
+    }
+    return out;
+}
+
+/**
+ * Offsets t where some substring of text ending at t is within edit
+ * distance d of p. Computed with the standard DP where row 0 is all
+ * zeros (match can start anywhere).
+ */
+std::set<uint64_t>
+levenshteinOracle(const std::string &p, const std::string &text, int d)
+{
+    const size_t m = p.size(), n = text.size();
+    // dp[i][j] = min edits to match p[0..i) against a substring of
+    // text ending at j.
+    std::vector<std::vector<int>> dp(m + 1, std::vector<int>(n + 1));
+    for (size_t j = 0; j <= n; ++j)
+        dp[0][j] = 0;
+    for (size_t i = 1; i <= m; ++i)
+        dp[i][0] = static_cast<int>(i);
+    for (size_t i = 1; i <= m; ++i) {
+        for (size_t j = 1; j <= n; ++j) {
+            const int sub = dp[i - 1][j - 1] +
+                (p[i - 1] != text[j - 1]);
+            dp[i][j] = std::min({sub, dp[i - 1][j] + 1,
+                                 dp[i][j - 1] + 1});
+        }
+    }
+    std::set<uint64_t> out;
+    for (size_t j = 1; j <= n; ++j) {
+        if (dp[m][j] <= d)
+            out.insert(j - 1);
+    }
+    return out;
+}
+
+TEST(Hamming, ExactMatchReports)
+{
+    Automaton a("h");
+    zoo::appendHammingFilter(a, "atgc", 1, 0);
+    EXPECT_EQ(reportOffsets(a, "ccatgccc"),
+              hammingOracle("atgc", "ccatgccc", 1));
+}
+
+TEST(Hamming, DistanceZeroIsExactMatch)
+{
+    Automaton a("h");
+    zoo::appendHammingFilter(a, "tag", 0, 0);
+    EXPECT_EQ(reportOffsets(a, "atagtagxtg"),
+              (std::set<uint64_t>{3, 6}));
+}
+
+TEST(Hamming, CountsMismatchesNotShifts)
+{
+    Automaton a("h");
+    zoo::appendHammingFilter(a, "aaaa", 2, 0);
+    // "ttaa" has HD 2 -> report; "ttta" HD 3 -> none at that window.
+    auto offs = reportOffsets(a, "ttaa");
+    EXPECT_TRUE(offs.count(3));
+    EXPECT_TRUE(reportOffsets(a, "ttta").empty());
+}
+
+TEST(Hamming, StateCountMatchesMeshFormula)
+{
+    // Table I: Hamming 18x3 has 108-ish states per filter; our mesh
+    // realizes sum_j (rows at j).
+    Automaton a("h");
+    size_t n = zoo::appendHammingFilter(a, std::string(18, 'a'), 3, 0);
+    EXPECT_GT(n, 100u);
+    EXPECT_LT(n, 130u);
+}
+
+class HammingProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(HammingProperty, AgreesWithSlidingWindowOracle)
+{
+    Rng rng(12000 + GetParam());
+    const int l = 4 + static_cast<int>(rng.nextBelow(8));
+    const int d = static_cast<int>(rng.nextBelow(std::min(l, 4)));
+    std::string p = input::randomDnaString(l, rng);
+    Automaton a("h");
+    zoo::appendHammingFilter(a, p, d, 0);
+
+    for (int t = 0; t < 4; ++t) {
+        std::string text = rng.randomString(
+            l + rng.nextBelow(50), input::kDnaAlphabet);
+        // Plant a near-match to guarantee coverage of the <=d band.
+        if (text.size() >= p.size()) {
+            std::vector<uint8_t> tmp(text.begin(), text.end());
+            input::plantWithMismatches(
+                tmp, rng.nextBelow(text.size() - p.size() + 1), p,
+                static_cast<int>(rng.nextBelow(d + 1)), rng);
+            text.assign(tmp.begin(), tmp.end());
+        }
+        ASSERT_EQ(reportOffsets(a, text), hammingOracle(p, text, d))
+            << "p=" << p << " d=" << d << " text=" << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HammingProperty,
+                         testing::Range(0, 30));
+
+TEST(Levenshtein, SubstitutionInsertionDeletion)
+{
+    Automaton a("l");
+    zoo::appendLevenshteinFilter(a, "acgt", 1, 0);
+    // Exact.
+    EXPECT_TRUE(reportOffsets(a, "acgt").count(3));
+    // One substitution.
+    EXPECT_TRUE(reportOffsets(a, "aggt").count(3));
+    // One insertion in the text.
+    EXPECT_TRUE(reportOffsets(a, "acxgt").count(4));
+    // One deletion in the text ("agt" vs pattern "acgt"... edit 1).
+    EXPECT_TRUE(reportOffsets(a, "agt").count(2));
+    // Distance 2 string not reported at its end.
+    EXPECT_EQ(reportOffsets(a, "gg").count(1), 0u);
+}
+
+class LevenshteinProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(LevenshteinProperty, AgreesWithDpOracle)
+{
+    Rng rng(13000 + GetParam());
+    const int l = 4 + static_cast<int>(rng.nextBelow(6));
+    const int d = static_cast<int>(rng.nextBelow(std::min(l - 1, 3)));
+    std::string p = input::randomDnaString(l, rng);
+    Automaton a("l");
+    zoo::appendLevenshteinFilter(a, p, d, 0);
+
+    for (int t = 0; t < 4; ++t) {
+        std::string text = rng.randomString(
+            2 + rng.nextBelow(40), "at"); // binary-ish: more matches
+        ASSERT_EQ(reportOffsets(a, text),
+                  levenshteinOracle(p, text, d))
+            << "p=" << p << " d=" << d << " text=" << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinProperty,
+                         testing::Range(0, 30));
+
+TEST(MeshBenchmark, BuildsWithPlantedReports)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 300 * 1024;
+    auto b = zoo::makeMeshBenchmark(cfg, zoo::MeshKind::kHamming, 12,
+                                    2);
+    b.automaton.validate();
+    NfaEngine e(b.automaton);
+    EXPECT_GT(e.simulate(b.input).reportCount, 0u);
+}
+
+TEST(MeshBenchmark, EdgeDensityGrowsWithDistance)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.005;
+    cfg.inputBytes = 1024;
+    auto l3 = zoo::makeMeshBenchmark(cfg, zoo::MeshKind::kLevenshtein,
+                                     19, 3);
+    auto l10 = zoo::makeMeshBenchmark(cfg, zoo::MeshKind::kLevenshtein,
+                                      37, 10);
+    const double d3 = static_cast<double>(l3.automaton.edgeCount()) /
+        l3.automaton.size();
+    const double d10 = static_cast<double>(l10.automaton.edgeCount()) /
+        l10.automaton.size();
+    EXPECT_GT(d10, 2 * d3); // Table I: 4.08 -> 11.17
+}
+
+} // namespace
+} // namespace azoo

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * ML substrate tests: synthetic dataset properties, CART training
+ * invariants (leaf/depth caps, path partition property), forest
+ * accuracy sanity, and single- vs multi-threaded inference agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/dataset.hh"
+#include "ml/random_forest.hh"
+
+namespace azoo {
+namespace ml {
+namespace {
+
+Dataset
+smallDigits(uint64_t seed = 3, size_t n = 600)
+{
+    DigitConfig cfg;
+    cfg.samples = n;
+    cfg.seed = seed;
+    return makeSyntheticDigits(cfg);
+}
+
+TEST(Dataset, ShapeAndDeterminism)
+{
+    Dataset d = smallDigits();
+    EXPECT_EQ(d.numFeatures, 784);
+    EXPECT_EQ(d.numClasses, 10);
+    EXPECT_EQ(d.size(), 600u);
+    Dataset d2 = smallDigits();
+    EXPECT_EQ(d.x, d2.x);
+    EXPECT_EQ(d.y, d2.y);
+    // All ten classes appear.
+    std::set<int> classes(d.y.begin(), d.y.end());
+    EXPECT_EQ(classes.size(), 10u);
+}
+
+TEST(Dataset, SplitPartitions)
+{
+    Dataset d = smallDigits();
+    Dataset train, test;
+    splitDataset(d, 0.25, 1, train, test);
+    EXPECT_EQ(train.size() + test.size(), d.size());
+    EXPECT_EQ(test.size(), 150u);
+}
+
+TEST(Dataset, SelectFeaturesReturnsSortedUnique)
+{
+    Dataset d = smallDigits();
+    auto f = selectFeatures(d, 50);
+    ASSERT_EQ(f.size(), 50u);
+    for (size_t i = 1; i < f.size(); ++i)
+        EXPECT_LT(f[i - 1], f[i]);
+    // Selected features should be informative (nonconstant).
+    const int first = f[0];
+    bool varies = false;
+    for (size_t i = 1; i < d.size(); ++i)
+        varies |= d.x[i][first] != d.x[0][first];
+    EXPECT_TRUE(varies);
+}
+
+TEST(Dataset, ProjectReordersColumns)
+{
+    Dataset d = smallDigits(3, 10);
+    auto proj = projectFeatures(d, {5, 100});
+    EXPECT_EQ(proj.numFeatures, 2);
+    EXPECT_EQ(proj.x[0][0], d.x[0][5]);
+    EXPECT_EQ(proj.x[0][1], d.x[0][100]);
+}
+
+TEST(DecisionTree, RespectsLeafAndDepthCaps)
+{
+    Dataset d = smallDigits();
+    std::vector<size_t> idx(d.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    TreeParams tp;
+    tp.maxLeaves = 20;
+    tp.maxDepth = 5;
+    Rng rng(1);
+    DecisionTree t;
+    t.train(d, idx, tp, rng);
+    EXPECT_LE(t.leafCount(), 20);
+    EXPECT_LE(t.depth(), 5);
+    EXPECT_EQ(t.paths().size(), static_cast<size_t>(t.leafCount()));
+}
+
+TEST(DecisionTree, PathsPartitionFeatureSpace)
+{
+    // Every sample satisfies exactly one path's constraints, and that
+    // path's label equals predict().
+    Dataset d = smallDigits(7, 300);
+    std::vector<size_t> idx(d.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    TreeParams tp;
+    tp.maxLeaves = 30;
+    tp.maxDepth = 8;
+    Rng rng(2);
+    DecisionTree t;
+    t.train(d, idx, tp, rng);
+    auto paths = t.paths();
+    const int shift = t.binShift();
+
+    for (size_t s = 0; s < 50; ++s) {
+        int satisfied = 0;
+        int label = -1;
+        for (const auto &p : paths) {
+            bool ok = true;
+            for (const auto &c : p.constraints) {
+                const int bin = d.x[s][c.feature] >> shift;
+                if (bin < c.lo || bin > c.hi) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                ++satisfied;
+                label = p.label;
+            }
+        }
+        EXPECT_EQ(satisfied, 1) << "sample " << s;
+        EXPECT_EQ(label, t.predict(d.x[s].data())) << "sample " << s;
+    }
+}
+
+TEST(DecisionTree, PathConstraintsSortedByFeature)
+{
+    Dataset d = smallDigits(9, 300);
+    std::vector<size_t> idx(d.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    TreeParams tp;
+    Rng rng(3);
+    DecisionTree t;
+    t.train(d, idx, tp, rng);
+    for (const auto &p : t.paths()) {
+        for (size_t i = 1; i < p.constraints.size(); ++i) {
+            EXPECT_LT(p.constraints[i - 1].feature,
+                      p.constraints[i].feature);
+        }
+    }
+}
+
+TEST(RandomForest, LearnsTheSyntheticTask)
+{
+    Dataset all = smallDigits(11, 1500);
+    Dataset train, test;
+    splitDataset(all, 0.25, 5, train, test);
+    ForestParams p;
+    p.numTrees = 10;
+    p.features = 100;
+    p.maxLeaves = 60;
+    p.maxDepth = 8;
+    p.seed = 5;
+    RandomForest rf;
+    rf.train(train, p);
+    const double train_acc = rf.accuracy(train);
+    const double test_acc = rf.accuracy(test);
+    EXPECT_GT(train_acc, 0.9);
+    EXPECT_GT(test_acc, 0.6); // far above the 0.1 chance level
+}
+
+TEST(RandomForest, MultithreadedMatchesSerial)
+{
+    Dataset all = smallDigits(13, 400);
+    ForestParams p;
+    p.numTrees = 8;
+    p.features = 60;
+    p.maxLeaves = 40;
+    RandomForest rf;
+    rf.train(all, p);
+    EXPECT_EQ(rf.predictBatch(all, 1), rf.predictBatch(all, 4));
+}
+
+TEST(RandomForest, DeterministicFromSeed)
+{
+    Dataset all = smallDigits(17, 300);
+    ForestParams p;
+    p.numTrees = 4;
+    p.features = 40;
+    p.maxLeaves = 20;
+    RandomForest a, b;
+    a.train(all, p);
+    b.train(all, p);
+    EXPECT_EQ(a.predictBatch(all, 1), b.predictBatch(all, 1));
+}
+
+} // namespace
+} // namespace ml
+} // namespace azoo

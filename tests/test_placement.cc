@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Placement-model and suffix-merge tests: chains pack densely on any
+ * fabric; mesh automata waste the track-poor hierarchical fabric but
+ * not the island-style one (the routing narrative of Sections II and
+ * X); suffix merging preserves report events and composes with
+ * prefix merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/builder.hh"
+#include "engine/nfa_engine.hh"
+#include "engine/placement.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "transform/suffix_merge.hh"
+#include "util/rng.hh"
+#include "zoo/mesh.hh"
+#include "zoo/registry.hh"
+
+namespace azoo {
+namespace {
+
+TEST(Placement, EmptyAutomaton)
+{
+    Automaton a("e");
+    auto r = placeAndRoute(a, FabricParams::hierarchicalD480());
+    EXPECT_EQ(r.blocksUsed, 0u);
+    EXPECT_EQ(r.devicesNeeded, 0u);
+}
+
+TEST(Placement, ChainsPackDensely)
+{
+    Automaton a("chains");
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        addLiteral(a, rng.randomString(50, "abc"),
+                   StartType::kAllInput, true, i);
+    }
+    for (const auto &fabric : {FabricParams::hierarchicalD480(),
+                               FabricParams::islandStyle()}) {
+        auto r = placeAndRoute(a, fabric);
+        EXPECT_GT(r.utilization, 0.85) << fabric.name;
+        EXPECT_EQ(r.overflowEdges, 0u) << fabric.name;
+        EXPECT_EQ(r.devicesNeeded, 1u) << fabric.name;
+    }
+}
+
+TEST(Placement, MeshWastesHierarchicalFabric)
+{
+    // A Levenshtein mesh bundle: the ANMLZoo observation that these
+    // "maximize the routing resources ... but only use 6% of the
+    // state capacity" on the D480's hierarchical matrix, while
+    // island-style routing fits them densely.
+    Automaton a("mesh");
+    Rng rng(5);
+    for (int i = 0; i < 24; ++i) {
+        zoo::appendLevenshteinFilter(
+            a, rng.randomString(20, "atgc"), 3,
+            static_cast<uint32_t>(i));
+    }
+    auto hier = placeAndRoute(a, FabricParams::hierarchicalD480());
+    auto island = placeAndRoute(a, FabricParams::islandStyle());
+    EXPECT_LT(hier.utilization, 0.5);
+    EXPECT_GT(island.utilization, 0.8);
+    EXPECT_GT(island.utilization, 2 * hier.utilization);
+}
+
+TEST(Placement, DeviceCountScalesWithStates)
+{
+    Automaton a("big");
+    // 60k one-state components exceed one 49,152-STE device.
+    for (int i = 0; i < 60000; ++i)
+        a.addSte(CharSet::all(), StartType::kAllInput, true, 0);
+    auto r = placeAndRoute(a, FabricParams::hierarchicalD480());
+    EXPECT_EQ(r.devicesNeeded, 2u);
+    EXPECT_DOUBLE_EQ(r.utilization, 60000.0 / (235 * 256));
+}
+
+TEST(Placement, CrossEdgesCountedOncePerEdge)
+{
+    // Two states forced into different blocks by a tiny block size.
+    FabricParams f;
+    f.name = "tiny";
+    f.blockSize = 1;
+    f.trackBudget = 4;
+    Automaton a("t");
+    ElementId s0 = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId s1 = a.addSte(CharSet::all(), StartType::kNone, true, 0);
+    a.addEdge(s0, s1);
+    auto r = placeAndRoute(a, f);
+    EXPECT_EQ(r.blocksUsed, 2u);
+    EXPECT_EQ(r.crossBlockEdges, 1u);
+}
+
+TEST(SuffixMerge, CollapsesSharedSuffixes)
+{
+    // Two literals with a common 3-char suffix reported with the
+    // same code.
+    Automaton a("t");
+    addLiteral(a, "xxabc", StartType::kAllInput, true, 1);
+    addLiteral(a, "yyabc", StartType::kAllInput, true, 1);
+    MergeResult m = suffixMerge(a);
+    EXPECT_EQ(m.statesAfter, 7u); // "abc" shared
+}
+
+TEST(SuffixMerge, KeepsDifferentCodesApart)
+{
+    Automaton a("t");
+    addLiteral(a, "xab", StartType::kAllInput, true, 1);
+    addLiteral(a, "yab", StartType::kAllInput, true, 2);
+    MergeResult m = suffixMerge(a);
+    EXPECT_EQ(m.statesAfter, 6u);
+}
+
+std::set<std::pair<uint64_t, uint32_t>>
+events(const Automaton &a, const std::vector<uint8_t> &in)
+{
+    NfaEngine e(a);
+    auto r = e.simulate(in);
+    std::set<std::pair<uint64_t, uint32_t>> out;
+    for (const auto &rep : r.reports)
+        out.insert({rep.offset, rep.code});
+    return out;
+}
+
+class SuffixMergeProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuffixMergeProperty, PreservesReportEvents)
+{
+    Rng rng(22000 + GetParam());
+    static const char *kPatterns[] = {"abc", "xbc", "a.c", "ab+c",
+                                      "(x|y)bc", "bc"};
+    Automaton a("t");
+    const int count = 2 + static_cast<int>(rng.nextBelow(4));
+    for (int i = 0; i < count; ++i) {
+        appendRegex(
+            a,
+            parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+            static_cast<uint32_t>(rng.nextBelow(3)));
+    }
+    MergeResult s = suffixMerge(a);
+    MergeResult f = fullMerge(a);
+    s.automaton.validate();
+    f.automaton.validate();
+    EXPECT_LE(f.statesAfter, s.statesAfter);
+    for (int t = 0; t < 5; ++t) {
+        std::string text = rng.randomString(1 + rng.nextBelow(40),
+                                            "abcxy");
+        std::vector<uint8_t> in(text.begin(), text.end());
+        auto expect = events(a, in);
+        ASSERT_EQ(events(s.automaton, in), expect) << text;
+        ASSERT_EQ(events(f.automaton, in), expect) << text;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuffixMergeProperty,
+                         testing::Range(0, 25));
+
+TEST(FullMerge, BeatsEitherAloneOnDiamonds)
+{
+    // Shared prefix AND shared suffix: only the combination collapses
+    // both ends.
+    Automaton a("t");
+    addLiteral(a, "ppXss", StartType::kAllInput, true, 9);
+    addLiteral(a, "ppYss", StartType::kAllInput, true, 9);
+    MergeResult p = prefixMerge(a);
+    MergeResult s = suffixMerge(a);
+    MergeResult f = fullMerge(a);
+    EXPECT_EQ(p.statesAfter, 8u);
+    EXPECT_EQ(s.statesAfter, 8u);
+    EXPECT_EQ(f.statesAfter, 6u);
+}
+
+/** Suite-wide property: island-style routing never overflows its
+ *  track budget on any benchmark (the fabric AutomataZoo assumes
+ *  researchers will target). */
+TEST(Placement, IslandStyleRoutesWholeSuiteCleanly)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 1024;
+    for (const auto &info : zoo::allBenchmarks()) {
+        zoo::Benchmark b = info.make(cfg);
+        auto r = placeAndRoute(b.automaton,
+                               FabricParams::islandStyle());
+        EXPECT_EQ(r.overflowEdges, 0u) << info.name;
+        EXPECT_GT(r.utilization, 0.3) << info.name;
+    }
+}
+
+} // namespace
+} // namespace azoo

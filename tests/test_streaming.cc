@@ -1,0 +1,136 @@
+/**
+ * @file
+ * StreamingSession tests: chunked feeding is equivalent to monolithic
+ * simulation for arbitrary chunkings, including single-byte feeds,
+ * counter state across boundaries, and reset semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/builder.hh"
+#include "engine/nfa_engine.hh"
+#include "engine/streaming.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "util/rng.hh"
+#include "zoo/seqmatch.hh"
+
+namespace azoo {
+namespace {
+
+std::vector<uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+TEST(Streaming, MatchStraddlesChunkBoundary)
+{
+    Automaton a("t");
+    addLiteral(a, "abcd", StartType::kAllInput, true, 1);
+    StreamingSession sess(a);
+    sess.feed(bytes("xxab"));
+    EXPECT_EQ(sess.results().reportCount, 0u);
+    sess.feed(bytes("cdxx"));
+    ASSERT_EQ(sess.results().reportCount, 1u);
+    EXPECT_EQ(sess.results().reports[0].offset, 5u);
+}
+
+TEST(Streaming, OffsetsAreAbsolute)
+{
+    Automaton a("t");
+    addLiteral(a, "z", StartType::kAllInput, true, 1);
+    StreamingSession sess(a);
+    for (int chunk = 0; chunk < 5; ++chunk)
+        sess.feed(bytes("xyz"));
+    ASSERT_EQ(sess.results().reportCount, 5u);
+    EXPECT_EQ(sess.results().reports[4].offset, 14u);
+    EXPECT_EQ(sess.offset(), 15u);
+}
+
+TEST(Streaming, StartOfDataOnlyAtStreamStart)
+{
+    Automaton a("t");
+    addLiteral(a, "ab", StartType::kStartOfData, true, 1);
+    StreamingSession sess(a);
+    sess.feed(bytes("a"));
+    sess.feed(bytes("b"));
+    EXPECT_EQ(sess.results().reportCount, 1u);
+    sess.feed(bytes("ab")); // not at stream start anymore
+    EXPECT_EQ(sess.results().reportCount, 1u);
+    sess.reset();
+    sess.feed(bytes("ab"));
+    EXPECT_EQ(sess.results().reportCount, 1u);
+}
+
+TEST(Streaming, CounterStatePersistsAcrossChunks)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::single('a'), StartType::kAllInput);
+    ElementId c = a.addCounter(3, CounterMode::kLatch, true, 9);
+    a.addEdge(s, c);
+    StreamingSession sess(a);
+    sess.feed(bytes("a"));
+    sess.feed(bytes("a"));
+    EXPECT_EQ(sess.results().reportCount, 0u);
+    sess.feed(bytes("a"));
+    EXPECT_EQ(sess.results().reportCount, 1u);
+}
+
+/** Property: any chunking equals monolithic simulation. */
+class StreamingProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamingProperty, ChunkingInvariance)
+{
+    Rng rng(31000 + GetParam());
+    static const char *kPatterns[] = {"ab+c", "a(b|c)d", "x[ab]{2,4}y",
+                                      "a.b"};
+    Automaton a("t");
+    for (int i = 0; i < 3; ++i) {
+        appendRegex(
+            a,
+            parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+            static_cast<uint32_t>(i));
+    }
+    // Mix in a counter component.
+    zoo::SeqMatchParams sp;
+    sp.itemsetSize = 2;
+    sp.filterWidth = 3;
+    sp.withCounters = true;
+    sp.supportThreshold = 2;
+    zoo::appendSeqFilter(a, {'b', 'x'}, sp, 7);
+
+    const std::string text =
+        rng.randomString(200, "abcxy") + "\xff" + "bx\xff" + "bx\xff" +
+        rng.randomString(50, "abcxy");
+    const auto in = bytes(text);
+
+    NfaEngine mono(a);
+    auto expect = mono.simulate(in);
+
+    StreamingSession sess(a);
+    size_t pos = 0;
+    while (pos < in.size()) {
+        const size_t chunk =
+            std::min<size_t>(1 + rng.nextBelow(17), in.size() - pos);
+        sess.feed(in.data() + pos, chunk);
+        pos += chunk;
+    }
+    EXPECT_EQ(sess.results().reportCount, expect.reportCount);
+    EXPECT_EQ(sess.results().reports, expect.reports);
+    EXPECT_EQ(sess.results().totalEnabled, expect.totalEnabled);
+
+    // Byte-at-a-time feeding too.
+    StreamingSession one(a);
+    for (auto b : in)
+        one.feed(&b, 1);
+    EXPECT_EQ(one.results().reports, expect.reports);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingProperty,
+                         testing::Range(0, 20));
+
+} // namespace
+} // namespace azoo

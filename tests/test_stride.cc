@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Bit-level automata and 8-striding tests (Section IX-B): chain
+ * builder semantics, range-field construction, and the central
+ * equivalence property -- a strided byte automaton reports at byte
+ * offset t exactly when the bit automaton reports at bit offset
+ * 8t + 7 on the bit-expanded input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bits/bit_builder.hh"
+#include "engine/nfa_engine.hh"
+#include "transform/stride.hh"
+#include "util/rng.hh"
+#include "zoo/filecarve.hh"
+
+namespace azoo {
+namespace {
+
+using bits::addAlignmentRing;
+using bits::BitChainBuilder;
+using bits::expandToBits;
+
+/** Byte offsets reported by the strided automaton. */
+std::set<uint64_t>
+byteReports(const Automaton &strided, const std::vector<uint8_t> &in)
+{
+    NfaEngine e(strided);
+    auto r = e.simulate(in);
+    std::set<uint64_t> out;
+    for (const auto &rep : r.reports)
+        out.insert(rep.offset);
+    return out;
+}
+
+/** Byte offsets derived from bit-level simulation. */
+std::set<uint64_t>
+bitReportsAsBytes(const Automaton &bit, const std::vector<uint8_t> &in)
+{
+    NfaEngine e(bit);
+    auto r = e.simulate(expandToBits(in));
+    std::set<uint64_t> out;
+    for (const auto &rep : r.reports) {
+        EXPECT_EQ(rep.offset % 8, 7u)
+            << "bit automaton reported mid-byte";
+        out.insert(rep.offset / 8);
+    }
+    return out;
+}
+
+TEST(BitBuilder, ExpandToBitsMsbFirst)
+{
+    auto bits = expandToBits({0xA5});
+    ASSERT_EQ(bits.size(), 8u);
+    const uint8_t expect[] = {1, 0, 1, 0, 0, 1, 0, 1};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(bits[i], expect[i]) << i;
+}
+
+TEST(BitBuilder, FixedByteChainMatchesAnchored)
+{
+    Automaton a("b");
+    BitChainBuilder b(a); // anchored (start of data)
+    b.appendByte(0xCA);
+    b.appendByte(0xFE);
+    b.finishReport(1);
+    EXPECT_EQ(a.size(), 16u);
+
+    NfaEngine e(a);
+    EXPECT_EQ(e.simulate(expandToBits({0xCA, 0xFE})).reportCount, 1u);
+    EXPECT_EQ(e.simulate(expandToBits({0xCA, 0xFF})).reportCount, 0u);
+    EXPECT_EQ(e.simulate(expandToBits({0x00, 0xCA})).reportCount, 0u);
+}
+
+TEST(BitBuilder, AlignmentRingRearmssAtByteBoundaries)
+{
+    Automaton a("b");
+    ElementId ring = addAlignmentRing(a);
+    BitChainBuilder b(a, ring);
+    b.appendByte(0x42);
+    b.finishReport(1);
+
+    NfaEngine e(a);
+    auto r = e.simulate(expandToBits({0x00, 0x42, 0x42, 0x99, 0x42}));
+    std::set<uint64_t> offs;
+    for (const auto &rep : r.reports)
+        offs.insert(rep.offset / 8);
+    EXPECT_EQ(offs, (std::set<uint64_t>{1, 2, 4}));
+}
+
+TEST(BitBuilder, MaskedByteNibbleWildcard)
+{
+    Automaton a("b");
+    BitChainBuilder b(a);
+    b.appendMaskedByte(0xD0, 0xF0); // high nibble D, low nibble any
+    b.finishReport(1);
+    NfaEngine e(a);
+    EXPECT_EQ(e.simulate(expandToBits({0xD7})).reportCount, 1u);
+    EXPECT_EQ(e.simulate(expandToBits({0xC7})).reportCount, 0u);
+}
+
+TEST(BitBuilder, RangeFieldExactBounds)
+{
+    // 8-bit field in [10, 29]: check every byte value.
+    Automaton a("b");
+    BitChainBuilder b(a);
+    b.appendRangeField(8, 10, 29);
+    b.finishReport(1);
+    NfaEngine e(a);
+    for (int v = 0; v < 256; ++v) {
+        auto r = e.simulate(expandToBits({static_cast<uint8_t>(v)}));
+        EXPECT_EQ(r.reportCount > 0, v >= 10 && v <= 29) << v;
+    }
+}
+
+TEST(BitBuilder, RangeFieldCrossByte)
+{
+    // 16-bit big-endian field in [300, 1000].
+    Automaton a("b");
+    BitChainBuilder b(a);
+    b.appendRangeField(16, 300, 1000);
+    b.finishReport(1);
+    NfaEngine e(a);
+    for (int v : {0, 128, 299, 300, 301, 512, 999, 1000, 1001, 65535}) {
+        auto r = e.simulate(expandToBits(
+            {static_cast<uint8_t>(v >> 8),
+             static_cast<uint8_t>(v & 0xff)}));
+        EXPECT_EQ(r.reportCount > 0, v >= 300 && v <= 1000) << v;
+    }
+}
+
+TEST(BitBuilder, RejectsNonByteAlignedReport)
+{
+    Automaton a("b");
+    BitChainBuilder b(a);
+    b.appendBit(1);
+    EXPECT_EXIT(b.finishReport(1), testing::ExitedWithCode(1),
+                "whole number of bytes");
+}
+
+TEST(BitBuilder, MergeBranchRequiresEqualLengths)
+{
+    Automaton a("b");
+    BitChainBuilder x(a);
+    x.appendByte(1);
+    BitChainBuilder y(a);
+    y.appendBit(1);
+    EXPECT_EXIT(x.mergeBranch(y), testing::ExitedWithCode(1),
+                "different bit lengths");
+}
+
+TEST(Stride, FixedPatternEquivalence)
+{
+    Automaton bit("b");
+    ElementId ring = addAlignmentRing(bit);
+    BitChainBuilder b(bit, ring);
+    b.appendByte('P');
+    b.appendByte('K');
+    b.finishReport(3);
+
+    Automaton strided = strideToBytes(bit);
+    std::vector<uint8_t> in = {'x', 'P', 'K', 'P', 'P', 'K', 0};
+    EXPECT_EQ(byteReports(strided, in), bitReportsAsBytes(bit, in));
+    EXPECT_EQ(byteReports(strided, in), (std::set<uint64_t>{2, 5}));
+}
+
+TEST(Stride, RejectsAllInputStarts)
+{
+    Automaton bit("b");
+    bit.addSte(CharSet::range(0, 1), StartType::kAllInput, true, 1);
+    EXPECT_EXIT(strideToBytes(bit), testing::ExitedWithCode(1),
+                "lowered");
+}
+
+TEST(Stride, RejectsNonBitSymbols)
+{
+    Automaton bit("b");
+    bit.addSte(CharSet::single('a'), StartType::kStartOfData, true, 1);
+    EXPECT_EXIT(strideToBytes(bit), testing::ExitedWithCode(1),
+                "non-bit");
+}
+
+/** Property: random bit patterns (fixed/wildcard/range fields) are
+ *  equivalent before and after striding, on random byte inputs with
+ *  planted matches. */
+class StrideProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(StrideProperty, RandomBitPatternEquivalence)
+{
+    Rng rng(11000 + GetParam());
+    Automaton bit("b");
+    ElementId ring = addAlignmentRing(bit);
+    BitChainBuilder b(bit, ring);
+
+    // 2-4 bytes of mixed field kinds, byte-aligned by construction.
+    const int nbytes = 2 + static_cast<int>(rng.nextBelow(3));
+    std::vector<uint8_t> witness; // one byte string that must match
+    for (int i = 0; i < nbytes; ++i) {
+        switch (rng.nextBelow(3)) {
+          case 0: {
+            const uint8_t v = rng.nextByte();
+            b.appendByte(v);
+            witness.push_back(v);
+            break;
+          }
+          case 1: {
+            const uint8_t v = rng.nextByte();
+            const uint8_t care = rng.nextBool() ? 0xF0 : 0x0F;
+            b.appendMaskedByte(v, care);
+            witness.push_back(static_cast<uint8_t>(
+                (v & care) | (rng.nextByte() & ~care)));
+            break;
+          }
+          default: {
+            uint8_t lo = rng.nextByte(), hi = rng.nextByte();
+            if (lo > hi)
+                std::swap(lo, hi);
+            b.appendRangeField(8, lo, hi);
+            witness.push_back(static_cast<uint8_t>(
+                lo + rng.nextBelow(hi - lo + 1)));
+            break;
+          }
+        }
+    }
+    b.finishReport(1);
+    Automaton strided = strideToBytes(bit);
+    strided.validate();
+
+    for (int t = 0; t < 4; ++t) {
+        std::vector<uint8_t> in = Rng(rng.next()).randomBytes(40);
+        // Plant the witness at a deterministic offset.
+        const size_t at = 8 + rng.nextBelow(16);
+        std::copy(witness.begin(), witness.end(), in.begin() + at);
+        auto expected = bitReportsAsBytes(bit, in);
+        ASSERT_EQ(byteReports(strided, in), expected);
+        ASSERT_TRUE(expected.count(at + witness.size() - 1))
+            << "witness did not match";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrideProperty, testing::Range(0, 30));
+
+TEST(ZipHeader, AcceptsValidTimestampsRejectsInvalid)
+{
+    Automaton bit = zoo::buildZipHeaderBitAutomaton();
+    Automaton strided = strideToBytes(bit);
+    NfaEngine e(strided);
+
+    auto header = [](unsigned method, unsigned h, unsigned m,
+                     unsigned s2, unsigned y, unsigned mo,
+                     unsigned d) {
+        std::vector<uint8_t> v = {'P', 'K', 3, 4, 20, 0, 0, 0};
+        v.push_back(static_cast<uint8_t>(method & 0xff));
+        v.push_back(0);
+        const uint16_t t =
+            static_cast<uint16_t>((h << 11) | (m << 5) | s2);
+        v.push_back(static_cast<uint8_t>(t & 0xff));
+        v.push_back(static_cast<uint8_t>(t >> 8));
+        const uint16_t dt =
+            static_cast<uint16_t>((y << 9) | (mo << 5) | d);
+        v.push_back(static_cast<uint8_t>(dt & 0xff));
+        v.push_back(static_cast<uint8_t>(dt >> 8));
+        return v;
+    };
+
+    // Valid: deflate, 13:37:58, 2004-06-15.
+    EXPECT_EQ(e.simulate(header(8, 13, 37, 29, 24, 6, 15)).reportCount,
+              1u);
+    // Valid: stored, midnight, 1980-01-01.
+    EXPECT_EQ(e.simulate(header(0, 0, 0, 0, 0, 1, 1)).reportCount, 1u);
+    // Invalid seconds (s2 = 30 means 60 seconds).
+    EXPECT_EQ(e.simulate(header(8, 13, 37, 30, 24, 6, 15)).reportCount,
+              0u);
+    // Invalid hours (24).
+    EXPECT_EQ(e.simulate(header(8, 24, 0, 0, 24, 6, 15)).reportCount,
+              0u);
+    // Invalid minutes (60 = m[5:3]=7, m[2:0]=4).
+    EXPECT_EQ(e.simulate(header(8, 1, 60, 0, 24, 6, 15)).reportCount,
+              0u);
+    // Valid boundary minutes (59).
+    EXPECT_EQ(e.simulate(header(8, 1, 59, 0, 24, 6, 15)).reportCount,
+              1u);
+    // Invalid month (13) and day (0).
+    EXPECT_EQ(e.simulate(header(8, 1, 1, 1, 24, 13, 15)).reportCount,
+              0u);
+    EXPECT_EQ(e.simulate(header(8, 1, 1, 1, 24, 6, 0)).reportCount,
+              0u);
+    // Invalid compression method (3).
+    EXPECT_EQ(e.simulate(header(3, 1, 1, 1, 24, 6, 15)).reportCount,
+              0u);
+}
+
+} // namespace
+} // namespace azoo

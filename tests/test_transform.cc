@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Transformation tests: prefix merging preserves the (offset, code)
+ * report language while collapsing shared prefixes; dead-state
+ * pruning; widening equivalence on interleaved inputs; padding
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/builder.hh"
+#include "engine/nfa_engine.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "transform/pad.hh"
+#include "transform/prefix_merge.hh"
+#include "transform/prune.hh"
+#include "transform/widen.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace {
+
+std::vector<uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+/** Distinct (offset, code) events -- the language-level view of
+ *  reports that merging must preserve. */
+std::set<std::pair<uint64_t, uint32_t>>
+reportEvents(const Automaton &a, const std::vector<uint8_t> &in)
+{
+    NfaEngine e(a);
+    auto r = e.simulate(in);
+    std::set<std::pair<uint64_t, uint32_t>> out;
+    for (const auto &rep : r.reports)
+        out.insert({rep.offset, rep.code});
+    return out;
+}
+
+TEST(PrefixMerge, CollapsesSharedLiteralPrefixes)
+{
+    Automaton a("t");
+    addLiteral(a, "abcde", StartType::kAllInput, true, 1);
+    addLiteral(a, "abcxy", StartType::kAllInput, true, 2);
+    ASSERT_EQ(a.size(), 10u);
+    MergeResult m = prefixMerge(a);
+    // "abc" is shared: 10 -> 7 states.
+    EXPECT_EQ(m.statesAfter, 7u);
+    EXPECT_NEAR(m.reduction(), 0.3, 1e-9);
+}
+
+TEST(PrefixMerge, DoesNotMergeDifferentReportCodes)
+{
+    Automaton a("t");
+    addLiteral(a, "ab", StartType::kAllInput, true, 1);
+    addLiteral(a, "ab", StartType::kAllInput, true, 2);
+    MergeResult m = prefixMerge(a);
+    // Shared 'a' merges; the reporting 'b' states differ by code.
+    EXPECT_EQ(m.statesAfter, 3u);
+}
+
+TEST(PrefixMerge, MergesIdenticalRules)
+{
+    Automaton a("t");
+    addLiteral(a, "abc", StartType::kAllInput, true, 5);
+    addLiteral(a, "abc", StartType::kAllInput, true, 5);
+    EXPECT_EQ(prefixMerge(a).statesAfter, 3u);
+}
+
+TEST(PrefixMerge, PreservesReportEvents)
+{
+    Automaton a("t");
+    addLiteral(a, "abcd", StartType::kAllInput, true, 1);
+    addLiteral(a, "abce", StartType::kAllInput, true, 2);
+    addLiteral(a, "abc", StartType::kAllInput, true, 3);
+    MergeResult m = prefixMerge(a);
+    EXPECT_LT(m.statesAfter, m.statesBefore);
+    auto in = bytes("zabcdabceabc");
+    EXPECT_EQ(reportEvents(a, in), reportEvents(m.automaton, in));
+}
+
+/** Property: merging random regex unions preserves report events. */
+class PrefixMergeProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PrefixMergeProperty, RandomRegexUnions)
+{
+    Rng rng(9100 + GetParam());
+    Automaton a("t");
+    static const char *kPatterns[] = {
+        "abc",   "abd",    "ab[cd]", "a.c",  "abc+",
+        "a(b|c)d", "ab{1,3}c", "xbc",  "xb",   "abcd.e",
+    };
+    const int count = 2 + static_cast<int>(rng.nextBelow(6));
+    for (int i = 0; i < count; ++i) {
+        const char *p = kPatterns[rng.nextBelow(std::size(kPatterns))];
+        appendRegex(a, parseRegex(p),
+                    static_cast<uint32_t>(rng.nextBelow(4)));
+    }
+    MergeResult m = prefixMerge(a);
+    m.automaton.validate();
+    for (int t = 0; t < 6; ++t) {
+        std::string text = rng.randomString(1 + rng.nextBelow(40),
+                                            "abcdxe");
+        auto in = bytes(text);
+        ASSERT_EQ(reportEvents(a, in), reportEvents(m.automaton, in))
+            << "input '" << text << "'";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixMergeProperty,
+                         testing::Range(0, 25));
+
+TEST(Prune, RemovesUnreachableAndUseless)
+{
+    Automaton a("t");
+    ElementId s0 = a.addSte(CharSet::single('a'),
+                            StartType::kAllInput);
+    ElementId s1 = a.addSte(CharSet::single('b'), StartType::kNone,
+                            true, 1);
+    a.addEdge(s0, s1);
+    // Unreachable state.
+    ElementId dead1 = a.addSte(CharSet::single('x'));
+    a.addEdge(dead1, s1);
+    // Reachable but useless (cannot reach a reporter).
+    ElementId dead2 = a.addSte(CharSet::single('y'));
+    a.addEdge(s0, dead2);
+
+    PruneResult p = pruneDeadStates(a);
+    EXPECT_EQ(p.removed, 2u);
+    EXPECT_EQ(p.automaton.size(), 2u);
+    auto in = bytes("ab");
+    EXPECT_EQ(reportEvents(a, in), reportEvents(p.automaton, in));
+}
+
+TEST(Prune, KeepsCounterResetFeeders)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::single('a'),
+                           StartType::kAllInput);
+    ElementId c = a.addCounter(2, CounterMode::kLatch, true, 1);
+    a.addEdge(s, c);
+    ElementId r = a.addSte(CharSet::single('r'),
+                           StartType::kAllInput);
+    a.addResetEdge(r, c);
+    PruneResult p = pruneDeadStates(a);
+    EXPECT_EQ(p.removed, 0u);
+}
+
+TEST(Widen, DoublesStatesAndMovesReports)
+{
+    Automaton a("t");
+    addLiteral(a, "ab", StartType::kAllInput, true, 3);
+    Automaton w = widen(a);
+    EXPECT_EQ(w.size(), 4u);
+    // Reports live on the zero shadows.
+    int reporting = 0;
+    for (ElementId i = 0; i < w.size(); ++i) {
+        if (w.element(i).reporting) {
+            ++reporting;
+            EXPECT_TRUE(w.element(i).symbols.test(0));
+            EXPECT_EQ(w.element(i).symbols.count(), 1);
+        }
+    }
+    EXPECT_EQ(reporting, 1);
+}
+
+TEST(Widen, MatchesInterleavedInput)
+{
+    Automaton a("t");
+    addLiteral(a, "abc", StartType::kAllInput, true, 1);
+    Automaton w = widen(a);
+    NfaEngine e(w);
+    auto wide = widenInput(bytes("xxabcx"));
+    auto r = e.simulate(wide);
+    ASSERT_EQ(r.reportCount, 1u);
+    // Report lands on the zero byte after 'c': offset of 'c' is
+    // 2*4 = 8, zero at 9.
+    EXPECT_EQ(r.reports[0].offset, 9u);
+    // And the narrow input does not match the widened automaton.
+    EXPECT_EQ(e.simulate(bytes("xxabcx")).reportCount, 0u);
+}
+
+/** Property: widened automaton on widened input reports exactly the
+ *  original's matches at doubled offsets (+1). */
+class WidenProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(WidenProperty, EquivalentOnInterleavedInputs)
+{
+    Rng rng(9500 + GetParam());
+    static const char *kPatterns[] = {"ab", "a.c", "ab+c", "a[bc]d",
+                                      "abc|bcd"};
+    Automaton a("t");
+    appendRegex(
+        a, parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+        7);
+    Automaton w = widen(a);
+    NfaEngine narrow(a), wide(w);
+    for (int t = 0; t < 5; ++t) {
+        std::string text = rng.randomString(1 + rng.nextBelow(30),
+                                            "abcd");
+        auto in = bytes(text);
+        auto rn = narrow.simulate(in);
+        auto rw = wide.simulate(widenInput(in));
+        std::set<uint64_t> expect, got;
+        for (const auto &rep : rn.reports)
+            expect.insert(rep.offset * 2 + 1);
+        for (const auto &rep : rw.reports)
+            got.insert(rep.offset);
+        ASSERT_EQ(got, expect) << "text '" << text << "'";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WidenProperty, testing::Range(0, 20));
+
+TEST(Pad, AppendsInertTail)
+{
+    Automaton a("t");
+    addLiteral(a, "ab", StartType::kAllInput, true, 1);
+    const size_t before = a.size();
+    size_t added = padReportingTails(a, 4, CharSet::all());
+    EXPECT_EQ(added, 4u);
+    EXPECT_EQ(a.size(), before + 4);
+
+    // Language unchanged; activity increased.
+    Automaton plain("p");
+    addLiteral(plain, "ab", StartType::kAllInput, true, 1);
+    auto in = bytes("ababxxab");
+    EXPECT_EQ(reportEvents(a, in), reportEvents(plain, in));
+
+    NfaEngine padded(a), bare(plain);
+    EXPECT_GT(padded.simulate(in).totalEnabled,
+              bare.simulate(in).totalEnabled);
+}
+
+} // namespace
+} // namespace azoo

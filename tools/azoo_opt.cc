@@ -1,0 +1,92 @@
+/**
+ * @file
+ * azoo_opt: optimize / transform / convert automata files.
+ *
+ * Usage:
+ *   azoo_opt --in x.anml --out y.mnrl
+ *            [--pass prefix|suffix|full|prune|widen]...
+ *
+ * The output format is inferred from the --out extension, so with no
+ * passes this is a pure format converter. Passes apply left to right
+ * (the flag may be a comma-separated list).
+ */
+
+#include <iostream>
+
+#include "core/anml.hh"
+#include "core/mnrl.hh"
+#include "core/serialize.hh"
+#include "transform/prefix_merge.hh"
+#include "transform/prune.hh"
+#include "transform/suffix_merge.hh"
+#include "transform/widen.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+using namespace azoo;
+
+namespace {
+
+Automaton
+loadAny(const std::string &path)
+{
+    if (path.size() >= 5 && path.rfind(".mnrl") == path.size() - 5)
+        return loadMnrl(path);
+    if (path.size() >= 5 && path.rfind(".anml") == path.size() - 5)
+        return loadAnml(path);
+    return loadAzml(path);
+}
+
+void
+saveAny(const std::string &path, const Automaton &a)
+{
+    if (path.size() >= 5 && path.rfind(".mnrl") == path.size() - 5)
+        saveMnrl(path, a);
+    else if (path.size() >= 5 && path.rfind(".anml") == path.size() - 5)
+        saveAnml(path, a);
+    else
+        saveAzml(path, a);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, {"in", "out", "pass"});
+    const std::string in = cli.get("in");
+    const std::string out = cli.get("out");
+    if (in.empty() || out.empty())
+        fatal("azoo_opt: --in and --out are required");
+
+    Automaton a = loadAny(in);
+    std::cout << "loaded " << a.size() << " elements from " << in
+              << "\n";
+
+    for (const std::string &pass : split(cli.get("pass", ""), ',')) {
+        if (pass.empty())
+            continue;
+        const size_t before = a.size();
+        if (pass == "prefix") {
+            a = prefixMerge(a).automaton;
+        } else if (pass == "suffix") {
+            a = suffixMerge(a).automaton;
+        } else if (pass == "full") {
+            a = fullMerge(a).automaton;
+        } else if (pass == "prune") {
+            a = pruneDeadStates(a).automaton;
+        } else if (pass == "widen") {
+            a = widen(a);
+        } else {
+            fatal(cat("azoo_opt: unknown pass '", pass,
+                      "' (prefix|suffix|full|prune|widen)"));
+        }
+        std::cout << "pass " << pass << ": " << before << " -> "
+                  << a.size() << " elements\n";
+    }
+
+    saveAny(out, a);
+    std::cout << "wrote " << out << "\n";
+    return 0;
+}
