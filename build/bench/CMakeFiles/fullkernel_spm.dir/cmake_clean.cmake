@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fullkernel_spm.dir/fullkernel_spm.cc.o"
+  "CMakeFiles/fullkernel_spm.dir/fullkernel_spm.cc.o.d"
+  "fullkernel_spm"
+  "fullkernel_spm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fullkernel_spm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

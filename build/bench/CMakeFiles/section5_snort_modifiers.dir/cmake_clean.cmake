@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section5_snort_modifiers.dir/section5_snort_modifiers.cc.o"
+  "CMakeFiles/section5_snort_modifiers.dir/section5_snort_modifiers.cc.o.d"
+  "section5_snort_modifiers"
+  "section5_snort_modifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section5_snort_modifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

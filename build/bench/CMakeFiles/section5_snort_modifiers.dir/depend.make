@@ -1,0 +1,2 @@
+# Empty dependencies file for section5_snort_modifiers.
+# This may be replaced when dependencies are built.

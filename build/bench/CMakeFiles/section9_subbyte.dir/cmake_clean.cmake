@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section9_subbyte.dir/section9_subbyte.cc.o"
+  "CMakeFiles/section9_subbyte.dir/section9_subbyte.cc.o.d"
+  "section9_subbyte"
+  "section9_subbyte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section9_subbyte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

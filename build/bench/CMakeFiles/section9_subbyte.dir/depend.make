@@ -1,0 +1,2 @@
+# Empty dependencies file for section9_subbyte.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_randomforest_variants.dir/table2_randomforest_variants.cc.o"
+  "CMakeFiles/table2_randomforest_variants.dir/table2_randomforest_variants.cc.o.d"
+  "table2_randomforest_variants"
+  "table2_randomforest_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_randomforest_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

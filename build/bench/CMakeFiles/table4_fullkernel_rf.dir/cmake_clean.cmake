@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fullkernel_rf.dir/table4_fullkernel_rf.cc.o"
+  "CMakeFiles/table4_fullkernel_rf.dir/table4_fullkernel_rf.cc.o.d"
+  "table4_fullkernel_rf"
+  "table4_fullkernel_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fullkernel_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

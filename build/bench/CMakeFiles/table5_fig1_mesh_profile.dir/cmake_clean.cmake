@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fig1_mesh_profile.dir/table5_fig1_mesh_profile.cc.o"
+  "CMakeFiles/table5_fig1_mesh_profile.dir/table5_fig1_mesh_profile.cc.o.d"
+  "table5_fig1_mesh_profile"
+  "table5_fig1_mesh_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fig1_mesh_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

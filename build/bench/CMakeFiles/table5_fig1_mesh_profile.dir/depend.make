@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_fig1_mesh_profile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_offtarget.dir/dna_offtarget.cpp.o"
+  "CMakeFiles/dna_offtarget.dir/dna_offtarget.cpp.o.d"
+  "dna_offtarget"
+  "dna_offtarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_offtarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_recovery.dir/file_recovery.cpp.o"
+  "CMakeFiles/file_recovery.dir/file_recovery.cpp.o.d"
+  "file_recovery"
+  "file_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

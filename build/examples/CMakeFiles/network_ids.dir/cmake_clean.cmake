@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_ids.dir/network_ids.cpp.o"
+  "CMakeFiles/network_ids.dir/network_ids.cpp.o.d"
+  "network_ids"
+  "network_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

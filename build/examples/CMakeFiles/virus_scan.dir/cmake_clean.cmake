@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_scan.dir/virus_scan.cpp.o"
+  "CMakeFiles/virus_scan.dir/virus_scan.cpp.o.d"
+  "virus_scan"
+  "virus_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bits/bit_builder.cc" "src/CMakeFiles/azoo.dir/bits/bit_builder.cc.o" "gcc" "src/CMakeFiles/azoo.dir/bits/bit_builder.cc.o.d"
+  "/root/repo/src/core/anml.cc" "src/CMakeFiles/azoo.dir/core/anml.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/anml.cc.o.d"
+  "/root/repo/src/core/automaton.cc" "src/CMakeFiles/azoo.dir/core/automaton.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/automaton.cc.o.d"
+  "/root/repo/src/core/builder.cc" "src/CMakeFiles/azoo.dir/core/builder.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/builder.cc.o.d"
+  "/root/repo/src/core/charset.cc" "src/CMakeFiles/azoo.dir/core/charset.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/charset.cc.o.d"
+  "/root/repo/src/core/dot.cc" "src/CMakeFiles/azoo.dir/core/dot.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/dot.cc.o.d"
+  "/root/repo/src/core/mnrl.cc" "src/CMakeFiles/azoo.dir/core/mnrl.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/mnrl.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/azoo.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/serialize.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/azoo.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/azoo.dir/core/stats.cc.o.d"
+  "/root/repo/src/engine/multidfa_engine.cc" "src/CMakeFiles/azoo.dir/engine/multidfa_engine.cc.o" "gcc" "src/CMakeFiles/azoo.dir/engine/multidfa_engine.cc.o.d"
+  "/root/repo/src/engine/nfa_engine.cc" "src/CMakeFiles/azoo.dir/engine/nfa_engine.cc.o" "gcc" "src/CMakeFiles/azoo.dir/engine/nfa_engine.cc.o.d"
+  "/root/repo/src/engine/placement.cc" "src/CMakeFiles/azoo.dir/engine/placement.cc.o" "gcc" "src/CMakeFiles/azoo.dir/engine/placement.cc.o.d"
+  "/root/repo/src/engine/spatial_model.cc" "src/CMakeFiles/azoo.dir/engine/spatial_model.cc.o" "gcc" "src/CMakeFiles/azoo.dir/engine/spatial_model.cc.o.d"
+  "/root/repo/src/engine/streaming.cc" "src/CMakeFiles/azoo.dir/engine/streaming.cc.o" "gcc" "src/CMakeFiles/azoo.dir/engine/streaming.cc.o.d"
+  "/root/repo/src/input/corpus.cc" "src/CMakeFiles/azoo.dir/input/corpus.cc.o" "gcc" "src/CMakeFiles/azoo.dir/input/corpus.cc.o.d"
+  "/root/repo/src/input/diskimage.cc" "src/CMakeFiles/azoo.dir/input/diskimage.cc.o" "gcc" "src/CMakeFiles/azoo.dir/input/diskimage.cc.o.d"
+  "/root/repo/src/input/dna.cc" "src/CMakeFiles/azoo.dir/input/dna.cc.o" "gcc" "src/CMakeFiles/azoo.dir/input/dna.cc.o.d"
+  "/root/repo/src/input/malware.cc" "src/CMakeFiles/azoo.dir/input/malware.cc.o" "gcc" "src/CMakeFiles/azoo.dir/input/malware.cc.o.d"
+  "/root/repo/src/input/names.cc" "src/CMakeFiles/azoo.dir/input/names.cc.o" "gcc" "src/CMakeFiles/azoo.dir/input/names.cc.o.d"
+  "/root/repo/src/input/pcap.cc" "src/CMakeFiles/azoo.dir/input/pcap.cc.o" "gcc" "src/CMakeFiles/azoo.dir/input/pcap.cc.o.d"
+  "/root/repo/src/input/protein.cc" "src/CMakeFiles/azoo.dir/input/protein.cc.o" "gcc" "src/CMakeFiles/azoo.dir/input/protein.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/CMakeFiles/azoo.dir/ml/dataset.cc.o" "gcc" "src/CMakeFiles/azoo.dir/ml/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/azoo.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/azoo.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/azoo.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/azoo.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/regex/ast.cc" "src/CMakeFiles/azoo.dir/regex/ast.cc.o" "gcc" "src/CMakeFiles/azoo.dir/regex/ast.cc.o.d"
+  "/root/repo/src/regex/backtrack.cc" "src/CMakeFiles/azoo.dir/regex/backtrack.cc.o" "gcc" "src/CMakeFiles/azoo.dir/regex/backtrack.cc.o.d"
+  "/root/repo/src/regex/glushkov.cc" "src/CMakeFiles/azoo.dir/regex/glushkov.cc.o" "gcc" "src/CMakeFiles/azoo.dir/regex/glushkov.cc.o.d"
+  "/root/repo/src/regex/parser.cc" "src/CMakeFiles/azoo.dir/regex/parser.cc.o" "gcc" "src/CMakeFiles/azoo.dir/regex/parser.cc.o.d"
+  "/root/repo/src/transform/pad.cc" "src/CMakeFiles/azoo.dir/transform/pad.cc.o" "gcc" "src/CMakeFiles/azoo.dir/transform/pad.cc.o.d"
+  "/root/repo/src/transform/prefix_merge.cc" "src/CMakeFiles/azoo.dir/transform/prefix_merge.cc.o" "gcc" "src/CMakeFiles/azoo.dir/transform/prefix_merge.cc.o.d"
+  "/root/repo/src/transform/prune.cc" "src/CMakeFiles/azoo.dir/transform/prune.cc.o" "gcc" "src/CMakeFiles/azoo.dir/transform/prune.cc.o.d"
+  "/root/repo/src/transform/stride.cc" "src/CMakeFiles/azoo.dir/transform/stride.cc.o" "gcc" "src/CMakeFiles/azoo.dir/transform/stride.cc.o.d"
+  "/root/repo/src/transform/suffix_merge.cc" "src/CMakeFiles/azoo.dir/transform/suffix_merge.cc.o" "gcc" "src/CMakeFiles/azoo.dir/transform/suffix_merge.cc.o.d"
+  "/root/repo/src/transform/widen.cc" "src/CMakeFiles/azoo.dir/transform/widen.cc.o" "gcc" "src/CMakeFiles/azoo.dir/transform/widen.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/CMakeFiles/azoo.dir/util/cli.cc.o" "gcc" "src/CMakeFiles/azoo.dir/util/cli.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/azoo.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/azoo.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/azoo.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/azoo.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/azoo.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/azoo.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/azoo.dir/util/table.cc.o" "gcc" "src/CMakeFiles/azoo.dir/util/table.cc.o.d"
+  "/root/repo/src/zoo/apprng.cc" "src/CMakeFiles/azoo.dir/zoo/apprng.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/apprng.cc.o.d"
+  "/root/repo/src/zoo/benchmark.cc" "src/CMakeFiles/azoo.dir/zoo/benchmark.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/benchmark.cc.o.d"
+  "/root/repo/src/zoo/brill.cc" "src/CMakeFiles/azoo.dir/zoo/brill.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/brill.cc.o.d"
+  "/root/repo/src/zoo/clamav.cc" "src/CMakeFiles/azoo.dir/zoo/clamav.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/clamav.cc.o.d"
+  "/root/repo/src/zoo/crispr.cc" "src/CMakeFiles/azoo.dir/zoo/crispr.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/crispr.cc.o.d"
+  "/root/repo/src/zoo/entity.cc" "src/CMakeFiles/azoo.dir/zoo/entity.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/entity.cc.o.d"
+  "/root/repo/src/zoo/filecarve.cc" "src/CMakeFiles/azoo.dir/zoo/filecarve.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/filecarve.cc.o.d"
+  "/root/repo/src/zoo/mesh.cc" "src/CMakeFiles/azoo.dir/zoo/mesh.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/mesh.cc.o.d"
+  "/root/repo/src/zoo/protomata.cc" "src/CMakeFiles/azoo.dir/zoo/protomata.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/protomata.cc.o.d"
+  "/root/repo/src/zoo/randomforest.cc" "src/CMakeFiles/azoo.dir/zoo/randomforest.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/randomforest.cc.o.d"
+  "/root/repo/src/zoo/registry.cc" "src/CMakeFiles/azoo.dir/zoo/registry.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/registry.cc.o.d"
+  "/root/repo/src/zoo/seqmatch.cc" "src/CMakeFiles/azoo.dir/zoo/seqmatch.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/seqmatch.cc.o.d"
+  "/root/repo/src/zoo/snort.cc" "src/CMakeFiles/azoo.dir/zoo/snort.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/snort.cc.o.d"
+  "/root/repo/src/zoo/yara.cc" "src/CMakeFiles/azoo.dir/zoo/yara.cc.o" "gcc" "src/CMakeFiles/azoo.dir/zoo/yara.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for azoo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_automaton.dir/test_automaton.cc.o"
+  "CMakeFiles/test_automaton.dir/test_automaton.cc.o.d"
+  "test_automaton"
+  "test_automaton.pdb"
+  "test_automaton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_automaton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charset.dir/test_charset.cc.o"
+  "CMakeFiles/test_charset.dir/test_charset.cc.o.d"
+  "test_charset"
+  "test_charset.pdb"
+  "test_charset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

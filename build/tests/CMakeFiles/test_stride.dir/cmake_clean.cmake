@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stride.dir/test_stride.cc.o"
+  "CMakeFiles/test_stride.dir/test_stride.cc.o.d"
+  "test_stride"
+  "test_stride.pdb"
+  "test_stride[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azoo_gen.dir/azoo_gen.cc.o"
+  "CMakeFiles/azoo_gen.dir/azoo_gen.cc.o.d"
+  "azoo_gen"
+  "azoo_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azoo_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azoo_opt.dir/azoo_opt.cc.o"
+  "CMakeFiles/azoo_opt.dir/azoo_opt.cc.o.d"
+  "azoo_opt"
+  "azoo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azoo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

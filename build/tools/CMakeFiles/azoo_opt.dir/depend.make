@@ -1,0 +1,2 @@
+# Empty dependencies file for azoo_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/azoo_run.dir/azoo_run.cc.o"
+  "CMakeFiles/azoo_run.dir/azoo_run.cc.o.d"
+  "azoo_run"
+  "azoo_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/azoo_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_pipeline "sh" "-c" "set -e;         /root/repo/build/tools/azoo_gen --list > /dev/null;         /root/repo/build/tools/azoo_gen --name Protomata --out /root/repo/build/tools/proto --format mnrl --scale 0.01 --input 65536;         /root/repo/build/tools/azoo_opt --in /root/repo/build/tools/proto.mnrl --out /root/repo/build/tools/proto.anml --pass full,prune;         /root/repo/build/tools/azoo_run --automaton /root/repo/build/tools/proto.anml --input /root/repo/build/tools/proto.input --engine nfa --by-code;         /root/repo/build/tools/azoo_run --automaton /root/repo/build/tools/proto.mnrl --input /root/repo/build/tools/proto.input --engine dfa")
+set_tests_properties(tools_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
