@@ -10,6 +10,8 @@
  *                (default 256 KiB; capped at --input)
  *   --seed X     generation seed (default 42)
  *   --full       paper-scale sizes (slow; hours for Table I)
+ *   --threads N  worker threads for benches that parallelize
+ *                generation or simulation (default 1)
  */
 
 #ifndef AZOO_BENCH_COMMON_HH
@@ -28,6 +30,7 @@ namespace bench {
 struct BenchConfig {
     zoo::ZooConfig zoo;
     size_t simBytes = 256 * 1024;
+    size_t threads = 1;
 };
 
 inline BenchConfig
@@ -35,7 +38,7 @@ parseBenchFlags(int argc, char **argv,
                 std::vector<std::string> extra_flags = {})
 {
     std::vector<std::string> known = {"scale", "input", "sim", "seed",
-                                      "full"};
+                                      "full", "threads"};
     known.insert(known.end(), extra_flags.begin(), extra_flags.end());
     Cli cli(argc, argv, known);
 
@@ -50,6 +53,9 @@ parseBenchFlags(int argc, char **argv,
         cli.getInt("sim", 256 * 1024));
     if (cfg.simBytes > cfg.zoo.inputBytes)
         cfg.simBytes = cfg.zoo.inputBytes;
+    cfg.threads = static_cast<size_t>(cli.getInt("threads", 1));
+    if (cfg.threads == 0)
+        cfg.threads = 1;
     return cfg;
 }
 

@@ -75,7 +75,21 @@ main(int argc, char **argv)
 
     std::cout << "Table I: AutomataZoo benchmarks (scale="
               << cfg.zoo.scale << ", input=" << cfg.zoo.inputBytes
-              << "B, sim=" << cfg.simBytes << "B)\n\n";
+              << "B, sim=" << cfg.simBytes << "B, threads="
+              << cfg.threads << ")\n\n";
+
+    // Generate the whole suite up front, fanned out over --threads
+    // workers; buildSuite is deterministic, so the table is identical
+    // at any thread count.
+    std::vector<std::string> names;
+    for (const auto &info : zoo::allBenchmarks())
+        names.push_back(info.name);
+    Timer genTimer;
+    std::vector<zoo::Benchmark> suite =
+        zoo::buildSuite(names, cfg.zoo, cfg.threads);
+    std::cerr << "  [generated " << suite.size() << " benchmarks in "
+              << Table::fixed(genTimer.seconds(), 1) << "s on "
+              << cfg.threads << " threads]\n";
 
     Table t({"Benchmark", "States", "Edges", "Edges/Node", "Subgraphs",
              "Avg.Size", "Std.Dev", "Compr.States", "Compr.Factor",
@@ -83,9 +97,10 @@ main(int argc, char **argv)
     Table shape({"Benchmark", "Avg.Size", "(paper)", "Edges/Node",
                  "(paper)", "Act/1kStates", "(paper)"});
 
-    for (const auto &info : zoo::allBenchmarks()) {
+    for (size_t bi = 0; bi < suite.size(); ++bi) {
+        const auto &info = zoo::allBenchmarks()[bi];
         Timer timer;
-        zoo::Benchmark b = info.make(cfg.zoo);
+        zoo::Benchmark &b = suite[bi];
         GraphStats s = computeStats(b.automaton);
 
         MergeResult merged = prefixMerge(b.automaton);

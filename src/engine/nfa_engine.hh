@@ -27,7 +27,10 @@ namespace azoo {
  *
  * The automaton must outlive the engine. Construction flattens the
  * adjacency into CSR arrays; simulate() can be called repeatedly and
- * is internally stateless between calls.
+ * is internally stateless between calls. All per-run state lives on
+ * simulate()'s stack, so one engine may be shared by any number of
+ * threads simulating concurrently (ParallelRunner's batch mode relies
+ * on this).
  */
 class NfaEngine
 {

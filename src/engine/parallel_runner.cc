@@ -1,0 +1,226 @@
+#include "engine/parallel_runner.hh"
+
+#include <numeric>
+
+#include "engine/streaming.hh"
+#include "util/thread_pool.hh"
+
+namespace azoo {
+
+namespace {
+
+/** Union-find over element ids. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    uint32_t
+    find(uint32_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    unite(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[b] = a;
+    }
+
+  private:
+    std::vector<uint32_t> parent_;
+};
+
+} // namespace
+
+ParallelRunner::ParallelRunner(const Automaton &a, ParallelOptions opts)
+    : a_(a), opts_(std::move(opts)), engine_(a)
+{
+    const size_t threads =
+        opts_.threads ? opts_.threads : ThreadPool::hardwareThreads();
+    pool_ = std::make_unique<ThreadPool>(threads);
+    buildShards(threads);
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+size_t
+ParallelRunner::threads() const
+{
+    return pool_->size();
+}
+
+void
+ParallelRunner::buildShards(size_t groups)
+{
+    const size_t n = a_.size();
+    if (n == 0)
+        return;
+
+    // Components over activation *and* reset edges: a counter must
+    // stay in the same shard as everything that counts or resets it.
+    UnionFind uf(n);
+    for (ElementId i = 0; i < n; ++i) {
+        for (auto t : a_.element(i).out)
+            uf.unite(i, t);
+        for (auto t : a_.element(i).resetOut)
+            uf.unite(i, t);
+    }
+
+    // Component sizes, keyed by root.
+    std::vector<uint32_t> compOf(n);
+    std::vector<uint32_t> roots;
+    std::vector<uint64_t> compSize;
+    std::vector<uint32_t> compIndex(n, ~uint32_t(0));
+    for (ElementId i = 0; i < n; ++i) {
+        const uint32_t r = uf.find(i);
+        if (compIndex[r] == ~uint32_t(0)) {
+            compIndex[r] = static_cast<uint32_t>(roots.size());
+            roots.push_back(r);
+            compSize.push_back(0);
+        }
+        compOf[i] = compIndex[r];
+        ++compSize[compIndex[r]];
+    }
+
+    // LPT: biggest component first into the currently lightest shard.
+    const size_t g = std::min(groups, roots.size());
+    std::vector<uint32_t> order(roots.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                         return compSize[a] > compSize[b];
+                     });
+    std::vector<uint64_t> load(g, 0);
+    std::vector<uint32_t> shardOf(roots.size());
+    for (uint32_t c : order) {
+        const size_t s = static_cast<size_t>(
+            std::min_element(load.begin(), load.end()) - load.begin());
+        shardOf[c] = static_cast<uint32_t>(s);
+        load[s] += compSize[c];
+    }
+
+    // Materialize the shard sub-automata, elements in original id
+    // order so per-shard behaviour is reproducible.
+    shards_.resize(g);
+    std::vector<ElementId> localId(n);
+    for (ElementId i = 0; i < n; ++i) {
+        Shard &sh = shards_[shardOf[compOf[i]]];
+        const Element &e = a_.element(i);
+        ElementId id;
+        if (e.kind == ElementKind::kCounter)
+            id = sh.sub.addCounter(e.target, e.mode, e.reporting,
+                                   e.reportCode);
+        else
+            id = sh.sub.addSte(e.symbols, e.start, e.reporting,
+                               e.reportCode);
+        localId[i] = id;
+        sh.origId.push_back(i);
+    }
+    for (ElementId i = 0; i < n; ++i) {
+        Automaton &sub = shards_[shardOf[compOf[i]]].sub;
+        for (auto t : a_.element(i).out)
+            sub.addEdge(localId[i], localId[t]);
+        for (auto t : a_.element(i).resetOut)
+            sub.addResetEdge(localId[i], localId[t]);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+        shards_[s].sub.setName(a_.name() + "/shard" +
+                               std::to_string(s));
+        shards_[s].engine =
+            std::make_unique<NfaEngine>(shards_[s].sub);
+    }
+}
+
+BatchResult
+ParallelRunner::runBatch(
+    const std::vector<std::vector<uint8_t>> &streams) const
+{
+    BatchResult out;
+    out.perStream.resize(streams.size());
+    pool_->parallelFor(streams.size(), [&](size_t i) {
+        if (opts_.chunkBytes == 0) {
+            out.perStream[i] = engine_.simulate(streams[i], opts_.sim);
+        } else {
+            StreamingSession sess(a_);
+            sess.options = opts_.sim;
+            const auto &in = streams[i];
+            for (size_t pos = 0; pos < in.size();
+                 pos += opts_.chunkBytes) {
+                sess.feed(in.data() + pos,
+                          std::min(opts_.chunkBytes, in.size() - pos));
+            }
+            out.perStream[i] = sess.results();
+        }
+        canonicalizeReports(out.perStream[i]);
+    });
+    for (const SimResult &r : out.perStream) {
+        out.totalSymbols += r.symbols;
+        out.totalReports += r.reportCount;
+    }
+    return out;
+}
+
+SimResult
+ParallelRunner::simulateSharded(const uint8_t *input, size_t len) const
+{
+    SimResult merged;
+    merged.symbols = len;
+    if (shards_.empty())
+        return merged;
+
+    // Shards record every report internally (the merge needs full
+    // offset streams to reconstruct reportingCycles and byCode
+    // exactly); the caller's recording options apply after the merge.
+    SimOptions inner;
+    inner.recordReports = true;
+    inner.reportRecordLimit = ~uint64_t(0);
+    inner.countByCode = false;
+    inner.computeActiveSet = opts_.sim.computeActiveSet;
+
+    std::vector<SimResult> parts(shards_.size());
+    pool_->parallelFor(shards_.size(), [&](size_t s) {
+        parts[s] = shards_[s].engine->simulate(input, len, inner);
+        for (Report &r : parts[s].reports)
+            r.element = shards_[s].origId[r.element];
+    });
+
+    for (const SimResult &p : parts) {
+        merged.reportCount += p.reportCount;
+        merged.totalEnabled += p.totalEnabled;
+        merged.reports.insert(merged.reports.end(), p.reports.begin(),
+                              p.reports.end());
+    }
+    std::sort(merged.reports.begin(), merged.reports.end());
+
+    // A reporting cycle is a distinct offset in the full report
+    // stream (the serial engine counts cycles with >= 1 report).
+    uint64_t lastOffset = ~uint64_t(0);
+    for (const Report &r : merged.reports) {
+        if (r.offset != lastOffset) {
+            ++merged.reportingCycles;
+            lastOffset = r.offset;
+        }
+        if (opts_.sim.countByCode)
+            ++merged.byCode[r.code];
+    }
+
+    if (!opts_.sim.recordReports)
+        merged.reports.clear();
+    else if (merged.reports.size() > opts_.sim.reportRecordLimit)
+        merged.reports.resize(
+            static_cast<size_t>(opts_.sim.reportRecordLimit));
+    return merged;
+}
+
+} // namespace azoo

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * ParallelRunner: multi-threaded automata simulation with serial
+ * semantics.
+ *
+ * The suite's engines are single-threaded by design; this layer
+ * shards work along the two axes the workloads naturally expose:
+ *
+ *  - **Stream-level** (runBatch): a batch of independent input
+ *    streams (packets, disk-image chunks, DNA reads) fans out across
+ *    the pool. NfaEngine::simulate() is const and stateless, so all
+ *    workers share one engine; chunked mode gives each stream its own
+ *    StreamingSession.
+ *
+ *  - **Component-level** (simulateSharded): the automaton's connected
+ *    components (activation *and* reset edges, so counters never
+ *    split from their enable/reset sources) are packed into one shard
+ *    per thread by size-balanced LPT, and each shard simulates the
+ *    same input concurrently.
+ *
+ * Determinism guarantee: results are *canonical* — per stream,
+ * reports are sorted by (offset, element, code); a batch is ordered
+ * by stream index. Canonical output is identical for every thread
+ * count, and equals the serial engine's output after
+ * canonicalizeReports() (the serial engine emits same-cycle reports
+ * in internal propagation order, which the canonical order
+ * normalizes). Aggregate counters (reportCount, totalEnabled,
+ * reportingCycles, byCode) match the serial engine exactly.
+ */
+
+#ifndef AZOO_ENGINE_PARALLEL_RUNNER_HH
+#define AZOO_ENGINE_PARALLEL_RUNNER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/automaton.hh"
+#include "engine/nfa_engine.hh"
+#include "engine/report.hh"
+
+namespace azoo {
+
+class ThreadPool;
+
+/** Sort recorded reports into the canonical (offset, element, code)
+ *  order all parallel paths emit. Apply to a serial SimResult before
+ *  comparing it against ParallelRunner output. */
+inline void
+canonicalizeReports(SimResult &r)
+{
+    std::sort(r.reports.begin(), r.reports.end());
+}
+
+/** Configuration for a ParallelRunner. */
+struct ParallelOptions {
+    /** Worker threads; 0 means all hardware threads. */
+    size_t threads = 0;
+    /** Batch mode: feed each stream through a StreamingSession in
+     *  chunks of this many bytes (0 = one monolithic simulate()).
+     *  Chunking never changes results; it exists to exercise and
+     *  measure the streaming path under parallelism. */
+    size_t chunkBytes = 0;
+    /** Per-stream simulation options. */
+    SimOptions sim;
+};
+
+/** Outcome of a batch run; perStream[i] belongs to streams[i]. */
+struct BatchResult {
+    std::vector<SimResult> perStream;
+    uint64_t totalSymbols = 0;
+    uint64_t totalReports = 0;
+};
+
+/**
+ * Parallel driver over a borrowed automaton.
+ *
+ * The automaton must outlive the runner (same borrow rule as the
+ * engines). Construction compiles one whole-automaton NfaEngine for
+ * batch mode and one engine per component shard for sharded mode;
+ * runBatch()/simulateSharded() can then be called repeatedly (but not
+ * concurrently with each other from multiple threads — the runner
+ * owns one pool).
+ */
+class ParallelRunner
+{
+  public:
+    explicit ParallelRunner(const Automaton &a,
+                            ParallelOptions opts = ParallelOptions());
+    ~ParallelRunner();
+
+    /** Worker threads actually running. */
+    size_t threads() const;
+
+    /** Component shards built for simulateSharded(). */
+    size_t shardCount() const { return shards_.size(); }
+
+    /** Simulate each stream independently; canonical per-stream
+     *  results in input order, identical for any thread count. */
+    BatchResult
+    runBatch(const std::vector<std::vector<uint8_t>> &streams) const;
+
+    /** Simulate one input with the automaton sharded by connected
+     *  components; canonical result identical to the (canonicalized)
+     *  serial NfaEngine result. */
+    SimResult simulateSharded(const uint8_t *input, size_t len) const;
+
+    SimResult
+    simulateSharded(const std::vector<uint8_t> &input) const
+    {
+        return simulateSharded(input.data(), input.size());
+    }
+
+  private:
+    struct Shard {
+        Automaton sub;
+        /** Shard-local element id -> id in the borrowed automaton. */
+        std::vector<ElementId> origId;
+        std::unique_ptr<NfaEngine> engine;
+    };
+
+    void buildShards(size_t groups);
+
+    const Automaton &a_;
+    ParallelOptions opts_;
+    std::unique_ptr<ThreadPool> pool_;
+    NfaEngine engine_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace azoo
+
+#endif // AZOO_ENGINE_PARALLEL_RUNNER_HH

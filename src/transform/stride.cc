@@ -54,8 +54,10 @@ strideToBytes(const Automaton &bit)
     // bit label, so adjacency is just the homogeneous out lists plus
     // root -> start states.
     const uint32_t root = static_cast<uint32_t>(n);
+    // Scratch kept outside the lambda (a function-local static here
+    // would be shared mutable state across concurrent stride calls).
+    std::vector<ElementId> root_succ;
     auto successors = [&](uint32_t u) -> const std::vector<ElementId> * {
-        static std::vector<ElementId> root_succ;
         if (u == root) {
             root_succ.clear();
             for (ElementId i = 0; i < n; ++i) {

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Work-stealing thread pool backing the parallel execution layer.
+ *
+ * Each worker owns a deque: post() distributes tasks round-robin,
+ * workers pop their own queue LIFO (cache locality) and steal FIFO
+ * from siblings when empty, so a batch of unequal-length streams
+ * balances itself without a central queue bottleneck. parallelFor()
+ * layers self-scheduling (a shared atomic index) on top, which is the
+ * right grain for the runner's per-stream / per-shard tasks.
+ *
+ * The pool deliberately has no futures or task graph: the callers in
+ * this codebase (ParallelRunner, zoo::buildSuite) always fan out a
+ * fixed set of independent jobs and barrier on all of them, which
+ * parallelFor expresses directly.
+ */
+
+#ifndef AZOO_UTIL_THREAD_POOL_HH
+#define AZOO_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace azoo {
+
+/**
+ * Fixed-size work-stealing pool.
+ *
+ * Worker count is fixed at construction; "N threads" in any
+ * measurement means exactly N workers compute while the submitting
+ * thread blocks. Tasks must not throw and must not call back into
+ * parallelFor() on the same pool (no nesting).
+ */
+class ThreadPool
+{
+  public:
+    /** @p threads workers; 0 means hardwareThreads(). */
+    explicit ThreadPool(size_t threads = 0);
+
+    /** Joins all workers after draining queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count. */
+    size_t size() const { return workers_.size(); }
+
+    /** Enqueue a task (round-robin across worker deques). */
+    void post(std::function<void()> task);
+
+    /**
+     * Run body(i) for every i in [0, n) on the workers and block
+     * until all calls finished. Iteration order across workers is
+     * unspecified; callers own any determinism (e.g. by writing
+     * results to slot i).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &body);
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static size_t hardwareThreads();
+
+  private:
+    struct WorkerQueue {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(size_t self);
+    bool tryPopOwn(size_t self, std::function<void()> &out);
+    bool trySteal(size_t self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sleepMutex_;
+    std::condition_variable wake_;
+    std::atomic<uint64_t> pending_{0}; ///< queued, not yet popped
+    std::atomic<uint64_t> nextQueue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_THREAD_POOL_HH

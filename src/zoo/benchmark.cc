@@ -1,4 +1,25 @@
 #include "zoo/benchmark.hh"
 
-// Currently header-only types; this translation unit anchors the
-// module for future out-of-line helpers.
+#include "util/thread_pool.hh"
+#include "zoo/registry.hh"
+
+namespace azoo {
+namespace zoo {
+
+std::vector<Benchmark>
+buildSuite(const std::vector<std::string> &names, const ZooConfig &cfg,
+           size_t threads)
+{
+    // Touch the registry before fanning out so workers only read it.
+    allBenchmarks();
+
+    std::vector<Benchmark> out(names.size());
+    ThreadPool pool(threads);
+    pool.parallelFor(names.size(), [&](size_t i) {
+        out[i] = makeBenchmark(names[i], cfg);
+    });
+    return out;
+}
+
+} // namespace zoo
+} // namespace azoo

@@ -62,6 +62,17 @@ struct Benchmark {
     std::map<std::string, std::string> meta;
 };
 
+/**
+ * Generate benchmarks by registry name on a thread pool (0 = all
+ * hardware threads). Every generator is a pure function of its
+ * ZooConfig, so the result is deterministic and identical to calling
+ * makeBenchmark() serially; results are returned in @p names order.
+ * fatal() on unknown names, like makeBenchmark().
+ */
+std::vector<Benchmark> buildSuite(const std::vector<std::string> &names,
+                                  const ZooConfig &cfg,
+                                  size_t threads = 0);
+
 } // namespace zoo
 } // namespace azoo
 
