@@ -18,6 +18,7 @@
 #include <iostream>
 #include <map>
 
+#include "analysis/analysis.hh"
 #include "bench/common.hh"
 #include "core/stats.hh"
 #include "engine/nfa_engine.hh"
@@ -37,6 +38,24 @@ struct PaperRow {
     double avgSize;
     double activeSet;
 };
+
+/**
+ * Lint-clean cell: "yes" when verify+lint produce no errors and no
+ * warnings, otherwise the count of the worst class present. Errors
+ * would mean a generator emitted a corrupt automaton (postVerify
+ * should have caught it first); warnings flag legal-but-redundant
+ * structure the optimizer passes can collapse.
+ */
+std::string
+lintCell(const Automaton &a)
+{
+    const analysis::Report rep = analysis::analyze(a);
+    if (rep.errors)
+        return cat(rep.errors, " err");
+    if (rep.warnings)
+        return cat(rep.warnings, " warn");
+    return "yes";
+}
 
 const std::map<std::string, PaperRow> kPaper = {
     {"Snort", {202043, 1.17, 81.27, 409.358}},
@@ -93,7 +112,7 @@ main(int argc, char **argv)
 
     Table t({"Benchmark", "States", "Edges", "Edges/Node", "Subgraphs",
              "Avg.Size", "Std.Dev", "Compr.States", "Compr.Factor",
-             "ActiveSet"});
+             "ActiveSet", "Lint"});
     Table shape({"Benchmark", "Avg.Size", "(paper)", "Edges/Node",
                  "(paper)", "Act/1kStates", "(paper)"});
 
@@ -119,7 +138,8 @@ main(int argc, char **argv)
                   Table::fixed(s.stdSubgraph, 2),
                   Table::num(merged.statesAfter),
                   Table::ratio(merged.reduction(), 2),
-                  Table::fixed(r.avgActiveSet(), 1)});
+                  Table::fixed(r.avgActiveSet(), 1),
+                  lintCell(b.automaton)});
 
         auto it = kPaper.find(info.name);
         if (it != kPaper.end() && total) {

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Static verifier and linter over the automata IR.
+ *
+ * AutomataZoo's value rests on the structural fidelity of its
+ * generated automata: a silently-corrupted automaton still "runs", it
+ * just computes the wrong language or wastes capacity. This module
+ * checks the invariants every producer (Glushkov compiler, the
+ * transform passes, the 24 zoo generators, the format readers) must
+ * preserve, and returns structured diagnostics instead of aborting,
+ * so drivers can render tables, gate CI, or panic as appropriate.
+ *
+ * Two entry points:
+ *
+ *  - verify() checks hard invariants. Error-severity findings mean
+ *    the automaton is structurally corrupt (dangling edges, counters
+ *    that can never count); warning-severity findings are legal but
+ *    almost always producer bugs (dead elements, report-code
+ *    collisions); notes are observations (start-of-data re-entry).
+ *  - lint() adds soft rules about capacity waste and mergeable
+ *    redundancy. Every rule can be disabled per-call via Options.
+ *
+ * postVerify() is the producer-side hook: transforms and generators
+ * call it as a post-condition. Errors panic() in debug builds
+ * (NDEBUG unset) and warn() once in release builds, so a broken pass
+ * fails loudly under test without costing release users an abort.
+ */
+
+#ifndef AZOO_ANALYSIS_ANALYSIS_HH
+#define AZOO_ANALYSIS_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+namespace analysis {
+
+/** How bad a finding is (see the file comment for the policy). */
+enum class Severity : uint8_t {
+    kError,   ///< structurally corrupt; simulation is meaningless
+    kWarning, ///< legal but almost certainly a producer bug
+    kNote,    ///< observation; legitimate patterns trip these
+};
+
+/** Every rule the verifier and linter know about. */
+enum class Rule : uint8_t {
+    // verify(): hard structural invariants.
+    kDanglingEdge,       ///< activation edge to an out-of-range id
+    kDanglingReset,      ///< reset edge to an out-of-range id
+    kResetNonCounter,    ///< reset edge targets a non-counter
+    kDuplicateEdge,      ///< repeated (from, to) activation edge
+    kDuplicateReset,     ///< repeated (from, to) reset edge
+    kEmptyCharset,       ///< STE whose symbol set matches nothing
+    kCounterSymbols,     ///< counter carries a symbol set
+    kCounterStart,       ///< counter has a start type
+    kCounterZeroTarget,  ///< counter target is zero
+    kCounterUnwired,     ///< counter with no count-enable predecessor
+    kCounterResetOverlap,///< same element counts and resets a counter
+    kUnreachable,        ///< not forward-reachable from any start
+    kDeadElement,        ///< no path to any reporting element
+    kNoStart,            ///< non-empty automaton with no start states
+    kNoReport,           ///< non-empty automaton that never reports
+    kReportCollision,    ///< one report code spans several subgraphs
+    kSodReentry,         ///< edge into a start-of-data state
+    kAcceptOnPadding,    ///< reporting STE matches the padding symbol
+    kWidenLayout,        ///< widened-layout discipline violated
+    // lint(): soft rules.
+    kParallelTwins,      ///< redundant parallel successors
+    kMergeableTwins,     ///< prefix-merge would collapse these
+    kLargeFanout,        ///< suspiciously large out-degree
+    kEdgeIntoAllInput,   ///< no-op edge into an always-enabled state
+};
+
+/** Number of distinct rules (for iteration in tables/tests). */
+constexpr size_t kRuleCount =
+    static_cast<size_t>(Rule::kEdgeIntoAllInput) + 1;
+
+/** Stable rule id, e.g. "V012" / "L102" (verify vs lint namespace). */
+const char *ruleId(Rule r);
+
+/** Human-readable kebab-case rule name, e.g. "dangling-edge". */
+const char *ruleName(Rule r);
+
+/** One-line rule description (for --list-rules and the docs). */
+const char *ruleDescription(Rule r);
+
+/** The severity a rule carries by default. */
+Severity defaultSeverity(Rule r);
+
+/** "error" | "warning" | "note". */
+const char *severityName(Severity s);
+
+/** One finding. */
+struct Diagnostic {
+    Severity severity = Severity::kError;
+    Rule rule = Rule::kDanglingEdge;
+    /** Primary element, or kNoElement for whole-automaton findings. */
+    ElementId element = kNoElement;
+    /** Secondary element (edge target, twin, ...), if any. */
+    ElementId other = kNoElement;
+    std::string message;
+};
+
+/** Per-call configuration; default-constructed = all rules on. */
+struct Options {
+    /**
+     * Padding symbol injected by an input-padding scheme, or -1.
+     * When >= 0 enables kAcceptOnPadding: a reporting STE whose
+     * symbol set contains the padding symbol can fire on padding
+     * rather than payload.
+     */
+    int paddingSymbol = -1;
+
+    /**
+     * Expect the exact layout widen() emits (state i -> 2i, its
+     * zero-shadow -> 2i+1). Enables kWidenLayout, which catches
+     * padding symbols leaking into accept paths: a reporting real
+     * state, a shadow matching more than the zero pad, or shadow
+     * chained directly into shadow.
+     */
+    bool widenedLayout = false;
+
+    /** Out-degree above which kLargeFanout fires. */
+    uint32_t fanoutThreshold = 256;
+
+    /** Per-rule kill switch (indexed by Rule). */
+    bool disabled[kRuleCount] = {};
+
+    void
+    disable(Rule r)
+    {
+        disabled[static_cast<size_t>(r)] = true;
+    }
+
+    bool
+    enabled(Rule r) const
+    {
+        return !disabled[static_cast<size_t>(r)];
+    }
+};
+
+/** Result of a verify()/lint()/analyze() run. */
+struct Report {
+    std::string automatonName;
+    std::vector<Diagnostic> diags;
+
+    size_t errors = 0;
+    size_t warnings = 0;
+    size_t notes = 0;
+
+    /** No error-severity findings (warnings/notes allowed). */
+    bool clean() const { return errors == 0; }
+
+    /** No findings at all. */
+    bool spotless() const { return diags.empty(); }
+
+    /** Number of findings for one rule. */
+    size_t count(Rule r) const;
+
+    /** True if rule @p r fired at least once. */
+    bool has(Rule r) const { return count(r) > 0; }
+
+    /** Append a finding and bump the severity tallies. */
+    void add(Severity sev, Rule rule, ElementId element, ElementId other,
+             std::string message);
+
+    /** Merge another report's findings into this one. */
+    void absorb(Report &&other);
+
+    /** "3 errors, 1 warning" style summary. */
+    std::string summary() const;
+};
+
+/** Check hard invariants; returns all findings, never aborts. */
+Report verify(const Automaton &a, const Options &opts = {});
+
+/** Soft rules only (capacity waste, mergeable redundancy). */
+Report lint(const Automaton &a, const Options &opts = {});
+
+/** verify() + lint() in one report. */
+Report analyze(const Automaton &a, const Options &opts = {});
+
+/**
+ * Producer post-condition: verify @p a and, if there are
+ * error-severity findings, panic() in debug builds or warn() once in
+ * release builds. @p stage names the producer ("prune", "widen",
+ * "zoo:Snort") for the message. Returns true when error-free.
+ */
+bool postVerify(const Automaton &a, const std::string &stage,
+                const Options &opts = {});
+
+} // namespace analysis
+} // namespace azoo
+
+#endif // AZOO_ANALYSIS_ANALYSIS_HH

@@ -1,0 +1,198 @@
+#include "analysis/analysis.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace analysis {
+
+namespace {
+
+/**
+ * Signature of an element for twin detection: everything that
+ * determines its behavior except its position in the graph.
+ */
+uint64_t
+signature(const Element &e)
+{
+    uint64_t h = e.symbols.hash();
+    h ^= static_cast<uint64_t>(e.kind) * 0x9e3779b97f4a7c15ULL;
+    h ^= static_cast<uint64_t>(e.start) * 0xc2b2ae3d27d4eb4fULL;
+    h ^= (e.reporting ? e.reportCode + 1 : 0) * 0x165667b19e3779f9ULL;
+    h ^= static_cast<uint64_t>(e.target) * 0x27d4eb2f165667c5ULL;
+    h ^= static_cast<uint64_t>(e.mode) * 0x94d049bb133111ebULL;
+    return h;
+}
+
+/**
+ * Successor set normalized for redundancy comparison: sorted,
+ * deduplicated, with self-loops mapped to a sentinel so that two
+ * self-looping twins compare equal.
+ */
+std::vector<ElementId>
+normalizedOut(const Element &e, ElementId self)
+{
+    std::vector<ElementId> v;
+    v.reserve(e.out.size());
+    for (auto t : e.out)
+        v.push_back(t == self ? kNoElement : t);
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+}
+
+bool
+sameSignature(const Element &x, const Element &y)
+{
+    return x.kind == y.kind && x.start == y.start &&
+           x.reporting == y.reporting &&
+           (!x.reporting || x.reportCode == y.reportCode) &&
+           x.symbols == y.symbols && x.target == y.target &&
+           x.mode == y.mode;
+}
+
+} // namespace
+
+Report
+lint(const Automaton &a, const Options &opts)
+{
+    Report rep;
+    rep.automatonName = a.name();
+    const size_t n = a.size();
+
+    auto add = [&](Rule r, ElementId element, ElementId other,
+                   std::string msg) {
+        if (opts.enabled(r))
+            rep.add(defaultSeverity(r), r, element, other,
+                    std::move(msg));
+    };
+
+    // Large fan-out.
+    for (ElementId i = 0; i < n; ++i) {
+        const size_t deg = a.element(i).out.size();
+        if (deg > opts.fanoutThreshold) {
+            add(Rule::kLargeFanout, i, kNoElement,
+                cat("element ", i, " has fan-out ", deg,
+                    " (threshold ", opts.fanoutThreshold, ")"));
+        }
+    }
+
+    // No-op edges into always-enabled states: flag each such target
+    // once, naming one offending predecessor.
+    std::vector<uint8_t> flagged(n, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        for (auto t : a.element(i).out) {
+            if (t < n && a.element(t).start == StartType::kAllInput &&
+                !flagged[t]) {
+                flagged[t] = 1;
+                add(Rule::kEdgeIntoAllInput, t, i,
+                    cat("all-input state ", t, " is always enabled; "
+                        "the edge from ", i, " has no effect"));
+            }
+        }
+    }
+
+    // Redundant parallel successors: successors of one element that
+    // are twins (same signature and same successor set, up to
+    // self-loops). Software engines simulate all of them for no
+    // gain; this is the redundancy prefix merge exists to collapse.
+    // One diagnostic per twin class, deduplicated across parents so
+    // a class shared by many predecessors is reported once.
+    std::set<std::pair<ElementId, ElementId>> reported_twins;
+    for (ElementId i = 0; i < n; ++i) {
+        const auto &out = a.element(i).out;
+        if (out.size() < 2)
+            continue;
+        std::vector<ElementId> succs;
+        succs.reserve(out.size());
+        for (auto t : out) {
+            if (t < n)
+                succs.push_back(t);
+        }
+        std::sort(succs.begin(), succs.end());
+        succs.erase(std::unique(succs.begin(), succs.end()),
+                    succs.end());
+        // Group by signature hash first so the quadratic confirm
+        // only runs within tiny buckets.
+        std::unordered_map<uint64_t, std::vector<ElementId>> buckets;
+        for (auto t : succs)
+            buckets[signature(a.element(t))].push_back(t);
+        for (auto &[hash, group] : buckets) {
+            (void)hash;
+            if (group.size() < 2)
+                continue;
+            // Partition the bucket into confirmed-equal classes.
+            std::vector<std::vector<ElementId>> classes;
+            for (const ElementId u : group) {
+                bool placed = false;
+                for (auto &cls : classes) {
+                    const ElementId v = cls.front();
+                    if (sameSignature(a.element(u), a.element(v)) &&
+                        normalizedOut(a.element(u), u) ==
+                            normalizedOut(a.element(v), v)) {
+                        cls.push_back(u);
+                        placed = true;
+                        break;
+                    }
+                }
+                if (!placed)
+                    classes.push_back({u});
+            }
+            for (const auto &cls : classes) {
+                if (cls.size() < 2)
+                    continue;
+                const ElementId u = cls[0], v = cls[1];
+                if (!reported_twins.insert({u, v}).second)
+                    continue;
+                add(Rule::kParallelTwins, u, v,
+                    cat(cls.size(), " successors of ", i,
+                        " are interchangeable twins (e.g. ", u,
+                        " and ", v, ")"));
+            }
+        }
+    }
+
+    // Mergeable prefix twins: identical elements with identical
+    // predecessor sets (round one of prefixMerge). One diagnostic
+    // per class, naming the representative and the class size.
+    {
+        std::vector<std::vector<ElementId>> preds(n);
+        for (ElementId i = 0; i < n; ++i) {
+            for (auto t : a.element(i).out) {
+                if (t < n)
+                    preds[t].push_back(i);
+            }
+        }
+        std::unordered_map<uint64_t, std::vector<ElementId>> classes;
+        for (ElementId i = 0; i < n; ++i) {
+            std::vector<ElementId> p = preds[i];
+            std::sort(p.begin(), p.end());
+            p.erase(std::unique(p.begin(), p.end()), p.end());
+            uint64_t h = signature(a.element(i));
+            for (auto q : p)
+                h = h * 0x100000001b3ULL ^ q;
+            classes[h].push_back(i);
+        }
+        for (auto &[hash, group] : classes) {
+            (void)hash;
+            if (group.size() < 2)
+                continue;
+            // Confirm the first pair to guard against hash clashes.
+            const ElementId u = group[0], v = group[1];
+            if (!sameSignature(a.element(u), a.element(v)))
+                continue;
+            add(Rule::kMergeableTwins, u, v,
+                cat(group.size(), " identical elements share a "
+                    "predecessor set (e.g. ", u, " and ", v,
+                    "); prefix merge would collapse them"));
+        }
+    }
+
+    return rep;
+}
+
+} // namespace analysis
+} // namespace azoo

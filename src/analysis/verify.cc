@@ -1,0 +1,563 @@
+#include "analysis/analysis.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace analysis {
+
+namespace {
+
+struct RuleMeta {
+    const char *id;
+    const char *name;
+    Severity severity;
+    const char *desc;
+};
+
+const RuleMeta kMeta[kRuleCount] = {
+    {"V001", "dangling-edge", Severity::kError,
+     "activation edge targets an out-of-range element id"},
+    {"V002", "dangling-reset", Severity::kError,
+     "reset edge targets an out-of-range element id"},
+    {"V003", "reset-non-counter", Severity::kError,
+     "reset edge targets an element that is not a counter"},
+    {"V004", "duplicate-edge", Severity::kError,
+     "the same (from, to) activation edge appears more than once"},
+    {"V005", "duplicate-reset", Severity::kError,
+     "the same (from, to) reset edge appears more than once"},
+    {"V006", "empty-charset", Severity::kError,
+     "STE symbol set matches nothing; it and its cone are inert"},
+    {"V007", "counter-symbols", Severity::kError,
+     "counter carries a symbol set"},
+    {"V008", "counter-start", Severity::kError,
+     "counter has a start type"},
+    {"V009", "counter-zero-target", Severity::kError,
+     "counter target is zero"},
+    {"V010", "counter-unwired", Severity::kError,
+     "counter has no count-enable predecessor and can never count"},
+    {"V011", "counter-reset-overlap", Severity::kWarning,
+     "one element both counts and resets the same counter"},
+    {"V012", "unreachable", Severity::kError,
+     "element is not forward-reachable from any start state"},
+    {"V013", "dead-element", Severity::kWarning,
+     "element has no path to any reporting element"},
+    {"V014", "no-start", Severity::kError,
+     "non-empty automaton has no start states; nothing ever enables"},
+    {"V015", "no-report", Severity::kWarning,
+     "non-empty automaton has no reporting elements"},
+    {"V016", "report-collision", Severity::kWarning,
+     "one report code is used by several disconnected subgraphs"},
+    {"V017", "sod-reentry", Severity::kNote,
+     "edge into a start-of-data state (legal; alignment rings do "
+     "this, merge bugs also do)"},
+    {"V018", "accept-on-padding", Severity::kError,
+     "reporting STE matches the padding symbol; reports can fire on "
+     "padding instead of payload"},
+    {"V019", "widen-layout", Severity::kError,
+     "widened-layout discipline violated; padding leaked into an "
+     "accept path"},
+    {"L101", "parallel-twins", Severity::kWarning,
+     "two successors of one element are interchangeable twins"},
+    {"L102", "mergeable-twins", Severity::kNote,
+     "identical elements share a predecessor set; prefix merge would "
+     "collapse them"},
+    {"L103", "large-fanout", Severity::kWarning,
+     "out-degree exceeds the configured fan-out threshold"},
+    {"L104", "edge-into-all-input", Severity::kNote,
+     "activation edge into an always-enabled state has no effect"},
+};
+
+const RuleMeta &
+meta(Rule r)
+{
+    return kMeta[static_cast<size_t>(r)];
+}
+
+} // namespace
+
+const char *
+ruleId(Rule r)
+{
+    return meta(r).id;
+}
+
+const char *
+ruleName(Rule r)
+{
+    return meta(r).name;
+}
+
+const char *
+ruleDescription(Rule r)
+{
+    return meta(r).desc;
+}
+
+Severity
+defaultSeverity(Rule r)
+{
+    return meta(r).severity;
+}
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::kError:
+        return "error";
+      case Severity::kWarning:
+        return "warning";
+      case Severity::kNote:
+        return "note";
+    }
+    return "?";
+}
+
+size_t
+Report::count(Rule r) const
+{
+    size_t n = 0;
+    for (const auto &d : diags)
+        n += d.rule == r;
+    return n;
+}
+
+void
+Report::add(Severity sev, Rule rule, ElementId element, ElementId other,
+            std::string message)
+{
+    switch (sev) {
+      case Severity::kError:
+        ++errors;
+        break;
+      case Severity::kWarning:
+        ++warnings;
+        break;
+      case Severity::kNote:
+        ++notes;
+        break;
+    }
+    diags.push_back({sev, rule, element, other, std::move(message)});
+}
+
+void
+Report::absorb(Report &&other)
+{
+    errors += other.errors;
+    warnings += other.warnings;
+    notes += other.notes;
+    diags.insert(diags.end(),
+                 std::make_move_iterator(other.diags.begin()),
+                 std::make_move_iterator(other.diags.end()));
+    other.diags.clear();
+}
+
+std::string
+Report::summary() const
+{
+    auto plural = [](size_t n, const char *what) {
+        return cat(n, " ", what, n == 1 ? "" : "s");
+    };
+    return cat(plural(errors, "error"), ", ",
+               plural(warnings, "warning"), ", ",
+               plural(notes, "note"));
+}
+
+namespace {
+
+/** Diagnostic sink that respects the per-rule kill switch. */
+class Sink
+{
+  public:
+    Sink(Report &rep, const Options &opts) : rep_(rep), opts_(opts) {}
+
+    void
+    add(Rule r, ElementId element, ElementId other, std::string msg)
+    {
+        if (opts_.enabled(r))
+            rep_.add(defaultSeverity(r), r, element, other,
+                     std::move(msg));
+    }
+
+  private:
+    Report &rep_;
+    const Options &opts_;
+};
+
+/** Sorted copy of an edge list for duplicate detection. */
+std::vector<ElementId>
+sorted(const std::vector<ElementId> &v)
+{
+    std::vector<ElementId> s = v;
+    std::sort(s.begin(), s.end());
+    return s;
+}
+
+/** Report each duplicated target in @p edges exactly once. */
+template <typename Fn>
+void
+forEachDuplicate(const std::vector<ElementId> &edges, Fn &&fn)
+{
+    std::vector<ElementId> s = sorted(edges);
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (s[i] == s[i - 1] && (i < 2 || s[i] != s[i - 2]))
+            fn(s[i]);
+    }
+}
+
+/**
+ * Per-element checks that need no graph traversal. Returns false when
+ * a dangling edge was found, in which case the graph-level checks
+ * must be skipped (edge targets are not safe to index).
+ */
+bool
+checkLocal(const Automaton &a, const Options &opts, Sink &sink)
+{
+    const size_t n = a.size();
+    bool indices_ok = true;
+    bool any_start = false;
+    bool any_report = false;
+
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        any_start |= e.start != StartType::kNone;
+        any_report |= e.reporting;
+
+        for (auto t : e.out) {
+            if (t >= n) {
+                indices_ok = false;
+                sink.add(Rule::kDanglingEdge, i, kNoElement,
+                         cat("element ", i, " has an out-edge to "
+                             "invalid id ", t, " (size ", n, ")"));
+            }
+        }
+        for (auto t : e.resetOut) {
+            if (t >= n) {
+                indices_ok = false;
+                sink.add(Rule::kDanglingReset, i, kNoElement,
+                         cat("element ", i, " has a reset edge to "
+                             "invalid id ", t, " (size ", n, ")"));
+            } else if (a.element(t).kind != ElementKind::kCounter) {
+                sink.add(Rule::kResetNonCounter, i, t,
+                         cat("reset edge ", i, " -> ", t,
+                             " targets a non-counter"));
+            }
+        }
+        forEachDuplicate(e.out, [&](ElementId t) {
+            sink.add(Rule::kDuplicateEdge, i, t,
+                     cat("activation edge ", i, " -> ", t,
+                         " appears more than once"));
+        });
+        forEachDuplicate(e.resetOut, [&](ElementId t) {
+            sink.add(Rule::kDuplicateReset, i, t,
+                     cat("reset edge ", i, " -> ", t,
+                         " appears more than once"));
+        });
+
+        if (e.kind == ElementKind::kSte) {
+            if (e.symbols.empty()) {
+                sink.add(Rule::kEmptyCharset, i, kNoElement,
+                         cat("STE ", i, " has an empty symbol set"));
+            }
+            if (opts.paddingSymbol >= 0 && e.reporting &&
+                e.symbols.test(
+                    static_cast<uint8_t>(opts.paddingSymbol))) {
+                sink.add(Rule::kAcceptOnPadding, i, kNoElement,
+                         cat("reporting STE ", i, " matches the "
+                             "padding symbol ", opts.paddingSymbol));
+            }
+        } else {
+            if (!e.symbols.empty()) {
+                sink.add(Rule::kCounterSymbols, i, kNoElement,
+                         cat("counter ", i, " carries symbols ",
+                             e.symbols.str()));
+            }
+            if (e.start != StartType::kNone) {
+                sink.add(Rule::kCounterStart, i, kNoElement,
+                         cat("counter ", i, " has a start type"));
+            }
+            if (e.target == 0) {
+                sink.add(Rule::kCounterZeroTarget, i, kNoElement,
+                         cat("counter ", i, " has target 0"));
+            }
+        }
+    }
+
+    if (n > 0 && !any_start) {
+        sink.add(Rule::kNoStart, kNoElement, kNoElement,
+                 "automaton has no start states");
+    }
+    if (n > 0 && !any_report) {
+        sink.add(Rule::kNoReport, kNoElement, kNoElement,
+                 "automaton has no reporting elements");
+    }
+    return indices_ok;
+}
+
+/**
+ * Reachability and wiring checks. Requires all edge targets in
+ * range. Reachability uses pruneDeadStates()'s definitions exactly
+ * (reset edges count as forward edges, reset sources of live
+ * counters are live), so a pruned automaton is always clean here.
+ */
+void
+checkGraph(const Automaton &a, const Options &opts, Sink &sink)
+{
+    const size_t n = a.size();
+
+    // Counter wiring: count-enable in-degree and count/reset overlap.
+    std::vector<uint32_t> in = a.inDegrees();
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        if (e.kind == ElementKind::kCounter && in[i] == 0) {
+            sink.add(Rule::kCounterUnwired, i, kNoElement,
+                     cat("counter ", i,
+                         " has no count-enable predecessor"));
+        }
+        if (!e.resetOut.empty() && !e.out.empty()) {
+            std::vector<ElementId> so = sorted(e.out);
+            std::vector<ElementId> sr = sorted(e.resetOut);
+            std::vector<ElementId> both;
+            std::set_intersection(so.begin(), so.end(), sr.begin(),
+                                  sr.end(), std::back_inserter(both));
+            both.erase(std::unique(both.begin(), both.end()),
+                       both.end());
+            for (auto t : both) {
+                if (a.element(t).kind != ElementKind::kCounter)
+                    continue;
+                sink.add(Rule::kCounterResetOverlap, i, t,
+                         cat("element ", i, " both counts and resets "
+                             "counter ", t,
+                             "; same-cycle behavior is ambiguous"));
+            }
+        }
+    }
+
+    // Start-of-data re-entry (note severity: alignment rings do
+    // this on purpose, bad merges do it by accident).
+    std::vector<uint8_t> reentered(n, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        for (auto t : a.element(i).out) {
+            if (a.element(t).start == StartType::kStartOfData &&
+                !reentered[t]) {
+                reentered[t] = 1;
+                sink.add(Rule::kSodReentry, t, i,
+                         cat("start-of-data state ", t,
+                             " is re-entered by element ", i));
+            }
+        }
+    }
+
+    // Forward reachability from start states, over activation and
+    // reset edges (prune's definition).
+    std::vector<uint8_t> fwd(n, 0);
+    std::vector<ElementId> work;
+    for (ElementId i = 0; i < n; ++i) {
+        if (a.element(i).start != StartType::kNone) {
+            fwd[i] = 1;
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        ElementId u = work.back();
+        work.pop_back();
+        auto push = [&](ElementId v) {
+            if (!fwd[v]) {
+                fwd[v] = 1;
+                work.push_back(v);
+            }
+        };
+        for (auto v : a.element(u).out)
+            push(v);
+        for (auto v : a.element(u).resetOut)
+            push(v);
+    }
+
+    // Backward liveness from reporting elements.
+    std::vector<std::vector<ElementId>> rin(n);
+    for (ElementId i = 0; i < n; ++i) {
+        for (auto v : a.element(i).out)
+            rin[v].push_back(i);
+        for (auto v : a.element(i).resetOut)
+            rin[v].push_back(i);
+    }
+    bool any_report = false;
+    std::vector<uint8_t> live(n, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        if (a.element(i).reporting) {
+            any_report = true;
+            live[i] = 1;
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        ElementId u = work.back();
+        work.pop_back();
+        for (auto v : rin[u]) {
+            if (!live[v]) {
+                live[v] = 1;
+                work.push_back(v);
+            }
+        }
+    }
+
+    for (ElementId i = 0; i < n; ++i) {
+        if (!fwd[i]) {
+            sink.add(Rule::kUnreachable, i, kNoElement,
+                     cat("element ", i,
+                         " is unreachable from every start state"));
+        } else if (any_report && !live[i]) {
+            // Without reporters kNoReport already covers the whole
+            // automaton; per-element dead diagnostics would just
+            // repeat it n times.
+            sink.add(Rule::kDeadElement, i, kNoElement,
+                     cat("element ", i,
+                         " has no path to a reporting element"));
+        }
+    }
+
+    // Report-code collisions across disconnected subgraphs.
+    if (any_report && opts.enabled(Rule::kReportCollision)) {
+        uint32_t comp_count = 0;
+        std::vector<uint32_t> comp = a.connectedComponents(comp_count);
+        struct First {
+            uint32_t comp;
+            ElementId element;
+            bool collided;
+        };
+        std::unordered_map<uint32_t, First> seen;
+        for (ElementId i = 0; i < n; ++i) {
+            const Element &e = a.element(i);
+            if (!e.reporting)
+                continue;
+            auto [it, inserted] =
+                seen.try_emplace(e.reportCode, First{comp[i], i, false});
+            if (inserted || it->second.comp == comp[i] ||
+                it->second.collided) {
+                continue;
+            }
+            it->second.collided = true;
+            sink.add(Rule::kReportCollision, i, it->second.element,
+                     cat("report code ", e.reportCode,
+                         " is used by disconnected subgraphs "
+                         "(elements ", it->second.element, " and ", i,
+                         ")"));
+        }
+    }
+}
+
+/** The exact discipline widen() must emit (see Options). */
+void
+checkWidenLayout(const Automaton &a, Sink &sink)
+{
+    const size_t n = a.size();
+    if (n % 2 != 0) {
+        sink.add(Rule::kWidenLayout, kNoElement, kNoElement,
+                 cat("widened automaton has odd element count ", n));
+        return;
+    }
+    const CharSet pad = CharSet::single(0);
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        if (e.kind != ElementKind::kSte) {
+            sink.add(Rule::kWidenLayout, i, kNoElement,
+                     cat("widened automaton contains counter ", i));
+            continue;
+        }
+        if (i % 2 == 0) {
+            // Real state: must defer reporting to its shadow and
+            // activate exactly that shadow.
+            if (e.reporting) {
+                sink.add(Rule::kWidenLayout, i, kNoElement,
+                         cat("real state ", i, " reports directly; "
+                             "reports must confirm on the pad "
+                             "symbol"));
+            }
+            if (e.out.size() != 1 || e.out[0] != i + 1) {
+                sink.add(Rule::kWidenLayout, i, kNoElement,
+                         cat("real state ", i, " must activate "
+                             "exactly its shadow ", i + 1));
+            }
+        } else {
+            // Shadow: matches only the pad symbol, activates only
+            // real states.
+            if (e.symbols != pad) {
+                sink.add(Rule::kWidenLayout, i, kNoElement,
+                         cat("shadow state ", i, " matches ",
+                             e.symbols.str(),
+                             " instead of only the pad symbol"));
+            }
+            if (e.start != StartType::kNone) {
+                sink.add(Rule::kWidenLayout, i, kNoElement,
+                         cat("shadow state ", i, " has a start type"));
+            }
+            for (auto t : e.out) {
+                if (t % 2 != 0) {
+                    sink.add(Rule::kWidenLayout, i, t,
+                             cat("shadow state ", i, " activates "
+                                 "shadow ", t,
+                                 "; pad chained into accept path"));
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Report
+verify(const Automaton &a, const Options &opts)
+{
+    Report rep;
+    rep.automatonName = a.name();
+    Sink sink(rep, opts);
+
+    const bool indices_ok = checkLocal(a, opts, sink);
+    if (indices_ok) {
+        checkGraph(a, opts, sink);
+        if (opts.widenedLayout)
+            checkWidenLayout(a, sink);
+    }
+    return rep;
+}
+
+Report
+analyze(const Automaton &a, const Options &opts)
+{
+    Report rep = verify(a, opts);
+    rep.absorb(lint(a, opts));
+    return rep;
+}
+
+bool
+postVerify(const Automaton &a, const std::string &stage,
+           const Options &opts)
+{
+    Report rep = verify(a, opts);
+    if (rep.clean())
+        return true;
+
+    std::string first;
+    for (const auto &d : rep.diags) {
+        if (d.severity == Severity::kError) {
+            first = cat(" [", ruleId(d.rule), " ", ruleName(d.rule),
+                        "] ", d.message);
+            break;
+        }
+    }
+    const std::string msg =
+        cat("post-condition failed after ", stage, ": automaton '",
+            a.name(), "' has ", rep.summary(), ";", first);
+#ifndef NDEBUG
+    panic(msg);
+#else
+    warn(msg);
+    return false;
+#endif
+}
+
+} // namespace analysis
+} // namespace azoo

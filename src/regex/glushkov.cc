@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "analysis/analysis.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -152,6 +153,7 @@ compileRegex(const Regex &rx, uint32_t report_code)
 {
     Automaton a("regex");
     appendRegex(a, rx, report_code);
+    analysis::postVerify(a, cat("glushkov('", rx.pattern, "')"));
     return a;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "analysis/analysis.hh"
+
 namespace azoo {
 
 namespace {
@@ -139,6 +141,7 @@ prefixMerge(const Automaton &a, int max_rounds)
 
     res.statesAfter = out.size();
     res.automaton = std::move(out);
+    analysis::postVerify(res.automaton, "prefixMerge");
     return res;
 }
 

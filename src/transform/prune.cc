@@ -1,5 +1,7 @@
 #include "transform/prune.hh"
 
+#include "analysis/analysis.hh"
+
 namespace azoo {
 
 PruneResult
@@ -88,6 +90,9 @@ pruneDeadStates(const Automaton &a)
     }
     res.removed = n - out.size();
     res.automaton = std::move(out);
+    // Post-condition: pruning must leave no unreachable or dead
+    // element by its own definitions (verify uses the same ones).
+    analysis::postVerify(res.automaton, "prune");
     return res;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/analysis.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -162,6 +163,7 @@ strideToBytes(const Automaton &bit)
     }
 
     out.validate();
+    analysis::postVerify(out, "stride");
     return out;
 }
 

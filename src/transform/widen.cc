@@ -1,5 +1,6 @@
 #include "transform/widen.hh"
 
+#include "analysis/analysis.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -26,6 +27,11 @@ widen(const Automaton &a)
             out.addEdge(2 * i + 1, 2 * t);
     }
     out.validate();
+    // Post-condition: the exact real/shadow layout, so a pad symbol
+    // can never leak into an accept path.
+    analysis::Options opts;
+    opts.widenedLayout = true;
+    analysis::postVerify(out, "widen", opts);
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "zoo/registry.hh"
 
+#include "analysis/analysis.hh"
 #include "util/logging.hh"
 #include "zoo/apprng.hh"
 #include "zoo/brill.hh"
@@ -100,8 +101,13 @@ Benchmark
 makeBenchmark(const std::string &name, const ZooConfig &cfg)
 {
     for (const auto &info : allBenchmarks()) {
-        if (info.name == name)
-            return info.make(cfg);
+        if (info.name != name)
+            continue;
+        Benchmark b = info.make(cfg);
+        // Every generated benchmark is verified at the source, which
+        // also covers parallel zoo::buildSuite() (it lands here).
+        analysis::postVerify(b.automaton, cat("zoo:", name));
+        return b;
     }
     fatal(cat("unknown benchmark '", name, "'"));
 }

@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Static-analysis tests: every verify rule fires on a purpose-built
+ * corrupt fixture, lint rules fire and can be disabled per rule, and
+ * the whole zoo is verify-clean raw and at every transform stage
+ * (merged, pruned, widened, padded, and the bit->byte stride
+ * pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "analysis/analysis.hh"
+#include "bits/bit_builder.hh"
+#include "core/builder.hh"
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+#include "transform/pad.hh"
+#include "transform/prefix_merge.hh"
+#include "transform/prune.hh"
+#include "transform/stride.hh"
+#include "transform/suffix_merge.hh"
+#include "transform/widen.hh"
+#include "zoo/registry.hh"
+
+namespace azoo {
+namespace {
+
+using analysis::Options;
+using analysis::Report;
+using analysis::Rule;
+
+std::string
+dump(const Report &r)
+{
+    std::ostringstream oss;
+    oss << r.automatonName << ": " << r.summary() << "\n";
+    size_t n = 0;
+    for (const auto &d : r.diags) {
+        if (n++ >= 20)
+            break;
+        oss << "  [" << analysis::ruleId(d.rule) << " "
+            << analysis::ruleName(d.rule) << "] " << d.message << "\n";
+    }
+    return oss.str();
+}
+
+/** A minimal healthy automaton: start -> mid -> reporter. */
+Automaton
+healthy()
+{
+    Automaton a("healthy");
+    addLiteral(a, "abc", StartType::kAllInput, true, 1);
+    return a;
+}
+
+TEST(Verify, HealthyChainIsSpotless)
+{
+    Report r = analysis::verify(healthy());
+    EXPECT_TRUE(r.spotless()) << dump(r);
+}
+
+TEST(Verify, GlushkovOutputIsClean)
+{
+    Automaton a = compileRegex(parseRegex("ab*(c|d)e"), 9);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.errors, 0u) << dump(r);
+}
+
+TEST(Verify, DanglingEdgeFires)
+{
+    Automaton a = healthy();
+    a.element(0).out.push_back(42);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kDanglingEdge), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, DanglingResetFires)
+{
+    Automaton a = healthy();
+    a.element(0).resetOut.push_back(42);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kDanglingReset), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, ResetToNonCounterFires)
+{
+    Automaton a = healthy();
+    a.addResetEdge(0, 1);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kResetNonCounter), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, DuplicateEdgeFiresOncePerTarget)
+{
+    Automaton a = healthy();
+    a.addEdge(0, 1); // already present from the chain
+    a.addEdge(0, 1); // triplicate still yields one finding
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kDuplicateEdge), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, DuplicateResetFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId c = a.addCounter(3, CounterMode::kLatch, true, 1);
+    a.addEdge(s, c);
+    a.addResetEdge(s, c);
+    a.addResetEdge(s, c);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kDuplicateReset), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, EmptyCharsetFires)
+{
+    Automaton a = healthy();
+    ElementId e = a.addSte(CharSet());
+    a.addEdge(0, e);
+    a.addEdge(e, 2);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kEmptyCharset), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, CounterCarryingSymbolsFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId c = a.addCounter(3, CounterMode::kLatch, true, 1);
+    a.addEdge(s, c);
+    a.element(c).symbols.set('x');
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kCounterSymbols), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, CounterWithStartTypeFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId c = a.addCounter(3, CounterMode::kLatch, true, 1);
+    a.addEdge(s, c);
+    a.element(c).start = StartType::kAllInput;
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kCounterStart), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, CounterZeroTargetFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId c = a.addCounter(0, CounterMode::kLatch, true, 1);
+    a.addEdge(s, c);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kCounterZeroTarget), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, UnwiredCounterFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId c = a.addCounter(3, CounterMode::kLatch, true, 1);
+    // Reset wiring only: the counter can be cleared but never counts.
+    a.addResetEdge(s, c);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kCounterUnwired), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, CountResetOverlapFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId c = a.addCounter(3, CounterMode::kLatch, true, 1);
+    a.addEdge(s, c);
+    a.addResetEdge(s, c);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kCounterResetOverlap), 1u) << dump(r);
+    // Ambiguous wiring is a warning, not structural corruption.
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.warnings, 1u) << dump(r);
+}
+
+TEST(Verify, UnreachableElementFires)
+{
+    Automaton a = healthy();
+    a.addSte(CharSet::all(), StartType::kNone, true, 2); // orphan
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kUnreachable), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, DeadElementFires)
+{
+    Automaton a = healthy();
+    ElementId leaf = a.addSte(CharSet::all()); // no report, no out
+    a.addEdge(0, leaf);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kDeadElement), 1u) << dump(r);
+    EXPECT_EQ(r.diags[0].severity, analysis::Severity::kWarning);
+}
+
+TEST(Verify, NoStartFires)
+{
+    Automaton a("t");
+    addLiteral(a, "ab", StartType::kNone, true, 1);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kNoStart), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, NoReportWarns)
+{
+    Automaton a("t");
+    addLiteral(a, "ab", StartType::kAllInput, false, 0);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kNoReport), 1u) << dump(r);
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(Verify, ReportCodeCollisionAcrossSubgraphsFires)
+{
+    Automaton a("t");
+    addLiteral(a, "ab", StartType::kAllInput, true, 7);
+    addLiteral(a, "cd", StartType::kAllInput, true, 7);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kReportCollision), 1u) << dump(r);
+
+    // Same code twice within one subgraph is fine (Glushkov does it).
+    Automaton b("t2");
+    ElementId s = b.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId x = b.addSte(CharSet::all(), StartType::kNone, true, 7);
+    ElementId y = b.addSte(CharSet::all(), StartType::kNone, true, 7);
+    b.addEdge(s, x);
+    b.addEdge(s, y);
+    EXPECT_EQ(analysis::verify(b).count(Rule::kReportCollision), 0u);
+}
+
+TEST(Verify, StartOfDataReentryNotes)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kStartOfData);
+    ElementId m = a.addSte(CharSet::all(), StartType::kNone, true, 1);
+    a.addEdge(s, m);
+    a.addEdge(m, s);
+    Report r = analysis::verify(a);
+    EXPECT_EQ(r.count(Rule::kSodReentry), 1u) << dump(r);
+    EXPECT_EQ(r.notes, 1u);
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(Verify, AcceptOnPaddingFires)
+{
+    Automaton a = healthy(); // reporter matches 'c' only
+    Options opts;
+    opts.paddingSymbol = 0xFF;
+    EXPECT_EQ(analysis::verify(a, opts).count(Rule::kAcceptOnPadding),
+              0u);
+    a.element(2).symbols.set(0xFF);
+    Report r = analysis::verify(a, opts);
+    EXPECT_EQ(r.count(Rule::kAcceptOnPadding), 1u) << dump(r);
+    EXPECT_FALSE(r.clean());
+}
+
+TEST(Verify, WidenLayoutCatchesPaddingLeak)
+{
+    Automaton w = widen(healthy());
+    Options opts;
+    opts.widenedLayout = true;
+    EXPECT_EQ(analysis::verify(w, opts).errors, 0u);
+
+    // Leak 1: a real state reports directly (bypasses the pad
+    // confirmation cycle).
+    Automaton bad1 = w;
+    bad1.element(4).reporting = true;
+    Report r1 = analysis::verify(bad1, opts);
+    EXPECT_GE(r1.count(Rule::kWidenLayout), 1u) << dump(r1);
+
+    // Leak 2: a shadow matches payload bytes, not just the pad.
+    Automaton bad2 = w;
+    bad2.element(5).symbols.set('z');
+    Report r2 = analysis::verify(bad2, opts);
+    EXPECT_GE(r2.count(Rule::kWidenLayout), 1u) << dump(r2);
+
+    // Leak 3: shadow chained into shadow.
+    Automaton bad3 = w;
+    bad3.addEdge(1, 3);
+    Report r3 = analysis::verify(bad3, opts);
+    EXPECT_GE(r3.count(Rule::kWidenLayout), 1u) << dump(r3);
+}
+
+TEST(Lint, ParallelTwinsFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId x = a.addSte(CharSet::single('x'), StartType::kNone,
+                           true, 1);
+    ElementId y = a.addSte(CharSet::single('x'), StartType::kNone,
+                           true, 1);
+    a.addEdge(s, x);
+    a.addEdge(s, y);
+    Report r = analysis::lint(a);
+    EXPECT_EQ(r.count(Rule::kParallelTwins), 1u) << dump(r);
+}
+
+TEST(Lint, SelfLoopingTwinsStillCount)
+{
+    // Two parallel self-looping skip slots (the Seq. Match shape):
+    // interchangeable for a software engine.
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId t = a.addSte(CharSet::single('t'), StartType::kNone,
+                           true, 1);
+    for (int i = 0; i < 2; ++i) {
+        ElementId slot = a.addSte(CharSet::single('s'));
+        a.addEdge(s, slot);
+        a.addEdge(slot, slot);
+        a.addEdge(slot, t);
+    }
+    Report r = analysis::lint(a);
+    EXPECT_EQ(r.count(Rule::kParallelTwins), 1u) << dump(r);
+}
+
+TEST(Lint, MergeableTwinsFires)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    for (int i = 0; i < 3; ++i) {
+        ElementId m = a.addSte(CharSet::single('m'));
+        ElementId leaf = a.addSte(CharSet::single('a' + i),
+                                  StartType::kNone, true,
+                                  static_cast<uint32_t>(i));
+        a.addEdge(s, m);
+        a.addEdge(m, leaf);
+    }
+    Report r = analysis::lint(a);
+    // The three 'm' states share signature and predecessor set {s};
+    // the leaves differ, so exactly one class is flagged.
+    EXPECT_EQ(r.count(Rule::kMergeableTwins), 1u) << dump(r);
+}
+
+TEST(Lint, LargeFanoutRespectsThreshold)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    for (int i = 0; i < 5; ++i) {
+        ElementId t = a.addSte(CharSet::single('a' + i),
+                               StartType::kNone, true,
+                               static_cast<uint32_t>(i));
+        a.addEdge(s, t);
+    }
+    Options opts;
+    opts.fanoutThreshold = 4;
+    Report r = analysis::lint(a, opts);
+    EXPECT_EQ(r.count(Rule::kLargeFanout), 1u) << dump(r);
+    opts.fanoutThreshold = 5;
+    EXPECT_EQ(analysis::lint(a, opts).count(Rule::kLargeFanout), 0u);
+}
+
+TEST(Lint, EdgeIntoAllInputNotes)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId m = a.addSte(CharSet::all(), StartType::kNone, true, 1);
+    a.addEdge(s, m);
+    a.addEdge(m, s); // no-op: s is always enabled
+    Report r = analysis::lint(a);
+    EXPECT_EQ(r.count(Rule::kEdgeIntoAllInput), 1u) << dump(r);
+}
+
+TEST(Options, PerRuleDisableSilencesExactlyThatRule)
+{
+    Automaton a = healthy();
+    a.addSte(CharSet::all(), StartType::kNone, true, 2); // orphan
+    Options opts;
+    opts.disable(Rule::kUnreachable);
+    Report r = analysis::verify(a, opts);
+    EXPECT_EQ(r.count(Rule::kUnreachable), 0u) << dump(r);
+    EXPECT_TRUE(r.clean());
+    // Re-enable: fires again.
+    EXPECT_EQ(analysis::verify(a).count(Rule::kUnreachable), 1u);
+}
+
+TEST(Analyze, CombinesVerifyAndLint)
+{
+    Automaton a("t");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId x = a.addSte(CharSet::single('x'), StartType::kNone,
+                           true, 1);
+    ElementId y = a.addSte(CharSet::single('x'), StartType::kNone,
+                           true, 1);
+    a.addEdge(s, x);
+    a.addEdge(s, y);
+    a.element(s).out.push_back(99); // dangling
+    Report r = analysis::analyze(a);
+    EXPECT_TRUE(r.has(Rule::kDanglingEdge)) << dump(r);
+    EXPECT_TRUE(r.has(Rule::kParallelTwins)) << dump(r);
+}
+
+TEST(RuleTable, IdsAndNamesAreUniqueAndStable)
+{
+    std::set<std::string> ids, names;
+    for (size_t i = 0; i < analysis::kRuleCount; ++i) {
+        const auto r = static_cast<Rule>(i);
+        EXPECT_TRUE(ids.insert(analysis::ruleId(r)).second)
+            << analysis::ruleId(r);
+        EXPECT_TRUE(names.insert(analysis::ruleName(r)).second)
+            << analysis::ruleName(r);
+        EXPECT_NE(std::string(analysis::ruleDescription(r)), "");
+    }
+    EXPECT_EQ(std::string(analysis::ruleId(Rule::kDanglingEdge)),
+              "V001");
+    EXPECT_EQ(std::string(analysis::ruleId(Rule::kParallelTwins)),
+              "L101");
+}
+
+/**
+ * The acceptance sweep: every zoo benchmark is verify-clean as
+ * generated and stays clean through each transform stage.
+ */
+TEST(ZooSweep, AllBenchmarksVerifyCleanAtEveryStage)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 4096;
+
+    for (const auto &info : zoo::allBenchmarks()) {
+        SCOPED_TRACE(info.name);
+        zoo::Benchmark b = info.make(cfg);
+        const Automaton &a = b.automaton;
+
+        Report raw = analysis::verify(a);
+        EXPECT_EQ(raw.errors, 0u) << dump(raw);
+
+        MergeResult pm = prefixMerge(a);
+        Report pmr = analysis::verify(pm.automaton);
+        EXPECT_EQ(pmr.errors, 0u) << dump(pmr);
+
+        MergeResult fm = fullMerge(a);
+        Report fmr = analysis::verify(fm.automaton);
+        EXPECT_EQ(fmr.errors, 0u) << dump(fmr);
+
+        PruneResult pr = pruneDeadStates(a);
+        Report prr = analysis::verify(pr.automaton);
+        EXPECT_EQ(prr.errors, 0u) << dump(prr);
+        // Pruning and verify share reachability definitions, so a
+        // pruned automaton has no reachability findings at all.
+        EXPECT_FALSE(prr.has(Rule::kUnreachable)) << dump(prr);
+        EXPECT_FALSE(prr.has(Rule::kDeadElement)) << dump(prr);
+
+        if (a.countKind(ElementKind::kCounter) == 0) {
+            Automaton w = widen(a);
+            Options wopts;
+            wopts.widenedLayout = true;
+            Report wr = analysis::verify(w, wopts);
+            EXPECT_EQ(wr.errors, 0u) << dump(wr);
+        }
+
+        Automaton padded = a;
+        padReportingTails(padded, 2, CharSet::single(0xFF));
+        Report padr = analysis::verify(padded);
+        EXPECT_EQ(padr.errors, 0u) << dump(padr);
+    }
+}
+
+/** The bit->byte stride pipeline also verifies clean. */
+TEST(ZooSweep, StridedBitAutomataVerifyClean)
+{
+    Automaton bit("bits");
+    ElementId ring = bits::addAlignmentRing(bit);
+    bits::BitChainBuilder chain(bit, ring);
+    chain.appendByte(0x50);
+    chain.appendMaskedByte(0x4B, 0xF0);
+    chain.appendAnyBits(8);
+    chain.appendByte(0x03);
+    chain.finishReport(11);
+
+    Report bitr = analysis::verify(bit);
+    EXPECT_EQ(bitr.errors, 0u) << dump(bitr);
+
+    Automaton strided = strideToBytes(bit);
+    Report sr = analysis::verify(strided);
+    EXPECT_EQ(sr.errors, 0u) << dump(sr);
+}
+
+} // namespace
+} // namespace azoo

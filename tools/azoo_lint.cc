@@ -1,0 +1,141 @@
+/**
+ * @file
+ * azoo_lint: static verifier / linter for automata files.
+ *
+ * Usage:
+ *   azoo_lint --in x.anml[,y.mnrl,...]
+ *             [--no-lint] [--disable rule1,rule2]
+ *             [--fanout N] [--padding N] [--widened]
+ *             [--max N] [--quiet] [--list-rules]
+ *
+ * Loads ANML/MNRL/azml automata (format by extension), runs the
+ * analysis::verify() invariant checks plus (unless --no-lint) the
+ * soft lint rules, prints a diagnostics table per file, and exits
+ * nonzero when any error-severity finding exists — the CI contract.
+ */
+
+#include <iostream>
+
+#include "analysis/analysis.hh"
+#include "core/anml.hh"
+#include "core/mnrl.hh"
+#include "core/serialize.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace azoo;
+
+namespace {
+
+Automaton
+loadAny(const std::string &path)
+{
+    if (path.size() >= 5 && path.rfind(".mnrl") == path.size() - 5)
+        return loadMnrl(path);
+    if (path.size() >= 5 && path.rfind(".anml") == path.size() - 5)
+        return loadAnml(path);
+    return loadAzml(path);
+}
+
+void
+listRules()
+{
+    Table t({"Id", "Rule", "Severity", "Description"});
+    for (size_t i = 0; i < analysis::kRuleCount; ++i) {
+        const auto r = static_cast<analysis::Rule>(i);
+        t.addRow({analysis::ruleId(r), analysis::ruleName(r),
+                  analysis::severityName(analysis::defaultSeverity(r)),
+                  analysis::ruleDescription(r)});
+    }
+    t.print(std::cout);
+}
+
+analysis::Rule
+ruleByName(const std::string &name)
+{
+    for (size_t i = 0; i < analysis::kRuleCount; ++i) {
+        const auto r = static_cast<analysis::Rule>(i);
+        if (name == analysis::ruleName(r) ||
+            name == analysis::ruleId(r)) {
+            return r;
+        }
+    }
+    fatal(cat("azoo_lint: unknown rule '", name,
+              "' (see --list-rules)"));
+}
+
+std::string
+elementCell(ElementId id)
+{
+    return id == kNoElement ? "-" : std::to_string(id);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv,
+            {"in", "no-lint", "disable", "fanout", "padding", "widened",
+             "max", "quiet", "list-rules"});
+
+    if (cli.getBool("list-rules")) {
+        listRules();
+        return 0;
+    }
+
+    const std::string in = cli.get("in");
+    if (in.empty())
+        fatal("azoo_lint: --in is required (or use --list-rules)");
+
+    analysis::Options opts;
+    opts.fanoutThreshold =
+        static_cast<uint32_t>(cli.getInt("fanout", 256));
+    opts.paddingSymbol =
+        static_cast<int>(cli.getInt("padding", -1));
+    opts.widenedLayout = cli.getBool("widened");
+    for (const std::string &name : split(cli.get("disable", ""), ',')) {
+        if (!name.empty())
+            opts.disable(ruleByName(name));
+    }
+
+    const bool run_lint = !cli.getBool("no-lint");
+    const bool quiet = cli.getBool("quiet");
+    const size_t max_printed =
+        static_cast<size_t>(cli.getInt("max", 50));
+
+    size_t total_errors = 0;
+    for (const std::string &path : split(in, ',')) {
+        if (path.empty())
+            continue;
+        Automaton a = loadAny(path);
+        analysis::Report rep = run_lint ? analysis::analyze(a, opts)
+                                        : analysis::verify(a, opts);
+        total_errors += rep.errors;
+
+        std::cout << path << ": automaton '" << a.name() << "', "
+                  << a.size() << " elements: " << rep.summary()
+                  << "\n";
+        if (quiet || rep.diags.empty())
+            continue;
+
+        Table t({"Severity", "Rule", "Element", "Message"});
+        size_t printed = 0;
+        for (const auto &d : rep.diags) {
+            if (printed++ >= max_printed)
+                break;
+            t.addRow({analysis::severityName(d.severity),
+                      cat(analysis::ruleId(d.rule), " ",
+                          analysis::ruleName(d.rule)),
+                      elementCell(d.element), d.message});
+        }
+        t.print(std::cout);
+        if (rep.diags.size() > max_printed) {
+            std::cout << "  ... " << rep.diags.size() - max_printed
+                      << " more (raise --max to see them)\n";
+        }
+    }
+    return total_errors == 0 ? 0 : 1;
+}
