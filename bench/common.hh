@@ -1,6 +1,7 @@
 /**
  * @file
- * Shared flag handling for the table/figure bench binaries.
+ * Shared flag handling and machine-readable output for the
+ * table/figure bench binaries.
  *
  * Every bench accepts:
  *   --scale S    pattern-count scale vs the paper's full size
@@ -12,12 +13,21 @@
  *   --full       paper-scale sizes (slow; hours for Table I)
  *   --threads N  worker threads for benches that parallelize
  *                generation or simulation (default 1)
+ *
+ * Benches that measure throughput additionally accept --json PATH and
+ * emit their measurements through JsonReport so sweeps and CI can
+ * diff numbers without screen-scraping the tables.
  */
 
 #ifndef AZOO_BENCH_COMMON_HH
 #define AZOO_BENCH_COMMON_HH
 
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/cli.hh"
@@ -58,6 +68,103 @@ parseBenchFlags(int argc, char **argv,
         cfg.threads = 1;
     return cfg;
 }
+
+/** Minimal JSON string escaping (quotes, backslash, control bytes). */
+inline void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+               << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+/** JSON number with enough digits to round-trip a throughput. */
+inline std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(10) << v;
+    return os.str();
+}
+
+/**
+ * One measurement for --json output. The fixed fields are the ones
+ * every throughput bench shares; anything bench-specific (active set,
+ * cached state-sets, speedup, ...) goes in @ref extra.
+ */
+struct JsonRow {
+    std::string benchmark;
+    std::string engine;
+    uint64_t threads = 1;
+    double symbolsPerSec = 0;
+    uint64_t cacheFlushes = 0;
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/**
+ * Accumulates JsonRow records and writes them as
+ *   {"schema": "azoo-bench-1", "tool": ..., "rows": [...]}
+ * so every bench's --json output parses with the same three lines of
+ * Python. Writing is a no-op when the path is empty, so callers can
+ * pass the --json flag value straight through.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string tool) : tool_(std::move(tool)) {}
+
+    void add(JsonRow row) { rows_.push_back(std::move(row)); }
+
+    void
+    write(std::ostream &os) const
+    {
+        os << "{\n  \"schema\": \"azoo-bench-1\",\n  \"tool\": ";
+        jsonEscape(os, tool_);
+        os << ",\n  \"rows\": [";
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            const JsonRow &r = rows_[i];
+            os << (i ? ",\n    {" : "\n    {") << "\"benchmark\": ";
+            jsonEscape(os, r.benchmark);
+            os << ", \"engine\": ";
+            jsonEscape(os, r.engine);
+            os << ", \"threads\": " << r.threads
+               << ", \"symbols_per_sec\": " << jsonNum(r.symbolsPerSec)
+               << ", \"cache_flushes\": " << r.cacheFlushes;
+            for (const auto &[key, val] : r.extra) {
+                os << ", ";
+                jsonEscape(os, key);
+                os << ": " << jsonNum(val);
+            }
+            os << "}";
+        }
+        os << "\n  ]\n}\n";
+    }
+
+    /** Write to @p path (fatal on I/O failure); no-op if empty. */
+    void
+    writeFile(const std::string &path) const
+    {
+        if (path.empty())
+            return;
+        std::ofstream f(path);
+        write(f);
+        if (!f)
+            fatal(cat("cannot write --json output to ", path));
+    }
+
+  private:
+    std::string tool_;
+    std::vector<JsonRow> rows_;
+};
 
 } // namespace bench
 } // namespace azoo

@@ -2,15 +2,22 @@
  * @file
  * Engine microbenchmarks (google-benchmark): throughput of the NFA
  * interpreter as a function of active set (mesh distance), the
- * multi-DFA engine as a function of component count, regex
+ * multi-DFA engine as a function of component count, the lazy-DFA
+ * hybrid against the interpreter it replaces as a fallback, regex
  * compilation, and prefix-merge speed. These quantify the engine
  * properties the paper's CPU arguments rest on: interpreter cost
  * tracks the active set; compiled-engine cost tracks component
  * count, not enabled states.
+ *
+ * Extra flag beyond google-benchmark's own: --json PATH writes every
+ * run as a bench::JsonReport row (benchmark name, engine label,
+ * threads, symbols/sec, cache flushes) alongside the console table.
  */
 
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hh"
+#include "engine/lazy_dfa_engine.hh"
 #include "engine/multidfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "input/dna.hh"
@@ -19,6 +26,7 @@
 #include "transform/prefix_merge.hh"
 #include "util/rng.hh"
 #include "zoo/mesh.hh"
+#include "zoo/registry.hh"
 #include "zoo/seqmatch.hh"
 
 namespace azoo {
@@ -108,6 +116,86 @@ BM_Engines_SeqMatch(benchmark::State &state)
 }
 BENCHMARK(BM_Engines_SeqMatch)->Arg(0)->Arg(1);
 
+/**
+ * Lazy-DFA hybrid vs the interpreter on an AP PRNG workload — the
+ * shape MultiDfaEngine used to hand to its NfaEngine fallback. The
+ * PRNG chains keep a huge enabled set (every chain advances on every
+ * symbol) but visit only a handful of distinct state-sets, so the
+ * interpreter pays O(active set) per symbol while the lazy engine
+ * pays one cached-table probe.
+ */
+void
+BM_Engines_ApPrngFallback(benchmark::State &state)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.05;
+    cfg.inputBytes = kInput;
+    zoo::Benchmark b = zoo::makeBenchmark("AP PRNG 8-sided", cfg);
+    SimOptions opts;
+    opts.recordReports = false;
+    opts.computeActiveSet = false;
+    if (state.range(0) == 0) {
+        NfaEngine e(b.automaton);
+        EngineScratch scratch;
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                e.simulate(b.input, scratch, opts).reportCount);
+        }
+    } else {
+        LazyDfaEngine e(b.automaton);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                e.simulate(b.input, opts).reportCount);
+        }
+        state.counters["lazy_states"] =
+            static_cast<double>(e.cachedStates());
+        state.counters["symbol_classes"] =
+            static_cast<double>(e.symbolClasses());
+        state.counters["cache_flushes"] =
+            static_cast<double>(e.cacheFlushes());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * kInput));
+    state.SetLabel(state.range(0) == 0 ? "NfaEngine"
+                                       : "LazyDfaEngine");
+}
+BENCHMARK(BM_Engines_ApPrngFallback)->Arg(0)->Arg(1);
+
+/**
+ * Lazy-DFA cache-budget sweep on Seq Match (many distinct state-sets):
+ * arg is the transition-cache byte budget. Small budgets force
+ * whole-cache flushes mid-stream; the cache_flushes counter shows how
+ * often, and the throughput column what each flush costs.
+ */
+void
+BM_LazyDfa_CacheBudget(benchmark::State &state)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.02;
+    cfg.inputBytes = kInput;
+    zoo::SeqMatchParams p;
+    zoo::Benchmark b = zoo::makeSeqMatchBenchmark(cfg, p);
+    LazyDfaOptions lo;
+    lo.cacheBytes = static_cast<size_t>(state.range(0));
+    LazyDfaEngine e(b.automaton, lo);
+    SimOptions opts;
+    opts.recordReports = false;
+    opts.computeActiveSet = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.simulate(b.input, opts).reportCount);
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * kInput));
+    state.counters["cache_flushes"] =
+        static_cast<double>(e.cacheFlushes());
+    state.counters["lazy_states"] =
+        static_cast<double>(e.cachedStates());
+    state.SetLabel("LazyDfaEngine");
+}
+BENCHMARK(BM_LazyDfa_CacheBudget)
+    ->Arg(16 << 10)
+    ->Arg(256 << 10)
+    ->Arg(8 << 20);
+
 /** Regex -> Glushkov compile throughput. */
 void
 BM_Regex_Compile(benchmark::State &state)
@@ -152,7 +240,77 @@ BM_PrefixMerge_Clamav(benchmark::State &state)
 }
 BENCHMARK(BM_PrefixMerge_Clamav);
 
+/**
+ * Console output plus JSON capture: every iteration run is recorded
+ * as a bench::JsonRow. The engine label comes from SetLabel when the
+ * benchmark set one, else from the benchmark name's prefix.
+ */
+class JsonCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            bench::JsonRow row;
+            row.benchmark = run.benchmark_name();
+            if (run.report_label.empty()) {
+                // "BM_NfaEngine_HammingActiveSet/3" -> "NfaEngine".
+                std::string n = row.benchmark;
+                if (n.rfind("BM_", 0) == 0)
+                    n = n.substr(3);
+                row.engine = n.substr(0, n.find('_'));
+            } else {
+                row.engine = run.report_label;
+            }
+            row.threads = static_cast<uint64_t>(run.threads);
+            auto bps = run.counters.find("bytes_per_second");
+            if (bps != run.counters.end())
+                row.symbolsPerSec = bps->second.value;
+            auto fl = run.counters.find("cache_flushes");
+            if (fl != run.counters.end())
+                row.cacheFlushes =
+                    static_cast<uint64_t>(fl->second.value);
+            for (const auto &[key, c] : run.counters) {
+                if (key != "bytes_per_second" && key != "cache_flushes")
+                    row.extra.emplace_back(key, c.value);
+            }
+            report.add(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    bench::JsonReport report{"micro_engines"};
+};
+
 } // namespace
 } // namespace azoo
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off --json before google-benchmark sees (and rejects) it.
+    std::string jsonPath;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
+        } else if (a.rfind("--json=", 0) == 0) {
+            jsonPath = a.substr(7);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filtered = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered, args.data()))
+        return 1;
+    azoo::JsonCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    reporter.report.writeFile(jsonPath);
+    return 0;
+}

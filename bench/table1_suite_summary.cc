@@ -6,7 +6,10 @@
  * average subgraph size and std dev, compressed states after the
  * VASim-style prefix-merge optimization, compression factor, and the
  * dynamic active set measured with the NFA interpreter on the
- * standard input.
+ * standard input. The three Lazy.* columns characterize the same run
+ * under the lazy-DFA hybrid: distinct state-sets interned, whole-cache
+ * flushes at the default budget, and counter components interpreted by
+ * the embedded fallback.
  *
  * Absolute sizes scale with --scale (default 0.05 of the paper's
  * pattern counts; --full reproduces paper sizes). The second table
@@ -21,6 +24,7 @@
 #include "analysis/analysis.hh"
 #include "bench/common.hh"
 #include "core/stats.hh"
+#include "engine/lazy_dfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "transform/prefix_merge.hh"
 #include "util/table.hh"
@@ -112,7 +116,8 @@ main(int argc, char **argv)
 
     Table t({"Benchmark", "States", "Edges", "Edges/Node", "Subgraphs",
              "Avg.Size", "Std.Dev", "Compr.States", "Compr.Factor",
-             "ActiveSet", "Lint"});
+             "ActiveSet", "Lint", "Lazy.Sets", "Lazy.Flush",
+             "Lazy.FB"});
     Table shape({"Benchmark", "Avg.Size", "(paper)", "Edges/Node",
                  "(paper)", "Act/1kStates", "(paper)"});
 
@@ -130,6 +135,11 @@ main(int argc, char **argv)
         SimResult r = engine.simulate(b.input.data(), cfg.simBytes,
                                       opts);
 
+        LazyDfaEngine lazyEngine(b.automaton);
+        SimOptions lazyOpts = opts;
+        lazyOpts.computeActiveSet = false;
+        lazyEngine.simulate(b.input.data(), cfg.simBytes, lazyOpts);
+
         const uint64_t total = s.states + s.counters;
         t.addRow({info.name, Table::num(total), Table::num(s.edges),
                   Table::fixed(s.edgesPerNode, 2),
@@ -139,7 +149,10 @@ main(int argc, char **argv)
                   Table::num(merged.statesAfter),
                   Table::ratio(merged.reduction(), 2),
                   Table::fixed(r.avgActiveSet(), 1),
-                  lintCell(b.automaton)});
+                  lintCell(b.automaton),
+                  Table::num(lazyEngine.cachedStates()),
+                  Table::num(lazyEngine.cacheFlushes()),
+                  Table::num(lazyEngine.fallbackComponents())});
 
         auto it = kPaper.find(info.name);
         if (it != kPaper.end() && total) {

@@ -10,6 +10,11 @@
  *    streams, fanned out across the pool;
  *  - sharded: one input scanned by per-thread component shards.
  *
+ * --engine nfa|lazydfa picks the per-stream/per-shard engine and
+ * --json PATH writes every measurement as a bench::JsonReport row
+ * (benchmark "name/batch" or "name/sharded", engine, threads,
+ * symbols/sec, lazy cache flushes).
+ *
  * Methodology (see docs/ARCHITECTURE.md): one untimed warmup run per
  * configuration, then --reps timed repetitions; the best repetition
  * is reported (minimum-noise estimator for a dedicated machine).
@@ -67,15 +72,20 @@ bestSeconds(int reps, const std::function<void()> &fn)
 int
 main(int argc, char **argv)
 {
-    bench::BenchConfig cfg =
-        bench::parseBenchFlags(argc, argv, {"name", "streams", "reps"});
+    bench::BenchConfig cfg = bench::parseBenchFlags(
+        argc, argv, {"name", "streams", "reps", "engine", "json"});
     Cli cli(argc, argv,
             {"scale", "input", "sim", "seed", "full", "threads",
-             "name", "streams", "reps"});
+             "name", "streams", "reps", "engine", "json"});
     const std::string name = cli.get("name", "Snort");
     const auto streamCount =
         static_cast<size_t>(cli.getInt("streams", 16));
     const int reps = static_cast<int>(cli.getInt("reps", 3));
+    const std::string engineName = cli.get("engine", "nfa");
+    if (engineName != "nfa" && engineName != "lazydfa")
+        fatal("throughput_scaling: --engine must be nfa or lazydfa");
+    const bool lazy = engineName == "lazydfa";
+    bench::JsonReport json("throughput_scaling");
 
     zoo::Benchmark b = zoo::makeBenchmark(name, cfg.zoo);
     std::vector<uint8_t> input(b.input.begin(),
@@ -88,10 +98,10 @@ main(int argc, char **argv)
         counts.push_back(hw);
 
     std::cout << "Throughput scaling: " << name << " (scale="
-              << cfg.zoo.scale << "), " << input.size()
-              << " input bytes, " << streams.size() << " streams, "
-              << hw << " hardware threads, best of " << reps
-              << " reps\n\n";
+              << cfg.zoo.scale << ", engine=" << engineName << "), "
+              << input.size() << " input bytes, " << streams.size()
+              << " streams, " << hw
+              << " hardware threads, best of " << reps << " reps\n\n";
 
     SimOptions sim;
     sim.recordReports = false;
@@ -103,15 +113,22 @@ main(int argc, char **argv)
     for (size_t threads : counts) {
         ParallelOptions popts;
         popts.threads = threads;
+        popts.engine = lazy ? ParallelEngine::kLazyDfa
+                            : ParallelEngine::kNfa;
         popts.sim = sim;
         ParallelRunner runner(b.automaton, popts);
 
-        const double batchSecs = bestSeconds(
-            reps, [&] { runner.runBatch(streams); });
+        uint64_t batchFlushes = 0;
+        const double batchSecs = bestSeconds(reps, [&] {
+            batchFlushes = runner.runBatch(streams).totalLazyFlushes;
+        });
         const double batchRate = input.size() / batchSecs / 1e6;
 
-        const double shardSecs = bestSeconds(
-            reps, [&] { runner.simulateSharded(input); });
+        uint64_t shardFlushes = 0;
+        const double shardSecs = bestSeconds(reps, [&] {
+            shardFlushes =
+                runner.simulateSharded(input).lazyFlushes;
+        });
         const double shardRate = input.size() / shardSecs / 1e6;
 
         if (threads == 1) {
@@ -124,15 +141,36 @@ main(int argc, char **argv)
                   std::to_string(runner.shardCount()),
                   Table::fixed(shardRate, 2),
                   Table::ratio(shardRate / shardBase, 2)});
+        json.add({name + "/batch", engineName, threads,
+                  batchRate * 1e6, batchFlushes, {}});
+        json.add({name + "/sharded", engineName, threads,
+                  shardRate * 1e6, shardFlushes,
+                  {{"shards", double(runner.shardCount())}}});
     }
     t.print(std::cout);
 
     // Sanity line: the serial engine, for an apples-to-apples anchor.
-    NfaEngine serial(b.automaton);
-    const double serialSecs = bestSeconds(
-        reps, [&] { serial.simulate(input.data(), input.size(), sim); });
-    std::cout << "\nserial NfaEngine: "
-              << Table::fixed(input.size() / serialSecs / 1e6, 2)
-              << " MSym/s\n";
+    double serialSecs;
+    uint64_t serialFlushes = 0;
+    if (lazy) {
+        LazyDfaEngine serial(b.automaton);
+        serialSecs = bestSeconds(reps, [&] {
+            serial.simulate(input.data(), input.size(), sim);
+        });
+        serialFlushes = serial.cacheFlushes();
+    } else {
+        NfaEngine serial(b.automaton);
+        EngineScratch scratch;
+        serialSecs = bestSeconds(reps, [&] {
+            serial.simulate(input.data(), input.size(), scratch, sim);
+        });
+    }
+    const double serialRate = input.size() / serialSecs / 1e6;
+    std::cout << "\nserial "
+              << (lazy ? "LazyDfaEngine" : "NfaEngine") << ": "
+              << Table::fixed(serialRate, 2) << " MSym/s\n";
+    json.add({name + "/serial", engineName, 1, serialRate * 1e6,
+              serialFlushes, {}});
+    json.writeFile(cli.get("json"));
     return 0;
 }

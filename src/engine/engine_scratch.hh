@@ -1,0 +1,91 @@
+/**
+ * @file
+ * EngineScratch: reusable per-run simulation state for the enabled-set
+ * interpreter.
+ *
+ * NfaEngine::simulate() historically rebuilt five O(n) vectors on
+ * every call (stamp, counter values, count/reset stamps, latch bits),
+ * which dominates the cost of short-input calls — exactly the shape
+ * of batch/streaming workloads where millions of small streams hit
+ * the same engine. An EngineScratch owns those vectors and is handed
+ * back to simulate(); between calls the stamp arrays are *not*
+ * cleared — instead each run stamps with values offset by a
+ * monotonically increasing epoch (`base`), so a fresh call can never
+ * observe a stale stamp and re-zeroing is unnecessary. Only the
+ * (few) counter values and latch bits are reset, by id list.
+ *
+ * Ownership rule: a scratch may be used by one simulation at a time.
+ * It may be reused across different engines as long as the automata
+ * have the same element count (otherwise it transparently
+ * reinitializes). ParallelRunner gives each worker slot its own
+ * scratch; StreamingSession owns one for its persistent state.
+ */
+
+#ifndef AZOO_ENGINE_ENGINE_SCRATCH_HH
+#define AZOO_ENGINE_ENGINE_SCRATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+
+/** Reusable interpreter state; see file comment for the epoch trick. */
+struct EngineScratch {
+    /** Enable stamps: stamp[i] == base + t + 2 means element i is
+     *  enabled for cycle t+1 of the current run. */
+    std::vector<uint64_t> stamp;
+    /** Enabled-set worklists (swapped every cycle). */
+    std::vector<ElementId> cur, next;
+
+    // Counter state.
+    std::vector<uint32_t> value;
+    std::vector<uint64_t> countStamp, resetStamp;
+    std::vector<uint8_t> latched;
+    std::vector<ElementId> counted, resets, latchedList;
+
+    /** Stamp epoch of the current/next run; advanced by each run so
+     *  stamps from prior runs can never collide. */
+    uint64_t base = 0;
+
+    /**
+     * Make the scratch ready for a fresh run over @p n elements whose
+     * counters are @p counters. O(counters + worklists) when the size
+     * matches a previous run; O(n) (re)allocation otherwise.
+     */
+    void
+    beginRun(size_t n, const std::vector<ElementId> &counters)
+    {
+        if (stamp.size() != n) {
+            stamp.assign(n, 0);
+            value.assign(n, 0);
+            countStamp.assign(n, 0);
+            resetStamp.assign(n, 0);
+            latched.assign(n, 0);
+            base = 0;
+        } else {
+            for (ElementId c : counters) {
+                value[c] = 0;
+                latched[c] = 0;
+            }
+        }
+        cur.clear();
+        next.clear();
+        counted.clear();
+        resets.clear();
+        latchedList.clear();
+    }
+
+    /** Retire a run of @p len symbols: advance the epoch past every
+     *  stamp value the run could have written (base + len + 1). */
+    void
+    endRun(size_t len)
+    {
+        base += static_cast<uint64_t>(len) + 2;
+    }
+};
+
+} // namespace azoo
+
+#endif // AZOO_ENGINE_ENGINE_SCRATCH_HH

@@ -64,7 +64,10 @@ MultiDfaEngine::MultiDfaEngine(const Automaton &a,
                     fallback_->addResetEdge(to_local[id], to_local[t]);
             }
         }
-        fallbackEngine_ = std::make_unique<NfaEngine>(*fallback_);
+        LazyDfaOptions lazy_opts;
+        lazy_opts.cacheBytes = opts_.lazyCacheBytes;
+        fallbackEngine_ =
+            std::make_unique<LazyDfaEngine>(*fallback_, lazy_opts);
     }
 }
 
@@ -279,10 +282,12 @@ MultiDfaEngine::simulate(const uint8_t *input, size_t len,
     }
 
     if (fallbackEngine_) {
-        SimOptions fopts = opts;
-        SimResult fres = fallbackEngine_->simulate(input, len, fopts);
+        SimResult fres = fallbackEngine_->simulate(input, len, opts);
         res.reportCount += fres.reportCount;
         res.totalEnabled += fres.totalEnabled;
+        res.lazyFlushes = fres.lazyFlushes;
+        res.lazyStates = fres.lazyStates;
+        res.lazyFallbackComponents = fres.lazyFallbackComponents;
         for (auto &r : fres.reports) {
             if (opts.recordReports &&
                 res.reports.size() < opts.reportRecordLimit) {

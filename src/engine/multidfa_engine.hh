@@ -12,8 +12,16 @@
  * directly slow down the enabled-set interpreter.
  *
  * Components that contain counter elements or whose determinization
- * exceeds a state budget fall back to NfaEngine simulation, mirroring
- * how hybrid engines mix DFA and NFA subsystems.
+ * exceeds a state budget fall back to a LazyDfaEngine, mirroring how
+ * hybrid engines mix DFA and NFA subsystems: counter-free over-budget
+ * components still get DFA-speed execution on hot input regions
+ * (subset construction runs lazily under a byte budget), and only
+ * counter components drop all the way to the enabled-set interpreter.
+ *
+ * Because the lazy fallback's transition cache warms up across
+ * simulate() calls, an engine with fallbackComponents() > 0 must not
+ * be shared by concurrently simulating threads (a fully compiled
+ * engine remains freely shareable).
  */
 
 #ifndef AZOO_ENGINE_MULTIDFA_ENGINE_HH
@@ -24,7 +32,7 @@
 #include <vector>
 
 #include "core/automaton.hh"
-#include "engine/nfa_engine.hh"
+#include "engine/lazy_dfa_engine.hh"
 #include "engine/report.hh"
 
 namespace azoo {
@@ -32,8 +40,10 @@ namespace azoo {
 /** Compilation limits for MultiDfaEngine. */
 struct MultiDfaOptions {
     /** Determinization budget per component; beyond it the component
-     *  is simulated as an NFA instead. */
+     *  is simulated by the lazy-DFA fallback instead. */
     uint32_t maxDfaStatesPerComponent = 4096;
+    /** Transition-cache byte budget of the lazy-DFA fallback. */
+    size_t lazyCacheBytes = 8u << 20;
 };
 
 /** Compiled multi-DFA engine over a borrowed automaton. */
@@ -59,11 +69,18 @@ class MultiDfaEngine
     /** Number of components compiled to DFAs. */
     size_t compiledComponents() const { return dfas_.size(); }
 
-    /** Number of components running on the NFA fallback path. */
+    /** Number of components running on the lazy-DFA fallback path. */
     size_t fallbackComponents() const { return fallbackComponentCount_; }
 
     /** Total DFA states across all compiled components. */
     uint64_t totalDfaStates() const;
+
+    /** The lazy-DFA fallback engine, or nullptr if every component
+     *  compiled eagerly. Exposed for cache statistics. */
+    const LazyDfaEngine *lazyFallback() const
+    {
+        return fallbackEngine_.get();
+    }
 
   private:
     /** One report event attached to a (state, class) DFA cell. */
@@ -97,7 +114,7 @@ class MultiDfaEngine
 
     /** Sub-automaton holding all fallback components. */
     std::unique_ptr<Automaton> fallback_;
-    std::unique_ptr<NfaEngine> fallbackEngine_;
+    std::unique_ptr<LazyDfaEngine> fallbackEngine_;
     /** fallback-local element id -> original element id. */
     std::vector<ElementId> fallbackToGlobal_;
     size_t fallbackComponentCount_ = 0;

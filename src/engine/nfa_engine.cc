@@ -59,29 +59,33 @@ NfaEngine::NfaEngine(const Automaton &a)
 
 SimResult
 NfaEngine::simulate(const uint8_t *input, size_t len,
-                    const SimOptions &opts) const
+                    EngineScratch &scratch, const SimOptions &opts) const
 {
     const size_t n = a_.size();
     SimResult res;
     res.symbols = len;
 
-    std::vector<uint64_t> stamp(n, 0);
-    std::vector<ElementId> cur, next;
-    cur.reserve(256);
-    next.reserve(256);
+    scratch.beginRun(n, counters_);
+    const uint64_t base = scratch.base;
+    std::vector<uint64_t> &stamp = scratch.stamp;
+    std::vector<ElementId> &cur = scratch.cur;
+    std::vector<ElementId> &next = scratch.next;
 
     // Counter state.
-    std::vector<uint32_t> value(n, 0);
-    std::vector<uint64_t> countStamp(n, 0), resetStamp(n, 0);
-    std::vector<uint8_t> latched(n, 0);
-    std::vector<ElementId> counted, resets, latchedList;
+    std::vector<uint32_t> &value = scratch.value;
+    std::vector<uint64_t> &countStamp = scratch.countStamp;
+    std::vector<uint64_t> &resetStamp = scratch.resetStamp;
+    std::vector<uint8_t> &latched = scratch.latched;
+    std::vector<ElementId> &counted = scratch.counted;
+    std::vector<ElementId> &resets = scratch.resets;
+    std::vector<ElementId> &latchedList = scratch.latchedList;
 
     const bool has_resets = !resetTarget_.empty();
     const bool has_counters = !counters_.empty();
 
     // Start-of-data states are enabled for cycle 0 only.
     for (auto id : startOfDataStates_) {
-        stamp[id] = 1;
+        stamp[id] = base + 1;
         next.push_back(id);
     }
 
@@ -127,8 +131,8 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
                     const ElementId tgt = edgeTarget_[k];
                     // All-input targets are permanently enabled and
                     // handled by the indexed path below.
-                    if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
-                        stamp[tgt] = t + 2;
+                    if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                        stamp[tgt] = base + t + 2;
                         next.push_back(tgt);
                     }
                 }
@@ -137,12 +141,12 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
             for (uint32_t k = ebeg; k < eend; ++k) {
                 const ElementId tgt = edgeTarget_[k];
                 if (!isCounterTarget_[tgt]) {
-                    if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
-                        stamp[tgt] = t + 2;
+                    if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                        stamp[tgt] = base + t + 2;
                         next.push_back(tgt);
                     }
-                } else if (countStamp[tgt] != t + 1) {
-                    countStamp[tgt] = t + 1;
+                } else if (countStamp[tgt] != base + t + 1) {
+                    countStamp[tgt] = base + t + 1;
                     counted.push_back(tgt);
                 }
             }
@@ -150,8 +154,8 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
                 for (uint32_t k = resetBegin_[id];
                      k < resetBegin_[id + 1]; ++k) {
                     const ElementId tgt = resetTarget_[k];
-                    if (resetStamp[tgt] != t + 1) {
-                        resetStamp[tgt] = t + 1;
+                    if (resetStamp[tgt] != base + t + 1) {
+                        resetStamp[tgt] = base + t + 1;
                         resets.push_back(tgt);
                     }
                 }
@@ -188,8 +192,8 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
             for (uint32_t k = edgeBegin_[c]; k < edgeBegin_[c + 1];
                  ++k) {
                 const ElementId tgt = edgeTarget_[k];
-                if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
-                    stamp[tgt] = t + 2;
+                if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                    stamp[tgt] = base + t + 2;
                     next.push_back(tgt);
                 }
             }
@@ -206,13 +210,14 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
             for (uint32_t k = edgeBegin_[c]; k < edgeBegin_[c + 1];
                  ++k) {
                 const ElementId tgt = edgeTarget_[k];
-                if (!isAllInput_[tgt] && stamp[tgt] != t + 2) {
-                    stamp[tgt] = t + 2;
+                if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                    stamp[tgt] = base + t + 2;
                     next.push_back(tgt);
                 }
             }
         }
     }
+    scratch.endRun(len);
     return res;
 }
 

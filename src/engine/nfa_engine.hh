@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/automaton.hh"
+#include "engine/engine_scratch.hh"
 #include "engine/report.hh"
 
 namespace azoo {
@@ -27,25 +28,46 @@ namespace azoo {
  *
  * The automaton must outlive the engine. Construction flattens the
  * adjacency into CSR arrays; simulate() can be called repeatedly and
- * is internally stateless between calls. All per-run state lives on
- * simulate()'s stack, so one engine may be shared by any number of
- * threads simulating concurrently (ParallelRunner's batch mode relies
- * on this).
+ * is internally stateless between calls. Per-run state lives in an
+ * EngineScratch — pass one in to amortize its O(n) arrays across
+ * calls, or use the convenience overloads, which allocate a fresh
+ * scratch per call. Either way the engine itself is never mutated, so
+ * one engine may be shared by any number of threads simulating
+ * concurrently as long as each thread uses its own scratch
+ * (ParallelRunner's batch mode relies on this).
  */
 class NfaEngine
 {
   public:
     explicit NfaEngine(const Automaton &a);
 
-    /** Run the automaton over @p input. */
+    /** Run the automaton over @p input reusing @p scratch (the
+     *  allocation-free hot path; see EngineScratch). */
     SimResult simulate(const uint8_t *input, size_t len,
+                       EngineScratch &scratch,
                        const SimOptions &opts = SimOptions()) const;
+
+    /** Convenience: run with a private, freshly allocated scratch. */
+    SimResult
+    simulate(const uint8_t *input, size_t len,
+             const SimOptions &opts = SimOptions()) const
+    {
+        EngineScratch scratch;
+        return simulate(input, len, scratch, opts);
+    }
 
     SimResult
     simulate(const std::vector<uint8_t> &input,
              const SimOptions &opts = SimOptions()) const
     {
         return simulate(input.data(), input.size(), opts);
+    }
+
+    SimResult
+    simulate(const std::vector<uint8_t> &input, EngineScratch &scratch,
+             const SimOptions &opts = SimOptions()) const
+    {
+        return simulate(input.data(), input.size(), scratch, opts);
     }
 
   private:

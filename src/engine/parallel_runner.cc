@@ -4,44 +4,9 @@
 
 #include "engine/streaming.hh"
 #include "util/thread_pool.hh"
+#include "util/union_find.hh"
 
 namespace azoo {
-
-namespace {
-
-/** Union-find over element ids. */
-class UnionFind
-{
-  public:
-    explicit UnionFind(size_t n) : parent_(n)
-    {
-        std::iota(parent_.begin(), parent_.end(), 0);
-    }
-
-    uint32_t
-    find(uint32_t x)
-    {
-        while (parent_[x] != x) {
-            parent_[x] = parent_[parent_[x]];
-            x = parent_[x];
-        }
-        return x;
-    }
-
-    void
-    unite(uint32_t a, uint32_t b)
-    {
-        a = find(a);
-        b = find(b);
-        if (a != b)
-            parent_[b] = a;
-    }
-
-  private:
-    std::vector<uint32_t> parent_;
-};
-
-} // namespace
 
 ParallelRunner::ParallelRunner(const Automaton &a, ParallelOptions opts)
     : a_(a), opts_(std::move(opts)), engine_(a)
@@ -49,6 +14,14 @@ ParallelRunner::ParallelRunner(const Automaton &a, ParallelOptions opts)
     const size_t threads =
         opts_.threads ? opts_.threads : ThreadPool::hardwareThreads();
     pool_ = std::make_unique<ThreadPool>(threads);
+    slotScratch_.resize(pool_->size());
+    if (opts_.engine == ParallelEngine::kLazyDfa) {
+        LazyDfaOptions lo;
+        lo.cacheBytes = opts_.lazyCacheBytes;
+        slotLazy_.resize(pool_->size());
+        for (auto &e : slotLazy_)
+            e = std::make_unique<LazyDfaEngine>(a_, lo);
+    }
     buildShards(threads);
 }
 
@@ -139,6 +112,12 @@ ParallelRunner::buildShards(size_t groups)
                                std::to_string(s));
         shards_[s].engine =
             std::make_unique<NfaEngine>(shards_[s].sub);
+        if (opts_.engine == ParallelEngine::kLazyDfa) {
+            LazyDfaOptions lo;
+            lo.cacheBytes = opts_.lazyCacheBytes;
+            shards_[s].lazy =
+                std::make_unique<LazyDfaEngine>(shards_[s].sub, lo);
+        }
     }
 }
 
@@ -148,10 +127,8 @@ ParallelRunner::runBatch(
 {
     BatchResult out;
     out.perStream.resize(streams.size());
-    pool_->parallelFor(streams.size(), [&](size_t i) {
-        if (opts_.chunkBytes == 0) {
-            out.perStream[i] = engine_.simulate(streams[i], opts_.sim);
-        } else {
+    pool_->parallelFor(streams.size(), [&](size_t slot, size_t i) {
+        if (opts_.chunkBytes != 0) {
             StreamingSession sess(a_);
             sess.options = opts_.sim;
             const auto &in = streams[i];
@@ -161,12 +138,19 @@ ParallelRunner::runBatch(
                           std::min(opts_.chunkBytes, in.size() - pos));
             }
             out.perStream[i] = sess.results();
+        } else if (opts_.engine == ParallelEngine::kLazyDfa) {
+            out.perStream[i] =
+                slotLazy_[slot]->simulate(streams[i], opts_.sim);
+        } else {
+            out.perStream[i] = engine_.simulate(
+                streams[i], slotScratch_[slot], opts_.sim);
         }
         canonicalizeReports(out.perStream[i]);
     });
     for (const SimResult &r : out.perStream) {
         out.totalSymbols += r.symbols;
         out.totalReports += r.reportCount;
+        out.totalLazyFlushes += r.lazyFlushes;
     }
     return out;
 }
@@ -190,14 +174,20 @@ ParallelRunner::simulateSharded(const uint8_t *input, size_t len) const
 
     std::vector<SimResult> parts(shards_.size());
     pool_->parallelFor(shards_.size(), [&](size_t s) {
-        parts[s] = shards_[s].engine->simulate(input, len, inner);
+        const Shard &sh = shards_[s];
+        parts[s] = sh.lazy
+            ? sh.lazy->simulate(input, len, inner)
+            : sh.engine->simulate(input, len, sh.scratch, inner);
         for (Report &r : parts[s].reports)
-            r.element = shards_[s].origId[r.element];
+            r.element = sh.origId[r.element];
     });
 
     for (const SimResult &p : parts) {
         merged.reportCount += p.reportCount;
         merged.totalEnabled += p.totalEnabled;
+        merged.lazyFlushes += p.lazyFlushes;
+        merged.lazyStates += p.lazyStates;
+        merged.lazyFallbackComponents += p.lazyFallbackComponents;
         merged.reports.insert(merged.reports.end(), p.reports.begin(),
                               p.reports.end());
     }

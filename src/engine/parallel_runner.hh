@@ -8,8 +8,11 @@
  *
  *  - **Stream-level** (runBatch): a batch of independent input
  *    streams (packets, disk-image chunks, DNA reads) fans out across
- *    the pool. NfaEngine::simulate() is const and stateless, so all
- *    workers share one engine; chunked mode gives each stream its own
+ *    the pool. All workers share one const NfaEngine; each worker
+ *    slot owns an EngineScratch (and, under ParallelEngine::kLazyDfa,
+ *    a private LazyDfaEngine whose cache warms across that slot's
+ *    streams), so the hot path performs no per-stream O(n)
+ *    allocation. Chunked mode gives each stream its own
  *    StreamingSession.
  *
  *  - **Component-level** (simulateSharded): the automaton's connected
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "core/automaton.hh"
+#include "engine/lazy_dfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "engine/report.hh"
 
@@ -53,6 +57,12 @@ canonicalizeReports(SimResult &r)
     std::sort(r.reports.begin(), r.reports.end());
 }
 
+/** Which engine a ParallelRunner drives per stream / per shard. */
+enum class ParallelEngine : uint8_t {
+    kNfa,     ///< enabled-set interpreter (NfaEngine)
+    kLazyDfa, ///< lazy-DFA hybrid (LazyDfaEngine)
+};
+
 /** Configuration for a ParallelRunner. */
 struct ParallelOptions {
     /** Worker threads; 0 means all hardware threads. */
@@ -60,8 +70,15 @@ struct ParallelOptions {
     /** Batch mode: feed each stream through a StreamingSession in
      *  chunks of this many bytes (0 = one monolithic simulate()).
      *  Chunking never changes results; it exists to exercise and
-     *  measure the streaming path under parallelism. */
+     *  measure the streaming path under parallelism. Chunked feeding
+     *  always runs on the interpreter (the lazy engine has no
+     *  incremental API), which is result-identical anyway. */
     size_t chunkBytes = 0;
+    /** Engine for monolithic streams and component shards. */
+    ParallelEngine engine = ParallelEngine::kNfa;
+    /** Lazy-DFA transition-cache budget (engine == kLazyDfa). Each
+     *  worker slot / shard owns a private cache of this size. */
+    size_t lazyCacheBytes = 8u << 20;
     /** Per-stream simulation options. */
     SimOptions sim;
 };
@@ -71,6 +88,8 @@ struct BatchResult {
     std::vector<SimResult> perStream;
     uint64_t totalSymbols = 0;
     uint64_t totalReports = 0;
+    /** Lazy-DFA cache flushes summed over streams (0 for kNfa). */
+    uint64_t totalLazyFlushes = 0;
 };
 
 /**
@@ -118,6 +137,11 @@ class ParallelRunner
         /** Shard-local element id -> id in the borrowed automaton. */
         std::vector<ElementId> origId;
         std::unique_ptr<NfaEngine> engine;
+        /** Engine for ParallelEngine::kLazyDfa (else nullptr). */
+        std::unique_ptr<LazyDfaEngine> lazy;
+        /** Interpreter scratch; each shard is driven by exactly one
+         *  worker at a time, so per-shard state needs no locking. */
+        mutable EngineScratch scratch;
     };
 
     void buildShards(size_t groups);
@@ -127,6 +151,12 @@ class ParallelRunner
     std::unique_ptr<ThreadPool> pool_;
     NfaEngine engine_;
     std::vector<Shard> shards_;
+
+    // Per-worker-slot mutable state for runBatch: the slot-indexed
+    // parallelFor guarantees exclusive slot ownership, so scratches
+    // and lazy caches are reused lock-free across streams.
+    mutable std::vector<EngineScratch> slotScratch_;
+    mutable std::vector<std::unique_ptr<LazyDfaEngine>> slotLazy_;
 };
 
 } // namespace azoo

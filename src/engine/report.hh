@@ -64,6 +64,18 @@ struct SimResult {
      *  stall penalty models. */
     uint64_t reportingCycles = 0;
 
+    // Lazy-DFA engine statistics; zero for every other engine. These
+    // are *not* part of the semantic result (two engines producing
+    // identical reports may differ here), so equivalence checks must
+    // compare the fields above, never the whole struct.
+    /** Whole-cache flushes the transition cache took during this run. */
+    uint64_t lazyFlushes = 0;
+    /** Interned state-sets resident in the cache after this run. */
+    uint64_t lazyStates = 0;
+    /** Connected components simulated on the interpreter fallback
+     *  (counter components) instead of the lazy-DFA path. */
+    uint64_t lazyFallbackComponents = 0;
+
     /** Average active set: enabled STEs per input symbol. */
     double
     avgActiveSet() const

@@ -34,6 +34,7 @@ StreamingSession::StreamingSession(const Automaton &a)
         if (e.kind == ElementKind::kCounter) {
             isCounter_[i] = 1;
             hasCounters_ = true;
+            counters_.push_back(i);
             for (auto t : e.out) {
                 if (a.element(t).kind == ElementKind::kCounter)
                     panic("StreamingSession: counter->counter edges "
@@ -56,21 +57,15 @@ StreamingSession::reset()
 {
     const size_t n = a_.size();
     result_ = SimResult();
+    // Retire every stamp the previous stream wrote (epoch advance),
+    // then re-arm: O(counters) per reset instead of O(n).
+    scratch_.endRun(t_);
     t_ = 0;
-    stamp_.assign(n, 0);
-    cur_.clear();
-    next_.clear();
-    value_.assign(n, 0);
-    countStamp_.assign(n, 0);
-    resetStamp_.assign(n, 0);
-    latched_.assign(n, 0);
-    counted_.clear();
-    resets_.clear();
-    latchedList_.clear();
+    scratch_.beginRun(n, counters_);
     for (ElementId i = 0; i < n; ++i) {
         if (a_.element(i).start == StartType::kStartOfData) {
-            stamp_[i] = 1;
-            next_.push_back(i);
+            scratch_.stamp[i] = scratch_.base + 1;
+            scratch_.next.push_back(i);
         }
     }
 }
@@ -87,25 +82,27 @@ StreamingSession::onMatch(ElementId id)
         if (options.countByCode)
             ++result_.byCode[reportCode_[id]];
     }
+    const uint64_t base = scratch_.base;
     for (uint32_t k = edgeBegin_[id]; k < edgeBegin_[id + 1]; ++k) {
         const ElementId tgt = edgeTarget_[k];
         if (isCounter_[tgt]) {
-            if (countStamp_[tgt] != t_ + 1) {
-                countStamp_[tgt] = t_ + 1;
-                counted_.push_back(tgt);
+            if (scratch_.countStamp[tgt] != base + t_ + 1) {
+                scratch_.countStamp[tgt] = base + t_ + 1;
+                scratch_.counted.push_back(tgt);
             }
-        } else if (!isAllInput_[tgt] && stamp_[tgt] != t_ + 2) {
-            stamp_[tgt] = t_ + 2;
-            next_.push_back(tgt);
+        } else if (!isAllInput_[tgt] &&
+                   scratch_.stamp[tgt] != base + t_ + 2) {
+            scratch_.stamp[tgt] = base + t_ + 2;
+            scratch_.next.push_back(tgt);
         }
     }
     if (hasResets_) {
         for (uint32_t k = resetBegin_[id]; k < resetBegin_[id + 1];
              ++k) {
             const ElementId tgt = resetTarget_[k];
-            if (resetStamp_[tgt] != t_ + 1) {
-                resetStamp_[tgt] = t_ + 1;
-                resets_.push_back(tgt);
+            if (scratch_.resetStamp[tgt] != base + t_ + 1) {
+                scratch_.resetStamp[tgt] = base + t_ + 1;
+                scratch_.resets.push_back(tgt);
             }
         }
     }
@@ -114,17 +111,18 @@ StreamingSession::onMatch(ElementId id)
 void
 StreamingSession::feed(const uint8_t *data, size_t len)
 {
+    const uint64_t base = scratch_.base;
     for (size_t i = 0; i < len; ++i) {
-        std::swap(cur_, next_);
-        next_.clear();
+        std::swap(scratch_.cur, scratch_.next);
+        scratch_.next.clear();
         if (options.computeActiveSet)
-            result_.totalEnabled += cur_.size();
+            result_.totalEnabled += scratch_.cur.size();
 
         symbol_ = data[i];
         const uint32_t word = symbol_ >> 6;
         const uint64_t bit = uint64_t(1) << (symbol_ & 63);
 
-        for (auto id : cur_) {
+        for (auto id : scratch_.cur) {
             if (label_[id][word] & bit)
                 onMatch(id);
         }
@@ -132,18 +130,18 @@ StreamingSession::feed(const uint8_t *data, size_t len)
             onMatch(id);
 
         if (hasCounters_) {
-            for (auto c : resets_) {
-                value_[c] = 0;
-                if (latched_[c]) {
-                    latched_[c] = 0;
-                    std::erase(latchedList_, c);
+            for (auto c : scratch_.resets) {
+                scratch_.value[c] = 0;
+                if (scratch_.latched[c]) {
+                    scratch_.latched[c] = 0;
+                    std::erase(scratch_.latchedList, c);
                 }
             }
-            resets_.clear();
-            for (auto c : counted_) {
+            scratch_.resets.clear();
+            for (auto c : scratch_.counted) {
                 const Element &e = a_.element(c);
-                ++value_[c];
-                if (value_[c] != e.target)
+                ++scratch_.value[c];
+                if (scratch_.value[c] != e.target)
                     continue;
                 if (e.reporting) {
                     ++result_.reportCount;
@@ -159,26 +157,29 @@ StreamingSession::feed(const uint8_t *data, size_t len)
                 for (uint32_t k = edgeBegin_[c];
                      k < edgeBegin_[c + 1]; ++k) {
                     const ElementId tgt = edgeTarget_[k];
-                    if (!isAllInput_[tgt] && stamp_[tgt] != t_ + 2) {
-                        stamp_[tgt] = t_ + 2;
-                        next_.push_back(tgt);
+                    if (!isAllInput_[tgt] &&
+                        scratch_.stamp[tgt] != base + t_ + 2) {
+                        scratch_.stamp[tgt] = base + t_ + 2;
+                        scratch_.next.push_back(tgt);
                     }
                 }
-                if (e.mode == CounterMode::kLatch && !latched_[c]) {
-                    latched_[c] = 1;
-                    latchedList_.push_back(c);
+                if (e.mode == CounterMode::kLatch &&
+                    !scratch_.latched[c]) {
+                    scratch_.latched[c] = 1;
+                    scratch_.latchedList.push_back(c);
                 } else if (e.mode == CounterMode::kRollover) {
-                    value_[c] = 0;
+                    scratch_.value[c] = 0;
                 }
             }
-            counted_.clear();
-            for (auto c : latchedList_) {
+            scratch_.counted.clear();
+            for (auto c : scratch_.latchedList) {
                 for (uint32_t k = edgeBegin_[c];
                      k < edgeBegin_[c + 1]; ++k) {
                     const ElementId tgt = edgeTarget_[k];
-                    if (!isAllInput_[tgt] && stamp_[tgt] != t_ + 2) {
-                        stamp_[tgt] = t_ + 2;
-                        next_.push_back(tgt);
+                    if (!isAllInput_[tgt] &&
+                        scratch_.stamp[tgt] != base + t_ + 2) {
+                        scratch_.stamp[tgt] = base + t_ + 2;
+                        scratch_.next.push_back(tgt);
                     }
                 }
             }

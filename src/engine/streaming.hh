@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/automaton.hh"
+#include "engine/engine_scratch.hh"
 #include "engine/report.hh"
 
 namespace azoo {
@@ -59,13 +60,13 @@ class StreamingSession
     SimResult result_;
     uint64_t t_ = 0;
 
-    // Persistent per-element state mirroring NfaEngine's internals.
-    std::vector<uint64_t> stamp_;
-    std::vector<ElementId> cur_, next_;
-    std::vector<uint32_t> value_;
-    std::vector<uint64_t> countStamp_, resetStamp_;
-    std::vector<uint8_t> latched_;
-    std::vector<ElementId> counted_, resets_, latchedList_;
+    /** Persistent per-element state (enable stamps, counter values,
+     *  worklists). Stamps are epoch-offset by scratch_.base so
+     *  reset() costs O(counters), not O(n): advancing the epoch past
+     *  every stamp the previous stream could have written invalidates
+     *  them all at once. */
+    EngineScratch scratch_;
+    std::vector<ElementId> counters_;
 
     // Engine-style flattened structure.
     std::vector<uint32_t> edgeBegin_, resetBegin_;

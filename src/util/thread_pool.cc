@@ -130,4 +130,32 @@ ThreadPool::parallelFor(size_t n,
     done.wait();
 }
 
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t, size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (size() == 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            body(0, i);
+        return;
+    }
+    const size_t helpers = std::min(size(), n);
+    std::atomic<size_t> index{0};
+    std::latch done(static_cast<ptrdiff_t>(helpers));
+    for (size_t h = 0; h < helpers; ++h) {
+        post([&, h] {
+            for (;;) {
+                const size_t i = index.fetch_add(1);
+                if (i >= n)
+                    break;
+                body(h, i);
+            }
+            done.count_down();
+        });
+    }
+    done.wait();
+}
+
 } // namespace azoo

@@ -64,6 +64,18 @@ class ThreadPool
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &body);
 
+    /**
+     * parallelFor with a worker-slot id: runs body(slot, i) where
+     * @p slot is owned exclusively by one helper task for the whole
+     * call (slot in [0, min(size(), n))). Callers use the slot to
+     * index per-worker mutable state — engine scratches, lazy-DFA
+     * caches — without locks. Which indices a slot processes is
+     * unspecified (self-scheduling), only slot exclusivity is
+     * guaranteed.
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t, size_t)> &body);
+
     /** std::thread::hardware_concurrency with a floor of 1. */
     static size_t hardwareThreads();
 

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Union-find (disjoint set) over dense uint32 ids.
+ *
+ * Shared by the component-partitioning paths (ParallelRunner shards,
+ * LazyDfaEngine's counter/counter-free split) that must group
+ * automaton elements by connected component over activation *and*
+ * reset edges.
+ */
+
+#ifndef AZOO_UTIL_UNION_FIND_HH
+#define AZOO_UTIL_UNION_FIND_HH
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace azoo {
+
+/** Union-find with path halving; no union-by-rank (callers work over
+ *  graph edges, where halving alone keeps trees shallow). */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    uint32_t
+    find(uint32_t x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    unite(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[b] = a;
+    }
+
+  private:
+    std::vector<uint32_t> parent_;
+};
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_UNION_FIND_HH

@@ -11,6 +11,7 @@
 #include <algorithm>
 
 #include "core/builder.hh"
+#include "engine/lazy_dfa_engine.hh"
 #include "engine/multidfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "engine/spatial_model.hh"
@@ -30,6 +31,28 @@ sortedReports(SimResult r)
 {
     std::sort(r.reports.begin(), r.reports.end());
     return r.reports;
+}
+
+/** Assert @p got is bit-identical to the interpreter result @p ref on
+ *  every semantic field (reports compared in canonical order). */
+void
+expectSameSemantics(const SimResult &ref, const SimResult &got)
+{
+    SimResult canon = ref;
+    std::sort(canon.reports.begin(), canon.reports.end());
+    EXPECT_EQ(canon.reports, got.reports);
+    EXPECT_EQ(canon.reportCount, got.reportCount);
+    EXPECT_EQ(canon.totalEnabled, got.totalEnabled);
+    EXPECT_EQ(canon.reportingCycles, got.reportingCycles);
+    EXPECT_EQ(canon.byCode, got.byCode);
+}
+
+SimOptions
+fullOptions()
+{
+    SimOptions opts;
+    opts.countByCode = true;
+    return opts;
 }
 
 TEST(NfaEngine, StartOfDataFiresOnlyAtOffsetZero)
@@ -254,6 +277,139 @@ TEST(MultiDfa, StateBudgetForcesFallback)
               sortedReports(dfa.simulate(in)));
 }
 
+TEST(LazyDfa, MatchesNfaOnLiterals)
+{
+    Automaton a("t");
+    addLiteral(a, "abc", StartType::kAllInput, true, 1);
+    addLiteral(a, "bc", StartType::kAllInput, true, 2);
+    NfaEngine nfa(a);
+    LazyDfaEngine lazy(a);
+    EXPECT_EQ(lazy.fallbackComponents(), 0u);
+    auto in = bytes("xxabcxbcabc");
+    auto r = lazy.simulate(in, fullOptions());
+    expectSameSemantics(nfa.simulate(in, fullOptions()), r);
+    EXPECT_GT(lazy.cachedStates(), 0u);
+    EXPECT_EQ(r.lazyFlushes, 0u);
+    EXPECT_EQ(r.lazyFallbackComponents, 0u);
+}
+
+TEST(LazyDfa, CounterComponentsRunOnFallback)
+{
+    Automaton a = counterAutomaton(3, CounterMode::kRollover, true);
+    addLiteral(a, "xy", StartType::kAllInput, true, 7);
+    NfaEngine nfa(a);
+    LazyDfaEngine lazy(a);
+    EXPECT_EQ(lazy.fallbackComponents(), 1u);
+    auto in = bytes("aaxyaraaaxy");
+    auto r = lazy.simulate(in, fullOptions());
+    expectSameSemantics(nfa.simulate(in, fullOptions()), r);
+    EXPECT_EQ(r.lazyFallbackComponents, 1u);
+}
+
+TEST(LazyDfa, PureCounterAutomatonHasNoLazyPart)
+{
+    for (auto mode : {CounterMode::kLatch, CounterMode::kPulse,
+                      CounterMode::kRollover}) {
+        Automaton a = counterAutomaton(2, mode, true);
+        NfaEngine nfa(a);
+        LazyDfaEngine lazy(a);
+        EXPECT_EQ(lazy.lazyElements(), 0u);
+        EXPECT_EQ(lazy.fallbackComponents(), 1u);
+        auto in = bytes("aararaaaa");
+        expectSameSemantics(nfa.simulate(in, fullOptions()),
+                            lazy.simulate(in, fullOptions()));
+    }
+}
+
+TEST(LazyDfa, LatchedCounterSuccessorsMatchInterpreter)
+{
+    Automaton a("c");
+    ElementId s = a.addSte(CharSet::single('a'), StartType::kAllInput);
+    ElementId c = a.addCounter(2, CounterMode::kLatch);
+    ElementId z = a.addSte(CharSet::single('z'), StartType::kNone,
+                           true, 5);
+    a.addEdge(s, c);
+    a.addEdge(c, z);
+    NfaEngine nfa(a);
+    LazyDfaEngine lazy(a);
+    auto in = bytes("aaxzxz");
+    expectSameSemantics(nfa.simulate(in, fullOptions()),
+                        lazy.simulate(in, fullOptions()));
+}
+
+/** The over-budget shape for MultiDfa: star -> long 'a' chain. Its
+ *  subset space is far too large to enumerate eagerly, but skewed
+ *  input keeps the *visited* state-set small: the lazy engine's
+ *  target workload. */
+Automaton
+boundedRepeatAutomaton(int depth)
+{
+    Automaton a("big");
+    ElementId star = addStarState(a, CharSet::all());
+    ElementId prev = star;
+    for (int i = 0; i < depth; ++i) {
+        ElementId s = a.addSte(CharSet::single('a'));
+        a.addEdge(prev, s);
+        prev = s;
+    }
+    a.element(prev).reporting = true;
+    a.element(prev).reportCode = 3;
+    return a;
+}
+
+TEST(LazyDfa, TinyBudgetFlushesMidStreamAndStaysExact)
+{
+    Automaton a = boundedRepeatAutomaton(24);
+    NfaEngine nfa(a);
+    LazyDfaOptions lopts;
+    lopts.cacheBytes = 2048; // absurdly small: forces eviction
+    LazyDfaEngine lazy(a, lopts);
+
+    Rng rng(3);
+    std::vector<uint8_t> in;
+    for (int i = 0; i < 4000; ++i)
+        in.push_back(rng.nextBool(0.7) ? 'a' : 'b');
+
+    auto r = lazy.simulate(in, fullOptions());
+    expectSameSemantics(nfa.simulate(in.data(), in.size(),
+                                     fullOptions()), r);
+    EXPECT_GT(r.lazyFlushes, 0u);
+    EXPECT_EQ(r.lazyFlushes, lazy.cacheFlushes());
+}
+
+TEST(LazyDfa, WarmCacheSecondRunIsIdentical)
+{
+    Automaton a = boundedRepeatAutomaton(12);
+    LazyDfaEngine lazy(a);
+    Rng rng(9);
+    std::vector<uint8_t> in;
+    for (int i = 0; i < 2000; ++i)
+        in.push_back(rng.nextBool(0.8) ? 'a' : 'x');
+
+    auto r1 = lazy.simulate(in, fullOptions());
+    const uint64_t states = lazy.cachedStates();
+    const uint64_t cells = lazy.cachedTransitions();
+    auto r2 = lazy.simulate(in, fullOptions());
+    // Second pass replays entirely from the warm cache: no growth,
+    // same answer.
+    EXPECT_EQ(lazy.cachedStates(), states);
+    EXPECT_EQ(lazy.cachedTransitions(), cells);
+    EXPECT_EQ(r1.reports, r2.reports);
+    EXPECT_EQ(r1.totalEnabled, r2.totalEnabled);
+}
+
+TEST(LazyDfa, ReportRecordLimitCapsVectorNotCount)
+{
+    Automaton a("t");
+    addLiteral(a, "a", StartType::kAllInput, true, 1);
+    LazyDfaEngine lazy(a);
+    SimOptions opts;
+    opts.reportRecordLimit = 3;
+    auto r = lazy.simulate(bytes("aaaaaaaa"), opts);
+    EXPECT_EQ(r.reportCount, 8u);
+    EXPECT_EQ(r.reports.size(), 3u);
+}
+
 /** Random small automata: NFA and DFA engines report identically. */
 class EngineEquivalence : public testing::TestWithParam<int>
 {
@@ -281,13 +437,20 @@ TEST_P(EngineEquivalence, RandomAutomata)
 
     NfaEngine nfa(a);
     MultiDfaEngine dfa(a);
+    LazyDfaEngine lazy(a);
+    LazyDfaOptions tiny_opts;
+    tiny_opts.cacheBytes = 1; // every insertion over budget
+    LazyDfaEngine tiny(a, tiny_opts);
     for (int trial = 0; trial < 5; ++trial) {
         std::string text = rng.randomString(1 + rng.nextBelow(80),
                                             "abcd");
         auto in = bytes(text);
-        ASSERT_EQ(sortedReports(nfa.simulate(in)),
+        auto ref = nfa.simulate(in, fullOptions());
+        ASSERT_EQ(sortedReports(ref),
                   sortedReports(dfa.simulate(in)))
             << "input '" << text << "'";
+        expectSameSemantics(ref, lazy.simulate(in, fullOptions()));
+        expectSameSemantics(ref, tiny.simulate(in, fullOptions()));
     }
 }
 

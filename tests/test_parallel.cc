@@ -53,6 +53,27 @@ TEST(ThreadPool, ParallelForHandlesDegenerateSizes)
     EXPECT_EQ(one.load(), 1);
 }
 
+TEST(ThreadPool, SlotIndexedParallelForGivesExclusiveSlots)
+{
+    ThreadPool pool(4);
+    std::array<std::atomic<int>, 4> inSlot{};
+    std::atomic<bool> badSlot{false}, clash{false};
+    std::vector<std::atomic<int>> hits(500);
+    pool.parallelFor(hits.size(), [&](size_t slot, size_t i) {
+        if (slot >= 4)
+            badSlot.store(true);
+        else if (inSlot[slot].fetch_add(1) != 0)
+            clash.store(true);
+        hits[i].fetch_add(1);
+        if (slot < 4)
+            inSlot[slot].fetch_sub(1);
+    });
+    EXPECT_FALSE(badSlot.load());
+    EXPECT_FALSE(clash.load()) << "two tasks shared a slot at once";
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
 TEST(ThreadPool, PostRunsEveryTask)
 {
     constexpr int kTasks = 256;
@@ -113,6 +134,19 @@ TEST_P(ParallelVsSerial, ShardedMatchesSerial)
     EXPECT_EQ(got.reportingCycles, expect.reportingCycles);
     EXPECT_EQ(got.byCode, expect.byCode);
     EXPECT_EQ(got.reports, expect.reports);
+
+    // Same run on the lazy-DFA engine, with a budget small enough
+    // that large components flush mid-stream: still bit-identical.
+    ParallelOptions lazyOpts = popts;
+    lazyOpts.engine = ParallelEngine::kLazyDfa;
+    lazyOpts.lazyCacheBytes = 64 * 1024;
+    ParallelRunner lazyRunner(b.automaton, lazyOpts);
+    SimResult lgot = lazyRunner.simulateSharded(b.input.data(), simLen);
+    EXPECT_EQ(lgot.reportCount, expect.reportCount);
+    EXPECT_EQ(lgot.totalEnabled, expect.totalEnabled);
+    EXPECT_EQ(lgot.reportingCycles, expect.reportingCycles);
+    EXPECT_EQ(lgot.byCode, expect.byCode);
+    EXPECT_EQ(lgot.reports, expect.reports);
 }
 
 TEST_P(ParallelVsSerial, BatchMatchesPerStreamSerial)
@@ -134,7 +168,13 @@ TEST_P(ParallelVsSerial, BatchMatchesPerStreamSerial)
     ParallelRunner runner(b.automaton, popts);
     BatchResult got = runner.runBatch(streams);
 
+    ParallelOptions lazyOpts = popts;
+    lazyOpts.engine = ParallelEngine::kLazyDfa;
+    ParallelRunner lazyRunner(b.automaton, lazyOpts);
+    BatchResult lgot = lazyRunner.runBatch(streams);
+
     ASSERT_EQ(got.perStream.size(), streams.size());
+    ASSERT_EQ(lgot.perStream.size(), streams.size());
     uint64_t symbols = 0, reports = 0;
     for (size_t i = 0; i < streams.size(); ++i) {
         SimResult expect = serial.simulate(streams[i]);
@@ -145,11 +185,18 @@ TEST_P(ParallelVsSerial, BatchMatchesPerStreamSerial)
         EXPECT_EQ(got.perStream[i].totalEnabled, expect.totalEnabled)
             << i;
         EXPECT_EQ(got.perStream[i].reports, expect.reports) << i;
+        EXPECT_EQ(lgot.perStream[i].reportCount, expect.reportCount)
+            << i;
+        EXPECT_EQ(lgot.perStream[i].totalEnabled, expect.totalEnabled)
+            << i;
+        EXPECT_EQ(lgot.perStream[i].reports, expect.reports) << i;
         symbols += expect.symbols;
         reports += expect.reportCount;
     }
     EXPECT_EQ(got.totalSymbols, symbols);
     EXPECT_EQ(got.totalReports, reports);
+    EXPECT_EQ(lgot.totalSymbols, symbols);
+    EXPECT_EQ(lgot.totalReports, reports);
 }
 
 INSTANTIATE_TEST_SUITE_P(

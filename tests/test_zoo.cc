@@ -14,6 +14,7 @@
 #include <set>
 
 #include "core/stats.hh"
+#include "engine/lazy_dfa_engine.hh"
 #include "engine/multidfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "regex/glushkov.hh"
@@ -129,6 +130,35 @@ TEST_P(ZooEngineEquivalence, NfaAndDfaReportIdentically)
     };
     EXPECT_EQ(sorted(nfa.simulate(b.input)),
               sorted(dfa.simulate(b.input)));
+}
+
+/** The lazy-DFA hybrid is bit-identical to the interpreter on every
+ *  benchmark -- at the default budget and at a deliberately tiny one
+ *  that forces whole-cache flushes mid-stream. */
+TEST_P(ZooEngineEquivalence, LazyDfaIsBitIdenticalToNfa)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 16 * 1024;
+    zoo::Benchmark b = zoo::makeBenchmark(GetParam(), cfg);
+
+    SimOptions opts;
+    opts.countByCode = true;
+    NfaEngine nfa(b.automaton);
+    SimResult ref = nfa.simulate(b.input, opts);
+    std::sort(ref.reports.begin(), ref.reports.end());
+
+    LazyDfaOptions tiny;
+    tiny.cacheBytes = 4096;
+    for (const auto &lopts : {LazyDfaOptions(), tiny}) {
+        LazyDfaEngine lazy(b.automaton, lopts);
+        SimResult got = lazy.simulate(b.input, opts);
+        EXPECT_EQ(ref.reports, got.reports);
+        EXPECT_EQ(ref.reportCount, got.reportCount);
+        EXPECT_EQ(ref.totalEnabled, got.totalEnabled);
+        EXPECT_EQ(ref.reportingCycles, got.reportingCycles);
+        EXPECT_EQ(ref.byCode, got.byCode);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

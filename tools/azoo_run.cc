@@ -8,8 +8,14 @@
  *
  * Usage:
  *   azoo_run --automaton x.mnrl --input x.input
- *            [--engine nfa|dfa] [--reports N] [--by-code]
+ *            [--engine nfa|multidfa|lazydfa] [--cache-bytes N]
+ *            [--reports N] [--by-code]
  *            [--threads N] [--batch] [--chunk BYTES]
+ *
+ * Engines: nfa is the enabled-set interpreter; multidfa (alias: dfa)
+ * determinizes each component eagerly; lazydfa runs subset
+ * construction on the fly, memoizing transitions in a cache bounded
+ * by --cache-bytes. All three produce identical reports.
  *
  * --threads N (N > 1) simulates with the parallel layer: by default
  * the automaton is sharded by connected components and all shards
@@ -19,7 +25,7 @@
  * parallelism); --chunk feeds each stream through a StreamingSession
  * in chunks of the given size instead of one monolithic pass. Either
  * way the reports are byte-identical to a serial run (canonical
- * order). Parallel paths use the NFA engine.
+ * order). Parallel paths take --engine nfa or lazydfa.
  */
 
 #include <fstream>
@@ -29,6 +35,7 @@
 #include "core/mnrl.hh"
 #include "core/serialize.hh"
 #include "core/stats.hh"
+#include "engine/lazy_dfa_engine.hh"
 #include "engine/multidfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "engine/parallel_runner.hh"
@@ -68,8 +75,8 @@ int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv,
-            {"automaton", "input", "engine", "reports", "by-code",
-             "threads", "batch", "chunk"});
+            {"automaton", "input", "engine", "cache-bytes", "reports",
+             "by-code", "threads", "batch", "chunk"});
     const std::string apath = cli.get("automaton");
     const std::string ipath = cli.get("input");
     if (apath.empty() || ipath.empty())
@@ -88,11 +95,15 @@ main(int argc, char **argv)
     opts.reportRecordLimit = show;
 
     const std::string engine = cli.get("engine", "nfa");
+    const bool lazy = engine == "lazydfa";
+    const auto cacheBytes = static_cast<size_t>(
+        cli.getInt("cache-bytes", 8 << 20));
     const auto threads =
         static_cast<size_t>(cli.getInt("threads", 1));
     const bool batch = cli.getBool("batch");
-    if ((batch || threads > 1) && engine != "nfa")
-        fatal("azoo_run: --batch/--threads require --engine nfa");
+    if ((batch || threads > 1) && engine != "nfa" && !lazy)
+        fatal("azoo_run: --batch/--threads require --engine nfa or "
+              "lazydfa");
 
     if (batch) {
         std::vector<std::vector<uint8_t>> streams;
@@ -106,6 +117,9 @@ main(int argc, char **argv)
         popts.threads = threads;
         popts.chunkBytes =
             static_cast<size_t>(cli.getInt("chunk", 0));
+        popts.engine = lazy ? ParallelEngine::kLazyDfa
+                            : ParallelEngine::kNfa;
+        popts.lazyCacheBytes = cacheBytes;
         popts.sim = opts;
         ParallelRunner runner(a, popts);
         Timer timer;
@@ -121,15 +135,22 @@ main(int argc, char **argv)
                   << Table::fixed(br.totalSymbols / secs / 1e6, 1)
                   << " MB/s aggregate, " << runner.threads()
                   << " threads), " << br.totalReports << " reports\n";
+        if (lazy) {
+            std::cout << "lazy cache: " << br.totalLazyFlushes
+                      << " flushes across streams\n";
+        }
         return 0;
     }
 
     auto input = loadBytes(ipath);
     Timer timer;
     SimResult r;
-    if (engine == "nfa" && threads > 1) {
+    if ((engine == "nfa" || lazy) && threads > 1) {
         ParallelOptions popts;
         popts.threads = threads;
+        popts.engine = lazy ? ParallelEngine::kLazyDfa
+                            : ParallelEngine::kNfa;
+        popts.lazyCacheBytes = cacheBytes;
         popts.sim = opts;
         ParallelRunner runner(a, popts);
         std::cout << "sharded into " << runner.shardCount()
@@ -140,15 +161,26 @@ main(int argc, char **argv)
     } else if (engine == "nfa") {
         NfaEngine e(a);
         r = e.simulate(input, opts);
-    } else if (engine == "dfa") {
+    } else if (lazy) {
+        LazyDfaOptions lo;
+        lo.cacheBytes = cacheBytes;
+        LazyDfaEngine e(a, lo);
+        std::cout << "lazy DFA over " << e.lazyElements()
+                  << " elements (" << e.symbolClasses()
+                  << " symbol classes), " << e.fallbackComponents()
+                  << " counter components interpreted\n";
+        timer.reset();
+        r = e.simulate(input, opts);
+    } else if (engine == "dfa" || engine == "multidfa") {
         MultiDfaEngine e(a);
         std::cout << "compiled " << e.compiledComponents()
                   << " DFAs (" << e.totalDfaStates() << " states), "
-                  << e.fallbackComponents() << " NFA fallbacks\n";
+                  << e.fallbackComponents() << " lazy-DFA fallbacks\n";
+        timer.reset();
         r = e.simulate(input, opts);
     } else {
         fatal(cat("azoo_run: unknown engine '", engine,
-                  "' (nfa|dfa)"));
+                  "' (nfa|multidfa|lazydfa)"));
     }
     const double secs = timer.seconds();
 
@@ -156,11 +188,15 @@ main(int argc, char **argv)
               << Table::fixed(secs, 3) << "s ("
               << Table::fixed(input.size() / secs / 1e6, 1)
               << " MB/s), " << r.reportCount << " reports";
-    if (engine == "nfa") {
+    if (engine == "nfa" || lazy) {
         std::cout << ", avg active set "
                   << Table::fixed(r.avgActiveSet(), 1);
     }
     std::cout << "\n";
+    if (lazy) {
+        std::cout << "lazy cache: " << r.lazyStates << " state-sets, "
+                  << r.lazyFlushes << " flushes\n";
+    }
 
     for (size_t i = 0; i < r.reports.size() && i < show; ++i) {
         std::cout << "  report offset=" << r.reports[i].offset
