@@ -69,7 +69,7 @@ BM_MultiDfa_ComponentScaling(benchmark::State &state)
     Rng rng(13);
     Automaton a("lit");
     for (int i = 0; i < filters; ++i) {
-        appendRegex(a, parseRegex(rng.randomString(8, "abcdef")),
+        appendRegex(a, parseRegexOrDie(rng.randomString(8, "abcdef")),
                     static_cast<uint32_t>(i));
     }
     auto in = Rng(5).randomBytes(kInput);
@@ -210,7 +210,7 @@ BM_Regex_Compile(benchmark::State &state)
     for (auto _ : state) {
         Automaton a("c");
         for (size_t i = 0; i < patterns.size(); ++i) {
-            appendRegex(a, parseRegex(patterns[i]),
+            appendRegex(a, parseRegexOrDie(patterns[i]),
                         static_cast<uint32_t>(i));
         }
         benchmark::DoNotOptimize(a.size());
@@ -229,7 +229,7 @@ BM_PrefixMerge_Clamav(benchmark::State &state)
     for (int i = 0; i < 200; ++i) {
         // Shared 8-byte prefix family.
         std::string sig = "MZheader" + rng.randomString(40, "abcdef");
-        appendRegex(a, parseRegex(sig), static_cast<uint32_t>(i));
+        appendRegex(a, parseRegexOrDie(sig), static_cast<uint32_t>(i));
     }
     for (auto _ : state) {
         auto m = prefixMerge(a);

@@ -27,11 +27,11 @@ main()
     // 1) Compile a few patterns into one automaton. Each pattern gets
     //    a report code so matches can be attributed.
     Automaton a("quickstart");
-    appendRegex(a, parseRegex("virus[0-9]+"), /*report_code=*/0);
-    appendRegex(a, parseRegex("mal(ware|icious)"), 1);
+    appendRegex(a, parseRegexOrDie("virus[0-9]+"), /*report_code=*/0);
+    appendRegex(a, parseRegexOrDie("mal(ware|icious)"), 1);
     RegexFlags nocase;
     nocase.nocase = true;
-    appendRegex(a, parseRegex("trojan", nocase), 2);
+    appendRegex(a, parseRegexOrDie("trojan", nocase), 2);
     a.validate();
 
     GraphStats s = computeStats(a);

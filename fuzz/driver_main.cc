@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Standalone driver for the fuzz harnesses when libFuzzer is not
+ * available (gcc builds). Feeds each file named on the command line
+ * to LLVMFuzzerTestOneInput, so the same harness binaries double as
+ * corpus regression runners:
+ *
+ *     fuzz_mnrl corpus/mnrl/seed_basic.mnrl tests/data/bad/x.mnrl ...
+ *
+ * Exit is non-zero only if the harness itself crashes, which is
+ * exactly the signal the CI fuzz-smoke leg watches for.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data,
+                                      size_t size);
+
+int
+main(int argc, char **argv)
+{
+    int fed = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream f(argv[i], std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "skip (unreadable): %s\n", argv[i]);
+            continue;
+        }
+        std::string buf((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const uint8_t *>(buf.data()), buf.size());
+        ++fed;
+    }
+    std::fprintf(stderr, "ran %d corpus file(s) without crashing\n",
+                 fed);
+    return 0;
+}

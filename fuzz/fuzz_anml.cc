@@ -1,0 +1,31 @@
+/**
+ * @file
+ * libFuzzer harness for the ANML (XML) front end. Same contract as
+ * fuzz_mnrl: parse or structured error, nothing else.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/anml.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    azoo::ParseLimits limits;
+    limits.maxStates = 1 << 12;
+    limits.maxEdges = 1 << 14;
+    limits.maxNestingDepth = 64;
+    limits.maxInputBytes = 1 << 20;
+
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(data), size));
+    azoo::Expected<azoo::Automaton> got = azoo::readAnml(is, limits);
+    if (got.ok()) {
+        if (!got->check().ok())
+            __builtin_trap();
+    }
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * libFuzzer harness for the MNRL (JSON) front end. The contract
+ * under fuzz: arbitrary bytes either parse into a valid automaton or
+ * come back as a structured Status — never an abort, never an
+ * uncaught exception, never unbounded resource use (ParseLimits are
+ * tightened so the fuzzer explores parse logic, not allocation).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "core/mnrl.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    azoo::ParseLimits limits;
+    limits.maxStates = 1 << 12;
+    limits.maxEdges = 1 << 14;
+    limits.maxNestingDepth = 64;
+    limits.maxInputBytes = 1 << 20;
+
+    std::istringstream is(
+        std::string(reinterpret_cast<const char *>(data), size));
+    azoo::Expected<azoo::Automaton> got = azoo::readMnrl(is, limits);
+    if (got.ok()) {
+        // A parsed automaton must satisfy its own invariants.
+        if (!got->check().ok())
+            __builtin_trap();
+    }
+    return 0;
+}

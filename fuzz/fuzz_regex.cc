@@ -1,0 +1,34 @@
+/**
+ * @file
+ * libFuzzer harness for the regex parser (PCRE-ish subset). Bytes in,
+ * Expected<Regex> out; parse errors must be structured, nesting and
+ * repeat bounds must be limited, and a successful parse must yield an
+ * AST the Glushkov construction accepts.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "regex/glushkov.hh"
+#include "regex/parser.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    azoo::ParseLimits limits;
+    limits.maxNestingDepth = 64;
+
+    const std::string pattern(reinterpret_cast<const char *>(data),
+                              size);
+    azoo::Expected<azoo::Regex> got =
+        azoo::parseRegex(pattern, azoo::RegexFlags(), limits);
+    if (got.ok()) {
+        // The downstream automaton construction must accept every
+        // pattern the parser accepts.
+        azoo::Automaton a = azoo::compileRegex(*got);
+        if (!a.check().ok())
+            __builtin_trap();
+    }
+    return 0;
+}

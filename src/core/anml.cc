@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/fault.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -29,8 +31,21 @@ xmlEscape(const std::string &s)
     return out;
 }
 
+/** Throw a structured parse error anchored at @p off in @p text. */
+[[noreturn]] void
+dieAnml(const std::string &text, size_t off, const std::string &what,
+        ErrorCode code = ErrorCode::kParseError)
+{
+    throw StatusError(Status(code,
+                             cat("anml: ", what, " near '",
+                                 tokenAt(text, off), "'"),
+                             locateOffset(text, off)));
+}
+
+/** @p off is the absolute offset of @p s in the document, used to
+ *  anchor bad-entity errors. */
 std::string
-xmlUnescape(const std::string &s)
+xmlUnescape(const std::string &text, size_t off, const std::string &s)
 {
     std::string out;
     size_t i = 0;
@@ -55,10 +70,33 @@ xmlUnescape(const std::string &s)
             out.push_back('\'');
             i += 6;
         } else {
-            fatal(cat("anml: bad entity near '", s.substr(i, 6), "'"));
+            dieAnml(text, off + i, "bad entity");
         }
     }
     return out;
+}
+
+/** Checked uint32 parse for attribute values (std::stoul would throw
+ *  bare std::invalid_argument on garbage like target="x"). */
+uint32_t
+parseU32Attr(const std::string &text, size_t off,
+             const std::string &attr, const std::string &value)
+{
+    uint64_t v = 0;
+    size_t i = 0;
+    for (; i < value.size(); ++i) {
+        const char c = value[i];
+        if (c < '0' || c > '9')
+            break;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+        if (v > 0xFFFFFFFFULL)
+            dieAnml(text, off,
+                    cat("attribute '", attr, "' value out of range"));
+    }
+    if (i == 0 || i != value.size())
+        dieAnml(text, off, cat("attribute '", attr,
+                               "' is not a number: '", value, "'"));
+    return static_cast<uint32_t>(v);
 }
 
 const char *
@@ -95,9 +133,10 @@ struct XmlTag {
 class XmlScanner
 {
   public:
-    explicit XmlScanner(std::string text) : text_(std::move(text)) {}
+    explicit XmlScanner(const std::string &text) : text_(text) {}
 
-    /** Next tag, or false at end of document. */
+    /** Next tag, or false at end of document. Throws StatusError
+     *  (with line:column) on malformed markup. */
     bool
     next(XmlTag &tag)
     {
@@ -108,40 +147,60 @@ class XmlScanner
             if (text_.compare(lt, 4, "<!--") == 0) {
                 const size_t end = text_.find("-->", lt);
                 if (end == std::string::npos)
-                    fatal("anml: unterminated comment");
+                    dieAnml(text_, lt, "unterminated comment");
                 pos_ = end + 3;
                 continue;
             }
             if (text_.compare(lt, 2, "<?") == 0) {
                 const size_t end = text_.find("?>", lt);
                 if (end == std::string::npos)
-                    fatal("anml: unterminated declaration");
+                    dieAnml(text_, lt, "unterminated declaration");
                 pos_ = end + 2;
                 continue;
             }
             const size_t gt = text_.find('>', lt);
             if (gt == std::string::npos)
-                fatal("anml: unterminated tag");
-            parseTag(text_.substr(lt + 1, gt - lt - 1), tag);
+                dieAnml(text_, lt, "unterminated tag");
+            tagOff_ = lt;
+            parseTag(text_.substr(lt + 1, gt - lt - 1), lt + 1, tag);
             pos_ = gt + 1;
             return true;
         }
     }
 
+    /** Absolute offset of the '<' of the most recent tag; anchors
+     *  semantic errors raised by the caller. */
+    size_t tagOffset() const { return tagOff_; }
+
   private:
     void
-    parseTag(std::string body, XmlTag &tag)
+    parseTag(const std::string &raw, size_t base, XmlTag &tag)
     {
         tag = XmlTag();
-        body = trim(body);
-        if (!body.empty() && body.front() == '/') {
+        // Trim manually so `base + i` stays an absolute offset.
+        size_t lo = 0;
+        size_t hi = raw.size();
+        auto ws = [&raw](size_t k) {
+            return std::isspace(static_cast<unsigned char>(raw[k]));
+        };
+        while (lo < hi && ws(lo))
+            ++lo;
+        while (hi > lo && ws(hi - 1))
+            --hi;
+        if (lo < hi && raw[lo] == '/') {
             tag.closing = true;
-            body = trim(body.substr(1));
+            ++lo;
+            while (lo < hi && ws(lo))
+                ++lo;
         }
-        if (!body.empty() && body.back() == '/') {
+        if (hi > lo && raw[hi - 1] == '/') {
             tag.selfClosing = true;
-            body = trim(body.substr(0, body.size() - 1));
+            --hi;
+            while (hi > lo && ws(hi - 1))
+                --hi;
         }
+        const std::string body = raw.substr(lo, hi - lo);
+        const size_t bodyBase = base + lo;
         size_t i = 0;
         while (i < body.size() &&
                !std::isspace(static_cast<unsigned char>(body[i]))) {
@@ -166,21 +225,25 @@ class XmlScanner
                 ++i;
             }
             if (i >= body.size() || body[i] != '"')
-                fatal(cat("anml: attribute '", name,
-                          "' missing quoted value"));
+                dieAnml(text_, bodyBase + i,
+                        cat("attribute '", name,
+                            "' missing quoted value"));
             ++i;
+            const size_t valueOff = bodyBase + i;
             std::string value;
             while (i < body.size() && body[i] != '"')
                 value.push_back(body[i++]);
             if (i >= body.size())
-                fatal("anml: unterminated attribute value");
+                dieAnml(text_, valueOff,
+                        "unterminated attribute value");
             ++i;
-            tag.attrs[name] = xmlUnescape(value);
+            tag.attrs[name] = xmlUnescape(text_, valueOff, value);
         }
     }
 
-    std::string text_;
+    const std::string &text_;
     size_t pos_ = 0;
+    size_t tagOff_ = 0;
 };
 
 } // namespace
@@ -231,22 +294,44 @@ writeAnml(std::ostream &os, const Automaton &a)
     os << "  </automata-network>\n</anml>\n";
 }
 
+namespace {
+
+/** Throwing implementation behind the Expected-returning wrapper. */
 Automaton
-readAnml(std::istream &is)
+readAnmlText(const std::string &text, const ParseLimits &limits)
 {
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    XmlScanner scanner(buf.str());
+    XmlScanner scanner(text);
 
     Automaton a;
     std::map<std::string, ElementId> by_id;
-    // Deferred connections: (from, target-id-with-optional-port).
-    std::vector<std::pair<ElementId, std::string>> pending;
+    // Deferred connections: (from, target-id-with-optional-port,
+    // offset of the referencing tag for error reporting).
+    struct Pending {
+        ElementId from;
+        std::string target;
+        size_t off;
+    };
+    std::vector<Pending> pending;
     ElementId current = kNoElement;
     bool in_network = false;
 
+    auto checkStateLimit = [&] {
+        if (fault::shouldFail(fault::Point::kAllocFail)) {
+            dieAnml(text, scanner.tagOffset(),
+                    "element table allocation failed",
+                    ErrorCode::kResourceExhausted);
+        }
+        if (a.size() >= limits.maxStates) {
+            dieAnml(text, scanner.tagOffset(),
+                    cat("element count exceeds state limit (",
+                        limits.maxStates, ")"),
+                    ErrorCode::kLimitExceeded);
+        }
+    };
+
     XmlTag tag;
     while (scanner.next(tag)) {
+        const size_t here = scanner.tagOffset();
         if (tag.name == "anml" || tag.name == "description")
             continue;
         if (tag.name == "automata-network") {
@@ -259,23 +344,28 @@ readAnml(std::istream &is)
             continue;
         }
         if (!in_network && !tag.closing)
-            fatal(cat("anml: element '", tag.name,
-                      "' outside automata-network"));
+            dieAnml(text, here, cat("element '", tag.name,
+                                    "' outside automata-network"));
 
         if (tag.name == "state-transition-element") {
             if (tag.closing) {
                 current = kNoElement;
                 continue;
             }
+            checkStateLimit();
             const std::string &ss = tag.attrs["symbol-set"];
             CharSet cs;
             if (ss == "*") {
                 cs = CharSet::all();
             } else if (ss.size() >= 2 && ss.front() == '[' &&
                        ss.back() == ']') {
-                cs = CharSet::fromExpr(ss.substr(1, ss.size() - 2));
+                std::string err;
+                if (!CharSet::tryFromExpr(ss.substr(1, ss.size() - 2),
+                                          cs, err)) {
+                    dieAnml(text, here, err);
+                }
             } else {
-                fatal(cat("anml: bad symbol-set '", ss, "'"));
+                dieAnml(text, here, cat("bad symbol-set '", ss, "'"));
             }
             StartType start = StartType::kNone;
             const std::string &st = tag.attrs["start"];
@@ -284,7 +374,7 @@ readAnml(std::istream &is)
             else if (st == "all-input")
                 start = StartType::kAllInput;
             else if (!st.empty() && st != "none")
-                fatal(cat("anml: bad start '", st, "'"));
+                dieAnml(text, here, cat("bad start '", st, "'"));
             current = a.addSte(cs, start);
             by_id[tag.attrs["id"]] = current;
             if (tag.selfClosing)
@@ -294,6 +384,7 @@ readAnml(std::istream &is)
                 current = kNoElement;
                 continue;
             }
+            checkStateLimit();
             CounterMode mode = CounterMode::kLatch;
             const std::string &at = tag.attrs["at-target"];
             if (at == "pulse")
@@ -301,10 +392,10 @@ readAnml(std::istream &is)
             else if (at == "roll" || at == "rollover")
                 mode = CounterMode::kRollover;
             else if (!at.empty() && at != "latch")
-                fatal(cat("anml: bad at-target '", at, "'"));
+                dieAnml(text, here, cat("bad at-target '", at, "'"));
             current = a.addCounter(
-                static_cast<uint32_t>(
-                    std::stoul(tag.attrs["target"])),
+                parseU32Attr(text, here, "target",
+                             tag.attrs["target"]),
                 mode);
             by_id[tag.attrs["id"]] = current;
             if (tag.selfClosing)
@@ -312,24 +403,34 @@ readAnml(std::istream &is)
         } else if (tag.name == "report-on-match" ||
                    tag.name == "report-on-target") {
             if (current == kNoElement)
-                fatal(cat("anml: ", tag.name, " outside an element"));
+                dieAnml(text, here,
+                        cat(tag.name, " outside an element"));
             a.element(current).reporting = true;
             auto it = tag.attrs.find("reportcode");
             if (it != tag.attrs.end()) {
                 a.element(current).reportCode =
-                    static_cast<uint32_t>(std::stoul(it->second));
+                    parseU32Attr(text, here, "reportcode",
+                                 it->second);
             }
         } else if (tag.name == "activate-on-match" ||
                    tag.name == "activate-on-target") {
             if (current == kNoElement)
-                fatal(cat("anml: ", tag.name, " outside an element"));
-            pending.emplace_back(current, tag.attrs["element"]);
+                dieAnml(text, here,
+                        cat(tag.name, " outside an element"));
+            if (pending.size() >= limits.maxEdges) {
+                dieAnml(text, here,
+                        cat("edge count exceeds limit (",
+                            limits.maxEdges, ")"),
+                        ErrorCode::kLimitExceeded);
+            }
+            pending.push_back({current, tag.attrs["element"], here});
         } else if (!tag.closing) {
-            fatal(cat("anml: unsupported element '", tag.name, "'"));
+            dieAnml(text, here,
+                    cat("unsupported element '", tag.name, "'"));
         }
     }
 
-    for (const auto &[from, target] : pending) {
+    for (const auto &[from, target, off] : pending) {
         std::string id = target;
         bool reset = false;
         const size_t colon = id.find(':');
@@ -339,19 +440,37 @@ readAnml(std::istream &is)
             if (port == "rst")
                 reset = true;
             else if (port != "cnt" && port != "i")
-                fatal(cat("anml: unknown port '", port, "'"));
+                dieAnml(text, off, cat("unknown port '", port, "'"));
         }
         auto it = by_id.find(id);
         if (it == by_id.end())
-            fatal(cat("anml: connection to unknown element '", id,
-                      "'"));
+            dieAnml(text, off,
+                    cat("connection to unknown element '", id, "'"));
         if (reset)
             a.addResetEdge(from, it->second);
         else
             a.addEdge(from, it->second);
     }
-    a.validate();
+    if (Status st = a.check(); !st.ok())
+        throw StatusError(std::move(st));
     return a;
+}
+
+} // namespace
+
+Expected<Automaton>
+readAnml(std::istream &is, const ParseLimits &limits)
+{
+    Expected<std::string> text = readStream(is, limits.maxInputBytes);
+    if (!text.ok())
+        return text.status();
+    try {
+        return readAnmlText(*text, limits);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::kInternal, cat("anml: ", e.what()));
+    }
 }
 
 void
@@ -363,13 +482,26 @@ saveAnml(const std::string &path, const Automaton &a)
     writeAnml(f, a);
 }
 
-Automaton
-loadAnml(const std::string &path)
+Expected<Automaton>
+loadAnml(const std::string &path, const ParseLimits &limits)
 {
-    std::ifstream f(path);
-    if (!f)
-        fatal(cat("cannot open for read: ", path));
-    return readAnml(f);
+    Expected<std::string> text = readFile(path, limits.maxInputBytes);
+    if (!text.ok())
+        return text.status();
+    std::istringstream is(std::move(*text));
+    return readAnml(is, limits);
+}
+
+Automaton
+readAnmlOrDie(std::istream &is)
+{
+    return readAnml(is).valueOrDie();
+}
+
+Automaton
+loadAnmlOrDie(const std::string &path)
+{
+    return loadAnml(path).valueOrDie();
 }
 
 } // namespace azoo

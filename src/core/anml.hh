@@ -23,18 +23,31 @@
 #include <string>
 
 #include "core/automaton.hh"
+#include "util/status.hh"
 
 namespace azoo {
 
 /** Write @p a as an ANML document. */
 void writeAnml(std::ostream &os, const Automaton &a);
 
-/** Parse an ANML document; fatal() on malformed input. */
-Automaton readAnml(std::istream &is);
+/**
+ * Parse an ANML document. Malformed input and limit breaches return
+ * a structured Status carrying the error's line:column and the
+ * offending token (never a process abort).
+ */
+Expected<Automaton> readAnml(std::istream &is,
+                             const ParseLimits &limits = ParseLimits());
 
-/** File convenience wrappers. */
+/** File convenience wrapper; kIoError if @p path cannot be opened. */
+Expected<Automaton> loadAnml(const std::string &path,
+                             const ParseLimits &limits = ParseLimits());
+
+/** Fail-loudly wrappers for generators and tests: fatal() with the
+ *  Status message on any error. */
+Automaton readAnmlOrDie(std::istream &is);
+Automaton loadAnmlOrDie(const std::string &path);
+
 void saveAnml(const std::string &path, const Automaton &a);
-Automaton loadAnml(const std::string &path);
 
 } // namespace azoo
 

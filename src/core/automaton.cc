@@ -173,36 +173,46 @@ Automaton::connectedComponents(uint32_t &count) const
     return label;
 }
 
-void
-Automaton::validate() const
+Status
+Automaton::check() const
 {
+    auto bad = [this](const std::string &what) {
+        return Status(ErrorCode::kParseError,
+                      cat("automaton '", name_, "': ", what));
+    };
     for (ElementId i = 0; i < elements_.size(); ++i) {
         const Element &e = elements_[i];
         for (auto t : e.out) {
             if (t >= elements_.size())
-                fatal(cat("automaton '", name_, "': element ", i,
-                          " has out-edge to invalid id ", t));
+                return bad(cat("element ", i,
+                               " has out-edge to invalid id ", t));
         }
         for (auto t : e.resetOut) {
             if (t >= elements_.size())
-                fatal(cat("automaton '", name_, "': element ", i,
-                          " has reset edge to invalid id ", t));
+                return bad(cat("element ", i,
+                               " has reset edge to invalid id ", t));
             if (elements_[t].kind != ElementKind::kCounter)
-                fatal(cat("automaton '", name_, "': reset edge ", i,
-                          " -> ", t, " targets a non-counter"));
+                return bad(cat("reset edge ", i, " -> ", t,
+                               " targets a non-counter"));
         }
         if (e.kind == ElementKind::kCounter) {
             if (e.start != StartType::kNone)
-                fatal(cat("automaton '", name_, "': counter ", i,
-                          " has a start type"));
+                return bad(cat("counter ", i, " has a start type"));
             if (!e.symbols.empty())
-                fatal(cat("automaton '", name_, "': counter ", i,
-                          " carries symbols"));
+                return bad(cat("counter ", i, " carries symbols"));
             if (e.target == 0)
-                fatal(cat("automaton '", name_, "': counter ", i,
-                          " has zero target"));
+                return bad(cat("counter ", i, " has zero target"));
         }
     }
+    return Status();
+}
+
+void
+Automaton::validate() const
+{
+    Status st = check();
+    if (!st.ok())
+        fatal(st.message());
 }
 
 } // namespace azoo

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/charset.hh"
+#include "util/status.hh"
 
 namespace azoo {
 
@@ -152,7 +153,12 @@ class Automaton
      */
     std::vector<uint32_t> connectedComponents(uint32_t &count) const;
 
-    /** Check structural invariants; fatal() on violation. */
+    /** Check structural invariants; non-OK Status (kParseError) on
+     *  the first violation. Used by the untrusted-input loaders. */
+    Status check() const;
+
+    /** Check structural invariants; fatal() on violation. For
+     *  generator/transform code, where a violation is a bug. */
     void validate() const;
 
   private:

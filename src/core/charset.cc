@@ -40,8 +40,9 @@ CharSet::setRange(uint8_t lo, uint8_t hi)
         set(static_cast<uint8_t>(c));
 }
 
-CharSet
-CharSet::fromExpr(const std::string &expr)
+bool
+CharSet::tryFromExpr(const std::string &expr, CharSet &out,
+                     std::string &error)
 {
     CharSet cs;
     size_t i = 0;
@@ -51,14 +52,19 @@ CharSet::fromExpr(const std::string &expr)
         ++i;
     }
 
+    bool bad = false;
     auto read_char = [&](size_t &pos) -> int {
         if (expr[pos] == '\\' && pos + 1 < expr.size()) {
             char e = expr[pos + 1];
             if (e == 'x' && pos + 3 < expr.size()) {
                 int hi = hexValue(expr[pos + 2]);
                 int lo = hexValue(expr[pos + 3]);
-                if (hi < 0 || lo < 0)
-                    fatal(cat("bad \\x escape in charset: ", expr));
+                if (hi < 0 || lo < 0) {
+                    error = cat("bad \\x escape in charset: ", expr);
+                    bad = true;
+                    pos += 4;
+                    return 0;
+                }
                 pos += 4;
                 return hi * 16 + lo;
             }
@@ -74,20 +80,36 @@ CharSet::fromExpr(const std::string &expr)
         return static_cast<unsigned char>(expr[pos++]);
     };
 
-    while (i < expr.size()) {
+    while (i < expr.size() && !bad) {
         int c = read_char(i);
         if (i + 1 < expr.size() && expr[i] == '-') {
             size_t j = i + 1;
             int hi = read_char(j);
             i = j;
-            if (hi < c)
-                fatal(cat("reversed range in charset: ", expr));
+            if (hi < c) {
+                error = cat("reversed range in charset: ", expr);
+                bad = true;
+                break;
+            }
             cs.setRange(static_cast<uint8_t>(c), static_cast<uint8_t>(hi));
         } else {
             cs.set(static_cast<uint8_t>(c));
         }
     }
-    return negate ? ~cs : cs;
+    if (bad)
+        return false;
+    out = negate ? ~cs : cs;
+    return true;
+}
+
+CharSet
+CharSet::fromExpr(const std::string &expr)
+{
+    CharSet cs;
+    std::string error;
+    if (!tryFromExpr(expr, cs, error))
+        fatal(error);
+    return cs;
 }
 
 int

@@ -36,8 +36,14 @@ class CharSet
     static CharSet all();
 
     /** Parse a character-class style expression, e.g. "a-zA-Z0-9_".
-     *  A leading '^' negates. '\xNN' escapes are supported. */
+     *  A leading '^' negates. '\xNN' escapes are supported.
+     *  fatal() on malformed expressions; trusted call sites only. */
     static CharSet fromExpr(const std::string &expr);
+
+    /** Non-fatal fromExpr for untrusted input (the format loaders):
+     *  returns false and fills @p error on a malformed expression. */
+    static bool tryFromExpr(const std::string &expr, CharSet &out,
+                            std::string &error);
 
     bool
     test(uint8_t c) const

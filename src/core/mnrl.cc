@@ -9,6 +9,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/fault.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -32,6 +34,10 @@ struct JsonValue {
     std::string str;
     double num = 0;
     bool boolean = false;
+    /** Byte offset of this value in the source text, so semantic
+     *  errors (bad node type, missing attribute) can still report a
+     *  line:column. */
+    size_t srcOff = 0;
 
     const JsonValue *
     get(const std::string &key) const
@@ -44,7 +50,10 @@ struct JsonValue {
 class JsonParser
 {
   public:
-    explicit JsonParser(std::string text) : text_(std::move(text)) {}
+    JsonParser(std::string text, const ParseLimits &limits)
+        : text_(std::move(text)), limits_(limits)
+    {
+    }
 
     JsonPtr
     run()
@@ -58,10 +67,29 @@ class JsonParser
 
   private:
     [[noreturn]] void
-    die(const std::string &what)
+    die(const std::string &what,
+        ErrorCode code = ErrorCode::kParseError)
     {
-        fatal(cat("mnrl json: ", what, " at offset ", pos_));
+        throw StatusError(Status(
+            code,
+            cat("mnrl json: ", what, " near '", tokenAt(text_, pos_),
+                "'"),
+            locateOffset(text_, pos_)));
     }
+
+    /** RAII nesting-depth tracker; bounds parser recursion so
+     *  adversarial documents ("[[[[…") cannot overflow the stack. */
+    struct DepthGuard {
+        explicit DepthGuard(JsonParser &p) : p_(p)
+        {
+            if (++p_.depth_ > p_.limits_.maxNestingDepth)
+                p_.die(cat("nesting depth exceeds limit (",
+                           p_.limits_.maxNestingDepth, ")"),
+                       ErrorCode::kLimitExceeded);
+        }
+        ~DepthGuard() { --p_.depth_; }
+        JsonParser &p_;
+    };
 
     void
     skipWs()
@@ -93,24 +121,32 @@ class JsonParser
     parseValue()
     {
         const char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"')
-            return parseString();
-        if (c == 't' || c == 'f')
-            return parseBool();
-        if (c == 'n') {
+        const size_t off = pos_;
+        JsonPtr v;
+        if (c == '{') {
+            v = parseObject();
+        } else if (c == '[') {
+            v = parseArray();
+        } else if (c == '"') {
+            v = parseString();
+        } else if (c == 't' || c == 'f') {
+            v = parseBool();
+        } else if (c == 'n') {
+            if (text_.compare(pos_, 4, "null") != 0)
+                die("bad literal");
             pos_ += 4;
-            return std::make_unique<JsonValue>();
+            v = std::make_unique<JsonValue>();
+        } else {
+            v = parseNumber();
         }
-        return parseNumber();
+        v->srcOff = off;
+        return v;
     }
 
     JsonPtr
     parseObject()
     {
+        DepthGuard depth(*this);
         auto v = std::make_unique<JsonValue>();
         v->kind = JsonValue::Kind::kObject;
         expect('{');
@@ -134,6 +170,7 @@ class JsonParser
     JsonPtr
     parseArray()
     {
+        DepthGuard depth(*this);
         auto v = std::make_unique<JsonValue>();
         v->kind = JsonValue::Kind::kArray;
         expect('[');
@@ -237,7 +274,9 @@ class JsonParser
     }
 
     std::string text_;
+    ParseLimits limits_;
     size_t pos_ = 0;
+    uint32_t depth_ = 0;
 };
 
 /** Escape a string for JSON output (bytes as \u00NN). */
@@ -337,30 +376,49 @@ writeMnrl(std::ostream &os, const Automaton &a)
     os << "  ]\n}\n";
 }
 
+namespace {
+
+/** Build the automaton from the parsed document; throws StatusError
+ *  on semantic errors, carrying the offending node's line:column. */
 Automaton
-readMnrl(std::istream &is)
+buildFromJson(const std::string &text, const JsonValue &root,
+              const ParseLimits &limits)
 {
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    JsonPtr root = JsonParser(buf.str()).run();
-    if (root->kind != JsonValue::Kind::kObject)
-        fatal("mnrl: root is not an object");
+    auto dieAt = [&text](const JsonValue *v, const std::string &what,
+                         ErrorCode code = ErrorCode::kParseError) {
+        const size_t off = v ? v->srcOff : 0;
+        throw StatusError(Status(code, cat("mnrl: ", what),
+                                 locateOffset(text, off)));
+    };
+
+    if (root.kind != JsonValue::Kind::kObject)
+        dieAt(&root, "root is not an object");
 
     Automaton a;
-    if (const JsonValue *id = root->get("id"))
+    if (const JsonValue *id = root.get("id"))
         a.setName(id->str);
 
-    const JsonValue *nodes = root->get("nodes");
+    const JsonValue *nodes = root.get("nodes");
     if (!nodes || nodes->kind != JsonValue::Kind::kArray)
-        fatal("mnrl: missing nodes array");
+        dieAt(&root, "missing nodes array");
+    if (nodes->array.size() > limits.maxStates) {
+        dieAt(nodes,
+              cat("node count ", nodes->array.size(),
+                  " exceeds state limit (", limits.maxStates, ")"),
+              ErrorCode::kLimitExceeded);
+    }
 
     // First pass: create elements, remember ids.
     std::map<std::string, ElementId> by_id;
     for (const auto &n : nodes->array) {
+        if (fault::shouldFail(fault::Point::kAllocFail)) {
+            dieAt(n.get(), "element table allocation failed",
+                  ErrorCode::kResourceExhausted);
+        }
         const JsonValue *id = n->get("id");
         const JsonValue *type = n->get("type");
         if (!id || !type)
-            fatal("mnrl: node missing id or type");
+            dieAt(n.get(), "node missing id or type");
         const JsonValue *report = n->get("report");
         const bool reporting =
             report && report->kind == JsonValue::Kind::kBool &&
@@ -370,7 +428,7 @@ readMnrl(std::istream &is)
             code = static_cast<uint32_t>(rid->num);
         const JsonValue *attrs = n->get("attributes");
 
-        ElementId eid;
+        ElementId eid = 0;
         if (type->str == "hState") {
             StartType start = StartType::kNone;
             if (const JsonValue *en = n->get("enable")) {
@@ -379,29 +437,38 @@ readMnrl(std::istream &is)
                 else if (en->str == "always")
                     start = StartType::kAllInput;
                 else if (en->str != "onActivateIn")
-                    fatal(cat("mnrl: unsupported enable '", en->str,
-                              "'"));
+                    dieAt(en,
+                          cat("unsupported enable '", en->str, "'"),
+                          ErrorCode::kUnsupported);
             }
             const JsonValue *ss =
                 attrs ? attrs->get("symbolSet") : nullptr;
             if (!ss)
-                fatal("mnrl: hState missing attributes.symbolSet");
+                dieAt(n.get(),
+                      "hState missing attributes.symbolSet");
             CharSet cs;
             if (ss->str == "*") {
                 cs = CharSet::all();
             } else if (ss->str.size() >= 2 && ss->str.front() == '[' &&
                        ss->str.back() == ']') {
-                cs = CharSet::fromExpr(
-                    ss->str.substr(1, ss->str.size() - 2));
+                std::string err;
+                if (!CharSet::tryFromExpr(
+                        ss->str.substr(1, ss->str.size() - 2), cs,
+                        err)) {
+                    dieAt(ss, err);
+                }
             } else {
-                fatal(cat("mnrl: bad symbolSet '", ss->str, "'"));
+                dieAt(ss, cat("bad symbolSet '", ss->str, "'"));
             }
             eid = a.addSte(cs, start, reporting, code);
         } else if (type->str == "upCounter") {
             const JsonValue *th =
                 attrs ? attrs->get("threshold") : nullptr;
             if (!th)
-                fatal("mnrl: upCounter missing threshold");
+                dieAt(n.get(), "upCounter missing threshold");
+            if (th->num < 1) {
+                dieAt(th, cat("bad counter threshold ", th->num));
+            }
             CounterMode mode = CounterMode::kLatch;
             if (const JsonValue *m = attrs->get("mode")) {
                 if (m->str == "pulse")
@@ -409,20 +476,22 @@ readMnrl(std::istream &is)
                 else if (m->str == "rollover")
                     mode = CounterMode::kRollover;
                 else if (m->str != "latch")
-                    fatal(cat("mnrl: bad counter mode '", m->str,
-                              "'"));
+                    dieAt(m, cat("bad counter mode '", m->str, "'"),
+                          ErrorCode::kUnsupported);
             }
             eid = a.addCounter(static_cast<uint32_t>(th->num), mode,
                                reporting, code);
         } else {
-            fatal(cat("mnrl: unsupported node type '", type->str,
-                      "'"));
+            dieAt(type,
+                  cat("unsupported node type '", type->str, "'"),
+                  ErrorCode::kUnsupported);
         }
         if (!by_id.emplace(id->str, eid).second)
-            fatal(cat("mnrl: duplicate node id '", id->str, "'"));
+            dieAt(id, cat("duplicate node id '", id->str, "'"));
     }
 
     // Second pass: connections.
+    uint64_t edges = 0;
     size_t idx = 0;
     for (const auto &n : nodes->array) {
         const ElementId from = static_cast<ElementId>(idx++);
@@ -432,11 +501,17 @@ readMnrl(std::istream &is)
         for (const auto &c : conns->array) {
             const JsonValue *cid = c->get("id");
             if (!cid)
-                fatal("mnrl: connection missing id");
+                dieAt(c.get(), "connection missing id");
             auto it = by_id.find(cid->str);
             if (it == by_id.end())
-                fatal(cat("mnrl: connection to unknown node '",
-                          cid->str, "'"));
+                dieAt(cid, cat("connection to unknown node '",
+                               cid->str, "'"));
+            if (++edges > limits.maxEdges) {
+                dieAt(c.get(),
+                      cat("edge count exceeds limit (",
+                          limits.maxEdges, ")"),
+                      ErrorCode::kLimitExceeded);
+            }
             std::string port = "i";
             if (const JsonValue *p = c->get("port"))
                 port = p->str;
@@ -446,8 +521,30 @@ readMnrl(std::istream &is)
                 a.addEdge(from, it->second);
         }
     }
-    a.validate();
+    if (Status st = a.check(); !st.ok())
+        throw StatusError(std::move(st));
     return a;
+}
+
+} // namespace
+
+Expected<Automaton>
+readMnrl(std::istream &is, const ParseLimits &limits)
+{
+    Expected<std::string> text = readStream(is, limits.maxInputBytes);
+    if (!text.ok())
+        return text.status();
+    // The source text outlives the parse: buildFromJson maps node
+    // offsets back to line:column for semantic errors.
+    const std::string src = std::move(*text);
+    try {
+        JsonPtr root = JsonParser(src, limits).run();
+        return buildFromJson(src, *root, limits);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::kInternal, cat("mnrl: ", e.what()));
+    }
 }
 
 void
@@ -459,13 +556,26 @@ saveMnrl(const std::string &path, const Automaton &a)
     writeMnrl(f, a);
 }
 
-Automaton
-loadMnrl(const std::string &path)
+Expected<Automaton>
+loadMnrl(const std::string &path, const ParseLimits &limits)
 {
-    std::ifstream f(path);
-    if (!f)
-        fatal(cat("cannot open for read: ", path));
-    return readMnrl(f);
+    Expected<std::string> text = readFile(path, limits.maxInputBytes);
+    if (!text.ok())
+        return text.status();
+    std::istringstream is(std::move(*text));
+    return readMnrl(is, limits);
+}
+
+Automaton
+readMnrlOrDie(std::istream &is)
+{
+    return readMnrl(is).valueOrDie();
+}
+
+Automaton
+loadMnrlOrDie(const std::string &path)
+{
+    return loadMnrl(path).valueOrDie();
 }
 
 } // namespace azoo

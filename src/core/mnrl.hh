@@ -26,19 +26,32 @@
 #include <string>
 
 #include "core/automaton.hh"
+#include "util/status.hh"
 
 namespace azoo {
 
 /** Write @p a as an MNRL JSON document. */
 void writeMnrl(std::ostream &os, const Automaton &a);
 
-/** Parse an MNRL JSON document; fatal() on malformed input or
- *  unsupported node types. */
-Automaton readMnrl(std::istream &is);
+/**
+ * Parse an MNRL JSON document. Malformed input, unsupported node
+ * types, and limit breaches return a structured Status carrying the
+ * error's line:column (never a process abort), following the
+ * hs_compile error contract.
+ */
+Expected<Automaton> readMnrl(std::istream &is,
+                             const ParseLimits &limits = ParseLimits());
 
-/** File convenience wrappers. */
+/** File convenience wrapper; kIoError if @p path cannot be opened. */
+Expected<Automaton> loadMnrl(const std::string &path,
+                             const ParseLimits &limits = ParseLimits());
+
+/** Fail-loudly wrappers for generators and tests: fatal() with the
+ *  Status message on any error. */
+Automaton readMnrlOrDie(std::istream &is);
+Automaton loadMnrlOrDie(const std::string &path);
+
 void saveMnrl(const std::string &path, const Automaton &a);
-Automaton loadMnrl(const std::string &path);
 
 } // namespace azoo
 

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault.hh"
+#include "util/io.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -21,8 +23,20 @@ startName(StartType s)
     return "none";
 }
 
+/** Throw a structured azml parse error anchored at @p lineno (azml is
+ *  line-oriented; column is not tracked). */
+[[noreturn]] void
+dieAzml(size_t lineno, const std::string &what,
+        ErrorCode code = ErrorCode::kParseError)
+{
+    SourceLoc loc;
+    loc.line = static_cast<uint32_t>(lineno);
+    loc.column = 1;
+    throw StatusError(Status(code, cat("azml: ", what), loc));
+}
+
 StartType
-parseStart(const std::string &s)
+parseStart(size_t lineno, const std::string &s)
 {
     if (s == "none")
         return StartType::kNone;
@@ -30,7 +44,7 @@ parseStart(const std::string &s)
         return StartType::kStartOfData;
     if (s == "all")
         return StartType::kAllInput;
-    fatal(cat("azml: bad start type '", s, "'"));
+    dieAzml(lineno, cat("bad start type '", s, "'"));
 }
 
 const char *
@@ -45,7 +59,7 @@ modeName(CounterMode m)
 }
 
 CounterMode
-parseMode(const std::string &s)
+parseMode(size_t lineno, const std::string &s)
 {
     if (s == "latch")
         return CounterMode::kLatch;
@@ -53,7 +67,7 @@ parseMode(const std::string &s)
         return CounterMode::kPulse;
     if (s == "rollover")
         return CounterMode::kRollover;
-    fatal(cat("azml: bad counter mode '", s, "'"));
+    dieAzml(lineno, cat("bad counter mode '", s, "'"));
 }
 
 std::string
@@ -62,14 +76,37 @@ reportField(const Element &e)
     return e.reporting ? std::to_string(e.reportCode) : std::string("-");
 }
 
-/** Split "key=value"; fatal if the key does not match. */
+/** Split "key=value"; structured error if the key does not match. */
 std::string
-expectKv(const std::string &token, const std::string &key)
+expectKv(size_t lineno, const std::string &token, const std::string &key)
 {
     auto eq = token.find('=');
     if (eq == std::string::npos || token.substr(0, eq) != key)
-        fatal(cat("azml: expected '", key, "=...', got '", token, "'"));
+        dieAzml(lineno,
+                cat("expected '", key, "=...', got '", token, "'"));
     return token.substr(eq + 1);
+}
+
+/** Checked uint32 parse (std::stoul would throw a bare
+ *  std::invalid_argument on garbage like report=x). */
+uint32_t
+parseU32Field(size_t lineno, const std::string &what,
+              const std::string &value)
+{
+    uint64_t v = 0;
+    size_t i = 0;
+    for (; i < value.size(); ++i) {
+        const char c = value[i];
+        if (c < '0' || c > '9')
+            break;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+        if (v > 0xFFFFFFFFULL)
+            dieAzml(lineno, cat(what, " value out of range"));
+    }
+    if (i == 0 || i != value.size())
+        dieAzml(lineno,
+                cat(what, " is not a number: '", value, "'"));
+    return static_cast<uint32_t>(v);
 }
 
 } // namespace
@@ -100,14 +137,39 @@ writeAzml(std::ostream &os, const Automaton &a)
     os << "end\n";
 }
 
+namespace {
+
+/** Throwing implementation behind the Expected-returning wrapper. */
 Automaton
-readAzml(std::istream &is)
+readAzmlImpl(std::istream &is, const ParseLimits &limits)
 {
     Automaton a;
+    uint64_t edges = 0;
     std::string line;
     bool saw_header = false;
     bool saw_end = false;
     size_t lineno = 0;
+
+    auto checkStateLimit = [&] {
+        if (fault::shouldFail(fault::Point::kAllocFail)) {
+            dieAzml(lineno, "element table allocation failed",
+                    ErrorCode::kResourceExhausted);
+        }
+        if (a.size() >= limits.maxStates) {
+            dieAzml(lineno,
+                    cat("element count exceeds state limit (",
+                        limits.maxStates, ")"),
+                    ErrorCode::kLimitExceeded);
+        }
+    };
+    auto checkEdgeLimit = [&] {
+        if (++edges > limits.maxEdges) {
+            dieAzml(lineno,
+                    cat("edge count exceeds limit (", limits.maxEdges,
+                        ")"),
+                    ErrorCode::kLimitExceeded);
+        }
+    };
 
     while (std::getline(is, line)) {
         ++lineno;
@@ -124,73 +186,106 @@ readAzml(std::istream &is)
             a.setName(name);
             saw_header = true;
         } else if (kw == "ste") {
-            ElementId id;
+            ElementId id = 0;
             std::string start_tok, report_tok, symbols_tok;
             ls >> id >> start_tok >> report_tok;
             // symbols= may contain spaces? CharSet::str() never emits
             // spaces (space escapes as \x20), so a single token is fine.
             ls >> symbols_tok;
+            if (ls.fail())
+                dieAzml(lineno, "malformed ste line");
             if (id != a.size())
-                fatal(cat("azml:", lineno, ": ste id ", id,
-                          " out of order"));
-            std::string report = expectKv(report_tok, "report");
-            std::string sym = expectKv(symbols_tok, "symbols");
+                dieAzml(lineno, cat("ste id ", id, " out of order"));
+            checkStateLimit();
+            std::string report = expectKv(lineno, report_tok, "report");
+            std::string sym = expectKv(lineno, symbols_tok, "symbols");
             CharSet cs;
             if (sym == "*") {
                 cs = CharSet::all();
             } else {
                 if (sym.size() < 2 || sym.front() != '[' ||
                     sym.back() != ']') {
-                    fatal(cat("azml:", lineno, ": bad symbols '", sym,
-                              "'"));
+                    dieAzml(lineno, cat("bad symbols '", sym, "'"));
                 }
-                cs = CharSet::fromExpr(sym.substr(1, sym.size() - 2));
+                std::string err;
+                if (!CharSet::tryFromExpr(
+                        sym.substr(1, sym.size() - 2), cs, err)) {
+                    dieAzml(lineno, err);
+                }
             }
             bool reporting = report != "-";
-            a.addSte(cs, parseStart(expectKv(start_tok, "start")),
+            a.addSte(cs,
+                     parseStart(lineno,
+                                expectKv(lineno, start_tok, "start")),
                      reporting,
-                     reporting ? std::stoul(report) : 0);
+                     reporting ? parseU32Field(lineno, "report", report)
+                               : 0);
         } else if (kw == "counter") {
-            ElementId id;
+            ElementId id = 0;
             std::string target_tok, mode_tok, report_tok;
             ls >> id >> target_tok >> mode_tok >> report_tok;
+            if (ls.fail())
+                dieAzml(lineno, "malformed counter line");
             if (id != a.size())
-                fatal(cat("azml:", lineno, ": counter id ", id,
-                          " out of order"));
-            std::string report = expectKv(report_tok, "report");
+                dieAzml(lineno,
+                        cat("counter id ", id, " out of order"));
+            checkStateLimit();
+            std::string report = expectKv(lineno, report_tok, "report");
             bool reporting = report != "-";
-            a.addCounter(std::stoul(expectKv(target_tok, "target")),
-                         parseMode(expectKv(mode_tok, "mode")),
-                         reporting,
-                         reporting ? std::stoul(report) : 0);
+            a.addCounter(
+                parseU32Field(lineno, "target",
+                              expectKv(lineno, target_tok, "target")),
+                parseMode(lineno, expectKv(lineno, mode_tok, "mode")),
+                reporting,
+                reporting ? parseU32Field(lineno, "report", report)
+                          : 0);
         } else if (kw == "edge") {
-            ElementId from, to;
+            ElementId from = 0, to = 0;
             ls >> from >> to;
+            if (ls.fail())
+                dieAzml(lineno, "malformed edge line");
             if (from >= a.size() || to >= a.size())
-                fatal(cat("azml:", lineno, ": edge endpoint out of "
-                          "range"));
+                dieAzml(lineno, "edge endpoint out of range");
+            checkEdgeLimit();
             a.addEdge(from, to);
         } else if (kw == "reset") {
-            ElementId from, to;
+            ElementId from = 0, to = 0;
             ls >> from >> to;
+            if (ls.fail())
+                dieAzml(lineno, "malformed reset line");
             if (from >= a.size() || to >= a.size())
-                fatal(cat("azml:", lineno, ": reset endpoint out of "
-                          "range"));
+                dieAzml(lineno, "reset endpoint out of range");
+            checkEdgeLimit();
             a.addResetEdge(from, to);
         } else if (kw == "end") {
             saw_end = true;
             break;
         } else {
-            fatal(cat("azml:", lineno, ": unknown keyword '", kw, "'"));
+            dieAzml(lineno, cat("unknown keyword '", kw, "'"));
         }
     }
 
     if (!saw_header)
-        fatal("azml: missing 'automaton' header");
+        dieAzml(lineno, "missing 'automaton' header");
     if (!saw_end)
-        fatal("azml: missing 'end'");
-    a.validate();
+        dieAzml(lineno, "missing 'end'");
+    if (Status st = a.check(); !st.ok())
+        throw StatusError(std::move(st));
     return a;
+}
+
+} // namespace
+
+Expected<Automaton>
+readAzml(std::istream &is, const ParseLimits &limits)
+{
+    try {
+        return readAzmlImpl(is, limits);
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::kInternal, cat("azml: ", e.what()));
+    }
 }
 
 void
@@ -202,13 +297,26 @@ saveAzml(const std::string &path, const Automaton &a)
     writeAzml(f, a);
 }
 
-Automaton
-loadAzml(const std::string &path)
+Expected<Automaton>
+loadAzml(const std::string &path, const ParseLimits &limits)
 {
-    std::ifstream f(path);
-    if (!f)
-        fatal(cat("cannot open for read: ", path));
-    return readAzml(f);
+    Expected<std::string> text = readFile(path, limits.maxInputBytes);
+    if (!text.ok())
+        return text.status();
+    std::istringstream is(std::move(*text));
+    return readAzml(is, limits);
+}
+
+Automaton
+readAzmlOrDie(std::istream &is)
+{
+    return readAzml(is).valueOrDie();
+}
+
+Automaton
+loadAzmlOrDie(const std::string &path)
+{
+    return loadAzml(path).valueOrDie();
 }
 
 } // namespace azoo

@@ -28,18 +28,31 @@
 #include <string>
 
 #include "core/automaton.hh"
+#include "util/status.hh"
 
 namespace azoo {
 
 /** Write an automaton in azml form. */
 void writeAzml(std::ostream &os, const Automaton &a);
 
-/** Parse an automaton from azml text; fatal() on malformed input. */
-Automaton readAzml(std::istream &is);
+/**
+ * Parse an automaton from azml text. Malformed input and limit
+ * breaches return a structured Status carrying the error's line
+ * number and the offending token (never a process abort).
+ */
+Expected<Automaton> readAzml(std::istream &is,
+                             const ParseLimits &limits = ParseLimits());
 
-/** File convenience wrappers. */
+/** File convenience wrapper; kIoError if @p path cannot be opened. */
+Expected<Automaton> loadAzml(const std::string &path,
+                             const ParseLimits &limits = ParseLimits());
+
+/** Fail-loudly wrappers for generators and tests: fatal() with the
+ *  Status message on any error. */
+Automaton readAzmlOrDie(std::istream &is);
+Automaton loadAzmlOrDie(const std::string &path);
+
 void saveAzml(const std::string &path, const Automaton &a);
-Automaton loadAzml(const std::string &path);
 
 } // namespace azoo
 

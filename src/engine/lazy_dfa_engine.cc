@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/run_guard.hh"
 #include "util/union_find.hh"
 
 namespace azoo {
@@ -314,11 +315,21 @@ LazyDfaEngine::simulateLazy(const uint8_t *input, size_t len,
                             const SimOptions &opts, SimResult &res)
 {
     const uint64_t flushesBefore = flushes_;
+    uint64_t consumed = len;
     if (!globalId_.empty()) {
         if (startState_ == kUnknown)
             startState_ = intern(start0_);
         uint32_t cur = startState_;
         for (uint64_t t = 0; t < len; ++t) {
+            if (opts.guard &&
+                (t & (kGuardCheckIntervalSymbols - 1)) == 0) {
+                Status st = opts.guard->check(t);
+                if (!st.ok()) {
+                    res.guardStatus = std::move(st);
+                    consumed = t;
+                    break;
+                }
+            }
             // The state-set is exactly NfaEngine's edge-enabled set
             // (all-input starts excluded), so its size *is* the
             // active set for this cycle.
@@ -350,7 +361,7 @@ LazyDfaEngine::simulateLazy(const uint8_t *input, size_t len,
             cur = next_[cell];
         }
     }
-    res.symbols = len;
+    res.symbols = consumed;
     res.lazyFlushes = flushes_ - flushesBefore;
     res.lazyStates = members_.size();
     res.lazyFallbackComponents = fallbackComponentCount_;
@@ -378,19 +389,36 @@ LazyDfaEngine::simulate(const uint8_t *input, size_t len,
     inner.reportRecordLimit = ~uint64_t(0);
     inner.countByCode = false;
     inner.computeActiveSet = opts.computeActiveSet;
+    inner.guard = opts.guard;
 
     SimResult lz;
     simulateLazy(input, len, inner, lz);
-    SimResult fb =
-        fallbackEngine_->simulate(input, len, fallbackScratch_, inner);
+    // The fallback interpreter only scans the prefix the lazy half
+    // consumed; if its guard poll truncates even earlier, the merged
+    // result shrinks to the shorter prefix below.
+    SimResult fb = fallbackEngine_->simulate(
+        input, static_cast<size_t>(lz.symbols), fallbackScratch_,
+        inner);
     for (Report &r : fb.reports)
         r.element = fallbackToGlobal_[r.element];
     // The interpreter emits same-cycle reports in propagation order;
     // normalize, then merge the two (now both canonical) streams.
     std::sort(fb.reports.begin(), fb.reports.end());
 
-    res.symbols = len;
+    const uint64_t m = std::min(lz.symbols, fb.symbols);
+    if (lz.symbols > m) {
+        std::erase_if(lz.reports, [m](const Report &r) {
+            return r.offset >= m;
+        });
+        lz.reportCount = lz.reports.size();
+    }
+    res.symbols = m;
+    res.guardStatus =
+        !fb.guardStatus.ok() ? fb.guardStatus : lz.guardStatus;
     res.reportCount = lz.reportCount + fb.reportCount;
+    // When truncated, the two halves may have scanned slightly
+    // different prefixes; totalEnabled then covers their union and
+    // can overcount the merged prefix by up to one guard interval.
     res.totalEnabled = lz.totalEnabled + fb.totalEnabled;
     res.lazyFlushes = lz.lazyFlushes;
     res.lazyStates = lz.lazyStates;

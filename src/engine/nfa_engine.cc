@@ -1,5 +1,6 @@
 #include "engine/nfa_engine.hh"
 
+#include "engine/run_guard.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -105,6 +106,17 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
     };
 
     for (uint64_t t = 0; t < len; ++t) {
+        if (opts.guard && (t & (kGuardCheckIntervalSymbols - 1)) == 0) {
+            Status st = opts.guard->check(t);
+            if (!st.ok()) {
+                // Partial result: everything recorded so far covers
+                // exactly the first t symbols.
+                res.symbols = t;
+                res.guardStatus = std::move(st);
+                scratch.endRun(len);
+                return res;
+            }
+        }
         std::swap(cur, next);
         next.clear();
 

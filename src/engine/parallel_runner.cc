@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "engine/streaming.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "util/union_find.hh"
 
@@ -127,27 +129,52 @@ ParallelRunner::runBatch(
 {
     BatchResult out;
     out.perStream.resize(streams.size());
+    out.perStreamStatus.resize(streams.size());
     pool_->parallelFor(streams.size(), [&](size_t slot, size_t i) {
-        if (opts_.chunkBytes != 0) {
-            StreamingSession sess(a_);
-            sess.options = opts_.sim;
-            const auto &in = streams[i];
-            for (size_t pos = 0; pos < in.size();
-                 pos += opts_.chunkBytes) {
-                sess.feed(in.data() + pos,
-                          std::min(opts_.chunkBytes, in.size() - pos));
+        // Failures are captured per stream so one bad stream (or an
+        // injected worker fault) never kills the batch; the other
+        // streams complete exactly as a serial run would.
+        try {
+            if (fault::shouldFail(fault::Point::kAllocFail)) {
+                throw StatusError(
+                    Status(ErrorCode::kResourceExhausted,
+                           cat("stream ", i,
+                               ": worker allocation failed")));
             }
-            out.perStream[i] = sess.results();
-        } else if (opts_.engine == ParallelEngine::kLazyDfa) {
-            out.perStream[i] =
-                slotLazy_[slot]->simulate(streams[i], opts_.sim);
-        } else {
-            out.perStream[i] = engine_.simulate(
-                streams[i], slotScratch_[slot], opts_.sim);
+            if (opts_.chunkBytes != 0) {
+                StreamingSession sess(a_);
+                sess.options = opts_.sim;
+                const auto &in = streams[i];
+                for (size_t pos = 0; pos < in.size();
+                     pos += opts_.chunkBytes) {
+                    sess.feed(in.data() + pos,
+                              std::min(opts_.chunkBytes,
+                                       in.size() - pos));
+                }
+                out.perStream[i] = sess.results();
+            } else if (opts_.engine == ParallelEngine::kLazyDfa) {
+                out.perStream[i] =
+                    slotLazy_[slot]->simulate(streams[i], opts_.sim);
+            } else {
+                out.perStream[i] = engine_.simulate(
+                    streams[i], slotScratch_[slot], opts_.sim);
+            }
+            canonicalizeReports(out.perStream[i]);
+        } catch (const StatusError &e) {
+            out.perStream[i] = SimResult();
+            out.perStreamStatus[i] = e.status();
+        } catch (const std::exception &e) {
+            out.perStream[i] = SimResult();
+            out.perStreamStatus[i] =
+                Status(ErrorCode::kInternal, e.what());
         }
-        canonicalizeReports(out.perStream[i]);
     });
-    for (const SimResult &r : out.perStream) {
+    for (size_t i = 0; i < out.perStream.size(); ++i) {
+        if (!out.perStreamStatus[i].ok()) {
+            ++out.failedStreams;
+            continue;
+        }
+        const SimResult &r = out.perStream[i];
         out.totalSymbols += r.symbols;
         out.totalReports += r.reportCount;
         out.totalLazyFlushes += r.lazyFlushes;
@@ -171,19 +198,46 @@ ParallelRunner::simulateSharded(const uint8_t *input, size_t len) const
     inner.reportRecordLimit = ~uint64_t(0);
     inner.countByCode = false;
     inner.computeActiveSet = opts_.sim.computeActiveSet;
+    inner.guard = opts_.sim.guard;
 
     std::vector<SimResult> parts(shards_.size());
-    pool_->parallelFor(shards_.size(), [&](size_t s) {
-        const Shard &sh = shards_[s];
-        parts[s] = sh.lazy
-            ? sh.lazy->simulate(input, len, inner)
-            : sh.engine->simulate(input, len, sh.scratch, inner);
-        for (Report &r : parts[s].reports)
-            r.element = sh.origId[r.element];
-    });
+    try {
+        pool_->parallelFor(shards_.size(), [&](size_t s) {
+            const Shard &sh = shards_[s];
+            if (fault::shouldFail(fault::Point::kAllocFail)) {
+                throw StatusError(
+                    Status(ErrorCode::kResourceExhausted,
+                           cat("shard ", s,
+                               ": worker allocation failed")));
+            }
+            parts[s] = sh.lazy
+                ? sh.lazy->simulate(input, len, inner)
+                : sh.engine->simulate(input, len, sh.scratch, inner);
+            for (Report &r : parts[s].reports)
+                r.element = sh.origId[r.element];
+        });
+    } catch (const StatusError &e) {
+        // A failed shard invalidates the merged view (its reports are
+        // missing); return an empty result carrying the error instead
+        // of a silently wrong one.
+        SimResult failed;
+        failed.guardStatus = e.status();
+        return failed;
+    }
+
+    // Guard truncation reconciliation: if any shard stopped early,
+    // the merged result covers only the prefix every shard consumed.
+    uint64_t consumed = len;
+    for (const SimResult &p : parts) {
+        if (!p.guardStatus.ok()) {
+            consumed = std::min(consumed, p.symbols);
+            if (merged.guardStatus.ok())
+                merged.guardStatus = p.guardStatus;
+        }
+    }
+    merged.symbols = consumed;
 
     for (const SimResult &p : parts) {
-        merged.reportCount += p.reportCount;
         merged.totalEnabled += p.totalEnabled;
         merged.lazyFlushes += p.lazyFlushes;
         merged.lazyStates += p.lazyStates;
@@ -191,6 +245,12 @@ ParallelRunner::simulateSharded(const uint8_t *input, size_t len) const
         merged.reports.insert(merged.reports.end(), p.reports.begin(),
                               p.reports.end());
     }
+    if (consumed < len) {
+        std::erase_if(merged.reports, [consumed](const Report &r) {
+            return r.offset >= consumed;
+        });
+    }
+    merged.reportCount = merged.reports.size();
     std::sort(merged.reports.begin(), merged.reports.end());
 
     // A reporting cycle is a distinct offset in the full report

@@ -86,10 +86,19 @@ struct ParallelOptions {
 /** Outcome of a batch run; perStream[i] belongs to streams[i]. */
 struct BatchResult {
     std::vector<SimResult> perStream;
+    /** Parallel to perStream: OK when the stream completed. A failed
+     *  stream leaves an empty SimResult and its error here; the other
+     *  streams still complete and stay bit-identical to a serial run
+     *  (worker failures never kill the batch). */
+    std::vector<Status> perStreamStatus;
     uint64_t totalSymbols = 0;
     uint64_t totalReports = 0;
     /** Lazy-DFA cache flushes summed over streams (0 for kNfa). */
     uint64_t totalLazyFlushes = 0;
+    /** Streams whose perStreamStatus is non-OK. */
+    uint64_t failedStreams = 0;
+
+    bool allOk() const { return failedStreams == 0; }
 };
 
 /**

@@ -12,8 +12,11 @@
 #include <vector>
 
 #include "core/automaton.hh"
+#include "util/status.hh"
 
 namespace azoo {
+
+class RunGuard;
 
 /** One pattern-match event: element @p element with user code @p code
  *  matched at input offset @p offset (0-based symbol index). */
@@ -49,6 +52,11 @@ struct SimOptions {
     bool computeActiveSet = true;
     /** Stop recording (not counting) reports past this many. */
     uint64_t reportRecordLimit = ~uint64_t(0);
+    /** Optional stop-conditions (deadline / symbol budget /
+     *  cancellation), polled coarsely by NfaEngine and LazyDfaEngine;
+     *  see run_guard.hh. The guard must outlive the run; one guard
+     *  may be shared across concurrent runs. */
+    const RunGuard *guard = nullptr;
 };
 
 /** Outcome of simulating an automaton over an input stream. */
@@ -63,6 +71,15 @@ struct SimResult {
      *  bottleneck (Wadden et al., HPCA 2018), which SpatialModel's
      *  stall penalty models. */
     uint64_t reportingCycles = 0;
+
+    /** Non-OK when a RunGuard stopped the run early. The result then
+     *  covers exactly the first `symbols` input symbols (a correct
+     *  answer for that prefix), and guardStatus says why it stopped
+     *  (kDeadlineExceeded / kCancelled / kLimitExceeded). */
+    Status guardStatus;
+
+    /** True when a RunGuard truncated this run. */
+    bool truncated() const { return !guardStatus.ok(); }
 
     // Lazy-DFA engine statistics; zero for every other engine. These
     // are *not* part of the semantic result (two engines producing

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * RunGuard: deadline, symbol budget, and cancellation for simulation
+ * runs.
+ *
+ * A hostile (or merely enormous) input must not be able to pin an
+ * engine thread forever — RE2 bounds memory, a serving stack must
+ * also bound time. A RunGuard carries up to three stop conditions:
+ *
+ *  - a wall-clock deadline (steady clock),
+ *  - a symbol budget (maximum input symbols consumed by this run),
+ *  - a cancellation flag another thread may raise at any moment.
+ *
+ * Engines poll check() at coarse granularity (every
+ * kGuardCheckIntervalSymbols input symbols, so the hot loop stays
+ * branch-cheap) and stop early when it returns non-OK, yielding a
+ * *partial* SimResult whose guardStatus records why and whose
+ * counters cover exactly the consumed prefix. The guard-expiry
+ * fault-injection point (fault::Point::kGuardExpiry) forces the next
+ * check to fail, so truncation paths are testable without timers.
+ *
+ * One guard may be shared by many concurrent runs (ParallelRunner
+ * passes the same pointer to every stream): all members are atomic,
+ * and check() never mutates.
+ */
+
+#ifndef AZOO_ENGINE_RUN_GUARD_HH
+#define AZOO_ENGINE_RUN_GUARD_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/status.hh"
+
+namespace azoo {
+
+/** How many input symbols an engine may consume between guard
+ *  polls. Coarse on purpose: one steady_clock read per interval is
+ *  noise, one per symbol is not. */
+inline constexpr uint64_t kGuardCheckIntervalSymbols = 1024;
+
+/** Shared stop-conditions for one or more simulation runs. */
+class RunGuard
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    RunGuard() = default;
+    RunGuard(const RunGuard &) = delete;
+    RunGuard &operator=(const RunGuard &) = delete;
+
+    /** Stop runs once @p ms wall-clock milliseconds have elapsed
+     *  from now. 0 disables the deadline. */
+    void
+    setDeadlineMs(int64_t ms)
+    {
+        if (ms <= 0) {
+            deadlineNs_.store(0);
+            return;
+        }
+        const auto at = Clock::now() + std::chrono::milliseconds(ms);
+        deadlineNs_.store(static_cast<uint64_t>(
+            at.time_since_epoch().count()));
+    }
+
+    /** Stop each run after consuming @p n symbols (0 = unlimited). */
+    void setSymbolBudget(uint64_t n) { symbolBudget_.store(n); }
+
+    /** Raise the cancellation flag; every guarded run stops at its
+     *  next poll. Safe from any thread. */
+    void cancel() { cancelled_.store(true); }
+
+    bool cancelled() const { return cancelled_.load(); }
+
+    /**
+     * Poll the stop conditions after @p symbolsDone consumed symbols.
+     * OK means keep going; otherwise the Status explains the stop
+     * (kCancelled / kDeadlineExceeded / kLimitExceeded).
+     */
+    Status
+    check(uint64_t symbolsDone) const
+    {
+        if (fault::shouldFail(fault::Point::kGuardExpiry)) {
+            return Status(ErrorCode::kDeadlineExceeded,
+                          "injected guard expiry");
+        }
+        if (cancelled_.load(std::memory_order_relaxed))
+            return Status(ErrorCode::kCancelled, "run cancelled");
+        const uint64_t budget =
+            symbolBudget_.load(std::memory_order_relaxed);
+        if (budget && symbolsDone >= budget) {
+            return Status(ErrorCode::kLimitExceeded,
+                          cat("symbol budget (", budget,
+                              ") exhausted"));
+        }
+        const uint64_t dl =
+            deadlineNs_.load(std::memory_order_relaxed);
+        if (dl && static_cast<uint64_t>(
+                      Clock::now().time_since_epoch().count()) >= dl) {
+            return Status(ErrorCode::kDeadlineExceeded,
+                          "deadline exceeded");
+        }
+        return Status();
+    }
+
+  private:
+    /** Deadline as steady-clock ticks since epoch; 0 = none. */
+    std::atomic<uint64_t> deadlineNs_{0};
+    std::atomic<uint64_t> symbolBudget_{0};
+    std::atomic<bool> cancelled_{false};
+};
+
+} // namespace azoo
+
+#endif // AZOO_ENGINE_RUN_GUARD_HH

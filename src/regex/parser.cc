@@ -10,11 +10,6 @@ namespace azoo {
 
 namespace {
 
-/** Internal parse error; converted by the public entry points. */
-struct ParseError : std::runtime_error {
-    using std::runtime_error::runtime_error;
-};
-
 CharSet
 digitClass()
 {
@@ -56,8 +51,9 @@ applyNocase(CharSet &cs)
 class Parser
 {
   public:
-    Parser(const std::string &pattern, const RegexFlags &flags)
-        : p_(pattern), flags_(flags)
+    Parser(const std::string &pattern, const RegexFlags &flags,
+           const ParseLimits &limits)
+        : p_(pattern), flags_(flags), limits_(limits)
     {
     }
 
@@ -74,14 +70,26 @@ class Parser
         rx.root = parseAlt();
         // A trailing unescaped '$' anchors the end.
         if (!done())
-            throw ParseError(cat("unexpected '", std::string(1, peek()),
-                                 "' at offset ", pos_));
+            die(cat("unexpected '", std::string(1, peek()), "'"));
         if (sawTrailingDollar_)
             rx.anchoredEnd = true;
         return rx;
     }
 
   private:
+    /** Throw a structured error anchored at the current position. */
+    [[noreturn]] void
+    die(const std::string &what,
+        ErrorCode code = ErrorCode::kParseError) const
+    {
+        SourceLoc loc = locateOffset(p_, pos_);
+        std::string msg = what;
+        const std::string tok = tokenAt(p_, pos_);
+        if (!tok.empty())
+            msg = cat(what, " near '", tok, "'");
+        throw StatusError(Status(code, std::move(msg), loc));
+    }
+
     bool done() const { return pos_ >= p_.size(); }
 
     char
@@ -94,7 +102,7 @@ class Parser
     get()
     {
         if (done())
-            throw ParseError("unexpected end of pattern");
+            die("unexpected end of pattern");
         return p_[pos_++];
     }
 
@@ -200,6 +208,9 @@ class Parser
             return false;
         }
         get(); // '}'
+        // Bound digit counts before stoi (std::out_of_range otherwise).
+        if (a.size() > 9 || b.size() > 9)
+            die("repeat bound too large", ErrorCode::kLimitExceeded);
         min = std::stoi(a);
         if (!comma) {
             max = min;
@@ -208,12 +219,12 @@ class Parser
         } else {
             max = std::stoi(b);
             if (max < min)
-                throw ParseError(cat("bad repeat bounds {", min, ",",
-                                     max, "}"));
+                die(cat("bad repeat bounds {", min, ",", max, "}"));
         }
         if (min > 4096 || max > 4096)
-            throw ParseError(cat("repeat bound too large in ",
-                                 p_.substr(save, pos_ - save)));
+            die(cat("repeat bound too large in ",
+                p_.substr(save, pos_ - save)),
+                ErrorCode::kLimitExceeded);
         return true;
     }
 
@@ -227,16 +238,19 @@ class Parser
                 get();
                 char k = get();
                 if (k != ':')
-                    throw ParseError(cat("unsupported group (?",
-                                         std::string(1, k),
-                                         " (backreferences and "
-                                         "lookaround are rejected)"));
+                    die(cat("unsupported group (?", std::string(1, k),
+                            " (backreferences and lookaround are "
+                            "rejected)"),
+                        ErrorCode::kUnsupported);
             }
-            ++depth_;
+            if (static_cast<size_t>(++depth_) > limits_.maxNestingDepth)
+                die(cat("group nesting exceeds limit (",
+                        limits_.maxNestingDepth, ")"),
+                    ErrorCode::kLimitExceeded);
             auto inner = parseAlt();
             --depth_;
             if (get() != ')')
-                throw ParseError("missing ')'");
+                die("missing ')'");
             return inner;
           }
           case '[':
@@ -252,12 +266,14 @@ class Parser
           case '*':
           case '+':
           case '?':
-            throw ParseError(cat("quantifier '", std::string(1, c),
-                                 "' with nothing to repeat"));
+            die(cat("quantifier '", std::string(1, c),
+                    "' with nothing to repeat"));
           case '^':
-            throw ParseError("mid-pattern '^' anchors are unsupported");
+            die("mid-pattern '^' anchors are unsupported",
+                ErrorCode::kUnsupported);
           case '$':
-            throw ParseError("mid-pattern '$' anchors are unsupported");
+            die("mid-pattern '$' anchors are unsupported",
+                ErrorCode::kUnsupported);
           default: {
             CharSet cs = CharSet::single(static_cast<uint8_t>(c));
             if (flags_.nocase)
@@ -292,15 +308,15 @@ class Parser
             int hi = hexValue(get());
             int lo = hexValue(get());
             if (hi < 0 || lo < 0)
-                throw ParseError("bad \\x escape");
+                die("bad \\x escape");
             return CharSet::single(static_cast<uint8_t>(hi * 16 + lo));
           }
           default:
             if (std::isdigit(static_cast<unsigned char>(c)))
-                throw ParseError("backreferences are unsupported");
+                die("backreferences are unsupported", ErrorCode::kUnsupported);
             if (std::isalpha(static_cast<unsigned char>(c)) && !in_class)
-                throw ParseError(cat("unsupported escape \\",
-                                     std::string(1, c)));
+                die(cat("unsupported escape \\", std::string(1, c)),
+                    ErrorCode::kUnsupported);
             // Escaped punctuation matches itself.
             return CharSet::single(static_cast<uint8_t>(c));
         }
@@ -319,7 +335,7 @@ class Parser
         bool first = true;
         while (true) {
             if (done())
-                throw ParseError("missing ']'");
+                die("missing ']'");
             if (peek() == ']' && !first) {
                 get();
                 break;
@@ -348,14 +364,13 @@ class Parser
                     get();
                     CharSet hs = parseEscape(true);
                     if (hs.count() != 1)
-                        throw ParseError("class range with multi-char "
-                                         "escape");
+                        die("class range with multi-char escape");
                     hi = hs.lowest();
                 } else {
                     hi = static_cast<unsigned char>(get());
                 }
                 if (hi < lo)
-                    throw ParseError("reversed class range");
+                    die("reversed class range");
                 cs.setRange(static_cast<uint8_t>(lo),
                             static_cast<uint8_t>(hi));
             } else if (lo_is_class) {
@@ -369,12 +384,13 @@ class Parser
         if (negate)
             cs = ~cs;
         if (cs.empty())
-            throw ParseError("empty character class");
+            die("empty character class");
         return cs;
     }
 
     const std::string &p_;
     RegexFlags flags_;
+    ParseLimits limits_;
     size_t pos_ = 0;
     int depth_ = 0;
     bool sawTrailingDollar_ = false;
@@ -382,31 +398,44 @@ class Parser
 
 } // namespace
 
-Regex
-parseRegex(const std::string &pattern, const RegexFlags &flags)
+Expected<Regex>
+parseRegex(const std::string &pattern, const RegexFlags &flags,
+           const ParseLimits &limits)
 {
-    Regex rx;
-    std::string error;
-    if (!tryParseRegex(pattern, flags, rx, error))
-        fatal(cat("regex '", pattern, "': ", error));
-    return rx;
+    try {
+        Regex rx = Parser(pattern, flags, limits).run();
+        if (nullable(*rx.root)) {
+            return Status(ErrorCode::kUnsupported,
+                          "pattern matches the empty string");
+        }
+        return rx;
+    } catch (const StatusError &e) {
+        return e.status();
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::kInternal, cat("regex: ", e.what()));
+    }
+}
+
+Regex
+parseRegexOrDie(const std::string &pattern, const RegexFlags &flags)
+{
+    Expected<Regex> rx = parseRegex(pattern, flags);
+    if (!rx.ok())
+        fatal(cat("regex '", pattern, "': ", rx.status().str()));
+    return std::move(*std::move(rx));
 }
 
 bool
 tryParseRegex(const std::string &pattern, const RegexFlags &flags,
               Regex &out, std::string &error)
 {
-    try {
-        out = Parser(pattern, flags).run();
-        if (nullable(*out.root)) {
-            error = "pattern matches the empty string";
-            return false;
-        }
-        return true;
-    } catch (const ParseError &e) {
-        error = e.what();
+    Expected<Regex> rx = parseRegex(pattern, flags);
+    if (!rx.ok()) {
+        error = rx.status().str();
         return false;
     }
+    out = std::move(*std::move(rx));
+    return true;
 }
 
 } // namespace azoo

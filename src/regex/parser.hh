@@ -18,19 +18,30 @@
 #include <string>
 
 #include "regex/ast.hh"
+#include "util/status.hh"
 
 namespace azoo {
 
 /**
- * Parse a pattern. fatal() on syntax errors or unsupported
- * constructs, so malformed generated rules fail loudly.
+ * Parse a pattern. Syntax errors and unsupported constructs return a
+ * structured Status (kParseError / kUnsupported / kLimitExceeded)
+ * carrying the byte offset of the failure within the pattern,
+ * following the hs_compile error contract.
  */
-Regex parseRegex(const std::string &pattern,
-                 const RegexFlags &flags = RegexFlags());
+Expected<Regex> parseRegex(const std::string &pattern,
+                           const RegexFlags &flags = RegexFlags(),
+                           const ParseLimits &limits = ParseLimits());
 
 /**
- * Non-fatal variant: returns false and fills @p error instead of
- * exiting. Used by rule-compilation loops that skip unsupported
+ * Fail-loudly wrapper for generator call sites (rules baked into the
+ * zoo): fatal() with the Status message on any error.
+ */
+Regex parseRegexOrDie(const std::string &pattern,
+                      const RegexFlags &flags = RegexFlags());
+
+/**
+ * Bool-and-message variant: returns false and fills @p error instead
+ * of exiting. Used by rule-compilation loops that skip unsupported
  * rules (the paper's Snort/ClamAV flow does exactly this).
  */
 bool tryParseRegex(const std::string &pattern, const RegexFlags &flags,

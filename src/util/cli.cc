@@ -1,18 +1,32 @@
 #include "util/cli.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/logging.hh"
 
 namespace azoo {
 
+namespace {
+
+/** Flag errors are *usage* errors: exit with the sysexits EX_USAGE
+ *  code (64) so scripts can tell a typo from bad input data (65). */
+[[noreturn]] void
+usageFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(64);
+}
+
+} // namespace
+
 Cli::Cli(int argc, char **argv, const std::vector<std::string> &known)
 {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) != 0)
-            fatal(cat("unexpected positional argument: ", arg));
+            usageFatal(cat("unexpected positional argument: ", arg));
         arg = arg.substr(2);
         std::string name;
         std::string value;
@@ -34,7 +48,7 @@ Cli::Cli(int argc, char **argv, const std::vector<std::string> &known)
             std::string usage = "unknown flag --" + name + "; known:";
             for (const auto &k : known)
                 usage += " --" + k;
-            fatal(usage);
+            usageFatal(usage);
         }
         values_[name] = value;
     }

@@ -1,0 +1,125 @@
+#include "util/fault.hh"
+
+#include <atomic>
+
+namespace azoo {
+namespace fault {
+
+const char *
+pointName(Point p)
+{
+    switch (p) {
+      case Point::kAllocFail: return "alloc-fail";
+      case Point::kTruncatedRead: return "truncated-read";
+      case Point::kGuardExpiry: return "guard-expiry";
+    }
+    return "unknown";
+}
+
+#if AZOO_FAULT_INJECTION
+
+namespace {
+
+enum class Mode : uint8_t { kDisarmed, kCountdown, kRandom };
+
+struct PointState {
+    std::atomic<Mode> mode{Mode::kDisarmed};
+    /** kCountdown: checks remaining before the shot fires. */
+    std::atomic<uint64_t> countdown{0};
+    /** kRandom: splitmix64 state, advanced atomically per check. */
+    std::atomic<uint64_t> rng{0};
+    std::atomic<uint32_t> perMille{0};
+    std::atomic<uint64_t> checks{0};
+};
+
+PointState g_points[kPointCount];
+
+PointState &
+state(Point p)
+{
+    return g_points[static_cast<size_t>(p)];
+}
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+void
+armAfter(Point p, uint64_t skip)
+{
+    PointState &s = state(p);
+    s.countdown.store(skip);
+    s.checks.store(0);
+    s.mode.store(Mode::kCountdown);
+}
+
+void
+armRandom(Point p, uint64_t seed, uint32_t perMille)
+{
+    PointState &s = state(p);
+    s.rng.store(seed);
+    s.perMille.store(perMille > 1000 ? 1000 : perMille);
+    s.checks.store(0);
+    s.mode.store(Mode::kRandom);
+}
+
+void
+disarm(Point p)
+{
+    state(p).mode.store(Mode::kDisarmed);
+}
+
+void
+disarmAll()
+{
+    for (auto &s : g_points)
+        s.mode.store(Mode::kDisarmed);
+}
+
+uint64_t
+checkCount(Point p)
+{
+    return state(p).checks.load();
+}
+
+bool
+shouldFail(Point p)
+{
+    PointState &s = state(p);
+    const Mode m = s.mode.load(std::memory_order_relaxed);
+    if (m == Mode::kDisarmed)
+        return false;
+    s.checks.fetch_add(1, std::memory_order_relaxed);
+    if (m == Mode::kCountdown) {
+        // fetch_sub past zero would wrap; claim the shot with a CAS
+        // loop so exactly one checking thread fires.
+        uint64_t left = s.countdown.load();
+        for (;;) {
+            if (left == 0) {
+                // The shot: disarm and fire (only the thread that
+                // flips the mode wins).
+                Mode expected = Mode::kCountdown;
+                return s.mode.compare_exchange_strong(expected,
+                                                      Mode::kDisarmed);
+            }
+            if (s.countdown.compare_exchange_weak(left, left - 1))
+                return false;
+        }
+    }
+    // kRandom: advance the shared stream, draw in [0, 1000).
+    const uint64_t prev = s.rng.fetch_add(1);
+    const uint64_t draw = splitmix64(prev) % 1000;
+    return draw < s.perMille.load(std::memory_order_relaxed);
+}
+
+#endif // AZOO_FAULT_INJECTION
+
+} // namespace fault
+} // namespace azoo

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * Error-handling code that only runs when the OS misbehaves is
+ * error-handling code that never runs in CI. This module plants named
+ * injection points inside the library (allocation failure in the
+ * parsers, truncated reads in the stream slurpers, forced RunGuard
+ * expiry in the engines) that tests arm deterministically: either
+ * "fire on the Nth check" or a seeded pseudo-random schedule, so a
+ * failing recovery path replays bit-identically from its seed.
+ *
+ * The checks compile to a constant `false` when AZOO_FAULT_INJECTION
+ * is 0 (the release/production configuration; see the CMake option of
+ * the same name), so shipping binaries carry no injection branches.
+ *
+ * All state is process-global and atomic; arming from a test thread
+ * while worker threads check is safe. Points are disarmed by default
+ * and after firing an armAfter() shot.
+ */
+
+#ifndef AZOO_UTIL_FAULT_HH
+#define AZOO_UTIL_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef AZOO_FAULT_INJECTION
+#define AZOO_FAULT_INJECTION 1
+#endif
+
+namespace azoo {
+namespace fault {
+
+/** Injection points compiled into the library. */
+enum class Point : uint8_t {
+    kAllocFail,     ///< parser element/edge allocation fails
+    kTruncatedRead, ///< stream slurp loses its tail
+    kGuardExpiry,   ///< RunGuard reports expiry regardless of budget
+};
+
+inline constexpr size_t kPointCount = 3;
+
+/** Stable name ("alloc-fail", "truncated-read", "guard-expiry"). */
+const char *pointName(Point p);
+
+#if AZOO_FAULT_INJECTION
+
+/** Arm @p p to fire exactly once, on the (skip+1)-th check; the
+ *  point disarms itself after firing. */
+void armAfter(Point p, uint64_t skip);
+
+/** Arm @p p with a seeded Bernoulli schedule: each check fires with
+ *  probability @p perMille / 1000, drawn from a deterministic
+ *  splitmix64 stream. Stays armed until disarmed. */
+void armRandom(Point p, uint64_t seed, uint32_t perMille);
+
+/** Disarm one point / all points. */
+void disarm(Point p);
+void disarmAll();
+
+/** Checks made against @p p since it was last armed. */
+uint64_t checkCount(Point p);
+
+/** The hot-path check: true iff the armed schedule fires now. */
+bool shouldFail(Point p);
+
+#else
+
+inline void armAfter(Point, uint64_t) {}
+inline void armRandom(Point, uint64_t, uint32_t) {}
+inline void disarm(Point) {}
+inline void disarmAll() {}
+inline uint64_t checkCount(Point) { return 0; }
+inline constexpr bool shouldFail(Point) { return false; }
+
+#endif // AZOO_FAULT_INJECTION
+
+} // namespace fault
+} // namespace azoo
+
+#endif // AZOO_UTIL_FAULT_HH

@@ -1,0 +1,46 @@
+#include "util/io.hh"
+
+#include <fstream>
+#include <istream>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace azoo {
+
+Expected<std::string>
+readStream(std::istream &is, size_t maxBytes)
+{
+    std::string out;
+    char buf[64 * 1024];
+    while (is.good()) {
+        is.read(buf, sizeof(buf));
+        const auto got = static_cast<size_t>(is.gcount());
+        if (out.size() + got > maxBytes) {
+            return Status(ErrorCode::kLimitExceeded,
+                          cat("input exceeds ", maxBytes,
+                              "-byte limit"));
+        }
+        out.append(buf, got);
+    }
+    if (is.bad())
+        return Status(ErrorCode::kIoError, "stream read failed");
+    if (fault::shouldFail(fault::Point::kTruncatedRead)) {
+        // Model a short read: the tail half never arrives. The parser
+        // downstream must turn this into a structured error.
+        out.resize(out.size() / 2);
+    }
+    return out;
+}
+
+Expected<std::string>
+readFile(const std::string &path, size_t maxBytes)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return Status(ErrorCode::kIoError,
+                      cat("cannot open for read: ", path));
+    return readStream(f, maxBytes);
+}
+
+} // namespace azoo

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Checked file/stream slurping for the untrusted-input front ends.
+ *
+ * Every parser that buffers a whole document goes through these
+ * helpers so the input-size limit (ParseLimits::maxInputBytes), IO
+ * errors, and the truncated-read fault-injection point are enforced
+ * in exactly one place.
+ */
+
+#ifndef AZOO_UTIL_IO_HH
+#define AZOO_UTIL_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "util/status.hh"
+
+namespace azoo {
+
+/**
+ * Read @p is to its end, up to @p maxBytes. Returns kLimitExceeded
+ * when the stream holds more than @p maxBytes, kIoError on a stream
+ * failure, and honours the fault::Point::kTruncatedRead injection
+ * point (drops the tail half of the buffer, modelling a short read).
+ */
+Expected<std::string> readStream(std::istream &is, size_t maxBytes);
+
+/** Open @p path (binary) and readStream() it; kIoError if it cannot
+ *  be opened. */
+Expected<std::string> readFile(const std::string &path,
+                               size_t maxBytes);
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_IO_HH

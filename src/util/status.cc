@@ -1,0 +1,103 @@
+#include "util/status.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk: return "ok";
+      case ErrorCode::kParseError: return "parse-error";
+      case ErrorCode::kUnsupported: return "unsupported";
+      case ErrorCode::kLimitExceeded: return "limit-exceeded";
+      case ErrorCode::kIoError: return "io-error";
+      case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+      case ErrorCode::kCancelled: return "cancelled";
+      case ErrorCode::kResourceExhausted: return "resource-exhausted";
+      case ErrorCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string
+SourceLoc::str() const
+{
+    if (known())
+        return cat(line, ":", column);
+    return cat("offset ", offset);
+}
+
+SourceLoc
+locateOffset(std::string_view text, size_t offset)
+{
+    SourceLoc loc;
+    loc.offset = offset;
+    if (offset > text.size())
+        offset = text.size();
+    uint32_t line = 1;
+    size_t lineStart = 0;
+    for (size_t i = 0; i < offset; ++i) {
+        if (text[i] == '\n') {
+            ++line;
+            lineStart = i + 1;
+        }
+    }
+    loc.line = line;
+    loc.column = static_cast<uint32_t>(offset - lineStart) + 1;
+    return loc;
+}
+
+std::string
+tokenAt(std::string_view text, size_t offset, size_t maxLen)
+{
+    if (offset >= text.size())
+        return "";
+    size_t end = offset;
+    while (end < text.size() && end - offset < maxLen &&
+           text[end] != '\n') {
+        ++end;
+    }
+    return escapeBytes(std::string(text.substr(offset, end - offset)));
+}
+
+std::string
+Status::str() const
+{
+    if (ok())
+        return "ok";
+    std::string out = errorCodeName(code_);
+    if (loc_.known() || loc_.offset != 0) {
+        out += " at ";
+        out += loc_.str();
+    }
+    out += ": ";
+    out += message_;
+    return out;
+}
+
+namespace detail {
+
+void
+expectedValuePanic()
+{
+    panic("Expected<T>::value() called on an error result");
+}
+
+void
+expectedOkStatusPanic()
+{
+    panic("Expected<T> constructed from an OK Status");
+}
+
+void
+expectedDie(const Status &status)
+{
+    fatal(status.str());
+}
+
+} // namespace detail
+
+} // namespace azoo

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Recoverable-error substrate: Status, Expected<T>, source locations,
+ * and parse limits.
+ *
+ * The untrusted-input front ends (MNRL, ANML, azml, the regex parser)
+ * report malformed data by returning these types instead of calling
+ * fatal(), following the hs_compile contract (structured compile
+ * errors with expression offsets) rather than the abort-on-bad-input
+ * style the original generators could afford. Library code never
+ * exits the process on bad *data*; fatal() remains for command-line
+ * usage errors and panic() for internal invariants.
+ *
+ * Conventions:
+ *  - A default-constructed Status is OK. Errors carry an ErrorCode,
+ *    a human message, and (for parsers) a SourceLoc with byte offset
+ *    plus 1-based line:column.
+ *  - Expected<T> is a move-friendly value-or-Status. valueOrDie()
+ *    is the bridge for generator/test call sites that still want
+ *    fail-loudly semantics ("*OrDie wrappers").
+ *  - StatusError is the internal exception parsers and workers throw;
+ *    public entry points catch it and return the carried Status.
+ */
+
+#ifndef AZOO_UTIL_STATUS_HH
+#define AZOO_UTIL_STATUS_HH
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace azoo {
+
+/** Stable error taxonomy; codes map onto tool exit codes (bad data
+ *  vs internal) and onto RunGuard truncation reasons. */
+enum class ErrorCode : uint8_t {
+    kOk = 0,
+    kParseError,        ///< malformed input document
+    kUnsupported,       ///< well-formed but outside the supported subset
+    kLimitExceeded,     ///< a ParseLimits / symbol-budget bound tripped
+    kIoError,           ///< file open / short read
+    kDeadlineExceeded,  ///< RunGuard wall-clock deadline passed
+    kCancelled,         ///< RunGuard cancellation flag raised
+    kResourceExhausted, ///< allocation failure (real or injected)
+    kInternal,          ///< escaped exception / library bug
+};
+
+/** Short stable name ("parse-error", "deadline-exceeded", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** A position in an input document: byte offset always, line:column
+ *  (1-based) when the producer computed them (line == 0 = unknown). */
+struct SourceLoc {
+    size_t offset = 0;
+    uint32_t line = 0;
+    uint32_t column = 0;
+
+    bool known() const { return line != 0; }
+
+    /** "3:14" (or "offset 57" when line/column are unknown). */
+    std::string str() const;
+};
+
+/** Compute 1-based line:column for @p offset within @p text. */
+SourceLoc locateOffset(std::string_view text, size_t offset);
+
+/** Render a short, printable snippet of the input at @p offset
+ *  ("near '<token>'"); empty at end of input. */
+std::string tokenAt(std::string_view text, size_t offset,
+                    size_t maxLen = 16);
+
+/** Result of an operation that can fail without killing the process. */
+class Status
+{
+  public:
+    /** OK. */
+    Status() = default;
+
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    Status(ErrorCode code, std::string message, SourceLoc loc)
+        : code_(code), message_(std::move(message)), loc_(loc)
+    {
+    }
+
+    bool ok() const { return code_ == ErrorCode::kOk; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+    const SourceLoc &loc() const { return loc_; }
+
+    /** "parse-error at 3:14: expected ':' near '}'". */
+    std::string str() const;
+
+  private:
+    ErrorCode code_ = ErrorCode::kOk;
+    std::string message_;
+    SourceLoc loc_;
+};
+
+/** Internal exception carrying a Status. Parsers throw it at the
+ *  point of failure; the public entry points catch and return the
+ *  Status. Never escapes a library API. */
+class StatusError : public std::exception
+{
+  public:
+    explicit StatusError(Status status) : status_(std::move(status)) {}
+
+    const Status &status() const { return status_; }
+    const char *
+    what() const noexcept override
+    {
+        return status_.message().c_str();
+    }
+
+  private:
+    Status status_;
+};
+
+/**
+ * Value-or-Status. Holds the value on success, a non-OK Status on
+ * failure; checked access panics on misuse (a *library* bug, unlike
+ * the carried error, which is the *input's* fault).
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {} // NOLINT(*explicit*)
+    Expected(Status status)                         // NOLINT(*explicit*)
+        : status_(std::move(status))
+    {
+        assertNotOk();
+    }
+
+    bool ok() const { return value_.has_value(); }
+
+    const Status &status() const { return status_; }
+
+    T &
+    value() &
+    {
+        assertHasValue();
+        return *value_;
+    }
+
+    const T &
+    value() const &
+    {
+        assertHasValue();
+        return *value_;
+    }
+
+    T &&
+    value() &&
+    {
+        assertHasValue();
+        return std::move(*value_);
+    }
+
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+    T &&operator*() && { return std::move(*this).value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+    /** Unwrap, or fatal() with the error — the *OrDie bridge. */
+    T valueOrDie() &&;
+
+  private:
+    void assertHasValue() const;
+    void assertNotOk() const;
+
+    std::optional<T> value_;
+    Status status_;
+};
+
+namespace detail {
+[[noreturn]] void expectedValuePanic();
+[[noreturn]] void expectedOkStatusPanic();
+[[noreturn]] void expectedDie(const Status &status);
+} // namespace detail
+
+template <typename T>
+T
+Expected<T>::valueOrDie() &&
+{
+    if (!ok())
+        detail::expectedDie(status_);
+    return std::move(*value_);
+}
+
+template <typename T>
+void
+Expected<T>::assertHasValue() const
+{
+    if (!value_.has_value())
+        detail::expectedValuePanic();
+}
+
+template <typename T>
+void
+Expected<T>::assertNotOk() const
+{
+    if (status_.ok())
+        detail::expectedOkStatusPanic();
+}
+
+/**
+ * Hard bounds a parser enforces while building an automaton from
+ * untrusted input. Defaults are far above anything the zoo generates
+ * but low enough that a hostile document degrades into a structured
+ * kLimitExceeded error instead of an OOM kill — the RE2 memory-budget
+ * posture.
+ */
+struct ParseLimits {
+    /** Maximum elements (STEs + counters). */
+    size_t maxStates = 1u << 22;
+    /** Maximum edges (activation + reset). */
+    size_t maxEdges = 1u << 24;
+    /** Maximum recursion depth (JSON values, regex groups). */
+    size_t maxNestingDepth = 200;
+    /** Maximum document size accepted by the stream readers. */
+    size_t maxInputBytes = size_t(1) << 30;
+};
+
+} // namespace azoo
+
+#endif // AZOO_UTIL_STATUS_HH

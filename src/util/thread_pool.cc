@@ -103,31 +103,7 @@ void
 ThreadPool::parallelFor(size_t n,
                         const std::function<void(size_t)> &body)
 {
-    if (n == 0)
-        return;
-    if (size() == 1 || n == 1) {
-        // One worker computes exactly like N=1 measurement semantics
-        // demand, but going through the queue for a single-item loop
-        // would only add latency.
-        for (size_t i = 0; i < n; ++i)
-            body(i);
-        return;
-    }
-    const size_t helpers = std::min(size(), n);
-    std::atomic<size_t> index{0};
-    std::latch done(static_cast<ptrdiff_t>(helpers));
-    for (size_t h = 0; h < helpers; ++h) {
-        post([&] {
-            for (;;) {
-                const size_t i = index.fetch_add(1);
-                if (i >= n)
-                    break;
-                body(i);
-            }
-            done.count_down();
-        });
-    }
-    done.wait();
+    parallelFor(n, [&body](size_t, size_t i) { body(i); });
 }
 
 void
@@ -137,25 +113,46 @@ ThreadPool::parallelFor(size_t n,
     if (n == 0)
         return;
     if (size() == 1 || n == 1) {
+        // One worker computes exactly like N=1 measurement semantics
+        // demand, but going through the queue for a single-item loop
+        // would only add latency. Exceptions propagate directly.
         for (size_t i = 0; i < n; ++i)
             body(0, i);
         return;
     }
     const size_t helpers = std::min(size(), n);
     std::atomic<size_t> index{0};
+    // A body exception must not escape a pool thread (std::terminate):
+    // the first one is captured here and rethrown on the calling
+    // thread after the barrier; remaining iterations are abandoned
+    // (helpers stop claiming indices), already-running ones finish.
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
     std::latch done(static_cast<ptrdiff_t>(helpers));
     for (size_t h = 0; h < helpers; ++h) {
         post([&, h] {
             for (;;) {
+                if (failed.load(std::memory_order_relaxed))
+                    break;
                 const size_t i = index.fetch_add(1);
                 if (i >= n)
                     break;
-                body(h, i);
+                try {
+                    body(h, i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    failed.store(true);
+                }
             }
             done.count_down();
         });
     }
     done.wait();
+    if (failed.load())
+        std::rethrow_exception(firstError);
 }
 
 } // namespace azoo

@@ -35,8 +35,12 @@ namespace azoo {
  *
  * Worker count is fixed at construction; "N threads" in any
  * measurement means exactly N workers compute while the submitting
- * thread blocks. Tasks must not throw and must not call back into
- * parallelFor() on the same pool (no nesting).
+ * thread blocks. Tasks posted directly via post() must not throw
+ * (nothing could catch them); parallelFor() bodies MAY throw — the
+ * first exception is captured and rethrown on the calling thread
+ * after the barrier (remaining un-started iterations are abandoned).
+ * Tasks must not call back into parallelFor() on the same pool (no
+ * nesting).
  */
 class ThreadPool
 {
@@ -60,7 +64,9 @@ class ThreadPool
      * Run body(i) for every i in [0, n) on the workers and block
      * until all calls finished. Iteration order across workers is
      * unspecified; callers own any determinism (e.g. by writing
-     * results to slot i).
+     * results to slot i). If any body throws, the first captured
+     * exception is rethrown here after all in-flight bodies drain;
+     * iterations not yet claimed at that point never run.
      */
     void parallelFor(size_t n, const std::function<void(size_t)> &body);
 

@@ -136,7 +136,7 @@ appendJpegBits(Automaton &a, uint32_t code)
 void
 appendByteRegex(Automaton &a, const std::string &pattern, uint32_t code)
 {
-    Regex rx = parseRegex(pattern);
+    Regex rx = parseRegexOrDie(pattern);
     appendRegex(a, rx, code);
 }
 

@@ -64,7 +64,7 @@ TEST(Verify, HealthyChainIsSpotless)
 
 TEST(Verify, GlushkovOutputIsClean)
 {
-    Automaton a = compileRegex(parseRegex("ab*(c|d)e"), 9);
+    Automaton a = compileRegex(parseRegexOrDie("ab*(c|d)e"), 9);
     Report r = analysis::verify(a);
     EXPECT_EQ(r.errors, 0u) << dump(r);
 }

@@ -170,7 +170,7 @@ TEST(Serialize, RoundTripsAllFeatures)
     std::ostringstream os;
     writeAzml(os, a);
     std::istringstream is(os.str());
-    Automaton back = readAzml(is);
+    Automaton back = readAzmlOrDie(is);
 
     ASSERT_EQ(back.size(), a.size());
     EXPECT_EQ(back.name(), "rt");
@@ -212,7 +212,7 @@ TEST(Serialize, PropertyRandomRoundTrip)
         std::ostringstream os;
         writeAzml(os, a);
         std::istringstream is(os.str());
-        Automaton back = readAzml(is);
+        Automaton back = readAzmlOrDie(is);
         ASSERT_EQ(back.size(), a.size());
         std::ostringstream os2;
         writeAzml(os2, back);
@@ -253,15 +253,19 @@ TEST(Dot, TruncatesHugeAutomata)
 
 TEST(Serialize, RejectsMalformedInput)
 {
-    auto expect_dies = [](const std::string &text) {
+    auto expect_rejects = [](const std::string &text) {
         std::istringstream is(text);
-        EXPECT_EXIT(readAzml(is), testing::ExitedWithCode(1), "azml");
+        Expected<Automaton> got = readAzml(is);
+        ASSERT_FALSE(got.ok()) << text;
+        EXPECT_NE(got.status().message().find("azml"),
+                  std::string::npos);
+        EXPECT_EQ(got.status().code(), ErrorCode::kParseError);
     };
-    expect_dies("ste 0 start=all report=- symbols=*\nend\n");
-    expect_dies("automaton x\nste 1 start=all report=- symbols=*\n"
-                "end\n");
-    expect_dies("automaton x\nbogus 0\nend\n");
-    expect_dies("automaton x\nedge 0 1\nend\n");
+    expect_rejects("ste 0 start=all report=- symbols=*\nend\n");
+    expect_rejects("automaton x\nste 1 start=all report=- symbols=*\n"
+                   "end\n");
+    expect_rejects("automaton x\nbogus 0\nend\n");
+    expect_rejects("automaton x\nedge 0 1\nend\n");
 }
 
 } // namespace

@@ -67,7 +67,7 @@ TEST(Mnrl, RoundTripsAllFeatures)
     std::ostringstream os;
     writeMnrl(os, a);
     std::istringstream is(os.str());
-    expectEqualAutomata(a, readMnrl(is));
+    expectEqualAutomata(a, readMnrlOrDie(is));
 }
 
 TEST(Anml, RoundTripsAllFeatures)
@@ -76,7 +76,7 @@ TEST(Anml, RoundTripsAllFeatures)
     std::ostringstream os;
     writeAnml(os, a);
     std::istringstream is(os.str());
-    expectEqualAutomata(a, readAnml(is));
+    expectEqualAutomata(a, readAnmlOrDie(is));
 }
 
 TEST(Formats, CrossFormatEquivalence)
@@ -86,11 +86,11 @@ TEST(Formats, CrossFormatEquivalence)
     std::ostringstream s1;
     writeMnrl(s1, a);
     std::istringstream r1(s1.str());
-    Automaton b = readMnrl(r1);
+    Automaton b = readMnrlOrDie(r1);
     std::ostringstream s2;
     writeAnml(s2, b);
     std::istringstream r2(s2.str());
-    Automaton c = readAnml(r2);
+    Automaton c = readAnmlOrDie(r2);
     std::ostringstream s3, s4;
     writeAzml(s3, a);
     writeAzml(s4, c);
@@ -113,7 +113,7 @@ TEST(Mnrl, ParsesHandAuthoredDocument)
       ]
     })";
     std::istringstream is(doc);
-    Automaton a = readMnrl(is);
+    Automaton a = readMnrlOrDie(is);
     ASSERT_EQ(a.size(), 2u);
     EXPECT_EQ(a.name(), "hand");
     EXPECT_EQ(a.element(0).start, StartType::kAllInput);
@@ -143,7 +143,7 @@ TEST(Anml, ParsesHandAuthoredDocument)
   </automata-network>
 </anml>)";
     std::istringstream is(doc);
-    Automaton a = readAnml(is);
+    Automaton a = readAnmlOrDie(is);
     ASSERT_EQ(a.size(), 2u);
     NfaEngine e(a);
     std::vector<uint8_t> in = {'x', 'z', 'z'};
@@ -152,33 +152,39 @@ TEST(Anml, ParsesHandAuthoredDocument)
 
 TEST(Mnrl, RejectsMalformed)
 {
-    auto dies = [](const std::string &doc, const char *why) {
+    auto rejects = [](const std::string &doc, const char *why) {
         std::istringstream is(doc);
-        EXPECT_EXIT(readMnrl(is), testing::ExitedWithCode(1), why);
+        Expected<Automaton> got = readMnrl(is);
+        ASSERT_FALSE(got.ok()) << doc;
+        EXPECT_NE(got.status().message().find(why), std::string::npos)
+            << got.status().str();
     };
-    dies("{", "mnrl");
-    dies("[]", "root is not an object");
-    dies(R"({"id": "x"})", "missing nodes");
-    dies(R"({"id":"x","nodes":[{"id":"a","type":"boolean"}]})",
-         "unsupported node type");
-    dies(R"({"id":"x","nodes":[{"id":"a","type":"hState",
+    rejects("{", "unexpected end");
+    rejects("[]", "root is not an object");
+    rejects(R"({"id": "x"})", "missing nodes");
+    rejects(R"({"id":"x","nodes":[{"id":"a","type":"boolean"}]})",
+            "unsupported node type");
+    rejects(R"({"id":"x","nodes":[{"id":"a","type":"hState",
           "attributes":{"symbolSet":"[a]"},
           "outputConnections":[{"id":"nope"}]}]})",
-         "unknown node");
+            "unknown node");
 }
 
 TEST(Anml, RejectsMalformed)
 {
-    auto dies = [](const std::string &doc, const char *why) {
+    auto rejects = [](const std::string &doc, const char *why) {
         std::istringstream is(doc);
-        EXPECT_EXIT(readAnml(is), testing::ExitedWithCode(1), why);
+        Expected<Automaton> got = readAnml(is);
+        ASSERT_FALSE(got.ok()) << doc;
+        EXPECT_NE(got.status().message().find(why), std::string::npos)
+            << got.status().str();
     };
-    dies("<anml><automata-network id=\"x\"><bogus/>"
-         "</automata-network></anml>",
-         "unsupported element");
-    dies("<anml><state-transition-element id=\"a\" "
-         "symbol-set=\"[a]\" start=\"none\"/></anml>",
-         "outside automata-network");
+    rejects("<anml><automata-network id=\"x\"><bogus/>"
+            "</automata-network></anml>",
+            "unsupported element");
+    rejects("<anml><state-transition-element id=\"a\" "
+            "symbol-set=\"[a]\" start=\"none\"/></anml>",
+            "outside automata-network");
 }
 
 /** Property: random regex automata round-trip through both formats
@@ -196,7 +202,7 @@ TEST_P(FormatProperty, RandomAutomataBehaveIdentically)
     for (int i = 0; i < 3; ++i) {
         appendRegex(
             a,
-            parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+            parseRegexOrDie(kPatterns[rng.nextBelow(std::size(kPatterns))]),
             static_cast<uint32_t>(i));
     }
 
@@ -204,8 +210,8 @@ TEST_P(FormatProperty, RandomAutomataBehaveIdentically)
     writeMnrl(mj, a);
     writeAnml(ax, a);
     std::istringstream mji(mj.str()), axi(ax.str());
-    Automaton via_mnrl = readMnrl(mji);
-    Automaton via_anml = readAnml(axi);
+    Automaton via_mnrl = readMnrlOrDie(mji);
+    Automaton via_anml = readAnmlOrDie(axi);
 
     NfaEngine e0(a), e1(via_mnrl), e2(via_anml);
     for (int t = 0; t < 4; ++t) {

@@ -141,7 +141,7 @@ TEST_P(SuffixMergeProperty, PreservesReportEvents)
     for (int i = 0; i < count; ++i) {
         appendRegex(
             a,
-            parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+            parseRegexOrDie(kPatterns[rng.nextBelow(std::size(kPatterns))]),
             static_cast<uint32_t>(rng.nextBelow(3)));
     }
     MergeResult s = suffixMerge(a);

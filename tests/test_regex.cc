@@ -47,7 +47,7 @@ expectAgreesWithOracle(const std::string &pattern,
                        const std::string &text,
                        RegexFlags flags = RegexFlags())
 {
-    Regex rx = parseRegex(pattern, flags);
+    Regex rx = parseRegexOrDie(pattern, flags);
     Automaton a = compileRegex(rx, 1);
     a.validate();
     std::vector<uint8_t> in(text.begin(), text.end());
@@ -76,7 +76,9 @@ TEST(RegexParser, RejectsEmptyMatchingPatterns)
     Regex rx;
     std::string err;
     EXPECT_FALSE(tryParseRegex("a*", RegexFlags(), rx, err));
-    EXPECT_EQ(err, "pattern matches the empty string");
+    EXPECT_NE(err.find("pattern matches the empty string"),
+              std::string::npos)
+        << err;
     EXPECT_FALSE(tryParseRegex("(a|)", RegexFlags(), rx, err));
     EXPECT_FALSE(tryParseRegex("a?b*", RegexFlags(), rx, err));
 }
@@ -92,10 +94,10 @@ TEST(RegexParser, RejectsBackreferencesAndLookaround)
 
 TEST(RegexParser, AnchorsRecorded)
 {
-    Regex rx = parseRegex("^abc");
+    Regex rx = parseRegexOrDie("^abc");
     EXPECT_TRUE(rx.anchoredStart);
     EXPECT_FALSE(rx.anchoredEnd);
-    rx = parseRegex("abc$");
+    rx = parseRegexOrDie("abc$");
     EXPECT_FALSE(rx.anchoredStart);
     EXPECT_TRUE(rx.anchoredEnd);
 }
@@ -116,7 +118,7 @@ TEST(RegexParser, EscapesAndClasses)
 
 TEST(RegexGlushkov, LiteralChainShape)
 {
-    Automaton a = compileRegex(parseRegex("abc"), 9);
+    Automaton a = compileRegex(parseRegexOrDie("abc"), 9);
     EXPECT_EQ(a.size(), 3u);
     EXPECT_EQ(a.edgeCount(), 2u);
     EXPECT_EQ(a.element(0).start, StartType::kAllInput);
@@ -126,14 +128,14 @@ TEST(RegexGlushkov, LiteralChainShape)
 
 TEST(RegexGlushkov, AnchoredUsesStartOfData)
 {
-    Automaton a = compileRegex(parseRegex("^ab"), 0);
+    Automaton a = compileRegex(parseRegexOrDie("^ab"), 0);
     EXPECT_EQ(a.element(0).start, StartType::kStartOfData);
 }
 
 TEST(RegexGlushkov, PositionCountMatchesClassOccurrences)
 {
     // (ab|cd)e has 5 positions.
-    Automaton a = compileRegex(parseRegex("(ab|cd)e"), 0);
+    Automaton a = compileRegex(parseRegexOrDie("(ab|cd)e"), 0);
     EXPECT_EQ(a.size(), 5u);
 }
 

@@ -91,7 +91,7 @@ TEST_P(StreamingProperty, ChunkingInvariance)
     for (int i = 0; i < 3; ++i) {
         appendRegex(
             a,
-            parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+            parseRegexOrDie(kPatterns[rng.nextBelow(std::size(kPatterns))]),
             static_cast<uint32_t>(i));
     }
     // Mix in a counter component.

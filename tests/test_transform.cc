@@ -101,7 +101,7 @@ TEST_P(PrefixMergeProperty, RandomRegexUnions)
     const int count = 2 + static_cast<int>(rng.nextBelow(6));
     for (int i = 0; i < count; ++i) {
         const char *p = kPatterns[rng.nextBelow(std::size(kPatterns))];
-        appendRegex(a, parseRegex(p),
+        appendRegex(a, parseRegexOrDie(p),
                     static_cast<uint32_t>(rng.nextBelow(4)));
     }
     MergeResult m = prefixMerge(a);
@@ -201,7 +201,7 @@ TEST_P(WidenProperty, EquivalentOnInterleavedInputs)
                                       "abc|bcd"};
     Automaton a("t");
     appendRegex(
-        a, parseRegex(kPatterns[rng.nextBelow(std::size(kPatterns))]),
+        a, parseRegexOrDie(kPatterns[rng.nextBelow(std::size(kPatterns))]),
         7);
     Automaton w = widen(a);
     NfaEngine narrow(a), wide(w);

@@ -243,7 +243,7 @@ TEST(ClamAv, SignatureInstancesMatchTheirPattern)
     for (size_t i = 0; i < 10; ++i) {
         RegexFlags flags;
         flags.dotall = true;
-        Regex rx = parseRegex(zoo::clamHexToRegex(sigs[i].hex), flags);
+        Regex rx = parseRegexOrDie(zoo::clamHexToRegex(sigs[i].hex), flags);
         Automaton a = compileRegex(rx, 1);
         NfaEngine e(a);
         std::vector<uint8_t> in(sigs[i].instance.begin(),
@@ -278,7 +278,7 @@ TEST(Protomata, InstancesMatchTheirPattern)
     zoo::ZooConfig cfg = tinyConfig();
     auto pats = zoo::makePrositePatterns(cfg);
     for (size_t i = 0; i < std::min<size_t>(10, pats.size()); ++i) {
-        Regex rx = parseRegex(zoo::prositeToRegex(pats[i].prosite));
+        Regex rx = parseRegexOrDie(zoo::prositeToRegex(pats[i].prosite));
         Automaton a = compileRegex(rx, 1);
         NfaEngine e(a);
         std::vector<uint8_t> in(pats[i].instance.begin(),
@@ -452,7 +452,7 @@ TEST(Yara, HexDialectConversion)
 TEST(Yara, NibbleWildcardSemantics)
 {
     // "?A" matches any byte whose low nibble is A.
-    Regex rx = parseRegex(zoo::yaraHexToRegex("?a"));
+    Regex rx = parseRegexOrDie(zoo::yaraHexToRegex("?a"));
     Automaton a = compileRegex(rx, 1);
     NfaEngine e(a);
     for (int v : {0x0a, 0x3a, 0xfa}) {
@@ -472,7 +472,7 @@ TEST(Yara, RuleInstancesMatch)
     for (size_t i = 0; i < std::min<size_t>(10, rules.size()); ++i) {
         RegexFlags flags;
         flags.dotall = true;
-        Regex rx = parseRegex(zoo::yaraHexToRegex(rules[i].hex), flags);
+        Regex rx = parseRegexOrDie(zoo::yaraHexToRegex(rules[i].hex), flags);
         Automaton a = compileRegex(rx, 1);
         NfaEngine e(a);
         std::vector<uint8_t> in(rules[i].instance.begin(),

@@ -24,6 +24,7 @@
 #include "core/mnrl.hh"
 #include "core/serialize.hh"
 #include "core/stats.hh"
+#include "tool_common.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "zoo/registry.hh"
@@ -44,7 +45,7 @@ main(int argc, char **argv)
 
     const std::string name = cli.get("name");
     if (name.empty())
-        fatal("azoo_gen: --name required (or --list)");
+        tool::usageError("azoo_gen: --name required (or --list)");
     const std::string out = cli.get("out", "benchmark");
     const std::string format = cli.get("format", "azml");
 
@@ -63,8 +64,8 @@ main(int argc, char **argv)
     else if (format == "anml")
         saveAnml(autpath, b.automaton);
     else
-        fatal(cat("azoo_gen: unknown format '", format,
-                  "' (azml|mnrl|anml)"));
+        tool::usageError(cat("azoo_gen: unknown format '", format,
+                             "' (azml|mnrl|anml)"));
 
     if (cli.getBool("dot"))
         saveDot(out + ".dot", b.automaton);

@@ -20,6 +20,7 @@
 #include "core/anml.hh"
 #include "core/mnrl.hh"
 #include "core/serialize.hh"
+#include "tool_common.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -28,16 +29,6 @@
 using namespace azoo;
 
 namespace {
-
-Automaton
-loadAny(const std::string &path)
-{
-    if (path.size() >= 5 && path.rfind(".mnrl") == path.size() - 5)
-        return loadMnrl(path);
-    if (path.size() >= 5 && path.rfind(".anml") == path.size() - 5)
-        return loadAnml(path);
-    return loadAzml(path);
-}
 
 void
 listRules()
@@ -62,8 +53,8 @@ ruleByName(const std::string &name)
             return r;
         }
     }
-    fatal(cat("azoo_lint: unknown rule '", name,
-              "' (see --list-rules)"));
+    tool::usageError(cat("azoo_lint: unknown rule '", name,
+                         "' (see --list-rules)"));
 }
 
 std::string
@@ -88,7 +79,8 @@ main(int argc, char **argv)
 
     const std::string in = cli.get("in");
     if (in.empty())
-        fatal("azoo_lint: --in is required (or use --list-rules)");
+        tool::usageError(
+            "azoo_lint: --in is required (or use --list-rules)");
 
     analysis::Options opts;
     opts.fanoutThreshold =
@@ -110,7 +102,7 @@ main(int argc, char **argv)
     for (const std::string &path : split(in, ',')) {
         if (path.empty())
             continue;
-        Automaton a = loadAny(path);
+        Automaton a = tool::loadAnyOrExit(path);
         analysis::Report rep = run_lint ? analysis::analyze(a, opts)
                                         : analysis::verify(a, opts);
         total_errors += rep.errors;

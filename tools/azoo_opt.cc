@@ -20,6 +20,7 @@
 #include "transform/prune.hh"
 #include "transform/suffix_merge.hh"
 #include "transform/widen.hh"
+#include "tool_common.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -27,16 +28,6 @@
 using namespace azoo;
 
 namespace {
-
-Automaton
-loadAny(const std::string &path)
-{
-    if (path.size() >= 5 && path.rfind(".mnrl") == path.size() - 5)
-        return loadMnrl(path);
-    if (path.size() >= 5 && path.rfind(".anml") == path.size() - 5)
-        return loadAnml(path);
-    return loadAzml(path);
-}
 
 void
 saveAny(const std::string &path, const Automaton &a)
@@ -58,9 +49,9 @@ main(int argc, char **argv)
     const std::string in = cli.get("in");
     const std::string out = cli.get("out");
     if (in.empty() || out.empty())
-        fatal("azoo_opt: --in and --out are required");
+        tool::usageError("azoo_opt: --in and --out are required");
 
-    Automaton a = loadAny(in);
+    Automaton a = tool::loadAnyOrExit(in);
     std::cout << "loaded " << a.size() << " elements from " << in
               << "\n";
 
@@ -79,8 +70,8 @@ main(int argc, char **argv)
         } else if (pass == "widen") {
             a = widen(a);
         } else {
-            fatal(cat("azoo_opt: unknown pass '", pass,
-                      "' (prefix|suffix|full|prune|widen)"));
+            tool::usageError(cat("azoo_opt: unknown pass '", pass,
+                                 "' (prefix|suffix|full|prune|widen)"));
         }
         std::cout << "pass " << pass << ": " << before << " -> "
                   << a.size() << " elements\n";

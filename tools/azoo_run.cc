@@ -31,14 +31,13 @@
 #include <fstream>
 #include <iostream>
 
-#include "core/anml.hh"
-#include "core/mnrl.hh"
-#include "core/serialize.hh"
 #include "core/stats.hh"
 #include "engine/lazy_dfa_engine.hh"
 #include "engine/multidfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "engine/parallel_runner.hh"
+#include "engine/run_guard.hh"
+#include "tool_common.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
@@ -49,24 +48,26 @@ using namespace azoo;
 
 namespace {
 
-Automaton
-loadAny(const std::string &path)
-{
-    if (path.size() >= 5 && path.rfind(".mnrl") == path.size() - 5)
-        return loadMnrl(path);
-    if (path.size() >= 5 && path.rfind(".anml") == path.size() - 5)
-        return loadAnml(path);
-    return loadAzml(path);
-}
-
 std::vector<uint8_t>
 loadBytes(const std::string &path)
 {
     std::ifstream f(path, std::ios::binary);
-    if (!f)
-        fatal(cat("cannot read ", path));
+    if (!f) {
+        std::cerr << path << ": cannot read\n";
+        std::exit(tool::kExitBadData);
+    }
     return {std::istreambuf_iterator<char>(f),
             std::istreambuf_iterator<char>()};
+}
+
+/** One line per truncated run so scripts notice partial results. */
+void
+noteTruncation(const SimResult &r)
+{
+    if (r.truncated()) {
+        std::cerr << "run truncated after " << r.symbols
+                  << " symbols: " << r.guardStatus.str() << "\n";
+    }
 }
 
 } // namespace
@@ -76,13 +77,22 @@ main(int argc, char **argv)
 {
     Cli cli(argc, argv,
             {"automaton", "input", "engine", "cache-bytes", "reports",
-             "by-code", "threads", "batch", "chunk"});
+             "by-code", "threads", "batch", "chunk", "deadline-ms",
+             "symbol-budget", "max-states", "max-edges"});
     const std::string apath = cli.get("automaton");
     const std::string ipath = cli.get("input");
     if (apath.empty() || ipath.empty())
-        fatal("azoo_run: --automaton and --input are required");
+        tool::usageError("azoo_run: --automaton and --input are "
+                         "required");
 
-    Automaton a = loadAny(apath);
+    ParseLimits limits;
+    if (cli.has("max-states"))
+        limits.maxStates =
+            static_cast<size_t>(cli.getInt("max-states", 0));
+    if (cli.has("max-edges"))
+        limits.maxEdges =
+            static_cast<size_t>(cli.getInt("max-edges", 0));
+    Automaton a = tool::loadAnyOrExit(apath, limits);
     GraphStats s = computeStats(a);
     std::cout << a.name() << ": " << s.states << " states, "
               << s.counters << " counters, " << s.edges << " edges, "
@@ -90,6 +100,16 @@ main(int argc, char **argv)
 
     SimOptions opts;
     opts.countByCode = cli.getBool("by-code");
+    RunGuard guard;
+    if (cli.has("deadline-ms") || cli.has("symbol-budget")) {
+        if (cli.has("deadline-ms"))
+            guard.setDeadlineMs(
+                static_cast<uint64_t>(cli.getInt("deadline-ms", 0)));
+        if (cli.has("symbol-budget"))
+            guard.setSymbolBudget(static_cast<uint64_t>(
+                cli.getInt("symbol-budget", 0)));
+        opts.guard = &guard;
+    }
     const auto show =
         static_cast<size_t>(cli.getInt("reports", 10));
     opts.reportRecordLimit = show;
@@ -102,15 +122,15 @@ main(int argc, char **argv)
         static_cast<size_t>(cli.getInt("threads", 1));
     const bool batch = cli.getBool("batch");
     if ((batch || threads > 1) && engine != "nfa" && !lazy)
-        fatal("azoo_run: --batch/--threads require --engine nfa or "
-              "lazydfa");
+        tool::usageError("azoo_run: --batch/--threads require "
+                         "--engine nfa or lazydfa");
 
     if (batch) {
         std::vector<std::vector<uint8_t>> streams;
         for (const std::string &p : split(ipath, ',')) {
             if (p.empty())
-                fatal("azoo_run: empty file name in --input list "
-                      "(stray comma?)");
+                tool::usageError("azoo_run: empty file name in "
+                                 "--input list (stray comma?)");
             streams.push_back(loadBytes(p));
         }
         ParallelOptions popts;
@@ -126,9 +146,15 @@ main(int argc, char **argv)
         BatchResult br = runner.runBatch(streams);
         const double secs = timer.seconds();
         for (size_t i = 0; i < br.perStream.size(); ++i) {
+            if (!br.perStreamStatus[i].ok()) {
+                std::cout << "stream " << i << ": FAILED: "
+                          << br.perStreamStatus[i].str() << "\n";
+                continue;
+            }
             std::cout << "stream " << i << ": "
                       << br.perStream[i].symbols << " bytes, "
                       << br.perStream[i].reportCount << " reports\n";
+            noteTruncation(br.perStream[i]);
         }
         std::cout << br.totalSymbols << " bytes total in "
                   << Table::fixed(secs, 3) << "s ("
@@ -139,7 +165,7 @@ main(int argc, char **argv)
             std::cout << "lazy cache: " << br.totalLazyFlushes
                       << " flushes across streams\n";
         }
-        return 0;
+        return br.allOk() ? tool::kExitOk : tool::kExitBadData;
     }
 
     auto input = loadBytes(ipath);
@@ -179,14 +205,16 @@ main(int argc, char **argv)
         timer.reset();
         r = e.simulate(input, opts);
     } else {
-        fatal(cat("azoo_run: unknown engine '", engine,
-                  "' (nfa|multidfa|lazydfa)"));
+        tool::usageError(cat("azoo_run: unknown engine '", engine,
+                             "' (nfa|multidfa|lazydfa)"));
     }
     const double secs = timer.seconds();
 
-    std::cout << input.size() << " bytes in "
+    noteTruncation(r);
+    std::cout << r.symbols << " bytes in "
               << Table::fixed(secs, 3) << "s ("
-              << Table::fixed(input.size() / secs / 1e6, 1)
+              << Table::fixed(static_cast<double>(r.symbols) / secs /
+                              1e6, 1)
               << " MB/s), " << r.reportCount << " reports";
     if (engine == "nfa" || lazy) {
         std::cout << ", avg active set "
