@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "zoo/benchmark.hh"
@@ -129,6 +130,11 @@ class JsonReport
     {
         os << "{\n  \"schema\": \"azoo-bench-1\",\n  \"tool\": ";
         jsonEscape(os, tool_);
+        // Registry snapshot at write time: whatever the bench's runs
+        // recorded (cache hit rates, guard stops, ...) rides along
+        // with the measurements. With AZOO_OBS=OFF this is the empty
+        // {"enabled": false} skeleton.
+        os << ",\n  \"metrics\": " << obs::Registry::global().toJson();
         os << ",\n  \"rows\": [";
         for (size_t i = 0; i < rows_.size(); ++i) {
             const JsonRow &r = rows_[i];

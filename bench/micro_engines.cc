@@ -9,12 +9,16 @@
  * tracks the active set; compiled-engine cost tracks component
  * count, not enabled states.
  *
- * Extra flag beyond google-benchmark's own: --json PATH writes every
+ * Extra flags beyond google-benchmark's own: --json PATH writes every
  * run as a bench::JsonReport row (benchmark name, engine label,
- * threads, symbols/sec, cache flushes) alongside the console table.
+ * threads, symbols/sec, cache flushes) alongside the console table;
+ * --metrics[=PATH] dumps the azoo::obs registry snapshot after the
+ * runs (stdout, or PATH when given).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <iostream>
 
 #include "bench/common.hh"
 #include "engine/lazy_dfa_engine.hh"
@@ -291,8 +295,11 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
-    // Peel off --json before google-benchmark sees (and rejects) it.
+    // Peel off --json / --metrics before google-benchmark sees (and
+    // rejects) them.
     std::string jsonPath;
+    std::string metricsPath;
+    bool metrics = false;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         const std::string a = argv[i];
@@ -300,6 +307,11 @@ main(int argc, char **argv)
             jsonPath = argv[++i];
         } else if (a.rfind("--json=", 0) == 0) {
             jsonPath = a.substr(7);
+        } else if (a == "--metrics") {
+            metrics = true;
+        } else if (a.rfind("--metrics=", 0) == 0) {
+            metrics = true;
+            metricsPath = a.substr(10);
         } else {
             args.push_back(argv[i]);
         }
@@ -312,5 +324,18 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
     reporter.report.writeFile(jsonPath);
+    if (metrics) {
+        const std::string json =
+            azoo::obs::Registry::global().toJson();
+        if (metricsPath.empty()) {
+            std::cout << json << "\n";
+        } else {
+            std::ofstream f(metricsPath);
+            f << json << "\n";
+            if (!f)
+                azoo::fatal(azoo::cat(
+                    "cannot write --metrics output to ", metricsPath));
+        }
+    }
     return 0;
 }

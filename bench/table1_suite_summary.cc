@@ -6,10 +6,11 @@
  * average subgraph size and std dev, compressed states after the
  * VASim-style prefix-merge optimization, compression factor, and the
  * dynamic active set measured with the NFA interpreter on the
- * standard input. The three Lazy.* columns characterize the same run
- * under the lazy-DFA hybrid: distinct state-sets interned, whole-cache
- * flushes at the default budget, and counter components interpreted by
- * the embedded fallback.
+ * standard input. The Lazy.* columns characterize the same run under
+ * the lazy-DFA hybrid: distinct state-sets interned, whole-cache
+ * flushes at the default budget, counter components interpreted by
+ * the embedded fallback, and the transition-cache hit rate (read back
+ * from the azoo::obs registry; 0.0 under AZOO_OBS=OFF).
  *
  * Absolute sizes scale with --scale (default 0.05 of the paper's
  * pattern counts; --full reproduces paper sizes). The second table
@@ -25,6 +26,7 @@
 #include "bench/common.hh"
 #include "core/stats.hh"
 #include "engine/lazy_dfa_engine.hh"
+#include "obs/obs.hh"
 #include "engine/nfa_engine.hh"
 #include "transform/prefix_merge.hh"
 #include "util/table.hh"
@@ -117,7 +119,7 @@ main(int argc, char **argv)
     Table t({"Benchmark", "States", "Edges", "Edges/Node", "Subgraphs",
              "Avg.Size", "Std.Dev", "Compr.States", "Compr.Factor",
              "ActiveSet", "Lint", "Lazy.Sets", "Lazy.Flush",
-             "Lazy.FB"});
+             "Lazy.FB", "Lazy.Hit%"});
     Table shape({"Benchmark", "Avg.Size", "(paper)", "Edges/Node",
                  "(paper)", "Act/1kStates", "(paper)"});
 
@@ -138,7 +140,21 @@ main(int argc, char **argv)
         LazyDfaEngine lazyEngine(b.automaton);
         SimOptions lazyOpts = opts;
         lazyOpts.computeActiveSet = false;
+        // Hit rate from the obs registry as counter deltas around
+        // this one run (0.0 under AZOO_OBS=OFF).
+        obs::Registry &reg = obs::Registry::global();
+        const uint64_t hits0 =
+            reg.counterValue("engine.lazy.cache_hits");
+        const uint64_t miss0 =
+            reg.counterValue("engine.lazy.cache_misses");
         lazyEngine.simulate(b.input.data(), cfg.simBytes, lazyOpts);
+        const uint64_t hits =
+            reg.counterValue("engine.lazy.cache_hits") - hits0;
+        const uint64_t misses =
+            reg.counterValue("engine.lazy.cache_misses") - miss0;
+        const double hitPct = hits + misses
+            ? 100.0 * static_cast<double>(hits) / (hits + misses)
+            : 0.0;
 
         const uint64_t total = s.states + s.counters;
         t.addRow({info.name, Table::num(total), Table::num(s.edges),
@@ -152,7 +168,8 @@ main(int argc, char **argv)
                   lintCell(b.automaton),
                   Table::num(lazyEngine.cachedStates()),
                   Table::num(lazyEngine.cacheFlushes()),
-                  Table::num(lazyEngine.fallbackComponents())});
+                  Table::num(lazyEngine.fallbackComponents()),
+                  Table::fixed(hitPct, 1)});
 
         auto it = kPaper.find(info.name);
         if (it != kPaper.end() && total) {

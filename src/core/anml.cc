@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "util/fault.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
@@ -461,16 +462,23 @@ readAnmlText(const std::string &text, const ParseLimits &limits)
 Expected<Automaton>
 readAnml(std::istream &is, const ParseLimits &limits)
 {
-    Expected<std::string> text = readStream(is, limits.maxInputBytes);
-    if (!text.ok())
-        return text.status();
-    try {
-        return readAnmlText(*text, limits);
-    } catch (const StatusError &e) {
-        return e.status();
-    } catch (const std::exception &e) {
-        return Status(ErrorCode::kInternal, cat("anml: ", e.what()));
-    }
+    Expected<Automaton> res = [&]() -> Expected<Automaton> {
+        Expected<std::string> text =
+            readStream(is, limits.maxInputBytes);
+        if (!text.ok())
+            return text.status();
+        try {
+            return readAnmlText(*text, limits);
+        } catch (const StatusError &e) {
+            return e.status();
+        } catch (const std::exception &e) {
+            return Status(ErrorCode::kInternal,
+                          cat("anml: ", e.what()));
+        }
+    }();
+    obs::noteParse("anml",
+                   res.ok() ? ErrorCode::kOk : res.status().code());
+    return res;
 }
 
 void

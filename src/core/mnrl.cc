@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "util/fault.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
@@ -531,20 +532,27 @@ buildFromJson(const std::string &text, const JsonValue &root,
 Expected<Automaton>
 readMnrl(std::istream &is, const ParseLimits &limits)
 {
-    Expected<std::string> text = readStream(is, limits.maxInputBytes);
-    if (!text.ok())
-        return text.status();
-    // The source text outlives the parse: buildFromJson maps node
-    // offsets back to line:column for semantic errors.
-    const std::string src = std::move(*text);
-    try {
-        JsonPtr root = JsonParser(src, limits).run();
-        return buildFromJson(src, *root, limits);
-    } catch (const StatusError &e) {
-        return e.status();
-    } catch (const std::exception &e) {
-        return Status(ErrorCode::kInternal, cat("mnrl: ", e.what()));
-    }
+    Expected<Automaton> res = [&]() -> Expected<Automaton> {
+        Expected<std::string> text =
+            readStream(is, limits.maxInputBytes);
+        if (!text.ok())
+            return text.status();
+        // The source text outlives the parse: buildFromJson maps node
+        // offsets back to line:column for semantic errors.
+        const std::string src = std::move(*text);
+        try {
+            JsonPtr root = JsonParser(src, limits).run();
+            return buildFromJson(src, *root, limits);
+        } catch (const StatusError &e) {
+            return e.status();
+        } catch (const std::exception &e) {
+            return Status(ErrorCode::kInternal,
+                          cat("mnrl: ", e.what()));
+        }
+    }();
+    obs::noteParse("mnrl",
+                   res.ok() ? ErrorCode::kOk : res.status().code());
+    return res;
 }
 
 void

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hh"
 #include "util/fault.hh"
 #include "util/io.hh"
 #include "util/logging.hh"
@@ -279,13 +280,19 @@ readAzmlImpl(std::istream &is, const ParseLimits &limits)
 Expected<Automaton>
 readAzml(std::istream &is, const ParseLimits &limits)
 {
-    try {
-        return readAzmlImpl(is, limits);
-    } catch (const StatusError &e) {
-        return e.status();
-    } catch (const std::exception &e) {
-        return Status(ErrorCode::kInternal, cat("azml: ", e.what()));
-    }
+    Expected<Automaton> res = [&]() -> Expected<Automaton> {
+        try {
+            return readAzmlImpl(is, limits);
+        } catch (const StatusError &e) {
+            return e.status();
+        } catch (const std::exception &e) {
+            return Status(ErrorCode::kInternal,
+                          cat("azml: ", e.what()));
+        }
+    }();
+    obs::noteParse("azml",
+                   res.ok() ? ErrorCode::kOk : res.status().code());
+    return res;
 }
 
 void

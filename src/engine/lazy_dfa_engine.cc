@@ -3,11 +3,39 @@
 #include <algorithm>
 
 #include "engine/run_guard.hh"
+#include "obs/obs.hh"
 #include "util/union_find.hh"
 
 namespace azoo {
 
 namespace {
+
+/** Per-run metrics flush for the lazy half. Hits/misses are counted
+ *  in simulateLazy() stack locals — never one atomic per symbol —
+ *  and land here once per run. The hybrid path's fallback half is
+ *  accounted separately under engine.nfa.* by the interpreter. */
+void
+noteLazyRun(const SimResult &res, uint64_t hits, uint64_t misses)
+{
+    if (!obs::kEnabled)
+        return;
+    obs::Registry &reg = obs::Registry::global();
+    static obs::Counter &runs = reg.counter("engine.lazy.runs");
+    static obs::Counter &symbols = reg.counter("engine.lazy.symbols");
+    static obs::Counter &cacheHits =
+        reg.counter("engine.lazy.cache_hits");
+    static obs::Counter &cacheMisses =
+        reg.counter("engine.lazy.cache_misses");
+    static obs::Counter &cacheFlushes =
+        reg.counter("engine.lazy.cache_flushes");
+    runs.inc();
+    symbols.add(res.symbols);
+    cacheHits.add(hits);
+    cacheMisses.add(misses);
+    cacheFlushes.add(res.lazyFlushes);
+    if (!res.guardStatus.ok())
+        obs::noteGuardStop("engine.lazy", res.guardStatus.code());
+}
 
 /** FNV-1a over the raw words of a sorted local-id set. */
 uint64_t
@@ -316,6 +344,7 @@ LazyDfaEngine::simulateLazy(const uint8_t *input, size_t len,
 {
     const uint64_t flushesBefore = flushes_;
     uint64_t consumed = len;
+    uint64_t cacheHits = 0, cacheMisses = 0;
     if (!globalId_.empty()) {
         if (startState_ == kUnknown)
             startState_ = intern(start0_);
@@ -338,8 +367,12 @@ LazyDfaEngine::simulateLazy(const uint8_t *input, size_t len,
 
             const uint32_t cls = classOf_[input[t]];
             size_t cell = static_cast<size_t>(cur) * numClasses_ + cls;
-            if (next_[cell] == kUnknown)
+            if (next_[cell] == kUnknown) {
                 cell = fillCell(cur, cls);
+                ++cacheMisses;
+            } else {
+                ++cacheHits;
+            }
 
             const uint32_t ridx = reportIdx_[cell];
             if (ridx) {
@@ -365,6 +398,7 @@ LazyDfaEngine::simulateLazy(const uint8_t *input, size_t len,
     res.lazyFlushes = flushes_ - flushesBefore;
     res.lazyStates = members_.size();
     res.lazyFallbackComponents = fallbackComponentCount_;
+    noteLazyRun(res, cacheHits, cacheMisses);
 }
 
 SimResult

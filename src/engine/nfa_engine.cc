@@ -1,9 +1,35 @@
 #include "engine/nfa_engine.hh"
 
 #include "engine/run_guard.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace azoo {
+
+namespace {
+
+/** Per-run metrics flush (never per symbol); references are cached
+ *  after the first run so the steady-state cost is a few relaxed
+ *  fetch_adds per simulate() call. */
+void
+noteNfaRun(const SimResult &res, bool activeSet)
+{
+    if (!obs::kEnabled)
+        return;
+    obs::Registry &reg = obs::Registry::global();
+    static obs::Counter &runs = reg.counter("engine.nfa.runs");
+    static obs::Counter &symbols = reg.counter("engine.nfa.symbols");
+    static obs::Counter &reports = reg.counter("engine.nfa.reports");
+    static obs::Histogram &active =
+        reg.histogram("engine.nfa.active_avg");
+    runs.inc();
+    symbols.add(res.symbols);
+    reports.add(res.reportCount);
+    if (activeSet && res.symbols)
+        active.record(res.totalEnabled / res.symbols);
+}
+
+} // namespace
 
 NfaEngine::NfaEngine(const Automaton &a)
     : a_(a)
@@ -114,6 +140,9 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
                 res.symbols = t;
                 res.guardStatus = std::move(st);
                 scratch.endRun(len);
+                obs::noteGuardStop("engine.nfa",
+                                   res.guardStatus.code());
+                noteNfaRun(res, opts.computeActiveSet);
                 return res;
             }
         }
@@ -230,6 +259,7 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
         }
     }
     scratch.endRun(len);
+    noteNfaRun(res, opts.computeActiveSet);
     return res;
 }
 

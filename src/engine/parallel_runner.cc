@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "engine/streaming.hh"
+#include "obs/obs.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -121,6 +122,13 @@ ParallelRunner::buildShards(size_t groups)
                 std::make_unique<LazyDfaEngine>(shards_[s].sub, lo);
         }
     }
+    if (obs::kEnabled) {
+        // LPT balance is visible as the spread of this distribution.
+        obs::Histogram &h =
+            obs::Registry::global().histogram("runner.shard.states");
+        for (const Shard &sh : shards_)
+            h.record(sh.sub.size());
+    }
 }
 
 BatchResult
@@ -130,6 +138,23 @@ ParallelRunner::runBatch(
     BatchResult out;
     out.perStream.resize(streams.size());
     out.perStreamStatus.resize(streams.size());
+    if (opts_.chunkBytes != 0 &&
+        opts_.engine == ParallelEngine::kLazyDfa) {
+        // Chunked feeding runs on StreamingSession, which is an
+        // interpreter; the lazy-DFA engine has no incremental API.
+        // Fail every stream loudly instead of silently simulating on
+        // a different engine than the caller configured.
+        const Status st(
+            ErrorCode::kInvalidArgument,
+            "chunkBytes requires ParallelEngine::kNfa (the lazy-DFA "
+            "engine has no streaming API)");
+        for (size_t i = 0; i < streams.size(); ++i)
+            out.perStreamStatus[i] = st;
+        out.failedStreams = streams.size();
+        return out;
+    }
+    obs::ScopedTimer wall(
+        obs::Registry::global().histogram("runner.batch.wall_us"));
     pool_->parallelFor(streams.size(), [&](size_t slot, size_t i) {
         // Failures are captured per stream so one bad stream (or an
         // injected worker fault) never kills the batch; the other
@@ -145,11 +170,16 @@ ParallelRunner::runBatch(
                 StreamingSession sess(a_);
                 sess.options = opts_.sim;
                 const auto &in = streams[i];
-                for (size_t pos = 0; pos < in.size();
-                     pos += opts_.chunkBytes) {
-                    sess.feed(in.data() + pos,
-                              std::min(opts_.chunkBytes,
-                                       in.size() - pos));
+                for (size_t pos = 0; pos < in.size();) {
+                    const size_t want = std::min(
+                        opts_.chunkBytes, in.size() - pos);
+                    const size_t got =
+                        sess.feed(in.data() + pos, want);
+                    pos += got;
+                    // A short feed means the guard stopped the
+                    // session; further chunks would be refused.
+                    if (got < want)
+                        break;
                 }
                 out.perStream[i] = sess.results();
             } else if (opts_.engine == ParallelEngine::kLazyDfa) {
@@ -179,6 +209,14 @@ ParallelRunner::runBatch(
         out.totalReports += r.reportCount;
         out.totalLazyFlushes += r.lazyFlushes;
     }
+    if (obs::kEnabled) {
+        obs::Registry &reg = obs::Registry::global();
+        reg.counter("runner.batch.streams").add(streams.size());
+        reg.counter("runner.batch.failed_streams")
+            .add(out.failedStreams);
+        reg.counter("runner.batch.symbols").add(out.totalSymbols);
+        reg.counter("runner.batch.reports").add(out.totalReports);
+    }
     return out;
 }
 
@@ -200,28 +238,40 @@ ParallelRunner::simulateSharded(const uint8_t *input, size_t len) const
     inner.computeActiveSet = opts_.sim.computeActiveSet;
     inner.guard = opts_.sim.guard;
 
+    obs::ScopedTimer wall(
+        obs::Registry::global().histogram("runner.sharded.wall_us"));
+
     std::vector<SimResult> parts(shards_.size());
-    try {
-        pool_->parallelFor(shards_.size(), [&](size_t s) {
-            const Shard &sh = shards_[s];
-            if (fault::shouldFail(fault::Point::kAllocFail)) {
-                throw StatusError(
-                    Status(ErrorCode::kResourceExhausted,
-                           cat("shard ", s,
-                               ": worker allocation failed")));
-            }
-            parts[s] = sh.lazy
-                ? sh.lazy->simulate(input, len, inner)
-                : sh.engine->simulate(input, len, sh.scratch, inner);
-            for (Report &r : parts[s].reports)
-                r.element = sh.origId[r.element];
-        });
-    } catch (const StatusError &e) {
+    auto runShards = [&](size_t simLen,
+                         const SimOptions &shardOpts) -> Status {
+        try {
+            pool_->parallelFor(shards_.size(), [&](size_t s) {
+                const Shard &sh = shards_[s];
+                if (fault::shouldFail(fault::Point::kAllocFail)) {
+                    throw StatusError(
+                        Status(ErrorCode::kResourceExhausted,
+                               cat("shard ", s,
+                                   ": worker allocation failed")));
+                }
+                parts[s] = sh.lazy
+                    ? sh.lazy->simulate(input, simLen, shardOpts)
+                    : sh.engine->simulate(input, simLen, sh.scratch,
+                                          shardOpts);
+                for (Report &r : parts[s].reports)
+                    r.element = sh.origId[r.element];
+            });
+        } catch (const StatusError &e) {
+            return e.status();
+        }
+        return Status();
+    };
+
+    if (Status st = runShards(len, inner); !st.ok()) {
         // A failed shard invalidates the merged view (its reports are
         // missing); return an empty result carrying the error instead
         // of a silently wrong one.
         SimResult failed;
-        failed.guardStatus = e.status();
+        failed.guardStatus = st;
         return failed;
     }
 
@@ -236,6 +286,31 @@ ParallelRunner::simulateSharded(const uint8_t *input, size_t len) const
         }
     }
     merged.symbols = consumed;
+
+    if (consumed < len) {
+        // Shards poll the guard independently, so on a wall-clock or
+        // injected stop they consume *different* prefixes — summing
+        // their counters (totalEnabled, per-shard report streams)
+        // would mix coverage of different symbol ranges, and even a
+        // shard whose symbols == consumed may have partially counted
+        // the poll window beyond it. Re-simulate every shard over
+        // exactly the common prefix with the guard off: the result is
+        // then exact for [0, consumed), and the cost is bounded by
+        // work the shards already did. (Symbol-budget guards stop all
+        // shards at the same poll point, so this path is really about
+        // deadline/cancellation/injected stops.)
+        obs::noteGuardStop("runner.sharded",
+                           merged.guardStatus.code());
+        SimOptions replay = inner;
+        replay.guard = nullptr;
+        if (Status st = runShards(static_cast<size_t>(consumed),
+                                  replay);
+            !st.ok()) {
+            SimResult failed;
+            failed.guardStatus = st;
+            return failed;
+        }
+    }
 
     for (const SimResult &p : parts) {
         merged.totalEnabled += p.totalEnabled;

@@ -71,8 +71,10 @@ struct ParallelOptions {
      *  chunks of this many bytes (0 = one monolithic simulate()).
      *  Chunking never changes results; it exists to exercise and
      *  measure the streaming path under parallelism. Chunked feeding
-     *  always runs on the interpreter (the lazy engine has no
-     *  incremental API), which is result-identical anyway. */
+     *  runs on StreamingSession (an interpreter); combining it with
+     *  ParallelEngine::kLazyDfa is rejected — runBatch() marks every
+     *  stream kInvalidArgument rather than silently substituting a
+     *  different engine. */
     size_t chunkBytes = 0;
     /** Engine for monolithic streams and component shards. */
     ParallelEngine engine = ParallelEngine::kNfa;

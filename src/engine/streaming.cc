@@ -1,5 +1,7 @@
 #include "engine/streaming.hh"
 
+#include "engine/run_guard.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -108,11 +110,28 @@ StreamingSession::onMatch(ElementId id)
     }
 }
 
-void
+size_t
 StreamingSession::feed(const uint8_t *data, size_t len)
 {
+    // A fired guard stops the session for good: the partial result
+    // must keep covering exactly the consumed prefix, so later chunks
+    // are refused rather than silently appended.
+    if (stopped())
+        return 0;
+    const RunGuard *guard = options.guard;
     const uint64_t base = scratch_.base;
     for (size_t i = 0; i < len; ++i) {
+        // Poll on stream position, not chunk position: any chunking
+        // of the same stream checks the guard at the same symbols,
+        // exactly like the monolithic engines.
+        if (guard && (t_ & (kGuardCheckIntervalSymbols - 1)) == 0) {
+            Status st = guard->check(t_);
+            if (!st.ok()) {
+                obs::noteGuardStop("engine.stream", st.code());
+                result_.guardStatus = std::move(st);
+                return i;
+            }
+        }
         std::swap(scratch_.cur, scratch_.next);
         scratch_.next.clear();
         if (options.computeActiveSet)
@@ -187,6 +206,12 @@ StreamingSession::feed(const uint8_t *data, size_t len)
         ++t_;
         result_.symbols = t_;
     }
+    if (obs::kEnabled && len) {
+        static obs::Counter &symbols =
+            obs::Registry::global().counter("engine.stream.symbols");
+        symbols.add(len);
+    }
+    return len;
 }
 
 } // namespace azoo

@@ -10,6 +10,14 @@
  * so feeding one byte at a time, or any chunking, produces exactly
  * the reports of a single monolithic simulate() call (a property the
  * test suite checks).
+ *
+ * Sessions honour SimOptions::guard exactly like the monolithic
+ * engines: the guard is polled every kGuardCheckIntervalSymbols
+ * symbols of *stream* position (so chunking does not change poll
+ * points), feed() returns how many bytes it consumed, and once the
+ * guard fires the session is stopped — results() covers exactly the
+ * consumed prefix, guardStatus says why, and further feed() calls
+ * consume nothing until reset().
  */
 
 #ifndef AZOO_ENGINE_STREAMING_HH
@@ -31,14 +39,24 @@ class StreamingSession
     /** The automaton must outlive the session. */
     explicit StreamingSession(const Automaton &a);
 
-    /** Process a chunk; reports accumulate in results(). */
-    void feed(const uint8_t *data, size_t len);
+    /**
+     * Process a chunk; reports accumulate in results(). Returns the
+     * number of bytes consumed: less than @p len exactly when
+     * options.guard stopped the session mid-chunk (results() then
+     * carries the non-OK guardStatus and covers exactly the consumed
+     * prefix; chunk loops stop on a short return).
+     */
+    size_t feed(const uint8_t *data, size_t len);
 
-    void
+    size_t
     feed(const std::vector<uint8_t> &data)
     {
-        feed(data.data(), data.size());
+        return feed(data.data(), data.size());
     }
+
+    /** True once options.guard has stopped this session (cleared by
+     *  reset()). */
+    bool stopped() const { return !result_.guardStatus.ok(); }
 
     /** Results so far (offsets are absolute stream offsets). */
     const SimResult &results() const { return result_; }

@@ -1,0 +1,258 @@
+#include "obs/obs.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace obs {
+
+uint64_t
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the sample we want, 1-based, rounded up.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(p * static_cast<double>(count) + 0.5));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            // Upper bound of bucket b, clamped to the observed max.
+            // The last bucket is open-ended (it absorbs every sample
+            // its power-of-two formula can't express), so its only
+            // meaningful bound is the max itself.
+            if (b == 0)
+                return 0;
+            if (b == kHistogramBuckets - 1)
+                return max;
+            return std::min((uint64_t(1) << b) - 1, max);
+        }
+    }
+    return max;
+}
+
+#if AZOO_OBS_ENABLED
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot out;
+    uint64_t minSeen = ~uint64_t(0);
+    for (const Shard &s : shards_) {
+        out.count += s.count.load(std::memory_order_relaxed);
+        out.sum += s.sum.load(std::memory_order_relaxed);
+        minSeen =
+            std::min(minSeen, s.min.load(std::memory_order_relaxed));
+        out.max =
+            std::max(out.max, s.max.load(std::memory_order_relaxed));
+        for (size_t b = 0; b < kHistogramBuckets; ++b) {
+            out.buckets[b] +=
+                s.buckets[b].load(std::memory_order_relaxed);
+        }
+    }
+    out.min = out.count ? minSeen : 0;
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (Shard &s : shards_) {
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        s.min.store(~uint64_t(0), std::memory_order_relaxed);
+        s.max.store(0, std::memory_order_relaxed);
+        for (auto &b : s.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+#endif // AZOO_OBS_ENABLED
+
+Registry &
+Registry::global()
+{
+    static Registry instance;
+    return instance;
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+Registry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>())
+                 .first;
+    }
+    return *it->second;
+}
+
+uint64_t
+Registry::counterValue(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+namespace {
+
+/** JSON string escaping for metric names (quotes, backslash,
+ *  control bytes). */
+void
+jsonName(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            os << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            os << "\\u" << std::hex << std::setw(4)
+               << std::setfill('0') << static_cast<int>(c) << std::dec
+               << std::setfill(' ');
+        } else {
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+std::string
+Registry::toJson() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::ostringstream os;
+    os << "{\"schema\": \"azoo-obs-1\", \"enabled\": "
+       << (kEnabled ? "true" : "false");
+
+    os << ",\n \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "\n  " : ",\n  ");
+        first = false;
+        jsonName(os, name);
+        os << ": " << c->value();
+    }
+    os << (first ? "}" : "\n }");
+
+    os << ",\n \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "\n  " : ",\n  ");
+        first = false;
+        jsonName(os, name);
+        os << ": " << g->value();
+    }
+    os << (first ? "}" : "\n }");
+
+    os << ",\n \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        const HistogramSnapshot s = h->snapshot();
+        os << (first ? "\n  " : ",\n  ");
+        first = false;
+        jsonName(os, name);
+        os << ": {\"count\": " << s.count << ", \"sum\": " << s.sum
+           << ", \"mean\": " << s.mean() << ", \"min\": " << s.min
+           << ", \"max\": " << s.max
+           << ", \"p50\": " << s.percentile(0.50)
+           << ", \"p90\": " << s.percentile(0.90)
+           << ", \"p99\": " << s.percentile(0.99) << "}";
+    }
+    os << (first ? "}" : "\n }");
+
+    os << "}\n";
+    return os.str();
+}
+
+void
+noteParse(std::string_view format, ErrorCode code)
+{
+    if (!kEnabled)
+        return;
+    Registry &reg = Registry::global();
+    reg.counter(cat("parser.", format, ".docs")).inc();
+    if (code != ErrorCode::kOk) {
+        reg.counter(cat("parser.", format, ".errors.",
+                        errorCodeName(code)))
+            .inc();
+    }
+}
+
+void
+noteTransform(std::string_view pass, uint64_t statesBefore,
+              uint64_t statesAfter)
+{
+    if (!kEnabled)
+        return;
+    Registry &reg = Registry::global();
+    reg.counter(cat("transform.", pass, ".runs")).inc();
+    reg.counter(cat("transform.", pass, ".states_before"))
+        .add(statesBefore);
+    reg.counter(cat("transform.", pass, ".states_after"))
+        .add(statesAfter);
+}
+
+void
+noteGuardStop(std::string_view prefix, ErrorCode code)
+{
+    if (!kEnabled)
+        return;
+    Registry::global()
+        .counter(cat(prefix, ".guard_stops.", errorCodeName(code)))
+        .inc();
+}
+
+} // namespace obs
+} // namespace azoo

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * azoo::obs — a low-overhead runtime observability layer.
+ *
+ * The engine contract bugs this suite has shipped (guard-blind
+ * streaming, truncation-inexact sharded merges) were found by reading
+ * code, not by a counter: the hot paths had no built-in measurement.
+ * This layer fixes that the way production matching libraries do
+ * (Mata ships library statistics; RE2 counts cache flushes): the
+ * engine itself records what path it took, and every tool and bench
+ * can export the snapshot.
+ *
+ * Three instrument kinds, all safe for concurrent writers:
+ *
+ *  - Counter:   monotonic u64, per-thread sharded relaxed atomics —
+ *               writers never contend on a cache line, readers sum
+ *               the shards.
+ *  - Gauge:     a single i64 last-writer-wins value (configuration
+ *               and sizes, not rates).
+ *  - Histogram: power-of-two bucketed u64 distribution, per-thread
+ *               sharded like Counter; aggregated into count / sum /
+ *               min / max / approximate percentiles on read.
+ *
+ * Instruments live in the process-global Registry under stable
+ * dotted names ("engine.lazy.cache_hits"); docs/ARCHITECTURE.md
+ * holds the name table. Look-up takes a mutex and is meant for cold
+ * paths — hot call sites cache the returned reference (the instrument
+ * address is stable for the life of the process).
+ *
+ * Overhead discipline: hooks record per *run* / per *batch* / per
+ * *pass*, never per input symbol; per-symbol facts (cache hits,
+ * active set) are accumulated in stack locals by the engines and
+ * flushed once. Building with -DAZOO_OBS=OFF compiles every record
+ * call to a no-op (the Registry stays linkable and toJson() reports
+ * "enabled": false) for measuring the residue of the hooks
+ * themselves.
+ */
+
+#ifndef AZOO_OBS_OBS_HH
+#define AZOO_OBS_OBS_HH
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.hh"
+
+#ifndef AZOO_OBS_ENABLED
+#define AZOO_OBS_ENABLED 1
+#endif
+
+namespace azoo {
+namespace obs {
+
+/** True when the hooks are compiled in (AZOO_OBS=ON). */
+inline constexpr bool kEnabled = AZOO_OBS_ENABLED != 0;
+
+/** Writer shards per instrument (power of two). 16 covers the pool
+ *  sizes this suite runs with; two threads sharing a shard is only a
+ *  relaxed fetch_add collision, never a correctness issue. */
+inline constexpr size_t kShards = 16;
+
+/** Histogram buckets: bucket 0 holds value 0, bucket b >= 1 holds
+ *  [2^(b-1), 2^b). 64 buckets cover the full u64 range. */
+inline constexpr size_t kHistogramBuckets = 64;
+
+/** Aggregated histogram state; see Histogram::snapshot(). */
+struct HistogramSnapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0; ///< exact (0 when count == 0)
+    uint64_t max = 0; ///< exact
+    std::array<uint64_t, kHistogramBuckets> buckets{};
+
+    double
+    mean() const
+    {
+        return count ? static_cast<double>(sum) / count : 0.0;
+    }
+
+    /**
+     * Approximate p-quantile (p in [0, 1]): the upper bound of the
+     * first bucket whose cumulative count reaches p * count. Exact to
+     * within the power-of-two bucket width; 0 when empty.
+     */
+    uint64_t percentile(double p) const;
+};
+
+#if AZOO_OBS_ENABLED
+
+namespace detail {
+
+/** This thread's shard index: ids are handed out once per thread in
+ *  arrival order, so a fixed pool reuses the same shards run after
+ *  run instead of hashing onto each other. */
+inline size_t
+threadShard()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id & (kShards - 1);
+}
+
+struct alignas(64) PaddedU64 {
+    std::atomic<uint64_t> v{0};
+};
+
+/** Index of the histogram bucket holding @p v (the top bucket
+ *  absorbs everything >= 2^62). */
+inline size_t
+bucketOf(uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    return std::min<size_t>(
+        kHistogramBuckets - 1,
+        static_cast<size_t>(64 - std::countl_zero(v)));
+}
+
+} // namespace detail
+
+/** Monotonic event count. Writers are wait-free (one relaxed
+ *  fetch_add on a thread-private-ish cache line); value() sums the
+ *  shards and may miss in-flight increments, which is fine for
+ *  statistics. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n)
+    {
+        shards_[detail::threadShard()].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    void inc() { add(1); }
+
+    uint64_t
+    value() const
+    {
+        uint64_t sum = 0;
+        for (const auto &s : shards_)
+            sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::array<detail::PaddedU64, kShards> shards_;
+};
+
+/** Last-writer-wins level (sizes, configuration). */
+class Gauge
+{
+  public:
+    void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+
+    void
+    add(int64_t d)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+    void reset() { set(0); }
+
+  private:
+    std::atomic<int64_t> v_{0};
+};
+
+/** Power-of-two bucketed distribution of u64 samples. record() is
+ *  wait-free except for the min/max CAS loops, which converge after
+ *  the first few samples. */
+class Histogram
+{
+  public:
+    void
+    record(uint64_t v)
+    {
+        Shard &s = shards_[detail::threadShard()];
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+        s.buckets[detail::bucketOf(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        uint64_t seen = s.min.load(std::memory_order_relaxed);
+        while (v < seen &&
+               !s.min.compare_exchange_weak(
+                   seen, v, std::memory_order_relaxed)) {
+        }
+        seen = s.max.load(std::memory_order_relaxed);
+        while (v > seen &&
+               !s.max.compare_exchange_weak(
+                   seen, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    HistogramSnapshot snapshot() const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard {
+        std::atomic<uint64_t> count{0};
+        std::atomic<uint64_t> sum{0};
+        std::atomic<uint64_t> min{~uint64_t(0)};
+        std::atomic<uint64_t> max{0};
+        std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    };
+
+    std::array<Shard, kShards> shards_;
+};
+
+#else // !AZOO_OBS_ENABLED — every hook is a no-op.
+
+class Counter
+{
+  public:
+    void add(uint64_t) {}
+    void inc() {}
+    uint64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Gauge
+{
+  public:
+    void set(int64_t) {}
+    void add(int64_t) {}
+    int64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Histogram
+{
+  public:
+    void record(uint64_t) {}
+    HistogramSnapshot snapshot() const { return {}; }
+    void reset() {}
+};
+
+#endif // AZOO_OBS_ENABLED
+
+/** Records the scope's wall time (microseconds, steady clock) into a
+ *  histogram on destruction. One clock read per end of scope — cheap
+ *  enough for per-batch / per-shard timing, not for per-symbol. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &h)
+        : h_(&h)
+#if AZOO_OBS_ENABLED
+        , start_(std::chrono::steady_clock::now())
+#endif
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer() { h_->record(elapsedUs()); }
+
+    uint64_t
+    elapsedUs() const
+    {
+#if AZOO_OBS_ENABLED
+        const auto d = std::chrono::steady_clock::now() - start_;
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(d)
+                .count());
+#else
+        return 0;
+#endif
+    }
+
+  private:
+    Histogram *h_;
+#if AZOO_OBS_ENABLED
+    std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+/**
+ * Process-global instrument registry with stable dotted names.
+ *
+ * counter()/gauge()/histogram() find-or-create under a mutex and
+ * return a reference that stays valid for the life of the process;
+ * hot paths call once and cache it. Re-requesting a name returns the
+ * same instrument, so independent call sites share a metric safely.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** Current value of a counter, 0 if never registered. */
+    uint64_t counterValue(std::string_view name) const;
+
+    /** Zero every registered instrument (registrations survive, so
+     *  cached references stay valid). Benches use this to take
+     *  per-section deltas. */
+    void reset();
+
+    /**
+     * Serialize every instrument as one JSON object:
+     *   {"schema": "azoo-obs-1", "enabled": true,
+     *    "counters": {name: value, ...},
+     *    "gauges": {name: value, ...},
+     *    "histograms": {name: {count, sum, mean, min, max,
+     *                          p50, p90, p99}, ...}}
+     * Names are emitted sorted, so snapshots diff cleanly.
+     */
+    std::string toJson() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+};
+
+/** Count one parse through a front end: bumps
+ *  "parser.<format>.docs", plus "parser.<format>.errors.<code-name>"
+ *  when @p code is an error. */
+void noteParse(std::string_view format, ErrorCode code);
+
+/** Count one transform pass: bumps "transform.<pass>.runs" and adds
+ *  to "transform.<pass>.states_before" / ".states_after". */
+void noteTransform(std::string_view pass, uint64_t statesBefore,
+                   uint64_t statesAfter);
+
+/** Count one guard-truncated run: bumps
+ *  "<prefix>.guard_stops.<code-name>" (e.g.
+ *  "engine.nfa.guard_stops.deadline-exceeded"). */
+void noteGuardStop(std::string_view prefix, ErrorCode code);
+
+} // namespace obs
+} // namespace azoo
+
+#endif // AZOO_OBS_OBS_HH

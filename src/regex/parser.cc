@@ -3,6 +3,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -402,18 +403,24 @@ Expected<Regex>
 parseRegex(const std::string &pattern, const RegexFlags &flags,
            const ParseLimits &limits)
 {
-    try {
-        Regex rx = Parser(pattern, flags, limits).run();
-        if (nullable(*rx.root)) {
-            return Status(ErrorCode::kUnsupported,
-                          "pattern matches the empty string");
+    Expected<Regex> res = [&]() -> Expected<Regex> {
+        try {
+            Regex rx = Parser(pattern, flags, limits).run();
+            if (nullable(*rx.root)) {
+                return Status(ErrorCode::kUnsupported,
+                              "pattern matches the empty string");
+            }
+            return rx;
+        } catch (const StatusError &e) {
+            return e.status();
+        } catch (const std::exception &e) {
+            return Status(ErrorCode::kInternal,
+                          cat("regex: ", e.what()));
         }
-        return rx;
-    } catch (const StatusError &e) {
-        return e.status();
-    } catch (const std::exception &e) {
-        return Status(ErrorCode::kInternal, cat("regex: ", e.what()));
-    }
+    }();
+    obs::noteParse("regex",
+                   res.ok() ? ErrorCode::kOk : res.status().code());
+    return res;
 }
 
 Regex

@@ -1,6 +1,7 @@
 #include "transform/pad.hh"
 
 #include "analysis/analysis.hh"
+#include "obs/obs.hh"
 
 namespace azoo {
 
@@ -25,6 +26,7 @@ appendPaddingTail(Automaton &a, ElementId after,
 size_t
 padReportingTails(Automaton &a, size_t count, const CharSet &label)
 {
+    const size_t statesBefore = a.size();
     // Snapshot first: appending states must not retrigger the scan.
     std::vector<ElementId> reporters = a.reportingElements();
     std::vector<CharSet> labels(count, label);
@@ -35,6 +37,7 @@ padReportingTails(Automaton &a, size_t count, const CharSet &label)
     analysis::Options opts;
     opts.disable(analysis::Rule::kDeadElement);
     analysis::postVerify(a, "padReportingTails", opts);
+    obs::noteTransform("pad", statesBefore, a.size());
     return reporters.size() * count;
 }
 

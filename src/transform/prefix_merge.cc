@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "analysis/analysis.hh"
+#include "obs/obs.hh"
 
 namespace azoo {
 
@@ -142,6 +143,8 @@ prefixMerge(const Automaton &a, int max_rounds)
     res.statesAfter = out.size();
     res.automaton = std::move(out);
     analysis::postVerify(res.automaton, "prefixMerge");
+    obs::noteTransform("prefix_merge", res.statesBefore,
+                       res.statesAfter);
     return res;
 }
 

@@ -1,6 +1,7 @@
 #include "transform/prune.hh"
 
 #include "analysis/analysis.hh"
+#include "obs/obs.hh"
 
 namespace azoo {
 
@@ -93,6 +94,7 @@ pruneDeadStates(const Automaton &a)
     // Post-condition: pruning must leave no unreachable or dead
     // element by its own definitions (verify uses the same ones).
     analysis::postVerify(res.automaton, "prune");
+    obs::noteTransform("prune", n, res.automaton.size());
     return res;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/analysis.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -164,6 +165,7 @@ strideToBytes(const Automaton &bit)
 
     out.validate();
     analysis::postVerify(out, "stride");
+    obs::noteTransform("stride", bit.size(), out.size());
     return out;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "analysis/analysis.hh"
+#include "obs/obs.hh"
 
 namespace azoo {
 
@@ -130,6 +131,8 @@ suffixMerge(const Automaton &a, int max_rounds)
     res.statesAfter = out.size();
     res.automaton = std::move(out);
     analysis::postVerify(res.automaton, "suffixMerge");
+    obs::noteTransform("suffix_merge", res.statesBefore,
+                       res.statesAfter);
     return res;
 }
 
@@ -156,6 +159,8 @@ fullMerge(const Automaton &a, int max_rounds)
             break;
     }
     acc.statesAfter = acc.automaton.size();
+    obs::noteTransform("full_merge", acc.statesBefore,
+                       acc.statesAfter);
     return acc;
 }
 

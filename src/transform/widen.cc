@@ -1,6 +1,7 @@
 #include "transform/widen.hh"
 
 #include "analysis/analysis.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -32,6 +33,7 @@ widen(const Automaton &a)
     analysis::Options opts;
     opts.widenedLayout = true;
     analysis::postVerify(out, "widen", opts);
+    obs::noteTransform("widen", a.size(), out.size());
     return out;
 }
 

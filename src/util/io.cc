@@ -3,6 +3,7 @@
 #include <fstream>
 #include <istream>
 
+#include "obs/obs.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 
@@ -29,6 +30,11 @@ readStream(std::istream &is, size_t maxBytes)
         // Model a short read: the tail half never arrives. The parser
         // downstream must turn this into a structured error.
         out.resize(out.size() / 2);
+    }
+    if (obs::kEnabled) {
+        static obs::Counter &bytes =
+            obs::Registry::global().counter("parser.bytes_read");
+        bytes.add(out.size());
     }
     return out;
 }

@@ -17,6 +17,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
       case ErrorCode::kCancelled: return "cancelled";
       case ErrorCode::kResourceExhausted: return "resource-exhausted";
+      case ErrorCode::kInvalidArgument: return "invalid-argument";
       case ErrorCode::kInternal: return "internal";
     }
     return "unknown";

@@ -45,6 +45,7 @@ enum class ErrorCode : uint8_t {
     kDeadlineExceeded,  ///< RunGuard wall-clock deadline passed
     kCancelled,         ///< RunGuard cancellation flag raised
     kResourceExhausted, ///< allocation failure (real or injected)
+    kInvalidArgument,   ///< unsupported option combination
     kInternal,          ///< escaped exception / library bug
 };
 

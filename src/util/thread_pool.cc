@@ -1,6 +1,9 @@
 #include "util/thread_pool.hh"
 
+#include <chrono>
 #include <latch>
+
+#include "obs/obs.hh"
 
 namespace azoo {
 
@@ -130,8 +133,26 @@ ThreadPool::parallelFor(size_t n,
     std::exception_ptr firstError;
     std::mutex errorMutex;
     std::latch done(static_cast<ptrdiff_t>(helpers));
+    // Scheduling delay between posting a helper and it starting: a
+    // saturated pool shows up here before it shows up in wall time.
+    obs::Histogram *queueWait = nullptr;
+    std::chrono::steady_clock::time_point posted{};
+    if (obs::kEnabled) {
+        static obs::Histogram &h =
+            obs::Registry::global().histogram("pool.queue_wait_us");
+        queueWait = &h;
+        posted = std::chrono::steady_clock::now();
+    }
     for (size_t h = 0; h < helpers; ++h) {
         post([&, h] {
+            if (queueWait) {
+                const auto d =
+                    std::chrono::steady_clock::now() - posted;
+                queueWait->record(static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(d)
+                        .count()));
+            }
             for (;;) {
                 if (failed.load(std::memory_order_relaxed))
                     break;

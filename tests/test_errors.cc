@@ -463,5 +463,166 @@ TEST(ParallelErrors, ShardedRunReportsWorkerFailure)
     EXPECT_EQ(clean.symbols, input.size());
 }
 
+/** Input alternating 'a'/'b' so both components report every cycle. */
+std::vector<uint8_t>
+alternatingInput(size_t n)
+{
+    std::vector<uint8_t> in(n);
+    for (size_t i = 0; i < n; ++i)
+        in[i] = i % 2 ? 'b' : 'a';
+    return in;
+}
+
+TEST(ParallelErrors, ChunkedBatchRejectsLazyDfa)
+{
+    Automaton a = twoComponentAutomaton();
+    ParallelOptions popts;
+    popts.threads = 2;
+    popts.chunkBytes = 64;
+    popts.engine = ParallelEngine::kLazyDfa;
+    ParallelRunner runner(a, popts);
+
+    const auto streams = makeStreams(4);
+    BatchResult br = runner.runBatch(streams);
+    EXPECT_FALSE(br.allOk());
+    EXPECT_EQ(br.failedStreams, streams.size());
+    ASSERT_EQ(br.perStreamStatus.size(), streams.size());
+    for (size_t i = 0; i < streams.size(); ++i) {
+        EXPECT_EQ(br.perStreamStatus[i].code(),
+                  ErrorCode::kInvalidArgument)
+            << i;
+        EXPECT_EQ(br.perStream[i].symbols, 0u) << i;
+    }
+    EXPECT_EQ(br.totalSymbols, 0u);
+    EXPECT_EQ(br.totalReports, 0u);
+}
+
+TEST(ParallelErrors, ChunkedBatchHonoursGuardBudget)
+{
+    Automaton a = twoComponentAutomaton();
+    ParallelOptions popts;
+    popts.threads = 2;
+    popts.chunkBytes = 512;
+    RunGuard guard;
+    guard.setSymbolBudget(2048);
+    popts.sim.guard = &guard;
+    ParallelRunner runner(a, popts);
+
+    std::vector<std::vector<uint8_t>> streams(3,
+                                              alternatingInput(10000));
+    BatchResult br = runner.runBatch(streams);
+    EXPECT_TRUE(br.allOk());
+
+    // Serial guarded reference over one stream (all are identical).
+    RunGuard serialGuard;
+    serialGuard.setSymbolBudget(2048);
+    SimOptions sopts;
+    sopts.guard = &serialGuard;
+    NfaEngine serial(a);
+    SimResult ref =
+        serial.simulate(streams[0].data(), streams[0].size(), sopts);
+    canonicalizeReports(ref);
+    ASSERT_TRUE(ref.truncated());
+
+    for (size_t i = 0; i < streams.size(); ++i) {
+        const SimResult &r = br.perStream[i];
+        ASSERT_TRUE(r.truncated()) << i;
+        EXPECT_EQ(r.guardStatus.code(), ErrorCode::kLimitExceeded)
+            << i;
+        EXPECT_EQ(r.symbols, ref.symbols) << i;
+        EXPECT_EQ(r.reportCount, ref.reportCount) << i;
+        EXPECT_EQ(r.reports, ref.reports) << i;
+        EXPECT_EQ(r.totalEnabled, ref.totalEnabled) << i;
+    }
+}
+
+TEST(ParallelErrors, ShardedTruncationCountersMatchSerialPrefix)
+{
+    Automaton a = twoComponentAutomaton();
+    ParallelOptions popts;
+    popts.threads = 2;
+    RunGuard guard;
+    guard.setSymbolBudget(3000);
+    popts.sim.guard = &guard;
+    ParallelRunner runner(a, popts);
+
+    const std::vector<uint8_t> input = alternatingInput(100000);
+    SimResult r = runner.simulateSharded(input);
+    ASSERT_TRUE(r.truncated());
+    EXPECT_EQ(r.guardStatus.code(), ErrorCode::kLimitExceeded);
+    ASSERT_LT(r.symbols, input.size());
+
+    // The truncated result must be *exact* for the consumed prefix:
+    // identical to an unguarded serial run over exactly r.symbols
+    // bytes — counters included, not just the report stream.
+    NfaEngine serial(a);
+    SimResult ref = serial.simulate(
+        input.data(), static_cast<size_t>(r.symbols), SimOptions{});
+    canonicalizeReports(ref);
+    EXPECT_EQ(r.reportCount, ref.reportCount);
+    EXPECT_EQ(r.reports, ref.reports);
+    EXPECT_EQ(r.totalEnabled, ref.totalEnabled);
+    EXPECT_EQ(r.reportingCycles, ref.reportingCycles);
+}
+
+TEST(ParallelErrors, ShardedInjectedExpiryIsExactForCommonPrefix)
+{
+    FaultScope scope;
+    Automaton a = twoComponentAutomaton();
+    ParallelOptions popts;
+    popts.threads = 2;
+    RunGuard guard; // no limits: only the injected fault can fire
+    popts.sim.guard = &guard;
+    ParallelRunner runner(a, popts);
+
+    const std::vector<uint8_t> input = alternatingInput(100000);
+    // One poll (from whichever shard gets there first) is skipped,
+    // the next fires: exactly one shard truncates while the other
+    // keeps going, so the shards consume *different* prefixes and the
+    // merge must reconcile down to the common one.
+    fault::armAfter(fault::Point::kGuardExpiry, 1);
+    SimResult r = runner.simulateSharded(input);
+    fault::disarmAll();
+
+    ASSERT_TRUE(r.truncated());
+    EXPECT_EQ(r.guardStatus.code(), ErrorCode::kDeadlineExceeded);
+    EXPECT_LT(r.symbols, input.size());
+    EXPECT_EQ(r.symbols % kGuardCheckIntervalSymbols, 0u);
+
+    NfaEngine serial(a);
+    SimResult ref = serial.simulate(
+        input.data(), static_cast<size_t>(r.symbols), SimOptions{});
+    canonicalizeReports(ref);
+    EXPECT_EQ(r.reportCount, ref.reportCount);
+    EXPECT_EQ(r.reports, ref.reports);
+    EXPECT_EQ(r.totalEnabled, ref.totalEnabled);
+    EXPECT_EQ(r.reportingCycles, ref.reportingCycles);
+}
+
+TEST(ParallelErrors, ShardedLazyTruncationMatchesSerialPrefix)
+{
+    Automaton a = twoComponentAutomaton();
+    ParallelOptions popts;
+    popts.threads = 2;
+    popts.engine = ParallelEngine::kLazyDfa;
+    RunGuard guard;
+    guard.setSymbolBudget(3000);
+    popts.sim.guard = &guard;
+    ParallelRunner runner(a, popts);
+
+    const std::vector<uint8_t> input = alternatingInput(100000);
+    SimResult r = runner.simulateSharded(input);
+    ASSERT_TRUE(r.truncated());
+    ASSERT_LT(r.symbols, input.size());
+
+    NfaEngine serial(a);
+    SimResult ref = serial.simulate(
+        input.data(), static_cast<size_t>(r.symbols), SimOptions{});
+    canonicalizeReports(ref);
+    EXPECT_EQ(r.reportCount, ref.reportCount);
+    EXPECT_EQ(r.reports, ref.reports);
+    EXPECT_EQ(r.reportingCycles, ref.reportingCycles);
+}
+
 } // namespace
 } // namespace azoo

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * azoo::obs tests: sharded counters and histograms aggregate exactly
+ * under concurrent writers (the TSan CI leg runs this binary), the
+ * registry hands out stable shared instruments, snapshots serialize
+ * to well-formed JSON, and the note* helpers build the documented
+ * metric names.
+ *
+ * The registry is process-global, so every assertion works on deltas
+ * around the operations under test, never on absolute values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hh"
+#include "util/thread_pool.hh"
+
+namespace azoo {
+namespace {
+
+// Most tests assert recorded values, which only exist when the hooks
+// are compiled in; under -DAZOO_OBS=OFF they skip (the no-op stubs
+// are still exercised by the tests that survive).
+#define SKIP_IF_OBS_OFF()                                             \
+    if (!obs::kEnabled)                                               \
+    GTEST_SKIP() << "AZOO_OBS=OFF: hooks compiled out"
+
+TEST(Obs, JsonEnabledFlagMatchesBuild)
+{
+    const std::string json = obs::Registry::global().toJson();
+    EXPECT_NE(json.find(obs::kEnabled ? "\"enabled\": true"
+                                      : "\"enabled\": false"),
+              std::string::npos);
+}
+
+TEST(Obs, CounterAggregatesConcurrentWriters)
+{
+    SKIP_IF_OBS_OFF();
+    obs::Counter c;
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 50000;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&c] {
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                c.inc();
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Obs, HistogramAggregatesConcurrentWriters)
+{
+    SKIP_IF_OBS_OFF();
+    obs::Histogram h;
+    ThreadPool pool(4);
+    constexpr uint64_t kSamples = 10000;
+    pool.parallelFor(4, [&h](size_t worker) {
+        for (uint64_t i = 0; i < kSamples; ++i)
+            h.record(worker + 1); // values 1..4
+    });
+    const obs::HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 4 * kSamples);
+    EXPECT_EQ(s.sum, (1 + 2 + 3 + 4) * kSamples);
+    EXPECT_EQ(s.min, 1u);
+    EXPECT_EQ(s.max, 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Obs, HistogramBucketsAndPercentiles)
+{
+    SKIP_IF_OBS_OFF();
+    obs::Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(100);
+    h.record(~uint64_t(0)); // top bucket must absorb, not overflow
+    const obs::HistogramSnapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_EQ(s.min, 0u);
+    EXPECT_EQ(s.max, ~uint64_t(0));
+    EXPECT_EQ(s.buckets[0], 1u); // the zero sample
+    // Percentile bounds are bucket upper bounds clamped to max.
+    EXPECT_EQ(s.percentile(0.0), 0u);
+    EXPECT_LE(s.percentile(0.5), 127u); // 1 or 100's bucket bound
+    EXPECT_EQ(s.percentile(1.0), ~uint64_t(0));
+
+    h.reset();
+    EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(Obs, GaugeSetAndAdd)
+{
+    SKIP_IF_OBS_OFF();
+    obs::Gauge g;
+    g.set(7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Obs, RegistryReturnsStableSharedInstruments)
+{
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter &a = reg.counter("test.obs.shared");
+    obs::Counter &b = reg.counter("test.obs.shared");
+    EXPECT_EQ(&a, &b); // address stability holds even with OBS off
+    const uint64_t before = reg.counterValue("test.obs.shared");
+    a.inc();
+    b.inc();
+    if (obs::kEnabled) {
+        EXPECT_EQ(reg.counterValue("test.obs.shared"), before + 2);
+    }
+    // Unknown counters read as 0 rather than registering themselves.
+    EXPECT_EQ(reg.counterValue("test.obs.never_registered"), 0u);
+}
+
+TEST(Obs, RegistryResetKeepsReferencesValid)
+{
+    SKIP_IF_OBS_OFF();
+    obs::Registry &reg = obs::Registry::global();
+    obs::Counter &c = reg.counter("test.obs.reset");
+    c.add(5);
+    reg.reset();
+    EXPECT_EQ(reg.counterValue("test.obs.reset"), 0u);
+    c.inc(); // the cached reference must survive reset()
+    EXPECT_EQ(reg.counterValue("test.obs.reset"), 1u);
+}
+
+TEST(Obs, ScopedTimerRecordsOnDestruction)
+{
+    SKIP_IF_OBS_OFF();
+    obs::Registry &reg = obs::Registry::global();
+    obs::Histogram &h = reg.histogram("test.obs.timer_us");
+    const uint64_t before = h.snapshot().count;
+    {
+        obs::ScopedTimer timer(h);
+    }
+    EXPECT_EQ(h.snapshot().count, before + 1);
+}
+
+TEST(Obs, ConcurrentRegistryLookupsAreSafe)
+{
+    // Mixed find-or-create from many threads (the cold path that
+    // takes the mutex) plus hot-path writes; TSan validates this.
+    ThreadPool pool(8);
+    pool.parallelFor(64, [](size_t i) {
+        obs::Registry &reg = obs::Registry::global();
+        reg.counter(i % 2 ? "test.obs.race_a" : "test.obs.race_b")
+            .inc();
+        reg.histogram("test.obs.race_h").record(i);
+    });
+    if (obs::kEnabled) {
+        obs::Registry &reg = obs::Registry::global();
+        EXPECT_EQ(reg.counterValue("test.obs.race_a") +
+                      reg.counterValue("test.obs.race_b"),
+                  64u);
+        EXPECT_GE(
+            reg.histogram("test.obs.race_h").snapshot().count, 64u);
+    }
+}
+
+TEST(Obs, ToJsonIsWellFormedAndSorted)
+{
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter("test.obs.json_a").inc();
+    reg.counter("test.obs.json_b").add(2);
+    reg.histogram("test.obs.json_h").record(3);
+    const std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"schema\": \"azoo-obs-1\""),
+              std::string::npos);
+    // Registration (and therefore name output) works in both build
+    // configurations; only the recorded values need the hooks.
+    const size_t a = json.find("test.obs.json_a");
+    const size_t b = json.find("test.obs.json_b");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_LT(a, b); // names emit sorted
+    EXPECT_NE(json.find("\"test.obs.json_h\": {\"count\": "),
+              std::string::npos);
+}
+
+TEST(Obs, NoteHelpersBuildDocumentedNames)
+{
+    SKIP_IF_OBS_OFF();
+    obs::Registry &reg = obs::Registry::global();
+
+    const uint64_t docs = reg.counterValue("parser.testfmt.docs");
+    const uint64_t errs =
+        reg.counterValue("parser.testfmt.errors.parse-error");
+    obs::noteParse("testfmt", ErrorCode::kOk);
+    obs::noteParse("testfmt", ErrorCode::kParseError);
+    EXPECT_EQ(reg.counterValue("parser.testfmt.docs"), docs + 2);
+    EXPECT_EQ(reg.counterValue("parser.testfmt.errors.parse-error"),
+              errs + 1);
+
+    const uint64_t runs = reg.counterValue("transform.testpass.runs");
+    obs::noteTransform("testpass", 100, 60);
+    EXPECT_EQ(reg.counterValue("transform.testpass.runs"), runs + 1);
+    EXPECT_GE(reg.counterValue("transform.testpass.states_before"),
+              100u);
+    EXPECT_GE(reg.counterValue("transform.testpass.states_after"),
+              60u);
+
+    const uint64_t stops = reg.counterValue(
+        "test.obs.engine.guard_stops.deadline-exceeded");
+    obs::noteGuardStop("test.obs.engine",
+                       ErrorCode::kDeadlineExceeded);
+    EXPECT_EQ(reg.counterValue(
+                  "test.obs.engine.guard_stops.deadline-exceeded"),
+              stops + 1);
+}
+
+} // namespace
+} // namespace azoo

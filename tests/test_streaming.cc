@@ -9,7 +9,9 @@
 
 #include "core/builder.hh"
 #include "engine/nfa_engine.hh"
+#include "engine/run_guard.hh"
 #include "engine/streaming.hh"
+#include "util/fault.hh"
 #include "regex/glushkov.hh"
 #include "regex/parser.hh"
 #include "util/rng.hh"
@@ -131,6 +133,144 @@ TEST_P(StreamingProperty, ChunkingInvariance)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingProperty,
                          testing::Range(0, 20));
+
+// ---------------------------------------------------------------
+// Guard semantics under chunking. The guard is polled at multiples
+// of kGuardCheckIntervalSymbols of *stream* position, so a chunked
+// session with a symbol budget must stop at exactly the same prefix
+// as a monolithic guarded run — and report exactly the same results.
+
+/** 'z' reporter plus input with a 'z' every 7 bytes. */
+Automaton
+guardAutomaton()
+{
+    Automaton a("g");
+    addLiteral(a, "z", StartType::kAllInput, true, 1);
+    return a;
+}
+
+std::vector<uint8_t>
+guardInput(size_t n)
+{
+    std::vector<uint8_t> in(n, 'x');
+    for (size_t i = 0; i < n; i += 7)
+        in[i] = 'z';
+    return in;
+}
+
+TEST(StreamingGuard, BudgetStopsMidChunkAndMatchesSerial)
+{
+    Automaton a = guardAutomaton();
+    const std::vector<uint8_t> in = guardInput(10000);
+
+    RunGuard guard;
+    guard.setSymbolBudget(3000);
+
+    StreamingSession sess(a);
+    sess.options.guard = &guard;
+    size_t consumed = 0;
+    // 512-byte chunks: the stop point (a multiple of 1024) falls
+    // mid-stream, so some feed must return short.
+    bool sawShortFeed = false;
+    for (size_t pos = 0; pos < in.size();) {
+        const size_t want = std::min<size_t>(512, in.size() - pos);
+        const size_t got = sess.feed(in.data() + pos, want);
+        consumed += got;
+        pos += got;
+        if (got < want) {
+            sawShortFeed = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(sawShortFeed);
+    EXPECT_TRUE(sess.stopped());
+    const SimResult &r = sess.results();
+    EXPECT_EQ(r.guardStatus.code(), ErrorCode::kLimitExceeded);
+    EXPECT_TRUE(r.truncated());
+    EXPECT_EQ(r.symbols, consumed);
+    // Budget 3000 stops at the first poll point >= 3000.
+    EXPECT_EQ(consumed, 3072u);
+
+    // A monolithic guarded NFA run must agree exactly.
+    RunGuard guard2;
+    guard2.setSymbolBudget(3000);
+    SimOptions sopts;
+    sopts.guard = &guard2;
+    NfaEngine engine(a);
+    SimResult serial = engine.simulate(in.data(), in.size(), sopts);
+    EXPECT_EQ(r.symbols, serial.symbols);
+    EXPECT_EQ(r.reportCount, serial.reportCount);
+    EXPECT_EQ(r.reports, serial.reports);
+    EXPECT_EQ(r.totalEnabled, serial.totalEnabled);
+}
+
+TEST(StreamingGuard, StoppedSessionRefusesFeedUntilReset)
+{
+    Automaton a = guardAutomaton();
+    const std::vector<uint8_t> in = guardInput(4096);
+
+    RunGuard guard;
+    guard.setSymbolBudget(1000);
+    StreamingSession sess(a);
+    sess.options.guard = &guard;
+    EXPECT_LT(sess.feed(in), in.size());
+    ASSERT_TRUE(sess.stopped());
+    const uint64_t symbolsAtStop = sess.results().symbols;
+
+    // Further feeds consume nothing and change nothing.
+    EXPECT_EQ(sess.feed(in), 0u);
+    EXPECT_EQ(sess.results().symbols, symbolsAtStop);
+
+    // reset() clears the stop; with the guard removed the stream
+    // runs to completion.
+    sess.reset();
+    EXPECT_FALSE(sess.stopped());
+    sess.options.guard = nullptr;
+    EXPECT_EQ(sess.feed(in), in.size());
+    EXPECT_FALSE(sess.results().truncated());
+    EXPECT_EQ(sess.results().symbols, in.size());
+}
+
+TEST(StreamingGuard, CancelledGuardStopsAtFirstPoll)
+{
+    Automaton a = guardAutomaton();
+    const std::vector<uint8_t> in = guardInput(2048);
+
+    RunGuard guard;
+    guard.cancel(); // already raised before the first check
+    StreamingSession sess(a);
+    sess.options.guard = &guard;
+    EXPECT_EQ(sess.feed(in), 0u); // poll at t=0 fires before any byte
+    EXPECT_TRUE(sess.stopped());
+    EXPECT_EQ(sess.results().guardStatus.code(),
+              ErrorCode::kCancelled);
+    EXPECT_EQ(sess.results().symbols, 0u);
+    EXPECT_EQ(sess.results().reportCount, 0u);
+}
+
+TEST(StreamingGuard, InjectedExpiryTruncatesAtPollBoundary)
+{
+    struct FaultScope {
+        ~FaultScope() { fault::disarmAll(); }
+    } scope;
+
+    Automaton a = guardAutomaton();
+    const std::vector<uint8_t> in = guardInput(8192);
+
+    RunGuard guard; // no limits: only the injected fault can fire
+    StreamingSession sess(a);
+    sess.options.guard = &guard;
+    // Skip the t=0 poll, fire on the second check (t=1024).
+    fault::armAfter(fault::Point::kGuardExpiry, 1);
+    const size_t got = sess.feed(in);
+    EXPECT_EQ(got, kGuardCheckIntervalSymbols);
+    EXPECT_TRUE(sess.stopped());
+    const SimResult &r = sess.results();
+    EXPECT_EQ(r.guardStatus.code(), ErrorCode::kDeadlineExceeded);
+    EXPECT_EQ(r.symbols, kGuardCheckIntervalSymbols);
+    // Results cover exactly the consumed prefix: one 'z' per 7 bytes.
+    EXPECT_EQ(r.reportCount, (kGuardCheckIntervalSymbols + 6) / 7);
+}
 
 } // namespace
 } // namespace azoo

@@ -11,6 +11,7 @@
  *            [--engine nfa|multidfa|lazydfa] [--cache-bytes N]
  *            [--reports N] [--by-code]
  *            [--threads N] [--batch] [--chunk BYTES]
+ *            [--metrics[=FILE]]
  *
  * Engines: nfa is the enabled-set interpreter; multidfa (alias: dfa)
  * determinizes each component eagerly; lazydfa runs subset
@@ -25,7 +26,13 @@
  * parallelism); --chunk feeds each stream through a StreamingSession
  * in chunks of the given size instead of one monolithic pass. Either
  * way the reports are byte-identical to a serial run (canonical
- * order). Parallel paths take --engine nfa or lazydfa.
+ * order). Parallel paths take --engine nfa or lazydfa. --chunk also
+ * works single-stream (without --batch): the input is fed through one
+ * StreamingSession; it requires --engine nfa and --threads 1 (the
+ * streaming session has no lazy-DFA backend).
+ *
+ * --metrics prints the azoo::obs registry snapshot (JSON) after the
+ * run; --metrics=FILE writes it to FILE instead.
  */
 
 #include <fstream>
@@ -37,6 +44,8 @@
 #include "engine/nfa_engine.hh"
 #include "engine/parallel_runner.hh"
 #include "engine/run_guard.hh"
+#include "engine/streaming.hh"
+#include "obs/obs.hh"
 #include "tool_common.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -70,6 +79,25 @@ noteTruncation(const SimResult &r)
     }
 }
 
+/** --metrics          -> registry JSON on stdout
+ *  --metrics=FILE     -> registry JSON written to FILE */
+void
+dumpMetrics(const Cli &cli)
+{
+    if (!cli.has("metrics"))
+        return;
+    const std::string dest = cli.get("metrics");
+    const std::string json = obs::Registry::global().toJson();
+    if (dest.empty() || dest == "true") {
+        std::cout << json << "\n";
+        return;
+    }
+    std::ofstream f(dest);
+    if (!f)
+        fatal(cat("cannot open for write: ", dest));
+    f << json << "\n";
+}
+
 } // namespace
 
 int
@@ -78,7 +106,7 @@ main(int argc, char **argv)
     Cli cli(argc, argv,
             {"automaton", "input", "engine", "cache-bytes", "reports",
              "by-code", "threads", "batch", "chunk", "deadline-ms",
-             "symbol-budget", "max-states", "max-edges"});
+             "symbol-budget", "max-states", "max-edges", "metrics"});
     const std::string apath = cli.get("automaton");
     const std::string ipath = cli.get("input");
     if (apath.empty() || ipath.empty())
@@ -165,13 +193,43 @@ main(int argc, char **argv)
             std::cout << "lazy cache: " << br.totalLazyFlushes
                       << " flushes across streams\n";
         }
+        dumpMetrics(cli);
         return br.allOk() ? tool::kExitOk : tool::kExitBadData;
+    }
+
+    const auto chunkBytes =
+        static_cast<size_t>(cli.getInt("chunk", 0));
+    if (chunkBytes != 0) {
+        // StreamingSession is the interpreter; mirror the runBatch
+        // rejection instead of silently substituting an engine.
+        if (engine != "nfa")
+            tool::usageError("azoo_run: --chunk requires --engine nfa "
+                             "(the streaming session has no lazy-DFA "
+                             "backend)");
+        if (threads > 1)
+            tool::usageError("azoo_run: --chunk with --threads > 1 "
+                             "requires --batch");
     }
 
     auto input = loadBytes(ipath);
     Timer timer;
     SimResult r;
-    if ((engine == "nfa" || lazy) && threads > 1) {
+    if (chunkBytes != 0) {
+        StreamingSession sess(a);
+        sess.options = opts;
+        timer.reset();
+        for (size_t pos = 0; pos < input.size();) {
+            const size_t want =
+                std::min(chunkBytes, input.size() - pos);
+            const size_t got = sess.feed(input.data() + pos, want);
+            pos += got;
+            // Short feed = the guard stopped the session; stop the
+            // chunk loop instead of spinning on refused chunks.
+            if (got < want)
+                break;
+        }
+        r = sess.results();
+    } else if ((engine == "nfa" || lazy) && threads > 1) {
         ParallelOptions popts;
         popts.threads = threads;
         popts.engine = lazy ? ParallelEngine::kLazyDfa
@@ -235,5 +293,6 @@ main(int argc, char **argv)
         for (const auto &[code, count] : r.byCode)
             std::cout << "  " << code << ": " << count << "\n";
     }
+    dumpMetrics(cli);
     return 0;
 }
