@@ -1,0 +1,51 @@
+/**
+ * @file
+ * libFuzzer harness for the .azoox artifact loader. The contract
+ * under fuzz: arbitrary bytes either load into a validated artifact
+ * or come back as a structured Status — never an abort, never an
+ * out-of-bounds read (the loader bounds-checks every section against
+ * the mapping before handing out spans).
+ *
+ * Checksums are disabled so mutations reach the section parsers
+ * instead of dying at the CRC gate; the committed corpus seeds a
+ * well-formed artifact with an EXEC image so the fuzzer starts from
+ * deep coverage. A file that validates must then materialize into a
+ * graph that passes Automaton::check(), and any validated EXEC image
+ * must survive a short simulation — that exercises the hostile-image
+ * surface the zero-copy path trusts at run time.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "artifact/artifact.hh"
+#include "engine/nfa_engine.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    azoo::artifact::LoadOptions opts;
+    opts.verifyChecksum = false;
+    opts.maxFileBytes = 1 << 20;
+
+    azoo::Expected<azoo::artifact::LoadedArtifact> la =
+        azoo::artifact::loadArtifactFromBytes(
+            std::vector<uint8_t>(data, data + size), opts);
+    if (!la.ok())
+        return 0;
+
+    azoo::ParseLimits limits;
+    limits.maxStates = 1 << 12;
+    limits.maxEdges = 1 << 14;
+    azoo::Expected<azoo::Automaton> m = la->materialize(limits);
+    if (m.ok() && !m->check().ok())
+        __builtin_trap(); // materialize() must yield a valid graph
+
+    if (la->hasExecImage() && la->elementCount() <= (1u << 12)) {
+        azoo::NfaEngine e(la->execImage());
+        const uint8_t probe[] = {0x00, 'a', 'b', 'c', 0xFF, '0', '1'};
+        (void)e.simulate(probe, sizeof(probe));
+    }
+    return 0;
+}

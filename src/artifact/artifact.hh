@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Compiled automaton artifacts: the `.azoox` container.
+ *
+ * An artifact freezes a compiled `Automaton` into a single versioned
+ * binary file that loads in milliseconds — the HW/RE "serialized
+ * pattern database" idea applied to the zoo. Two section groups serve
+ * two consumers:
+ *
+ *  - the *graph* sections (CSET/ELEM/EDGE/RSTE) are a compact,
+ *    normative encoding of the automaton (variable-width state ids,
+ *    interned character sets, per-state dense/sparse/chain edge
+ *    encodings). materialize() rebuilds an `Automaton` from them,
+ *    identical element-for-element and edge-for-edge to the one that
+ *    was saved;
+ *
+ *  - the optional *EXEC* section is a fixed-width image of
+ *    `NfaExecTables` laid out so `NfaEngine` can execute it in place
+ *    from the mmap-ed file — offsets only, no pointer fixups, zero
+ *    per-state allocation at load time.
+ *
+ * The byte-level layout is specified normatively in
+ * docs/ARTIFACT_FORMAT.md; this header and that document must change
+ * together. Loading is hardened against hostile files: every failure
+ * is a structured Status (kParseError / kVersionMismatch /
+ * kChecksumMismatch / kIoError), never a crash.
+ */
+
+#ifndef AZOO_ARTIFACT_ARTIFACT_HH
+#define AZOO_ARTIFACT_ARTIFACT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "artifact/mmap_file.hh"
+#include "core/automaton.hh"
+#include "engine/exec_image.hh"
+#include "util/status.hh"
+
+namespace azoo {
+namespace artifact {
+
+/** File magic: \x89 "AZOOX" \r \n (PNG-style: the high bit catches
+ *  7-bit transport corruption, the CRLF catches newline translation). */
+inline constexpr std::array<uint8_t, 8> kMagic = {
+    0x89, 'A', 'Z', 'O', 'O', 'X', 0x0D, 0x0A};
+
+/** Format revision written by this library. Readers accept any minor
+ *  revision of a known major; an unknown major is kVersionMismatch. */
+inline constexpr uint16_t kVersionMajor = 1;
+inline constexpr uint16_t kVersionMinor = 0;
+
+/** Header flag bits 0..15 are ignorable features; 16..31 are
+ *  must-understand (an unknown set bit rejects the file). */
+inline constexpr uint32_t kFlagExecImage = 1u << 0;
+inline constexpr uint32_t kMustUnderstandMask = 0xFFFF0000u;
+
+/** Fixed header size; the section table follows immediately. */
+inline constexpr size_t kHeaderSize = 64;
+
+/** Size of one section-table entry. */
+inline constexpr size_t kSectionEntrySize = 24;
+
+/** CRC-32/IEEE (reflected, poly 0xEDB88320, init/xor 0xFFFFFFFF) —
+ *  the zlib/PNG checksum; crc32 over "123456789" is 0xCBF43926. */
+uint32_t crc32(const uint8_t *data, size_t len);
+
+/** Writer knobs. */
+struct WriteOptions {
+    /** Include the zero-copy EXEC image (default). Omitting it
+     *  roughly halves file size but forces materialize() on load. */
+    bool execImage = true;
+};
+
+/** One section-table row, decoded. */
+struct SectionInfo {
+    std::string tag; ///< four ASCII characters, e.g. "ELEM"
+    uint64_t offset = 0;
+    uint64_t length = 0;
+};
+
+/** What the writer produced; azoo_compile prints this. */
+struct ArtifactInfo {
+    uint64_t fileBytes = 0;
+    uint64_t elementCount = 0;
+    uint64_t edgeCount = 0;
+    uint64_t resetEdgeCount = 0;
+    uint8_t idWidth = 4;        ///< bytes per state id (1, 2, or 4)
+    uint32_t charsetCount = 0;  ///< interned charset pool size
+    /** Edge-list encoding census over both EDGE and RSTE streams. */
+    uint64_t listsEmpty = 0;
+    uint64_t listsChain = 0;
+    uint64_t listsSparse = 0;
+    uint64_t listsDense = 0;
+    std::vector<SectionInfo> sections;
+};
+
+/** Serialize @p a to artifact bytes. kInvalidArgument when @p a fails
+ *  its own structural check() (only valid automata are writable). */
+Expected<std::vector<uint8_t>> writeArtifact(const Automaton &a,
+                                             const WriteOptions &opts = {});
+
+/** writeArtifact + atomic-ish write to @p path (kIoError on failure),
+ *  returning the section/encoding summary. */
+Expected<ArtifactInfo> saveArtifact(const std::string &path,
+                                    const Automaton &a,
+                                    const WriteOptions &opts = {});
+
+/** Loader knobs. */
+struct LoadOptions {
+    /** mmap the file and execute in place when possible; on failure
+     *  (or false) fall back to a private heap copy. */
+    bool preferMmap = true;
+    /** Verify the header CRC over the payload before parsing. The
+     *  fuzzer disables this to reach the section parsers. */
+    bool verifyChecksum = true;
+    /** Reject files larger than this (heap fallback allocates). */
+    uint64_t maxFileBytes = uint64_t(1) << 30;
+};
+
+/**
+ * A validated, loaded artifact. Owns its backing storage (mmap or
+ * heap) and hands out views into it; move-only, and views remain
+ * valid across moves (the backing buffer address is stable).
+ *
+ * Construction (via loadArtifact*) performs full structural
+ * validation of the header, section table, and — when present — the
+ * EXEC image, in O(elements + edges) with zero per-state allocation.
+ * The graph sections are validated lazily by materialize().
+ */
+class LoadedArtifact
+{
+  public:
+    LoadedArtifact(LoadedArtifact &&) = default;
+    LoadedArtifact &operator=(LoadedArtifact &&) = default;
+    LoadedArtifact(const LoadedArtifact &) = delete;
+    LoadedArtifact &operator=(const LoadedArtifact &) = delete;
+
+    /** Automaton name from the META section. */
+    const std::string &name() const { return name_; }
+
+    uint16_t versionMajor() const { return versionMajor_; }
+    uint16_t versionMinor() const { return versionMinor_; }
+    uint64_t fileBytes() const { return size_; }
+    uint64_t elementCount() const { return elementCount_; }
+    uint64_t edgeCount() const { return edgeCount_; }
+    uint64_t resetEdgeCount() const { return resetEdgeCount_; }
+
+    /** True when backed by an mmap (false: private heap copy). */
+    bool mapped() const { return map_.size() > 0; }
+
+    /** Decoded section table, in file order. */
+    const std::vector<SectionInfo> &sections() const { return sections_; }
+
+    /** True when the file carries a validated EXEC image. */
+    bool hasExecImage() const { return hasExec_; }
+
+    /**
+     * The zero-copy execution image; panics unless hasExecImage().
+     * Valid while this LoadedArtifact is alive; feed it straight to
+     * `NfaEngine(const NfaExecImage &)`.
+     */
+    const NfaExecImage &execImage() const;
+
+    /**
+     * Rebuild the full Automaton from the graph sections (for
+     * engines that need the graph: lazy-DFA, transforms, analysis).
+     * Identical to the saved automaton. kParseError on malformed
+     * graph sections, kLimitExceeded when @p limits trip.
+     */
+    Expected<Automaton> materialize(const ParseLimits &limits = {}) const;
+
+  private:
+    LoadedArtifact() = default;
+    friend struct ArtifactParser;
+    friend Expected<LoadedArtifact>
+    loadArtifactImpl(MappedFile map, std::vector<uint8_t> heap,
+                     const LoadOptions &opts);
+
+    const uint8_t *
+    base() const
+    {
+        return mapped() ? map_.data() : heap_.data();
+    }
+
+    // Backing storage: exactly one of these is non-empty.
+    MappedFile map_;
+    std::vector<uint8_t> heap_;
+    const uint8_t *data_ = nullptr; // == base(), cached
+    uint64_t size_ = 0;
+
+    uint16_t versionMajor_ = 0;
+    uint16_t versionMinor_ = 0;
+    uint32_t flags_ = 0;
+    uint64_t elementCount_ = 0;
+    uint64_t edgeCount_ = 0;
+    uint64_t resetEdgeCount_ = 0;
+    uint8_t idWidth_ = 0;
+    std::string name_;
+    std::vector<SectionInfo> sections_;
+
+    // Graph section bounds (offset, length into data_).
+    uint64_t csetOff_ = 0, csetLen_ = 0;
+    uint64_t elemOff_ = 0, elemLen_ = 0;
+    uint64_t edgeOff_ = 0, edgeLen_ = 0;
+    uint64_t rsteOff_ = 0, rsteLen_ = 0;
+
+    bool hasExec_ = false;
+    NfaExecImage exec_;
+};
+
+/** Map (or read) @p path and validate it as an artifact. */
+Expected<LoadedArtifact> loadArtifact(const std::string &path,
+                                      const LoadOptions &opts = {});
+
+/** Validate an in-memory artifact; takes ownership of the bytes.
+ *  Used by the tests and the fuzzer. */
+Expected<LoadedArtifact> loadArtifactFromBytes(std::vector<uint8_t> bytes,
+                                               const LoadOptions &opts = {});
+
+/**
+ * Deep semantic equality: same name, element count, and per-element
+ * kind/start/reporting/code/symbols/target/mode plus identical edge
+ * lists in identical order. The round-trip criterion used by
+ * `azoo_compile --verify` and the artifact tests.
+ */
+bool automataIdentical(const Automaton &x, const Automaton &y);
+
+} // namespace artifact
+} // namespace azoo
+
+#endif // AZOO_ARTIFACT_ARTIFACT_HH

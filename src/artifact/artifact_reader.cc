@@ -1,0 +1,775 @@
+/**
+ * @file
+ * `.azoox` loader: header/section validation, the zero-copy EXEC
+ * image checks, and materialize(). Layout authority is
+ * docs/ARTIFACT_FORMAT.md.
+ *
+ * Threat model: the file is untrusted. Every read is bounds-checked
+ * before it happens, every failure is a structured Status carrying
+ * the absolute file offset, and validation of the EXEC image is
+ * O(elements + edges) with zero per-state allocation — the spans are
+ * aimed straight into the mapped file. What load-time validation
+ * deliberately does NOT do is cross-check the EXEC image against the
+ * graph sections (that would cost a full materialize); a consumer
+ * that needs that guarantee runs `azoo_compile --verify` once at
+ * build time, which is the trust boundary the format is designed for.
+ */
+
+#include "artifact/artifact.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "obs/obs.hh"
+#include "util/io.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace azoo {
+namespace artifact {
+
+namespace {
+
+uint16_t
+rdU16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t
+rdU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+rdU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+[[noreturn]] void
+fail(uint64_t offset, std::string msg)
+{
+    SourceLoc loc;
+    loc.offset = offset;
+    throw StatusError(
+        Status(ErrorCode::kParseError, std::move(msg), loc));
+}
+
+/** Bounds-checked sequential reader over one section's bytes;
+ *  errors report absolute file offsets. */
+struct Cursor {
+    const uint8_t *p;
+    uint64_t len;
+    uint64_t fileOff; ///< absolute offset of p[0]
+    uint64_t at = 0;
+
+    uint64_t abs() const { return fileOff + at; }
+
+    void
+    need(uint64_t n) const
+    {
+        if (n > len - at)
+            fail(abs(), cat("truncated section: need ", n,
+                            " more bytes, have ", len - at));
+    }
+
+    uint8_t
+    u8()
+    {
+        need(1);
+        return p[at++];
+    }
+
+    uint32_t
+    u32()
+    {
+        need(4);
+        const uint32_t v = rdU32(p + at);
+        at += 4;
+        return v;
+    }
+
+    /** LEB128; at most 10 bytes. */
+    uint64_t
+    varint()
+    {
+        uint64_t v = 0;
+        for (int shift = 0; shift < 64; shift += 7) {
+            const uint8_t b = u8();
+            v |= static_cast<uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0)
+                return v;
+        }
+        fail(abs(), "varint longer than 10 bytes");
+    }
+
+    uint32_t
+    id(uint8_t width)
+    {
+        need(width);
+        uint32_t v = 0;
+        for (uint8_t i = 0; i < width; ++i)
+            v |= static_cast<uint32_t>(p[at + i]) << (8 * i);
+        at += width;
+        return v;
+    }
+
+    bool done() const { return at == len; }
+};
+
+// Edge-list control bytes (docs/ARTIFACT_FORMAT.md §6).
+constexpr uint8_t kListEmpty = 0x00;
+constexpr uint8_t kListChain = 0x01;
+constexpr uint8_t kListSparse = 0x02;
+constexpr uint8_t kListDense = 0x03;
+
+void
+noteLoadError(ErrorCode code)
+{
+    if (!obs::kEnabled)
+        return;
+    obs::Registry::global()
+        .counter(cat("artifact.load.errors.", errorCodeName(code)))
+        .inc();
+}
+
+/**
+ * Decode one encoded successor list, invoking @p emit(target) in
+ * stored order. @p self is the element the list belongs to (for
+ * CHAIN); every target is checked against @p n.
+ */
+template <typename Emit>
+void
+decodeList(Cursor &c, ElementId self, uint64_t n, uint8_t idWidth,
+           Emit &&emit)
+{
+    const uint64_t listOff = c.abs();
+    const uint8_t ctl = c.u8();
+    switch (ctl) {
+      case kListEmpty:
+        return;
+      case kListChain: {
+        const uint64_t t = uint64_t(self) + 1;
+        if (t >= n)
+            fail(listOff, cat("CHAIN successor ", t,
+                              " out of range (", n, " elements)"));
+        emit(static_cast<ElementId>(t));
+        return;
+      }
+      case kListSparse: {
+        const uint64_t k = c.varint();
+        if (k > c.len - c.at) // idWidth >= 1, so this caps k safely
+            fail(listOff, cat("SPARSE count ", k,
+                              " exceeds remaining section bytes"));
+        c.need(k * idWidth);
+        for (uint64_t i = 0; i < k; ++i) {
+            const uint32_t t = c.id(idWidth);
+            if (t >= n)
+                fail(listOff, cat("edge target ", t,
+                                  " out of range (", n, " elements)"));
+            emit(static_cast<ElementId>(t));
+        }
+        return;
+      }
+      case kListDense: {
+        const uint32_t base = c.id(idWidth);
+        const uint64_t bmBytes = c.varint();
+        c.need(bmBytes);
+        for (uint64_t byte = 0; byte < bmBytes; ++byte) {
+            const uint8_t bits = c.p[c.at + byte];
+            for (int b = 0; bits >> b; ++b) {
+                if (((bits >> b) & 1) == 0)
+                    continue;
+                const uint64_t t = uint64_t(base) + byte * 8 + b;
+                if (t >= n)
+                    fail(listOff,
+                         cat("DENSE edge target ", t,
+                             " out of range (", n, " elements)"));
+                emit(static_cast<ElementId>(t));
+            }
+        }
+        c.at += bmBytes;
+        return;
+      }
+      default:
+        fail(listOff, cat("unknown edge-list control byte ",
+                          static_cast<int>(ctl)));
+    }
+}
+
+/** Section tag as fourcc string. */
+std::string
+tagStr(const uint8_t *p)
+{
+    return std::string(reinterpret_cast<const char *>(p), 4);
+}
+
+/** "0xDEADBEEF"-style rendering without the prefix. */
+std::string
+hex32(uint32_t v)
+{
+    std::string s;
+    for (int i = 7; i >= 0; --i)
+        s += "0123456789abcdef"[(v >> (4 * i)) & 0xF];
+    return s;
+}
+
+} // namespace
+
+const NfaExecImage &
+LoadedArtifact::execImage() const
+{
+    if (!hasExec_)
+        panic("LoadedArtifact::execImage(): no EXEC image "
+              "(check hasExecImage() first)");
+    return exec_;
+}
+
+/** Private-access shim for the free-function validators. */
+struct ArtifactParser {
+    static void validateAndIndex(LoadedArtifact &la,
+                                 const LoadOptions &opts);
+    static void validateExec(LoadedArtifact &la, const uint8_t *base,
+                             uint64_t secOff, uint64_t secLen,
+                             uint64_t n, uint64_t edges,
+                             uint64_t resets);
+};
+
+/**
+ * Validate the EXEC section and aim @p la's image spans into it.
+ * Every check here exists so that NfaEngine can later index these
+ * arrays without any bounds checking of its own: ids < n, CSR rows
+ * monotone and capped, flag bytes canonical, no counter->counter
+ * edges (the interpreter has no settle cascade).
+ */
+void
+ArtifactParser::validateExec(LoadedArtifact &la, const uint8_t *base,
+                             uint64_t secOff, uint64_t secLen,
+                             uint64_t n, uint64_t edges,
+                             uint64_t resets)
+{
+    const uint8_t *s = base + secOff;
+    if (secLen < 64)
+        fail(secOff, "EXEC section shorter than its 64-byte header");
+    const uint64_t hN = rdU64(s);
+    const uint64_t hEdges = rdU64(s + 8);
+    const uint64_t hResets = rdU64(s + 16);
+    const uint64_t hAi = rdU64(s + 24);
+    const uint64_t hSod = rdU64(s + 32);
+    const uint64_t hCtr = rdU64(s + 40);
+    const uint64_t hMai = rdU64(s + 48);
+    if (hN != n || hEdges != edges || hResets != resets)
+        fail(secOff, cat("EXEC counts (", hN, "/", hEdges, "/",
+                         hResets, ") disagree with header (", n, "/",
+                         edges, "/", resets, ")"));
+    if (hAi > n || hSod > n || hCtr > n)
+        fail(secOff, "EXEC id-list count exceeds element count");
+    if (hMai > hAi * 256)
+        fail(secOff, cat("EXEC all-input index count ", hMai,
+                         " impossible for ", hAi,
+                         " all-input states"));
+
+    // Walk the fixed array layout; every array starts 8-aligned
+    // relative to the file (the section offset itself is 8-aligned).
+    uint64_t at = 64;
+    auto take = [&](uint64_t elemSize, uint64_t count) {
+        at = (at + 7) & ~uint64_t(7);
+        const uint64_t bytes = elemSize * count; // counts <= 2^32
+        if (at > secLen || bytes > secLen - at)
+            fail(secOff + at,
+                 cat("EXEC truncated: array of ", bytes,
+                     " bytes does not fit"));
+        const uint8_t *ptr = s + at;
+        at += bytes;
+        return ptr;
+    };
+    auto u32s = [&](uint64_t count) {
+        return std::span<const uint32_t>(
+            reinterpret_cast<const uint32_t *>(take(4, count)), count);
+    };
+    auto bytes = [&](uint64_t count) {
+        return std::span<const uint8_t>(take(1, count), count);
+    };
+
+    NfaExecImage &im = la.exec_;
+    im.elementCount = n;
+    im.edgeBegin = u32s(n + 1);
+    im.edgeTarget = u32s(edges);
+    im.resetBegin = u32s(n + 1);
+    im.resetTarget = u32s(resets);
+    im.label = std::span<const LabelWords>(
+        reinterpret_cast<const LabelWords *>(take(32, n)), n);
+    im.reportCode = u32s(n);
+    im.counterTarget = u32s(n);
+    im.maiBegin = u32s(257);
+    im.maiTarget = u32s(hMai);
+    im.allInput = u32s(hAi);
+    im.startOfData = u32s(hSod);
+    im.counters = u32s(hCtr);
+    im.reporting = bytes(n);
+    im.isCounter = bytes(n);
+    im.isAllInput = bytes(n);
+    im.counterMode = bytes(n);
+    if (at != secLen)
+        fail(secOff + at, cat("EXEC section length mismatch: ", at,
+                              " bytes used of ", secLen));
+
+    // Flag bytes must be canonical so the interpreter's 0/1 tests
+    // and mode comparisons behave.
+    for (uint64_t i = 0; i < n; ++i) {
+        if (im.reporting[i] > 1 || im.isCounter[i] > 1 ||
+            im.isAllInput[i] > 1)
+            fail(secOff, cat("EXEC flag byte for element ", i,
+                             " is not 0/1"));
+        if (im.counterMode[i] > kExecModeRollover)
+            fail(secOff, cat("EXEC counter mode for element ", i,
+                             " is not latch/pulse/rollover"));
+    }
+
+    auto checkCsr = [&](std::span<const uint32_t> begin,
+                        std::span<const uint32_t> target,
+                        uint64_t total, const char *what) {
+        if (begin[0] != 0 || begin[n] != total)
+            fail(secOff, cat("EXEC ", what,
+                             " CSR does not span [0, ", total, ")"));
+        for (uint64_t i = 0; i < n; ++i) {
+            if (begin[i] > begin[i + 1])
+                fail(secOff, cat("EXEC ", what,
+                                 " CSR decreases at row ", i));
+        }
+        for (uint64_t k = 0; k < total; ++k) {
+            if (target[k] >= n)
+                fail(secOff, cat("EXEC ", what, " target ", target[k],
+                                 " out of range"));
+        }
+    };
+    checkCsr(im.edgeBegin, im.edgeTarget, edges, "edge");
+    checkCsr(im.resetBegin, im.resetTarget, resets, "reset");
+    for (uint64_t k = 0; k < resets; ++k) {
+        if (!im.isCounter[im.resetTarget[k]])
+            fail(secOff, "EXEC reset edge targets a non-counter");
+    }
+
+    if (im.maiBegin[0] != 0 || im.maiBegin[256] != hMai)
+        fail(secOff, "EXEC all-input index does not span its targets");
+    for (int b = 0; b < 256; ++b) {
+        if (im.maiBegin[b] > im.maiBegin[b + 1])
+            fail(secOff, cat("EXEC all-input index decreases at byte ",
+                             b));
+    }
+    for (uint64_t k = 0; k < hMai; ++k) {
+        const uint32_t t = im.maiTarget[k];
+        if (t >= n || !im.isAllInput[t])
+            fail(secOff,
+                 "EXEC all-input index names a non-all-input state");
+    }
+
+    // The id lists must be exactly the elements whose flag bytes say
+    // so (strictly ascending + bit set + matching popcount => equal
+    // sets); EngineScratch trusts `counters` for its per-run reset.
+    auto checkList = [&](std::span<const uint32_t> list,
+                         std::span<const uint8_t> bit, uint64_t setCount,
+                         const char *what) {
+        for (size_t i = 0; i < list.size(); ++i) {
+            if (list[i] >= n || !bit[list[i]])
+                fail(secOff, cat("EXEC ", what,
+                                 " list names a non-", what,
+                                 " element"));
+            if (i > 0 && list[i] <= list[i - 1])
+                fail(secOff,
+                     cat("EXEC ", what, " list is not ascending"));
+        }
+        if (setCount != list.size())
+            fail(secOff, cat("EXEC ", what,
+                             " list disagrees with flag bytes"));
+    };
+    uint64_t aiBits = 0, ctrBits = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+        aiBits += im.isAllInput[i];
+        ctrBits += im.isCounter[i];
+    }
+    checkList(im.allInput, im.isAllInput, aiBits, "all-input");
+    checkList(im.counters, im.isCounter, ctrBits, "counter");
+    for (size_t i = 0; i < im.startOfData.size(); ++i) {
+        if (im.startOfData[i] >= n ||
+            (i > 0 && im.startOfData[i] <= im.startOfData[i - 1]))
+            fail(secOff, "EXEC start-of-data list invalid");
+    }
+
+    // The interpreter settles counters in a single pass; a
+    // counter->counter edge would need a cascade it doesn't have.
+    for (uint32_t c : im.counters) {
+        for (uint32_t k = im.edgeBegin[c]; k < im.edgeBegin[c + 1];
+             ++k) {
+            if (im.isCounter[im.edgeTarget[k]])
+                fail(secOff, "EXEC contains a counter->counter edge");
+        }
+    }
+
+    la.hasExec_ = true;
+}
+
+/** Header + section-table validation; throws StatusError. */
+void
+ArtifactParser::validateAndIndex(LoadedArtifact &la,
+                                 const LoadOptions &opts)
+{
+    const uint8_t *d = la.data_;
+    const uint64_t size = la.size_;
+
+    if (size < kHeaderSize)
+        fail(size, cat("truncated: ", size,
+                       " bytes, fixed header needs 64"));
+    if (std::memcmp(d, kMagic.data(), kMagic.size()) != 0)
+        fail(0, "bad magic (not a .azoox artifact)");
+
+    la.versionMajor_ = rdU16(d + 8);
+    la.versionMinor_ = rdU16(d + 10);
+    if (la.versionMajor_ != kVersionMajor) {
+        throw StatusError(Status(
+            ErrorCode::kVersionMismatch,
+            cat("artifact is format ", la.versionMajor_, ".",
+                la.versionMinor_, "; this build reads ", kVersionMajor,
+                ".x")));
+    }
+    la.flags_ = rdU32(d + 12);
+    if ((la.flags_ & kMustUnderstandMask) != 0) {
+        throw StatusError(Status(
+            ErrorCode::kUnsupported,
+            cat("artifact uses unknown must-understand features 0x",
+                hex32(la.flags_ & kMustUnderstandMask))));
+    }
+
+    const uint64_t declared = rdU64(d + 16);
+    if (declared != size) {
+        fail(16, declared > size
+                     ? cat("truncated: header declares ", declared,
+                           " bytes, file has ", size)
+                     : cat("trailing garbage: header declares ",
+                           declared, " bytes, file has ", size));
+    }
+    la.elementCount_ = rdU64(d + 24);
+    la.edgeCount_ = rdU64(d + 32);
+    la.resetEdgeCount_ = rdU64(d + 40);
+    if (la.elementCount_ > 0xFFFFFFFFull ||
+        la.edgeCount_ > 0xFFFFFFFFull ||
+        la.resetEdgeCount_ > 0xFFFFFFFFull)
+        fail(24, "element/edge count exceeds the 32-bit id space");
+    la.idWidth_ = d[48];
+    if (la.idWidth_ != 1 && la.idWidth_ != 2 && la.idWidth_ != 4)
+        fail(48, cat("id width ", static_cast<int>(la.idWidth_),
+                     " is not 1/2/4"));
+    const uint8_t sectionCount = d[49];
+    if (sectionCount > 64)
+        fail(49, cat("implausible section count ",
+                     static_cast<int>(sectionCount)));
+    const uint64_t tableEnd =
+        kHeaderSize + uint64_t(sectionCount) * kSectionEntrySize;
+    if (tableEnd > size)
+        fail(kHeaderSize, "section table extends past end of file");
+
+    if (opts.verifyChecksum) {
+        const uint32_t stored = rdU32(d + 52);
+        const uint32_t actual =
+            crc32(d + kHeaderSize, size - kHeaderSize);
+        if (stored != actual) {
+            throw StatusError(Status(
+                ErrorCode::kChecksumMismatch,
+                cat("payload CRC-32 is 0x", hex32(actual),
+                    ", header says 0x", hex32(stored))));
+        }
+    }
+
+    uint64_t secOff[5] = {}; // META CSET ELEM EDGE RSTE
+    uint64_t secLen[5] = {};
+    bool seen[5] = {};
+    static const char *const kRequired[5] = {"META", "CSET", "ELEM",
+                                             "EDGE", "RSTE"};
+    uint64_t execOff = 0, execLen = 0;
+    bool execSeen = false;
+    for (uint8_t i = 0; i < sectionCount; ++i) {
+        const uint8_t *e = d + kHeaderSize + i * kSectionEntrySize;
+        const std::string tag = tagStr(e);
+        const uint64_t off = rdU64(e + 8);
+        const uint64_t len = rdU64(e + 16);
+        if (off % 8 != 0)
+            fail(off, cat("section ", tag, " offset not 8-aligned"));
+        if (off < tableEnd || off > size || len > size - off)
+            fail(off, cat("section ", tag, " extends past file"));
+        la.sections_.push_back({tag, off, len});
+        bool known = false;
+        for (int k = 0; k < 5; ++k) {
+            if (tag == kRequired[k]) {
+                if (seen[k])
+                    fail(off, cat("duplicate section ", tag));
+                seen[k] = true;
+                secOff[k] = off;
+                secLen[k] = len;
+                known = true;
+            }
+        }
+        if (tag == "EXEC") {
+            if (execSeen)
+                fail(off, "duplicate section EXEC");
+            execSeen = true;
+            execOff = off;
+            execLen = len;
+            known = true;
+        }
+        (void)known; // unknown tags are ignorable by design
+    }
+    for (int k = 0; k < 5; ++k) {
+        if (!seen[k])
+            fail(tableEnd,
+                 cat("required section ", kRequired[k], " missing"));
+    }
+
+    // META: automaton name.
+    {
+        Cursor c{d + secOff[0], secLen[0], secOff[0]};
+        const uint32_t nameLen = c.u32();
+        if (nameLen > 1u << 16)
+            fail(c.abs(), cat("implausible name length ", nameLen));
+        c.need(nameLen);
+        la.name_.assign(reinterpret_cast<const char *>(c.p + c.at),
+                        nameLen);
+    }
+    la.csetOff_ = secOff[1];
+    la.csetLen_ = secLen[1];
+    la.elemOff_ = secOff[2];
+    la.elemLen_ = secLen[2];
+    la.edgeOff_ = secOff[3];
+    la.edgeLen_ = secLen[3];
+    la.rsteOff_ = secOff[4];
+    la.rsteLen_ = secLen[4];
+    if (la.elemLen_ != 12 * la.elementCount_)
+        fail(la.elemOff_,
+             cat("ELEM section is ", la.elemLen_, " bytes; ",
+                 la.elementCount_, " elements need ",
+                 12 * la.elementCount_));
+
+    if ((la.flags_ & kFlagExecImage) != 0) {
+        if (!execSeen)
+            fail(12, "EXEC flag set but no EXEC section");
+        // Zero-copy execution reinterprets the bytes as host-endian
+        // arrays, so the image is only usable on little-endian hosts;
+        // elsewhere the graph sections still materialize correctly.
+        if constexpr (std::endian::native == std::endian::little) {
+            validateExec(la, d, execOff, execLen, la.elementCount_,
+                         la.edgeCount_, la.resetEdgeCount_);
+        }
+    }
+}
+
+Expected<LoadedArtifact>
+loadArtifactImpl(MappedFile map, std::vector<uint8_t> heap,
+                 const LoadOptions &opts)
+{
+    LoadedArtifact la;
+    la.map_ = std::move(map);
+    la.heap_ = std::move(heap);
+    la.data_ = la.base();
+    la.size_ = la.mapped() ? la.map_.size() : la.heap_.size();
+
+    try {
+        ArtifactParser::validateAndIndex(la, opts);
+    } catch (const StatusError &e) {
+        noteLoadError(e.status().code());
+        return e.status();
+    }
+
+    if (obs::kEnabled) {
+        obs::Registry &reg = obs::Registry::global();
+        reg.counter("artifact.load.files").inc();
+        reg.counter("artifact.load.bytes").add(la.size_);
+        reg.counter(la.mapped() ? "artifact.load.mmap"
+                                : "artifact.load.heap")
+            .inc();
+    }
+    return la;
+}
+
+Expected<LoadedArtifact>
+loadArtifact(const std::string &path, const LoadOptions &opts)
+{
+    static obs::Histogram &wall =
+        obs::Registry::global().histogram("artifact.load.wall_us");
+    obs::ScopedTimer timer(wall);
+
+    if (opts.preferMmap) {
+        Expected<MappedFile> m = MappedFile::open(path);
+        if (m.ok()) {
+            if (m->size() > opts.maxFileBytes) {
+                noteLoadError(ErrorCode::kLimitExceeded);
+                return Status(ErrorCode::kLimitExceeded,
+                              cat("artifact '", path, "' is ",
+                                  m->size(), " bytes; limit ",
+                                  opts.maxFileBytes));
+            }
+            // A structural failure is the file's fault, not mmap's:
+            // do not retry on the heap path.
+            return loadArtifactImpl(std::move(*m), {}, opts);
+        }
+        // mmap unavailable; fall through to a heap read.
+    }
+
+    Expected<std::string> bytes =
+        readFile(path, static_cast<size_t>(opts.maxFileBytes));
+    if (!bytes.ok()) {
+        noteLoadError(bytes.status().code());
+        return bytes.status();
+    }
+    std::vector<uint8_t> buf(bytes->begin(), bytes->end());
+    return loadArtifactImpl({}, std::move(buf), opts);
+}
+
+Expected<LoadedArtifact>
+loadArtifactFromBytes(std::vector<uint8_t> bytes,
+                      const LoadOptions &opts)
+{
+    if (bytes.size() > opts.maxFileBytes) {
+        noteLoadError(ErrorCode::kLimitExceeded);
+        return Status(ErrorCode::kLimitExceeded,
+                      cat("artifact is ", bytes.size(),
+                          " bytes; limit ", opts.maxFileBytes));
+    }
+    return loadArtifactImpl({}, std::move(bytes), opts);
+}
+
+Expected<Automaton>
+LoadedArtifact::materialize(const ParseLimits &limits) const
+{
+    obs::Registry &reg = obs::Registry::global();
+    try {
+        if (elementCount_ > limits.maxStates) {
+            throw StatusError(Status(
+                ErrorCode::kLimitExceeded,
+                cat("artifact has ", elementCount_,
+                    " elements; limit ", limits.maxStates)));
+        }
+        if (edgeCount_ + resetEdgeCount_ > limits.maxEdges) {
+            throw StatusError(Status(
+                ErrorCode::kLimitExceeded,
+                cat("artifact has ", edgeCount_ + resetEdgeCount_,
+                    " edges; limit ", limits.maxEdges)));
+        }
+        const uint64_t n = elementCount_;
+
+        // CSET -> charset pool (the one allocating step; materialize
+        // is the allocating path by definition).
+        Cursor cs{data_ + csetOff_, csetLen_, csetOff_};
+        const uint32_t poolCount = cs.u32();
+        if (4 + uint64_t(poolCount) * 32 != csetLen_)
+            fail(csetOff_, cat("CSET section is ", csetLen_,
+                               " bytes; ", poolCount,
+                               " charsets need ",
+                               4 + uint64_t(poolCount) * 32));
+        std::vector<CharSet> pool;
+        pool.reserve(poolCount);
+        for (uint32_t i = 0; i < poolCount; ++i) {
+            LabelWords w;
+            for (int k = 0; k < 4; ++k) {
+                w[k] = rdU64(cs.p + cs.at);
+                cs.at += 8;
+            }
+            pool.push_back(CharSet::fromWords(w));
+        }
+
+        // ELEM -> element table.
+        Automaton a(name_);
+        Cursor el{data_ + elemOff_, elemLen_, elemOff_};
+        for (uint64_t i = 0; i < n; ++i) {
+            const uint64_t recOff = el.abs();
+            const uint8_t flags = el.u8();
+            if (el.u8() != 0 || el.u8() != 0 || el.u8() != 0)
+                fail(recOff, "ELEM record padding is not zero");
+            const uint32_t code = el.u32();
+            const uint32_t aux = el.u32();
+            const bool isCounter = (flags & 1) != 0;
+            const uint8_t start = (flags >> 1) & 3;
+            const bool reporting = (flags >> 3) & 1;
+            const uint8_t mode = (flags >> 4) & 3;
+            if ((flags >> 6) != 0)
+                fail(recOff, "ELEM flag bits 6-7 are reserved");
+            if (start > 2)
+                fail(recOff, cat("ELEM start type ", int(start),
+                                 " invalid"));
+            if (mode > 2)
+                fail(recOff, cat("ELEM counter mode ", int(mode),
+                                 " invalid"));
+            if (isCounter) {
+                a.addCounter(aux, static_cast<CounterMode>(mode),
+                             reporting, code);
+            } else {
+                if (aux >= poolCount)
+                    fail(recOff, cat("ELEM charset index ", aux,
+                                     " out of range (pool has ",
+                                     poolCount, ")"));
+                a.addSte(pool[aux], static_cast<StartType>(start),
+                         reporting, code);
+            }
+        }
+
+        // EDGE / RSTE -> adjacency, in stored (= original) order.
+        uint64_t edges = 0;
+        Cursor ed{data_ + edgeOff_, edgeLen_, edgeOff_};
+        for (uint64_t i = 0; i < n; ++i) {
+            decodeList(ed, static_cast<ElementId>(i), n, idWidth_,
+                       [&](ElementId t) {
+                           a.addEdge(static_cast<ElementId>(i), t);
+                           ++edges;
+                       });
+        }
+        if (!ed.done())
+            fail(ed.abs(), "EDGE section has trailing bytes");
+        if (edges != edgeCount_)
+            fail(edgeOff_, cat("EDGE section encodes ", edges,
+                               " edges, header says ", edgeCount_));
+
+        uint64_t resets = 0;
+        Cursor rs{data_ + rsteOff_, rsteLen_, rsteOff_};
+        for (uint64_t i = 0; i < n; ++i) {
+            decodeList(rs, static_cast<ElementId>(i), n, idWidth_,
+                       [&](ElementId t) {
+                           a.addResetEdge(static_cast<ElementId>(i), t);
+                           ++resets;
+                       });
+        }
+        if (!rs.done())
+            fail(rs.abs(), "RSTE section has trailing bytes");
+        if (resets != resetEdgeCount_)
+            fail(rsteOff_, cat("RSTE section encodes ", resets,
+                               " reset edges, header says ",
+                               resetEdgeCount_));
+
+        // Cross-field invariants (reset edges target counters,
+        // counters carry no start/symbols, ...) via the automaton's
+        // own structural check — same post-load verification the
+        // untrusted-format loaders use.
+        if (Status st = a.check(); !st.ok()) {
+            throw StatusError(
+                Status(ErrorCode::kParseError,
+                       cat("artifact graph invalid: ", st.message())));
+        }
+        reg.counter("artifact.materialize.count").inc();
+        return a;
+    } catch (const StatusError &e) {
+        if (obs::kEnabled) {
+            reg.counter(cat("artifact.materialize.errors.",
+                            errorCodeName(e.status().code())))
+                .inc();
+        }
+        return e.status();
+    }
+}
+
+} // namespace artifact
+} // namespace azoo

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * `.azoox` writer. Layout authority is docs/ARTIFACT_FORMAT.md; keep
+ * the two in lockstep.
+ */
+
+#include "artifact/artifact.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "obs/obs.hh"
+#include "util/logging.hh"
+
+namespace azoo {
+namespace artifact {
+
+uint32_t
+crc32(const uint8_t *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+bool
+automataIdentical(const Automaton &x, const Automaton &y)
+{
+    if (x.name() != y.name() || x.size() != y.size())
+        return false;
+    for (ElementId i = 0; i < x.size(); ++i) {
+        const Element &a = x.element(i);
+        const Element &b = y.element(i);
+        if (a.kind != b.kind || a.start != b.start ||
+            a.reporting != b.reporting || a.reportCode != b.reportCode)
+            return false;
+        if (a.kind == ElementKind::kSte) {
+            if (a.symbols != b.symbols)
+                return false;
+        } else {
+            if (a.target != b.target || a.mode != b.mode)
+                return false;
+        }
+        if (a.out != b.out || a.resetOut != b.resetOut)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+// Edge-list control bytes (docs/ARTIFACT_FORMAT.md §6).
+constexpr uint8_t kListEmpty = 0x00;
+constexpr uint8_t kListChain = 0x01;
+constexpr uint8_t kListSparse = 0x02;
+constexpr uint8_t kListDense = 0x03;
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putVarint(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+size_t
+varintLen(uint64_t v)
+{
+    size_t len = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++len;
+    }
+    return len;
+}
+
+void
+putId(std::vector<uint8_t> &out, uint32_t id, uint8_t width)
+{
+    for (uint8_t i = 0; i < width; ++i)
+        out.push_back(static_cast<uint8_t>(id >> (8 * i)));
+}
+
+void
+align8(std::vector<uint8_t> &out)
+{
+    while (out.size() % 8 != 0)
+        out.push_back(0);
+}
+
+/** Append a u32 array in LE. One memcpy on little-endian hosts. */
+void
+putU32Array(std::vector<uint8_t> &out, const uint32_t *p, size_t count)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        const size_t at = out.size();
+        out.resize(at + count * 4);
+        if (count > 0)
+            std::memcpy(out.data() + at, p, count * 4);
+    } else {
+        for (size_t i = 0; i < count; ++i)
+            putU32(out, p[i]);
+    }
+}
+
+void
+putU64Array(std::vector<uint8_t> &out, const uint64_t *p, size_t count)
+{
+    if constexpr (std::endian::native == std::endian::little) {
+        const size_t at = out.size();
+        out.resize(at + count * 8);
+        if (count > 0)
+            std::memcpy(out.data() + at, p, count * 8);
+    } else {
+        for (size_t i = 0; i < count; ++i)
+            putU64(out, p[i]);
+    }
+}
+
+void
+putBytes(std::vector<uint8_t> &out, const uint8_t *p, size_t count)
+{
+    out.insert(out.end(), p, p + count);
+}
+
+/**
+ * Encode one element's successor list. The writer picks the cheapest
+ * of four encodings; the *order-preservation rule* is load-bearing:
+ * SPARSE stores targets in original adjacency order, and DENSE (a
+ * bitmap, which can only express an ascending sequence) is legal only
+ * when the list is already strictly ascending — same-cycle report
+ * emission order follows edge order, so a reordering encoding would
+ * break bit-identical round trips.
+ */
+void
+encodeList(std::vector<uint8_t> &out,
+           const std::vector<ElementId> &targets, ElementId self,
+           uint8_t idWidth, ArtifactInfo &info)
+{
+    if (targets.empty()) {
+        out.push_back(kListEmpty);
+        ++info.listsEmpty;
+        return;
+    }
+    if (targets.size() == 1 && targets[0] == self + 1) {
+        out.push_back(kListChain);
+        ++info.listsChain;
+        return;
+    }
+    bool ascending = true;
+    for (size_t i = 1; i < targets.size(); ++i) {
+        if (targets[i] <= targets[i - 1]) {
+            ascending = false;
+            break;
+        }
+    }
+    const size_t sparseBytes =
+        varintLen(targets.size()) + targets.size() * idWidth;
+    if (ascending) {
+        const uint64_t range =
+            uint64_t(targets.back()) - targets.front() + 1;
+        const uint64_t bmBytes = (range + 7) / 8;
+        const size_t denseBytes =
+            idWidth + varintLen(bmBytes) + bmBytes;
+        if (denseBytes < sparseBytes) {
+            out.push_back(kListDense);
+            ++info.listsDense;
+            putId(out, targets.front(), idWidth);
+            putVarint(out, bmBytes);
+            const size_t at = out.size();
+            out.resize(at + bmBytes, 0);
+            for (ElementId t : targets) {
+                const uint64_t bit = t - targets.front();
+                out[at + bit / 8] |=
+                    static_cast<uint8_t>(1u << (bit % 8));
+            }
+            return;
+        }
+    }
+    out.push_back(kListSparse);
+    ++info.listsSparse;
+    putVarint(out, targets.size());
+    for (ElementId t : targets)
+        putId(out, t, idWidth);
+}
+
+uint8_t
+elementFlags(const Element &e)
+{
+    uint8_t f = 0;
+    if (e.kind == ElementKind::kCounter)
+        f |= 1u;
+    f |= static_cast<uint8_t>(static_cast<uint8_t>(e.start) << 1);
+    if (e.reporting)
+        f |= 1u << 3;
+    f |= static_cast<uint8_t>(static_cast<uint8_t>(e.mode) << 4);
+    return f;
+}
+
+std::vector<uint8_t>
+writeImpl(const Automaton &a, const WriteOptions &opts,
+          ArtifactInfo &info)
+{
+    const size_t n = a.size();
+    const uint8_t idWidth = n <= (1u << 8)    ? 1
+                            : n <= (1u << 16) ? 2
+                                              : 4;
+    info.elementCount = n;
+    info.edgeCount = a.edgeCount();
+    info.resetEdgeCount = a.resetEdgeCount();
+    info.idWidth = idWidth;
+
+    const size_t sectionCount = opts.execImage ? 6 : 5;
+    std::vector<uint8_t> out(
+        kHeaderSize + sectionCount * kSectionEntrySize, 0);
+
+    struct Sec {
+        const char *tag;
+        uint64_t off = 0;
+        uint64_t len = 0;
+    };
+    std::vector<Sec> secs;
+    auto beginSection = [&](const char *tag) {
+        align8(out);
+        secs.push_back({tag, out.size(), 0});
+    };
+    auto endSection = [&] { secs.back().len = out.size() - secs.back().off; };
+
+    // META: automaton name.
+    beginSection("META");
+    putU32(out, static_cast<uint32_t>(a.name().size()));
+    putBytes(out, reinterpret_cast<const uint8_t *>(a.name().data()),
+             a.name().size());
+    endSection();
+
+    // CSET: deduplicated charset pool (first-use order).
+    std::map<LabelWords, uint32_t> csetIndex;
+    std::vector<LabelWords> pool;
+    for (const Element &e : a.elements()) {
+        if (e.kind != ElementKind::kSte)
+            continue;
+        const LabelWords w = {e.symbols.word(0), e.symbols.word(1),
+                              e.symbols.word(2), e.symbols.word(3)};
+        if (csetIndex.emplace(w, pool.size()).second)
+            pool.push_back(w);
+    }
+    info.charsetCount = static_cast<uint32_t>(pool.size());
+    beginSection("CSET");
+    putU32(out, static_cast<uint32_t>(pool.size()));
+    for (const LabelWords &w : pool)
+        putU64Array(out, w.data(), 4);
+    endSection();
+
+    // ELEM: fixed 12-byte records.
+    beginSection("ELEM");
+    for (const Element &e : a.elements()) {
+        out.push_back(elementFlags(e));
+        out.push_back(0);
+        out.push_back(0);
+        out.push_back(0);
+        putU32(out, e.reportCode);
+        if (e.kind == ElementKind::kCounter) {
+            putU32(out, e.target);
+        } else {
+            const LabelWords w = {e.symbols.word(0), e.symbols.word(1),
+                                  e.symbols.word(2),
+                                  e.symbols.word(3)};
+            putU32(out, csetIndex.at(w));
+        }
+    }
+    endSection();
+
+    // EDGE / RSTE: per-element encoded successor lists.
+    beginSection("EDGE");
+    for (ElementId i = 0; i < n; ++i)
+        encodeList(out, a.element(i).out, i, idWidth, info);
+    endSection();
+
+    beginSection("RSTE");
+    for (ElementId i = 0; i < n; ++i)
+        encodeList(out, a.element(i).resetOut, i, idWidth, info);
+    endSection();
+
+    // EXEC: the zero-copy execution image, byte-for-byte what
+    // NfaEngine(const Automaton &) would have compiled.
+    if (opts.execImage) {
+        const NfaExecTables t = NfaExecTables::compile(a);
+        beginSection("EXEC");
+        putU64(out, t.elementCount);
+        putU64(out, t.edgeTarget.size());
+        putU64(out, t.resetTarget.size());
+        putU64(out, t.allInput.size());
+        putU64(out, t.startOfData.size());
+        putU64(out, t.counters.size());
+        putU64(out, t.maiTarget.size());
+        putU64(out, 0); // reserved
+        auto u32s = [&](const std::vector<uint32_t> &v) {
+            align8(out);
+            putU32Array(out, v.data(), v.size());
+        };
+        auto bytes = [&](const std::vector<uint8_t> &v) {
+            align8(out);
+            putBytes(out, v.data(), v.size());
+        };
+        u32s(t.edgeBegin);
+        u32s(t.edgeTarget);
+        u32s(t.resetBegin);
+        u32s(t.resetTarget);
+        align8(out);
+        putU64Array(out, t.label.empty() ? nullptr : t.label[0].data(),
+                    t.label.size() * 4);
+        u32s(t.reportCode);
+        u32s(t.counterTarget);
+        u32s(t.maiBegin);
+        u32s(t.maiTarget);
+        u32s(t.allInput);
+        u32s(t.startOfData);
+        u32s(t.counters);
+        bytes(t.reporting);
+        bytes(t.isCounter);
+        bytes(t.isAllInput);
+        bytes(t.counterMode);
+        endSection();
+    }
+
+    // Header (offsets: docs/ARTIFACT_FORMAT.md §3).
+    align8(out);
+    std::vector<uint8_t> hdr;
+    hdr.reserve(kHeaderSize);
+    putBytes(hdr, kMagic.data(), kMagic.size());
+    putU16(hdr, kVersionMajor);
+    putU16(hdr, kVersionMinor);
+    putU32(hdr, opts.execImage ? kFlagExecImage : 0);
+    putU64(hdr, out.size());
+    putU64(hdr, n);
+    putU64(hdr, info.edgeCount);
+    putU64(hdr, info.resetEdgeCount);
+    hdr.push_back(idWidth);
+    hdr.push_back(static_cast<uint8_t>(sectionCount));
+    putU16(hdr, 0);
+    putU32(hdr, 0); // crc, patched below
+    putU64(hdr, 0); // reserved
+    std::memcpy(out.data(), hdr.data(), kHeaderSize);
+
+    // Section table.
+    size_t at = kHeaderSize;
+    for (const Sec &s : secs) {
+        std::memcpy(out.data() + at, s.tag, 4);
+        at += 4 + 4; // tag + reserved u32 (already zero)
+        for (int i = 0; i < 8; ++i)
+            out[at++] = static_cast<uint8_t>(s.off >> (8 * i));
+        for (int i = 0; i < 8; ++i)
+            out[at++] = static_cast<uint8_t>(s.len >> (8 * i));
+        info.sections.push_back(
+            {std::string(s.tag, 4), s.off, s.len});
+    }
+
+    // CRC over everything after the header, table included.
+    const uint32_t crc =
+        crc32(out.data() + kHeaderSize, out.size() - kHeaderSize);
+    for (int i = 0; i < 4; ++i)
+        out[52 + i] = static_cast<uint8_t>(crc >> (8 * i));
+
+    info.fileBytes = out.size();
+    return out;
+}
+
+} // namespace
+
+Expected<std::vector<uint8_t>>
+writeArtifact(const Automaton &a, const WriteOptions &opts)
+{
+    if (Status st = a.check(); !st.ok()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      cat("refusing to serialize an invalid automaton: ",
+                          st.str()));
+    }
+    ArtifactInfo info;
+    return writeImpl(a, opts, info);
+}
+
+Expected<ArtifactInfo>
+saveArtifact(const std::string &path, const Automaton &a,
+             const WriteOptions &opts)
+{
+    static obs::Histogram &wall =
+        obs::Registry::global().histogram("artifact.save.wall_us");
+    obs::ScopedTimer timer(wall);
+
+    if (Status st = a.check(); !st.ok()) {
+        return Status(ErrorCode::kInvalidArgument,
+                      cat("refusing to serialize an invalid automaton: ",
+                          st.str()));
+    }
+    ArtifactInfo info;
+    const std::vector<uint8_t> bytes = writeImpl(a, opts, info);
+
+    // Write-then-rename so a crashed save never leaves a torn file
+    // where a loader might pick it up.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            return Status(ErrorCode::kIoError,
+                          cat("cannot open '", tmp, "' for writing"));
+        }
+        os.write(reinterpret_cast<const char *>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+        os.flush();
+        if (!os) {
+            std::remove(tmp.c_str());
+            return Status(ErrorCode::kIoError,
+                          cat("short write to '", tmp, "'"));
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status(ErrorCode::kIoError,
+                      cat("cannot rename '", tmp, "' to '", path, "'"));
+    }
+
+    obs::Registry &reg = obs::Registry::global();
+    reg.counter("artifact.save.files").inc();
+    reg.counter("artifact.save.bytes").add(info.fileBytes);
+    return info;
+}
+
+} // namespace artifact
+} // namespace azoo

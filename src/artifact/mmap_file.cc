@@ -1,0 +1,94 @@
+#include "artifact/mmap_file.hh"
+
+#include "util/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AZOO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define AZOO_HAVE_MMAP 0
+#endif
+
+namespace azoo {
+namespace artifact {
+
+#if AZOO_HAVE_MMAP
+
+Expected<MappedFile>
+MappedFile::open(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        return Status(ErrorCode::kIoError,
+                      cat("cannot open '", path, "': ",
+                          std::strerror(errno)));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        int err = errno;
+        ::close(fd);
+        return Status(ErrorCode::kIoError,
+                      cat("cannot stat '", path, "': ",
+                          std::strerror(err)));
+    }
+    if (!S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return Status(ErrorCode::kIoError,
+                      cat("'", path, "' is not a regular file"));
+    }
+
+    MappedFile f;
+    f.size_ = static_cast<size_t>(st.st_size);
+    if (f.size_ > 0) {
+        void *addr =
+            ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (addr == MAP_FAILED) {
+            int err = errno;
+            ::close(fd);
+            return Status(ErrorCode::kIoError,
+                          cat("cannot mmap '", path, "': ",
+                              std::strerror(err)));
+        }
+        f.addr_ = addr;
+    }
+    // The mapping survives the close; the fd is not needed again.
+    ::close(fd);
+    return f;
+}
+
+void
+MappedFile::reset()
+{
+    if (addr_ != nullptr)
+        ::munmap(addr_, size_);
+    addr_ = nullptr;
+    size_ = 0;
+}
+
+#else // !AZOO_HAVE_MMAP
+
+Expected<MappedFile>
+MappedFile::open(const std::string &path)
+{
+    return Status(ErrorCode::kUnsupported,
+                  cat("mmap unavailable on this platform for '", path,
+                      "'"));
+}
+
+void
+MappedFile::reset()
+{
+    addr_ = nullptr;
+    size_ = 0;
+}
+
+#endif
+
+} // namespace artifact
+} // namespace azoo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Read-only memory-mapped file wrapper for the artifact loader.
+ *
+ * A successful map exposes the file as a stable `const uint8_t*`
+ * span for the lifetime of the object; the pages are shared with
+ * every other process mapping the same artifact, which is the fleet
+ * cold-start story of docs/ARTIFACT_FORMAT.md. On platforms without
+ * mmap (or when the map fails), open() returns a structured Status
+ * and the caller falls back to a heap read.
+ */
+
+#ifndef AZOO_ARTIFACT_MMAP_FILE_HH
+#define AZOO_ARTIFACT_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.hh"
+
+namespace azoo {
+namespace artifact {
+
+/** Move-only read-only mapping; unmapped on destruction. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile() { reset(); }
+
+    MappedFile(MappedFile &&o) noexcept
+        : addr_(std::exchange(o.addr_, nullptr))
+        , size_(std::exchange(o.size_, 0))
+    {
+    }
+
+    MappedFile &
+    operator=(MappedFile &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            addr_ = std::exchange(o.addr_, nullptr);
+            size_ = std::exchange(o.size_, 0);
+        }
+        return *this;
+    }
+
+    /**
+     * Map @p path read-only. kIoError when the file cannot be opened
+     * or mapped, kUnsupported on platforms without mmap. A zero-byte
+     * file maps successfully with size() == 0 and data() == nullptr.
+     */
+    static Expected<MappedFile> open(const std::string &path);
+
+    const uint8_t *
+    data() const
+    {
+        return static_cast<const uint8_t *>(addr_);
+    }
+
+    size_t size() const { return size_; }
+    bool valid() const { return addr_ != nullptr || size_ == 0; }
+
+  private:
+    void reset();
+
+    void *addr_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace artifact
+} // namespace azoo
+
+#endif // AZOO_ARTIFACT_MMAP_FILE_HH

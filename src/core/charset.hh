@@ -35,6 +35,16 @@ class CharSet
     /** Full set (matches any symbol), the '*' STE. */
     static CharSet all();
 
+    /** Rebuild a set from its raw word storage (the artifact loader's
+     *  inverse of word()). */
+    static CharSet
+    fromWords(const std::array<uint64_t, 4> &words)
+    {
+        CharSet s;
+        s.words_ = words;
+        return s;
+    }
+
     /** Parse a character-class style expression, e.g. "a-zA-Z0-9_".
      *  A leading '^' negates. '\xNN' escapes are supported.
      *  fatal() on malformed expressions; trusted call sites only. */

@@ -25,6 +25,7 @@
 #define AZOO_ENGINE_ENGINE_SCRATCH_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/automaton.hh"
@@ -55,7 +56,7 @@ struct EngineScratch {
      * matches a previous run; O(n) (re)allocation otherwise.
      */
     void
-    beginRun(size_t n, const std::vector<ElementId> &counters)
+    beginRun(size_t n, std::span<const ElementId> counters)
     {
         if (stamp.size() != n) {
             stamp.assign(n, 0);

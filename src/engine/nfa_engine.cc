@@ -29,70 +29,41 @@ noteNfaRun(const SimResult &res, bool activeSet)
         active.record(res.totalEnabled / res.symbols);
 }
 
+void
+noteConstruction(const char *name)
+{
+    if (!obs::kEnabled)
+        return;
+    obs::Registry::global().counter(name).inc();
+}
+
 } // namespace
 
 NfaEngine::NfaEngine(const Automaton &a)
-    : a_(a)
+    : owned_(std::make_unique<NfaExecTables>(NfaExecTables::compile(a)))
+    , t_(owned_->view())
 {
-    const size_t n = a.size();
-    edgeBegin_.assign(n + 1, 0);
-    resetBegin_.assign(n + 1, 0);
-    for (ElementId i = 0; i < n; ++i) {
-        edgeBegin_[i + 1] = edgeBegin_[i] +
-            static_cast<uint32_t>(a.element(i).out.size());
-        resetBegin_[i + 1] = resetBegin_[i] +
-            static_cast<uint32_t>(a.element(i).resetOut.size());
-    }
-    edgeTarget_.reserve(edgeBegin_[n]);
-    resetTarget_.reserve(resetBegin_[n]);
-    label_.resize(n);
-    isCounterTarget_.assign(n, 0);
-    reporting_.assign(n, 0);
-    reportCode_.assign(n, 0);
-    isAllInput_.assign(n, 0);
+    noteConstruction("engine.nfa.compiles");
+}
 
-    for (ElementId i = 0; i < n; ++i) {
-        const Element &e = a.element(i);
-        for (auto t : e.out)
-            edgeTarget_.push_back(t);
-        for (auto t : e.resetOut)
-            resetTarget_.push_back(t);
-        for (int w = 0; w < 4; ++w)
-            label_[i][w] = e.symbols.word(w);
-        reporting_[i] = e.reporting;
-        reportCode_[i] = e.reportCode;
-        if (e.kind == ElementKind::kCounter) {
-            isCounterTarget_[i] = 1;
-            counters_.push_back(i);
-            // Counter cascades would need multi-phase settling; the
-            // zoo never generates them, so reject early.
-            for (auto t : e.out) {
-                if (a.element(t).kind == ElementKind::kCounter)
-                    panic("NfaEngine: counter->counter edges are not "
-                          "supported");
-            }
-        } else if (e.start == StartType::kAllInput) {
-            allInputStates_.push_back(i);
-            isAllInput_[i] = 1;
-            for (int v = 0; v < 256; ++v) {
-                if (e.symbols.test(static_cast<uint8_t>(v)))
-                    matchingAllInput_[v].push_back(i);
-            }
-        } else if (e.start == StartType::kStartOfData) {
-            startOfDataStates_.push_back(i);
-        }
-    }
+NfaEngine::NfaEngine(const NfaExecImage &image)
+    : t_(image)
+{
+    // Zero-copy adoption: no per-element work happens here — the
+    // image is used as-is, which is the artifact layer's mmap
+    // cold-start contract (docs/ARTIFACT_FORMAT.md).
+    noteConstruction("engine.nfa.image_adoptions");
 }
 
 SimResult
 NfaEngine::simulate(const uint8_t *input, size_t len,
                     EngineScratch &scratch, const SimOptions &opts) const
 {
-    const size_t n = a_.size();
+    const size_t n = t_.elementCount;
     SimResult res;
     res.symbols = len;
 
-    scratch.beginRun(n, counters_);
+    scratch.beginRun(n, t_.counters);
     const uint64_t base = scratch.base;
     std::vector<uint64_t> &stamp = scratch.stamp;
     std::vector<ElementId> &cur = scratch.cur;
@@ -107,11 +78,11 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
     std::vector<ElementId> &resets = scratch.resets;
     std::vector<ElementId> &latchedList = scratch.latchedList;
 
-    const bool has_resets = !resetTarget_.empty();
-    const bool has_counters = !counters_.empty();
+    const bool has_resets = !t_.resetTarget.empty();
+    const bool has_counters = !t_.counters.empty();
 
     // Start-of-data states are enabled for cycle 0 only.
-    for (auto id : startOfDataStates_) {
+    for (auto id : t_.startOfData) {
         stamp[id] = base + 1;
         next.push_back(id);
     }
@@ -163,16 +134,17 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
 
         // Process one matched element: report and propagate.
         auto on_match = [&](ElementId id) {
-            if (reporting_[id])
-                emit_report(t, id, reportCode_[id]);
-            const uint32_t ebeg = edgeBegin_[id];
-            const uint32_t eend = edgeBegin_[id + 1];
+            if (t_.reporting[id])
+                emit_report(t, id, t_.reportCode[id]);
+            const uint32_t ebeg = t_.edgeBegin[id];
+            const uint32_t eend = t_.edgeBegin[id + 1];
             if (!has_counters) {
                 for (uint32_t k = ebeg; k < eend; ++k) {
-                    const ElementId tgt = edgeTarget_[k];
+                    const ElementId tgt = t_.edgeTarget[k];
                     // All-input targets are permanently enabled and
                     // handled by the indexed path below.
-                    if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                    if (!t_.isAllInput[tgt] &&
+                        stamp[tgt] != base + t + 2) {
                         stamp[tgt] = base + t + 2;
                         next.push_back(tgt);
                     }
@@ -180,9 +152,10 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
                 return;
             }
             for (uint32_t k = ebeg; k < eend; ++k) {
-                const ElementId tgt = edgeTarget_[k];
-                if (!isCounterTarget_[tgt]) {
-                    if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                const ElementId tgt = t_.edgeTarget[k];
+                if (!t_.isCounter[tgt]) {
+                    if (!t_.isAllInput[tgt] &&
+                        stamp[tgt] != base + t + 2) {
                         stamp[tgt] = base + t + 2;
                         next.push_back(tgt);
                     }
@@ -192,9 +165,9 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
                 }
             }
             if (has_resets) {
-                for (uint32_t k = resetBegin_[id];
-                     k < resetBegin_[id + 1]; ++k) {
-                    const ElementId tgt = resetTarget_[k];
+                for (uint32_t k = t_.resetBegin[id];
+                     k < t_.resetBegin[id + 1]; ++k) {
+                    const ElementId tgt = t_.resetTarget[k];
                     if (resetStamp[tgt] != base + t + 1) {
                         resetStamp[tgt] = base + t + 1;
                         resets.push_back(tgt);
@@ -204,11 +177,11 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
         };
 
         for (auto id : cur) {
-            if (label_[id][word] & bit)
+            if (t_.label[id][word] & bit)
                 on_match(id);
         }
-        for (auto id : matchingAllInput_[s])
-            on_match(id);
+        for (uint32_t k = t_.maiBegin[s]; k < t_.maiBegin[s + 1]; ++k)
+            on_match(t_.maiTarget[k]);
 
         if (!has_counters)
             continue;
@@ -223,35 +196,34 @@ NfaEngine::simulate(const uint8_t *input, size_t len,
         }
         resets.clear();
         for (auto c : counted) {
-            const Element &e = a_.element(c);
             ++value[c];
-            if (value[c] != e.target)
+            if (value[c] != t_.counterTarget[c])
                 continue;
             // Fire.
-            if (e.reporting)
-                emit_report(t, c, e.reportCode);
-            for (uint32_t k = edgeBegin_[c]; k < edgeBegin_[c + 1];
+            if (t_.reporting[c])
+                emit_report(t, c, t_.reportCode[c]);
+            for (uint32_t k = t_.edgeBegin[c]; k < t_.edgeBegin[c + 1];
                  ++k) {
-                const ElementId tgt = edgeTarget_[k];
-                if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                const ElementId tgt = t_.edgeTarget[k];
+                if (!t_.isAllInput[tgt] && stamp[tgt] != base + t + 2) {
                     stamp[tgt] = base + t + 2;
                     next.push_back(tgt);
                 }
             }
-            if (e.mode == CounterMode::kLatch && !latched[c]) {
+            if (t_.counterMode[c] == kExecModeLatch && !latched[c]) {
                 latched[c] = 1;
                 latchedList.push_back(c);
-            } else if (e.mode == CounterMode::kRollover) {
+            } else if (t_.counterMode[c] == kExecModeRollover) {
                 value[c] = 0;
             }
         }
         counted.clear();
         // Latched counters keep their successors enabled.
         for (auto c : latchedList) {
-            for (uint32_t k = edgeBegin_[c]; k < edgeBegin_[c + 1];
+            for (uint32_t k = t_.edgeBegin[c]; k < t_.edgeBegin[c + 1];
                  ++k) {
-                const ElementId tgt = edgeTarget_[k];
-                if (!isAllInput_[tgt] && stamp[tgt] != base + t + 2) {
+                const ElementId tgt = t_.edgeTarget[k];
+                if (!t_.isAllInput[tgt] && stamp[tgt] != base + t + 2) {
                     stamp[tgt] = base + t + 2;
                     next.push_back(tgt);
                 }

@@ -13,33 +13,48 @@
 #ifndef AZOO_ENGINE_NFA_ENGINE_HH
 #define AZOO_ENGINE_NFA_ENGINE_HH
 
-#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/automaton.hh"
 #include "engine/engine_scratch.hh"
+#include "engine/exec_image.hh"
 #include "engine/report.hh"
 
 namespace azoo {
 
 /**
- * Interpreter over a borrowed automaton.
+ * Interpreter over compiled flat tables (an NfaExecImage).
  *
- * The automaton must outlive the engine. Construction flattens the
- * adjacency into CSR arrays; simulate() can be called repeatedly and
- * is internally stateless between calls. Per-run state lives in an
- * EngineScratch — pass one in to amortize its O(n) arrays across
- * calls, or use the convenience overloads, which allocate a fresh
- * scratch per call. Either way the engine itself is never mutated, so
- * one engine may be shared by any number of threads simulating
- * concurrently as long as each thread uses its own scratch
- * (ParallelRunner's batch mode relies on this).
+ * Two ways to build one:
+ *
+ *  - `NfaEngine(const Automaton &)` compiles the automaton into owned
+ *    tables (CSR adjacency, hot-field copies, the per-byte all-input
+ *    index). The automaton itself is not referenced after
+ *    construction.
+ *  - `NfaEngine(const NfaExecImage &)` *adopts* an already-compiled
+ *    image — e.g. the `EXEC` section of an mmap-ed `.azoox` artifact
+ *    (src/artifact/) — in O(1) with no per-element work or
+ *    allocation. The storage behind the image must outlive the
+ *    engine.
+ *
+ * Either way, simulate() can be called repeatedly and is internally
+ * stateless between calls. Per-run state lives in an EngineScratch —
+ * pass one in to amortize its O(n) arrays across calls, or use the
+ * convenience overloads, which allocate a fresh scratch per call.
+ * The engine is never mutated after construction, so one engine may
+ * be shared by any number of threads simulating concurrently as long
+ * as each thread uses its own scratch (ParallelRunner's batch mode
+ * relies on this).
  */
 class NfaEngine
 {
   public:
     explicit NfaEngine(const Automaton &a);
+
+    /** Adopt a precompiled execution image (zero-copy; O(1)). */
+    explicit NfaEngine(const NfaExecImage &image);
 
     /** Run the automaton over @p input reusing @p scratch (the
      *  allocation-free hot path; see EngineScratch). */
@@ -71,36 +86,12 @@ class NfaEngine
     }
 
   private:
-    const Automaton &a_;
-
-    // CSR adjacency over all elements (activation edges).
-    std::vector<uint32_t> edgeBegin_;
-    std::vector<ElementId> edgeTarget_;
-    // CSR over reset edges.
-    std::vector<uint32_t> resetBegin_;
-    std::vector<ElementId> resetTarget_;
-
-    // Flat copies of the hot per-element fields: the interpreter's
-    // inner loop walks these instead of the (much larger) Element
-    // structs, which roughly halves cache traffic per enabled state.
-    std::vector<std::array<uint64_t, 4>> label_;
-    std::vector<uint8_t> isCounterTarget_; ///< per element
-    std::vector<uint8_t> reporting_;
-    std::vector<uint32_t> reportCode_;
-
-    std::vector<ElementId> allInputStates_;
-    std::vector<ElementId> startOfDataStates_;
-    std::vector<ElementId> counters_;
-
-    /** All-input states are permanently enabled, so instead of
-     *  re-enabling and re-testing them every cycle, the engine
-     *  precomputes, per input byte, exactly which of them match:
-     *  matchingAllInput_[s] lists the all-input states whose label
-     *  contains s. This turns the dominant per-cycle cost for
-     *  many-pattern benchmarks (every unanchored pattern head) into
-     *  a single indexed lookup. */
-    std::array<std::vector<ElementId>, 256> matchingAllInput_;
-    std::vector<uint8_t> isAllInput_;
+    /** Owned tables when compiled from an Automaton; null when the
+     *  image is borrowed (artifact adoption). */
+    std::unique_ptr<NfaExecTables> owned_;
+    /** The tables simulate() reads — views into owned_ or into
+     *  caller-owned (typically mmap-ed) storage. */
+    NfaExecImage t_;
 };
 
 } // namespace azoo

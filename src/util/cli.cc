@@ -28,6 +28,16 @@ Cli::Cli(int argc, char **argv, const std::vector<std::string> &known)
         if (arg.rfind("--", 0) != 0)
             usageFatal(cat("unexpected positional argument: ", arg));
         arg = arg.substr(2);
+        // Every tool answers --help with its accepted flags, one per
+        // line; tools/check_docs.py diffs this against docs/FORMATS.md.
+        if (arg == "help") {
+            std::printf("usage: %s [flags]\nflags:\n",
+                        argc > 0 ? argv[0] : "tool");
+            for (const auto &k : known)
+                std::printf("  --%s\n", k.c_str());
+            std::printf("  --help\n");
+            std::exit(0);
+        }
         std::string name;
         std::string value;
         auto eq = arg.find('=');

@@ -4,6 +4,8 @@
  *
  * Supports "--name value", "--name=value", and boolean "--name".
  * Unrecognized flags are fatal so typos in sweep scripts fail loudly.
+ * "--help" prints the accepted flags (one per line) and exits 0;
+ * tools/check_docs.py keys the docs/FORMATS.md flag tables off it.
  */
 
 #ifndef AZOO_UTIL_CLI_HH

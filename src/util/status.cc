@@ -18,6 +18,8 @@ errorCodeName(ErrorCode code)
       case ErrorCode::kCancelled: return "cancelled";
       case ErrorCode::kResourceExhausted: return "resource-exhausted";
       case ErrorCode::kInvalidArgument: return "invalid-argument";
+      case ErrorCode::kVersionMismatch: return "version-mismatch";
+      case ErrorCode::kChecksumMismatch: return "checksum-mismatch";
       case ErrorCode::kInternal: return "internal";
     }
     return "unknown";

@@ -46,6 +46,8 @@ enum class ErrorCode : uint8_t {
     kCancelled,         ///< RunGuard cancellation flag raised
     kResourceExhausted, ///< allocation failure (real or injected)
     kInvalidArgument,   ///< unsupported option combination
+    kVersionMismatch,   ///< artifact from an incompatible format rev
+    kChecksumMismatch,  ///< artifact payload corrupt (CRC disagrees)
     kInternal,          ///< escaped exception / library bug
 };
 

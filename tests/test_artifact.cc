@@ -1,0 +1,563 @@
+/**
+ * @file
+ * Artifact (.azoox) tests: the golden bytes of the spec's worked
+ * example, save->load->simulate bit-identity across every zoo
+ * benchmark (graph round trip AND report streams, for both the
+ * zero-copy EXEC path and the materialized path), hostile-file
+ * hardening (truncation, corruption, version skew, bad checksums —
+ * always a structured Status, never a crash), the zero-allocation
+ * guarantee of the mmap fast path via obs counters, and the bad-file
+ * corpus in tests/data/bad/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+
+#include "artifact/artifact.hh"
+#include "engine/nfa_engine.hh"
+#include "obs/obs.hh"
+#include "zoo/registry.hh"
+
+namespace azoo {
+namespace {
+
+using artifact::LoadedArtifact;
+using artifact::LoadOptions;
+using artifact::WriteOptions;
+
+/**
+ * The worked example of docs/ARTIFACT_FORMAT.md §9: three STEs
+ * 'a' (all-input) -> 'b' -> 'c' (reporting, code 7), no exec image.
+ * If this test fails, the writer's byte layout changed and the spec's
+ * annotated hex dump (and this array) must be regenerated together.
+ */
+const uint8_t kGolden[] = {
+    0x89, 0x41, 0x5a, 0x4f, 0x4f, 0x58, 0x0d, 0x0a, 0x01, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x60, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x01, 0x05, 0x00, 0x00, 0x57, 0x4a, 0x16, 0xc0, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x4d, 0x45, 0x54, 0x41, 0x00, 0x00, 0x00, 0x00,
+    0xb8, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x43, 0x53, 0x45, 0x54, 0x00, 0x00, 0x00, 0x00,
+    0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x64, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x45, 0x4c, 0x45, 0x4d, 0x00, 0x00, 0x00, 0x00,
+    0x28, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x24, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x45, 0x44, 0x47, 0x45, 0x00, 0x00, 0x00, 0x00,
+    0x50, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x52, 0x53, 0x54, 0x45, 0x00, 0x00, 0x00, 0x00,
+    0x58, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, 0x61, 0x62, 0x63, 0x00,
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x08, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x08, 0x00, 0x00, 0x00,
+    0x07, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00};
+
+Automaton
+specExample()
+{
+    Automaton a("abc");
+    ElementId s0 = a.addSte(CharSet::single('a'), StartType::kAllInput);
+    ElementId s1 = a.addSte(CharSet::single('b'));
+    ElementId s2 =
+        a.addSte(CharSet::single('c'), StartType::kNone, true, 7);
+    a.addEdge(s0, s1);
+    a.addEdge(s1, s2);
+    return a;
+}
+
+std::vector<uint8_t>
+goldenBytes()
+{
+    return {kGolden, kGolden + sizeof(kGolden)};
+}
+
+std::vector<uint8_t>
+writeOrDie(const Automaton &a, bool exec)
+{
+    WriteOptions w;
+    w.execImage = exec;
+    Expected<std::vector<uint8_t>> bytes = artifact::writeArtifact(a, w);
+    EXPECT_TRUE(bytes.ok()) << bytes.status().str();
+    return std::move(*std::move(bytes));
+}
+
+LoadedArtifact
+loadOrDie(std::vector<uint8_t> bytes, const LoadOptions &opts = {})
+{
+    Expected<LoadedArtifact> la =
+        artifact::loadArtifactFromBytes(std::move(bytes), opts);
+    EXPECT_TRUE(la.ok()) << la.status().str();
+    return std::move(*std::move(la));
+}
+
+ErrorCode
+loadError(std::vector<uint8_t> bytes, const LoadOptions &opts = {})
+{
+    Expected<LoadedArtifact> la =
+        artifact::loadArtifactFromBytes(std::move(bytes), opts);
+    EXPECT_FALSE(la.ok())
+        << "a hostile mutation loaded successfully";
+    return la.ok() ? ErrorCode::kOk : la.status().code();
+}
+
+/** Patch the header CRC after mutating payload bytes, so corruption
+ *  tests can target the *parsers* rather than the checksum. */
+void
+fixCrc(std::vector<uint8_t> &bytes)
+{
+    const uint32_t crc = artifact::crc32(
+        bytes.data() + artifact::kHeaderSize,
+        bytes.size() - artifact::kHeaderSize);
+    for (int i = 0; i < 4; ++i)
+        bytes[52 + i] = static_cast<uint8_t>(crc >> (8 * i));
+}
+
+// ---------------------------------------------------------------
+// The spec's worked example, byte for byte.
+// ---------------------------------------------------------------
+
+TEST(Golden, WriterMatchesSpecHexDump)
+{
+    WriteOptions w;
+    w.execImage = false;
+    Expected<std::vector<uint8_t>> bytes =
+        artifact::writeArtifact(specExample(), w);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().str();
+    ASSERT_EQ(bytes->size(), sizeof(kGolden));
+    for (size_t i = 0; i < bytes->size(); ++i) {
+        ASSERT_EQ((*bytes)[i], kGolden[i])
+            << "first difference at offset " << i
+            << " — regenerate the hex dump in docs/ARTIFACT_FORMAT.md "
+               "and this array together";
+    }
+}
+
+TEST(Golden, SpecHexDumpLoadsAndMaterializes)
+{
+    LoadedArtifact la = loadOrDie(goldenBytes());
+    EXPECT_EQ(la.name(), "abc");
+    EXPECT_EQ(la.elementCount(), 3u);
+    EXPECT_EQ(la.edgeCount(), 2u);
+    EXPECT_FALSE(la.hasExecImage());
+    ASSERT_EQ(la.sections().size(), 5u);
+    EXPECT_EQ(la.sections()[0].tag, "META");
+
+    Expected<Automaton> m = la.materialize();
+    ASSERT_TRUE(m.ok()) << m.status().str();
+    EXPECT_TRUE(artifact::automataIdentical(specExample(), *m));
+}
+
+TEST(Golden, Crc32KnownAnswer)
+{
+    // The CRC-32/IEEE check value: crc32("123456789") = 0xCBF43926.
+    const uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8',
+                             '9'};
+    EXPECT_EQ(artifact::crc32(check, sizeof(check)), 0xCBF43926u);
+}
+
+// ---------------------------------------------------------------
+// Round trip over every zoo benchmark: graph identity plus
+// bit-identical simulation through both load paths.
+// ---------------------------------------------------------------
+
+class ArtifactZooRoundTrip : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ArtifactZooRoundTrip, SaveLoadSimulateBitIdentical)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 32 * 1024;
+    zoo::Benchmark b = zoo::makeBenchmark(GetParam(), cfg);
+
+    LoadedArtifact la = loadOrDie(writeOrDie(b.automaton, true));
+    EXPECT_EQ(la.name(), b.automaton.name());
+    EXPECT_EQ(la.elementCount(), b.automaton.size());
+    EXPECT_EQ(la.edgeCount(), b.automaton.edgeCount());
+    EXPECT_EQ(la.resetEdgeCount(), b.automaton.resetEdgeCount());
+    ASSERT_TRUE(la.hasExecImage());
+
+    // Graph round trip: element-for-element, edge-for-edge.
+    Expected<Automaton> m = la.materialize();
+    ASSERT_TRUE(m.ok()) << m.status().str();
+    ASSERT_TRUE(artifact::automataIdentical(b.automaton, *m));
+
+    // Simulation bit-identity: original vs zero-copy EXEC image vs
+    // materialized graph. Reports (offset/element/code, in emission
+    // order), by-code tallies, and the dynamic statistics must all
+    // agree exactly.
+    SimOptions opts;
+    opts.countByCode = true;
+    NfaEngine ref(b.automaton);
+    const SimResult r0 = ref.simulate(b.input, opts);
+
+    NfaEngine viaImage(la.execImage());
+    const SimResult r1 = viaImage.simulate(b.input, opts);
+    NfaEngine viaGraph(*m);
+    const SimResult r2 = viaGraph.simulate(b.input, opts);
+
+    for (const SimResult *r : {&r1, &r2}) {
+        EXPECT_EQ(r->symbols, r0.symbols);
+        EXPECT_EQ(r->reportCount, r0.reportCount);
+        EXPECT_EQ(r->reports, r0.reports);
+        EXPECT_EQ(r->byCode, r0.byCode);
+        EXPECT_EQ(r->totalEnabled, r0.totalEnabled);
+        EXPECT_EQ(r->reportingCycles, r0.reportingCycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ArtifactZooRoundTrip, [] {
+        std::vector<std::string> names;
+        for (const auto &info : zoo::allBenchmarks())
+            names.push_back(info.name);
+        return testing::ValuesIn(names);
+    }(),
+    [](const testing::TestParamInfo<std::string> &info) {
+        std::string id = info.param;
+        for (char &c : id) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return id;
+    });
+
+// ---------------------------------------------------------------
+// The zero-allocation / zero-copy criterion, observed via obs.
+// ---------------------------------------------------------------
+
+TEST(ZeroCopy, ExecPathNeverMaterializesOrCompiles)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 4096;
+    zoo::Benchmark b = zoo::makeBenchmark("Snort", cfg);
+    std::vector<uint8_t> bytes = writeOrDie(b.automaton, true);
+
+    obs::Registry &reg = obs::Registry::global();
+    const uint64_t mat0 = reg.counterValue("artifact.materialize.count");
+    const uint64_t cmp0 = reg.counterValue("engine.nfa.compiles");
+    const uint64_t ado0 =
+        reg.counterValue("engine.nfa.image_adoptions");
+
+    LoadedArtifact la = loadOrDie(std::move(bytes));
+    NfaEngine e(la.execImage());
+    const SimResult r = e.simulate(b.input);
+    EXPECT_EQ(r.symbols, cfg.inputBytes);
+
+    if (obs::kEnabled) {
+        EXPECT_EQ(reg.counterValue("artifact.materialize.count"), mat0)
+            << "the exec path materialized the graph";
+        EXPECT_EQ(reg.counterValue("engine.nfa.compiles"), cmp0)
+            << "the exec path recompiled tables from an Automaton";
+        EXPECT_EQ(reg.counterValue("engine.nfa.image_adoptions"),
+                  ado0 + 1);
+    }
+}
+
+TEST(ZeroCopy, LoadedArtifactSurvivesMove)
+{
+    LoadedArtifact la = loadOrDie(writeOrDie(specExample(), true));
+    LoadedArtifact moved = std::move(la);
+    ASSERT_TRUE(moved.hasExecImage());
+    NfaEngine e(moved.execImage());
+    const std::string in = "xabcx";
+    const SimResult r = e.simulate(
+        reinterpret_cast<const uint8_t *>(in.data()), in.size());
+    EXPECT_EQ(r.reportCount, 1u);
+    ASSERT_EQ(r.reports.size(), 1u);
+    EXPECT_EQ(r.reports[0].code, 7u);
+    EXPECT_EQ(r.reports[0].offset, 3u);
+}
+
+TEST(ZeroCopy, MmapFileLoadExecutesInPlace)
+{
+    const std::string path =
+        testing::TempDir() + "/artifact_mmap_test.azoox";
+    Expected<artifact::ArtifactInfo> info =
+        artifact::saveArtifact(path, specExample());
+    ASSERT_TRUE(info.ok()) << info.status().str();
+    EXPECT_GT(info->fileBytes, artifact::kHeaderSize);
+
+    Expected<LoadedArtifact> la = artifact::loadArtifact(path);
+    ASSERT_TRUE(la.ok()) << la.status().str();
+    EXPECT_TRUE(la->mapped());
+    ASSERT_TRUE(la->hasExecImage());
+    NfaEngine e(la->execImage());
+    const std::string in = "abc";
+    const SimResult r = e.simulate(
+        reinterpret_cast<const uint8_t *>(in.data()), in.size());
+    EXPECT_EQ(r.reportCount, 1u);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Hostile files: structured Status for every mutation, no crashes.
+// ---------------------------------------------------------------
+
+TEST(HostileFile, TruncationAtEveryBoundaryIsStructured)
+{
+    const std::vector<uint8_t> good = writeOrDie(specExample(), true);
+    for (size_t cut : {size_t(0), size_t(7), size_t(8), size_t(63),
+                       size_t(64), size_t(100), size_t(183),
+                       good.size() - 1}) {
+        std::vector<uint8_t> bytes(good.begin(), good.begin() + cut);
+        EXPECT_EQ(loadError(std::move(bytes)), ErrorCode::kParseError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(HostileFile, BadMagic)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[0] = 'P';
+    EXPECT_EQ(loadError(std::move(bytes)), ErrorCode::kParseError);
+}
+
+TEST(HostileFile, FutureMajorVersionIsVersionMismatch)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[8] = 2; // versionMajor = 2; header is outside the CRC
+    EXPECT_EQ(loadError(std::move(bytes)),
+              ErrorCode::kVersionMismatch);
+}
+
+TEST(HostileFile, FutureMinorVersionIsAccepted)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[10] = 9; // versionMinor = 9: same major, must load
+    LoadedArtifact la = loadOrDie(std::move(bytes));
+    EXPECT_EQ(la.versionMinor(), 9u);
+}
+
+TEST(HostileFile, UnknownMustUnderstandFlagIsUnsupported)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[14] = 0x01; // flags bit 16: must-understand space
+    EXPECT_EQ(loadError(std::move(bytes)), ErrorCode::kUnsupported);
+}
+
+TEST(HostileFile, UnknownIgnorableFlagIsAccepted)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[13] = 0x80; // flags bit 15: ignorable feature space
+    loadOrDie(std::move(bytes));
+}
+
+TEST(HostileFile, PayloadCorruptionIsChecksumMismatch)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[0xC0] ^= 0x01; // CSET count byte
+    EXPECT_EQ(loadError(std::move(bytes)),
+              ErrorCode::kChecksumMismatch);
+}
+
+TEST(HostileFile, ChecksumCheckCanBeSkipped)
+{
+    // The fuzzer's configuration: corrupt payload, checksum off —
+    // the section parsers must still fail *structurally*.
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[0xC0] ^= 0x01; // CSET count: 3 -> 2, length mismatch
+    LoadOptions opts;
+    opts.verifyChecksum = false;
+    LoadedArtifact la = loadOrDie(std::move(bytes), opts);
+    Expected<Automaton> m = la.materialize();
+    ASSERT_FALSE(m.ok());
+    EXPECT_EQ(m.status().code(), ErrorCode::kParseError);
+}
+
+TEST(HostileFile, DeclaredSizeMismatchIsStructured)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes.push_back(0); // trailing garbage vs declared fileSize
+    EXPECT_EQ(loadError(std::move(bytes)), ErrorCode::kParseError);
+}
+
+TEST(HostileFile, BadIdWidth)
+{
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[48] = 3;
+    fixCrc(bytes); // idWidth is in the header, but stay canonical
+    EXPECT_EQ(loadError(std::move(bytes)), ErrorCode::kParseError);
+}
+
+TEST(HostileFile, DanglingEdgeInGraphSections)
+{
+    // EDGE section of the golden file: 01 01 00 at 0x150. Turn the
+    // last element's empty list into CHAIN -> element 3 (dangling).
+    std::vector<uint8_t> bytes = goldenBytes();
+    bytes[0x152] = 0x01;
+    fixCrc(bytes);
+    LoadedArtifact la = loadOrDie(std::move(bytes));
+    Expected<Automaton> m = la.materialize();
+    ASSERT_FALSE(m.ok());
+    EXPECT_EQ(m.status().code(), ErrorCode::kParseError);
+}
+
+TEST(HostileFile, CorruptExecImageFailsAtLoad)
+{
+    std::vector<uint8_t> good = writeOrDie(specExample(), true);
+    // Find the EXEC section via a clean load, then break edgeBegin[0]
+    // (first u32 after the 64-byte exec header).
+    uint64_t execOff = 0;
+    {
+        LoadedArtifact la = loadOrDie(std::vector<uint8_t>(good));
+        for (const artifact::SectionInfo &s : la.sections()) {
+            if (s.tag == "EXEC")
+                execOff = s.offset;
+        }
+        ASSERT_NE(execOff, 0u);
+    }
+    good[execOff + 64] = 0xFF;
+    fixCrc(good);
+    EXPECT_EQ(loadError(std::move(good)), ErrorCode::kParseError);
+}
+
+TEST(HostileFile, ExecCountsMustMatchHeader)
+{
+    std::vector<uint8_t> good = writeOrDie(specExample(), true);
+    uint64_t execOff = 0;
+    {
+        LoadedArtifact la = loadOrDie(std::vector<uint8_t>(good));
+        for (const artifact::SectionInfo &s : la.sections()) {
+            if (s.tag == "EXEC")
+                execOff = s.offset;
+        }
+    }
+    good[execOff] ^= 0x04; // EXEC's own element count
+    fixCrc(good);
+    EXPECT_EQ(loadError(std::move(good)), ErrorCode::kParseError);
+}
+
+TEST(HostileFile, MaterializeHonorsParseLimits)
+{
+    LoadedArtifact la = loadOrDie(goldenBytes());
+    ParseLimits limits;
+    limits.maxStates = 2;
+    Expected<Automaton> m = la.materialize(limits);
+    ASSERT_FALSE(m.ok());
+    EXPECT_EQ(m.status().code(), ErrorCode::kLimitExceeded);
+}
+
+TEST(HostileFile, MissingFileIsIoError)
+{
+    Expected<LoadedArtifact> la =
+        artifact::loadArtifact("/nonexistent/no.azoox");
+    ASSERT_FALSE(la.ok());
+    EXPECT_EQ(la.status().code(), ErrorCode::kIoError);
+}
+
+// ---------------------------------------------------------------
+// The committed bad-file corpus (tests/data/bad/), shared with the
+// fuzzer's gcc replay leg.
+// ---------------------------------------------------------------
+
+TEST(BadCorpus, CommittedBadArtifactsAreStructured)
+{
+    const struct {
+        const char *name;
+        ErrorCode code;
+    } cases[] = {
+        {"truncated.azoox", ErrorCode::kParseError},
+        {"badcrc.azoox", ErrorCode::kChecksumMismatch},
+    };
+    for (const auto &c : cases) {
+        const std::string path =
+            std::string(AZOO_TEST_DATA_DIR) + "/bad/" + c.name;
+        Expected<LoadedArtifact> la = artifact::loadArtifact(path);
+        ASSERT_FALSE(la.ok()) << c.name;
+        EXPECT_EQ(la.status().code(), c.code) << c.name << ": "
+                                              << la.status().str();
+    }
+}
+
+// ---------------------------------------------------------------
+// automataIdentical is a real equivalence, not a rubber stamp.
+// ---------------------------------------------------------------
+
+TEST(Identical, DetectsEveryFieldDifference)
+{
+    const Automaton a = specExample();
+    EXPECT_TRUE(artifact::automataIdentical(a, a));
+
+    Automaton b = specExample();
+    b.setName("abd");
+    EXPECT_FALSE(artifact::automataIdentical(a, b));
+
+    b = specExample();
+    b.element(1).symbols.set('z');
+    EXPECT_FALSE(artifact::automataIdentical(a, b));
+
+    b = specExample();
+    b.element(2).reportCode = 8;
+    EXPECT_FALSE(artifact::automataIdentical(a, b));
+
+    b = specExample();
+    b.addEdge(0, 2);
+    EXPECT_FALSE(artifact::automataIdentical(a, b));
+
+    // Edge *order* matters: same edge set, different emission order.
+    Automaton c("abc");
+    c.addSte(CharSet::single('a'), StartType::kAllInput);
+    c.addSte(CharSet::single('b'));
+    c.addSte(CharSet::single('c'), StartType::kNone, true, 7);
+    c.addEdge(0, 2);
+    c.addEdge(0, 1);
+    Automaton d("abc");
+    d.addSte(CharSet::single('a'), StartType::kAllInput);
+    d.addSte(CharSet::single('b'));
+    d.addSte(CharSet::single('c'), StartType::kNone, true, 7);
+    d.addEdge(0, 1);
+    d.addEdge(0, 2);
+    EXPECT_FALSE(artifact::automataIdentical(c, d));
+}
+
+TEST(Identical, OutOfOrderEdgesRoundTripInOrder)
+{
+    // A descending edge list forces the SPARSE encoding (DENSE is
+    // ascending-only); the stored order must survive the trip.
+    Automaton a("desc");
+    a.addSte(CharSet::all(), StartType::kAllInput);
+    a.addSte(CharSet::single('x'), StartType::kNone, true, 1);
+    a.addSte(CharSet::single('y'), StartType::kNone, true, 2);
+    a.addEdge(0, 2);
+    a.addEdge(0, 1);
+    LoadedArtifact la = loadOrDie(writeOrDie(a, false));
+    Expected<Automaton> m = la.materialize();
+    ASSERT_TRUE(m.ok()) << m.status().str();
+    EXPECT_TRUE(artifact::automataIdentical(a, *m));
+}
+
+TEST(Identical, CountersRoundTrip)
+{
+    Automaton a("ctr");
+    ElementId s = a.addSte(CharSet::single('x'), StartType::kAllInput);
+    ElementId c =
+        a.addCounter(3, CounterMode::kRollover, true, 42);
+    a.addEdge(s, c);
+    a.addResetEdge(s, c);
+    LoadedArtifact la = loadOrDie(writeOrDie(a, true));
+    EXPECT_EQ(la.resetEdgeCount(), 1u);
+    Expected<Automaton> m = la.materialize();
+    ASSERT_TRUE(m.ok()) << m.status().str();
+    EXPECT_TRUE(artifact::automataIdentical(a, *m));
+    EXPECT_EQ(m->element(1).mode, CounterMode::kRollover);
+    EXPECT_EQ(m->element(1).target, 3u);
+}
+
+} // namespace
+} // namespace azoo

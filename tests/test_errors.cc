@@ -21,6 +21,7 @@
 #include "core/serialize.hh"
 #include "engine/nfa_engine.hh"
 #include "engine/parallel_runner.hh"
+#include "tool_common.hh"
 #include "engine/run_guard.hh"
 #include "regex/parser.hh"
 #include "util/fault.hh"
@@ -622,6 +623,41 @@ TEST(ParallelErrors, ShardedLazyTruncationMatchesSerialPrefix)
     EXPECT_EQ(r.reportCount, ref.reportCount);
     EXPECT_EQ(r.reports, ref.reports);
     EXPECT_EQ(r.reportingCycles, ref.reportingCycles);
+}
+
+// ---------------------------------------------------------------
+// azoo_run's --load flag-conflict contract (issue 6 satellite):
+// combining --load with a parse-path flag is a usage error, exit 64.
+// ---------------------------------------------------------------
+
+TEST(ToolErrors, LoadFlagConflictCoversEveryParseFlag)
+{
+    // Each conflicting flag yields a non-empty usage message that
+    // names the flag; unrelated flags pass through silently.
+    for (const char *flag : tool::kLoadConflictFlags) {
+        const std::string msg = tool::loadFlagConflict({flag});
+        EXPECT_FALSE(msg.empty()) << flag;
+        EXPECT_NE(msg.find(std::string("--") + flag),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("--load"), std::string::npos) << msg;
+    }
+    EXPECT_TRUE(tool::loadFlagConflict({}).empty());
+    EXPECT_TRUE(
+        tool::loadFlagConflict({"input", "engine", "by-code", "load"})
+            .empty());
+    // Mixed: one conflicting flag among benign ones still trips.
+    EXPECT_FALSE(
+        tool::loadFlagConflict({"input", "save", "engine"}).empty());
+}
+
+using ToolErrorsDeath = ::testing::Test;
+
+TEST(ToolErrorsDeath, UsageErrorExits64)
+{
+    EXPECT_EXIT(tool::usageError(tool::loadFlagConflict({"automaton"})),
+                ::testing::ExitedWithCode(tool::kExitUsage),
+                "conflicts with --load");
 }
 
 } // namespace

@@ -11,7 +11,16 @@
  *            [--engine nfa|multidfa|lazydfa] [--cache-bytes N]
  *            [--reports N] [--by-code]
  *            [--threads N] [--batch] [--chunk BYTES]
- *            [--metrics[=FILE]]
+ *            [--metrics[=FILE]] [--save x.azoox]
+ *   azoo_run --load x.azoox --input x.input [...same run flags]
+ *
+ * --save writes the parsed automaton as a compiled `.azoox` artifact
+ * (equivalent to azoo_compile). --load replaces the parse path with
+ * the artifact loader: the file is mmap-ed, validated, and — for the
+ * serial nfa engine — executed zero-copy straight out of the mapping;
+ * other engines materialize the graph first. Parse-path flags
+ * (--automaton, --max-states, --max-edges, --save) are usage errors
+ * together with --load, since the artifact is already compiled.
  *
  * Engines: nfa is the enabled-set interpreter; multidfa (alias: dfa)
  * determinizes each component eagerly; lazydfa runs subset
@@ -37,7 +46,9 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 
+#include "artifact/artifact.hh"
 #include "core/stats.hh"
 #include "engine/lazy_dfa_engine.hh"
 #include "engine/multidfa_engine.hh"
@@ -106,12 +117,26 @@ main(int argc, char **argv)
     Cli cli(argc, argv,
             {"automaton", "input", "engine", "cache-bytes", "reports",
              "by-code", "threads", "batch", "chunk", "deadline-ms",
-             "symbol-budget", "max-states", "max-edges", "metrics"});
+             "symbol-budget", "max-states", "max-edges", "metrics",
+             "load", "save"});
     const std::string apath = cli.get("automaton");
     const std::string ipath = cli.get("input");
-    if (apath.empty() || ipath.empty())
-        tool::usageError("azoo_run: --automaton and --input are "
-                         "required");
+    const bool useLoad = cli.has("load");
+    if (useLoad) {
+        std::vector<std::string> present;
+        for (const char *f : tool::kLoadConflictFlags) {
+            if (cli.has(f))
+                present.push_back(f);
+        }
+        const std::string conflict = tool::loadFlagConflict(present);
+        if (!conflict.empty())
+            tool::usageError(conflict);
+        if (cli.get("load").empty() || cli.get("load") == "true")
+            tool::usageError("azoo_run: --load needs a file path");
+    }
+    if ((apath.empty() && !useLoad) || ipath.empty())
+        tool::usageError("azoo_run: --automaton (or --load) and "
+                         "--input are required");
 
     ParseLimits limits;
     if (cli.has("max-states"))
@@ -120,11 +145,61 @@ main(int argc, char **argv)
     if (cli.has("max-edges"))
         limits.maxEdges =
             static_cast<size_t>(cli.getInt("max-edges", 0));
-    Automaton a = tool::loadAnyOrExit(apath, limits);
-    GraphStats s = computeStats(a);
-    std::cout << a.name() << ": " << s.states << " states, "
-              << s.counters << " counters, " << s.edges << " edges, "
-              << s.subgraphs << " subgraphs\n";
+
+    // Two automaton sources: the parse path (text formats, eager) or
+    // the artifact path (validated mmap; the graph is materialized
+    // only for engines that need it, so the serial-nfa fast path does
+    // zero per-state work between open() and the first symbol).
+    std::optional<Automaton> mat;
+    std::optional<artifact::LoadedArtifact> art;
+    if (useLoad) {
+        const std::string lpath = cli.get("load");
+        Expected<artifact::LoadedArtifact> la =
+            artifact::loadArtifact(lpath);
+        if (!la.ok()) {
+            std::cerr << lpath << ": " << la.status().str() << "\n";
+            return tool::exitCodeFor(la.status());
+        }
+        art = std::move(*std::move(la));
+        std::cout << art->name() << ": " << art->elementCount()
+                  << " elements, " << art->edgeCount()
+                  << " edges (artifact v" << art->versionMajor()
+                  << "." << art->versionMinor()
+                  << (art->hasExecImage() ? ", exec image" : "")
+                  << (art->mapped() ? ", mmap" : ", heap") << ")\n";
+    } else {
+        mat = tool::loadAnyOrExit(apath, limits);
+        GraphStats s = computeStats(*mat);
+        std::cout << mat->name() << ": " << s.states << " states, "
+                  << s.counters << " counters, " << s.edges
+                  << " edges, " << s.subgraphs << " subgraphs\n";
+    }
+    auto graph = [&]() -> const Automaton & {
+        if (!mat) {
+            Expected<Automaton> m = art->materialize(limits);
+            if (!m.ok()) {
+                std::cerr << cli.get("load") << ": "
+                          << m.status().str() << "\n";
+                std::exit(tool::exitCodeFor(m.status()));
+            }
+            mat = std::move(*std::move(m));
+        }
+        return *mat;
+    };
+
+    if (cli.has("save")) {
+        const std::string spath = cli.get("save");
+        if (spath.empty() || spath == "true")
+            tool::usageError("azoo_run: --save needs a file path");
+        Expected<artifact::ArtifactInfo> info =
+            artifact::saveArtifact(spath, graph());
+        if (!info.ok()) {
+            std::cerr << spath << ": " << info.status().str() << "\n";
+            return tool::exitCodeFor(info.status());
+        }
+        std::cout << "saved " << spath << ": " << info->fileBytes
+                  << " bytes\n";
+    }
 
     SimOptions opts;
     opts.countByCode = cli.getBool("by-code");
@@ -169,7 +244,7 @@ main(int argc, char **argv)
                             : ParallelEngine::kNfa;
         popts.lazyCacheBytes = cacheBytes;
         popts.sim = opts;
-        ParallelRunner runner(a, popts);
+        ParallelRunner runner(graph(), popts);
         Timer timer;
         BatchResult br = runner.runBatch(streams);
         const double secs = timer.seconds();
@@ -215,7 +290,7 @@ main(int argc, char **argv)
     Timer timer;
     SimResult r;
     if (chunkBytes != 0) {
-        StreamingSession sess(a);
+        StreamingSession sess(graph());
         sess.options = opts;
         timer.reset();
         for (size_t pos = 0; pos < input.size();) {
@@ -236,19 +311,26 @@ main(int argc, char **argv)
                             : ParallelEngine::kNfa;
         popts.lazyCacheBytes = cacheBytes;
         popts.sim = opts;
-        ParallelRunner runner(a, popts);
+        ParallelRunner runner(graph(), popts);
         std::cout << "sharded into " << runner.shardCount()
                   << " component groups on " << runner.threads()
                   << " threads\n";
         timer.reset();
         r = runner.simulateSharded(input);
     } else if (engine == "nfa") {
-        NfaEngine e(a);
-        r = e.simulate(input, opts);
+        // The artifact fast path: adopt the validated EXEC image
+        // straight out of the mapping, no materialization at all.
+        if (art && art->hasExecImage()) {
+            NfaEngine e(art->execImage());
+            r = e.simulate(input, opts);
+        } else {
+            NfaEngine e(graph());
+            r = e.simulate(input, opts);
+        }
     } else if (lazy) {
         LazyDfaOptions lo;
         lo.cacheBytes = cacheBytes;
-        LazyDfaEngine e(a, lo);
+        LazyDfaEngine e(graph(), lo);
         std::cout << "lazy DFA over " << e.lazyElements()
                   << " elements (" << e.symbolClasses()
                   << " symbol classes), " << e.fallbackComponents()
@@ -256,7 +338,7 @@ main(int argc, char **argv)
         timer.reset();
         r = e.simulate(input, opts);
     } else if (engine == "dfa" || engine == "multidfa") {
-        MultiDfaEngine e(a);
+        MultiDfaEngine e(graph());
         std::cout << "compiled " << e.compiledComponents()
                   << " DFAs (" << e.totalDfaStates() << " states), "
                   << e.fallbackComponents() << " lazy-DFA fallbacks\n";

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Docs consistency checker (CI's docs job; stdlib only).
+
+Two classes of rot this catches:
+
+1. Broken intra-repo markdown links. Every relative link target in
+   every tracked *.md file must exist on disk (anchors are stripped;
+   external http(s)/mailto links are ignored).
+
+2. Documented flags that the tools no longer accept. In each
+   ``## azoo_<tool>`` section of docs/FORMATS.md, every flag-table
+   row (``| `--flag ...` | meaning |``) must name a flag the
+   corresponding binary's ``--help`` lists. This is deliberately
+   one-directional: an undocumented flag is an omission, a
+   documented-but-removed flag is a lie, and only the lie fails CI.
+   Prose may mention other tools' flags freely; the tables are the
+   per-tool contract.
+
+Usage: check_docs.py [--build-dir BUILD] [--repo ROOT]
+Exit codes follow the tools' sysexits convention: 0 clean, 65 when
+any check fails, 64 for usage errors.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--([a-z][a-z0-9-]*)")
+TABLE_FLAG_RE = re.compile(r"^\|\s*`--([a-z][a-z0-9-]*)")
+TOOL_SECTION_RE = re.compile(r"^## (azoo_[a-z]+)\b")
+
+
+def tracked_markdown(repo):
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo, "ls-files", "*.md", "**/*.md"],
+            capture_output=True, text=True, check=True).stdout
+        files = [f for f in out.splitlines() if f]
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        files = []
+    if not files:  # not a git checkout: walk, skipping build trees
+        for root, dirs, names in os.walk(repo):
+            dirs[:] = [d for d in dirs
+                       if d not in (".git", "build") and
+                       not d.startswith("build-")]
+            files.extend(os.path.relpath(os.path.join(root, n), repo)
+                         for n in names if n.endswith(".md"))
+    return sorted(files)
+
+
+def check_links(repo, md_files):
+    errors = []
+    for rel in md_files:
+        path = os.path.join(repo, rel)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for target in LINK_RE.findall(line):
+                    if re.match(r"^[a-z+]+:", target):  # http:, mailto:
+                        continue
+                    target = target.split("#", 1)[0]
+                    if not target:  # pure in-page anchor
+                        continue
+                    resolved = os.path.normpath(
+                        os.path.join(repo, os.path.dirname(rel),
+                                     target))
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            f"{rel}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def formats_sections(repo):
+    """tool name -> text of its '## azoo_*' section in FORMATS.md."""
+    path = os.path.join(repo, "docs", "FORMATS.md")
+    sections, tool, buf = {}, None, []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = TOOL_SECTION_RE.match(line)
+            if m:
+                if tool:
+                    sections[tool] = "".join(buf)
+                tool, buf = m.group(1), []
+            elif line.startswith("## "):
+                if tool:
+                    sections[tool] = "".join(buf)
+                tool = None
+            elif tool:
+                buf.append(line)
+    if tool:
+        sections[tool] = "".join(buf)
+    return sections
+
+
+def check_flags(repo, build_dir):
+    errors = []
+    sections = formats_sections(repo)
+    if not sections:
+        return ["docs/FORMATS.md: no '## azoo_*' tool sections found"]
+    for tool, text in sorted(sections.items()):
+        binary = os.path.join(build_dir, "tools", tool)
+        if not os.path.exists(binary):
+            errors.append(f"{tool}: binary not found at {binary} "
+                          "(build the tools first)")
+            continue
+        helptext = subprocess.run(
+            [binary, "--help"], capture_output=True, text=True).stdout
+        known = set(FLAG_RE.findall(helptext))
+        if not known:
+            errors.append(f"{tool}: --help printed no flags")
+            continue
+        documented = {m.group(1) for line in text.splitlines()
+                      if (m := TABLE_FLAG_RE.match(line))}
+        if not documented:
+            errors.append(f"docs/FORMATS.md [## {tool}]: no flag "
+                          "table rows found")
+            continue
+        for flag in sorted(documented):
+            if flag == "help":
+                continue
+            if flag not in known:
+                errors.append(
+                    f"docs/FORMATS.md [## {tool}]: documents "
+                    f"--{flag}, but `{tool} --help` does not list it")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--repo", default=None,
+                    help="repo root (default: this script's parent)")
+    args = ap.parse_args()
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    md_files = tracked_markdown(repo)
+    if not md_files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 64
+
+    errors = check_links(repo, md_files)
+    errors += check_flags(repo, args.build_dir)
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    print(f"check_docs: {len(md_files)} markdown files, "
+          f"{len(errors)} problem(s)")
+    return 65 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,34 @@ loadAnyAutomaton(const std::string &path,
     return loadAzml(path, limits);
 }
 
+/**
+ * Flags that select or parameterize azoo_run's *parse* path and are
+ * therefore meaningless together with --load (the artifact is already
+ * compiled; parse limits were applied by azoo_compile). Kept as data
+ * so the usage-error test can enumerate them.
+ */
+inline const char *const kLoadConflictFlags[] = {"automaton",
+                                                 "max-states",
+                                                 "max-edges", "save"};
+
+/** Non-empty usage message when @p present (flag names, no "--")
+ *  contains a parse-path flag that conflicts with --load. */
+inline std::string
+loadFlagConflict(const std::vector<std::string> &present)
+{
+    for (const std::string &f : present) {
+        for (const char *c : kLoadConflictFlags) {
+            if (f == c) {
+                return "azoo_run: --" + f +
+                       " conflicts with --load (the artifact is "
+                       "already compiled; re-run azoo_compile to "
+                       "change it)";
+            }
+        }
+    }
+    return "";
+}
+
 /** Load, or print the structured error ("path: parse-error at 3:14:
  *  ...") and exit with the bad-data / internal code. */
 inline Automaton
