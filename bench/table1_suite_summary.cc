@@ -23,6 +23,7 @@
 #include <map>
 
 #include "analysis/analysis.hh"
+#include "analysis/profile.hh"
 #include "bench/common.hh"
 #include "core/stats.hh"
 #include "engine/lazy_dfa_engine.hh"
@@ -61,6 +62,33 @@ lintCell(const Automaton &a)
     if (rep.warnings)
         return cat(rep.warnings, " warn");
     return "yes";
+}
+
+/** Component-class census ("L235" / "R13/U2") and literal-factor
+ *  coverage ("235/235") cells, from the analysis inference layer. */
+std::pair<std::string, std::string>
+classCells(const Automaton &a)
+{
+    const std::vector<analysis::ComponentProfile> profiles =
+        analysis::inferProfiles(a);
+    size_t counts[4] = {};
+    size_t with_factor = 0;
+    for (const analysis::ComponentProfile &p : profiles) {
+        ++counts[static_cast<size_t>(p.cls)];
+        with_factor += !p.mandatoryLiteral.empty();
+    }
+    std::string census;
+    for (size_t c = 0; c < 4; ++c) {
+        if (counts[c] == 0)
+            continue;
+        if (!census.empty())
+            census += "/";
+        census += analysis::componentClassCode(
+            static_cast<analysis::ComponentClass>(c));
+        census += std::to_string(counts[c]);
+    }
+    return {census.empty() ? "-" : census,
+            cat(with_factor, "/", profiles.size())};
 }
 
 const std::map<std::string, PaperRow> kPaper = {
@@ -118,8 +146,8 @@ main(int argc, char **argv)
 
     Table t({"Benchmark", "States", "Edges", "Edges/Node", "Subgraphs",
              "Avg.Size", "Std.Dev", "Compr.States", "Compr.Factor",
-             "ActiveSet", "Lint", "Lazy.Sets", "Lazy.Flush",
-             "Lazy.FB", "Lazy.Hit%"});
+             "ActiveSet", "Lint", "Class", "Lit", "Lazy.Sets",
+             "Lazy.Flush", "Lazy.FB", "Lazy.Hit%"});
     Table shape({"Benchmark", "Avg.Size", "(paper)", "Edges/Node",
                  "(paper)", "Act/1kStates", "(paper)"});
 
@@ -156,6 +184,7 @@ main(int argc, char **argv)
             ? 100.0 * static_cast<double>(hits) / (hits + misses)
             : 0.0;
 
+        const auto [census, litCov] = classCells(b.automaton);
         const uint64_t total = s.states + s.counters;
         t.addRow({info.name, Table::num(total), Table::num(s.edges),
                   Table::fixed(s.edgesPerNode, 2),
@@ -165,7 +194,7 @@ main(int argc, char **argv)
                   Table::num(merged.statesAfter),
                   Table::ratio(merged.reduction(), 2),
                   Table::fixed(r.avgActiveSet(), 1),
-                  lintCell(b.automaton),
+                  lintCell(b.automaton), census, litCov,
                   Table::num(lazyEngine.cachedStates()),
                   Table::num(lazyEngine.cacheFlushes()),
                   Table::num(lazyEngine.fallbackComponents()),

@@ -72,11 +72,17 @@ enum class Rule : uint8_t {
     kMergeableTwins,     ///< prefix-merge would collapse these
     kLargeFanout,        ///< suspiciously large out-degree
     kEdgeIntoAllInput,   ///< no-op edge into an always-enabled state
+    // profileLint(): planning facts from inferProfiles() (profile.hh).
+    kPrefilterHostile,      ///< unbounded matches, no literal factor
+    kLiteralChainComponent, ///< pure literal chain; literal-engine bait
+    kWeakLiteralFactor,     ///< bounded component, short factor
+    kDfaBlowupRisk,         ///< subset-construction estimate too high
+    kCounterUnsatisfiable,  ///< counter target can never be reached
 };
 
 /** Number of distinct rules (for iteration in tables/tests). */
 constexpr size_t kRuleCount =
-    static_cast<size_t>(Rule::kEdgeIntoAllInput) + 1;
+    static_cast<size_t>(Rule::kCounterUnsatisfiable) + 1;
 
 /** Stable rule id, e.g. "V012" / "L102" (verify vs lint namespace). */
 const char *ruleId(Rule r);

@@ -1,0 +1,325 @@
+#include "analysis/dataflow.hh"
+
+#include <algorithm>
+
+namespace azoo {
+namespace analysis {
+
+std::vector<ComponentView>
+ComponentView::split(const Automaton &a)
+{
+    const size_t n = a.size();
+    uint32_t count = 0;
+    const std::vector<uint32_t> comp = a.connectedComponents(count);
+
+    std::vector<ComponentView> views(count);
+    // Local ids in global-id order: the builders append chains in
+    // path order, so this keeps the iteration order of the solvers
+    // close to topological even before the RPO sweep.
+    std::vector<uint32_t> local_of(n, 0);
+    for (ElementId i = 0; i < n; ++i) {
+        ComponentView &v = views[comp[i]];
+        if (v.global_.empty()) {
+            v.global_.assign(2, kNoElement); // source, sink terminals
+        }
+        local_of[i] = static_cast<uint32_t>(v.global_.size());
+        v.global_.push_back(i);
+    }
+    for (ComponentView &v : views) {
+        if (v.global_.empty())
+            v.global_.assign(2, kNoElement);
+        v.succ_.resize(v.global_.size());
+        v.pred_.resize(v.global_.size());
+    }
+
+    for (ElementId i = 0; i < n; ++i) {
+        const Element &e = a.element(i);
+        ComponentView &v = views[comp[i]];
+        const uint32_t li = local_of[i];
+        if (e.start != StartType::kNone) {
+            v.succ_[kSource].push_back(li);
+            v.pred_[li].push_back(kSource);
+        }
+        if (e.reporting) {
+            v.succ_[li].push_back(kSink);
+            v.pred_[kSink].push_back(li);
+        }
+        for (ElementId t : e.out) {
+            // Activation edges never cross components (the component
+            // relation is their undirected closure).
+            const uint32_t lt = local_of[t];
+            v.succ_[li].push_back(lt);
+            v.pred_[lt].push_back(li);
+            ++v.realEdges_;
+        }
+    }
+    return views;
+}
+
+std::vector<uint32_t>
+reversePostorder(const ComponentView &v)
+{
+    std::vector<uint8_t> seen(v.size(), 0);
+    std::vector<uint32_t> post;
+    post.reserve(v.size());
+
+    // Iterative DFS; the frame remembers how many successors are done.
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    stack.emplace_back(ComponentView::kSource, 0);
+    seen[ComponentView::kSource] = 1;
+    while (!stack.empty()) {
+        auto &[node, next] = stack.back();
+        const auto &succ = v.succ(node);
+        if (next < succ.size()) {
+            const uint32_t s = succ[next++];
+            if (!seen[s]) {
+                seen[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            post.push_back(node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+namespace {
+
+/** Forward BFS over succ (or pred when @p backward) from @p from. */
+std::vector<uint8_t>
+reach(const ComponentView &v, uint32_t from, bool backward)
+{
+    std::vector<uint8_t> seen(v.size(), 0);
+    std::vector<uint32_t> work{from};
+    seen[from] = 1;
+    while (!work.empty()) {
+        const uint32_t u = work.back();
+        work.pop_back();
+        for (uint32_t t : backward ? v.pred(u) : v.succ(u)) {
+            if (!seen[t]) {
+                seen[t] = 1;
+                work.push_back(t);
+            }
+        }
+    }
+    return seen;
+}
+
+/** Mark nodes in a nontrivial SCC or with a self-loop (iterative
+ *  Tarjan; components are far smaller than the recursion limit, but
+ *  hostile inputs are not). */
+std::vector<uint8_t>
+cycleNodes(const ComponentView &v)
+{
+    const uint32_t n = v.size();
+    constexpr uint32_t kUnvisited = ~uint32_t(0);
+    std::vector<uint8_t> on_cycle(n, 0);
+    std::vector<uint32_t> index(n, kUnvisited), low(n, 0);
+    std::vector<uint8_t> on_stack(n, 0);
+    std::vector<uint32_t> scc_stack;
+    uint32_t next_index = 0;
+
+    struct Frame {
+        uint32_t node;
+        size_t next;
+    };
+    std::vector<Frame> dfs;
+    for (uint32_t root = 0; root < n; ++root) {
+        if (index[root] != kUnvisited)
+            continue;
+        dfs.push_back({root, 0});
+        index[root] = low[root] = next_index++;
+        scc_stack.push_back(root);
+        on_stack[root] = 1;
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            const auto &succ = v.succ(f.node);
+            if (f.next < succ.size()) {
+                const uint32_t s = succ[f.next++];
+                if (s == f.node)
+                    on_cycle[s] = 1; // self-loop
+                if (index[s] == kUnvisited) {
+                    dfs.push_back({s, 0});
+                    index[s] = low[s] = next_index++;
+                    scc_stack.push_back(s);
+                    on_stack[s] = 1;
+                } else if (on_stack[s]) {
+                    low[f.node] = std::min(low[f.node], index[s]);
+                }
+            } else {
+                const uint32_t u = f.node;
+                dfs.pop_back();
+                if (!dfs.empty()) {
+                    low[dfs.back().node] =
+                        std::min(low[dfs.back().node], low[u]);
+                }
+                if (low[u] == index[u]) {
+                    std::vector<uint32_t> members;
+                    uint32_t w;
+                    do {
+                        w = scc_stack.back();
+                        scc_stack.pop_back();
+                        on_stack[w] = 0;
+                        members.push_back(w);
+                    } while (w != u);
+                    if (members.size() > 1) {
+                        for (uint32_t m : members)
+                            on_cycle[m] = 1;
+                    }
+                }
+            }
+        }
+    }
+    return on_cycle;
+}
+
+} // namespace
+
+ReachFacts
+reachability(const ComponentView &v)
+{
+    ReachFacts r;
+    r.fromSource = reach(v, ComponentView::kSource, false);
+    r.toSink = reach(v, ComponentView::kSink, true);
+    r.onCycle = cycleNodes(v);
+    for (uint32_t i = 0; i < v.size(); ++i) {
+        if (r.onCycle[i] && r.fromSource[i] && r.toSink[i]) {
+            r.liveCycle = true;
+            break;
+        }
+    }
+    return r;
+}
+
+DistFacts
+distances(const ComponentView &v)
+{
+    const ReachFacts r = reachability(v);
+    DistFacts d;
+
+    // Shortest distance via the generic solver: the RPO sweep is a
+    // BFS relaxation, and back edges can never shorten a path, so
+    // this converges in two sweeps.
+    d.minFromSource = solveForward(
+        v, kInfDist, [&](uint32_t n, const std::vector<uint32_t> &val) {
+            if (n == ComponentView::kSource)
+                return uint32_t(0);
+            uint32_t best = kInfDist;
+            for (uint32_t p : v.pred(n)) {
+                if (val[p] != kInfDist)
+                    best = std::min(best, val[p] + 1);
+            }
+            return best;
+        });
+
+    // Longest distance. A node fed by a source-reachable cycle is
+    // unbounded; the rest of the reachable graph is acyclic, where
+    // one reverse-postorder sweep computes longest paths exactly
+    // (every non-back edge goes forward in RPO, and back edges only
+    // exist inside SCCs, which were just excluded).
+    std::vector<uint8_t> unbounded(v.size(), 0);
+    {
+        std::vector<uint32_t> work;
+        for (uint32_t i = 0; i < v.size(); ++i) {
+            if (r.onCycle[i] && r.fromSource[i]) {
+                unbounded[i] = 1;
+                work.push_back(i);
+            }
+        }
+        while (!work.empty()) {
+            const uint32_t u = work.back();
+            work.pop_back();
+            for (uint32_t t : v.succ(u)) {
+                if (!unbounded[t]) {
+                    unbounded[t] = 1;
+                    work.push_back(t);
+                }
+            }
+        }
+    }
+    d.maxFromSource.assign(v.size(), kInfDist);
+    for (uint32_t n : reversePostorder(v)) {
+        if (unbounded[n])
+            continue; // stays kInfDist
+        if (n == ComponentView::kSource) {
+            d.maxFromSource[n] = 0;
+            continue;
+        }
+        uint32_t best = kInfDist; // all preds unreachable -> undefined
+        for (uint32_t p : v.pred(n)) {
+            if (!r.fromSource[p] || unbounded[p])
+                continue;
+            if (d.maxFromSource[p] != kInfDist)
+                best = best == kInfDist
+                           ? d.maxFromSource[p] + 1
+                           : std::max(best, d.maxFromSource[p] + 1);
+        }
+        d.maxFromSource[n] = best;
+    }
+    return d;
+}
+
+std::vector<uint32_t>
+dominators(const ComponentView &v)
+{
+    // Cooper-Harvey-Kennedy iterative dominators over RPO.
+    constexpr uint32_t kUndef = kInfDist;
+    const std::vector<uint32_t> order = reversePostorder(v);
+    std::vector<uint32_t> rpo_num(v.size(), kUndef);
+    for (uint32_t i = 0; i < order.size(); ++i)
+        rpo_num[order[i]] = i;
+
+    std::vector<uint32_t> idom(v.size(), kUndef);
+    idom[ComponentView::kSource] = ComponentView::kSource;
+
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpo_num[a] > rpo_num[b])
+                a = idom[a];
+            while (rpo_num[b] > rpo_num[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t n : order) {
+            if (n == ComponentView::kSource)
+                continue;
+            uint32_t new_idom = kUndef;
+            for (uint32_t p : v.pred(n)) {
+                if (idom[p] == kUndef)
+                    continue;
+                new_idom =
+                    new_idom == kUndef ? p : intersect(p, new_idom);
+            }
+            if (new_idom != kUndef && idom[n] != new_idom) {
+                idom[n] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom[ComponentView::kSource] = kUndef; // the root has no idom
+    return idom;
+}
+
+std::vector<uint32_t>
+mandatoryChain(const std::vector<uint32_t> &idom)
+{
+    std::vector<uint32_t> chain;
+    if (idom[ComponentView::kSink] == kInfDist)
+        return chain; // nothing reports: no accepting paths at all
+    for (uint32_t n = idom[ComponentView::kSink];
+         n != ComponentView::kSource; n = idom[n]) {
+        chain.push_back(n);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+} // namespace analysis
+} // namespace azoo

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fixed-point dataflow framework over the automaton IR.
+ *
+ * The inference passes in profile.cc all need the same substrate: a
+ * per-connected-component directed view of the activation graph with
+ * a virtual super-source (predecessor of every start state) and
+ * super-sink (successor of every reporting element), plus a handful
+ * of classic analyses over that view — reachability, cycle marking,
+ * saturating min/max distances, and dominators. This header provides
+ * them once, in a form small enough to test in isolation.
+ *
+ * Conventions:
+ *  - All analyses run per component; `ComponentView::split()` builds
+ *    every component of an automaton in one pass. Only activation
+ *    edges define the view (reset edges neither enable nor consume a
+ *    symbol; counter facts read them separately).
+ *  - Local node 0 is the source, node 1 the sink; real elements
+ *    occupy 2..n+1. Distances are counted in *edges*, so the number
+ *    of symbols consumed along a source->sink path is its edge count
+ *    minus one (the source->start edge is free: a start state
+ *    consumes the first symbol itself).
+ *  - `kInfDist` is the saturating "unbounded / undefined" sentinel.
+ *    Max-distance saturates to it as soon as a value exceeds the
+ *    node count, which is exactly the cycle case.
+ *
+ * Precondition for every function here: all edge targets in range
+ * (verify()'s V001/V002 gate). Callers run verify() first.
+ */
+
+#ifndef AZOO_ANALYSIS_DATAFLOW_HH
+#define AZOO_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/automaton.hh"
+
+namespace azoo {
+namespace analysis {
+
+/** Saturating "unbounded or undefined" distance. */
+constexpr uint32_t kInfDist = ~uint32_t(0);
+
+/**
+ * One connected component of the activation graph, as a directed
+ * graph over dense local ids with virtual source/sink terminals.
+ */
+class ComponentView
+{
+  public:
+    static constexpr uint32_t kSource = 0;
+    static constexpr uint32_t kSink = 1;
+
+    /** Build a view per component of @p a, indexed by the component
+     *  ids Automaton::connectedComponents() assigns. */
+    static std::vector<ComponentView> split(const Automaton &a);
+
+    /** Node count including the two virtual terminals. */
+    uint32_t size() const { return static_cast<uint32_t>(succ_.size()); }
+
+    /** Real elements in this component (node count minus 2). */
+    uint32_t realCount() const { return size() - 2; }
+
+    /** Global element id of a local node (kNoElement for terminals). */
+    ElementId globalId(uint32_t local) const { return global_[local]; }
+
+    const std::vector<uint32_t> &succ(uint32_t n) const { return succ_[n]; }
+    const std::vector<uint32_t> &pred(uint32_t n) const { return pred_[n]; }
+
+    /** Activation edges between real members (terminal edges excluded). */
+    uint32_t realEdgeCount() const { return realEdges_; }
+
+  private:
+    std::vector<ElementId> global_; ///< local -> global
+    std::vector<std::vector<uint32_t>> succ_;
+    std::vector<std::vector<uint32_t>> pred_;
+    uint32_t realEdges_ = 0;
+};
+
+/** May-reach facts for one view. */
+struct ReachFacts {
+    std::vector<uint8_t> fromSource; ///< reachable from the source
+    std::vector<uint8_t> toSink;     ///< co-reachable to the sink
+    std::vector<uint8_t> onCycle;    ///< in a nontrivial SCC / self-loop
+    /** Some cycle node lies on a live source->sink path: the
+     *  component accepts arbitrarily long matches. */
+    bool liveCycle = false;
+};
+
+ReachFacts reachability(const ComponentView &v);
+
+/** Min/max distance (in edges) from the source to every node. */
+struct DistFacts {
+    /** Shortest distance; kInfDist when unreachable. */
+    std::vector<uint32_t> minFromSource;
+    /** Longest distance; kInfDist when unreachable or when a cycle
+     *  reachable from the source feeds the node. */
+    std::vector<uint32_t> maxFromSource;
+};
+
+DistFacts distances(const ComponentView &v);
+
+/** Reverse postorder of the nodes reachable from the source (the
+ *  iteration order every forward pass here uses: one sweep suffices
+ *  on a DAG, and loops converge a whole cycle per sweep). */
+std::vector<uint32_t> reversePostorder(const ComponentView &v);
+
+/**
+ * Generic forward fixed-point solver: the framework primitive the
+ * distance passes are built on, exposed for future analyses.
+ *
+ * Iterates @p relax over the source-reachable nodes in reverse
+ * postorder until no value changes. relax(n, values) returns the new
+ * value for node @p n from its predecessors' current values; it must
+ * be monotone over a finite-height lattice or the loop will not
+ * terminate. Every node starts at @p init; nodes unreachable from
+ * the source keep it.
+ */
+template <typename State, typename Relax>
+std::vector<State>
+solveForward(const ComponentView &v, State init, Relax relax)
+{
+    const std::vector<uint32_t> order = reversePostorder(v);
+    std::vector<State> values(v.size(), init);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t n : order) {
+            State next = relax(n, values);
+            if (!(next == values[n])) {
+                values[n] = next;
+                changed = true;
+            }
+        }
+    }
+    return values;
+}
+
+/**
+ * Immediate dominators with respect to the source (Cooper-Harvey-
+ * Kennedy over reverse postorder). idom[n] == kInfDist for the
+ * source itself and for nodes unreachable from it.
+ */
+std::vector<uint32_t> dominators(const ComponentView &v);
+
+/**
+ * The mandatory nodes of the component: every source->sink path
+ * passes through each of them. Computed as the sink's dominator
+ * chain, returned in source-to-sink order with the terminals
+ * stripped. Empty when the sink is unreachable.
+ */
+std::vector<uint32_t> mandatoryChain(const std::vector<uint32_t> &idom);
+
+} // namespace analysis
+} // namespace azoo
+
+#endif // AZOO_ANALYSIS_DATAFLOW_HH

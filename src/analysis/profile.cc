@@ -1,0 +1,335 @@
+#include "analysis/profile.hh"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <map>
+
+#include "analysis/dataflow.hh"
+#include "obs/obs.hh"
+#include "util/logging.hh"
+
+namespace azoo {
+namespace analysis {
+
+const char *
+componentClassName(ComponentClass c)
+{
+    switch (c) {
+      case ComponentClass::kLiteralChain:
+        return "literal-chain";
+      case ComponentClass::kBoundedRegex:
+        return "bounded-regex";
+      case ComponentClass::kCounterCoupled:
+        return "counter-coupled";
+      case ComponentClass::kCyclicUnbounded:
+        return "cyclic-unbounded";
+    }
+    return "?";
+}
+
+char
+componentClassCode(ComponentClass c)
+{
+    switch (c) {
+      case ComponentClass::kLiteralChain:
+        return 'L';
+      case ComponentClass::kBoundedRegex:
+        return 'R';
+      case ComponentClass::kCounterCoupled:
+        return 'C';
+      case ComponentClass::kCyclicUnbounded:
+        return 'U';
+    }
+    return '?';
+}
+
+namespace {
+
+uint32_t
+ceilLog2(uint64_t x)
+{
+    if (x <= 1)
+        return 0;
+    return static_cast<uint32_t>(64 - std::countl_zero(x - 1));
+}
+
+/** True when every activation out of @p n goes to @p target. */
+bool
+soleSuccessor(const ComponentView &v, uint32_t n, uint32_t target)
+{
+    const auto &succ = v.succ(n);
+    if (succ.empty())
+        return false;
+    return std::all_of(succ.begin(), succ.end(),
+                       [&](uint32_t s) { return s == target; });
+}
+
+/**
+ * Longest byte string every accepting path must contain: the longest
+ * run of singleton-charset dominators where each step (u, v) is
+ * byte-adjacent because u's only activation successor is v (u is
+ * mandatory, so every path reaches u and then must match v on the
+ * very next symbol).
+ */
+std::string
+mandatoryLiteral(const Automaton &a, const ComponentView &v,
+                 const std::vector<uint32_t> &chain)
+{
+    std::string best, cur;
+    uint32_t prev = kInfDist;
+    auto flush = [&] {
+        if (cur.size() > best.size())
+            best = cur;
+        cur.clear();
+    };
+    for (uint32_t n : chain) {
+        const Element &e = a.element(v.globalId(n));
+        const bool singleton =
+            e.kind == ElementKind::kSte && e.symbols.count() == 1;
+        if (!singleton) {
+            flush();
+            prev = kInfDist;
+            continue;
+        }
+        if (prev == kInfDist || !soleSuccessor(v, prev, n))
+            flush();
+        cur.push_back(static_cast<char>(e.symbols.lowest()));
+        prev = n;
+    }
+    flush();
+    return best;
+}
+
+/**
+ * log2 of the estimated subset-construction state count. Literal
+ * chains determinize to roughly one state per position; counters
+ * multiply the space by their value range; everything else is scored
+ * by the depth-window frontier: states whose [min, max] distance
+ * windows overlap can be simultaneously active, and the DFA states
+ * are subsets of such frontiers. Capped at 32 ("don't determinize").
+ */
+uint32_t
+estimateBlowupLog2(const ComponentProfile &p, const Automaton &a,
+                   const ComponentView &v, const DistFacts &dist)
+{
+    constexpr uint32_t kCap = 32;
+    if (p.cls == ComponentClass::kLiteralChain)
+        return std::min(kCap, ceilLog2(uint64_t(p.steCount) + 2));
+    if (p.cls == ComponentClass::kCounterCoupled) {
+        uint64_t bits = ceilLog2(uint64_t(p.steCount) + 2);
+        for (uint32_t n = 2; n < v.size(); ++n) {
+            const Element &e = a.element(v.globalId(n));
+            if (e.kind == ElementKind::kCounter)
+                bits += ceilLog2(uint64_t(e.target) + 1);
+        }
+        return static_cast<uint32_t>(std::min<uint64_t>(kCap, bits));
+    }
+
+    // Frontier width: sweep the depth axis, +1 where a window opens,
+    // -1 past its finite end (unbounded windows never close).
+    std::map<uint32_t, int32_t> delta;
+    for (uint32_t n = 2; n < v.size(); ++n) {
+        const uint32_t lo = dist.minFromSource[n];
+        if (lo == kInfDist)
+            continue; // unreachable
+        ++delta[lo];
+        const uint32_t hi = dist.maxFromSource[n];
+        if (hi != kInfDist)
+            --delta[hi + 1];
+    }
+    int32_t width = 0, peak = 0;
+    for (const auto &[depth, d] : delta) {
+        width += d;
+        peak = std::max(peak, width);
+    }
+    return std::min(kCap, static_cast<uint32_t>(peak));
+}
+
+} // namespace
+
+std::vector<ComponentProfile>
+inferProfiles(const Automaton &a, const InferOptions &iopts)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<ComponentView> views = ComponentView::split(a);
+    std::vector<ComponentProfile> profiles;
+    profiles.reserve(views.size());
+
+    for (uint32_t ci = 0; ci < views.size(); ++ci) {
+        const ComponentView &v = views[ci];
+        ComponentProfile p;
+        p.componentId = ci;
+        // Locals are assigned in global-id order, so local 2 is the
+        // component's lowest element id.
+        p.firstElement = v.globalId(2);
+        p.edgeCount = v.realEdgeCount();
+
+        bool all_sod = true;
+        for (uint32_t n = 2; n < v.size(); ++n) {
+            const Element &e = a.element(v.globalId(n));
+            if (e.kind == ElementKind::kSte) {
+                ++p.steCount;
+            } else {
+                ++p.counterCount;
+                p.minCounterTarget =
+                    p.counterCount == 1
+                        ? e.target
+                        : std::min(p.minCounterTarget, e.target);
+                p.maxCounterTarget =
+                    std::max(p.maxCounterTarget, e.target);
+            }
+            if (e.start != StartType::kNone) {
+                ++p.startCount;
+                all_sod &= e.start == StartType::kStartOfData;
+            }
+            p.reportCount += e.reporting;
+        }
+        p.anchored = p.startCount > 0 && all_sod;
+
+        const ReachFacts r = reachability(v);
+        const DistFacts dist = distances(v);
+        p.cyclic = r.liveCycle;
+
+        const uint32_t to_sink =
+            dist.minFromSource[ComponentView::kSink];
+        p.minMatchLen = to_sink == kInfDist ? kUnboundedLen : to_sink - 1;
+        const uint32_t max_sink =
+            dist.maxFromSource[ComponentView::kSink];
+        p.maxMatchLen =
+            max_sink == kInfDist ? kUnboundedLen : max_sink - 1;
+
+        // Longest (symbol-counted) path from any start; 0 when the
+        // component has no reachable member at all.
+        uint32_t depth = 0;
+        bool depth_unbounded = false;
+        for (uint32_t n = 2; n < v.size(); ++n) {
+            if (!r.fromSource[n])
+                continue;
+            if (dist.maxFromSource[n] == kInfDist)
+                depth_unbounded = true;
+            else
+                depth = std::max(depth, dist.maxFromSource[n]);
+        }
+        p.maxActivationDepth = depth_unbounded ? kUnboundedLen : depth;
+
+        const std::vector<uint32_t> idom = dominators(v);
+        p.mandatoryLiteral =
+            mandatoryLiteral(a, v, mandatoryChain(idom));
+
+        if (p.counterCount > 0)
+            p.cls = ComponentClass::kCounterCoupled;
+        else if (p.cyclic)
+            p.cls = ComponentClass::kCyclicUnbounded;
+        else if (p.mandatoryLiteral.size() >= iopts.literalChainMinFactor)
+            p.cls = ComponentClass::kLiteralChain;
+        else
+            p.cls = ComponentClass::kBoundedRegex;
+
+        p.blowupLog2 = estimateBlowupLog2(p, a, v, dist);
+        profiles.push_back(std::move(p));
+    }
+
+    if constexpr (obs::kEnabled) {
+        auto &reg = obs::Registry::global();
+        reg.counter("analysis.facts.components").add(profiles.size());
+        reg.histogram("analysis.infer.ns")
+            .record(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+    }
+    return profiles;
+}
+
+Report
+profileLint(const Automaton &a,
+            const std::vector<ComponentProfile> &profiles,
+            const Options &opts, const InferOptions &iopts)
+{
+    Report rep;
+    rep.automatonName = a.name();
+    auto add = [&](Rule r, ElementId element, ElementId other,
+                   std::string msg) {
+        if (opts.enabled(r))
+            rep.add(defaultSeverity(r), r, element, other,
+                    std::move(msg));
+    };
+
+    // Component membership, only materialized if an A205 candidate
+    // needs per-counter targets.
+    std::vector<uint32_t> comp;
+    auto component_of = [&](ElementId e) {
+        if (comp.empty()) {
+            uint32_t count = 0;
+            comp = a.connectedComponents(count);
+        }
+        return comp[e];
+    };
+
+    for (const ComponentProfile &p : profiles) {
+        const ElementId anchor = p.firstElement;
+
+        if (p.reportCount > 0 && p.maxMatchLen == kUnboundedLen &&
+            p.mandatoryLiteral.empty()) {
+            add(Rule::kPrefilterHostile, anchor, kNoElement,
+                cat("component ", p.componentId, " (",
+                    componentClassName(p.cls), ", ", p.steCount,
+                    " STEs) accepts unbounded matches and has no "
+                    "mandatory literal factor; a literal prefilter "
+                    "cannot cover it"));
+        }
+        if (p.cls == ComponentClass::kLiteralChain) {
+            add(Rule::kLiteralChainComponent, anchor, kNoElement,
+                cat("component ", p.componentId, " is a literal chain "
+                    "(", p.steCount, " STEs, mandatory factor ",
+                    p.mandatoryLiteral.size(), " bytes); a literal "
+                    "engine or Aho-Corasick prefilter can cover it"));
+        }
+        if (p.cls == ComponentClass::kBoundedRegex &&
+            p.reportCount > 0 &&
+            p.mandatoryLiteral.size() < iopts.literalChainMinFactor) {
+            add(Rule::kWeakLiteralFactor, anchor, kNoElement,
+                cat("component ", p.componentId,
+                    "'s mandatory literal factor is ",
+                    p.mandatoryLiteral.size(), " bytes (< ",
+                    iopts.literalChainMinFactor,
+                    "); prefilter coverage will be weak"));
+        }
+        if (p.blowupLog2 >= iopts.blowupWarnLog2) {
+            add(Rule::kDfaBlowupRisk, anchor, kNoElement,
+                cat("component ", p.componentId,
+                    " subset-construction estimate is 2^",
+                    p.blowupLog2, " states (threshold 2^",
+                    iopts.blowupWarnLog2,
+                    "); expect lazy-DFA cache pressure"));
+        }
+
+        // A counter can gain at most one count per symbol while the
+        // component is active, so in an anchored acyclic component
+        // its value never exceeds the maximum activation depth.
+        if (p.counterCount > 0 && p.anchored && !p.cyclic &&
+            p.maxActivationDepth != kUnboundedLen &&
+            p.maxCounterTarget > p.maxActivationDepth &&
+            opts.enabled(Rule::kCounterUnsatisfiable)) {
+            for (ElementId e = 0; e < a.size(); ++e) {
+                const Element &el = a.element(e);
+                if (el.kind != ElementKind::kCounter ||
+                    el.target <= p.maxActivationDepth ||
+                    component_of(e) != p.componentId) {
+                    continue;
+                }
+                add(Rule::kCounterUnsatisfiable, e, kNoElement,
+                    cat("counter ", e, " target ", el.target,
+                        " exceeds component ", p.componentId,
+                        "'s maximum activation depth ",
+                        p.maxActivationDepth, "; it can never fire"));
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace analysis
+} // namespace azoo

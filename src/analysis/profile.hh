@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Per-component property inference: the facts a planner (and the
+ * A2xx lint family) need to route each connected component to the
+ * right engine.
+ *
+ * inferProfiles() runs the dataflow passes (dataflow.hh) over every
+ * connected component and distills one ComponentProfile per
+ * component: a classification, the mandatory literal factor, match-
+ * length and anchoring intervals, a subset-construction blowup
+ * estimate, and counter range facts. Profiles are pure data — a flat
+ * struct of integers plus one byte string — so they serialize into
+ * the `.azoox` PROF section unchanged and compare bit-for-bit.
+ *
+ * Fact semantics (docs/ANALYSIS.md is the normative catalog):
+ *
+ *  - Distances count input symbols along accepting paths. Counters
+ *    are traversed as if they consumed one symbol per activation
+ *    edge, so for counter-coupled components the match-length facts
+ *    are lower bounds, not exact intervals.
+ *  - The mandatory literal factor is sound: every accepting match of
+ *    the component contains it as a contiguous byte substring. It is
+ *    not necessarily maximal (it is mined from the dominator chain,
+ *    which can miss factors inside alternations).
+ *  - blowupLog2 is a documented heuristic, not a bound: log2 of the
+ *    estimated determinized state count, for cross-checking against
+ *    the engine.lazy.* observability counters.
+ *
+ * Precondition: edge targets in range (run verify() first; its V001
+ * gate is the contract, as with the rest of this module).
+ */
+
+#ifndef AZOO_ANALYSIS_PROFILE_HH
+#define AZOO_ANALYSIS_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.hh"
+#include "core/automaton.hh"
+
+namespace azoo {
+namespace analysis {
+
+/** Which engine family a component belongs with. Values are stable
+ *  (they serialize into the PROF artifact section). */
+enum class ComponentClass : uint8_t {
+    kLiteralChain = 0,    ///< acyclic, counter-free, strong factor
+    kBoundedRegex = 1,    ///< acyclic, counter-free, weak/no factor
+    kCounterCoupled = 2,  ///< contains at least one counter element
+    kCyclicUnbounded = 3, ///< a cycle lies on an accepting path
+};
+
+/** "literal-chain" / "bounded-regex" / "counter-coupled" /
+ *  "cyclic-unbounded". */
+const char *componentClassName(ComponentClass c);
+
+/** One-letter census code: L / R / C / U (bench table columns). */
+char componentClassCode(ComponentClass c);
+
+/** Sentinel for "unbounded or undefined" length facts. */
+constexpr uint32_t kUnboundedLen = ~uint32_t(0);
+
+/**
+ * The inferred facts for one connected component. All fields are
+ * exact unless the field comment says otherwise; `kUnboundedLen`
+ * means unbounded (or undefined, for components that never report).
+ */
+struct ComponentProfile {
+    /** Component id as assigned by connectedComponents(). */
+    uint32_t componentId = 0;
+    /** Lowest element id in the component (diagnostic anchor). */
+    uint32_t firstElement = 0;
+
+    uint32_t steCount = 0;     ///< STE members
+    uint32_t counterCount = 0; ///< counter members
+    uint32_t edgeCount = 0;    ///< activation edges inside the component
+    uint32_t startCount = 0;   ///< members with a start type
+    uint32_t reportCount = 0;  ///< reporting members
+
+    ComponentClass cls = ComponentClass::kBoundedRegex;
+    /** All starts are start-of-data (matches only at offset 0). */
+    bool anchored = false;
+    /** Some cycle lies on a start->report path. */
+    bool cyclic = false;
+
+    /** Min/max symbols consumed from match start to first report.
+     *  Lower bounds when counterCount > 0 (see file comment). */
+    uint32_t minMatchLen = kUnboundedLen;
+    uint32_t maxMatchLen = kUnboundedLen;
+    /** Longest path (in symbols) from any start: after this many
+     *  symbols an anchored run of the component has quiesced. */
+    uint32_t maxActivationDepth = kUnboundedLen;
+
+    /** log2 of the estimated subset-construction state count
+     *  (heuristic; capped at 32). */
+    uint32_t blowupLog2 = 0;
+
+    /** Counter target range; both 0 when counterCount == 0. */
+    uint32_t minCounterTarget = 0;
+    uint32_t maxCounterTarget = 0;
+
+    /** Longest byte string every accepting match must contain;
+     *  empty when no usable factor exists. */
+    std::string mandatoryLiteral;
+
+    bool operator==(const ComponentProfile &) const = default;
+};
+
+/** Inference knobs (defaults match the documented rule behavior). */
+struct InferOptions {
+    /** Minimum mandatory-factor length for the literal-chain class
+     *  (and below which A203 notes a weak factor). */
+    uint32_t literalChainMinFactor = 4;
+    /** blowupLog2 at or above which A204 warns. */
+    uint32_t blowupWarnLog2 = 20;
+};
+
+/**
+ * Compute a profile for every connected component of @p a, in
+ * component-id order. Deterministic: equal automata produce equal
+ * profile vectors.
+ */
+std::vector<ComponentProfile> inferProfiles(const Automaton &a,
+                                            const InferOptions &iopts = {});
+
+/**
+ * The A2xx rule family: planning-fact lints over inferred profiles.
+ * @p profiles must come from inferProfiles() on the same automaton.
+ * Respects the per-rule kill switch in @p opts like verify()/lint().
+ */
+Report profileLint(const Automaton &a,
+                   const std::vector<ComponentProfile> &profiles,
+                   const Options &opts = {},
+                   const InferOptions &iopts = {});
+
+} // namespace analysis
+} // namespace azoo
+
+#endif // AZOO_ANALYSIS_PROFILE_HH

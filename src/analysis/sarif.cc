@@ -1,0 +1,109 @@
+#include "analysis/sarif.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace azoo {
+namespace analysis {
+
+namespace {
+
+/** Escape for a JSON string literal (bytes as \u00NN). */
+std::string
+esc(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const auto uc = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (uc < 0x20 || uc >= 0x7f) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+const char *
+sarifLevel(Severity s)
+{
+    switch (s) {
+      case Severity::kError:
+        return "error";
+      case Severity::kWarning:
+        return "warning";
+      case Severity::kNote:
+        return "note";
+    }
+    return "none";
+}
+
+} // namespace
+
+std::string
+toSarif(const std::vector<std::pair<std::string, Report>> &fileReports)
+{
+    std::ostringstream o;
+    o << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"azoo_lint\",\n"
+      << "          \"rules\": [\n";
+    for (size_t i = 0; i < kRuleCount; ++i) {
+        const auto r = static_cast<Rule>(i);
+        o << "            {\"id\": \"" << ruleId(r) << "\", \"name\": \""
+          << ruleName(r) << "\", \"shortDescription\": {\"text\": \""
+          << esc(ruleDescription(r))
+          << "\"}, \"defaultConfiguration\": {\"level\": \""
+          << sarifLevel(defaultSeverity(r)) << "\"}}"
+          << (i + 1 < kRuleCount ? "," : "") << "\n";
+    }
+    o << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+
+    bool first = true;
+    for (const auto &[path, rep] : fileReports) {
+        for (const Diagnostic &d : rep.diags) {
+            if (!first)
+                o << ",\n";
+            first = false;
+            const size_t rule_index = static_cast<size_t>(d.rule);
+            o << "        {\"ruleId\": \"" << ruleId(d.rule)
+              << "\", \"ruleIndex\": " << rule_index
+              << ", \"level\": \"" << sarifLevel(d.severity)
+              << "\", \"message\": {\"text\": \"" << esc(d.message)
+              << "\"}, \"locations\": [{\"physicalLocation\": "
+                 "{\"artifactLocation\": {\"uri\": \""
+              << esc(path) << "\"}}";
+            if (d.element != kNoElement) {
+                o << ", \"logicalLocations\": [{\"fullyQualifiedName\": "
+                     "\"element/"
+                  << d.element << "\", \"kind\": \"member\"}]";
+            }
+            o << "}]}";
+        }
+    }
+    if (!first)
+        o << "\n";
+    o << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+    return o.str();
+}
+
+} // namespace analysis
+} // namespace azoo

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SARIF 2.1.0 serialization of analysis reports.
+ *
+ * SARIF (Static Analysis Results Interchange Format, OASIS) is the
+ * lingua franca CI annotators and editors consume; `azoo_lint --json`
+ * emits it so diagnostics can ride the same rails as any other
+ * static-analysis tool. One document holds one run: the driver's
+ * rule table (every Vxxx/Lxxx/A2xx id, so ruleIndex references
+ * resolve) plus one result per diagnostic, with the input file as
+ * the physical location and the element id as the logical location
+ * (automata have no line numbers).
+ *
+ * The output is deterministic — fixed key order, sorted nothing,
+ * bytes depend only on the inputs — so goldens and diffs are stable.
+ * tools/check_sarif.py structurally validates the emitted shape
+ * against the 2.1.0 schema's required properties in CI.
+ */
+
+#ifndef AZOO_ANALYSIS_SARIF_HH
+#define AZOO_ANALYSIS_SARIF_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.hh"
+
+namespace azoo {
+namespace analysis {
+
+/**
+ * Serialize @p fileReports — (input path, its report) pairs, in
+ * command-line order — as one SARIF 2.1.0 document. The driver's
+ * rule array always lists every known rule, independent of which
+ * fired, so ruleIndex is stable across runs.
+ */
+std::string toSarif(
+    const std::vector<std::pair<std::string, Report>> &fileReports);
+
+} // namespace analysis
+} // namespace azoo
+
+#endif // AZOO_ANALYSIS_SARIF_HH

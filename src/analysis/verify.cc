@@ -1,8 +1,10 @@
 #include "analysis/analysis.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -68,6 +70,21 @@ const RuleMeta kMeta[kRuleCount] = {
      "out-degree exceeds the configured fan-out threshold"},
     {"L104", "edge-into-all-input", Severity::kNote,
      "activation edge into an always-enabled state has no effect"},
+    {"A201", "prefilter-hostile", Severity::kWarning,
+     "component accepts unbounded matches and has no mandatory "
+     "literal factor; a literal prefilter cannot cover it"},
+    {"A202", "literal-chain", Severity::kNote,
+     "component is a pure literal chain; a literal engine or "
+     "Aho-Corasick prefilter can cover it"},
+    {"A203", "weak-literal-factor", Severity::kNote,
+     "bounded component's mandatory literal factor is shorter than "
+     "the prefilter minimum"},
+    {"A204", "dfa-blowup-risk", Severity::kWarning,
+     "subset-construction blowup estimate exceeds the lazy-DFA "
+     "comfort threshold"},
+    {"A205", "counter-unsatisfiable", Severity::kWarning,
+     "counter target exceeds the component's maximum activation "
+     "depth; it can never fire"},
 };
 
 const RuleMeta &
@@ -511,6 +528,7 @@ checkWidenLayout(const Automaton &a, Sink &sink)
 Report
 verify(const Automaton &a, const Options &opts)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     Report rep;
     rep.automatonName = a.name();
     Sink sink(rep, opts);
@@ -520,6 +538,14 @@ verify(const Automaton &a, const Options &opts)
         checkGraph(a, opts, sink);
         if (opts.widenedLayout)
             checkWidenLayout(a, sink);
+    }
+    if constexpr (obs::kEnabled) {
+        obs::Registry::global()
+            .histogram("analysis.verify.ns")
+            .record(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
     }
     return rep;
 }

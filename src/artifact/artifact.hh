@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/profile.hh"
 #include "artifact/mmap_file.hh"
 #include "core/automaton.hh"
 #include "engine/exec_image.hh"
@@ -50,7 +51,7 @@ inline constexpr std::array<uint8_t, 8> kMagic = {
 /** Format revision written by this library. Readers accept any minor
  *  revision of a known major; an unknown major is kVersionMismatch. */
 inline constexpr uint16_t kVersionMajor = 1;
-inline constexpr uint16_t kVersionMinor = 0;
+inline constexpr uint16_t kVersionMinor = 1;
 
 /** Header flag bits 0..15 are ignorable features; 16..31 are
  *  must-understand (an unknown set bit rejects the file). */
@@ -72,6 +73,10 @@ struct WriteOptions {
     /** Include the zero-copy EXEC image (default). Omitting it
      *  roughly halves file size but forces materialize() on load. */
     bool execImage = true;
+    /** Include the PROF section: one analysis::ComponentProfile per
+     *  connected component, so planners can route components to
+     *  engines without re-running inference at load time. */
+    bool componentProfiles = false;
 };
 
 /** One section-table row, decoded. */
@@ -89,6 +94,7 @@ struct ArtifactInfo {
     uint64_t resetEdgeCount = 0;
     uint8_t idWidth = 4;        ///< bytes per state id (1, 2, or 4)
     uint32_t charsetCount = 0;  ///< interned charset pool size
+    uint32_t profileCount = 0;  ///< PROF entries (0 unless requested)
     /** Edge-list encoding census over both EDGE and RSTE streams. */
     uint64_t listsEmpty = 0;
     uint64_t listsChain = 0;
@@ -157,6 +163,19 @@ class LoadedArtifact
     /** True when the file carries a validated EXEC image. */
     bool hasExecImage() const { return hasExec_; }
 
+    /** True when the file carries a validated PROF section. */
+    bool hasProfiles() const { return hasProf_; }
+
+    /** Component profiles from the PROF section, in component-id
+     *  order; empty unless hasProfiles(). Decoded (and validated) at
+     *  load time — bit-identical to what inferProfiles() produced at
+     *  compile time. */
+    const std::vector<analysis::ComponentProfile> &
+    componentProfiles() const
+    {
+        return profiles_;
+    }
+
     /**
      * The zero-copy execution image; panics unless hasExecImage().
      * Valid while this LoadedArtifact is alive; feed it straight to
@@ -209,6 +228,9 @@ class LoadedArtifact
 
     bool hasExec_ = false;
     NfaExecImage exec_;
+
+    bool hasProf_ = false;
+    std::vector<analysis::ComponentProfile> profiles_;
 };
 
 /** Map (or read) @p path and validate it as an artifact. */

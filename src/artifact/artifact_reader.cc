@@ -495,6 +495,8 @@ ArtifactParser::validateAndIndex(LoadedArtifact &la,
                                              "EDGE", "RSTE"};
     uint64_t execOff = 0, execLen = 0;
     bool execSeen = false;
+    uint64_t profOff = 0, profLen = 0;
+    bool profSeen = false;
     for (uint8_t i = 0; i < sectionCount; ++i) {
         const uint8_t *e = d + kHeaderSize + i * kSectionEntrySize;
         const std::string tag = tagStr(e);
@@ -522,6 +524,14 @@ ArtifactParser::validateAndIndex(LoadedArtifact &la,
             execSeen = true;
             execOff = off;
             execLen = len;
+            known = true;
+        }
+        if (tag == "PROF") {
+            if (profSeen)
+                fail(off, "duplicate section PROF");
+            profSeen = true;
+            profOff = off;
+            profLen = len;
             known = true;
         }
         (void)known; // unknown tags are ignorable by design
@@ -555,6 +565,66 @@ ArtifactParser::validateAndIndex(LoadedArtifact &la,
              cat("ELEM section is ", la.elemLen_, " bytes; ",
                  la.elementCount_, " elements need ",
                  12 * la.elementCount_));
+
+    // PROF: optional per-component planning facts. Small — one
+    // record per component — so it is decoded (and fully validated)
+    // eagerly; the sanity checks mirror the writer's field domains
+    // so hostile values never reach a planner.
+    if (profSeen) {
+        Cursor c{d + profOff, profLen, profOff};
+        const uint32_t count = c.u32();
+        if (count > la.elementCount_)
+            fail(profOff, cat("PROF declares ", count,
+                              " components for ", la.elementCount_,
+                              " elements"));
+        if (c.u32() != 0)
+            fail(profOff, "PROF reserved word is not zero");
+        la.profiles_.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            const uint64_t recOff = c.abs();
+            analysis::ComponentProfile p;
+            p.componentId = c.u32();
+            if (p.componentId != i)
+                fail(recOff, cat("PROF record ", i,
+                                 " carries component id ",
+                                 p.componentId));
+            p.firstElement = c.u32();
+            if (p.firstElement >= la.elementCount_)
+                fail(recOff, cat("PROF first element ",
+                                 p.firstElement, " out of range"));
+            p.steCount = c.u32();
+            p.counterCount = c.u32();
+            p.edgeCount = c.u32();
+            p.startCount = c.u32();
+            p.reportCount = c.u32();
+            const uint8_t cls = c.u8();
+            if (cls > 3)
+                fail(recOff,
+                     cat("PROF class ", int(cls), " invalid"));
+            p.cls = static_cast<analysis::ComponentClass>(cls);
+            const uint8_t anchored = c.u8();
+            const uint8_t cyclic = c.u8();
+            if (anchored > 1 || cyclic > 1 || c.u8() != 0)
+                fail(recOff, "PROF flag bytes are not canonical");
+            p.anchored = anchored != 0;
+            p.cyclic = cyclic != 0;
+            p.minMatchLen = c.u32();
+            p.maxMatchLen = c.u32();
+            p.maxActivationDepth = c.u32();
+            p.blowupLog2 = c.u32();
+            p.minCounterTarget = c.u32();
+            p.maxCounterTarget = c.u32();
+            const uint32_t litLen = c.u32();
+            c.need(litLen);
+            p.mandatoryLiteral.assign(
+                reinterpret_cast<const char *>(c.p + c.at), litLen);
+            c.at += litLen;
+            la.profiles_.push_back(std::move(p));
+        }
+        if (!c.done())
+            fail(c.abs(), "PROF section has trailing bytes");
+        la.hasProf_ = true;
+    }
 
     if ((la.flags_ & kFlagExecImage) != 0) {
         if (!execSeen)

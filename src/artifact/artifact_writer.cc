@@ -247,7 +247,8 @@ writeImpl(const Automaton &a, const WriteOptions &opts,
     info.resetEdgeCount = a.resetEdgeCount();
     info.idWidth = idWidth;
 
-    const size_t sectionCount = opts.execImage ? 6 : 5;
+    const size_t sectionCount = 5 + (opts.componentProfiles ? 1 : 0) +
+                                (opts.execImage ? 1 : 0);
     std::vector<uint8_t> out(
         kHeaderSize + sectionCount * kSectionEntrySize, 0);
 
@@ -317,6 +318,44 @@ writeImpl(const Automaton &a, const WriteOptions &opts,
     for (ElementId i = 0; i < n; ++i)
         encodeList(out, a.element(i).resetOut, i, idWidth, info);
     endSection();
+
+    // PROF: per-component planning facts (docs/ARTIFACT_FORMAT.md
+    // §6b). Inference needs in-range edge targets, which the
+    // automaton's own check() — already passed — guarantees.
+    if (opts.componentProfiles) {
+        const std::vector<analysis::ComponentProfile> profiles =
+            analysis::inferProfiles(a);
+        info.profileCount = static_cast<uint32_t>(profiles.size());
+        beginSection("PROF");
+        putU32(out, static_cast<uint32_t>(profiles.size()));
+        putU32(out, 0); // reserved
+        for (const analysis::ComponentProfile &p : profiles) {
+            putU32(out, p.componentId);
+            putU32(out, p.firstElement);
+            putU32(out, p.steCount);
+            putU32(out, p.counterCount);
+            putU32(out, p.edgeCount);
+            putU32(out, p.startCount);
+            putU32(out, p.reportCount);
+            out.push_back(static_cast<uint8_t>(p.cls));
+            out.push_back(p.anchored ? 1 : 0);
+            out.push_back(p.cyclic ? 1 : 0);
+            out.push_back(0);
+            putU32(out, p.minMatchLen);
+            putU32(out, p.maxMatchLen);
+            putU32(out, p.maxActivationDepth);
+            putU32(out, p.blowupLog2);
+            putU32(out, p.minCounterTarget);
+            putU32(out, p.maxCounterTarget);
+            putU32(out, static_cast<uint32_t>(
+                            p.mandatoryLiteral.size()));
+            putBytes(out,
+                     reinterpret_cast<const uint8_t *>(
+                         p.mandatoryLiteral.data()),
+                     p.mandatoryLiteral.size());
+        }
+        endSection();
+    }
 
     // EXEC: the zero-copy execution image, byte-for-byte what
     // NfaEngine(const Automaton &) would have compiled.

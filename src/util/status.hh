@@ -125,6 +125,12 @@ class StatusError : public std::exception
     Status status_;
 };
 
+namespace detail {
+[[noreturn]] void expectedValuePanic();
+[[noreturn]] void expectedOkStatusPanic();
+[[noreturn]] void expectedDie(const Status &status);
+} // namespace detail
+
 /**
  * Value-or-Status. Holds the value on success, a non-OK Status on
  * failure; checked access panics on misuse (a *library* bug, unlike
@@ -145,24 +151,31 @@ class Expected
 
     const Status &status() const { return status_; }
 
+    // The empty-checks below are spelled value_.has_value() inline —
+    // not via a shared assert helper — so flow-sensitive optional
+    // checks (bugprone-unchecked-optional-access) can prove every
+    // *value_ deref is guarded.
     T &
     value() &
     {
-        assertHasValue();
+        if (!value_.has_value())
+            detail::expectedValuePanic();
         return *value_;
     }
 
     const T &
     value() const &
     {
-        assertHasValue();
+        if (!value_.has_value())
+            detail::expectedValuePanic();
         return *value_;
     }
 
     T &&
     value() &&
     {
-        assertHasValue();
+        if (!value_.has_value())
+            detail::expectedValuePanic();
         return std::move(*value_);
     }
 
@@ -176,34 +189,19 @@ class Expected
     T valueOrDie() &&;
 
   private:
-    void assertHasValue() const;
     void assertNotOk() const;
 
     std::optional<T> value_;
     Status status_;
 };
 
-namespace detail {
-[[noreturn]] void expectedValuePanic();
-[[noreturn]] void expectedOkStatusPanic();
-[[noreturn]] void expectedDie(const Status &status);
-} // namespace detail
-
 template <typename T>
 T
 Expected<T>::valueOrDie() &&
 {
-    if (!ok())
+    if (!value_.has_value())
         detail::expectedDie(status_);
     return std::move(*value_);
-}
-
-template <typename T>
-void
-Expected<T>::assertHasValue() const
-{
-    if (!value_.has_value())
-        detail::expectedValuePanic();
 }
 
 template <typename T>

@@ -13,7 +13,11 @@
 #include <sstream>
 
 #include "analysis/analysis.hh"
+#include "analysis/dataflow.hh"
+#include "analysis/profile.hh"
+#include "analysis/sarif.hh"
 #include "bits/bit_builder.hh"
+#include "obs/obs.hh"
 #include "core/builder.hh"
 #include "regex/glushkov.hh"
 #include "regex/parser.hh"
@@ -422,6 +426,253 @@ TEST(RuleTable, IdsAndNamesAreUniqueAndStable)
               "V001");
     EXPECT_EQ(std::string(analysis::ruleId(Rule::kParallelTwins)),
               "L101");
+}
+
+using analysis::ComponentClass;
+using analysis::ComponentProfile;
+using analysis::InferOptions;
+using analysis::kUnboundedLen;
+
+TEST(Dataflow, DistancesOnAChain)
+{
+    Automaton a = healthy(); // a -> b -> c, reporter at c
+    auto views = analysis::ComponentView::split(a);
+    ASSERT_EQ(views.size(), 1u);
+    const analysis::DistFacts d = analysis::distances(views[0]);
+    // source=0, sink gets min=max=4 edges (source->a->b->c->sink).
+    EXPECT_EQ(d.minFromSource[analysis::ComponentView::kSink], 4u);
+    EXPECT_EQ(d.maxFromSource[analysis::ComponentView::kSink], 4u);
+}
+
+TEST(Dataflow, MandatoryChainOfAChainIsEveryNode)
+{
+    Automaton a = healthy();
+    auto views = analysis::ComponentView::split(a);
+    const auto idom = analysis::dominators(views[0]);
+    const auto chain = analysis::mandatoryChain(idom);
+    ASSERT_EQ(chain.size(), 3u); // all three STEs are mandatory
+}
+
+TEST(Profile, LiteralChainFacts)
+{
+    Automaton a("lit");
+    addLiteral(a, "abcdef", StartType::kAllInput, true, 1);
+    const auto profiles = analysis::inferProfiles(a);
+    ASSERT_EQ(profiles.size(), 1u);
+    const ComponentProfile &p = profiles[0];
+    EXPECT_EQ(p.cls, ComponentClass::kLiteralChain);
+    EXPECT_EQ(p.mandatoryLiteral, "abcdef");
+    EXPECT_EQ(p.steCount, 6u);
+    EXPECT_EQ(p.counterCount, 0u);
+    EXPECT_EQ(p.edgeCount, 5u);
+    EXPECT_EQ(p.startCount, 1u);
+    EXPECT_EQ(p.reportCount, 1u);
+    EXPECT_EQ(p.minMatchLen, 6u);
+    EXPECT_EQ(p.maxMatchLen, 6u);
+    EXPECT_FALSE(p.anchored); // all-input start scans every offset
+    EXPECT_FALSE(p.cyclic);
+    EXPECT_EQ(p.blowupLog2, 3u); // ceil(log2(6 + 2))
+}
+
+TEST(Profile, MatchLengthIntervalsAndWeakFactor)
+{
+    Automaton a = compileRegex(parseRegexOrDie("ab(c|d)e"), 3);
+    const auto profiles = analysis::inferProfiles(a);
+    ASSERT_EQ(profiles.size(), 1u);
+    const ComponentProfile &p = profiles[0];
+    EXPECT_EQ(p.minMatchLen, 4u);
+    EXPECT_EQ(p.maxMatchLen, 4u);
+    EXPECT_EQ(p.mandatoryLiteral, "ab");
+    EXPECT_EQ(p.cls, ComponentClass::kBoundedRegex);
+}
+
+TEST(Profile, UnboundedRegexIsCyclic)
+{
+    Automaton a = compileRegex(parseRegexOrDie("ab*(c|d)e"), 3);
+    const auto profiles = analysis::inferProfiles(a);
+    ASSERT_EQ(profiles.size(), 1u);
+    const ComponentProfile &p = profiles[0];
+    EXPECT_TRUE(p.cyclic);
+    EXPECT_EQ(p.cls, ComponentClass::kCyclicUnbounded);
+    EXPECT_EQ(p.minMatchLen, 3u); // "ace"
+    EXPECT_EQ(p.maxMatchLen, kUnboundedLen);
+    // Frontier: a@[1,1]; b,c,d open at 2 unbounded; e at 3 -> peak 4.
+    EXPECT_EQ(p.blowupLog2, 4u);
+}
+
+TEST(Profile, AnchoredChainQuiesces)
+{
+    Automaton a("anchored");
+    addLiteral(a, "abcd", StartType::kStartOfData, true, 1);
+    const auto profiles = analysis::inferProfiles(a);
+    ASSERT_EQ(profiles.size(), 1u);
+    EXPECT_TRUE(profiles[0].anchored);
+    EXPECT_EQ(profiles[0].maxActivationDepth, 4u);
+}
+
+TEST(Profile, CounterCoupledFacts)
+{
+    Automaton a("ctr");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput);
+    ElementId c = a.addCounter(5, CounterMode::kLatch, true, 1);
+    a.addEdge(s, c);
+    const auto profiles = analysis::inferProfiles(a);
+    ASSERT_EQ(profiles.size(), 1u);
+    const ComponentProfile &p = profiles[0];
+    EXPECT_EQ(p.cls, ComponentClass::kCounterCoupled);
+    EXPECT_EQ(p.counterCount, 1u);
+    EXPECT_EQ(p.minCounterTarget, 5u);
+    EXPECT_EQ(p.maxCounterTarget, 5u);
+}
+
+TEST(Profile, DeterministicAcrossRuns)
+{
+    Automaton a = compileRegex(parseRegexOrDie("ab*(c|d)e"), 3);
+    EXPECT_EQ(analysis::inferProfiles(a), analysis::inferProfiles(a));
+}
+
+TEST(ProfileLint, PrefilterHostileFires)
+{
+    Automaton a("hostile");
+    ElementId s = a.addSte(CharSet::all(), StartType::kAllInput, true, 1);
+    a.addEdge(s, s);
+    const auto profiles = analysis::inferProfiles(a);
+    Report r = analysis::profileLint(a, profiles);
+    EXPECT_EQ(r.count(Rule::kPrefilterHostile), 1u) << dump(r);
+    EXPECT_TRUE(r.clean()); // warning, not error
+}
+
+TEST(ProfileLint, LiteralChainNoteAndKillSwitch)
+{
+    Automaton a("lit");
+    addLiteral(a, "abcdef", StartType::kAllInput, true, 1);
+    const auto profiles = analysis::inferProfiles(a);
+    Report r = analysis::profileLint(a, profiles);
+    EXPECT_EQ(r.count(Rule::kLiteralChainComponent), 1u) << dump(r);
+
+    Options opts;
+    opts.disable(Rule::kLiteralChainComponent);
+    Report r2 = analysis::profileLint(a, profiles, opts);
+    EXPECT_EQ(r2.count(Rule::kLiteralChainComponent), 0u) << dump(r2);
+}
+
+TEST(ProfileLint, WeakLiteralFactorNotes)
+{
+    Automaton a = compileRegex(parseRegexOrDie("ab(c|d)e"), 3);
+    const auto profiles = analysis::inferProfiles(a);
+    Report r = analysis::profileLint(a, profiles);
+    EXPECT_EQ(r.count(Rule::kWeakLiteralFactor), 1u) << dump(r);
+}
+
+TEST(ProfileLint, BlowupRiskRespectsThreshold)
+{
+    Automaton a = compileRegex(parseRegexOrDie("ab*(c|d)e"), 3);
+    const auto profiles = analysis::inferProfiles(a);
+    InferOptions iopts;
+    iopts.blowupWarnLog2 = 4; // fixture's estimate is exactly 4
+    Report r = analysis::profileLint(a, profiles, {}, iopts);
+    EXPECT_EQ(r.count(Rule::kDfaBlowupRisk), 1u) << dump(r);
+    iopts.blowupWarnLog2 = 5;
+    Report r2 = analysis::profileLint(a, profiles, {}, iopts);
+    EXPECT_EQ(r2.count(Rule::kDfaBlowupRisk), 0u) << dump(r2);
+}
+
+TEST(ProfileLint, CounterUnsatisfiableFires)
+{
+    Automaton a("unsat");
+    ElementId s1 = a.addSte(CharSet::single('x'), StartType::kStartOfData);
+    ElementId s2 = a.addSte(CharSet::single('y'));
+    ElementId c = a.addCounter(100, CounterMode::kLatch, true, 1);
+    a.addEdge(s1, s2);
+    a.addEdge(s2, c);
+    const auto profiles = analysis::inferProfiles(a);
+    ASSERT_EQ(profiles.size(), 1u);
+    EXPECT_TRUE(profiles[0].anchored);
+    Report r = analysis::profileLint(a, profiles);
+    EXPECT_EQ(r.count(Rule::kCounterUnsatisfiable), 1u) << dump(r);
+
+    // A satisfiable target within the activation depth is quiet.
+    a.element(c).target = 3;
+    const auto ok = analysis::inferProfiles(a);
+    Report r2 = analysis::profileLint(a, ok);
+    EXPECT_EQ(r2.count(Rule::kCounterUnsatisfiable), 0u) << dump(r2);
+}
+
+TEST(ProfileObs, InferenceInstrumentsCompileOut)
+{
+    analysis::verify(healthy());
+    analysis::inferProfiles(healthy());
+    auto &reg = obs::Registry::global();
+    const uint64_t comps = reg.counterValue("analysis.facts.components");
+    const std::string json = reg.toJson();
+    if (obs::kEnabled) {
+        EXPECT_GT(comps, 0u);
+        EXPECT_NE(json.find("analysis.verify.ns"), std::string::npos);
+        EXPECT_NE(json.find("analysis.infer.ns"), std::string::npos);
+    } else {
+        EXPECT_EQ(comps, 0u);
+        EXPECT_EQ(json.find("analysis.verify.ns"), std::string::npos);
+        EXPECT_EQ(json.find("analysis.infer.ns"), std::string::npos);
+    }
+}
+
+TEST(Sarif, DocumentShapeAndLevels)
+{
+    Automaton a = healthy();
+    a.element(0).out.push_back(42); // dangling -> one error result
+    std::vector<std::pair<std::string, Report>> reports;
+    reports.emplace_back("x.anml", analysis::verify(a));
+    const std::string doc = analysis::toSarif(reports);
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(doc.find("sarif-2.1.0.json"), std::string::npos);
+    EXPECT_NE(doc.find("\"ruleId\": \"V001\""), std::string::npos);
+    EXPECT_NE(doc.find("\"level\": \"error\""), std::string::npos);
+    EXPECT_NE(doc.find("\"uri\": \"x.anml\""), std::string::npos);
+    // The driver's rule table lists every rule, fired or not.
+    EXPECT_NE(doc.find("\"id\": \"A205\""), std::string::npos);
+    // Deterministic serialization.
+    EXPECT_EQ(doc, analysis::toSarif(reports));
+}
+
+/** Every ClamAV- and YARA-class component is a literal chain with a
+ *  usable mandatory factor — the planner's prefilter precondition. */
+TEST(ProfileZoo, ClamAvAndYaraComponentsAreLiteralChains)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 4096;
+    for (const char *name : {"ClamAV", "YARA", "YARA Wide"}) {
+        SCOPED_TRACE(name);
+        zoo::Benchmark b = zoo::makeBenchmark(name, cfg);
+        const auto profiles = analysis::inferProfiles(b.automaton);
+        ASSERT_FALSE(profiles.empty());
+        for (const ComponentProfile &p : profiles) {
+            EXPECT_EQ(p.cls, ComponentClass::kLiteralChain)
+                << "component " << p.componentId << " (first element "
+                << p.firstElement << ") classified as "
+                << analysis::componentClassName(p.cls);
+            EXPECT_FALSE(p.mandatoryLiteral.empty())
+                << "component " << p.componentId;
+        }
+    }
+}
+
+/** Profiles exist for all 24 zoo benchmarks (acceptance criterion). */
+TEST(ProfileZoo, AllBenchmarksProfileCleanly)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 4096;
+    for (const auto &info : zoo::allBenchmarks()) {
+        SCOPED_TRACE(info.name);
+        zoo::Benchmark b = info.make(cfg);
+        const auto profiles = analysis::inferProfiles(b.automaton);
+        EXPECT_FALSE(profiles.empty());
+        // The A2xx pass must not produce errors on shipped zoo
+        // automata (warnings and notes are expected and ratcheted).
+        Report r = analysis::profileLint(b.automaton, profiles);
+        EXPECT_EQ(r.errors, 0u) << dump(r);
+    }
 }
 
 /**

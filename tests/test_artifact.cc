@@ -14,6 +14,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstring>
 
 #include "artifact/artifact.hh"
 #include "engine/nfa_engine.hh"
@@ -34,7 +35,7 @@ using artifact::WriteOptions;
  * annotated hex dump (and this array) must be regenerated together.
  */
 const uint8_t kGolden[] = {
-    0x89, 0x41, 0x5a, 0x4f, 0x4f, 0x58, 0x0d, 0x0a, 0x01, 0x00, 0x00, 0x00,
+    0x89, 0x41, 0x5a, 0x4f, 0x4f, 0x58, 0x0d, 0x0a, 0x01, 0x00, 0x01, 0x00,
     0x00, 0x00, 0x00, 0x00, 0x60, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
     0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
     0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
@@ -557,6 +558,109 @@ TEST(Identical, CountersRoundTrip)
     EXPECT_TRUE(artifact::automataIdentical(a, *m));
     EXPECT_EQ(m->element(1).mode, CounterMode::kRollover);
     EXPECT_EQ(m->element(1).target, 3u);
+}
+
+// ---------------------------------------------------------------
+// PROF: component profiles ride in the artifact bit-identically.
+// ---------------------------------------------------------------
+
+std::vector<uint8_t>
+writeWithProfiles(const Automaton &a)
+{
+    WriteOptions w;
+    w.execImage = false;
+    w.componentProfiles = true;
+    Expected<std::vector<uint8_t>> bytes = artifact::writeArtifact(a, w);
+    EXPECT_TRUE(bytes.ok()) << bytes.status().str();
+    return std::move(*std::move(bytes));
+}
+
+TEST(Prof, AbsentByDefault)
+{
+    LoadedArtifact la = loadOrDie(writeOrDie(specExample(), false));
+    EXPECT_FALSE(la.hasProfiles());
+    EXPECT_TRUE(la.componentProfiles().empty());
+    for (const artifact::SectionInfo &s : la.sections())
+        EXPECT_NE(s.tag, "PROF");
+}
+
+TEST(Prof, RoundTripsBitIdentically)
+{
+    const Automaton a = specExample();
+    LoadedArtifact la = loadOrDie(writeWithProfiles(a));
+    ASSERT_TRUE(la.hasProfiles());
+    // operator== is defaulted over every field, so this is the
+    // bit-for-bit criterion, literal string included.
+    EXPECT_EQ(la.componentProfiles(), analysis::inferProfiles(a));
+}
+
+TEST(Prof, CounterFactsRoundTrip)
+{
+    Automaton a("ctr");
+    ElementId s =
+        a.addSte(CharSet::single('x'), StartType::kStartOfData);
+    ElementId c = a.addCounter(3, CounterMode::kLatch, true, 9);
+    a.addEdge(s, c);
+    LoadedArtifact la = loadOrDie(writeWithProfiles(a));
+    ASSERT_TRUE(la.hasProfiles());
+    ASSERT_EQ(la.componentProfiles().size(), 1u);
+    const analysis::ComponentProfile &p = la.componentProfiles()[0];
+    EXPECT_EQ(p.cls, analysis::ComponentClass::kCounterCoupled);
+    EXPECT_EQ(p.counterCount, 1u);
+    EXPECT_EQ(p.minCounterTarget, 3u);
+    EXPECT_EQ(p.maxCounterTarget, 3u);
+    EXPECT_EQ(la.componentProfiles(), analysis::inferProfiles(a));
+}
+
+TEST(Prof, ZooBenchmarkRoundTripsBitIdentically)
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 1024;
+    const zoo::Benchmark b = zoo::makeBenchmark("YARA", cfg);
+    LoadedArtifact la = loadOrDie(writeWithProfiles(b.automaton));
+    ASSERT_TRUE(la.hasProfiles());
+    const auto expected = analysis::inferProfiles(b.automaton);
+    EXPECT_GT(expected.size(), 1u);
+    EXPECT_EQ(la.componentProfiles(), expected);
+}
+
+TEST(Prof, CorruptClassFailsAtLoad)
+{
+    std::vector<uint8_t> bytes = writeWithProfiles(specExample());
+    uint64_t profOff = 0;
+    {
+        LoadedArtifact la = loadOrDie(std::vector<uint8_t>(bytes));
+        for (const artifact::SectionInfo &s : la.sections()) {
+            if (s.tag == "PROF")
+                profOff = s.offset;
+        }
+        ASSERT_NE(profOff, 0u);
+    }
+    // Record 0's class byte: 8-byte section header + 7 u32 stats.
+    bytes[profOff + 8 + 28] = 7;
+    fixCrc(bytes);
+    EXPECT_EQ(loadError(std::move(bytes)), ErrorCode::kParseError);
+}
+
+TEST(Prof, TruncatedSectionFailsAtLoad)
+{
+    std::vector<uint8_t> good = writeWithProfiles(specExample());
+    // Shrink the PROF table entry's length: the record cursor must
+    // run out of bytes, structurally.
+    size_t entry = 0;
+    for (size_t at = artifact::kHeaderSize; at + 4 <= good.size();
+         at += artifact::kSectionEntrySize) {
+        if (std::memcmp(good.data() + at, "PROF", 4) == 0) {
+            entry = at;
+            break;
+        }
+    }
+    ASSERT_NE(entry, 0u);
+    ASSERT_GT(good[entry + 16], 1u);
+    good[entry + 16] -= 1;
+    fixCrc(good);
+    EXPECT_EQ(loadError(std::move(good)), ErrorCode::kParseError);
 }
 
 } // namespace

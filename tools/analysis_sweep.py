@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""CI analysis sweep: lint every zoo benchmark, raw and transformed.
+
+Generates each benchmark with azoo_gen, runs azoo_lint over the raw
+automaton and after every azoo_opt transform pass (prefix, suffix,
+full, prune, and — for counter-free benchmarks — widen, linted with
+--widened), and compares the per-rule finding counts against the
+committed ratchet file:
+
+  - error-level findings always fail: shipped zoo automata are
+    error-free by contract, at every stage;
+  - warning counts may not exceed the ratchet baseline (a new warning
+    fails CI; fixing one prints a reminder to re-ratchet);
+  - notes are informational and never gate.
+
+Run `analysis_sweep.py --build-dir build --update` after an
+intentional change to refresh tools/analysis_ratchet.json, and commit
+the diff. Stdlib only; exit 0 clean, 1 on regression, 64 usage.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+PASSES = ["prefix", "suffix", "full", "prune", "widen"]
+
+
+def run(cmd, ok_codes=(0,)):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode not in ok_codes:
+        sys.stderr.write(f"analysis_sweep: {' '.join(cmd)} exited "
+                         f"{proc.returncode}:\n{proc.stdout}\n")
+        sys.exit(1)
+    return proc
+
+
+def benchmark_names(gen):
+    out = run([gen, "--list"]).stdout
+    names = []
+    for line in out.splitlines():
+        # "<name>  [<category>]"
+        name = line.split("  [")[0].strip()
+        if name:
+            names.append(name)
+    return names
+
+
+def lint_counts(lint, path, widened=False):
+    """Run azoo_lint with SARIF output; return ({rule: count} for
+    errors+warnings, note_total, classes) where classes is the set of
+    component-class codes seen (from the census line)."""
+    sarif_path = path + ".sarif"
+    cmd = [lint, "--in", path, f"--json={sarif_path}"]
+    if widened:
+        cmd.append("--widened")
+    proc = run(cmd, ok_codes=(0, 65))
+    classes = set()
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if line.startswith("components: "):
+            census = line[len("components: "):].split(",")[0]
+            for tok in census.split("/"):
+                if tok and tok[0] in "LRCU":
+                    classes.add(tok[0])
+    with open(sarif_path, encoding="utf-8") as f:
+        doc = json.load(f)
+    counts = {}
+    notes = 0
+    for sarif_run in doc["runs"]:
+        for result in sarif_run["results"]:
+            level = result.get("level", "warning")
+            if level == "note":
+                notes += 1
+                continue
+            key = f"{level}:{result['ruleId']}"
+            counts[key] = counts.get(key, 0) + 1
+    return counts, notes, classes
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--ratchet",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "analysis_ratchet.json"))
+    ap.add_argument("--scale", default="0.01")
+    ap.add_argument("--input", default="4096")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the ratchet file instead of checking")
+    args = ap.parse_args()
+
+    tools = os.path.join(args.build_dir, "tools")
+    gen = os.path.join(tools, "azoo_gen")
+    opt = os.path.join(tools, "azoo_opt")
+    lint = os.path.join(tools, "azoo_lint")
+    for tool in (gen, opt, lint):
+        if not os.path.exists(tool):
+            sys.stderr.write(f"analysis_sweep: {tool} not built\n")
+            return 64
+
+    baseline = {}
+    if not args.update:
+        with open(args.ratchet, encoding="utf-8") as f:
+            baseline = json.load(f)
+
+    observed = {}
+    failures = []
+    improvements = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in benchmark_names(gen):
+            base = os.path.join(tmp, name.replace(" ", "_"))
+            run([gen, "--name", name, "--out", base, "--format",
+                 "mnrl", "--scale", args.scale, "--input", args.input])
+            raw = base + ".mnrl"
+
+            counts, notes, classes = lint_counts(lint, raw)
+            stages = [("raw", counts, notes)]
+            has_counters = "C" in classes
+            for pass_name in PASSES:
+                if pass_name == "widen" and has_counters:
+                    continue  # widen is STE-only by design
+                staged = f"{base}.{pass_name}.mnrl"
+                run([opt, "--in", raw, "--out", staged, "--pass",
+                     pass_name])
+                counts, notes, _ = lint_counts(
+                    lint, staged, widened=(pass_name == "widen"))
+                stages.append((pass_name, counts, notes))
+
+            for stage, counts, notes in stages:
+                key = f"{name}::{stage}"
+                observed[key] = counts
+                total = sum(counts.values())
+                print(f"  {key}: {total} gating finding(s), "
+                      f"{notes} note(s)")
+                if args.update:
+                    continue
+                base_counts = baseline.get(key, {})
+                for rule, count in counts.items():
+                    level = rule.split(":", 1)[0]
+                    allowed = base_counts.get(rule, 0)
+                    if level == "error" or count > allowed:
+                        failures.append(
+                            f"{key}: {rule} x{count} "
+                            f"(ratchet allows {allowed})")
+                for rule, allowed in base_counts.items():
+                    if counts.get(rule, 0) < allowed:
+                        improvements.append(
+                            f"{key}: {rule} improved to "
+                            f"{counts.get(rule, 0)} (< {allowed})")
+
+    if args.update:
+        # Drop empty entries so the committed file only lists stages
+        # that actually carry findings.
+        slim = {k: v for k, v in sorted(observed.items()) if v}
+        with open(args.ratchet, "w", encoding="utf-8") as f:
+            json.dump(slim, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"analysis_sweep: wrote {args.ratchet} "
+              f"({len(slim)} ratcheted stages)")
+        return 0
+
+    for msg in improvements:
+        print(f"analysis_sweep: NOTE {msg} — consider --update")
+    for msg in failures:
+        sys.stderr.write(f"analysis_sweep: FAIL {msg}\n")
+    print(f"analysis_sweep: {len(observed)} stages checked, "
+          f"{len(failures)} regression(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

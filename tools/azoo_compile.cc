@@ -4,7 +4,7 @@
  *
  * Usage:
  *   azoo_compile --in x.mnrl --out x.azoox
- *                [--no-exec] [--verify] [--quiet]
+ *                [--no-exec] [--profile] [--verify] [--quiet]
  *                [--max-states N] [--max-edges N]
  *
  * Reads any supported automaton format (.mnrl / .anml / azml by
@@ -15,6 +15,10 @@
  *
  * --no-exec omits the zero-copy execution image (smaller file; the
  * loader falls back to materializing the graph sections).
+ *
+ * --profile embeds the PROF section: one inferred ComponentProfile
+ * per connected component (class, literal factor, match-length and
+ * counter facts), so planners reading the artifact skip inference.
  *
  * --verify re-loads the written file, materializes it, checks the
  * round trip is element- and edge-identical to what was compiled,
@@ -29,6 +33,7 @@
 #include <iostream>
 
 #include "analysis/analysis.hh"
+#include "analysis/profile.hh"
 #include "artifact/artifact.hh"
 #include "tool_common.hh"
 #include "util/cli.hh"
@@ -40,8 +45,8 @@ int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv,
-            {"in", "out", "no-exec", "verify", "quiet", "max-states",
-             "max-edges"});
+            {"in", "out", "no-exec", "profile", "verify", "quiet",
+             "max-states", "max-edges"});
     const std::string in = cli.get("in");
     const std::string out = cli.get("out");
     if (in.empty() || out.empty())
@@ -58,6 +63,7 @@ main(int argc, char **argv)
 
     artifact::WriteOptions wopts;
     wopts.execImage = !cli.getBool("no-exec");
+    wopts.componentProfiles = cli.getBool("profile");
     Expected<artifact::ArtifactInfo> info =
         artifact::saveArtifact(out, a, wopts);
     if (!info.ok()) {
@@ -76,6 +82,9 @@ main(int argc, char **argv)
                   << " empty, " << info->listsChain << " chain, "
                   << info->listsSparse << " sparse, "
                   << info->listsDense << " dense\n";
+        if (wopts.componentProfiles)
+            std::cout << "  profiles: " << info->profileCount
+                      << " components\n";
         for (const artifact::SectionInfo &s : info->sections) {
             std::cout << "  section " << s.tag << ": " << s.length
                       << " bytes at offset " << s.offset << "\n";
@@ -106,6 +115,13 @@ main(int argc, char **argv)
         if (!artifact::automataIdentical(a, *m)) {
             std::cerr << "verify: round trip is not identical to the "
                          "compiled automaton\n";
+            return tool::kExitInternal;
+        }
+        if (wopts.componentProfiles &&
+            (!la->hasProfiles() ||
+             la->componentProfiles() != analysis::inferProfiles(*m))) {
+            std::cerr << "verify: PROF section does not round-trip "
+                         "the inferred component profiles\n";
             return tool::kExitInternal;
         }
         // Post-load hard-invariant sweep: anything verify() flags in

@@ -6,20 +6,28 @@
  *   azoo_lint --in x.anml[,y.mnrl,...]
  *             [--no-lint] [--disable rule1,rule2]
  *             [--fanout N] [--padding N] [--widened]
+ *             [--min-factor N] [--blowup-log2 N]
+ *             [--json[=FILE]] [--metrics[=FILE]]
  *             [--max N] [--quiet] [--list-rules]
  *
  * Loads ANML/MNRL/azml automata (format by extension), runs the
  * analysis::verify() invariant checks plus (unless --no-lint) the
- * soft lint rules, prints a diagnostics table per file, and exits
- * nonzero when any error-severity finding exists — the CI contract.
+ * soft lint rules and the A2xx component-profile rules, prints a
+ * diagnostics table per file (or one SARIF 2.1.0 document with
+ * --json), and exits 65 (EX_DATAERR) when any error-severity finding
+ * exists — the CI contract. Usage errors exit 64.
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "analysis/analysis.hh"
+#include "analysis/profile.hh"
+#include "analysis/sarif.hh"
 #include "core/anml.hh"
 #include "core/mnrl.hh"
 #include "core/serialize.hh"
+#include "obs/obs.hh"
 #include "tool_common.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -63,6 +71,44 @@ elementCell(ElementId id)
     return id == kNoElement ? "-" : std::to_string(id);
 }
 
+/** "L12/R3/C1/U2" census of component classes, skipping zeroes. */
+std::string
+classCensus(const std::vector<analysis::ComponentProfile> &profiles)
+{
+    size_t counts[4] = {};
+    size_t with_factor = 0;
+    for (const auto &p : profiles) {
+        ++counts[static_cast<size_t>(p.cls)];
+        with_factor += !p.mandatoryLiteral.empty();
+    }
+    std::string census;
+    for (size_t c = 0; c < 4; ++c) {
+        if (counts[c] == 0)
+            continue;
+        if (!census.empty())
+            census += "/";
+        census += analysis::componentClassCode(
+            static_cast<analysis::ComponentClass>(c));
+        census += std::to_string(counts[c]);
+    }
+    return cat(census.empty() ? "none" : census, ", literal factor on ",
+               with_factor, "/", profiles.size(), " components");
+}
+
+/** Write @p text to @p dest ("", "true" -> stdout). */
+void
+emit(const std::string &dest, const std::string &text)
+{
+    if (dest.empty() || dest == "true") {
+        std::cout << text;
+        return;
+    }
+    std::ofstream out(dest, std::ios::binary);
+    if (!out)
+        fatal(cat("azoo_lint: cannot write ", dest));
+    out << text;
+}
+
 } // namespace
 
 int
@@ -70,11 +116,12 @@ main(int argc, char **argv)
 {
     Cli cli(argc, argv,
             {"in", "no-lint", "disable", "fanout", "padding", "widened",
-             "max", "quiet", "list-rules"});
+             "min-factor", "blowup-log2", "json", "metrics", "max",
+             "quiet", "list-rules"});
 
     if (cli.getBool("list-rules")) {
         listRules();
-        return 0;
+        return tool::kExitOk;
     }
 
     const std::string in = cli.get("in");
@@ -93,29 +140,64 @@ main(int argc, char **argv)
             opts.disable(ruleByName(name));
     }
 
+    analysis::InferOptions iopts;
+    iopts.literalChainMinFactor =
+        static_cast<uint32_t>(cli.getInt("min-factor", 4));
+    iopts.blowupWarnLog2 =
+        static_cast<uint32_t>(cli.getInt("blowup-log2", 20));
+
     const bool run_lint = !cli.getBool("no-lint");
     const bool quiet = cli.getBool("quiet");
+    const bool json = cli.has("json");
+    const bool json_to_stdout =
+        json && (cli.get("json") == "true" || cli.get("json").empty());
     const size_t max_printed =
         static_cast<size_t>(cli.getInt("max", 50));
 
     size_t total_errors = 0;
+    std::vector<std::pair<std::string, analysis::Report>> reports;
     for (const std::string &path : split(in, ',')) {
         if (path.empty())
             continue;
         Automaton a = tool::loadAnyOrExit(path);
         analysis::Report rep = run_lint ? analysis::analyze(a, opts)
                                         : analysis::verify(a, opts);
+
+        // The inference passes index edge targets freely, so they
+        // are gated on the verifier's dangling-edge rules.
+        std::vector<analysis::ComponentProfile> profiles;
+        const bool indices_ok =
+            !rep.has(analysis::Rule::kDanglingEdge) &&
+            !rep.has(analysis::Rule::kDanglingReset);
+        if (run_lint && indices_ok) {
+            profiles = analysis::inferProfiles(a, iopts);
+            rep.absorb(
+                analysis::profileLint(a, profiles, opts, iopts));
+        }
         total_errors += rep.errors;
 
-        std::cout << path << ": automaton '" << a.name() << "', "
-                  << a.size() << " elements: " << rep.summary()
-                  << "\n";
-        if (quiet || rep.diags.empty())
+        if (!json_to_stdout) {
+            std::cout << path << ": automaton '" << a.name() << "', "
+                      << a.size() << " elements: " << rep.summary()
+                      << "\n";
+            if (!profiles.empty()) {
+                std::cout << "  components: " << classCensus(profiles)
+                          << "\n";
+            }
+        }
+        if (json)
+            reports.emplace_back(path, std::move(rep));
+        if (json_to_stdout || quiet ||
+            (json ? reports.back().second.diags.empty()
+                  : rep.diags.empty())) {
             continue;
+        }
 
+        const analysis::Report &printed_rep =
+            json ? reports.back().second : rep;
         Table t({"Severity", "Rule", "Element", "Message"});
         size_t printed = 0;
-        for (const auto &d : rep.diags) {
+        for (const auto &d : printed_rep.diags) {
             if (printed++ >= max_printed)
                 break;
             t.addRow({analysis::severityName(d.severity),
@@ -124,10 +206,18 @@ main(int argc, char **argv)
                       elementCell(d.element), d.message});
         }
         t.print(std::cout);
-        if (rep.diags.size() > max_printed) {
-            std::cout << "  ... " << rep.diags.size() - max_printed
+        if (printed_rep.diags.size() > max_printed) {
+            std::cout << "  ... "
+                      << printed_rep.diags.size() - max_printed
                       << " more (raise --max to see them)\n";
         }
     }
-    return total_errors == 0 ? 0 : 1;
+
+    if (json)
+        emit(cli.get("json"), analysis::toSarif(reports));
+    if (cli.has("metrics")) {
+        emit(cli.get("metrics"),
+             obs::Registry::global().toJson() + "\n");
+    }
+    return total_errors == 0 ? tool::kExitOk : tool::kExitBadData;
 }

@@ -16,6 +16,12 @@ Two classes of rot this catches:
    Prose may mention other tools' flags freely; the tables are the
    per-tool contract.
 
+3. Rule-catalog drift between azoo_lint and docs/ANALYSIS.md. The
+   doc is normative for rule semantics, so the check is
+   two-directional: every rule id ``azoo_lint --list-rules`` prints
+   must appear in ANALYSIS.md, and every V/L/A-numbered id written
+   in ANALYSIS.md must exist in the binary.
+
 Usage: check_docs.py [--build-dir BUILD] [--repo ROOT]
 Exit codes follow the tools' sysexits convention: 0 clean, 65 when
 any check fails, 64 for usage errors.
@@ -31,6 +37,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"--([a-z][a-z0-9-]*)")
 TABLE_FLAG_RE = re.compile(r"^\|\s*`--([a-z][a-z0-9-]*)")
 TOOL_SECTION_RE = re.compile(r"^## (azoo_[a-z]+)\b")
+# Rule ids live in fixed hundreds-blocks (V0xx, L1xx, A2xx), which
+# keeps census strings like "L235" from false-matching.
+RULE_ID_RE = re.compile(r"\b(V0\d{2}|L1\d{2}|A2\d{2})\b")
 
 
 def tracked_markdown(repo):
@@ -127,6 +136,32 @@ def check_flags(repo, build_dir):
     return errors
 
 
+def check_rule_catalog(repo, build_dir):
+    """docs/ANALYSIS.md <-> `azoo_lint --list-rules`, both ways."""
+    lint = os.path.join(build_dir, "tools", "azoo_lint")
+    if not os.path.exists(lint):
+        return [f"azoo_lint: binary not found at {lint} "
+                "(build the tools first)"]
+    listing = subprocess.run(
+        [lint, "--list-rules"], capture_output=True, text=True).stdout
+    known = set(RULE_ID_RE.findall(listing))
+    if not known:
+        return ["azoo_lint: --list-rules printed no rule ids"]
+    path = os.path.join(repo, "docs", "ANALYSIS.md")
+    if not os.path.exists(path):
+        return ["docs/ANALYSIS.md: missing (normative rule catalog)"]
+    with open(path, encoding="utf-8") as f:
+        documented = set(RULE_ID_RE.findall(f.read()))
+    errors = []
+    for rule in sorted(known - documented):
+        errors.append(f"docs/ANALYSIS.md: rule {rule} exists in "
+                      "`azoo_lint --list-rules` but is undocumented")
+    for rule in sorted(documented - known):
+        errors.append(f"docs/ANALYSIS.md: documents rule {rule}, but "
+                      "`azoo_lint --list-rules` does not know it")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build")
@@ -143,6 +178,7 @@ def main():
 
     errors = check_links(repo, md_files)
     errors += check_flags(repo, args.build_dir)
+    errors += check_rule_catalog(repo, args.build_dir)
     for e in errors:
         print(f"check_docs: {e}", file=sys.stderr)
     print(f"check_docs: {len(md_files)} markdown files, "

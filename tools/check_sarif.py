@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Structural SARIF 2.1.0 validator (stdlib only; CI's analysis job).
+
+The full OASIS schema needs a jsonschema package this repo does not
+depend on, so this checks the structural subset `azoo_lint --json`
+promises and CI consumes: the document parses, carries the 2.1.0
+version marker, and every run/rule/result has the required properties
+with consistent cross-references (ruleId/ruleIndex resolve into the
+driver's rule table, levels are legal, locations carry a URI).
+
+Usage: check_sarif.py FILE [FILE...]   (use - for stdin)
+Exit codes: 0 clean, 65 when any document fails, 64 usage errors.
+"""
+
+import json
+import sys
+
+LEVELS = {"none", "note", "warning", "error"}
+
+
+def err(path, msg, errors):
+    errors.append(f"{path}: {msg}")
+
+
+def check_rule(path, i, rule, errors):
+    where = f"{path}: rules[{i}]"
+    if not isinstance(rule.get("id"), str) or not rule["id"]:
+        err(where, "missing string 'id'", errors)
+    if not isinstance(rule.get("name", ""), str):
+        err(where, "'name' must be a string", errors)
+    short = rule.get("shortDescription")
+    if not (isinstance(short, dict) and
+            isinstance(short.get("text"), str)):
+        err(where, "missing shortDescription.text", errors)
+    cfg = rule.get("defaultConfiguration", {})
+    if cfg.get("level", "warning") not in LEVELS:
+        err(where, f"bad defaultConfiguration.level {cfg.get('level')}",
+            errors)
+
+
+def check_result(path, i, result, rules_by_id, rule_ids, errors):
+    where = f"{path}: results[{i}]"
+    rule_id = result.get("ruleId")
+    if not isinstance(rule_id, str) or rule_id not in rules_by_id:
+        err(where, f"ruleId {rule_id!r} not in the driver rule table",
+            errors)
+    idx = result.get("ruleIndex")
+    if idx is not None:
+        if not (isinstance(idx, int) and 0 <= idx < len(rule_ids)):
+            err(where, f"ruleIndex {idx!r} out of range", errors)
+        elif rule_ids[idx] != rule_id:
+            err(where, f"ruleIndex {idx} names {rule_ids[idx]}, "
+                       f"not {rule_id}", errors)
+    if result.get("level", "warning") not in LEVELS:
+        err(where, f"bad level {result.get('level')!r}", errors)
+    msg = result.get("message")
+    if not (isinstance(msg, dict) and isinstance(msg.get("text"), str)):
+        err(where, "missing message.text", errors)
+    for j, loc in enumerate(result.get("locations", [])):
+        phys = loc.get("physicalLocation", {})
+        art = phys.get("artifactLocation", {})
+        if not isinstance(art.get("uri"), str):
+            err(where, f"locations[{j}] missing "
+                       "physicalLocation.artifactLocation.uri", errors)
+
+
+def check_doc(path, doc, errors):
+    if doc.get("version") != "2.1.0":
+        err(path, f"version is {doc.get('version')!r}, want '2.1.0'",
+            errors)
+    runs = doc.get("runs")
+    if not (isinstance(runs, list) and runs):
+        err(path, "missing non-empty 'runs' array", errors)
+        return
+    for r, run in enumerate(runs):
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str):
+            err(path, f"runs[{r}] missing tool.driver.name", errors)
+        rules = driver.get("rules", [])
+        for i, rule in enumerate(rules):
+            check_rule(path, i, rule, errors)
+        rule_ids = [rule.get("id") for rule in rules]
+        rules_by_id = set(rule_ids)
+        if len(rules_by_id) != len(rule_ids):
+            err(path, f"runs[{r}] has duplicate rule ids", errors)
+        results = run.get("results")
+        if not isinstance(results, list):
+            err(path, f"runs[{r}] missing 'results' array", errors)
+            continue
+        for i, result in enumerate(results):
+            check_result(path, i, result, rules_by_id, rule_ids,
+                         errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_sarif.py FILE [FILE...]", file=sys.stderr)
+        return 64
+    errors = []
+    for path in argv[1:]:
+        try:
+            if path == "-":
+                doc = json.load(sys.stdin)
+            else:
+                with open(path, encoding="utf-8") as f:
+                    doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{path}: {e}")
+            continue
+        check_doc(path, doc, errors)
+    for e in errors:
+        print(f"check_sarif: {e}", file=sys.stderr)
+    print(f"check_sarif: {len(argv) - 1} document(s), "
+          f"{len(errors)} problem(s)")
+    return 65 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
