@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Literal-prefilter throughput: the planned engine (--engine auto)
+ * against the unfiltered NFA interpreter on the DPI-class zoo
+ * benchmarks, plus a counter-coupled control.
+ *
+ * For each benchmark the table reports the plan census, the serial
+ * interpreter rate, the planned rate with the prefilter enabled and
+ * disabled, the speedup of auto over the interpreter, and the input
+ * fraction the prefilter skipped. ClamAV and YARA are literal-chain
+ * dominated, so auto should win by an order of magnitude; Snort's
+ * dot-star gap rules are cyclic-unbounded and plan onto the lazy
+ * DFA, whose cache converges on the absorbing gap loops; the Seq
+ * Match wC control is counter-coupled and must not regress under
+ * auto.
+ *
+ * Methodology matches throughput_scaling: one untimed warmup, then
+ * --reps timed repetitions, best repetition reported; report
+ * recording and active-set accounting off. --json PATH writes every
+ * measurement as a bench::JsonReport row with speedup_vs_nfa and
+ * pf_skip_pct in the extra fields (BENCH_8.json in the repo is one
+ * committed run).
+ */
+
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hh"
+#include "engine/nfa_engine.hh"
+#include "engine/planner.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "zoo/registry.hh"
+
+using namespace azoo;
+
+namespace {
+
+/** Best-of-reps wall time of fn(), after one untimed warmup. */
+double
+bestSeconds(int reps, const std::function<void()> &fn)
+{
+    fn();
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+        Timer t;
+        fn();
+        best = std::min(best, t.seconds());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchConfig cfg =
+        bench::parseBenchFlags(argc, argv, {"reps", "json"});
+    Cli cli(argc, argv,
+            {"scale", "input", "sim", "seed", "full", "threads",
+             "reps", "json"});
+    const int reps = static_cast<int>(cli.getInt("reps", 3));
+    bench::JsonReport json("prefilter_throughput");
+
+    const std::vector<std::string> names = {
+        "Snort", "ClamAV", "YARA", "Seq. Match 6w 6p wC"};
+
+    std::cout << "Prefilter throughput (scale=" << cfg.zoo.scale
+              << ", sim=" << cfg.simBytes << "B, best of " << reps
+              << " reps)\n\n";
+
+    SimOptions sim;
+    sim.recordReports = false;
+    sim.computeActiveSet = false;
+
+    Table t({"Benchmark", "Plan", "NFA MSym/s", "Auto MSym/s",
+             "Speedup", "NoPf MSym/s", "Pf.Skip%", "Candidates"});
+    for (const std::string &name : names) {
+        zoo::Benchmark b = zoo::makeBenchmark(name, cfg.zoo);
+        const size_t simLen = std::min(b.input.size(), cfg.simBytes);
+
+        NfaEngine nfa(b.automaton);
+        EngineScratch scratch;
+        const double nfaSecs = bestSeconds(reps, [&] {
+            nfa.simulate(b.input.data(), simLen, scratch, sim);
+        });
+        const double nfaRate = simLen / nfaSecs / 1e6;
+
+        PlannedEngine autoEngine(b.automaton);
+        const double autoSecs = bestSeconds(reps, [&] {
+            autoEngine.simulate(b.input.data(), simLen, sim);
+        });
+        const double autoRate = simLen / autoSecs / 1e6;
+        const PrefilterStats pf = autoEngine.lastPrefilterStats();
+        const double skipPct = simLen
+            ? 100.0 * static_cast<double>(pf.skippedBytes) /
+                  static_cast<double>(simLen)
+            : 0.0;
+
+        PlanOptions noPfOpts;
+        noPfOpts.enablePrefilter = false;
+        PlannedEngine noPfEngine(b.automaton, noPfOpts);
+        const double noPfSecs = bestSeconds(reps, [&] {
+            noPfEngine.simulate(b.input.data(), simLen, sim);
+        });
+        const double noPfRate = simLen / noPfSecs / 1e6;
+
+        t.addRow({name, autoEngine.plan().census(),
+                  Table::fixed(nfaRate, 1), Table::fixed(autoRate, 1),
+                  Table::ratio(autoRate / nfaRate, 2),
+                  Table::fixed(noPfRate, 1), Table::fixed(skipPct, 1),
+                  std::to_string(pf.candidates)});
+
+        json.add({name, "nfa", 1, nfaRate * 1e6, 0, {}});
+        json.add({name, "auto", 1, autoRate * 1e6, 0,
+                  {{"speedup_vs_nfa", autoRate / nfaRate},
+                   {"pf_skip_pct", skipPct},
+                   {"pf_candidates", double(pf.candidates)}}});
+        json.add({name, "auto-noprefilter", 1, noPfRate * 1e6, 0,
+                  {{"speedup_vs_nfa", noPfRate / nfaRate}}});
+    }
+    t.print(std::cout);
+    json.writeFile(cli.get("json"));
+    return 0;
+}

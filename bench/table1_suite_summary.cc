@@ -10,7 +10,10 @@
  * the lazy-DFA hybrid: distinct state-sets interned, whole-cache
  * flushes at the default budget, counter components interpreted by
  * the embedded fallback, and the transition-cache hit rate (read back
- * from the azoo::obs registry; 0.0 under AZOO_OBS=OFF).
+ * from the azoo::obs registry; 0.0 under AZOO_OBS=OFF). Plan is the
+ * per-component backend census under --engine auto (P/A/D/I/S, see
+ * engine/planner.hh) and Pf.Skip% the input fraction the literal
+ * prefilter skipped on the same run.
  *
  * Absolute sizes scale with --scale (default 0.05 of the paper's
  * pattern counts; --full reproduces paper sizes). The second table
@@ -29,6 +32,7 @@
 #include "engine/lazy_dfa_engine.hh"
 #include "obs/obs.hh"
 #include "engine/nfa_engine.hh"
+#include "engine/planner.hh"
 #include "transform/prefix_merge.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
@@ -67,10 +71,8 @@ lintCell(const Automaton &a)
 /** Component-class census ("L235" / "R13/U2") and literal-factor
  *  coverage ("235/235") cells, from the analysis inference layer. */
 std::pair<std::string, std::string>
-classCells(const Automaton &a)
+classCells(const std::vector<analysis::ComponentProfile> &profiles)
 {
-    const std::vector<analysis::ComponentProfile> profiles =
-        analysis::inferProfiles(a);
     size_t counts[4] = {};
     size_t with_factor = 0;
     for (const analysis::ComponentProfile &p : profiles) {
@@ -146,8 +148,8 @@ main(int argc, char **argv)
 
     Table t({"Benchmark", "States", "Edges", "Edges/Node", "Subgraphs",
              "Avg.Size", "Std.Dev", "Compr.States", "Compr.Factor",
-             "ActiveSet", "Lint", "Class", "Lit", "Lazy.Sets",
-             "Lazy.Flush", "Lazy.FB", "Lazy.Hit%"});
+             "ActiveSet", "Lint", "Class", "Lit", "Plan", "Pf.Skip%",
+             "Lazy.Sets", "Lazy.Flush", "Lazy.FB", "Lazy.Hit%"});
     Table shape({"Benchmark", "Avg.Size", "(paper)", "Edges/Node",
                  "(paper)", "Act/1kStates", "(paper)"});
 
@@ -184,7 +186,21 @@ main(int argc, char **argv)
             ? 100.0 * static_cast<double>(hits) / (hits + misses)
             : 0.0;
 
-        const auto [census, litCov] = classCells(b.automaton);
+        // Planner view of the same automaton: per-component backend
+        // census and the fraction of input the literal prefilter
+        // skipped under --engine auto (from engine stats, so the cell
+        // is live even under AZOO_OBS=OFF).
+        const std::vector<analysis::ComponentProfile> profiles =
+            analysis::inferProfiles(b.automaton);
+        PlannedEngine plannedEngine(b.automaton, profiles);
+        plannedEngine.simulate(b.input.data(), cfg.simBytes, opts);
+        const PrefilterStats &pf = plannedEngine.lastPrefilterStats();
+        const double pfSkip = cfg.simBytes
+            ? 100.0 * static_cast<double>(pf.skippedBytes) /
+                  static_cast<double>(cfg.simBytes)
+            : 0.0;
+
+        const auto [census, litCov] = classCells(profiles);
         const uint64_t total = s.states + s.counters;
         t.addRow({info.name, Table::num(total), Table::num(s.edges),
                   Table::fixed(s.edgesPerNode, 2),
@@ -195,6 +211,8 @@ main(int argc, char **argv)
                   Table::ratio(merged.reduction(), 2),
                   Table::fixed(r.avgActiveSet(), 1),
                   lintCell(b.automaton), census, litCov,
+                  plannedEngine.plan().census(),
+                  Table::fixed(pfSkip, 1),
                   Table::num(lazyEngine.cachedStates()),
                   Table::num(lazyEngine.cacheFlushes()),
                   Table::num(lazyEngine.fallbackComponents()),

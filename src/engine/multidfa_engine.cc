@@ -1,9 +1,12 @@
 #include "engine/multidfa_engine.hh"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 #include <unordered_map>
 
+#include "analysis/profile.hh"
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -19,6 +22,17 @@ MultiDfaEngine::MultiDfaEngine(const Automaton &a,
     for (ElementId i = 0; i < a.size(); ++i)
         members[labels[i]].push_back(i);
 
+    // Profiles are indexed by the same component ids (inferProfiles()
+    // enumerates connectedComponents() labels in order); ignore a
+    // vector that doesn't line up rather than trust stale facts.
+    const std::vector<analysis::ComponentProfile> *profiles =
+        opts_.profiles && opts_.profiles->size() == comp_count
+            ? opts_.profiles
+            : nullptr;
+    const uint32_t budgetLog2 = static_cast<uint32_t>(
+        std::bit_width(uint64_t(opts_.maxDfaStatesPerComponent)));
+    uint64_t profileSkips = 0;
+
     std::vector<const std::vector<ElementId> *> fallback_comps;
     for (uint32_t c = 0; c < comp_count; ++c) {
         bool has_counter = false;
@@ -28,12 +42,27 @@ MultiDfaEngine::MultiDfaEngine(const Automaton &a,
                 break;
             }
         }
+        // When the blowup estimate already dwarfs the state budget,
+        // skip the eager subset construction that would grind to the
+        // budget and bail anyway. The margin of one log2 step keeps
+        // borderline estimates (the heuristic is not a bound) on the
+        // exact try-it path.
+        const bool predicted_blowup = profiles && !has_counter &&
+            (*profiles)[c].blowupLog2 > budgetLog2 + 1;
+        if (predicted_blowup)
+            ++profileSkips;
         Dfa dfa;
-        if (!has_counter && buildDfa(members[c], dfa)) {
+        if (!has_counter && !predicted_blowup &&
+            buildDfa(members[c], dfa)) {
             dfas_.push_back(std::move(dfa));
         } else {
             fallback_comps.push_back(&members[c]);
         }
+    }
+    if (obs::kEnabled && profileSkips) {
+        obs::Registry::global()
+            .counter("engine.multidfa.profile_skips")
+            .add(profileSkips);
     }
 
     fallbackComponentCount_ = fallback_comps.size();

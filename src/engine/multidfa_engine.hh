@@ -37,6 +37,10 @@
 
 namespace azoo {
 
+namespace analysis {
+struct ComponentProfile;
+}
+
 /** Compilation limits for MultiDfaEngine. */
 struct MultiDfaOptions {
     /** Determinization budget per component; beyond it the component
@@ -44,6 +48,12 @@ struct MultiDfaOptions {
     uint32_t maxDfaStatesPerComponent = 4096;
     /** Transition-cache byte budget of the lazy-DFA fallback. */
     size_t lazyCacheBytes = 8u << 20;
+    /** Optional analysis facts (inferProfiles() on the same
+     *  automaton). When set, components whose blowupLog2 estimate
+     *  already exceeds the state budget skip the doomed eager subset
+     *  construction and go straight to the fallback — a construction-
+     *  time-only optimization; results are unchanged. */
+    const std::vector<analysis::ComponentProfile> *profiles = nullptr;
 };
 
 /** Compiled multi-DFA engine over a borrowed automaton. */

@@ -24,6 +24,13 @@ ParallelRunner::ParallelRunner(const Automaton &a, ParallelOptions opts)
         slotLazy_.resize(pool_->size());
         for (auto &e : slotLazy_)
             e = std::make_unique<LazyDfaEngine>(a_, lo);
+    } else if (opts_.engine == ParallelEngine::kPlanned) {
+        profiles_ = analysis::inferProfiles(a_, opts_.plan.infer);
+        slotPlanned_.resize(pool_->size());
+        for (auto &e : slotPlanned_) {
+            e = std::make_unique<PlannedEngine>(a_, profiles_,
+                                                opts_.plan);
+        }
     }
     buildShards(threads);
 }
@@ -120,6 +127,12 @@ ParallelRunner::buildShards(size_t groups)
             lo.cacheBytes = opts_.lazyCacheBytes;
             shards_[s].lazy =
                 std::make_unique<LazyDfaEngine>(shards_[s].sub, lo);
+        } else if (opts_.engine == ParallelEngine::kPlanned) {
+            // Profiles are per-automaton, so each shard infers its
+            // own over its sub-automaton (construction-time only).
+            shards_[s].planned =
+                std::make_unique<PlannedEngine>(shards_[s].sub,
+                                                opts_.plan);
         }
     }
     if (obs::kEnabled) {
@@ -166,7 +179,22 @@ ParallelRunner::runBatch(
                            cat("stream ", i,
                                ": worker allocation failed")));
             }
-            if (opts_.chunkBytes != 0) {
+            if (opts_.chunkBytes != 0 &&
+                opts_.engine == ParallelEngine::kPlanned) {
+                PlannedSession sess(a_, profiles_, opts_.plan);
+                sess.options = opts_.sim;
+                const auto &in = streams[i];
+                for (size_t pos = 0; pos < in.size();) {
+                    const size_t want = std::min(
+                        opts_.chunkBytes, in.size() - pos);
+                    const size_t got =
+                        sess.feed(in.data() + pos, want);
+                    pos += got;
+                    if (got < want)
+                        break;
+                }
+                out.perStream[i] = sess.results();
+            } else if (opts_.chunkBytes != 0) {
                 StreamingSession sess(a_);
                 sess.options = opts_.sim;
                 const auto &in = streams[i];
@@ -182,6 +210,10 @@ ParallelRunner::runBatch(
                         break;
                 }
                 out.perStream[i] = sess.results();
+            } else if (opts_.engine == ParallelEngine::kPlanned) {
+                out.perStream[i] =
+                    slotPlanned_[slot]->simulate(streams[i],
+                                                 opts_.sim);
             } else if (opts_.engine == ParallelEngine::kLazyDfa) {
                 out.perStream[i] =
                     slotLazy_[slot]->simulate(streams[i], opts_.sim);
@@ -253,10 +285,16 @@ ParallelRunner::simulateSharded(const uint8_t *input, size_t len) const
                                cat("shard ", s,
                                    ": worker allocation failed")));
                 }
-                parts[s] = sh.lazy
-                    ? sh.lazy->simulate(input, simLen, shardOpts)
-                    : sh.engine->simulate(input, simLen, sh.scratch,
-                                          shardOpts);
+                if (sh.planned) {
+                    parts[s] = sh.planned->simulate(input, simLen,
+                                                    shardOpts);
+                } else if (sh.lazy) {
+                    parts[s] =
+                        sh.lazy->simulate(input, simLen, shardOpts);
+                } else {
+                    parts[s] = sh.engine->simulate(
+                        input, simLen, sh.scratch, shardOpts);
+                }
                 for (Report &r : parts[s].reports)
                     r.element = sh.origId[r.element];
             });

@@ -42,6 +42,7 @@
 #include "core/automaton.hh"
 #include "engine/lazy_dfa_engine.hh"
 #include "engine/nfa_engine.hh"
+#include "engine/planner.hh"
 #include "engine/report.hh"
 
 namespace azoo {
@@ -61,6 +62,7 @@ canonicalizeReports(SimResult &r)
 enum class ParallelEngine : uint8_t {
     kNfa,     ///< enabled-set interpreter (NfaEngine)
     kLazyDfa, ///< lazy-DFA hybrid (LazyDfaEngine)
+    kPlanned, ///< profile-planned per-component backends (PlannedEngine)
 };
 
 /** Configuration for a ParallelRunner. */
@@ -81,6 +83,10 @@ struct ParallelOptions {
     /** Lazy-DFA transition-cache budget (engine == kLazyDfa). Each
      *  worker slot / shard owns a private cache of this size. */
     size_t lazyCacheBytes = 8u << 20;
+    /** Planning knobs (engine == kPlanned). Each worker slot / shard
+     *  owns a private PlannedEngine built from one shared profile
+     *  inference; chunked streams run on PlannedSession. */
+    PlanOptions plan;
     /** Per-stream simulation options. */
     SimOptions sim;
 };
@@ -150,6 +156,8 @@ class ParallelRunner
         std::unique_ptr<NfaEngine> engine;
         /** Engine for ParallelEngine::kLazyDfa (else nullptr). */
         std::unique_ptr<LazyDfaEngine> lazy;
+        /** Engine for ParallelEngine::kPlanned (else nullptr). */
+        std::unique_ptr<PlannedEngine> planned;
         /** Interpreter scratch; each shard is driven by exactly one
          *  worker at a time, so per-shard state needs no locking. */
         mutable EngineScratch scratch;
@@ -168,6 +176,10 @@ class ParallelRunner
     // and lazy caches are reused lock-free across streams.
     mutable std::vector<EngineScratch> slotScratch_;
     mutable std::vector<std::unique_ptr<LazyDfaEngine>> slotLazy_;
+    mutable std::vector<std::unique_ptr<PlannedEngine>> slotPlanned_;
+    /** Shared profile inference for kPlanned (one pass over the
+     *  whole automaton; slots and chunked sessions reuse it). */
+    std::vector<analysis::ComponentProfile> profiles_;
 };
 
 } // namespace azoo

@@ -8,8 +8,8 @@
  *
  * Usage:
  *   azoo_run --automaton x.mnrl --input x.input
- *            [--engine nfa|multidfa|lazydfa] [--cache-bytes N]
- *            [--reports N] [--by-code]
+ *            [--engine nfa|multidfa|lazydfa|auto] [--cache-bytes N]
+ *            [--no-prefilter] [--reports N] [--by-code]
  *            [--threads N] [--batch] [--chunk BYTES]
  *            [--metrics[=FILE]] [--save x.azoox]
  *   azoo_run --load x.azoox --input x.input [...same run flags]
@@ -25,7 +25,13 @@
  * Engines: nfa is the enabled-set interpreter; multidfa (alias: dfa)
  * determinizes each component eagerly; lazydfa runs subset
  * construction on the fly, memoizing transitions in a cache bounded
- * by --cache-bytes. All three produce identical reports.
+ * by --cache-bytes; auto profiles the automaton and plans each
+ * component onto the cheapest exact backend (literal prefilter,
+ * anchored prefix, lazy DFA, or interpreter — see
+ * docs/ARCHITECTURE.md "Engine planning & prefilters").
+ * --no-prefilter keeps the planner but routes literal chains to the
+ * lazy DFA instead of the prefilter. All engines produce identical
+ * reports (canonical order for auto).
  *
  * --threads N (N > 1) simulates with the parallel layer: by default
  * the automaton is sharded by connected components and all shards
@@ -35,9 +41,10 @@
  * parallelism); --chunk feeds each stream through a StreamingSession
  * in chunks of the given size instead of one monolithic pass. Either
  * way the reports are byte-identical to a serial run (canonical
- * order). Parallel paths take --engine nfa or lazydfa. --chunk also
- * works single-stream (without --batch): the input is fed through one
- * StreamingSession; it requires --engine nfa and --threads 1 (the
+ * order). Parallel paths take --engine nfa, lazydfa, or auto. --chunk
+ * also works single-stream (without --batch): the input is fed
+ * through one StreamingSession (or PlannedSession under --engine
+ * auto); it requires --engine nfa or auto and --threads 1 (the
  * streaming session has no lazy-DFA backend).
  *
  * --metrics prints the azoo::obs registry snapshot (JSON) after the
@@ -48,12 +55,14 @@
 #include <iostream>
 #include <optional>
 
+#include "analysis/profile.hh"
 #include "artifact/artifact.hh"
 #include "core/stats.hh"
 #include "engine/lazy_dfa_engine.hh"
 #include "engine/multidfa_engine.hh"
 #include "engine/nfa_engine.hh"
 #include "engine/parallel_runner.hh"
+#include "engine/planner.hh"
 #include "engine/run_guard.hh"
 #include "engine/streaming.hh"
 #include "obs/obs.hh"
@@ -115,10 +124,10 @@ int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv,
-            {"automaton", "input", "engine", "cache-bytes", "reports",
-             "by-code", "threads", "batch", "chunk", "deadline-ms",
-             "symbol-budget", "max-states", "max-edges", "metrics",
-             "load", "save"});
+            {"automaton", "input", "engine", "cache-bytes",
+             "no-prefilter", "reports", "by-code", "threads", "batch",
+             "chunk", "deadline-ms", "symbol-budget", "max-states",
+             "max-edges", "metrics", "load", "save"});
     const std::string apath = cli.get("automaton");
     const std::string ipath = cli.get("input");
     const bool useLoad = cli.has("load");
@@ -219,14 +228,18 @@ main(int argc, char **argv)
 
     const std::string engine = cli.get("engine", "nfa");
     const bool lazy = engine == "lazydfa";
+    const bool planned = engine == "auto";
     const auto cacheBytes = static_cast<size_t>(
         cli.getInt("cache-bytes", 8 << 20));
+    PlanOptions planOpts;
+    planOpts.enablePrefilter = !cli.getBool("no-prefilter");
+    planOpts.lazyCacheBytes = cacheBytes;
     const auto threads =
         static_cast<size_t>(cli.getInt("threads", 1));
     const bool batch = cli.getBool("batch");
-    if ((batch || threads > 1) && engine != "nfa" && !lazy)
+    if ((batch || threads > 1) && engine != "nfa" && !lazy && !planned)
         tool::usageError("azoo_run: --batch/--threads require "
-                         "--engine nfa or lazydfa");
+                         "--engine nfa, lazydfa, or auto");
 
     if (batch) {
         std::vector<std::vector<uint8_t>> streams;
@@ -240,9 +253,11 @@ main(int argc, char **argv)
         popts.threads = threads;
         popts.chunkBytes =
             static_cast<size_t>(cli.getInt("chunk", 0));
-        popts.engine = lazy ? ParallelEngine::kLazyDfa
-                            : ParallelEngine::kNfa;
+        popts.engine = planned ? ParallelEngine::kPlanned
+                       : lazy  ? ParallelEngine::kLazyDfa
+                               : ParallelEngine::kNfa;
         popts.lazyCacheBytes = cacheBytes;
+        popts.plan = planOpts;
         popts.sim = opts;
         ParallelRunner runner(graph(), popts);
         Timer timer;
@@ -277,10 +292,10 @@ main(int argc, char **argv)
     if (chunkBytes != 0) {
         // StreamingSession is the interpreter; mirror the runBatch
         // rejection instead of silently substituting an engine.
-        if (engine != "nfa")
+        if (engine != "nfa" && !planned)
             tool::usageError("azoo_run: --chunk requires --engine nfa "
-                             "(the streaming session has no lazy-DFA "
-                             "backend)");
+                             "or auto (the streaming session has no "
+                             "lazy-DFA backend)");
         if (threads > 1)
             tool::usageError("azoo_run: --chunk with --threads > 1 "
                              "requires --batch");
@@ -289,7 +304,24 @@ main(int argc, char **argv)
     auto input = loadBytes(ipath);
     Timer timer;
     SimResult r;
-    if (chunkBytes != 0) {
+    if (chunkBytes != 0 && planned) {
+        PlannedSession sess(graph(), planOpts);
+        sess.options = opts;
+        timer.reset();
+        for (size_t pos = 0; pos < input.size();) {
+            const size_t want =
+                std::min(chunkBytes, input.size() - pos);
+            const size_t got = sess.feed(input.data() + pos, want);
+            pos += got;
+            if (got < want)
+                break;
+        }
+        r = sess.results();
+        const PrefilterStats &pf = sess.prefilterStats();
+        std::cout << "planned " << sess.plan().census() << ": "
+                  << pf.candidates << " prefilter candidates, "
+                  << pf.skippedBytes << " bytes skipped\n";
+    } else if (chunkBytes != 0) {
         StreamingSession sess(graph());
         sess.options = opts;
         timer.reset();
@@ -304,12 +336,14 @@ main(int argc, char **argv)
                 break;
         }
         r = sess.results();
-    } else if ((engine == "nfa" || lazy) && threads > 1) {
+    } else if ((engine == "nfa" || lazy || planned) && threads > 1) {
         ParallelOptions popts;
         popts.threads = threads;
-        popts.engine = lazy ? ParallelEngine::kLazyDfa
-                            : ParallelEngine::kNfa;
+        popts.engine = planned ? ParallelEngine::kPlanned
+                       : lazy  ? ParallelEngine::kLazyDfa
+                               : ParallelEngine::kNfa;
         popts.lazyCacheBytes = cacheBytes;
+        popts.plan = planOpts;
         popts.sim = opts;
         ParallelRunner runner(graph(), popts);
         std::cout << "sharded into " << runner.shardCount()
@@ -337,8 +371,32 @@ main(int argc, char **argv)
                   << " counter components interpreted\n";
         timer.reset();
         r = e.simulate(input, opts);
+    } else if (planned) {
+        PlannedEngine e(graph(), planOpts);
+        std::cout << "planned " << e.plan().census() << " ("
+                  << e.prefilterPatterns() << " scan literals)\n";
+        timer.reset();
+        r = e.simulate(input, opts);
+        const PrefilterStats &pf = e.lastPrefilterStats();
+        if (e.prefilterPatterns()) {
+            const double pct = r.symbols
+                ? 100.0 * static_cast<double>(pf.skippedBytes) /
+                      static_cast<double>(r.symbols)
+                : 0.0;
+            std::cout << "prefilter: " << pf.candidates
+                      << " candidates, " << pf.skippedBytes
+                      << " bytes skipped ("
+                      << Table::fixed(pct, 1) << "%)\n";
+        }
     } else if (engine == "dfa" || engine == "multidfa") {
-        MultiDfaEngine e(graph());
+        // Profile facts let compilation skip subset constructions the
+        // blowup estimate already rules out; results are unchanged.
+        const std::vector<analysis::ComponentProfile> profiles =
+            analysis::inferProfiles(graph());
+        MultiDfaOptions mo;
+        mo.lazyCacheBytes = cacheBytes;
+        mo.profiles = &profiles;
+        MultiDfaEngine e(graph(), mo);
         std::cout << "compiled " << e.compiledComponents()
                   << " DFAs (" << e.totalDfaStates() << " states), "
                   << e.fallbackComponents() << " lazy-DFA fallbacks\n";
@@ -346,7 +404,7 @@ main(int argc, char **argv)
         r = e.simulate(input, opts);
     } else {
         tool::usageError(cat("azoo_run: unknown engine '", engine,
-                             "' (nfa|multidfa|lazydfa)"));
+                             "' (nfa|multidfa|lazydfa|auto)"));
     }
     const double secs = timer.seconds();
 
