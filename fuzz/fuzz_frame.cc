@@ -1,0 +1,54 @@
+/**
+ * @file
+ * libFuzzer harness for the azoo_serve frame decoder. The contract
+ * under fuzz: arbitrary socket bytes, delivered in arbitrary split
+ * points, either decode into well-formed frames or set a sticky
+ * parse error — never an abort, never an out-of-bounds payload view,
+ * never progress after an error. REPLY payloads are additionally fed
+ * through Reply::decode, whose strict length checks are the server's
+ * only defence against a malicious peer.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/protocol.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    using namespace azoo::serve;
+
+    // First byte seeds the split pattern so one corpus exercises many
+    // reassembly schedules.
+    const size_t stride = size ? (data[0] % 7) + 1 : 1;
+
+    FrameReader reader;
+    size_t pos = 0;
+    while (pos < size) {
+        const size_t n = std::min(stride, size - pos);
+        reader.append(data + pos, n);
+        pos += n;
+        Frame f;
+        while (reader.next(f)) {
+            // A decoded frame must view inside the buffered bytes.
+            if (f.len > kMaxFramePayload)
+                __builtin_trap();
+            if (f.len && f.payload == nullptr)
+                __builtin_trap();
+            // Exercise the payload decoder on reply-typed frames.
+            if (f.type == FrameType::kReply)
+                (void)Reply::decode(f.payload, f.len);
+        }
+        if (!reader.error().ok()) {
+            // Sticky: no frame may decode after an error.
+            reader.append(data, std::min<size_t>(size, 64));
+            if (reader.next(f))
+                __builtin_trap();
+            return 0;
+        }
+        reader.compact();
+    }
+    (void)Reply::decode(data, size); // raw bytes as a REPLY payload
+    return 0;
+}

@@ -1,0 +1,133 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace serve {
+
+Status
+Client::connect(const std::string &addr)
+{
+    net::ignoreSigpipe();
+    Expected<net::Fd> fd = net::connectTo(addr);
+    if (!fd.ok())
+        return fd.status();
+    fd_ = std::move(*fd);
+    admitted_ = false;
+    reply_ = Reply();
+    return Status();
+}
+
+Expected<Frame>
+Client::readFrame(std::vector<uint8_t> &payload, int timeoutMs)
+{
+    uint8_t header[kFrameHeaderSize];
+    if (Status st = net::readAll(fd_.get(), header, sizeof(header),
+                                 timeoutMs);
+        !st.ok())
+        return st;
+    const uint32_t len = static_cast<uint32_t>(header[0]) |
+        (static_cast<uint32_t>(header[1]) << 8) |
+        (static_cast<uint32_t>(header[2]) << 16) |
+        (static_cast<uint32_t>(header[3]) << 24);
+    if (len > kMaxFramePayload)
+        return Status(ErrorCode::kParseError,
+                      "server frame exceeds payload limit");
+    payload.resize(len);
+    if (len > 0) {
+        if (Status st = net::readAll(fd_.get(), payload.data(), len,
+                                     timeoutMs);
+            !st.ok())
+            return st;
+    }
+    Frame f;
+    f.type = static_cast<FrameType>(header[4]);
+    f.payload = payload.data();
+    f.len = len;
+    return f;
+}
+
+Status
+Client::open(uint8_t priority, int timeoutMs)
+{
+    std::vector<uint8_t> out;
+    const uint8_t body[5] = {priority, 0, 0, 0, 0};
+    appendFrame(out, FrameType::kOpen, body, sizeof(body));
+    if (Status st = net::writeAll(fd_.get(), out.data(), out.size(),
+                                  timeoutMs);
+        !st.ok())
+        return st;
+
+    std::vector<uint8_t> payload;
+    Expected<Frame> f = readFrame(payload, timeoutMs);
+    if (!f.ok())
+        return f.status();
+    if (f->type == FrameType::kAdmit) {
+        admitted_ = true;
+        return Status();
+    }
+    if (f->type == FrameType::kReply) {
+        Expected<Reply> r = Reply::decode(f->payload, f->len);
+        if (!r.ok())
+            return r.status();
+        reply_ = std::move(*r);
+        admitted_ = false;
+        return Status();
+    }
+    return Status(ErrorCode::kParseError,
+                  "unexpected frame while waiting for admission");
+}
+
+Status
+Client::send(const uint8_t *data, size_t len)
+{
+    std::vector<uint8_t> out;
+    while (len > 0) {
+        const size_t n = std::min(len, kMaxFramePayload);
+        out.clear();
+        appendFrame(out, FrameType::kData, data, n);
+        if (Status st = net::writeAll(fd_.get(), out.data(),
+                                      out.size());
+            !st.ok())
+            return st;
+        data += n;
+        len -= n;
+    }
+    return Status();
+}
+
+Expected<Reply>
+Client::finish(int timeoutMs)
+{
+    std::vector<uint8_t> out;
+    appendFrame(out, FrameType::kFin, nullptr, 0);
+    if (Status st = net::writeAll(fd_.get(), out.data(), out.size(),
+                                  timeoutMs);
+        !st.ok()) {
+        // A shed session's server may have half-closed; the REPLY can
+        // still be waiting. Fall through to the read.
+        if (st.code() != ErrorCode::kIoError)
+            return st;
+    }
+    std::vector<uint8_t> payload;
+    for (;;) {
+        Expected<Frame> f = readFrame(payload, timeoutMs);
+        if (!f.ok())
+            return f.status();
+        if (f->type == FrameType::kAdmit)
+            continue; // stray (already admitted); tolerate
+        if (f->type != FrameType::kReply)
+            return Status(ErrorCode::kParseError,
+                          "unexpected frame while waiting for reply");
+        Expected<Reply> r = Reply::decode(f->payload, f->len);
+        if (!r.ok())
+            return r.status();
+        reply_ = *r;
+        return r;
+    }
+}
+
+} // namespace serve
+} // namespace azoo

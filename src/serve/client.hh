@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Blocking client for the azoo_serve protocol.
+ *
+ * The client side is deliberately simple — synchronous calls over one
+ * connection, poll-based timeouts — because its consumers are a
+ * latency harness (bench/serve_latency) and tests, both of which want
+ * "open, stream, collect the reply" with no event loop of their own.
+ * Concurrency comes from running many Client instances on many
+ * threads, which is also how real sessions arrive at the server.
+ *
+ * Every method returns Status/Expected rather than dying: a server
+ * that sheds or rejects this session answers with a well-formed REPLY
+ * (finish() returns it), and a server that drops the connection
+ * surfaces as kIoError from whichever call saw the close.
+ */
+
+#ifndef AZOO_SERVE_CLIENT_HH
+#define AZOO_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "util/net.hh"
+
+namespace azoo {
+namespace serve {
+
+/** One protocol session: connect() -> open() -> send()* -> finish().
+ */
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Connect to "unix:PATH" / "tcp:PORT". */
+    Status connect(const std::string &addr);
+
+    /**
+     * Send OPEN and wait for the server's verdict. OK with
+     * admitted()==true after ADMIT; OK with admitted()==false when
+     * the server answered a rejection REPLY immediately (reply()
+     * holds it and finish() must not be called). kIoError /
+     * kDeadlineExceeded on transport trouble.
+     */
+    Status open(uint8_t priority, int timeoutMs = 10000);
+
+    bool admitted() const { return admitted_; }
+
+    /** Stream input bytes (chunked into DATA frames). The server may
+     *  already have shed the session; EPIPE from here is normal then
+     *  — callers fall through to finish(), the REPLY may still be
+     *  readable. */
+    Status send(const uint8_t *data, size_t len);
+
+    Status
+    send(const std::vector<uint8_t> &data)
+    {
+        return send(data.data(), data.size());
+    }
+
+    /** Send FIN and read the REPLY. */
+    Expected<Reply> finish(int timeoutMs = 30000);
+
+    /** The last REPLY received (set by open() on rejection and by
+     *  finish()). */
+    const Reply &reply() const { return reply_; }
+
+    void close() { fd_.close(); }
+
+  private:
+    Expected<Frame> readFrame(std::vector<uint8_t> &payload,
+                              int timeoutMs);
+
+    net::Fd fd_;
+    bool admitted_ = false;
+    Reply reply_;
+};
+
+} // namespace serve
+} // namespace azoo
+
+#endif // AZOO_SERVE_CLIENT_HH

@@ -1,0 +1,206 @@
+#include "serve/protocol.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace azoo {
+namespace serve {
+
+namespace {
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    put32(out, static_cast<uint32_t>(v));
+    put32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+        (static_cast<uint32_t>(p[1]) << 8) |
+        (static_cast<uint32_t>(p[2]) << 16) |
+        (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    return static_cast<uint64_t>(get32(p)) |
+        (static_cast<uint64_t>(get32(p + 4)) << 32);
+}
+
+bool
+knownFrameType(uint8_t t)
+{
+    switch (static_cast<FrameType>(t)) {
+      case FrameType::kOpen:
+      case FrameType::kData:
+      case FrameType::kFin:
+      case FrameType::kAdmit:
+      case FrameType::kReply:
+        return true;
+    }
+    return false;
+}
+
+Status
+malformed(const char *why)
+{
+    return Status(ErrorCode::kParseError, cat("reply payload: ", why));
+}
+
+} // namespace
+
+const char *
+replyStatusName(ReplyStatus s)
+{
+    switch (s) {
+      case ReplyStatus::kOk: return "ok";
+      case ReplyStatus::kTruncated: return "truncated";
+      case ReplyStatus::kShedOverload: return "shed-overload";
+      case ReplyStatus::kShedDrain: return "shed-drain";
+      case ReplyStatus::kRejectedBusy: return "rejected-busy";
+      case ReplyStatus::kRejectedMemory: return "rejected-memory";
+      case ReplyStatus::kRejectedDrain: return "rejected-drain";
+      case ReplyStatus::kProtocolError: return "protocol-error";
+      case ReplyStatus::kServerError: return "server-error";
+    }
+    return "unknown";
+}
+
+bool
+replyCarriesResult(ReplyStatus s)
+{
+    switch (s) {
+      case ReplyStatus::kOk:
+      case ReplyStatus::kTruncated:
+      case ReplyStatus::kShedOverload:
+      case ReplyStatus::kShedDrain:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Reply::encodeTo(std::vector<uint8_t> &out) const
+{
+    out.push_back(static_cast<uint8_t>(status));
+    out.push_back(static_cast<uint8_t>(detail));
+    put64(out, symbols);
+    put64(out, reportCount);
+    put32(out, static_cast<uint32_t>(reports.size()));
+    for (const Report &r : reports) {
+        put64(out, r.offset);
+        put32(out, r.element);
+        put32(out, r.code);
+    }
+}
+
+Expected<Reply>
+Reply::decode(const uint8_t *payload, size_t len)
+{
+    // status + detail + symbols + reportCount + recordCount
+    constexpr size_t kFixed = 1 + 1 + 8 + 8 + 4;
+    constexpr size_t kRecord = 8 + 4 + 4;
+    if (len < kFixed)
+        return malformed("short fixed part");
+    Reply r;
+    if (payload[0] > static_cast<uint8_t>(ReplyStatus::kServerError))
+        return malformed("unknown status");
+    r.status = static_cast<ReplyStatus>(payload[0]);
+    if (payload[1] > static_cast<uint8_t>(ErrorCode::kInternal))
+        return malformed("unknown detail code");
+    r.detail = static_cast<ErrorCode>(payload[1]);
+    r.symbols = get64(payload + 2);
+    r.reportCount = get64(payload + 10);
+    const uint32_t n = get32(payload + 18);
+    if (len != kFixed + static_cast<size_t>(n) * kRecord)
+        return malformed("record count disagrees with length");
+    if (n > r.reportCount)
+        return malformed("more records than reports");
+    r.reports.reserve(n);
+    const uint8_t *p = payload + kFixed;
+    for (uint32_t i = 0; i < n; ++i, p += kRecord) {
+        Report rec;
+        rec.offset = get64(p);
+        rec.element = get32(p + 8);
+        rec.code = get32(p + 12);
+        r.reports.push_back(rec);
+    }
+    return r;
+}
+
+void
+appendFrame(std::vector<uint8_t> &out, FrameType type,
+            const uint8_t *payload, size_t len)
+{
+    if (len > kMaxFramePayload)
+        panic("appendFrame: payload exceeds kMaxFramePayload");
+    put32(out, static_cast<uint32_t>(len));
+    out.push_back(static_cast<uint8_t>(type));
+    if (len)
+        out.insert(out.end(), payload, payload + len);
+}
+
+void
+FrameReader::append(const uint8_t *data, size_t len)
+{
+    compact();
+    buf_.insert(buf_.end(), data, data + len);
+}
+
+bool
+FrameReader::next(Frame &out)
+{
+    if (!error_.ok())
+        return false;
+    if (buf_.size() - pos_ < kFrameHeaderSize)
+        return false;
+    const uint8_t *h = buf_.data() + pos_;
+    const uint32_t len = get32(h);
+    if (len > kMaxFramePayload) {
+        error_ = Status(ErrorCode::kParseError,
+                        cat("frame payload length ", len,
+                            " exceeds limit"));
+        return false;
+    }
+    if (!knownFrameType(h[4])) {
+        error_ = Status(ErrorCode::kParseError,
+                        cat("unknown frame type ",
+                            static_cast<int>(h[4])));
+        return false;
+    }
+    if (buf_.size() - pos_ < kFrameHeaderSize + len)
+        return false;
+    out.type = static_cast<FrameType>(h[4]);
+    out.payload = h + kFrameHeaderSize;
+    out.len = len;
+    pos_ += kFrameHeaderSize + len;
+    return true;
+}
+
+void
+FrameReader::compact()
+{
+    if (pos_ == 0)
+        return;
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+}
+
+} // namespace serve
+} // namespace azoo

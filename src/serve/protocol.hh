@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The azoo_serve wire protocol: length-prefixed frames over a stream
+ * socket, one match session per connection.
+ *
+ * A client opens a connection, announces itself, streams input bytes,
+ * and reads exactly one REPLY:
+ *
+ *   client -> server   OPEN(priority)       once, first
+ *                      DATA(bytes)          any number of times
+ *                      FIN                  once, ends the stream
+ *   server -> client   ADMIT                after OPEN, if admitted
+ *                      REPLY(status, ...)   exactly once, then close
+ *
+ * Every frame is `u32le payloadLen | u8 type | payload`. payloadLen
+ * counts the payload only and is bounded by kMaxFramePayload — an
+ * oversized or malformed frame is a protocol error, answered with
+ * REPLY(kProtocolError) and a close, never a crash (the frame decoder
+ * is fuzzed; see fuzz/fuzz_frame.cc).
+ *
+ * The REPLY payload carries the session's outcome: a ReplyStatus, the
+ * ErrorCode behind a truncation (the RunGuard's stop reason), how
+ * many input symbols were actually consumed, the total report count,
+ * and up to the server's record cap of (offset, element, code) report
+ * records in canonical order. The contract the chaos tests enforce:
+ * a REPLY with status kOk is bit-identical to a serial engine run
+ * over the same stream; any other status is explicit about what the
+ * client got instead. A session that dies without a REPLY (connection
+ * drop) promised nothing.
+ *
+ * docs/FORMATS.md ("azoo_serve") documents the byte layout
+ * normatively; this header and that section change together.
+ */
+
+#ifndef AZOO_SERVE_PROTOCOL_HH
+#define AZOO_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "engine/report.hh"
+#include "util/status.hh"
+
+namespace azoo {
+namespace serve {
+
+/** Frame header: u32le payload length + u8 type. */
+inline constexpr size_t kFrameHeaderSize = 5;
+
+/** Largest accepted payload (bounds per-connection buffering). */
+inline constexpr size_t kMaxFramePayload = 1u << 20;
+
+/** Frame types. Client-to-server types have the high bit clear. */
+enum class FrameType : uint8_t {
+    kOpen = 0x01,  ///< payload: u8 priority, u32le flags (must be 0)
+    kData = 0x02,  ///< payload: raw stream bytes
+    kFin = 0x03,   ///< payload: empty
+    kAdmit = 0x81, ///< payload: empty
+    kReply = 0x82, ///< payload: Reply encoding
+};
+
+/** Session outcome carried in a REPLY frame. */
+enum class ReplyStatus : uint8_t {
+    kOk = 0,             ///< complete result over the whole stream
+    kTruncated = 1,      ///< per-session guard stopped the run
+    kShedOverload = 2,   ///< shed to admit higher-priority work
+    kShedDrain = 3,      ///< server drained before the stream ended
+    kRejectedBusy = 4,   ///< admission: session table full
+    kRejectedMemory = 5, ///< admission: memory budget exhausted
+    kRejectedDrain = 6,  ///< admission: server is draining
+    kProtocolError = 7,  ///< malformed frame sequence from the client
+    kServerError = 8,    ///< internal failure; result discarded
+};
+
+/** Stable name ("ok", "truncated", "shed-overload", ...). */
+const char *replyStatusName(ReplyStatus s);
+
+/** True for the statuses that carry a (possibly empty) exact result
+ *  over a consumed prefix: kOk, kTruncated, kShedOverload,
+ *  kShedDrain. */
+bool replyCarriesResult(ReplyStatus s);
+
+/** Decoded REPLY payload. */
+struct Reply {
+    ReplyStatus status = ReplyStatus::kServerError;
+    /** Stop reason behind kTruncated / shed statuses (kOk otherwise):
+     *  kDeadlineExceeded, kLimitExceeded, or kCancelled. */
+    ErrorCode detail = ErrorCode::kOk;
+    uint64_t symbols = 0;     ///< input symbols the result covers
+    uint64_t reportCount = 0; ///< total reports (recorded or not)
+    /** Recorded reports, canonical (offset, element, code) order,
+     *  capped at the server's --max-report-records. */
+    std::vector<Report> reports;
+
+    /** Append the payload encoding (no frame header) to @p out. */
+    void encodeTo(std::vector<uint8_t> &out) const;
+
+    /** Parse a REPLY payload; kParseError on malformed bytes. */
+    static Expected<Reply> decode(const uint8_t *payload, size_t len);
+};
+
+/** Append a full frame (header + payload) to @p out. */
+void appendFrame(std::vector<uint8_t> &out, FrameType type,
+                 const uint8_t *payload, size_t len);
+
+/** One decoded frame, viewing into the receive buffer. */
+struct Frame {
+    FrameType type = FrameType::kOpen;
+    const uint8_t *payload = nullptr;
+    size_t len = 0;
+};
+
+/**
+ * Incremental frame decoder over a raw byte stream. append() socket
+ * bytes, then next() until it returns false. Decoding never copies
+ * payload bytes (frames view into the internal buffer and stay valid
+ * until the next append()/compact()).
+ */
+class FrameReader
+{
+  public:
+    /** Add raw bytes from the socket. */
+    void append(const uint8_t *data, size_t len);
+
+    /**
+     * Decode the next complete frame into @p out. Returns false when
+     * no complete frame is buffered. A malformed header (oversized
+     * length, unknown type) sets a sticky kParseError on error() and
+     * makes every later next() return false — the connection is dead
+     * to protocol, the caller replies kProtocolError and closes.
+     */
+    bool next(Frame &out);
+
+    const Status &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed by next(). */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+    /** Drop consumed bytes (called between poll rounds to keep the
+     *  buffer from growing with the stream). */
+    void compact();
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    Status error_;
+};
+
+} // namespace serve
+} // namespace azoo
+
+#endif // AZOO_SERVE_PROTOCOL_HH

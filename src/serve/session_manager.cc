@@ -1,0 +1,187 @@
+#include "serve/session_manager.hh"
+
+#include "engine/parallel_runner.hh"
+#include "util/logging.hh"
+
+namespace azoo {
+namespace serve {
+
+namespace {
+
+/** MatchSession over the enabled-set interpreter. */
+class NfaMatchSession final : public MatchSession
+{
+  public:
+    explicit NfaMatchSession(const Automaton &a) : s_(a) {}
+
+    size_t
+    feed(const uint8_t *data, size_t len) override
+    {
+        return s_.feed(data, len);
+    }
+    bool stopped() const override { return s_.stopped(); }
+    SimResult
+    results() const override
+    {
+        SimResult r = s_.results();
+        canonicalizeReports(r);
+        return r;
+    }
+    uint64_t offset() const override { return s_.offset(); }
+    void reset() override { s_.reset(); }
+    SimOptions &options() override { return s_.options; }
+
+  private:
+    StreamingSession s_;
+};
+
+/** MatchSession over the profile-routed planned engine. */
+class PlannedMatchSession final : public MatchSession
+{
+  public:
+    PlannedMatchSession(const Automaton &a,
+                        const std::vector<analysis::ComponentProfile>
+                            &profiles,
+                        const PlanOptions &popts)
+        : s_(a, profiles, popts)
+    {
+    }
+
+    size_t
+    feed(const uint8_t *data, size_t len) override
+    {
+        return s_.feed(data, len);
+    }
+    bool stopped() const override { return s_.stopped(); }
+    SimResult results() const override { return s_.results(); }
+    uint64_t offset() const override { return s_.offset(); }
+    void reset() override { s_.reset(); }
+    SimOptions &options() override { return s_.options; }
+
+  private:
+    PlannedSession s_;
+};
+
+/**
+ * Resident-size estimate for one engine session. The flattened
+ * per-element tables dominate (label bitmaps at 32 B/element plus
+ * edge/flag arrays); the constant covers worklists, the report
+ * vector's record cap, and allocator slack. An estimate is enough:
+ * admission only needs the right order of magnitude to keep
+ * capacity * footprint under the budget.
+ */
+size_t
+estimateBytes(const Automaton &a, size_t maxReportRecords)
+{
+    size_t edges = 0;
+    for (const Element &e : a.elements())
+        edges += e.out.size() + e.resetOut.size();
+    return a.size() * 64 + edges * 8 + maxReportRecords * sizeof(Report)
+        + (64u << 10);
+}
+
+} // namespace
+
+MatchSessionPool::MatchSessionPool(const Automaton &a, ServeEngine engine,
+                                   const PlanOptions &popts)
+    : a_(a), engine_(engine), popts_(popts)
+{
+    if (engine_ == ServeEngine::kPlanned)
+        profiles_ = analysis::inferProfiles(a_, popts_.infer);
+    sessionBytes_ = estimateBytes(a_, ServeLimits().maxReportRecords);
+}
+
+std::unique_ptr<MatchSession>
+MatchSessionPool::acquire()
+{
+    if (!free_.empty()) {
+        std::unique_ptr<MatchSession> s = std::move(free_.back());
+        free_.pop_back();
+        // Fresh options for the new client; release() already reset
+        // the engine state.
+        s->options() = SimOptions();
+        return s;
+    }
+    ++created_;
+    if (engine_ == ServeEngine::kPlanned)
+        return std::make_unique<PlannedMatchSession>(a_, profiles_,
+                                                     popts_);
+    return std::make_unique<NfaMatchSession>(a_);
+}
+
+void
+MatchSessionPool::release(std::unique_ptr<MatchSession> s)
+{
+    if (!s)
+        return;
+    s->reset();
+    free_.push_back(std::move(s));
+}
+
+SessionManager::SessionManager(const ServeLimits &limits,
+                               size_t perSessionBytes)
+    : limits_(limits)
+{
+    capacity_ = limits_.maxSessions;
+    if (limits_.memoryBudgetBytes > 0 && perSessionBytes > 0) {
+        // Each admitted session may buffer up to the queue budget on
+        // top of its engine footprint.
+        const size_t per = perSessionBytes + limits_.queueBudgetBytes;
+        size_t byMemory = limits_.memoryBudgetBytes / per;
+        if (byMemory == 0)
+            byMemory = 1; // a budget too small for one session still
+                          // serves one at a time rather than nothing
+        if (byMemory < capacity_)
+            capacity_ = byMemory;
+    }
+    if (capacity_ == 0)
+        capacity_ = 1;
+}
+
+AdmitDecision
+SessionManager::tryAdmit(uint8_t priority, bool draining) const
+{
+    AdmitDecision d;
+    if (draining) {
+        d.reject = ReplyStatus::kRejectedDrain;
+        return d;
+    }
+    if (sessions_.size() < capacity_) {
+        d.admitted = true;
+        return d;
+    }
+    // At capacity: shed the lowest-priority admitted session iff it is
+    // strictly less important than the newcomer.
+    uint64_t victim = kNoSession;
+    uint8_t victimPrio = 255;
+    for (const auto &[id, prio] : sessions_) {
+        if (prio < victimPrio || victim == kNoSession) {
+            victim = id;
+            victimPrio = prio;
+        }
+    }
+    if (victim != kNoSession && victimPrio < priority) {
+        d.admitted = true;
+        d.shedVictim = victim;
+        return d;
+    }
+    d.reject = capacity_ < limits_.maxSessions
+        ? ReplyStatus::kRejectedMemory
+        : ReplyStatus::kRejectedBusy;
+    return d;
+}
+
+void
+SessionManager::admit(uint64_t id, uint8_t priority)
+{
+    sessions_[id] = priority;
+}
+
+void
+SessionManager::retire(uint64_t id)
+{
+    sessions_.erase(id);
+}
+
+} // namespace serve
+} // namespace azoo

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Session lifecycle for the match service: the engine-session
+ * abstraction, a reset-reuse pool, and the admission controller.
+ *
+ * Three separable robustness mechanisms live here, used by
+ * serve::Server but testable without sockets:
+ *
+ *  - MatchSession erases the difference between the two streaming
+ *    engines (StreamingSession for --engine nfa, PlannedSession for
+ *    --engine auto) behind feed/results/reset, so the server's data
+ *    path has exactly one shape.
+ *
+ *  - MatchSessionPool recycles engine sessions across client
+ *    sessions. Construction is O(automaton), reset() is O(counters),
+ *    so a pool turns per-session setup cost into a one-time cost per
+ *    concurrency slot. The pool's correctness contract — a reused
+ *    session behaves bit-identically to a fresh one, including after
+ *    a guard stop — is what the reset-reuse regression in
+ *    tests/test_streaming.cc pins across the zoo.
+ *
+ *  - SessionManager is the admission controller: a hard session-table
+ *    cap and a memory budget translated into a session cap
+ *    (budget / per-session footprint), with strict-priority shedding
+ *    — when the table is full, a newcomer of strictly higher priority
+ *    evicts the lowest-priority admitted session (which gets an
+ *    explicit kShedOverload reply, never a silent drop); an equal- or
+ *    lower-priority newcomer is rejected with a status naming the
+ *    exhausted resource. Admission never allocates unboundedly: every
+ *    reject happens before an engine session or queue is created.
+ */
+
+#ifndef AZOO_SERVE_SESSION_MANAGER_HH
+#define AZOO_SERVE_SESSION_MANAGER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/profile.hh"
+#include "engine/planner.hh"
+#include "engine/report.hh"
+#include "engine/streaming.hh"
+#include "serve/protocol.hh"
+
+namespace azoo {
+namespace serve {
+
+/** Resource bounds and QoS knobs for one server instance. */
+struct ServeLimits {
+    /** Hard cap on concurrently admitted sessions. */
+    size_t maxSessions = 256;
+    /** Per-session input-queue bound: past this many buffered bytes
+     *  the server stops reading the client's socket (backpressure)
+     *  until a worker drains the queue. */
+    size_t queueBudgetBytes = 256u << 10;
+    /** Total memory budget for session state (queues + engine
+     *  sessions + reply buffers). Admission derives a session cap
+     *  from it; 0 = no memory-derived cap. */
+    size_t memoryBudgetBytes = 256u << 20;
+    /** Per-session wall-clock deadline (RunGuard); 0 = none. */
+    int64_t sessionDeadlineMs = 0;
+    /** Per-session input-symbol budget (RunGuard); 0 = none. */
+    uint64_t sessionSymbolBudget = 0;
+    /** Report records a REPLY may carry (count is always exact). */
+    size_t maxReportRecords = 4096;
+};
+
+/** Engine-agnostic streaming match session (one client stream). */
+class MatchSession
+{
+  public:
+    virtual ~MatchSession() = default;
+
+    /** Feed a chunk; returns bytes consumed (short exactly when the
+     *  guard in options() stopped the session). */
+    virtual size_t feed(const uint8_t *data, size_t len) = 0;
+
+    /** True once the guard stopped this session. */
+    virtual bool stopped() const = 0;
+
+    /** Canonical results over the consumed prefix. */
+    virtual SimResult results() const = 0;
+
+    /** Stream position (symbols consumed). */
+    virtual uint64_t offset() const = 0;
+
+    /** Back to a fresh start-of-stream state (results cleared,
+     *  guard stop cleared). */
+    virtual void reset() = 0;
+
+    /** Simulation options (guard, record caps); set before feeding. */
+    virtual SimOptions &options() = 0;
+};
+
+/** Which engine backs pooled sessions. */
+enum class ServeEngine : uint8_t {
+    kNfa,     ///< StreamingSession (enabled-set interpreter)
+    kPlanned, ///< PlannedSession (profile-routed prefilter plan)
+};
+
+/**
+ * Free-list of engine sessions over one shared automaton. acquire()
+ * hands out a reset session with default options; release() returns
+ * it for the next client. Not thread-safe: the server's event loop
+ * owns acquire/release (workers only touch a session between them).
+ */
+class MatchSessionPool
+{
+  public:
+    /** @p a must outlive the pool (the server owns both). Profile
+     *  inference for kPlanned runs once here, not per session. */
+    MatchSessionPool(const Automaton &a, ServeEngine engine,
+                     const PlanOptions &popts = PlanOptions());
+
+    std::unique_ptr<MatchSession> acquire();
+    void release(std::unique_ptr<MatchSession> s);
+
+    /** Estimated resident bytes of one session (flattened automaton
+     *  tables + scratch); the admission controller's memory unit. */
+    size_t estimatedSessionBytes() const { return sessionBytes_; }
+
+    /** Sessions constructed so far (reuse keeps this at the
+     *  concurrency high-water mark, not the session count). */
+    size_t created() const { return created_; }
+
+  private:
+    const Automaton &a_;
+    ServeEngine engine_;
+    PlanOptions popts_;
+    std::vector<analysis::ComponentProfile> profiles_;
+    std::vector<std::unique_ptr<MatchSession>> free_;
+    size_t created_ = 0;
+    size_t sessionBytes_ = 0;
+};
+
+/** No session (shed-victim "none" value). */
+inline constexpr uint64_t kNoSession = ~uint64_t(0);
+
+/** Outcome of an admission attempt. */
+struct AdmitDecision {
+    bool admitted = false;
+    /** When !admitted: kRejectedBusy / kRejectedMemory /
+     *  kRejectedDrain. */
+    ReplyStatus reject = ReplyStatus::kRejectedBusy;
+    /** When admitted at capacity: the strictly-lower-priority session
+     *  to shed first (kNoSession when capacity was free). */
+    uint64_t shedVictim = kNoSession;
+};
+
+/**
+ * Admission controller. Pure bookkeeping — the server enacts the
+ * decisions (sends rejects, sheds victims) and reports lifecycle
+ * transitions back. Sessions are identified by the server's ids.
+ */
+class SessionManager
+{
+  public:
+    SessionManager(const ServeLimits &limits, size_t perSessionBytes);
+
+    /**
+     * Decide admission for a newcomer at @p priority (higher value =
+     * more important). @p draining rejects everything (kRejectedDrain).
+     * At capacity, a strictly-lower-priority admitted session is
+     * offered as shedVictim; the caller must retire() it.
+     */
+    AdmitDecision tryAdmit(uint8_t priority, bool draining) const;
+
+    /** Record an admitted session. */
+    void admit(uint64_t id, uint8_t priority);
+
+    /** Record the end of an admitted session (replied, shed, or
+     *  dropped). Unknown ids are ignored (retire is idempotent). */
+    void retire(uint64_t id);
+
+    size_t active() const { return sessions_.size(); }
+
+    /** Effective session cap: min(maxSessions, memory-derived). */
+    size_t capacity() const { return capacity_; }
+
+    const ServeLimits &limits() const { return limits_; }
+
+  private:
+    ServeLimits limits_;
+    size_t capacity_;
+    std::map<uint64_t, uint8_t> sessions_; ///< id -> priority
+};
+
+} // namespace serve
+} // namespace azoo
+
+#endif // AZOO_SERVE_SESSION_MANAGER_HH

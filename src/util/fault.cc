@@ -1,6 +1,10 @@
 #include "util/fault.hh"
 
 #include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
 
 namespace azoo {
 namespace fault {
@@ -12,8 +16,144 @@ pointName(Point p)
       case Point::kAllocFail: return "alloc-fail";
       case Point::kTruncatedRead: return "truncated-read";
       case Point::kGuardExpiry: return "guard-expiry";
+      case Point::kSessionDrop: return "session-drop";
+      case Point::kSlowConsumer: return "slow-consumer";
+      case Point::kAcceptFail: return "accept-fail";
     }
     return "unknown";
+}
+
+namespace {
+
+/** Split @p s on @p sep; empty pieces are preserved so "a;;b"
+ *  surfaces the empty entry as an error instead of vanishing. */
+std::vector<std::string_view>
+splitView(std::string_view s, char sep)
+{
+    std::vector<std::string_view> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+/** Strict decimal u64; false on empty, non-digits, or overflow. */
+bool
+parseU64(std::string_view s, uint64_t &out)
+{
+    if (s.empty() || s.size() > 20)
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        const uint64_t d = static_cast<uint64_t>(c - '0');
+        if (v > (~uint64_t(0) - d) / 10)
+            return false;
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
+}
+
+Status
+badSpec(std::string_view entry, const char *why)
+{
+    return Status(ErrorCode::kInvalidArgument,
+                  cat("AZOO_FAULT_SPEC: bad entry '",
+                      std::string(entry), "': ", why));
+}
+
+} // namespace
+
+Expected<std::vector<SpecEntry>>
+parseSpec(std::string_view spec)
+{
+    std::vector<SpecEntry> entries;
+    if (spec.empty())
+        return entries;
+    for (std::string_view entry : splitView(spec, ';')) {
+        const std::vector<std::string_view> f = splitView(entry, ':');
+        if (entry.empty())
+            return badSpec(entry, "empty entry (stray ';'?)");
+        SpecEntry e;
+        bool known = false;
+        for (size_t p = 0; p < kPointCount; ++p) {
+            if (f[0] == pointName(static_cast<Point>(p))) {
+                e.point = static_cast<Point>(p);
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            return badSpec(entry, "unknown fault point");
+        if (f.size() < 2)
+            return badSpec(entry, "missing schedule");
+        if (f[1] == "off") {
+            if (f.size() != 2)
+                return badSpec(entry, "'off' takes no arguments");
+            e.mode = SpecEntry::Mode::kOff;
+        } else if (f[1] == "after") {
+            if (f.size() != 3)
+                return badSpec(entry, "'after' needs exactly one "
+                                      "count (after:N)");
+            if (!parseU64(f[2], e.skip))
+                return badSpec(entry, "bad count");
+            e.mode = SpecEntry::Mode::kAfter;
+        } else if (f[1] == "random") {
+            if (f.size() != 4)
+                return badSpec(entry, "'random' needs a seed and a "
+                                      "per-mille (random:SEED:PM)");
+            uint64_t pm = 0;
+            if (!parseU64(f[2], e.seed))
+                return badSpec(entry, "bad seed");
+            if (!parseU64(f[3], pm) || pm > 1000)
+                return badSpec(entry, "per-mille must be 0..1000");
+            e.mode = SpecEntry::Mode::kRandom;
+            e.perMille = static_cast<uint32_t>(pm);
+        } else {
+            return badSpec(entry,
+                           "unknown schedule (off|after|random)");
+        }
+        entries.push_back(e);
+    }
+    return entries;
+}
+
+Status
+applySpec(std::string_view spec)
+{
+    Expected<std::vector<SpecEntry>> entries = parseSpec(spec);
+    if (!entries.ok())
+        return entries.status();
+    for (const SpecEntry &e : *entries) {
+        switch (e.mode) {
+          case SpecEntry::Mode::kOff:
+            disarm(e.point);
+            break;
+          case SpecEntry::Mode::kAfter:
+            armAfter(e.point, e.skip);
+            break;
+          case SpecEntry::Mode::kRandom:
+            armRandom(e.point, e.seed, e.perMille);
+            break;
+        }
+    }
+    return Status();
+}
+
+Status
+armFromEnv()
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — called once at startup.
+    const char *spec = std::getenv("AZOO_FAULT_SPEC");
+    if (!spec || !*spec)
+        return Status();
+    return applySpec(spec);
 }
 
 #if AZOO_FAULT_INJECTION

@@ -6,13 +6,22 @@
  * error-handling code that never runs in CI. This module plants named
  * injection points inside the library (allocation failure in the
  * parsers, truncated reads in the stream slurpers, forced RunGuard
- * expiry in the engines) that tests arm deterministically: either
- * "fire on the Nth check" or a seeded pseudo-random schedule, so a
- * failing recovery path replays bit-identically from its seed.
+ * expiry in the engines, connection-level failures in the match
+ * service) that tests arm deterministically: either "fire on the Nth
+ * check" or a seeded pseudo-random schedule, so a failing recovery
+ * path replays bit-identically from its seed.
+ *
+ * Schedules can also be injected into a *spawned* process without
+ * recompiling: armFromEnv() parses the AZOO_FAULT_SPEC environment
+ * variable ("point:after:N;point:random:SEED:PERMILLE", see
+ * parseSpec()), which is how the serve tests arm a chaos schedule in
+ * an azoo_serve daemon they fork.
  *
  * The checks compile to a constant `false` when AZOO_FAULT_INJECTION
  * is 0 (the release/production configuration; see the CMake option of
  * the same name), so shipping binaries carry no injection branches.
+ * The spec *parser* stays available in that configuration (specs
+ * still validate; arming is a no-op), so tooling behaves identically.
  *
  * All state is process-global and atomic; arming from a test thread
  * while worker threads check is safe. Points are disarmed by default
@@ -24,6 +33,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hh"
 
 #ifndef AZOO_FAULT_INJECTION
 #define AZOO_FAULT_INJECTION 1
@@ -37,12 +50,45 @@ enum class Point : uint8_t {
     kAllocFail,     ///< parser element/edge allocation fails
     kTruncatedRead, ///< stream slurp loses its tail
     kGuardExpiry,   ///< RunGuard reports expiry regardless of budget
+    kSessionDrop,   ///< serve: session torn down as if the client died
+    kSlowConsumer,  ///< serve: reply writes dribble one byte at a time
+    kAcceptFail,    ///< serve: accept() of a new connection fails
 };
 
-inline constexpr size_t kPointCount = 3;
+inline constexpr size_t kPointCount = 6;
 
-/** Stable name ("alloc-fail", "truncated-read", "guard-expiry"). */
+/** Stable name ("alloc-fail", ..., "session-drop", "slow-consumer",
+ *  "accept-fail"). */
 const char *pointName(Point p);
+
+/** One parsed AZOO_FAULT_SPEC entry. */
+struct SpecEntry {
+    Point point = Point::kAllocFail;
+    enum class Mode : uint8_t { kOff, kAfter, kRandom } mode = Mode::kOff;
+    uint64_t skip = 0;     ///< kAfter: checks to skip before the shot
+    uint64_t seed = 0;     ///< kRandom: splitmix64 seed
+    uint32_t perMille = 0; ///< kRandom: firing probability / 1000
+};
+
+/**
+ * Parse a fault schedule spec. Grammar (whitespace-free):
+ *   spec    := entry (';' entry)*            (empty spec = no entries)
+ *   entry   := point ':' sched
+ *   point   := "alloc-fail" | ... | "accept-fail"   (pointName())
+ *   sched   := "off" | "after" ':' N | "random" ':' SEED ':' PERMILLE
+ * Numbers are decimal; PERMILLE must be <= 1000. Returns
+ * kInvalidArgument naming the offending entry on any malformed input.
+ */
+Expected<std::vector<SpecEntry>> parseSpec(std::string_view spec);
+
+/** parseSpec() + arm every entry (armAfter/armRandom/disarm). With
+ *  fault injection compiled out, parsing still validates but arming
+ *  is a no-op. */
+Status applySpec(std::string_view spec);
+
+/** applySpec(getenv("AZOO_FAULT_SPEC")); OK when the variable is
+ *  unset or empty. Long-running tools call this at startup. */
+Status armFromEnv();
 
 #if AZOO_FAULT_INJECTION
 

@@ -272,6 +272,87 @@ TEST(FaultInjection, GuardExpiryTruncatesRun)
 }
 
 // ---------------------------------------------------------------
+// AZOO_FAULT_SPEC grammar. The spec parser runs on attacker-ish input
+// (an env var crossing a fork boundary), so every malformed form must
+// come back kInvalidArgument naming the offending entry — and a bad
+// spec must arm *nothing*, not the valid prefix before the error.
+// ---------------------------------------------------------------
+
+TEST(FaultSpec, ParsesEveryScheduleForm)
+{
+    auto entries = fault::parseSpec(
+        "alloc-fail:after:3;session-drop:random:42:150;"
+        "slow-consumer:off;accept-fail:after:0");
+    ASSERT_TRUE(entries.ok()) << entries.status().str();
+    ASSERT_EQ(entries->size(), 4u);
+    EXPECT_EQ((*entries)[0].point, fault::Point::kAllocFail);
+    EXPECT_EQ((*entries)[0].mode, fault::SpecEntry::Mode::kAfter);
+    EXPECT_EQ((*entries)[0].skip, 3u);
+    EXPECT_EQ((*entries)[1].point, fault::Point::kSessionDrop);
+    EXPECT_EQ((*entries)[1].mode, fault::SpecEntry::Mode::kRandom);
+    EXPECT_EQ((*entries)[1].seed, 42u);
+    EXPECT_EQ((*entries)[1].perMille, 150u);
+    EXPECT_EQ((*entries)[2].mode, fault::SpecEntry::Mode::kOff);
+    EXPECT_EQ((*entries)[3].point, fault::Point::kAcceptFail);
+}
+
+TEST(FaultSpec, EmptySpecIsNoEntries)
+{
+    auto entries = fault::parseSpec("");
+    ASSERT_TRUE(entries.ok());
+    EXPECT_TRUE(entries->empty());
+}
+
+TEST(FaultSpec, MalformedSpecsAreInvalidArgument)
+{
+    const char *bad[] = {
+        "bogus-point:after:1",         // unknown point name
+        "alloc-fail",                  // missing schedule
+        "alloc-fail:",                 // empty schedule
+        "alloc-fail:maybe:1",          // unknown schedule kind
+        "alloc-fail:after",            // after without a count
+        "alloc-fail:after:",           // empty count
+        "alloc-fail:after:12x",        // trailing junk in number
+        "alloc-fail:after:-1",         // negative
+        "alloc-fail:random:7",         // random missing per-mille
+        "alloc-fail:random:7:1001",    // per-mille over 1000
+        "alloc-fail:random:7:150:9",   // excess field
+        ";alloc-fail:after:1",         // empty leading entry
+        "alloc-fail:after:1;;",        // empty middle entry
+        "alloc-fail:after :1",         // interior whitespace
+    };
+    for (const char *spec : bad) {
+        auto entries = fault::parseSpec(spec);
+        ASSERT_FALSE(entries.ok()) << "accepted: " << spec;
+        EXPECT_EQ(entries.status().code(), ErrorCode::kInvalidArgument)
+            << spec;
+    }
+}
+
+#if AZOO_FAULT_INJECTION
+TEST(FaultSpec, BadSpecArmsNothing)
+{
+    FaultScope scope;
+    // The first entry is valid; the second is garbage. applySpec must
+    // reject the whole spec without arming the valid prefix.
+    Status st = fault::applySpec("alloc-fail:after:0;nope:off");
+    ASSERT_FALSE(st.ok());
+    EXPECT_FALSE(fault::shouldFail(fault::Point::kAllocFail));
+}
+
+TEST(FaultSpec, AppliedSpecFiresLikeDirectArming)
+{
+    FaultScope scope;
+    ASSERT_TRUE(fault::applySpec("session-drop:after:2").ok());
+    EXPECT_FALSE(fault::shouldFail(fault::Point::kSessionDrop));
+    EXPECT_FALSE(fault::shouldFail(fault::Point::kSessionDrop));
+    EXPECT_TRUE(fault::shouldFail(fault::Point::kSessionDrop));
+    // armAfter() is one-shot: disarmed after firing.
+    EXPECT_FALSE(fault::shouldFail(fault::Point::kSessionDrop));
+}
+#endif // AZOO_FAULT_INJECTION
+
+// ---------------------------------------------------------------
 // RunGuard semantics on the real stop conditions.
 // ---------------------------------------------------------------
 

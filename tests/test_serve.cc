@@ -1,0 +1,674 @@
+/**
+ * @file
+ * Match-service tests: protocol encode/decode, admission control,
+ * priority shedding, backpressure bounds, guard-exact truncation,
+ * drain-under-load, and the chaos invariant — under injected
+ * connection faults, every reply that claims a result is bit-identical
+ * to a serial engine run over the stream (or the consumed prefix).
+ *
+ * All server tests run a real serve::Server on a loopback socket with
+ * real clients — the robustness claims are about sockets, threads,
+ * and partial writes, which in-process shortcuts would not exercise.
+ * This binary is part of the TSan CI leg; every cross-thread handoff
+ * in the server is under test here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/builder.hh"
+#include "engine/nfa_engine.hh"
+#include "engine/parallel_runner.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/net.hh"
+#include "util/rng.hh"
+
+namespace azoo {
+namespace serve {
+namespace {
+
+std::vector<uint8_t>
+bytes(const std::string &s)
+{
+    return {s.begin(), s.end()};
+}
+
+/** Small always-armed pattern set with non-trivial match density. */
+Automaton
+testAutomaton()
+{
+    Automaton a("serve-test");
+    addLiteral(a, "abc", StartType::kAllInput, true, 1);
+    addLiteral(a, "needle", StartType::kAllInput, true, 2);
+    addLiteral(a, "xyzw", StartType::kAllInput, true, 3);
+    return a;
+}
+
+/** Seeded payload with planted matches every ~stride bytes. */
+std::vector<uint8_t>
+testPayload(uint64_t seed, size_t len)
+{
+    Rng rng(seed);
+    std::vector<uint8_t> p(len);
+    for (auto &c : p)
+        c = static_cast<uint8_t>('a' + rng.nextBelow(16));
+    for (size_t i = 0; i + 6 < len; i += 97) {
+        const char *lit = (i % 2) ? "abc" : "needle";
+        for (size_t j = 0; lit[j]; ++j)
+            p[i + j] = static_cast<uint8_t>(lit[j]);
+    }
+    return p;
+}
+
+/** Canonical serial-engine result over @p data's first @p len bytes:
+ *  the ground truth every "carries a result" reply must match. */
+SimResult
+serialRun(const Automaton &a, const uint8_t *data, size_t len)
+{
+    NfaEngine e(a);
+    SimResult r = e.simulate(data, len, SimOptions());
+    canonicalizeReports(r);
+    return r;
+}
+
+/** In-process server on a kernel-picked loopback port, run() on its
+ *  own thread; the destructor drains and checks the exit code. */
+class ServerHarness
+{
+  public:
+    explicit ServerHarness(const Automaton &a,
+                           ServerOptions opts = ServerOptions())
+        : server_(a, opts)
+    {
+        Status st = server_.start();
+        if (!st.ok())
+            fatal(cat("harness: ", st.str()));
+        thread_ = std::thread([this] { exitCode_ = server_.run(); });
+        addr_ = cat("tcp:", server_.port());
+    }
+
+    ~ServerHarness()
+    {
+        if (thread_.joinable())
+            shutdown();
+    }
+
+    /** Graceful drain; returns run()'s exit code. */
+    int
+    shutdown()
+    {
+        server_.requestShutdown();
+        thread_.join();
+        return exitCode_;
+    }
+
+    const std::string &addr() const { return addr_; }
+    Server &server() { return server_; }
+
+  private:
+    Server server_;
+    std::thread thread_;
+    std::string addr_;
+    int exitCode_ = -1;
+};
+
+/** Connect + open + stream + finish; EXPECT transport success. */
+Reply
+runOneSession(const std::string &addr, const std::vector<uint8_t> &in,
+              uint8_t priority = 0, size_t chunk = 4096)
+{
+    Client c;
+    EXPECT_TRUE(c.connect(addr).ok());
+    EXPECT_TRUE(c.open(priority).ok());
+    EXPECT_TRUE(c.admitted());
+    for (size_t pos = 0; pos < in.size(); pos += chunk) {
+        const size_t n = std::min(chunk, in.size() - pos);
+        if (!c.send(in.data() + pos, n).ok())
+            break;
+    }
+    Expected<Reply> r = c.finish();
+    EXPECT_TRUE(r.ok()) << r.status().str();
+    return r.ok() ? *r : Reply();
+}
+
+// ---------------------------------------------------------------
+// Protocol layer (no server).
+
+TEST(ServeProtocol, ReplyRoundTrip)
+{
+    Reply in;
+    in.status = ReplyStatus::kTruncated;
+    in.detail = ErrorCode::kLimitExceeded;
+    in.symbols = 123456789;
+    in.reportCount = 42;
+    in.reports = {{7, 3, 1}, {1000, 9, 2}};
+    std::vector<uint8_t> payload;
+    in.encodeTo(payload);
+    Expected<Reply> out = Reply::decode(payload.data(), payload.size());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->status, in.status);
+    EXPECT_EQ(out->detail, in.detail);
+    EXPECT_EQ(out->symbols, in.symbols);
+    EXPECT_EQ(out->reportCount, in.reportCount);
+    EXPECT_EQ(out->reports, in.reports);
+}
+
+TEST(ServeProtocol, ReplyDecodeRejectsMalformed)
+{
+    Reply in;
+    in.status = ReplyStatus::kOk;
+    std::vector<uint8_t> payload;
+    in.encodeTo(payload);
+    // Truncated fixed part.
+    EXPECT_FALSE(Reply::decode(payload.data(), 3).ok());
+    // Length disagreeing with the record count.
+    payload.push_back(0);
+    EXPECT_FALSE(
+        Reply::decode(payload.data(), payload.size()).ok());
+    // Unknown status byte.
+    std::vector<uint8_t> bad = payload;
+    bad.resize(22);
+    bad[0] = 200;
+    EXPECT_FALSE(Reply::decode(bad.data(), bad.size()).ok());
+}
+
+TEST(ServeProtocol, FrameReaderReassemblesSplitFrames)
+{
+    std::vector<uint8_t> wire;
+    const auto d1 = bytes("hello");
+    appendFrame(wire, FrameType::kData, d1.data(), d1.size());
+    appendFrame(wire, FrameType::kFin, nullptr, 0);
+
+    FrameReader reader;
+    Frame f;
+    // Byte-at-a-time delivery must produce the same two frames.
+    std::vector<FrameType> seen;
+    for (uint8_t b : wire) {
+        reader.append(&b, 1);
+        while (reader.next(f))
+            seen.push_back(f.type);
+    }
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], FrameType::kData);
+    EXPECT_EQ(seen[1], FrameType::kFin);
+    EXPECT_TRUE(reader.error().ok());
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(ServeProtocol, FrameReaderStickyErrorOnGarbage)
+{
+    FrameReader reader;
+    // Oversized payload length.
+    const uint8_t huge[5] = {0xff, 0xff, 0xff, 0xff, 0x02};
+    reader.append(huge, sizeof(huge));
+    Frame f;
+    EXPECT_FALSE(reader.next(f));
+    EXPECT_FALSE(reader.error().ok());
+    // Sticky: even valid bytes afterwards stay unparsed.
+    std::vector<uint8_t> wire;
+    appendFrame(wire, FrameType::kFin, nullptr, 0);
+    reader.append(wire.data(), wire.size());
+    EXPECT_FALSE(reader.next(f));
+}
+
+TEST(ServeProtocol, FrameReaderRejectsUnknownType)
+{
+    FrameReader reader;
+    const uint8_t frame[5] = {0, 0, 0, 0, 0x7f};
+    reader.append(frame, sizeof(frame));
+    Frame f;
+    EXPECT_FALSE(reader.next(f));
+    EXPECT_FALSE(reader.error().ok());
+}
+
+// ---------------------------------------------------------------
+// Admission controller (no sockets).
+
+TEST(ServeAdmission, TableCapRejectsBusy)
+{
+    ServeLimits limits;
+    limits.maxSessions = 2;
+    limits.memoryBudgetBytes = 0;
+    SessionManager m(limits, 1000);
+    EXPECT_EQ(m.capacity(), 2u);
+    EXPECT_TRUE(m.tryAdmit(0, false).admitted);
+    m.admit(1, 0);
+    m.admit(2, 0);
+    AdmitDecision d = m.tryAdmit(0, false);
+    EXPECT_FALSE(d.admitted);
+    EXPECT_EQ(d.reject, ReplyStatus::kRejectedBusy);
+}
+
+TEST(ServeAdmission, MemoryBudgetDerivesCapacity)
+{
+    ServeLimits limits;
+    limits.maxSessions = 100;
+    limits.queueBudgetBytes = 1000;
+    limits.memoryBudgetBytes = 10000;
+    SessionManager m(limits, 4000); // 5000/session incl. queue
+    EXPECT_EQ(m.capacity(), 2u);
+    m.admit(1, 0);
+    m.admit(2, 0);
+    AdmitDecision d = m.tryAdmit(0, false);
+    EXPECT_FALSE(d.admitted);
+    EXPECT_EQ(d.reject, ReplyStatus::kRejectedMemory);
+}
+
+TEST(ServeAdmission, StrictPriorityShedsLowestVictim)
+{
+    ServeLimits limits;
+    limits.maxSessions = 2;
+    limits.memoryBudgetBytes = 0;
+    SessionManager m(limits, 1000);
+    m.admit(10, 5);
+    m.admit(11, 3);
+    // Equal priority to the lowest: no shed, reject.
+    EXPECT_FALSE(m.tryAdmit(3, false).admitted);
+    // Strictly higher: sheds the lowest-priority session (id 11).
+    AdmitDecision d = m.tryAdmit(4, false);
+    ASSERT_TRUE(d.admitted);
+    EXPECT_EQ(d.shedVictim, 11u);
+    m.retire(11);
+    m.admit(12, 4);
+    EXPECT_EQ(m.active(), 2u);
+}
+
+TEST(ServeAdmission, DrainRejectsEverything)
+{
+    SessionManager m(ServeLimits(), 1000);
+    AdmitDecision d = m.tryAdmit(255, true);
+    EXPECT_FALSE(d.admitted);
+    EXPECT_EQ(d.reject, ReplyStatus::kRejectedDrain);
+}
+
+// ---------------------------------------------------------------
+// End-to-end sessions.
+
+TEST(ServeSession, ReplyMatchesSerialRun)
+{
+    const Automaton a = testAutomaton();
+    ServerHarness h(a);
+    const auto in = testPayload(1, 64 << 10);
+    const Reply r = runOneSession(h.addr(), in);
+    EXPECT_EQ(r.status, ReplyStatus::kOk);
+    EXPECT_EQ(r.detail, ErrorCode::kOk);
+    const SimResult want = serialRun(a, in.data(), in.size());
+    EXPECT_EQ(r.symbols, want.symbols);
+    EXPECT_EQ(r.reportCount, want.reportCount);
+    EXPECT_EQ(r.reports, want.reports);
+    EXPECT_EQ(h.shutdown(), 0);
+}
+
+TEST(ServeSession, PlannedEngineRepliesIdentically)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.engine = ServeEngine::kPlanned;
+    ServerHarness h(a, opts);
+    const auto in = testPayload(2, 32 << 10);
+    const Reply r = runOneSession(h.addr(), in);
+    EXPECT_EQ(r.status, ReplyStatus::kOk);
+    const SimResult want = serialRun(a, in.data(), in.size());
+    EXPECT_EQ(r.reportCount, want.reportCount);
+    EXPECT_EQ(r.reports, want.reports);
+}
+
+TEST(ServeSession, SessionsReusePooledEnginesExactly)
+{
+    const Automaton a = testAutomaton();
+    ServerHarness h(a);
+    // Sequential sessions share one pooled engine session; each reply
+    // must be exactly the fresh-session answer.
+    for (int i = 0; i < 5; ++i) {
+        const auto in = testPayload(100 + i, 8 << 10);
+        const Reply r = runOneSession(h.addr(), in);
+        EXPECT_EQ(r.status, ReplyStatus::kOk);
+        const SimResult want = serialRun(a, in.data(), in.size());
+        EXPECT_EQ(r.reportCount, want.reportCount);
+        EXPECT_EQ(r.reports, want.reports);
+    }
+}
+
+TEST(ServeSession, AdmissionRejectsWhenTableFull)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.limits.maxSessions = 1;
+    ServerHarness h(a, opts);
+
+    Client first;
+    ASSERT_TRUE(first.connect(h.addr()).ok());
+    ASSERT_TRUE(first.open(0).ok());
+    ASSERT_TRUE(first.admitted());
+
+    Client second;
+    ASSERT_TRUE(second.connect(h.addr()).ok());
+    ASSERT_TRUE(second.open(0).ok());
+    EXPECT_FALSE(second.admitted());
+    EXPECT_EQ(second.reply().status, ReplyStatus::kRejectedBusy);
+
+    const auto in = testPayload(3, 1024);
+    ASSERT_TRUE(first.send(in).ok());
+    Expected<Reply> r = first.finish();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, ReplyStatus::kOk);
+}
+
+TEST(ServeSession, HigherPrioritySessionShedsLower)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.limits.maxSessions = 1;
+    ServerHarness h(a, opts);
+
+    Client low;
+    ASSERT_TRUE(low.connect(h.addr()).ok());
+    ASSERT_TRUE(low.open(1).ok());
+    ASSERT_TRUE(low.admitted());
+    const auto fed = testPayload(4, 2048);
+    ASSERT_TRUE(low.send(fed).ok());
+
+    Client high;
+    ASSERT_TRUE(high.connect(h.addr()).ok());
+    ASSERT_TRUE(high.open(200).ok());
+    EXPECT_TRUE(high.admitted());
+
+    // The shed session still gets an explicit reply with an exact
+    // result over whatever prefix the engine consumed.
+    Expected<Reply> shedReply = low.finish();
+    ASSERT_TRUE(shedReply.ok());
+    EXPECT_EQ(shedReply->status, ReplyStatus::kShedOverload);
+    EXPECT_EQ(shedReply->detail, ErrorCode::kCancelled);
+    ASSERT_LE(shedReply->symbols, fed.size());
+    const SimResult want =
+        serialRun(a, fed.data(), shedReply->symbols);
+    EXPECT_EQ(shedReply->reportCount, want.reportCount);
+    EXPECT_EQ(shedReply->reports, want.reports);
+
+    const auto in = testPayload(5, 1024);
+    ASSERT_TRUE(high.send(in).ok());
+    Expected<Reply> r = high.finish();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, ReplyStatus::kOk);
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_EQ(h.server().stats().shed, 1u);
+}
+
+TEST(ServeSession, BackpressureBoundsQueuedBytes)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.limits.queueBudgetBytes = 16 << 10;
+    ServerHarness h(a, opts);
+    const size_t chunk = 4096;
+    const auto in = testPayload(6, 1 << 20); // 1 MiB through a 16 KiB queue
+    const Reply r = runOneSession(h.addr(), in, 0, chunk);
+    EXPECT_EQ(r.status, ReplyStatus::kOk);
+    const SimResult want = serialRun(a, in.data(), in.size());
+    EXPECT_EQ(r.reportCount, want.reportCount);
+    EXPECT_EQ(h.shutdown(), 0);
+    // The inbox may overshoot by at most one DATA frame before the
+    // pause trips; anything beyond that means backpressure leaked.
+    EXPECT_LE(h.server().stats().peakQueueBytes,
+              opts.limits.queueBudgetBytes + chunk);
+}
+
+TEST(ServeSession, SymbolBudgetTruncatesExactly)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.limits.sessionSymbolBudget = 1500;
+    ServerHarness h(a, opts);
+    const auto in = testPayload(7, 32 << 10);
+    const Reply r = runOneSession(h.addr(), in);
+    EXPECT_EQ(r.status, ReplyStatus::kTruncated);
+    EXPECT_EQ(r.detail, ErrorCode::kLimitExceeded);
+    ASSERT_GT(r.symbols, 0u);
+    ASSERT_LT(r.symbols, in.size());
+    // Truncated-but-exact: the reply equals a serial run over exactly
+    // the consumed prefix.
+    const SimResult want = serialRun(a, in.data(), r.symbols);
+    EXPECT_EQ(r.reportCount, want.reportCount);
+    EXPECT_EQ(r.reports, want.reports);
+}
+
+TEST(ServeSession, IdleSessionHitsDeadline)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.limits.sessionDeadlineMs = 200;
+    ServerHarness h(a, opts);
+    Client c;
+    ASSERT_TRUE(c.connect(h.addr()).ok());
+    ASSERT_TRUE(c.open(0).ok());
+    ASSERT_TRUE(c.admitted());
+    // Stay silent past the deadline: the loop's timer must end the
+    // session on its own (the guard only fires inside feed()). The
+    // late FIN lands on a kReplying/kLingering connection and is
+    // discarded; finish() still reads the queued REPLY.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    Expected<Reply> r = c.finish(5000);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, ReplyStatus::kTruncated);
+    EXPECT_EQ(r->detail, ErrorCode::kDeadlineExceeded);
+    EXPECT_EQ(r->symbols, 0u);
+}
+
+TEST(ServeSession, ProtocolErrorsGetExplicitReplies)
+{
+    const Automaton a = testAutomaton();
+    ServerHarness h(a);
+
+    // DATA before OPEN.
+    {
+        Expected<net::Fd> fd = net::connectTo(h.addr());
+        ASSERT_TRUE(fd.ok());
+        std::vector<uint8_t> wire;
+        const auto d = bytes("hi");
+        appendFrame(wire, FrameType::kData, d.data(), d.size());
+        ASSERT_TRUE(
+            net::writeAll(fd->get(), wire.data(), wire.size()).ok());
+        uint8_t header[kFrameHeaderSize];
+        ASSERT_TRUE(net::readAll(fd->get(), header, sizeof(header),
+                                 5000)
+                        .ok());
+        EXPECT_EQ(header[4], static_cast<uint8_t>(FrameType::kReply));
+        std::vector<uint8_t> payload(
+            static_cast<uint32_t>(header[0]) |
+            (static_cast<uint32_t>(header[1]) << 8) |
+            (static_cast<uint32_t>(header[2]) << 16) |
+            (static_cast<uint32_t>(header[3]) << 24));
+        ASSERT_TRUE(net::readAll(fd->get(), payload.data(),
+                                 payload.size(), 5000)
+                        .ok());
+        Expected<Reply> r =
+            Reply::decode(payload.data(), payload.size());
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r->status, ReplyStatus::kProtocolError);
+    }
+
+    // Garbage frame type.
+    {
+        Expected<net::Fd> fd = net::connectTo(h.addr());
+        ASSERT_TRUE(fd.ok());
+        const uint8_t junk[5] = {0, 0, 0, 0, 0x55};
+        ASSERT_TRUE(
+            net::writeAll(fd->get(), junk, sizeof(junk)).ok());
+        uint8_t header[kFrameHeaderSize];
+        ASSERT_TRUE(net::readAll(fd->get(), header, sizeof(header),
+                                 5000)
+                        .ok());
+        EXPECT_EQ(header[4], static_cast<uint8_t>(FrameType::kReply));
+    }
+
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_EQ(h.server().stats().protocolErrors, 2u);
+}
+
+TEST(ServeSession, ClientDropIsNotFatal)
+{
+    const Automaton a = testAutomaton();
+    ServerHarness h(a);
+    // Open, stream a little, vanish without FIN. The server must
+    // carry on serving (SIGPIPE ignored, abort counted).
+    {
+        Client c;
+        ASSERT_TRUE(c.connect(h.addr()).ok());
+        ASSERT_TRUE(c.open(0).ok());
+        ASSERT_TRUE(c.send(testPayload(8, 4096)).ok());
+        c.close();
+    }
+    const auto in = testPayload(9, 4096);
+    const Reply r = runOneSession(h.addr(), in);
+    EXPECT_EQ(r.status, ReplyStatus::kOk);
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_EQ(h.server().stats().aborted, 1u);
+}
+
+TEST(ServeDrain, DrainUnderLoadAnswersEveryAdmittedSession)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.drainDeadlineMs = 1000;
+    ServerHarness h(a, opts);
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kPerThread = 8;
+    std::atomic<uint64_t> admitted{0}, answered{0}, refused{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (size_t i = 0; i < kPerThread; ++i) {
+                Client c;
+                if (!c.connect(h.addr()).ok())
+                    return; // listener already closed: drain begun
+                if (!c.open(0).ok())
+                    return;
+                if (!c.admitted()) {
+                    ++refused;
+                    EXPECT_EQ(c.reply().status,
+                              ReplyStatus::kRejectedDrain);
+                    continue;
+                }
+                ++admitted;
+                const auto in = testPayload(t * 100 + i, 32 << 10);
+                (void)c.send(in);
+                Expected<Reply> r = c.finish();
+                // Invariant: an admitted session either gets a REPLY
+                // or the whole drain failed. No silent drops.
+                ASSERT_TRUE(r.ok()) << r.status().str();
+                ++answered;
+                EXPECT_TRUE(replyCarriesResult(r->status));
+            }
+        });
+    }
+    // Let load build, then drain mid-flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const int rc = h.shutdown();
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(rc, 0);
+    EXPECT_GT(admitted.load(), 0u);
+    EXPECT_EQ(answered.load(), admitted.load());
+    EXPECT_GT(h.server().stats().drainNs, 0u);
+}
+
+#if AZOO_FAULT_INJECTION
+
+struct FaultScope {
+    ~FaultScope() { fault::disarmAll(); }
+};
+
+TEST(ServeChaos, InjectedFaultsNeverForgeResults)
+{
+    FaultScope scope;
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.limits.sessionSymbolBudget = 100000; // exercised rarely
+    ServerHarness h(a, opts);
+
+    // All three service fault points on seeded Bernoulli schedules.
+    fault::armRandom(fault::Point::kAcceptFail, 11, 30);
+    fault::armRandom(fault::Point::kSessionDrop, 22, 15);
+    fault::armRandom(fault::Point::kSlowConsumer, 33, 80);
+
+    constexpr size_t kSessions = 1000;
+    constexpr size_t kThreads = 4;
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> okCount{0}, resultChecked{0},
+        transportFailures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&] {
+            for (;;) {
+                const size_t i = next.fetch_add(1);
+                if (i >= kSessions)
+                    return;
+                const auto in = testPayload(i, 2048);
+                Client c;
+                if (!c.connect(h.addr()).ok()) {
+                    ++transportFailures;
+                    continue;
+                }
+                if (!c.open(0, 5000).ok()) {
+                    // Injected accept-fail / session-drop severed the
+                    // connection before admission: allowed, promised
+                    // nothing.
+                    ++transportFailures;
+                    continue;
+                }
+                if (!c.admitted())
+                    continue;
+                (void)c.send(in);
+                Expected<Reply> r = c.finish(10000);
+                if (!r.ok()) {
+                    // Dropped mid-session without a REPLY: the one
+                    // legal way to lose a session under kSessionDrop.
+                    ++transportFailures;
+                    continue;
+                }
+                // THE chaos invariant: any reply claiming a result is
+                // bit-identical to the serial engine over the prefix
+                // it claims, no matter which faults fired around it.
+                if (replyCarriesResult(r->status)) {
+                    ASSERT_LE(r->symbols, in.size());
+                    const SimResult want =
+                        serialRun(a, in.data(), r->symbols);
+                    ASSERT_EQ(r->reportCount, want.reportCount);
+                    ASSERT_EQ(r->reports, want.reports);
+                    ++resultChecked;
+                    if (r->status == ReplyStatus::kOk) {
+                        ASSERT_EQ(r->symbols, in.size());
+                        ++okCount;
+                    }
+                }
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    fault::disarmAll();
+    EXPECT_EQ(h.shutdown(), 0);
+
+    // The schedules must have actually bitten, and most sessions must
+    // still have completed exactly.
+    EXPECT_GT(transportFailures.load(), 0u);
+    EXPECT_GT(okCount.load(), kSessions / 2);
+    EXPECT_EQ(h.server().stats().sessionDrops +
+                  h.server().stats().acceptErrors,
+              transportFailures.load());
+    EXPECT_GT(resultChecked.load(), 0u);
+}
+
+#endif // AZOO_FAULT_INJECTION
+
+} // namespace
+} // namespace serve
+} // namespace azoo

@@ -9,12 +9,15 @@
 
 #include "core/builder.hh"
 #include "engine/nfa_engine.hh"
+#include "engine/parallel_runner.hh"
+#include "engine/planner.hh"
 #include "engine/run_guard.hh"
 #include "engine/streaming.hh"
 #include "util/fault.hh"
 #include "regex/glushkov.hh"
 #include "regex/parser.hh"
 #include "util/rng.hh"
+#include "zoo/registry.hh"
 #include "zoo/seqmatch.hh"
 
 namespace azoo {
@@ -270,6 +273,92 @@ TEST(StreamingGuard, InjectedExpiryTruncatesAtPollBoundary)
     EXPECT_EQ(r.symbols, kGuardCheckIntervalSymbols);
     // Results cover exactly the consumed prefix: one 'z' per 7 bytes.
     EXPECT_EQ(r.reportCount, (kGuardCheckIntervalSymbols + 6) / 7);
+}
+
+// ---------------------------------------------------------------
+// Session reuse. azoo_serve pools engine sessions across protocol
+// sessions, so reset() must restore *every* piece of state a feed can
+// dirty — match state, counters, stream offset, guard status — or a
+// reused session leaks one client's progress into the next. The
+// regression cycles dirty->reset->rerun across the whole zoo and
+// demands bit-identical results to a fresh session, including the
+// nastiest path: reset after a mid-stream guard stop.
+
+/** Canonicalized copy (sorted reports) for order-independent
+ *  comparison. */
+SimResult
+canon(SimResult r)
+{
+    canonicalizeReports(r);
+    return r;
+}
+
+template <typename Session>
+void
+expectSameAsFresh(const Automaton &a, Session &reused,
+                  const std::vector<uint8_t> &in, const char *what)
+{
+    Session fresh(a);
+    size_t pos = 0;
+    // Uneven chunking on the reused session, monolithic on the fresh
+    // one: reset must also clear chunk-boundary carry state.
+    const size_t kChunks[] = {1, 777, 64, 4096};
+    size_t ci = 0;
+    while (pos < in.size()) {
+        const size_t n = std::min(kChunks[ci++ % 4], in.size() - pos);
+        reused.feed(in.data() + pos, n);
+        pos += n;
+    }
+    fresh.feed(in.data(), in.size());
+    const SimResult got = canon(reused.results());
+    const SimResult want = canon(fresh.results());
+    EXPECT_EQ(got.symbols, want.symbols) << what;
+    EXPECT_EQ(got.reportCount, want.reportCount) << what;
+    EXPECT_EQ(got.reports, want.reports) << what;
+    EXPECT_EQ(reused.offset(), in.size()) << what;
+}
+
+template <typename Session>
+void
+cycleResetAcrossZoo()
+{
+    zoo::ZooConfig cfg;
+    cfg.scale = 0.01;
+    cfg.inputBytes = 8192;
+    for (const auto &info : zoo::allBenchmarks()) {
+        SCOPED_TRACE(info.name);
+        zoo::Benchmark b = info.make(cfg);
+        const std::vector<uint8_t> &in = b.input;
+        Session sess(b.automaton);
+
+        // Cycle 1: dirty the session with a different slice, reset.
+        sess.feed(in.data(), in.size() / 2);
+        sess.reset();
+        expectSameAsFresh(b.automaton, sess, in, "after plain reset");
+
+        // Cycle 2: stop it mid-stream with a guard, reset. A stopped
+        // session refuses feeds, so this is the path a pooled serve
+        // session takes after a truncated reply.
+        sess.reset();
+        RunGuard guard;
+        guard.setSymbolBudget(2048);
+        sess.options.guard = &guard;
+        sess.feed(in.data(), in.size());
+        EXPECT_TRUE(sess.stopped());
+        sess.reset();
+        sess.options.guard = nullptr;
+        expectSameAsFresh(b.automaton, sess, in, "after guard stop");
+    }
+}
+
+TEST(SessionReuse, StreamingResetIsBitIdenticalAcrossZoo)
+{
+    cycleResetAcrossZoo<StreamingSession>();
+}
+
+TEST(SessionReuse, PlannedResetIsBitIdenticalAcrossZoo)
+{
+    cycleResetAcrossZoo<PlannedSession>();
 }
 
 } // namespace

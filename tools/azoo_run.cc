@@ -69,6 +69,7 @@
 #include "tool_common.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
+#include "util/net.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
@@ -212,16 +213,21 @@ main(int argc, char **argv)
 
     SimOptions opts;
     opts.countByCode = cli.getBool("by-code");
+    // The guard is always wired, even with no deadline/budget flags:
+    // SIGINT/SIGTERM raise its cancellation flag, so an interrupted
+    // run stops at the next guard poll and reports a truncated but
+    // exact result (with the usual truncation note) instead of dying
+    // mid-write. SIGPIPE is ignored for the same reason — a closed
+    // pager must surface as a write error, not kill the run.
     RunGuard guard;
-    if (cli.has("deadline-ms") || cli.has("symbol-budget")) {
-        if (cli.has("deadline-ms"))
-            guard.setDeadlineMs(
-                static_cast<uint64_t>(cli.getInt("deadline-ms", 0)));
-        if (cli.has("symbol-budget"))
-            guard.setSymbolBudget(static_cast<uint64_t>(
-                cli.getInt("symbol-budget", 0)));
-        opts.guard = &guard;
-    }
+    if (cli.has("deadline-ms"))
+        guard.setDeadlineMs(
+            static_cast<uint64_t>(cli.getInt("deadline-ms", 0)));
+    if (cli.has("symbol-budget"))
+        guard.setSymbolBudget(static_cast<uint64_t>(
+            cli.getInt("symbol-budget", 0)));
+    opts.guard = &guard;
+    net::installCancelOnSignals(guard);
     const auto show =
         static_cast<size_t>(cli.getInt("reports", 10));
     opts.reportRecordLimit = show;

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * azoo_serve: long-lived match service over a compiled automaton.
+ *
+ * Loads an automaton (preferably a compiled `.azoox` artifact — the
+ * daemon restart path should not re-parse text formats) and serves
+ * match sessions over the framed protocol in serve/protocol.hh, on a
+ * TCP loopback port or a Unix socket:
+ *
+ *   azoo_serve --load snort.azoox --listen unix:/tmp/azoo.sock
+ *   azoo_serve --automaton x.mnrl --listen tcp:0   # prints the port
+ *
+ * The robustness surface (see docs/ARCHITECTURE.md "Running as a
+ * service"):
+ *   --max-sessions / --memory-budget   admission control
+ *   --queue-budget                     per-session backpressure bound
+ *   --session-deadline-ms /
+ *       --session-symbol-budget        per-session QoS (truncated,
+ *                                      exact replies — never hangs)
+ *   SIGTERM / SIGINT                   graceful drain: stop accepting,
+ *                                      flush in-flight sessions,
+ *                                      shed stragglers at --drain-ms,
+ *                                      exit 0
+ *   --metrics-file                     periodic azoo::obs JSON export
+ *
+ * Chaos schedules arm via the AZOO_FAULT_SPEC environment variable
+ * (see util/fault.hh) in fault-injection builds.
+ *
+ * On startup the daemon prints exactly one readiness line
+ * ("listening on <addr>") to stdout; scripts wait for it before
+ * connecting. At exit it prints a one-line session census.
+ */
+
+#include <iostream>
+
+#include "artifact/artifact.hh"
+#include "serve/server.hh"
+#include "tool_common.hh"
+#include "util/cli.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/net.hh"
+
+using namespace azoo;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv,
+            {"load", "automaton", "listen", "engine", "workers",
+             "max-sessions", "queue-budget", "memory-budget",
+             "session-deadline-ms", "session-symbol-budget",
+             "max-report-records", "drain-ms", "linger-ms",
+             "no-prefilter", "metrics-file", "metrics-interval-ms"});
+
+    if (Status st = fault::armFromEnv(); !st.ok())
+        tool::usageError(cat("azoo_serve: ", st.message()));
+
+    const bool useLoad = cli.has("load");
+    const std::string apath = cli.get("automaton");
+    if (useLoad && !apath.empty())
+        tool::usageError("azoo_serve: --load and --automaton are "
+                         "mutually exclusive");
+    if (!useLoad && apath.empty())
+        tool::usageError("azoo_serve: --load or --automaton is "
+                         "required");
+
+    Automaton a;
+    if (useLoad) {
+        const std::string lpath = cli.get("load");
+        if (lpath.empty() || lpath == "true")
+            tool::usageError("azoo_serve: --load needs a file path");
+        Expected<artifact::LoadedArtifact> la =
+            artifact::loadArtifact(lpath);
+        if (!la.ok()) {
+            std::cerr << lpath << ": " << la.status().str() << "\n";
+            return tool::exitCodeFor(la.status());
+        }
+        Expected<Automaton> m = la->materialize(ParseLimits());
+        if (!m.ok()) {
+            std::cerr << lpath << ": " << m.status().str() << "\n";
+            return tool::exitCodeFor(m.status());
+        }
+        a = std::move(*std::move(m));
+    } else {
+        a = tool::loadAnyOrExit(apath, ParseLimits());
+    }
+
+    serve::ServerOptions opts;
+    opts.addr = cli.get("listen", "tcp:0");
+    const std::string engine = cli.get("engine", "nfa");
+    if (engine == "auto")
+        opts.engine = serve::ServeEngine::kPlanned;
+    else if (engine == "nfa")
+        opts.engine = serve::ServeEngine::kNfa;
+    else
+        tool::usageError(cat("azoo_serve: unknown engine '", engine,
+                             "' (nfa|auto)"));
+    opts.plan.enablePrefilter = !cli.getBool("no-prefilter");
+    opts.workers = static_cast<size_t>(cli.getInt("workers", 0));
+    opts.limits.maxSessions =
+        static_cast<size_t>(cli.getInt("max-sessions", 256));
+    opts.limits.queueBudgetBytes = static_cast<size_t>(
+        cli.getInt("queue-budget", 256 << 10));
+    opts.limits.memoryBudgetBytes = static_cast<size_t>(
+        cli.getInt("memory-budget", 256 << 20));
+    opts.limits.sessionDeadlineMs =
+        cli.getInt("session-deadline-ms", 0);
+    opts.limits.sessionSymbolBudget = static_cast<uint64_t>(
+        cli.getInt("session-symbol-budget", 0));
+    opts.limits.maxReportRecords = static_cast<size_t>(
+        cli.getInt("max-report-records", 4096));
+    opts.drainDeadlineMs = cli.getInt("drain-ms", 5000);
+    opts.lingerMs = cli.getInt("linger-ms", 2000);
+    opts.metricsFile = cli.get("metrics-file");
+    if (opts.metricsFile == "true")
+        tool::usageError("azoo_serve: --metrics-file needs a path");
+    opts.metricsIntervalMs = cli.getInt("metrics-interval-ms", 1000);
+
+    net::installTermHandlers();
+
+    serve::Server server(a, opts);
+    if (Status st = server.start(); !st.ok()) {
+        std::cerr << "azoo_serve: " << st.str() << "\n";
+        return tool::exitCodeFor(st);
+    }
+
+    // Readiness line: tcp:0 resolves to the kernel-picked port so
+    // scripts can parse the address they should dial.
+    std::string bound = opts.addr;
+    if (bound.rfind("tcp:", 0) == 0)
+        bound = cat("tcp:", server.port());
+    std::cout << "listening on " << bound << " (capacity "
+              << server.capacity() << " sessions)" << std::endl;
+
+    const int rc = server.run();
+
+    const serve::ServerStats &s = server.stats();
+    std::cout << "served: " << s.admitted << " admitted, "
+              << s.replied << " replied, " << s.rejected
+              << " rejected, " << s.shed << " shed, " << s.aborted
+              << " aborted, " << s.protocolErrors
+              << " protocol errors; drain "
+              << (s.drainNs / 1000000) << " ms" << std::endl;
+    return rc;
+}

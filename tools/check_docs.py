@@ -8,9 +8,11 @@ Two classes of rot this catches:
    external http(s)/mailto links are ignored).
 
 2. Documented flags that the tools no longer accept. In each
-   ``## azoo_<tool>`` section of docs/FORMATS.md, every flag-table
-   row (``| `--flag ...` | meaning |``) must name a flag the
-   corresponding binary's ``--help`` lists. This is deliberately
+   ``## azoo_<tool>`` or ``## bench/<name>`` section of
+   docs/FORMATS.md, every flag-table row
+   (``| `--flag ...` | meaning |``) must name a flag the
+   corresponding binary's ``--help`` lists (``build/tools/<tool>``
+   and ``build/bench/<name>`` respectively). This is deliberately
    one-directional: an undocumented flag is an omission, a
    documented-but-removed flag is a lie, and only the lie fails CI.
    Prose may mention other tools' flags freely; the tables are the
@@ -36,7 +38,7 @@ import sys
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"--([a-z][a-z0-9-]*)")
 TABLE_FLAG_RE = re.compile(r"^\|\s*`--([a-z][a-z0-9-]*)")
-TOOL_SECTION_RE = re.compile(r"^## (azoo_[a-z]+)\b")
+TOOL_SECTION_RE = re.compile(r"^## (azoo_[a-z]+|bench/[a-z0-9_]+)\b")
 # Rule ids live in fixed hundreds-blocks (V0xx, L1xx, A2xx), which
 # keeps census strings like "L235" from false-matching.
 RULE_ID_RE = re.compile(r"\b(V0\d{2}|L1\d{2}|A2\d{2})\b")
@@ -109,7 +111,13 @@ def check_flags(repo, build_dir):
     if not sections:
         return ["docs/FORMATS.md: no '## azoo_*' tool sections found"]
     for tool, text in sorted(sections.items()):
-        binary = os.path.join(build_dir, "tools", tool)
+        # "## azoo_foo" sections check build/tools/azoo_foo;
+        # "## bench/bar" sections check build/bench/bar.
+        if tool.startswith("bench/"):
+            binary = os.path.join(build_dir, "bench",
+                                  tool.split("/", 1)[1])
+        else:
+            binary = os.path.join(build_dir, "tools", tool)
         if not os.path.exists(binary):
             errors.append(f"{tool}: binary not found at {binary} "
                           "(build the tools first)")
