@@ -71,7 +71,7 @@ msUntilImpl(std::chrono::steady_clock::time_point now,
 
 Server::Server(const Automaton &a, ServerOptions opts)
     : a_(a), opts_(std::move(opts)),
-      pool_(a_, opts_.engine, opts_.plan),
+      pool_(a_, opts_.engine, opts_.plan, opts_.limits.maxReportRecords),
       manager_(opts_.limits, pool_.estimatedSessionBytes())
 {
     int fds[2] = {-1, -1};
@@ -81,7 +81,12 @@ Server::Server(const Automaton &a, ServerOptions opts)
     wakeWrite_ = net::Fd(fds[1]);
 }
 
-Server::~Server() = default;
+Server::~Server()
+{
+    // Join workers first: in-flight tasks reference conns_, the
+    // completion queue, and the wake pipe, all destroyed after this.
+    workers_.reset();
+}
 
 Status
 Server::start()
@@ -122,14 +127,23 @@ Server::beginDrain()
 void
 Server::acceptAll()
 {
+    size_t pending = 0;
+    for (const auto &cp : conns_)
+        if (cp->state == ConnState::kAwaitOpen)
+            ++pending;
     for (;;) {
         bool wouldBlock = false;
         Expected<net::Fd> fd = net::acceptOn(listener_.get(),
                                              wouldBlock);
         if (!fd.ok()) {
+            // Transient (EMFILE etc.). The listener's POLLIN stays
+            // hot until the backlog drains, so stop polling it for a
+            // beat instead of spinning on the error.
             ++stats_.acceptErrors;
             ServeMetrics::get().acceptErrors.inc();
-            return; // transient (EMFILE etc.): retry next round
+            acceptBackoffUntil_ = Clock::now() +
+                std::chrono::milliseconds(opts_.acceptBackoffMs);
+            return;
         }
         if (wouldBlock)
             return;
@@ -140,10 +154,21 @@ Server::acceptAll()
             ServeMetrics::get().acceptErrors.inc();
             continue;
         }
+        if (pending >= opts_.maxPendingConns) {
+            // Pre-admission cap: admission only applies at OPEN, so
+            // without this a connect flood pins fds and FrameReader
+            // buffers unboundedly. Close rather than queue.
+            ++stats_.pendingClosed;
+            continue; // fd closes as *fd goes out of scope
+        }
         ++stats_.accepted;
+        ++pending;
         auto c = std::make_unique<Conn>();
         c->fd = std::move(*fd);
         c->id = nextId_++;
+        if (opts_.openTimeoutMs > 0)
+            c->deadlineAt = Clock::now() +
+                std::chrono::milliseconds(opts_.openTimeoutMs);
         conns_.push_back(std::move(c));
     }
 }
@@ -182,6 +207,7 @@ Server::handleOpen(Conn &c, const Frame &f)
     SimOptions &so = c.session->options();
     so.guard = &c.guard;
     so.reportRecordLimit = opts_.limits.maxReportRecords;
+    c.deadlineAt = TimePoint{}; // handshake deadline met
     if (opts_.limits.sessionDeadlineMs > 0)
         c.deadlineAt = Clock::now() +
             std::chrono::milliseconds(opts_.limits.sessionDeadlineMs);
@@ -324,7 +350,8 @@ Server::maybeDispatch(Conn &c)
     if (!dispatch)
         return;
     Conn *conn = &c;
-    workers_->post([this, conn] {
+    const uint64_t id = c.id;
+    workers_->post([this, conn, id] {
         MatchSession &s = *conn->session;
         for (;;) {
             std::vector<uint8_t> chunk;
@@ -346,9 +373,12 @@ Server::maybeDispatch(Conn &c)
             std::lock_guard<std::mutex> lock(conn->mutex);
             conn->busy = false;
         }
+        // conn must not be touched past this point: with busy clear
+        // the loop may reap a disconnected Conn at any moment, so the
+        // completion carries the id captured at post time.
         {
             std::lock_guard<std::mutex> lock(completionsMutex_);
-            completions_.push_back(conn->id);
+            completions_.push_back(id);
         }
         const uint8_t b = 1;
         [[maybe_unused]] ssize_t n = ::write(wakeWrite_.get(), &b, 1);
@@ -383,9 +413,9 @@ Server::onWorkerDone(Conn &c)
     if (c.session && c.session->stopped()) {
         // Guard truncation: reply now with the exact prefix result —
         // waiting for FIN from a client that may keep streaming
-        // forever would defeat the QoS bound.
-        const SimResult r = c.session->results();
-        queueReply(c, ReplyStatus::kTruncated, r.guardStatus.code());
+        // forever would defeat the QoS bound. queueReply() fills in
+        // the guard's stop reason as the detail code.
+        queueReply(c, ReplyStatus::kTruncated, ErrorCode::kOk);
         return;
     }
     if (finDone && c.finReceived) {
@@ -403,15 +433,18 @@ Server::queueReply(Conn &c, ReplyStatus status, ErrorCode detail)
         return;
     Reply reply;
     reply.status = status;
-    reply.detail = detail;
     if (c.session && replyCarriesResult(status)) {
         SimResult r = c.session->results();
+        if (status == ReplyStatus::kTruncated &&
+            detail == ErrorCode::kOk)
+            detail = r.guardStatus.code(); // guard's stop reason
         reply.symbols = r.symbols;
         reply.reportCount = r.reportCount;
         reply.reports = std::move(r.reports);
         if (reply.reports.size() > opts_.limits.maxReportRecords)
             reply.reports.resize(opts_.limits.maxReportRecords);
     }
+    reply.detail = detail;
     std::vector<uint8_t> payload;
     reply.encodeTo(payload);
     appendFrame(c.outbox, FrameType::kReply, payload.data(),
@@ -465,6 +498,13 @@ Server::shedSession(Conn &c, ReplyStatus status)
         return;
     ++stats_.shed;
     ServeMetrics::get().shed.inc();
+    // Retire from admission NOW, not when the reply goes out: a busy
+    // victim finishes asynchronously, and until it leaves the manager
+    // every higher-priority OPEN would re-select it and over-admit
+    // past capacity. The socket-side reply flow stays deferred.
+    manager_.retire(c.id);
+    ServeMetrics::get().active.set(
+        static_cast<int64_t>(manager_.active()));
     c.guard.cancel();
     bool busy;
     {
@@ -569,6 +609,14 @@ Server::enforceTimers(TimePoint now)
             closeConn(c, true);
             continue;
         }
+        if (c.state == ConnState::kAwaitOpen &&
+            c.deadlineAt != TimePoint{} && now >= c.deadlineAt) {
+            // Handshake deadline: connected but never sent a full
+            // OPEN; nothing was promised, so just close.
+            ++stats_.openTimeouts;
+            closeConn(c, true);
+            continue;
+        }
         if (c.state == ConnState::kStreaming &&
             c.deadlineAt != TimePoint{} && now >= c.deadlineAt &&
             !c.replyQueued) {
@@ -625,13 +673,16 @@ Server::pollTimeoutMs(TimePoint now) const
         if (c.state == ConnState::kReplying ||
             c.state == ConnState::kLingering)
             consider(c.lingerUntil);
-        if (c.state == ConnState::kStreaming)
+        if (c.state == ConnState::kStreaming ||
+            c.state == ConnState::kAwaitOpen)
             consider(c.deadlineAt);
     }
     if (draining_) {
         consider(drainDeadlineAt_);
         consider(hardStopAt_);
     }
+    if (now < acceptBackoffUntil_)
+        consider(acceptBackoffUntil_);
     if (!opts_.metricsFile.empty())
         consider(nextMetricsAt_);
     return static_cast<int>(best);
@@ -716,7 +767,10 @@ Server::run()
             pollfd{net::SelfPipe::global().readFd(), POLLIN, 0});
         pfds.push_back(pollfd{wakeRead_.get(), POLLIN, 0});
         const size_t listenerIdx = pfds.size();
-        if (listener_.valid())
+        // During accept-error backoff the listener is left out of the
+        // poll set entirely (its POLLIN would stay hot and busy-spin);
+        // pollTimeoutMs() wakes the loop when the backoff lapses.
+        if (listener_.valid() && Clock::now() >= acceptBackoffUntil_)
             pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
         const size_t connBase = pfds.size();
         for (auto &cp : conns_) {

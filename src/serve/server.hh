@@ -88,6 +88,18 @@ struct ServerOptions {
     /** After a REPLY (or to flush one), how long to keep the socket
      *  around for the peer to read it / finish sending. */
     int64_t lingerMs = 2000;
+    /** Handshake deadline: a connection that sends no OPEN within
+     *  this long of accept() is closed (0 = none). Bounds the fds and
+     *  FrameReader memory a never-opening client can pin. */
+    int64_t openTimeoutMs = 5000;
+    /** Cap on accepted-but-not-yet-admitted connections; accepts past
+     *  it are closed immediately (admission applies only at OPEN, so
+     *  this is the pre-admission bound). */
+    size_t maxPendingConns = 256;
+    /** Listener poll pause after an accept() error (EMFILE etc.), so
+     *  a hot POLLIN on an un-acceptable listener cannot busy-spin the
+     *  loop. */
+    int64_t acceptBackoffMs = 100;
     /** Periodic obs snapshot destination ("" = none). */
     std::string metricsFile;
     int64_t metricsIntervalMs = 1000;
@@ -105,6 +117,8 @@ struct ServerStats {
     uint64_t aborted = 0;        ///< client vanished before its REPLY
     uint64_t acceptErrors = 0;   ///< accept() failures (incl. injected)
     uint64_t sessionDrops = 0;   ///< injected kSessionDrop closes
+    uint64_t pendingClosed = 0;  ///< accepts closed at maxPendingConns
+    uint64_t openTimeouts = 0;   ///< conns closed awaiting OPEN
     size_t peakQueueBytes = 0;   ///< max per-session inbox high-water
     uint64_t drainNs = 0;        ///< drain-request-to-exit wall time
 };
@@ -235,6 +249,7 @@ class Server
     TimePoint drainDeadlineAt_{};
     TimePoint hardStopAt_{};
     TimePoint nextMetricsAt_{};
+    TimePoint acceptBackoffUntil_{};
 
     std::vector<std::unique_ptr<Conn>> conns_;
     uint64_t nextId_ = 1;

@@ -83,12 +83,13 @@ estimateBytes(const Automaton &a, size_t maxReportRecords)
 } // namespace
 
 MatchSessionPool::MatchSessionPool(const Automaton &a, ServeEngine engine,
-                                   const PlanOptions &popts)
+                                   const PlanOptions &popts,
+                                   size_t maxReportRecords)
     : a_(a), engine_(engine), popts_(popts)
 {
     if (engine_ == ServeEngine::kPlanned)
         profiles_ = analysis::inferProfiles(a_, popts_.infer);
-    sessionBytes_ = estimateBytes(a_, ServeLimits().maxReportRecords);
+    sessionBytes_ = estimateBytes(a_, maxReportRecords);
 }
 
 std::unique_ptr<MatchSession>

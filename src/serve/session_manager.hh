@@ -110,9 +110,14 @@ class MatchSessionPool
 {
   public:
     /** @p a must outlive the pool (the server owns both). Profile
-     *  inference for kPlanned runs once here, not per session. */
+     *  inference for kPlanned runs once here, not per session.
+     *  @p maxReportRecords is the effective per-reply record cap
+     *  (ServeLimits::maxReportRecords), sizing the report-buffer term
+     *  of estimatedSessionBytes(). */
     MatchSessionPool(const Automaton &a, ServeEngine engine,
-                     const PlanOptions &popts = PlanOptions());
+                     const PlanOptions &popts = PlanOptions(),
+                     size_t maxReportRecords =
+                         ServeLimits().maxReportRecords);
 
     std::unique_ptr<MatchSession> acquire();
     void release(std::unique_ptr<MatchSession> s);

@@ -399,6 +399,116 @@ TEST(ServeSession, HigherPrioritySessionShedsLower)
     EXPECT_EQ(h.server().stats().shed, 1u);
 }
 
+TEST(ServeSession, ShedFreesExactlyOneAdmissionSlot)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.limits.maxSessions = 1;
+    ServerHarness h(a, opts);
+
+    Client low;
+    ASSERT_TRUE(low.connect(h.addr()).ok());
+    ASSERT_TRUE(low.open(1).ok());
+    ASSERT_TRUE(low.admitted());
+    ASSERT_TRUE(low.send(testPayload(40, 64 << 10)).ok());
+
+    Client high;
+    ASSERT_TRUE(high.connect(h.addr()).ok());
+    ASSERT_TRUE(high.open(200).ok());
+    ASSERT_TRUE(high.admitted());
+
+    // The victim leaves admission at shed time, not when its reply
+    // lands: a third OPEN below the survivor's priority must be
+    // rejected, never admitted against the still-retiring victim
+    // (which would push active() past capacity()).
+    Client mid;
+    ASSERT_TRUE(mid.connect(h.addr()).ok());
+    ASSERT_TRUE(mid.open(150).ok());
+    EXPECT_FALSE(mid.admitted());
+    EXPECT_EQ(mid.reply().status, ReplyStatus::kRejectedBusy);
+
+    Expected<Reply> shedReply = low.finish();
+    ASSERT_TRUE(shedReply.ok());
+    EXPECT_EQ(shedReply->status, ReplyStatus::kShedOverload);
+    ASSERT_TRUE(high.send(testPayload(41, 1024)).ok());
+    Expected<Reply> r = high.finish();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, ReplyStatus::kOk);
+}
+
+TEST(ServeSession, SilentConnIsClosedAtOpenTimeout)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.openTimeoutMs = 200;
+    ServerHarness h(a, opts);
+
+    // Connect and never send OPEN: the server must reclaim the fd at
+    // the handshake deadline instead of holding it forever.
+    Expected<net::Fd> fd = net::connectTo(h.addr());
+    ASSERT_TRUE(fd.ok());
+    uint8_t b;
+    EXPECT_FALSE(net::readAll(fd->get(), &b, 1, 5000).ok()); // EOF
+
+    // The server is unharmed and still serves.
+    const auto in = testPayload(42, 1024);
+    const Reply r = runOneSession(h.addr(), in);
+    EXPECT_EQ(r.status, ReplyStatus::kOk);
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_EQ(h.server().stats().openTimeouts, 1u);
+}
+
+TEST(ServeSession, OpenTimeoutDoesNotOutliveAdmission)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.openTimeoutMs = 150; // no session deadline configured
+    ServerHarness h(a, opts);
+
+    Client c;
+    ASSERT_TRUE(c.connect(h.addr()).ok());
+    ASSERT_TRUE(c.open(0).ok());
+    ASSERT_TRUE(c.admitted());
+    // Idle well past the handshake deadline: an admitted session must
+    // not inherit it (only ServeLimits::sessionDeadlineMs applies).
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
+    const auto in = testPayload(43, 2048);
+    ASSERT_TRUE(c.send(in).ok());
+    Expected<Reply> r = c.finish();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->status, ReplyStatus::kOk);
+}
+
+TEST(ServeSession, PendingConnCapClosesExcessAccepts)
+{
+    const Automaton a = testAutomaton();
+    ServerOptions opts;
+    opts.maxPendingConns = 2;
+    opts.drainDeadlineMs = 200;
+    opts.lingerMs = 200;
+    ServerHarness h(a, opts);
+
+    // Two connections may sit pre-OPEN; the third and fourth must be
+    // closed at accept (admission cannot see them, so the cap is the
+    // only bound on never-opening clients).
+    std::vector<net::Fd> held;
+    for (int i = 0; i < 2; ++i) {
+        Expected<net::Fd> fd = net::connectTo(h.addr());
+        ASSERT_TRUE(fd.ok());
+        held.push_back(std::move(*fd));
+    }
+    for (int i = 0; i < 2; ++i) {
+        Expected<net::Fd> fd = net::connectTo(h.addr());
+        ASSERT_TRUE(fd.ok());
+        uint8_t b;
+        EXPECT_FALSE(net::readAll(fd->get(), &b, 1, 5000).ok());
+    }
+    held.clear(); // EOF the held conns so drain is immediate
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_EQ(h.server().stats().pendingClosed, 2u);
+    EXPECT_EQ(h.server().stats().accepted, 2u); // only the held pair
+}
+
 TEST(ServeSession, BackpressureBoundsQueuedBytes)
 {
     const Automaton a = testAutomaton();
