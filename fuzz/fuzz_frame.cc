@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "serve/protocol.hh"
 
@@ -25,10 +26,24 @@ LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
 
     FrameReader reader;
     size_t pos = 0;
+    // Stable-payload contract: a decoded Frame stays valid across
+    // later append()/compact() calls. Hold the previous frame and
+    // its expected bytes across iterations; any divergence means the
+    // payload view was silently invalidated (the PR-10 ASan bug).
+    Frame held;
+    bool haveHeld = false;
+    std::vector<uint8_t> heldCopy;
     while (pos < size) {
         const size_t n = std::min(stride, size - pos);
         reader.append(data + pos, n);
         pos += n;
+        if (haveHeld) {
+            if (held.len != heldCopy.size())
+                __builtin_trap();
+            for (size_t i = 0; i < heldCopy.size(); ++i)
+                if (held.payload[i] != heldCopy[i])
+                    __builtin_trap();
+        }
         Frame f;
         while (reader.next(f)) {
             // A decoded frame must view inside the buffered bytes.
@@ -39,6 +54,9 @@ LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
             // Exercise the payload decoder on reply-typed frames.
             if (f.type == FrameType::kReply)
                 (void)Reply::decode(f.payload, f.len);
+            held = f;
+            heldCopy.assign(f.payload, f.payload + f.len);
+            haveHeld = true;
         }
         if (!reader.error().ok()) {
             // Sticky: no frame may decode after an error.

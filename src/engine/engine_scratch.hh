@@ -85,6 +85,21 @@ struct EngineScratch {
     {
         base += static_cast<uint64_t>(len) + 2;
     }
+
+    /** Resident bytes of the owned vectors (capacities, not sizes —
+     *  the admission footprint cares what the allocator holds). */
+    size_t
+    footprintBytes() const
+    {
+        return stamp.capacity() * sizeof(uint64_t) +
+            (cur.capacity() + next.capacity()) * sizeof(ElementId) +
+            value.capacity() * sizeof(uint32_t) +
+            (countStamp.capacity() + resetStamp.capacity()) *
+            sizeof(uint64_t) +
+            latched.capacity() +
+            (counted.capacity() + resets.capacity() +
+             latchedList.capacity()) * sizeof(ElementId);
+    }
 };
 
 } // namespace azoo

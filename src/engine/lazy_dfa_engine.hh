@@ -136,6 +136,8 @@ class LazyDfaEngine
                       const SimOptions &opts, SimResult &res);
 
     // ---- compiled lazy partition (immutable after construction) ----
+    /** Borrowed: the caller guarantees the automaton outlives the
+     *  engine (in the serve path, via a RulesetGeneration pin). */
     const Automaton &a_;
     LazyDfaOptions opts_;
 

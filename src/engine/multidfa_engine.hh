@@ -118,6 +118,8 @@ class MultiDfaEngine
      *  @return true on success (dfa filled in). */
     bool buildDfa(const std::vector<ElementId> &members, Dfa &dfa) const;
 
+    /** Borrowed: the caller guarantees the automaton outlives the
+     *  engine (in the serve path, via a RulesetGeneration pin). */
     const Automaton &a_;
     MultiDfaOptions opts_;
     std::vector<Dfa> dfas_;

@@ -165,6 +165,8 @@ class ParallelRunner
 
     void buildShards(size_t groups);
 
+    /** Borrowed: the caller guarantees the automaton outlives the
+     *  runner (in the serve path, via a RulesetGeneration pin). */
     const Automaton &a_;
     ParallelOptions opts_;
     std::unique_ptr<ThreadPool> pool_;

@@ -606,4 +606,29 @@ PlannedSession::reset()
     guardStatus_ = Status();
 }
 
+size_t
+PlannedSession::footprintBytes() const
+{
+    // Graph-form sub-automaton copies: Elements are value types (the
+    // charset bitmap is inline) plus their edge vectors.
+    auto automatonBytes = [](const Automaton &a) {
+        size_t n = a.size() * sizeof(Element);
+        for (const Element &e : a.elements())
+            n += (e.out.capacity() + e.resetOut.capacity()) *
+                sizeof(ElementId);
+        return n;
+    };
+    size_t n = sizeof(*this);
+    if (restSub_)
+        n += automatonBytes(*restSub_);
+    n += restToGlobal_.capacity() * sizeof(ElementId);
+    if (restSession_)
+        n += restSession_->footprintBytes();
+    if (prefilter_)
+        n += prefilter_->footprintBytes();
+    if (prefilterSession_)
+        n += prefilterSession_->footprintBytes();
+    return n;
+}
+
 } // namespace azoo

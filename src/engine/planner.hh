@@ -246,6 +246,12 @@ class PlannedSession
 
     void reset();
 
+    /** Resident bytes: sub-automaton copies, the rest-group
+     *  interpreter session, and the prefilter's shared tables +
+     *  per-session window state. The serve layer's admission
+     *  estimate is validated against this. */
+    size_t footprintBytes() const;
+
     const EnginePlan &plan() const { return plan_; }
 
     const PrefilterStats &

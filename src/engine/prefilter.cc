@@ -350,4 +350,25 @@ PrefilteredNfa::Session::reset()
     flushedSkipped_ = 0;
 }
 
+size_t
+PrefilteredNfa::footprintBytes() const
+{
+    const NfaExecTables &t = tables_;
+    size_t n = sizeof(*this);
+    n += (t.edgeBegin.capacity() + t.resetBegin.capacity() +
+          t.reportCode.capacity() + t.counterTarget.capacity() +
+          t.maiBegin.capacity()) * sizeof(uint32_t);
+    n += (t.edgeTarget.capacity() + t.resetTarget.capacity() +
+          t.allInput.capacity() + t.startOfData.capacity() +
+          t.counters.capacity() + t.maiTarget.capacity()) *
+        sizeof(ElementId);
+    n += t.label.capacity() * sizeof(t.label[0]);
+    n += t.reporting.capacity() + t.isCounter.capacity() +
+        t.isAllInput.capacity() + t.counterMode.capacity();
+    n += toGlobal_.capacity() * sizeof(ElementId);
+    n += radius_.capacity() * sizeof(uint32_t);
+    n += scanner_.footprintBytes();
+    return n;
+}
+
 } // namespace azoo

@@ -180,6 +180,22 @@ class LiteralScanner
         }
     }
 
+  public:
+    /** Resident bytes of the scanner tables (the Wu-Manber shift and
+     *  bucket arrays are 64 Ki entries each when built). */
+    size_t
+    footprintBytes() const
+    {
+        size_t n = 0;
+        for (const std::string &p : pats_)
+            n += sizeof(std::string) + p.capacity();
+        n += shift_.capacity() * sizeof(uint16_t);
+        n += (bucketHead_.capacity() + bucketNext_.capacity()) *
+            sizeof(int32_t);
+        return n;
+    }
+
+  private:
     std::vector<std::string> pats_;
     size_t minLen_ = 0;
     size_t maxLen_ = 0;
@@ -235,6 +251,10 @@ class PrefilteredNfa
     size_t patternCount() const { return scanner_.patternCount(); }
     uint32_t maxRadius() const { return maxRadius_; }
 
+    /** Resident bytes of the shared tables (exec tables + scanner);
+     *  per-session state is Session::footprintBytes(). */
+    size_t footprintBytes() const;
+
   private:
     /** Mutable engagement state threaded through run()/Session: the
      *  current window run (if any) and accumulated outputs. */
@@ -272,6 +292,18 @@ class PrefilteredNfa
 
         /** Back to start-of-stream; results cleared. */
         void reset();
+
+        /** Resident bytes of this session's own state (scratch,
+         *  rolling buffer, hit list, report storage). */
+        size_t
+        footprintBytes() const
+        {
+            return sizeof(*this) + scratch_.footprintBytes() +
+                buf_.capacity() +
+                hits_.capacity() *
+                sizeof(std::pair<uint64_t, uint32_t>) +
+                x_.reports.capacity() * sizeof(Report);
+        }
 
       private:
         const PrefilteredNfa &pf_;

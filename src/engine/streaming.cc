@@ -214,4 +214,22 @@ StreamingSession::feed(const uint8_t *data, size_t len)
     return len;
 }
 
+size_t
+StreamingSession::footprintBytes() const
+{
+    size_t n = sizeof(*this);
+    n += (edgeBegin_.capacity() + resetBegin_.capacity() +
+          reportCode_.capacity()) * sizeof(uint32_t);
+    n += (edgeTarget_.capacity() + resetTarget_.capacity() +
+          counters_.capacity()) * sizeof(ElementId);
+    n += label_.capacity() * sizeof(std::array<uint64_t, 4>);
+    n += isCounter_.capacity() + isAllInput_.capacity() +
+        reporting_.capacity();
+    for (const std::vector<ElementId> &v : matchingAllInput_)
+        n += v.capacity() * sizeof(ElementId);
+    n += scratch_.footprintBytes();
+    n += result_.reports.capacity() * sizeof(Report);
+    return n;
+}
+
 } // namespace azoo

@@ -36,7 +36,10 @@ namespace azoo {
 class StreamingSession
 {
   public:
-    /** The automaton must outlive the session. */
+    /** The automaton must outlive the session. (In the serve path
+     *  that lifetime is guaranteed structurally: sessions are owned
+     *  by a MatchSessionPool whose RulesetGeneration pin keeps the
+     *  automaton alive until the last session is destroyed.) */
     explicit StreamingSession(const Automaton &a);
 
     /**
@@ -66,6 +69,11 @@ class StreamingSession
 
     /** Reset to the start-of-stream state (results cleared). */
     void reset();
+
+    /** Resident bytes: flattened tables + scratch + report storage.
+     *  The serve layer's admission estimate is validated against
+     *  this. */
+    size_t footprintBytes() const;
 
     /** Simulation options (reports are always recorded unless
      *  changed here before feeding). */

@@ -16,6 +16,7 @@ Client::connect(const std::string &addr)
         return fd.status();
     fd_ = std::move(*fd);
     admitted_ = false;
+    epoch_ = 0;
     reply_ = Reply();
     return Status();
 }
@@ -65,6 +66,15 @@ Client::open(uint8_t priority, int timeoutMs)
     if (!f.ok())
         return f.status();
     if (f->type == FrameType::kAdmit) {
+        // Empty = legacy server; 8 bytes = u64le generation epoch.
+        if (f->len == 8) {
+            epoch_ = 0;
+            for (int i = 7; i >= 0; --i)
+                epoch_ = (epoch_ << 8) | f->payload[i];
+        } else if (f->len != 0) {
+            return Status(ErrorCode::kParseError,
+                          "malformed ADMIT payload");
+        }
         admitted_ = true;
         return Status();
     }
@@ -96,6 +106,35 @@ Client::send(const uint8_t *data, size_t len)
         len -= n;
     }
     return Status();
+}
+
+Expected<Reply>
+Client::reload(const std::string &path, int timeoutMs)
+{
+    std::vector<uint8_t> body;
+    body.assign(4, 0); // flags (must be zero)
+    body.insert(body.end(), path.begin(), path.end());
+    if (body.size() > kMaxFramePayload)
+        return Status(ErrorCode::kInvalidArgument,
+                      "reload path too long");
+    std::vector<uint8_t> out;
+    appendFrame(out, FrameType::kReload, body.data(), body.size());
+    if (Status st = net::writeAll(fd_.get(), out.data(), out.size(),
+                                  timeoutMs);
+        !st.ok())
+        return st;
+    std::vector<uint8_t> payload;
+    Expected<Frame> f = readFrame(payload, timeoutMs);
+    if (!f.ok())
+        return f.status();
+    if (f->type != FrameType::kReply)
+        return Status(ErrorCode::kParseError,
+                      "unexpected frame while waiting for reload reply");
+    Expected<Reply> r = Reply::decode(f->payload, f->len);
+    if (!r.ok())
+        return r.status();
+    reply_ = *r;
+    return r;
 }
 
 Expected<Reply>

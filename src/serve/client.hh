@@ -49,6 +49,22 @@ class Client
 
     bool admitted() const { return admitted_; }
 
+    /** Generation epoch echoed in the ADMIT frame (0 when the server
+     *  predates the epoch payload, or before admission). Reload tests
+     *  steer on this: it says exactly which ruleset generation the
+     *  session runs against. */
+    uint64_t epoch() const { return epoch_; }
+
+    /**
+     * Send a RELOAD control frame (instead of OPEN, on a fresh
+     * connection): ask the server to hot-swap to the ruleset at
+     * @p path. The REPLY is kOk when the new generation is live,
+     * kServerError with a detail code when the load/verify failed or
+     * remote reload is disabled, kRejectedDrain during a drain.
+     */
+    Expected<Reply> reload(const std::string &path,
+                           int timeoutMs = 30000);
+
     /** Stream input bytes (chunked into DATA frames). The server may
      *  already have shed the session; EPIPE from here is normal then
      *  — callers fall through to finish(), the REPLY may still be
@@ -76,6 +92,7 @@ class Client
 
     net::Fd fd_;
     bool admitted_ = false;
+    uint64_t epoch_ = 0;
     Reply reply_;
 };
 

@@ -48,6 +48,7 @@ knownFrameType(uint8_t t)
       case FrameType::kOpen:
       case FrameType::kData:
       case FrameType::kFin:
+      case FrameType::kReload:
       case FrameType::kAdmit:
       case FrameType::kReply:
         return true;
@@ -80,6 +81,50 @@ replyStatusName(ReplyStatus s)
     return "unknown";
 }
 
+uint8_t
+detailToWire(ErrorCode code)
+{
+    // Frozen wire values. These happen to equal today's enum values —
+    // that is the compatibility requirement, not the definition: new
+    // ErrorCode members get the next free wire byte here explicitly,
+    // and reordering the enum must not change this table.
+    switch (code) {
+      case ErrorCode::kOk: return 0;
+      case ErrorCode::kParseError: return 1;
+      case ErrorCode::kUnsupported: return 2;
+      case ErrorCode::kLimitExceeded: return 3;
+      case ErrorCode::kIoError: return 4;
+      case ErrorCode::kDeadlineExceeded: return 5;
+      case ErrorCode::kCancelled: return 6;
+      case ErrorCode::kResourceExhausted: return 7;
+      case ErrorCode::kInvalidArgument: return 8;
+      case ErrorCode::kVersionMismatch: return 9;
+      case ErrorCode::kChecksumMismatch: return 10;
+      case ErrorCode::kInternal: return 11;
+    }
+    return 11; // unreachable for in-range enums; encode as internal
+}
+
+bool
+detailFromWire(uint8_t wire, ErrorCode &out)
+{
+    switch (wire) {
+      case 0: out = ErrorCode::kOk; return true;
+      case 1: out = ErrorCode::kParseError; return true;
+      case 2: out = ErrorCode::kUnsupported; return true;
+      case 3: out = ErrorCode::kLimitExceeded; return true;
+      case 4: out = ErrorCode::kIoError; return true;
+      case 5: out = ErrorCode::kDeadlineExceeded; return true;
+      case 6: out = ErrorCode::kCancelled; return true;
+      case 7: out = ErrorCode::kResourceExhausted; return true;
+      case 8: out = ErrorCode::kInvalidArgument; return true;
+      case 9: out = ErrorCode::kVersionMismatch; return true;
+      case 10: out = ErrorCode::kChecksumMismatch; return true;
+      case 11: out = ErrorCode::kInternal; return true;
+    }
+    return false;
+}
+
 bool
 replyCarriesResult(ReplyStatus s)
 {
@@ -98,7 +143,7 @@ void
 Reply::encodeTo(std::vector<uint8_t> &out) const
 {
     out.push_back(static_cast<uint8_t>(status));
-    out.push_back(static_cast<uint8_t>(detail));
+    out.push_back(detailToWire(detail));
     put64(out, symbols);
     put64(out, reportCount);
     put32(out, static_cast<uint32_t>(reports.size()));
@@ -121,9 +166,8 @@ Reply::decode(const uint8_t *payload, size_t len)
     if (payload[0] > static_cast<uint8_t>(ReplyStatus::kServerError))
         return malformed("unknown status");
     r.status = static_cast<ReplyStatus>(payload[0]);
-    if (payload[1] > static_cast<uint8_t>(ErrorCode::kInternal))
+    if (!detailFromWire(payload[1], r.detail))
         return malformed("unknown detail code");
-    r.detail = static_cast<ErrorCode>(payload[1]);
     r.symbols = get64(payload + 2);
     r.reportCount = get64(payload + 10);
     const uint32_t n = get32(payload + 18);
@@ -185,11 +229,24 @@ FrameReader::next(Frame &out)
     }
     if (buf_.size() - pos_ < kFrameHeaderSize + len)
         return false;
+    // Move the payload into owned storage: buf_ is erased (and may
+    // reallocate) on the next append(), and handlers legitimately
+    // hold a decoded frame across one — a view into buf_ would
+    // dangle. takePayload() lets the DATA path reclaim the copy.
+    payload_.assign(h + kFrameHeaderSize, h + kFrameHeaderSize + len);
     out.type = static_cast<FrameType>(h[4]);
-    out.payload = h + kFrameHeaderSize;
+    out.payload = payload_.data();
     out.len = len;
     pos_ += kFrameHeaderSize + len;
     return true;
+}
+
+std::vector<uint8_t>
+FrameReader::takePayload()
+{
+    std::vector<uint8_t> out = std::move(payload_);
+    payload_.clear();
+    return out;
 }
 
 void

@@ -9,8 +9,14 @@
  *   client -> server   OPEN(priority)       once, first
  *                      DATA(bytes)          any number of times
  *                      FIN                  once, ends the stream
- *   server -> client   ADMIT                after OPEN, if admitted
+ *   server -> client   ADMIT(epoch)         after OPEN, if admitted
  *                      REPLY(status, ...)   exactly once, then close
+ *
+ * A control connection may send RELOAD(path) instead of OPEN: the
+ * server swaps its ruleset to a new generation and answers with a
+ * REPLY (kOk on success, kServerError with the failure's detail code
+ * otherwise). ADMIT carries the generation epoch a session opened
+ * under, so clients can correlate replies with rulesets across swaps.
  *
  * Every frame is `u32le payloadLen | u8 type | payload`. payloadLen
  * counts the payload only and is bounded by kMaxFramePayload — an
@@ -53,11 +59,16 @@ inline constexpr size_t kMaxFramePayload = 1u << 20;
 
 /** Frame types. Client-to-server types have the high bit clear. */
 enum class FrameType : uint8_t {
-    kOpen = 0x01,  ///< payload: u8 priority, u32le flags (must be 0)
-    kData = 0x02,  ///< payload: raw stream bytes
-    kFin = 0x03,   ///< payload: empty
-    kAdmit = 0x81, ///< payload: empty
-    kReply = 0x82, ///< payload: Reply encoding
+    kOpen = 0x01,   ///< payload: u8 priority, u32le flags (must be 0)
+    kData = 0x02,   ///< payload: raw stream bytes
+    kFin = 0x03,    ///< payload: empty
+    kReload = 0x04, ///< payload: u32le flags (must be 0), then the
+                    ///< ruleset path (raw bytes, no terminator).
+                    ///< Control frame: valid only instead of OPEN;
+                    ///< answered with a REPLY once the swap lands.
+    kAdmit = 0x81,  ///< payload: empty (legacy) or u64le epoch of the
+                    ///< ruleset generation this session opened under
+    kReply = 0x82,  ///< payload: Reply encoding
 };
 
 /** Session outcome carried in a REPLY frame. */
@@ -80,6 +91,19 @@ const char *replyStatusName(ReplyStatus s);
  *  over a consumed prefix: kOk, kTruncated, kShedOverload,
  *  kShedDrain. */
 bool replyCarriesResult(ReplyStatus s);
+
+/**
+ * Wire encoding of Reply::detail. The mapping is an explicit table,
+ * not `static_cast<uint8_t>(ErrorCode)`: the in-memory enum may gain
+ * or reorder members, but these byte values are frozen protocol —
+ * a peer built from a different revision either agrees on a value's
+ * meaning or gets a clean kParseError, never a misdecoded ErrorCode.
+ */
+uint8_t detailToWire(ErrorCode code);
+
+/** Decode a wire detail byte; false for values no revision of the
+ *  table has assigned (the caller treats that as malformed). */
+bool detailFromWire(uint8_t wire, ErrorCode &out);
 
 /** Decoded REPLY payload. */
 struct Reply {
@@ -104,7 +128,8 @@ struct Reply {
 void appendFrame(std::vector<uint8_t> &out, FrameType type,
                  const uint8_t *payload, size_t len);
 
-/** One decoded frame, viewing into the receive buffer. */
+/** One decoded frame, viewing into the reader's stable payload
+ *  storage. */
 struct Frame {
     FrameType type = FrameType::kOpen;
     const uint8_t *payload = nullptr;
@@ -113,14 +138,21 @@ struct Frame {
 
 /**
  * Incremental frame decoder over a raw byte stream. append() socket
- * bytes, then next() until it returns false. Decoding never copies
- * payload bytes (frames view into the internal buffer and stay valid
- * until the next append()/compact()).
+ * bytes, then next() until it returns false.
+ *
+ * Payload stability contract: next() moves the decoded payload into
+ * storage owned by the reader, so the returned Frame stays valid
+ * across any number of append()/compact() calls and is invalidated
+ * only by the next successful next() (or takePayload()). This
+ * matters: the receive buffer itself is erased and may reallocate on
+ * every append(), and holding a decoded frame across an append is
+ * exactly what a handler that triggers more socket reads does.
  */
 class FrameReader
 {
   public:
-    /** Add raw bytes from the socket. */
+    /** Add raw bytes from the socket. Never invalidates the last
+     *  frame next() returned. */
     void append(const uint8_t *data, size_t len);
 
     /**
@@ -131,6 +163,13 @@ class FrameReader
      * to protocol, the caller replies kProtocolError and closes.
      */
     bool next(Frame &out);
+
+    /**
+     * Steal the last decoded frame's payload bytes (moves the owned
+     * storage out, so a DATA chunk reaches the session queue with no
+     * extra copy). The last Frame is invalid afterwards.
+     */
+    std::vector<uint8_t> takePayload();
 
     const Status &error() const { return error_; }
 
@@ -144,6 +183,8 @@ class FrameReader
   private:
     std::vector<uint8_t> buf_;
     size_t pos_ = 0;
+    /** Owned storage for the last decoded frame's payload. */
+    std::vector<uint8_t> payload_;
     Status error_;
 };
 

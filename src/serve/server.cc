@@ -27,6 +27,12 @@ struct ServeMetrics {
     obs::Gauge &queueDepth;
     obs::Gauge &drainNs;
     obs::Counter &acceptErrors;
+    obs::Counter &reloadCount;
+    obs::Counter &reloadFailures;
+    obs::Gauge &reloadEpoch;
+    obs::Gauge &generationsLive;
+    obs::Gauge &pinnedOld;
+    obs::Histogram &reloadNs;
 
     static ServeMetrics &
     get()
@@ -39,12 +45,22 @@ struct ServeMetrics {
             obs::Registry::global().gauge("serve.queue.depth"),
             obs::Registry::global().gauge("serve.drain.ns"),
             obs::Registry::global().counter("serve.accept.errors"),
+            obs::Registry::global().counter("serve.reload.count"),
+            obs::Registry::global().counter("serve.reload.failures"),
+            obs::Registry::global().gauge("serve.reload.epoch"),
+            obs::Registry::global().gauge(
+                "serve.reload.generations_live"),
+            obs::Registry::global().gauge("serve.reload.pinned_old"),
+            obs::Registry::global().histogram("serve.reload.ns"),
         };
         return m;
     }
 };
 
 constexpr uint64_t kWakeShutdown = ~uint64_t(0);
+/** Completion-queue sentinel: a reload job finished; its result
+ *  waits in reloadResult_. */
+constexpr uint64_t kWakeReload = ~uint64_t(0) - 1;
 
 /** Read chunk size for connection sockets. */
 constexpr size_t kReadChunk = 16u << 10;
@@ -67,18 +83,42 @@ msUntilImpl(std::chrono::steady_clock::time_point now,
     return duration_cast<milliseconds>(at - now).count() + 1;
 }
 
+void
+put64le(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint32_t
+get32le(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+        (static_cast<uint32_t>(p[1]) << 8) |
+        (static_cast<uint32_t>(p[2]) << 16) |
+        (static_cast<uint32_t>(p[3]) << 24);
+}
+
 } // namespace
 
-Server::Server(const Automaton &a, ServerOptions opts)
-    : a_(a), opts_(std::move(opts)),
-      pool_(a_, opts_.engine, opts_.plan, opts_.limits.maxReportRecords),
-      manager_(opts_.limits, pool_.estimatedSessionBytes())
+Server::Server(RulesetGeneration gen, ServerOptions opts)
+    : opts_(std::move(opts)), registry_(gen),
+      pool_(std::make_shared<MatchSessionPool>(
+          std::move(gen), opts_.limits.maxReportRecords)),
+      manager_(opts_.limits, pool_->estimatedSessionBytes())
 {
     int fds[2] = {-1, -1};
     if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) < 0)
         panic("Server: pipe2 failed");
     wakeRead_ = net::Fd(fds[0]);
     wakeWrite_ = net::Fd(fds[1]);
+}
+
+Server::Server(const Automaton &a, ServerOptions opts)
+    : Server(makeInlineRuleset(
+                 a, RulesetSpec{opts.engine, opts.plan, ParseLimits()}),
+             std::move(opts))
+{
 }
 
 Server::~Server()
@@ -201,7 +241,10 @@ Server::handleOpen(Conn &c, const Frame &f)
         }
     }
     c.priority = priority;
-    c.session = pool_.acquire();
+    // Pin the current generation: the session runs (and is released)
+    // against this pool even if a reload swaps pool_ mid-session.
+    c.pool = pool_;
+    c.session = c.pool->acquire();
     c.guard.setDeadlineMs(opts_.limits.sessionDeadlineMs);
     c.guard.setSymbolBudget(opts_.limits.sessionSymbolBudget);
     SimOptions &so = c.session->options();
@@ -217,8 +260,153 @@ Server::handleOpen(Conn &c, const Frame &f)
     ServeMetrics::get().admitted.inc();
     ServeMetrics::get().active.set(
         static_cast<int64_t>(manager_.active()));
-    appendFrame(c.outbox, FrameType::kAdmit, nullptr, 0);
+    // ADMIT carries the generation epoch so the client knows which
+    // ruleset answered (and reload tests can steer on it).
+    std::vector<uint8_t> admit;
+    put64le(admit, c.pool->epoch());
+    appendFrame(c.outbox, FrameType::kAdmit, admit.data(),
+                admit.size());
     onWritable(c);
+}
+
+void
+Server::handleReload(Conn &c, const Frame &f)
+{
+    // RELOAD is valid only instead of an OPEN, once per connection.
+    if (c.state != ConnState::kAwaitOpen || c.reloadRequested) {
+        protocolError(c);
+        return;
+    }
+    if (f.len < 4 || get32le(f.payload) != 0 || f.len == 4) {
+        protocolError(c); // bad flags or empty path
+        return;
+    }
+    if (!opts_.remoteReload) {
+        queueReply(c, ReplyStatus::kServerError,
+                   ErrorCode::kUnsupported);
+        return;
+    }
+    if (draining_) {
+        queueReply(c, ReplyStatus::kRejectedDrain,
+                   ErrorCode::kCancelled);
+        return;
+    }
+    std::string path(reinterpret_cast<const char *>(f.payload + 4),
+                     f.len - 4);
+    c.reloadRequested = true;
+    c.deadlineAt = TimePoint{}; // loading may outlast the handshake
+                                // deadline; the linger timer still
+                                // bounds the reply flush
+    reloadQueue_.emplace_back(c.id, std::move(path));
+    startNextReload();
+}
+
+void
+Server::startNextReload()
+{
+    if (reloadInFlight_ || reloadQueue_.empty() || draining_ ||
+        !workers_)
+        return;
+    const uint64_t connId = reloadQueue_.front().first;
+    std::string path = std::move(reloadQueue_.front().second);
+    reloadQueue_.pop_front();
+    reloadInFlight_ = true;
+    const uint64_t epoch = registry_.epoch() + 1;
+    const TimePoint started = Clock::now();
+    const RulesetSpec spec{opts_.engine, opts_.plan, ParseLimits()};
+    const size_t maxRecords = opts_.limits.maxReportRecords;
+    workers_->post([this, connId, path = std::move(path), epoch,
+                    started, spec, maxRecords] {
+        // Heavy lifting off the loop: file I/O, parse, verification,
+        // profile inference, pool construction.
+        auto res = std::make_unique<ReloadResult>();
+        res->connId = connId;
+        res->started = started;
+        Expected<RulesetGeneration> gen =
+            loadRulesetFile(path, spec, epoch);
+        if (gen.ok()) {
+            res->gen = std::move(*gen);
+            res->pool = std::make_shared<MatchSessionPool>(res->gen,
+                                                           maxRecords);
+        } else {
+            res->st = gen.status();
+        }
+        {
+            std::lock_guard<std::mutex> lock(reloadMutex_);
+            reloadResult_ = std::move(res);
+        }
+        {
+            std::lock_guard<std::mutex> lock(completionsMutex_);
+            completions_.push_back(kWakeReload);
+        }
+        const uint8_t b = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite_.get(), &b, 1);
+    });
+}
+
+void
+Server::finishReload()
+{
+    std::unique_ptr<ReloadResult> res;
+    {
+        std::lock_guard<std::mutex> lock(reloadMutex_);
+        res = std::move(reloadResult_);
+    }
+    reloadInFlight_ = false;
+    if (!res) {
+        startNextReload();
+        return; // spurious wake (already consumed)
+    }
+    Conn *control = nullptr;
+    if (res->connId != 0) {
+        for (auto &cp : conns_)
+            if (cp->id == res->connId) {
+                control = cp.get();
+                break;
+            }
+        // The control client may have vanished; the swap still
+        // applies — RELOAD is a command, not a transaction.
+    }
+    if (res->st.ok()) {
+        // The swap: new admissions get the new generation from here
+        // on. In-flight sessions hold their Conn::pool pin; the old
+        // pool (and through it the old CompiledRuleset) dies when the
+        // last pinned Conn is reaped.
+        pool_ = std::move(res->pool);
+        registry_.publish(res->gen);
+        manager_.setPerSessionBytes(pool_->estimatedSessionBytes());
+        ++stats_.reloads;
+        ServeMetrics::get().reloadCount.inc();
+        ServeMetrics::get().reloadEpoch.set(
+            static_cast<int64_t>(registry_.epoch()));
+        ServeMetrics::get().reloadNs.record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - res->started)
+                .count()));
+        if (control && !control->replyQueued &&
+            control->state != ConnState::kDead)
+            queueReply(*control, ReplyStatus::kOk, ErrorCode::kOk);
+    } else {
+        ++stats_.reloadFailures;
+        ServeMetrics::get().reloadFailures.inc();
+        warn(cat("serve: reload failed: ", res->st.message()));
+        if (control && !control->replyQueued &&
+            control->state != ConnState::kDead)
+            queueReply(*control, ReplyStatus::kServerError,
+                       res->st.code());
+    }
+    startNextReload();
+}
+
+void
+Server::requestReload(std::string path)
+{
+    {
+        std::lock_guard<std::mutex> lock(externalReloadMutex_);
+        externalReloads_.push_back(std::move(path));
+    }
+    const uint8_t b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakeWrite_.get(), &b, 1);
 }
 
 void
@@ -226,7 +414,9 @@ Server::handleFrame(Conn &c, const Frame &f)
 {
     switch (f.type) {
       case FrameType::kOpen:
-        if (c.state != ConnState::kAwaitOpen) {
+        if (c.state != ConnState::kAwaitOpen || c.reloadRequested) {
+            // A connection that sent RELOAD is a control connection
+            // for its remaining lifetime; OPEN no longer applies.
             protocolError(c);
             return;
         }
@@ -247,7 +437,9 @@ Server::handleFrame(Conn &c, const Frame &f)
         bool pauseNow = false;
         {
             std::lock_guard<std::mutex> lock(c.mutex);
-            c.chunks.emplace_back(f.payload, f.payload + f.len);
+            // takePayload() moves the reader's payload storage: the
+            // chunk handed to the worker is never a second copy.
+            c.chunks.push_back(c.reader.takePayload());
             c.inboxBytes += f.len;
             if (c.inboxBytes > stats_.peakQueueBytes)
                 stats_.peakQueueBytes = c.inboxBytes;
@@ -257,6 +449,10 @@ Server::handleFrame(Conn &c, const Frame &f)
         maybeDispatch(c);
         return;
       }
+
+      case FrameType::kReload:
+        handleReload(c, f);
+        return;
 
       case FrameType::kFin:
         if (c.state != ConnState::kStreaming || c.finReceived ||
@@ -473,7 +669,7 @@ Server::finishSession(Conn &c)
     ServeMetrics::get().active.set(
         static_cast<int64_t>(manager_.active()));
     if (!busy) {
-        pool_.release(std::move(c.session));
+        c.pool->release(std::move(c.session));
         c.session.reset();
     }
     // else: the worker still holds the session; closeConn()/reap will
@@ -547,7 +743,7 @@ Server::closeConn(Conn &c, bool abortive)
         return;
     }
     if (c.session) {
-        pool_.release(std::move(c.session));
+        c.pool->release(std::move(c.session));
         c.session.reset();
     }
     c.fd.close();
@@ -708,11 +904,20 @@ void
 Server::updateGauges()
 {
     size_t depth = 0;
+    size_t pinnedOld = 0;
     for (auto &cp : conns_) {
+        if (cp->pool && cp->pool != pool_)
+            ++pinnedOld; // session still running on a retired generation
         std::lock_guard<std::mutex> lock(cp->mutex);
         depth += cp->inboxBytes;
     }
     ServeMetrics::get().queueDepth.set(static_cast<int64_t>(depth));
+    ServeMetrics::get().pinnedOld.set(
+        static_cast<int64_t>(pinnedOld));
+    ServeMetrics::get().generationsLive.set(
+        static_cast<int64_t>(registry_.liveGenerations()));
+    ServeMetrics::get().reloadEpoch.set(
+        static_cast<int64_t>(registry_.epoch()));
 }
 
 int
@@ -732,6 +937,19 @@ Server::run()
         if (shutdownRequested_.load() && !draining_)
             beginDrain();
 
+        // Drain requestReload() calls into the loop-owned queue.
+        {
+            std::vector<std::string> ext;
+            {
+                std::lock_guard<std::mutex> lock(externalReloadMutex_);
+                ext.swap(externalReloads_);
+            }
+            for (std::string &p : ext)
+                reloadQueue_.emplace_back(0, std::move(p));
+            if (!reloadQueue_.empty())
+                startNextReload();
+        }
+
         // Reap connections that died last round (workers done).
         for (size_t i = 0; i < conns_.size();) {
             Conn &c = *conns_[i];
@@ -741,8 +959,8 @@ Server::run()
                 busy = c.busy;
             }
             if (c.state == ConnState::kDead && !busy) {
-                if (c.session)
-                    pool_.release(std::move(c.session));
+                if (c.session && c.pool)
+                    c.pool->release(std::move(c.session));
                 conns_.erase(conns_.begin() +
                              static_cast<ptrdiff_t>(i));
             } else {
@@ -797,9 +1015,20 @@ Server::run()
         }
 
         if (pfds[0].revents & POLLIN) {
-            const int sig = net::SelfPipe::global().drain();
-            if (sig == SIGTERM || sig == SIGINT)
+            const uint32_t sigs = net::SelfPipe::global().drain();
+            // A mask, not a last-signal value: HUP racing TERM must
+            // not make the daemon forget either action.
+            if (sigs &
+                (net::sigBit(SIGTERM) | net::sigBit(SIGINT)))
                 beginDrain();
+            if ((sigs & net::sigBit(SIGHUP)) && !draining_) {
+                if (opts_.reloadPath.empty()) {
+                    warn("serve: SIGHUP with no reload path; ignored");
+                } else {
+                    reloadQueue_.emplace_back(0, opts_.reloadPath);
+                    startNextReload();
+                }
+            }
         }
         if (pfds[1].revents & POLLIN) {
             uint8_t buf[64];
@@ -813,6 +1042,10 @@ Server::run()
             for (uint64_t id : done) {
                 if (id == kWakeShutdown)
                     continue;
+                if (id == kWakeReload) {
+                    finishReload();
+                    continue;
+                }
                 for (auto &cp : conns_) {
                     if (cp->id == id) {
                         onWorkerDone(*cp);

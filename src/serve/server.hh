@@ -43,6 +43,15 @@
  *    are checked on the corresponding paths so the serve tests can
  *    inject connection-level misbehaviour deterministically.
  *
+ * Hot ruleset reload (SIGHUP, a RELOAD control frame, or
+ * requestReload()): the new ruleset is loaded, verified, and its
+ * session pool built on a worker thread; the loop then publishes it
+ * between poll rounds — new admissions pin the new generation while
+ * in-flight sessions finish on the one they opened under, which is
+ * destroyed when its last pin drops. No admitted session is ever
+ * dropped or migrated by a swap. docs/ARCHITECTURE.md "Hot ruleset
+ * reload" states the ordering guarantees.
+ *
  * The failure taxonomy (who promised what when a session ends each
  * way) is documented in docs/ARCHITECTURE.md "Running as a service".
  */
@@ -62,6 +71,7 @@
 #include "core/automaton.hh"
 #include "engine/run_guard.hh"
 #include "serve/protocol.hh"
+#include "serve/ruleset.hh"
 #include "serve/session_manager.hh"
 #include "util/net.hh"
 #include "util/thread_pool.hh"
@@ -103,6 +113,13 @@ struct ServerOptions {
     /** Periodic obs snapshot destination ("" = none). */
     std::string metricsFile;
     int64_t metricsIntervalMs = 1000;
+    /** Ruleset file a SIGHUP-triggered reload re-reads ("" disables
+     *  the signal trigger; the tool defaults it to the startup
+     *  ruleset path). */
+    std::string reloadPath;
+    /** Accept RELOAD control frames from clients. Off, a RELOAD is
+     *  answered kServerError/kUnsupported (SIGHUP still works). */
+    bool remoteReload = true;
 };
 
 /** Event-loop counters for tests and the tool's exit report. Reads
@@ -119,6 +136,8 @@ struct ServerStats {
     uint64_t sessionDrops = 0;   ///< injected kSessionDrop closes
     uint64_t pendingClosed = 0;  ///< accepts closed at maxPendingConns
     uint64_t openTimeouts = 0;   ///< conns closed awaiting OPEN
+    uint64_t reloads = 0;        ///< generations published after start
+    uint64_t reloadFailures = 0; ///< reloads rejected (load/verify)
     size_t peakQueueBytes = 0;   ///< max per-session inbox high-water
     uint64_t drainNs = 0;        ///< drain-request-to-exit wall time
 };
@@ -132,8 +151,14 @@ struct ServerStats {
 class Server
 {
   public:
-    /** @p a must outlive the server. */
+    /** Serve @p gen (epoch 1 of this instance; must not be null).
+     *  The generation's spec should match @p opts — the tool builds
+     *  both from the same flags. */
+    Server(RulesetGeneration gen, ServerOptions opts);
+
+    /** Compatibility: wrap @p a (copied) in an inline generation. */
     Server(const Automaton &a, ServerOptions opts);
+
     ~Server();
 
     Server(const Server &) = delete;
@@ -153,11 +178,27 @@ class Server
     /** Begin a graceful drain (thread-safe, idempotent). */
     void requestShutdown();
 
+    /** Queue a hot reload from @p path (thread-safe; processed on
+     *  the loop like a SIGHUP trigger). Reloads are serialized:
+     *  concurrent requests apply one at a time in arrival order. */
+    void requestReload(std::string path);
+
     /** Bound TCP port (after start(); 0 for unix sockets). */
     uint16_t port() const { return port_; }
 
     /** Effective admission capacity (after construction). */
     size_t capacity() const { return manager_.capacity(); }
+
+    /** Epoch of the currently published generation (thread-safe). */
+    uint64_t epoch() const { return registry_.epoch(); }
+
+    /** Generations still alive: the current one plus any retired
+     *  generations pinned by in-flight sessions (thread-safe; the
+     *  no-pin-leak tests poll this back down to 1). */
+    size_t liveGenerations() const
+    {
+        return registry_.liveGenerations();
+    }
 
     const ServerStats &stats() const { return stats_; }
 
@@ -183,6 +224,8 @@ class Server
         FrameReader reader;
         bool finReceived = false;
         bool sawEof = false;
+        /** A RELOAD control frame is pending its REPLY. */
+        bool reloadRequested = false;
 
         /** Inbox: DATA payload chunks queued for the worker. The
          *  mutex guards chunks/inboxBytes/busy; everything else is
@@ -195,6 +238,12 @@ class Server
 
         bool paused = false; ///< POLLIN de-armed (backpressure)
 
+        /** Generation pin, taken at OPEN: the pool (and through it
+         *  the CompiledRuleset) this session runs against. Declared
+         *  before session so the session dies first. Sessions are
+         *  always released to *this* pool, never the server's
+         *  current one — pooled sessions cannot cross rulesets. */
+        std::shared_ptr<MatchSessionPool> pool;
         std::unique_ptr<MatchSession> session;
         RunGuard guard;
 
@@ -216,6 +265,9 @@ class Server
     void onWritable(Conn &c);
     void handleFrame(Conn &c, const Frame &f);
     void handleOpen(Conn &c, const Frame &f);
+    void handleReload(Conn &c, const Frame &f);
+    void startNextReload();
+    void finishReload();
     void maybeDispatch(Conn &c);
     void onWorkerDone(Conn &c);
     void queueReply(Conn &c, ReplyStatus status, ErrorCode detail);
@@ -229,11 +281,35 @@ class Server
     void writeMetrics();
     void updateGauges();
 
-    const Automaton &a_;
     ServerOptions opts_;
-    MatchSessionPool pool_;
+    /** Publication point for generations; epoch() and
+     *  liveGenerations() read it from any thread. */
+    RulesetRegistry registry_;
+    /** The pool new admissions draw from; swapped wholesale (on the
+     *  loop thread) by a reload. Old pools die when their last
+     *  pinning Conn is reaped. */
+    std::shared_ptr<MatchSessionPool> pool_;
     SessionManager manager_;
     std::unique_ptr<ThreadPool> workers_;
+
+    /** Worker-to-loop result of one reload job. */
+    struct ReloadResult {
+        Status st;
+        RulesetGeneration gen;
+        std::shared_ptr<MatchSessionPool> pool;
+        uint64_t connId = 0; ///< control conn awaiting the REPLY (0 = none)
+        TimePoint started{};
+    };
+
+    // Reload pipeline. The queue + in-flight flag are loop-thread
+    // only; the result slot and external-request list are the two
+    // cross-thread hand-offs (both wake the loop through the pipe).
+    std::deque<std::pair<uint64_t, std::string>> reloadQueue_;
+    bool reloadInFlight_ = false;
+    std::mutex reloadMutex_;
+    std::unique_ptr<ReloadResult> reloadResult_;
+    std::mutex externalReloadMutex_;
+    std::vector<std::string> externalReloads_;
 
     net::Fd listener_;
     uint16_t port_ = 0;

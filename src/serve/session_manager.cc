@@ -1,6 +1,7 @@
 #include "serve/session_manager.hh"
 
 #include "engine/parallel_runner.hh"
+#include "serve/ruleset.hh"
 #include "util/logging.hh"
 
 namespace azoo {
@@ -30,6 +31,11 @@ class NfaMatchSession final : public MatchSession
     uint64_t offset() const override { return s_.offset(); }
     void reset() override { s_.reset(); }
     SimOptions &options() override { return s_.options; }
+    size_t
+    footprintBytes() const override
+    {
+        return sizeof(*this) + s_.footprintBytes();
+    }
 
   private:
     StreamingSession s_;
@@ -57,39 +63,75 @@ class PlannedMatchSession final : public MatchSession
     uint64_t offset() const override { return s_.offset(); }
     void reset() override { s_.reset(); }
     SimOptions &options() override { return s_.options; }
+    size_t
+    footprintBytes() const override
+    {
+        return sizeof(*this) + s_.footprintBytes();
+    }
 
   private:
     PlannedSession s_;
 };
 
 /**
- * Resident-size estimate for one engine session. The flattened
- * per-element tables dominate (label bitmaps at 32 B/element plus
- * edge/flag arrays); the constant covers worklists, the report
- * vector's record cap, and allocator slack. An estimate is enough:
- * admission only needs the right order of magnitude to keep
- * capacity * footprint under the budget.
+ * Resident-size estimate for one engine session. For the interpreter
+ * the flattened per-element tables dominate (label bitmaps at
+ * 32 B/element plus edge/flag arrays); the constant covers worklists,
+ * the report vector's record cap, and allocator slack. A planned
+ * session additionally copies its components into sub-automata,
+ * carries the prefilter's exec tables and literal-scanner tables
+ * (the Wu-Manber shift + bucket arrays alone are 64 Ki entries
+ * each), and keeps a rolling stream-window buffer — roughly another
+ * automaton's worth of tables plus a fixed scanner term. An estimate
+ * is enough: admission only needs the right order of magnitude to
+ * keep capacity * footprint under the budget, and the session tests
+ * hold it to within one order of a measured footprintBytes().
  */
 size_t
-estimateBytes(const Automaton &a, size_t maxReportRecords)
+estimateBytes(const Automaton &a, ServeEngine engine,
+              size_t maxReportRecords)
 {
     size_t edges = 0;
     for (const Element &e : a.elements())
         edges += e.out.size() + e.resetOut.size();
-    return a.size() * 64 + edges * 8 + maxReportRecords * sizeof(Report)
-        + (64u << 10);
+    size_t bytes = a.size() * 64 + edges * 8 +
+        maxReportRecords * sizeof(Report) + (64u << 10);
+    if (engine == ServeEngine::kPlanned) {
+        // Sub-automaton copies (graph Elements are heavier than the
+        // flattened tables) + exec image + scanner tables + window.
+        bytes += a.size() * 160 + edges * 16 + (512u << 10);
+    }
+    return bytes;
 }
 
 } // namespace
 
+MatchSessionPool::MatchSessionPool(
+    std::shared_ptr<const CompiledRuleset> gen, size_t maxReportRecords)
+    : gen_(std::move(gen))
+{
+    if (!gen_)
+        panic("MatchSessionPool: null generation");
+    engine_ = gen_->spec.engine;
+    sessionBytes_ =
+        estimateBytes(gen_->automaton, engine_, maxReportRecords);
+}
+
 MatchSessionPool::MatchSessionPool(const Automaton &a, ServeEngine engine,
                                    const PlanOptions &popts,
                                    size_t maxReportRecords)
-    : a_(a), engine_(engine), popts_(popts)
+    : MatchSessionPool(
+          makeInlineRuleset(a, RulesetSpec{engine, popts, ParseLimits()}),
+          maxReportRecords)
 {
-    if (engine_ == ServeEngine::kPlanned)
-        profiles_ = analysis::inferProfiles(a_, popts_.infer);
-    sessionBytes_ = estimateBytes(a_, maxReportRecords);
+}
+
+MatchSessionPool::~MatchSessionPool() = default;
+
+uint64_t
+MatchSessionPool::epoch() const
+{
+    return gen_->epoch;
 }
 
 std::unique_ptr<MatchSession>
@@ -105,9 +147,9 @@ MatchSessionPool::acquire()
     }
     ++created_;
     if (engine_ == ServeEngine::kPlanned)
-        return std::make_unique<PlannedMatchSession>(a_, profiles_,
-                                                     popts_);
-    return std::make_unique<NfaMatchSession>(a_);
+        return std::make_unique<PlannedMatchSession>(
+            gen_->automaton, gen_->profiles, gen_->spec.plan);
+    return std::make_unique<NfaMatchSession>(gen_->automaton);
 }
 
 void
@@ -122,6 +164,12 @@ MatchSessionPool::release(std::unique_ptr<MatchSession> s)
 SessionManager::SessionManager(const ServeLimits &limits,
                                size_t perSessionBytes)
     : limits_(limits)
+{
+    setPerSessionBytes(perSessionBytes);
+}
+
+void
+SessionManager::setPerSessionBytes(size_t perSessionBytes)
 {
     capacity_ = limits_.maxSessions;
     if (limits_.memoryBudgetBytes > 0 && perSessionBytes > 0) {

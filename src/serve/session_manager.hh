@@ -47,6 +47,8 @@
 namespace azoo {
 namespace serve {
 
+struct CompiledRuleset; // serve/ruleset.hh
+
 /** Resource bounds and QoS knobs for one server instance. */
 struct ServeLimits {
     /** Hard cap on concurrently admitted sessions. */
@@ -92,6 +94,12 @@ class MatchSession
 
     /** Simulation options (guard, record caps); set before feeding. */
     virtual SimOptions &options() = 0;
+
+    /** Measured resident footprint: the sum of this session's owned
+     *  container capacities (tables, scratch, buffers, report
+     *  vectors). The admission estimate is validated against this in
+     *  tests. */
+    virtual size_t footprintBytes() const = 0;
 };
 
 /** Which engine backs pooled sessions. */
@@ -101,40 +109,66 @@ enum class ServeEngine : uint8_t {
 };
 
 /**
- * Free-list of engine sessions over one shared automaton. acquire()
+ * Free-list of engine sessions over one ruleset generation. acquire()
  * hands out a reset session with default options; release() returns
  * it for the next client. Not thread-safe: the server's event loop
  * owns acquire/release (workers only touch a session between them).
+ *
+ * The pool is keyed by generation by construction: it owns a
+ * RulesetGeneration pin, every session it creates references that
+ * generation's automaton, and a hot reload swaps in a whole new pool
+ * — so a pooled session can never be reused across rulesets, and a
+ * retired generation dies exactly when its pool (and therefore its
+ * last session) does.
  */
 class MatchSessionPool
 {
   public:
-    /** @p a must outlive the pool (the server owns both). Profile
-     *  inference for kPlanned runs once here, not per session.
-     *  @p maxReportRecords is the effective per-reply record cap
-     *  (ServeLimits::maxReportRecords), sizing the report-buffer term
-     *  of estimatedSessionBytes(). */
+    /** Pin @p gen and serve sessions over it. Profiles for kPlanned
+     *  come from the generation (inferred at compile/load time, once,
+     *  not per session). @p maxReportRecords is the effective
+     *  per-reply record cap (ServeLimits::maxReportRecords), sizing
+     *  the report-buffer term of estimatedSessionBytes(). */
+    explicit MatchSessionPool(
+        std::shared_ptr<const CompiledRuleset> gen,
+        size_t maxReportRecords = ServeLimits().maxReportRecords);
+
+    /** Compatibility path for callers with a bare automaton: wraps
+     *  @p a (copied) in an inline epoch-1 generation. */
     MatchSessionPool(const Automaton &a, ServeEngine engine,
                      const PlanOptions &popts = PlanOptions(),
                      size_t maxReportRecords =
                          ServeLimits().maxReportRecords);
 
+    ~MatchSessionPool();
+
     std::unique_ptr<MatchSession> acquire();
     void release(std::unique_ptr<MatchSession> s);
 
-    /** Estimated resident bytes of one session (flattened automaton
-     *  tables + scratch); the admission controller's memory unit. */
+    /** Estimated resident bytes of one session: flattened automaton
+     *  tables + scratch, plus the planned engine's extra sub-automaton
+     *  copies, prefilter scanner tables, and window buffers; the
+     *  admission controller's memory unit. */
     size_t estimatedSessionBytes() const { return sessionBytes_; }
 
     /** Sessions constructed so far (reuse keeps this at the
      *  concurrency high-water mark, not the session count). */
     size_t created() const { return created_; }
 
+    /** The pinned generation (never null). */
+    const std::shared_ptr<const CompiledRuleset> &generation() const
+    {
+        return gen_;
+    }
+
+    /** Epoch of the pinned generation. */
+    uint64_t epoch() const;
+
   private:
-    const Automaton &a_;
+    /** Declared first so it outlives free_: pooled sessions reference
+     *  the generation's automaton and must be destroyed before it. */
+    std::shared_ptr<const CompiledRuleset> gen_;
     ServeEngine engine_;
-    PlanOptions popts_;
-    std::vector<analysis::ComponentProfile> profiles_;
     std::vector<std::unique_ptr<MatchSession>> free_;
     size_t created_ = 0;
     size_t sessionBytes_ = 0;
@@ -183,6 +217,12 @@ class SessionManager
 
     /** Effective session cap: min(maxSessions, memory-derived). */
     size_t capacity() const { return capacity_; }
+
+    /** Recompute capacity for a new per-session footprint (a hot
+     *  ruleset reload changes the engine's memory unit). Sessions
+     *  already admitted stay admitted — only future tryAdmit() calls
+     *  see the new cap. */
+    void setPerSessionBytes(size_t perSessionBytes);
 
     const ServeLimits &limits() const { return limits_; }
 

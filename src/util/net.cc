@@ -314,7 +314,7 @@ readAll(int fd, void *buf, size_t len, int timeoutMs)
 
 namespace {
 
-std::atomic<int> g_lastSignal{0};
+std::atomic<uint32_t> g_pendingSignals{0};
 
 extern "C" void
 selfPipeHandler(int signo)
@@ -333,7 +333,7 @@ cancelHandler(int signo)
 }
 
 void
-installHandler(void (*handler)(int))
+installHandler(void (*handler)(int), bool withHup)
 {
     struct sigaction sa {};
     sa.sa_handler = handler;
@@ -341,6 +341,8 @@ installHandler(void (*handler)(int))
     sa.sa_flags = SA_RESTART;
     ::sigaction(SIGTERM, &sa, nullptr);
     ::sigaction(SIGINT, &sa, nullptr);
+    if (withHup)
+        ::sigaction(SIGHUP, &sa, nullptr);
 }
 
 } // namespace
@@ -364,19 +366,21 @@ SelfPipe::global()
 void
 SelfPipe::notify(int signo)
 {
-    g_lastSignal.store(signo, std::memory_order_relaxed);
+    if (signo >= 0 && signo < 32)
+        g_pendingSignals.fetch_or(sigBit(signo),
+                                  std::memory_order_relaxed);
     const uint8_t b = 1;
     // A full pipe already guarantees a wakeup; ignore the result.
     [[maybe_unused]] ssize_t n = ::write(write_.get(), &b, 1);
 }
 
-int
+uint32_t
 SelfPipe::drain()
 {
     uint8_t buf[64];
     while (::read(read_.get(), buf, sizeof(buf)) > 0) {
     }
-    return g_lastSignal.exchange(0, std::memory_order_relaxed);
+    return g_pendingSignals.exchange(0, std::memory_order_relaxed);
 }
 
 void
@@ -384,7 +388,7 @@ installTermHandlers()
 {
     ignoreSigpipe();
     (void)SelfPipe::global(); // create before any signal can arrive
-    installHandler(&selfPipeHandler);
+    installHandler(&selfPipeHandler, /*withHup=*/true);
 }
 
 void
@@ -393,7 +397,9 @@ installCancelOnSignals(RunGuard &guard)
     ignoreSigpipe();
     (void)SelfPipe::global();
     g_signalGuard.store(&guard, std::memory_order_relaxed);
-    installHandler(&cancelHandler);
+    // No SIGHUP here: synchronous tools have no reload concept, and
+    // a terminal hangup should keep its default disposition.
+    installHandler(&cancelHandler, /*withHup=*/false);
 }
 
 } // namespace net

@@ -129,10 +129,18 @@ Status writeAll(int fd, const void *buf, size_t len,
  *  if the peer closes first; kDeadlineExceeded on timeout. */
 Status readAll(int fd, void *buf, size_t len, int timeoutMs = 0);
 
+/** Bit for @p signo in a SelfPipe::drain() mask (signo < 32, which
+ *  covers every classic POSIX signal). */
+inline constexpr uint32_t
+sigBit(int signo)
+{
+    return 1u << static_cast<unsigned>(signo);
+}
+
 /**
  * The self-pipe: signal handlers write, the event loop polls the
  * read end. A process has one (global()); installTermHandlers()
- * points SIGTERM/SIGINT at it.
+ * points SIGTERM/SIGINT/SIGHUP at it.
  */
 class SelfPipe
 {
@@ -147,9 +155,11 @@ class SelfPipe
     /** Read end for poll sets. */
     int readFd() const { return read_.get(); }
 
-    /** Drain pending bytes; returns the last signal number delivered
-     *  since the previous drain (0 if none). */
-    int drain();
+    /** Drain pending bytes; returns the sigBit() mask of every signal
+     *  delivered since the previous drain (0 if none). A mask, not a
+     *  last-signal value: a SIGHUP racing a SIGTERM must not make the
+     *  daemon forget to drain (or reload). */
+    uint32_t drain();
 
   private:
     SelfPipe();
@@ -157,8 +167,9 @@ class SelfPipe
     Fd read_, write_;
 };
 
-/** Route SIGTERM and SIGINT to SelfPipe::global() (and ignore
- *  SIGPIPE). The daemon's poll loop owns the actual handling. */
+/** Route SIGTERM, SIGINT, and SIGHUP to SelfPipe::global() (and
+ *  ignore SIGPIPE). The daemon's poll loop owns the actual handling:
+ *  TERM/INT begin a drain, HUP triggers a ruleset reload. */
 void installTermHandlers();
 
 /**

@@ -16,12 +16,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "core/builder.hh"
+#include "core/serialize.hh"
 #include "engine/nfa_engine.hh"
 #include "engine/parallel_runner.hh"
 #include "serve/client.hh"
+#include "serve/ruleset.hh"
 #include "serve/server.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -47,6 +53,44 @@ testAutomaton()
     addLiteral(a, "needle", StartType::kAllInput, true, 2);
     addLiteral(a, "xyzw", StartType::kAllInput, true, 3);
     return a;
+}
+
+/** Same planted literals as testAutomaton() but different report
+ *  codes: replies distinguish which ruleset generation answered. */
+Automaton
+altAutomaton()
+{
+    Automaton a("serve-test-alt");
+    addLiteral(a, "abc", StartType::kAllInput, true, 11);
+    addLiteral(a, "needle", StartType::kAllInput, true, 12);
+    return a;
+}
+
+/** Wider pattern set so fixed per-session slack does not dominate the
+ *  footprint comparison. */
+Automaton
+wideAutomaton(size_t literals)
+{
+    Automaton a("serve-wide");
+    Rng rng(7);
+    for (size_t i = 0; i < literals; ++i) {
+        std::string lit;
+        for (int j = 0; j < 8; ++j)
+            lit.push_back(
+                static_cast<char>('a' + rng.nextBelow(26)));
+        addLiteral(a, lit, StartType::kAllInput, true,
+                   static_cast<uint32_t>(i + 1));
+    }
+    return a;
+}
+
+/** Write @p a as an azml ruleset file reload tests can point at. */
+std::string
+writeRulesetFile(const std::string &name, const Automaton &a)
+{
+    const std::string path = testing::TempDir() + "/" + name;
+    saveAzml(path, a);
+    return path;
 }
 
 /** Seeded payload with planted matches every ~stride bytes. */
@@ -85,11 +129,14 @@ class ServerHarness
                            ServerOptions opts = ServerOptions())
         : server_(a, opts)
     {
-        Status st = server_.start();
-        if (!st.ok())
-            fatal(cat("harness: ", st.str()));
-        thread_ = std::thread([this] { exitCode_ = server_.run(); });
-        addr_ = cat("tcp:", server_.port());
+        launch();
+    }
+
+    explicit ServerHarness(RulesetGeneration gen,
+                           ServerOptions opts = ServerOptions())
+        : server_(std::move(gen), opts)
+    {
+        launch();
     }
 
     ~ServerHarness()
@@ -111,6 +158,16 @@ class ServerHarness
     Server &server() { return server_; }
 
   private:
+    void
+    launch()
+    {
+        Status st = server_.start();
+        if (!st.ok())
+            fatal(cat("harness: ", st.str()));
+        thread_ = std::thread([this] { exitCode_ = server_.run(); });
+        addr_ = cat("tcp:", server_.port());
+    }
+
     Server server_;
     std::thread thread_;
     std::string addr_;
@@ -224,6 +281,112 @@ TEST(ServeProtocol, FrameReaderRejectsUnknownType)
     Frame f;
     EXPECT_FALSE(reader.next(f));
     EXPECT_FALSE(reader.error().ok());
+}
+
+TEST(ServeProtocol, FrameHeldAcrossAppendStaysValid)
+{
+    // Regression: FrameReader used to hand out payload pointers into
+    // its receive buffer, which reallocates on append — holding the
+    // decoded frame while more socket bytes arrived was a
+    // use-after-free (ASan catches the old behaviour here). The
+    // contract is now stable owned storage per decoded frame.
+    FrameReader r;
+    const std::vector<uint8_t> body = testPayload(3, 512);
+    std::vector<uint8_t> wire;
+    appendFrame(wire, FrameType::kData, body.data(), body.size());
+    r.append(wire.data(), wire.size());
+    Frame f;
+    ASSERT_TRUE(r.next(f));
+    ASSERT_EQ(f.len, body.size());
+    const std::vector<uint8_t> more(64 << 10, 0xab);
+    for (int i = 0; i < 8; ++i)
+        r.append(more.data(), more.size()); // forces buffer growth
+    r.compact();
+    EXPECT_EQ(std::vector<uint8_t>(f.payload, f.payload + f.len),
+              body);
+}
+
+TEST(ServeProtocol, TakePayloadMovesChunkAndParsingContinues)
+{
+    FrameReader r;
+    const std::vector<uint8_t> body = bytes("hello frame payload");
+    std::vector<uint8_t> wire;
+    appendFrame(wire, FrameType::kData, body.data(), body.size());
+    appendFrame(wire, FrameType::kFin, nullptr, 0);
+    r.append(wire.data(), wire.size());
+    Frame f;
+    ASSERT_TRUE(r.next(f));
+    ASSERT_EQ(f.type, FrameType::kData);
+    EXPECT_EQ(r.takePayload(), body);
+    ASSERT_TRUE(r.next(f));
+    EXPECT_EQ(f.type, FrameType::kFin);
+    EXPECT_EQ(f.len, 0u);
+    EXPECT_FALSE(r.next(f));
+    EXPECT_TRUE(r.error().ok());
+}
+
+TEST(ServeProtocol, ReloadFrameTypeIsKnown)
+{
+    FrameReader r;
+    const std::vector<uint8_t> body = {0, 0, 0, 0, 'x', '.',
+                                       'a', 'z', 'm', 'l'};
+    std::vector<uint8_t> wire;
+    appendFrame(wire, FrameType::kReload, body.data(), body.size());
+    r.append(wire.data(), wire.size());
+    Frame f;
+    ASSERT_TRUE(r.next(f));
+    EXPECT_EQ(f.type, FrameType::kReload);
+    EXPECT_EQ(f.len, body.size());
+    EXPECT_TRUE(r.error().ok());
+}
+
+TEST(ServeProtocol, DetailCodesRoundTripThroughWireTable)
+{
+    const ErrorCode codes[] = {
+        ErrorCode::kOk,
+        ErrorCode::kParseError,
+        ErrorCode::kUnsupported,
+        ErrorCode::kLimitExceeded,
+        ErrorCode::kIoError,
+        ErrorCode::kDeadlineExceeded,
+        ErrorCode::kCancelled,
+        ErrorCode::kResourceExhausted,
+        ErrorCode::kInvalidArgument,
+        ErrorCode::kVersionMismatch,
+        ErrorCode::kChecksumMismatch,
+        ErrorCode::kInternal,
+    };
+    for (ErrorCode c : codes) {
+        ErrorCode rt = ErrorCode::kInternal;
+        ASSERT_TRUE(detailFromWire(detailToWire(c), rt));
+        EXPECT_EQ(rt, c);
+        Reply in;
+        in.status = ReplyStatus::kTruncated;
+        in.detail = c;
+        std::vector<uint8_t> p;
+        in.encodeTo(p);
+        Expected<Reply> out = Reply::decode(p.data(), p.size());
+        ASSERT_TRUE(out.ok());
+        EXPECT_EQ(out->detail, c);
+    }
+}
+
+TEST(ServeProtocol, UnknownDetailByteIsParseErrorNotMisdecode)
+{
+    // A peer from a newer protocol revision may send detail values
+    // this build has no entry for; they must surface as a clean parse
+    // failure, never as whatever ErrorCode shares the raw value.
+    Reply in;
+    in.status = ReplyStatus::kOk;
+    std::vector<uint8_t> p;
+    in.encodeTo(p);
+    p[1] = 200; // no revision of the wire table assigns this
+    Expected<Reply> out = Reply::decode(p.data(), p.size());
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), ErrorCode::kParseError);
+    ErrorCode dummy;
+    EXPECT_FALSE(detailFromWire(200, dummy));
+    EXPECT_FALSE(detailFromWire(12, dummy)); // first unassigned value
 }
 
 // ---------------------------------------------------------------
@@ -687,6 +850,341 @@ TEST(ServeDrain, DrainUnderLoadAnswersEveryAdmittedSession)
     EXPECT_GT(admitted.load(), 0u);
     EXPECT_EQ(answered.load(), admitted.load());
     EXPECT_GT(h.server().stats().drainNs, 0u);
+}
+
+// ---------------------------------------------------------------
+// Admission estimate vs measured session footprint.
+
+TEST(ServeSession, EstimateWithinOrderOfMagnitudeOfMeasured)
+{
+    // The admission controller prices sessions with
+    // estimatedSessionBytes(); if that estimate drifts an order of
+    // magnitude from what a session actually holds, the memory budget
+    // admits far too much or far too little. Compare against the
+    // measured footprint of a live, fed session for both engines.
+    const Automaton a = wideAutomaton(300);
+    const auto in = testPayload(5, 64 << 10);
+    for (ServeEngine eng : {ServeEngine::kNfa, ServeEngine::kPlanned}) {
+        MatchSessionPool pool(a, eng, PlanOptions(), 256);
+        std::unique_ptr<MatchSession> s = pool.acquire();
+        s->feed(in.data(), in.size());
+        const size_t measured = s->footprintBytes();
+        const size_t estimate = pool.estimatedSessionBytes();
+        ASSERT_GT(measured, 0u);
+        EXPECT_LE(estimate, measured * 10)
+            << "engine " << static_cast<int>(eng) << ": estimate "
+            << estimate << " vs measured " << measured;
+        EXPECT_LE(measured, estimate * 10)
+            << "engine " << static_cast<int>(eng) << ": estimate "
+            << estimate << " vs measured " << measured;
+        pool.release(std::move(s));
+    }
+}
+
+// ---------------------------------------------------------------
+// Hot ruleset reload.
+
+/** Poll @p pred for up to @p ms milliseconds. */
+template <typename Pred>
+bool
+waitFor(Pred pred, int ms)
+{
+    for (int i = 0; i < ms / 5 + 1; ++i) {
+        if (pred())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+}
+
+TEST(ServeReload, RemoteReloadSwapsGenerationAtomically)
+{
+    const Automaton a = testAutomaton();
+    const Automaton b = altAutomaton();
+    const std::string pathB = writeRulesetFile("reload_b.azml", b);
+    ServerHarness h(a);
+    EXPECT_EQ(h.server().epoch(), 1u);
+
+    const auto in = testPayload(1, 32 << 10);
+    {
+        Client c;
+        ASSERT_TRUE(c.connect(h.addr()).ok());
+        ASSERT_TRUE(c.open(0).ok());
+        ASSERT_TRUE(c.admitted());
+        EXPECT_EQ(c.epoch(), 1u);
+        ASSERT_TRUE(c.send(in).ok());
+        Expected<Reply> r = c.finish();
+        ASSERT_TRUE(r.ok()) << r.status().str();
+        const SimResult want = serialRun(a, in.data(), in.size());
+        EXPECT_EQ(r->reports, want.reports);
+    }
+
+    Client ctl;
+    ASSERT_TRUE(ctl.connect(h.addr()).ok());
+    Expected<Reply> rr = ctl.reload(pathB);
+    ASSERT_TRUE(rr.ok()) << rr.status().str();
+    EXPECT_EQ(rr->status, ReplyStatus::kOk);
+    EXPECT_EQ(h.server().epoch(), 2u);
+    ctl.close(); // don't leave a lingering conn to slow the drain
+
+    {
+        Client c;
+        ASSERT_TRUE(c.connect(h.addr()).ok());
+        ASSERT_TRUE(c.open(0).ok());
+        ASSERT_TRUE(c.admitted());
+        EXPECT_EQ(c.epoch(), 2u);
+        ASSERT_TRUE(c.send(in).ok());
+        Expected<Reply> r = c.finish();
+        ASSERT_TRUE(r.ok()) << r.status().str();
+        const SimResult want = serialRun(b, in.data(), in.size());
+        EXPECT_EQ(r->reportCount, want.reportCount);
+        EXPECT_EQ(r->reports, want.reports);
+    }
+
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_EQ(h.server().stats().reloads, 1u);
+    EXPECT_EQ(h.server().stats().reloadFailures, 0u);
+}
+
+TEST(ServeReload, FailedReloadKeepsServingOldGeneration)
+{
+    const Automaton a = testAutomaton();
+    ServerHarness h(a);
+
+    // Nonexistent file: the load fails, nothing is published.
+    {
+        Client ctl;
+        ASSERT_TRUE(ctl.connect(h.addr()).ok());
+        Expected<Reply> rr =
+            ctl.reload(testing::TempDir() + "/no-such-ruleset.azml");
+        ASSERT_TRUE(rr.ok()) << rr.status().str();
+        EXPECT_EQ(rr->status, ReplyStatus::kServerError);
+        EXPECT_NE(rr->detail, ErrorCode::kOk);
+    }
+    EXPECT_EQ(h.server().epoch(), 1u);
+
+    // Malformed file: parse failure, same outcome.
+    const std::string bad = testing::TempDir() + "/garbage.azml";
+    {
+        std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+        out << "this is not an azml ruleset\n";
+    }
+    {
+        Client ctl;
+        ASSERT_TRUE(ctl.connect(h.addr()).ok());
+        Expected<Reply> rr = ctl.reload(bad);
+        ASSERT_TRUE(rr.ok()) << rr.status().str();
+        EXPECT_EQ(rr->status, ReplyStatus::kServerError);
+    }
+    EXPECT_EQ(h.server().epoch(), 1u);
+
+    // The old generation still serves exactly.
+    const auto in = testPayload(2, 16 << 10);
+    const Reply r = runOneSession(h.addr(), in);
+    const SimResult want = serialRun(a, in.data(), in.size());
+    EXPECT_EQ(r.reports, want.reports);
+
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_EQ(h.server().stats().reloads, 0u);
+    EXPECT_EQ(h.server().stats().reloadFailures, 2u);
+}
+
+TEST(ServeReload, RemoteReloadCanBeDisabled)
+{
+    const Automaton a = testAutomaton();
+    const std::string pathB =
+        writeRulesetFile("reload_disabled.azml", altAutomaton());
+    ServerOptions opts;
+    opts.remoteReload = false;
+    ServerHarness h(a, opts);
+
+    Client ctl;
+    ASSERT_TRUE(ctl.connect(h.addr()).ok());
+    Expected<Reply> rr = ctl.reload(pathB);
+    ASSERT_TRUE(rr.ok()) << rr.status().str();
+    EXPECT_EQ(rr->status, ReplyStatus::kServerError);
+    EXPECT_EQ(rr->detail, ErrorCode::kUnsupported);
+    EXPECT_EQ(h.server().epoch(), 1u);
+}
+
+TEST(ServeReload, RequestReloadTriggersSwapLikeSighup)
+{
+    const Automaton a = testAutomaton();
+    const Automaton b = altAutomaton();
+    const std::string pathB =
+        writeRulesetFile("reload_external.azml", b);
+    ServerHarness h(a);
+
+    // requestReload() is the in-process twin of the SIGHUP trigger:
+    // same queue, same off-loop load, same publication.
+    h.server().requestReload(pathB);
+    ASSERT_TRUE(waitFor([&] { return h.server().epoch() == 2; }, 5000));
+
+    const auto in = testPayload(3, 16 << 10);
+    Client c;
+    ASSERT_TRUE(c.connect(h.addr()).ok());
+    ASSERT_TRUE(c.open(0).ok());
+    ASSERT_TRUE(c.admitted());
+    EXPECT_EQ(c.epoch(), 2u);
+    ASSERT_TRUE(c.send(in).ok());
+    Expected<Reply> r = c.finish();
+    ASSERT_TRUE(r.ok()) << r.status().str();
+    const SimResult want = serialRun(b, in.data(), in.size());
+    EXPECT_EQ(r->reports, want.reports);
+}
+
+TEST(ServeReload, InFlightSessionsFinishOnTheirOpeningGeneration)
+{
+    const Automaton a = testAutomaton();
+    const Automaton b = altAutomaton();
+    const std::string pathB = writeRulesetFile("reload_pin.azml", b);
+    ServerHarness h(a);
+
+    const auto in = testPayload(4, 32 << 10);
+    const size_t half = in.size() / 2;
+
+    // Open under generation 1 and stream half the payload.
+    Client c1;
+    ASSERT_TRUE(c1.connect(h.addr()).ok());
+    ASSERT_TRUE(c1.open(0).ok());
+    ASSERT_TRUE(c1.admitted());
+    EXPECT_EQ(c1.epoch(), 1u);
+    ASSERT_TRUE(c1.send(in.data(), half).ok());
+
+    // Swap while c1 is mid-stream.
+    Client ctl;
+    ASSERT_TRUE(ctl.connect(h.addr()).ok());
+    Expected<Reply> rr = ctl.reload(pathB);
+    ASSERT_TRUE(rr.ok()) << rr.status().str();
+    ASSERT_EQ(rr->status, ReplyStatus::kOk);
+    // Both generations are live: the new one published, the old one
+    // pinned by c1.
+    EXPECT_EQ(h.server().liveGenerations(), 2u);
+
+    // A session admitted after the swap runs the new ruleset...
+    Client c2;
+    ASSERT_TRUE(c2.connect(h.addr()).ok());
+    ASSERT_TRUE(c2.open(0).ok());
+    ASSERT_TRUE(c2.admitted());
+    EXPECT_EQ(c2.epoch(), 2u);
+    ASSERT_TRUE(c2.send(in).ok());
+    Expected<Reply> r2 = c2.finish();
+    ASSERT_TRUE(r2.ok()) << r2.status().str();
+    EXPECT_EQ(r2->reports, serialRun(b, in.data(), in.size()).reports);
+
+    // ...while c1 finishes bit-identically on the generation it
+    // opened under — never migrated, never dropped.
+    ASSERT_TRUE(c1.send(in.data() + half, in.size() - half).ok());
+    Expected<Reply> r1 = c1.finish();
+    ASSERT_TRUE(r1.ok()) << r1.status().str();
+    EXPECT_EQ(r1->status, ReplyStatus::kOk);
+    EXPECT_EQ(r1->reports, serialRun(a, in.data(), in.size()).reports);
+
+    // With c1 gone, the retired generation's pins drain and it is
+    // destroyed: no pin leak.
+    c1.close();
+    EXPECT_TRUE(waitFor(
+        [&] { return h.server().liveGenerations() == 1; }, 5000));
+}
+
+TEST(ServeReload, SoakSwapsServeEveryGenerationExactly)
+{
+    // The reload soak: many concurrent (chaos-faulted, where the
+    // build has fault injection) sessions across repeated swaps.
+    // Invariants: every reply carrying a result is bit-identical to a
+    // serial run against the generation the session opened under (the
+    // ADMIT epoch says which), no admitted session is dropped by a
+    // swap, and retired generations drain to destruction.
+    const Automaton a = testAutomaton();
+    const Automaton b = altAutomaton();
+    const std::string pathA = writeRulesetFile("soak_a.azml", a);
+    const std::string pathB = writeRulesetFile("soak_b.azml", b);
+    ServerHarness h(a);
+
+#if AZOO_FAULT_INJECTION
+    fault::armRandom(fault::Point::kSessionDrop, 77, 10);
+    fault::armRandom(fault::Point::kSlowConsumer, 88, 60);
+#endif
+
+    constexpr size_t kSwaps = 12;
+    constexpr size_t kThreads = 8;
+    constexpr size_t kPerThread = 30; // 240 sessions total
+    std::atomic<uint64_t> swapsDone{0};
+    std::thread reloader([&] {
+        for (size_t i = 0; i < kSwaps; ++i) {
+            Client ctl;
+            if (!ctl.connect(h.addr()).ok())
+                break;
+            // Alternate B, A, B, ... so epoch parity names the
+            // automaton: odd epochs are A, even are B.
+            Expected<Reply> r =
+                ctl.reload((i % 2) ? pathA : pathB, 20000);
+            if (r.ok() && r->status == ReplyStatus::kOk)
+                ++swapsDone;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    });
+
+    std::atomic<uint64_t> checked{0}, okFull{0}, transport{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (size_t i = 0; i < kPerThread; ++i) {
+                const auto in = testPayload(t * 1000 + i, 4096);
+                Client c;
+                if (!c.connect(h.addr()).ok()) {
+                    ++transport;
+                    continue;
+                }
+                if (!c.open(0, 10000).ok()) {
+                    ++transport;
+                    continue;
+                }
+                if (!c.admitted())
+                    continue;
+                const uint64_t e = c.epoch();
+                ASSERT_GE(e, 1u);
+                (void)c.send(in);
+                Expected<Reply> r = c.finish(20000);
+                if (!r.ok()) {
+                    ++transport; // injected drop; promised nothing
+                    continue;
+                }
+                if (!replyCarriesResult(r->status))
+                    continue;
+                const Automaton &g = (e % 2) ? a : b;
+                ASSERT_LE(r->symbols, in.size());
+                const SimResult want =
+                    serialRun(g, in.data(), r->symbols);
+                ASSERT_EQ(r->reportCount, want.reportCount);
+                ASSERT_EQ(r->reports, want.reports);
+                ++checked;
+                if (r->status == ReplyStatus::kOk)
+                    ++okFull;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    reloader.join();
+#if AZOO_FAULT_INJECTION
+    fault::disarmAll();
+#endif
+
+    EXPECT_GE(swapsDone.load(), 10u);
+    EXPECT_GT(checked.load(), 0u);
+    EXPECT_GT(okFull.load(), (kThreads * kPerThread) / 2);
+
+    // No pin leak: with every session finished, only the current
+    // generation may remain alive.
+    EXPECT_TRUE(waitFor(
+        [&] { return h.server().liveGenerations() == 1; }, 10000))
+        << h.server().liveGenerations() << " generations still live";
+
+    EXPECT_EQ(h.shutdown(), 0);
+    EXPECT_GE(h.server().stats().reloads, 10u);
 }
 
 #if AZOO_FAULT_INJECTION

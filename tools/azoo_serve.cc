@@ -21,6 +21,12 @@
  *                                      flush in-flight sessions,
  *                                      shed stragglers at --drain-ms,
  *                                      exit 0
+ *   SIGHUP / RELOAD frame              atomic hot ruleset reload:
+ *                                      --reload names the file SIGHUP
+ *                                      re-reads (default: the startup
+ *                                      ruleset path);
+ *                                      --no-remote-reload refuses
+ *                                      client RELOAD frames
  *   --metrics-file                     periodic azoo::obs JSON export
  *
  * Chaos schedules arm via the AZOO_FAULT_SPEC environment variable
@@ -33,7 +39,7 @@
 
 #include <iostream>
 
-#include "artifact/artifact.hh"
+#include "serve/ruleset.hh"
 #include "serve/server.hh"
 #include "tool_common.hh"
 #include "util/cli.hh"
@@ -51,7 +57,8 @@ main(int argc, char **argv)
              "max-sessions", "queue-budget", "memory-budget",
              "session-deadline-ms", "session-symbol-budget",
              "max-report-records", "drain-ms", "linger-ms",
-             "no-prefilter", "metrics-file", "metrics-interval-ms"});
+             "no-prefilter", "metrics-file", "metrics-interval-ms",
+             "reload", "no-remote-reload"});
 
     if (Status st = fault::armFromEnv(); !st.ok())
         tool::usageError(cat("azoo_serve: ", st.message()));
@@ -64,27 +71,6 @@ main(int argc, char **argv)
     if (!useLoad && apath.empty())
         tool::usageError("azoo_serve: --load or --automaton is "
                          "required");
-
-    Automaton a;
-    if (useLoad) {
-        const std::string lpath = cli.get("load");
-        if (lpath.empty() || lpath == "true")
-            tool::usageError("azoo_serve: --load needs a file path");
-        Expected<artifact::LoadedArtifact> la =
-            artifact::loadArtifact(lpath);
-        if (!la.ok()) {
-            std::cerr << lpath << ": " << la.status().str() << "\n";
-            return tool::exitCodeFor(la.status());
-        }
-        Expected<Automaton> m = la->materialize(ParseLimits());
-        if (!m.ok()) {
-            std::cerr << lpath << ": " << m.status().str() << "\n";
-            return tool::exitCodeFor(m.status());
-        }
-        a = std::move(*std::move(m));
-    } else {
-        a = tool::loadAnyOrExit(apath, ParseLimits());
-    }
 
     serve::ServerOptions opts;
     opts.addr = cli.get("listen", "tcp:0");
@@ -116,10 +102,33 @@ main(int argc, char **argv)
     if (opts.metricsFile == "true")
         tool::usageError("azoo_serve: --metrics-file needs a path");
     opts.metricsIntervalMs = cli.getInt("metrics-interval-ms", 1000);
+    opts.remoteReload = !cli.getBool("no-remote-reload");
+
+    // Both --load and --automaton route through loadRulesetFile: the
+    // startup ruleset is generation 1, built exactly the way a reload
+    // builds its successors (same dispatch, same verification).
+    const std::string rulesetPath = useLoad ? cli.get("load") : apath;
+    if (rulesetPath.empty() || rulesetPath == "true")
+        tool::usageError(cat("azoo_serve: --",
+                             useLoad ? "load" : "automaton",
+                             " needs a file path"));
+    const serve::RulesetSpec spec{opts.engine, opts.plan,
+                                  ParseLimits()};
+    Expected<serve::RulesetGeneration> gen =
+        serve::loadRulesetFile(rulesetPath, spec, /*epoch=*/1);
+    if (!gen.ok()) {
+        std::cerr << rulesetPath << ": " << gen.status().str() << "\n";
+        return tool::exitCodeFor(gen.status());
+    }
+
+    // SIGHUP re-reads --reload if given, else the startup path.
+    opts.reloadPath = cli.get("reload", rulesetPath);
+    if (opts.reloadPath == "true")
+        tool::usageError("azoo_serve: --reload needs a file path");
 
     net::installTermHandlers();
 
-    serve::Server server(a, opts);
+    serve::Server server(std::move(*gen), opts);
     if (Status st = server.start(); !st.ok()) {
         std::cerr << "azoo_serve: " << st.str() << "\n";
         return tool::exitCodeFor(st);
@@ -140,7 +149,8 @@ main(int argc, char **argv)
               << s.replied << " replied, " << s.rejected
               << " rejected, " << s.shed << " shed, " << s.aborted
               << " aborted, " << s.protocolErrors
-              << " protocol errors; drain "
+              << " protocol errors, " << s.reloads << " reloads ("
+              << s.reloadFailures << " failed); drain "
               << (s.drainNs / 1000000) << " ms" << std::endl;
     return rc;
 }
